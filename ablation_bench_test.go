@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/ir"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+	"repro/internal/srcmodel"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: how
+// much each mechanism contributes, and where the knobs saturate.
+
+// BenchmarkAblationUnrollFactor sweeps partial unroll factors on a
+// 64-iteration kernel: the loop-overhead amortization saturates well
+// before full unrolling, motivating the weaver's threshold form.
+func BenchmarkAblationUnrollFactor(b *testing.B) {
+	src := `
+double k64(double* a) {
+    double s = 0.0;
+    for (int i = 0; i < 64; i++) {
+        s = s + a[i] * a[i];
+    }
+    return s;
+}
+`
+	for _, factor := range []int64{1, 2, 4, 8, 16, 64} {
+		b.Run(fmt.Sprintf("factor=%d", factor), func(b *testing.B) {
+			prog, err := srcmodel.Parse("k.c", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcmodel.NormalizeBodies(prog)
+			if factor > 1 {
+				loops := srcmodel.Loops(prog.Func("k64"))
+				if factor == 64 {
+					if err := srcmodel.UnrollLoop(loops[0]); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := srcmodel.UnrollLoopBy(loops[0], factor); err != nil {
+					b.Fatal(err)
+				}
+			}
+			mod, err := ir.Compile(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vm := ir.NewVM(mod)
+			buf := benchBuf(64)
+			want, err := vm.Call("k64", ir.PtrValue(buf))
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := vm.Cycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := vm.Call("k64", ir.PtrValue(buf))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.Num != want.Num {
+					b.Fatalf("unroll changed semantics: %v != %v", got.Num, want.Num)
+				}
+			}
+			b.ReportMetric(float64(vm.Cycles-start)/float64(b.N), "simcycles/call")
+		})
+	}
+}
+
+// BenchmarkAblationStrategies races the five search strategies on the
+// same design space and budget.
+func BenchmarkAblationStrategies(b *testing.B) {
+	obj := func(cfg autotune.Config) autotune.Measurement {
+		bk := cfg["block"] - 8
+		th := cfg["threads"] - 16
+		v := 0.0
+		if cfg["variant"] != 1 {
+			v = 10
+		}
+		return autotune.Measurement{Cost: bk*bk + th*th/4 + v}
+	}
+	mk := func() *autotune.Space {
+		return autotune.NewSpace(
+			autotune.IntKnob("block", 1, 16, 1),
+			autotune.IntKnob("threads", 1, 32, 1),
+			autotune.VariantKnob("variant", "scalar", "vectorized", "unrolled", "tiled"),
+		)
+	}
+	strategies := []struct {
+		name string
+		mk   func() autotune.Strategy
+	}{
+		{"random", func() autotune.Strategy { return &autotune.RandomSearch{Budget: 200, Rng: simhpc.NewRNG(1)} }},
+		{"hillclimb", func() autotune.Strategy { return &autotune.HillClimb{Budget: 200, Restarts: 4, Rng: simhpc.NewRNG(1)} }},
+		{"annealing", func() autotune.Strategy {
+			return &autotune.Annealing{Budget: 200, T0: 1, Alpha: 0.97, Rng: simhpc.NewRNG(1)}
+		}},
+		{"ucb", func() autotune.Strategy { return &autotune.UCB{Budget: 200, C: 0.5} }},
+	}
+	for _, s := range strategies {
+		b.Run(s.name, func(b *testing.B) {
+			var best float64
+			var evalsToGood int
+			for i := 0; i < b.N; i++ {
+				tu := autotune.NewTuner(mk(), s.mk(), obj)
+				_, m, err := tu.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				best = m.Cost
+				evalsToGood = tu.History.EvalsToWithin(0.05)
+			}
+			b.ReportMetric(best, "best_cost")
+			b.ReportMetric(float64(evalsToGood), "evals_to_5pct")
+		})
+	}
+}
+
+// BenchmarkAblationDispatch compares job-dispatch policies on the same
+// trace over the variability-afflicted cluster.
+func BenchmarkAblationDispatch(b *testing.B) {
+	mkCluster := func() *simhpc.Cluster {
+		rng := simhpc.NewRNG(51)
+		return simhpc.NewCluster(16, 20, func(int) *simhpc.Node {
+			return simhpc.HomogeneousNode("n", 0.15, rng)
+		})
+	}
+	mkJobs := func() []rtrm.BatchJob {
+		return rtrm.RandomJobMix(120, 16, simhpc.NewRNG(3))
+	}
+	for _, policy := range []rtrm.DispatchPolicy{rtrm.FCFS, rtrm.EASY, rtrm.EnergyAwareEASY} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var res rtrm.DispatchResult
+			for i := 0; i < b.N; i++ {
+				res = rtrm.Dispatch(policy, mkCluster(), mkJobs())
+			}
+			b.ReportMetric(res.MeanWaitS, "mean_wait_s")
+			b.ReportMetric(res.Utilization*100, "utilization_%")
+			b.ReportMetric(res.EnergyJ/1e6, "energy_MJ")
+			b.Logf("dispatch ablation: %s", res)
+		})
+	}
+}
+
+// BenchmarkAblationParetoOperatingPoints builds the DVFS operating-point
+// frontier for the three workload classes and reports its size and the
+// SLA-picked points — the mARGOt-style operating-point list.
+func BenchmarkAblationParetoOperatingPoints(b *testing.B) {
+	gen := simhpc.NewWorkloadGen(7)
+	classes := []struct {
+		name string
+		task *simhpc.Task
+	}{
+		{"memory-bound", gen.MemoryBound(100)},
+		{"balanced", gen.Balanced(100)},
+		{"compute-bound", gen.ComputeBound(100)},
+	}
+	for _, c := range classes {
+		b.Run(c.name, func(b *testing.B) {
+			d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0, nil)
+			space := autotune.NewSpace(autotune.IntKnob("pstate", 0, 7, 1))
+			var front *autotune.ParetoFront
+			for i := 0; i < b.N; i++ {
+				front = autotune.ExploreFront(space, func(cfg autotune.Config) autotune.MultiMeasurement {
+					ps := int(cfg["pstate"])
+					return autotune.MultiMeasurement{Objectives: map[string]float64{
+						"time":   d.ExecTime(c.task, ps),
+						"energy": d.ExecEnergy(c.task, ps),
+					}}
+				})
+			}
+			b.ReportMetric(float64(front.Size()), "front_size")
+			tMax := d.ExecTime(c.task, d.Spec.MaxPState())
+			if pick, ok := front.PickUnder("energy", "time", 1.3*tMax); ok {
+				b.ReportMetric(pick.M.Objectives["energy"], "energy_at_1.3x_deadline")
+			}
+			b.Logf("pareto %s: %d operating points on the frontier", c.name, front.Size())
+		})
+	}
+}
+
+// BenchmarkAblationVariabilitySpread sweeps the manufacturing
+// variability parameter to show how the energy-aware dispatcher's
+// advantage scales with part spread.
+func BenchmarkAblationVariabilitySpread(b *testing.B) {
+	for _, spread := range []float64{0, 0.05, 0.15, 0.30} {
+		b.Run(fmt.Sprintf("spread=%.0f%%", spread*100), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				mk := func() *simhpc.Cluster {
+					rng := simhpc.NewRNG(51)
+					return simhpc.NewCluster(16, 20, func(int) *simhpc.Node {
+						return simhpc.HomogeneousNode("n", spread, rng)
+					})
+				}
+				jobs := rtrm.RandomJobMix(120, 16, simhpc.NewRNG(3))
+				easy := rtrm.Dispatch(rtrm.EASY, mk(), jobs)
+				aware := rtrm.Dispatch(rtrm.EnergyAwareEASY, mk(), jobs)
+				gain = 1 - aware.EnergyJ/easy.EnergyJ
+			}
+			b.ReportMetric(gain*100, "energy_gain_%")
+		})
+	}
+}

@@ -1,0 +1,592 @@
+// Package repro's benchmark harness regenerates every figure and
+// quantitative claim of the ANTAREX DATE'16 paper. Each benchmark prints
+// the series the paper reports (via b.Logf and ReportMetric), so
+// `go test -bench=. -benchmem` doubles as the experiment record; see
+// EXPERIMENTS.md for the paper-vs-measured index.
+//
+// Experiment IDs (DESIGN.md): F1-F4 figures, C1-C5 quantitative claims,
+// U1-U2 use cases, A1-A3 approach benchmarks.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/dock"
+	"repro/internal/apps/nav"
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+	"repro/internal/precision"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+	"repro/internal/srcmodel"
+	"repro/internal/weaver"
+)
+
+const benchKernelSrc = `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s = s + data[i] * data[i];
+    }
+    return s;
+}
+
+double run(double* data, int size, int reps) {
+    double acc = 0.0;
+    for (int r = 0; r < reps; r++) {
+        acc = acc + kernel(data, size);
+    }
+    return acc;
+}
+`
+
+const benchAspects = `
+aspectdef ProfileArguments
+	input funcName end
+	select fCall end
+	apply
+		insert before %{profile_args('[[funcName]]',
+			[[$fCall.location]], [[$fCall.argList]]);
+		}%;
+	end
+	condition $fCall.name == funcName end
+end
+
+aspectdef UnrollInnermostLoops
+	input $func, threshold end
+	select $func.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+	condition
+		$loop.isInnermost && $loop.numIter <= threshold
+	end
+end
+
+aspectdef SpecializeKernel
+	input lowT, highT end
+	call spCall: PrepareSpecialize('kernel','size');
+	select fCall{'kernel'}.arg{'size'} end
+	apply dynamic
+		call spOut : Specialize($fCall, $arg.name, $arg.runtimeValue);
+		call UnrollInnermostLoops(spOut.$func, $arg.runtimeValue);
+		call AddVersion(spCall, spOut.$func, $arg.runtimeValue);
+	end
+	condition
+		$arg.runtimeValue >= lowT && $arg.runtimeValue <= highT
+	end
+end
+`
+
+func benchBuf(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i%9) * 0.5
+	}
+	return buf
+}
+
+// BenchmarkFig1ToolFlow (F1) drives the full Fig. 1 pipeline — weave,
+// split-compile, run with monitoring + dynamic specialization — and
+// reports simulated cycles per application call, woven vs plain.
+func BenchmarkFig1ToolFlow(b *testing.B) {
+	build := func(weaveAll bool) *core.ToolFlow {
+		tf, err := core.NewToolFlow("app.c", benchKernelSrc, benchAspects)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if weaveAll {
+			if err := tf.WeaveAspect("ProfileArguments", interp.Str("kernel")); err != nil {
+				b.Fatal(err)
+			}
+			if err := tf.WeaveAspect("SpecializeKernel", interp.Num(4), interp.Num(64)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tf.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		return tf
+	}
+	buf := benchBuf(32)
+	for _, cfg := range []struct {
+		name  string
+		weave bool
+	}{{"plain", false}, {"antarex", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			tf := build(cfg.weave)
+			// Warm the dynamic specializer.
+			if _, err := tf.Invoke("run", ir.PtrValue(buf), ir.NumValue(32), ir.NumValue(2)); err != nil {
+				b.Fatal(err)
+			}
+			start := tf.VM.Cycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tf.Invoke("run", ir.PtrValue(buf), ir.NumValue(32), ir.NumValue(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tf.VM.Cycles-start)/float64(b.N), "simcycles/call")
+		})
+	}
+}
+
+// BenchmarkFig2ProfileArguments (F2) weaves the Fig. 2 profiling aspect
+// and reports the instrumentation overhead in simulated cycles.
+func BenchmarkFig2ProfileArguments(b *testing.B) {
+	run := func(b *testing.B, profile bool) float64 {
+		tf, err := core.NewToolFlow("app.c", benchKernelSrc, benchAspects)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if profile {
+			if err := tf.WeaveAspect("ProfileArguments", interp.Str("kernel")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tf.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		buf := benchBuf(16)
+		start := tf.VM.Cycles
+		for i := 0; i < b.N; i++ {
+			if _, err := tf.Invoke("run", ir.PtrValue(buf), ir.NumValue(16), ir.NumValue(4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if profile {
+			calls := tf.Metrics.Window("calls")
+			if calls == nil || calls.Total() != int64(4*b.N) {
+				b.Fatalf("profile records: %v, want %d", calls, 4*b.N)
+			}
+		}
+		return float64(tf.VM.Cycles-start) / float64(b.N)
+	}
+	var plain, profiled float64
+	b.Run("plain", func(b *testing.B) {
+		plain = run(b, false)
+		b.ReportMetric(plain, "simcycles/call")
+	})
+	b.Run("profiled", func(b *testing.B) {
+		profiled = run(b, true)
+		b.ReportMetric(profiled, "simcycles/call")
+		if plain > 0 {
+			b.ReportMetric(profiled/plain-1, "overhead_frac")
+		}
+	})
+}
+
+// BenchmarkFig3LoopUnroll (F3) applies the Fig. 3 aspect at several
+// thresholds and reports the speedup full unrolling buys on a
+// fixed-trip-count kernel.
+func BenchmarkFig3LoopUnroll(b *testing.B) {
+	src := `
+double fixed16(double* a) {
+    double s = 0.0;
+    for (int i = 0; i < 16; i++) {
+        s = s + a[i] * a[i];
+    }
+    return s;
+}
+`
+	for _, threshold := range []float64{4, 16, 64} {
+		b.Run(fmt.Sprintf("threshold=%g", threshold), func(b *testing.B) {
+			prog, err := srcmodel.Parse("f.c", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := weaver.New(prog)
+			fnJP := interp.JP(weaverFunctionJP(w, "fixed16"))
+			if _, err := w.Weave(benchAspects, "UnrollInnermostLoops", fnJP, interp.Num(threshold)); err != nil {
+				b.Fatal(err)
+			}
+			sc, vm, err := w.CompileRuntime()
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sc
+			buf := benchBuf(16)
+			start := vm.Cycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.Call("fixed16", ir.PtrValue(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(vm.Cycles-start)/float64(b.N), "simcycles/call")
+			unrolled := 0.0
+			if len(srcmodel.Loops(w.Prog.Func("fixed16"))) == 0 {
+				unrolled = 1
+			}
+			b.ReportMetric(unrolled, "unrolled")
+		})
+	}
+}
+
+func weaverFunctionJP(w *weaver.Weaver, name string) interp.JoinPoint {
+	for _, jp := range w.Roots("function") {
+		if jp.Name() == name {
+			return jp
+		}
+	}
+	return nil
+}
+
+// BenchmarkFig4SpecializeKernel (F4) measures the dynamic-weaving win:
+// generic vs runtime-specialized execution through the same call site.
+func BenchmarkFig4SpecializeKernel(b *testing.B) {
+	for _, mode := range []string{"generic", "specialized"} {
+		b.Run(mode, func(b *testing.B) {
+			prog, err := srcmodel.Parse("app.c", benchKernelSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := weaver.New(prog)
+			if mode == "specialized" {
+				if _, err := w.Weave(benchAspects, "SpecializeKernel", interp.Num(4), interp.Num(64)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sc, vm, err := w.CompileRuntime()
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := benchBuf(24)
+			// Warm-up triggers specialization.
+			if _, err := vm.Call("run", ir.PtrValue(buf), ir.NumValue(24), ir.NumValue(2)); err != nil {
+				b.Fatal(err)
+			}
+			start := vm.Cycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.Call("kernel", ir.PtrValue(buf), ir.NumValue(24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(vm.Cycles-start)/float64(b.N), "simcycles/call")
+			if mode == "specialized" {
+				vt := sc.Mod.Variants["kernel"]
+				if vt == nil || vt.Entries[0].Hits == 0 {
+					b.Fatal("variant table unused")
+				}
+				b.ReportMetric(float64(vt.Entries[0].Hits), "variant_hits")
+			}
+		})
+	}
+}
+
+// BenchmarkClaimHeteroEfficiency (C1) regenerates the §I efficiency
+// comparison: heterogeneous ≈ 7 032 vs homogeneous ≈ 2 304 MFLOPS/W,
+// a ≈3x ratio.
+func BenchmarkClaimHeteroEfficiency(b *testing.B) {
+	var het, hom float64
+	for i := 0; i < b.N; i++ {
+		hetN := simhpc.HeterogeneousNode("h", 0, nil)
+		homN := simhpc.HomogeneousNode("o", 0, nil)
+		het = hetN.EfficiencyGFLOPSPerW() * 1000
+		hom = homN.EfficiencyGFLOPSPerW() * 1000
+	}
+	b.ReportMetric(het, "hetero_MFLOPS/W")
+	b.ReportMetric(hom, "homog_MFLOPS/W")
+	b.ReportMetric(het/hom, "ratio")
+	b.Logf("C1: heterogeneous %.0f MFLOPS/W vs homogeneous %.0f MFLOPS/W (paper: 7032 vs 2304), ratio %.2fx (paper: ~3x)", het, hom, het/hom)
+}
+
+// BenchmarkClaimComponentVariability (C2) regenerates the §V claim:
+// instances of the same nominal component vary ≈15 % in energy.
+func BenchmarkClaimComponentVariability(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		rng := simhpc.NewRNG(42)
+		task := &simhpc.Task{GFlop: 100, MemGB: 2}
+		min, max, sum := 0.0, 0.0, 0.0
+		const n = 64
+		for k := 0; k < n; k++ {
+			d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0.15, rng)
+			e := d.ExecEnergy(task, d.Spec.MaxPState())
+			if k == 0 || e < min {
+				min = e
+			}
+			if e > max {
+				max = e
+			}
+			sum += e
+		}
+		spread = (max - min) / (sum / n)
+	}
+	b.ReportMetric(spread*100, "energy_spread_%")
+	b.Logf("C2: energy spread across 64 instances of the same CPU: %.1f%% (paper: 15%%)", spread*100)
+}
+
+// BenchmarkClaimGovernorSavings (C3) regenerates the §V claim: optimal
+// operating-point selection saves 18-50 % node energy vs the Linux
+// default governor, depending on the application.
+func BenchmarkClaimGovernorSavings(b *testing.B) {
+	gen := simhpc.NewWorkloadGen(3)
+	apps := []struct {
+		name  string
+		tasks []*simhpc.Task
+	}{
+		{"memory-bound", []*simhpc.Task{gen.MemoryBound(100), gen.MemoryBound(60)}},
+		{"balanced", []*simhpc.Task{gen.Balanced(100), gen.Balanced(60)}},
+		{"compute-bound", []*simhpc.Task{gen.ComputeBound(100), gen.ComputeBound(60)}},
+	}
+	for _, app := range apps {
+		b.Run(app.name, func(b *testing.B) {
+			var saving float64
+			for i := 0; i < b.N; i++ {
+				d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0, nil)
+				_, _, saving = rtrm.GovernorSavings(d, app.tasks, 0)
+			}
+			b.ReportMetric(saving*100, "energy_saving_%")
+			b.Logf("C3 %s: optimal vs Linux-default governor saves %.1f%% (paper: 18-50%%)", app.name, saving*100)
+		})
+	}
+}
+
+// BenchmarkClaimSeasonalPUE (C4) regenerates the §V claim: >10 % PUE
+// loss from winter to summer ambient, and the MS3 mitigation.
+func BenchmarkClaimSeasonalPUE(b *testing.B) {
+	var winter, summer, loss, ms3Gain float64
+	for i := 0; i < b.N; i++ {
+		cool := simhpc.DefaultCooling()
+		winter = cool.PUE(15)
+		summer = cool.PUE(35)
+		loss = (summer - winter) / winter
+
+		hot := simhpc.NewCluster(8, 35, func(int) *simhpc.Node {
+			return simhpc.HomogeneousNode("n", 0, nil)
+		})
+		s := rtrm.NewMS3()
+		plan := s.Decide(hot)
+		naive := rtrm.Plan{AdmitFraction: 1, PUE: hot.Cooling.PUE(hot.AmbientC)}
+		eMS3 := s.EnergyToSolution(hot, plan, 1e6)
+		eNaive := s.EnergyToSolution(hot, naive, 1e6)
+		ms3Gain = 1 - eMS3/eNaive
+	}
+	b.ReportMetric(winter, "PUE_winter")
+	b.ReportMetric(summer, "PUE_summer")
+	b.ReportMetric(loss*100, "seasonal_loss_%")
+	b.ReportMetric(ms3Gain*100, "ms3_energy_gain_%")
+	b.Logf("C4: PUE winter %.3f → summer %.3f = %.1f%% loss (paper: >10%%); MS3 recovers %.1f%% energy-to-solution", winter, summer, loss*100, ms3Gain*100)
+}
+
+// BenchmarkClaimPowerCap (C5) regenerates the §I Exascale envelope
+// experiment: throughput under a 20 MW-scaled facility cap, greedy RTRM
+// capping vs uniform derating vs uncapped.
+func BenchmarkClaimPowerCap(b *testing.B) {
+	var unTP, greedyTP, uniTP float64
+	for i := 0; i < b.N; i++ {
+		rng := simhpc.NewRNG(17)
+		// Mixed fleet (half accelerated, half CPU-only, like a real
+		// center mid-upgrade): greedy capping demotes the hungry nodes
+		// first instead of derating everyone.
+		c := simhpc.NewCluster(64, 20, func(i int) *simhpc.Node {
+			if i%2 == 0 {
+				return simhpc.HeterogeneousNode("h", 0.15, rng)
+			}
+			return simhpc.HomogeneousNode("c", 0.15, rng)
+		})
+		unTP = c.PeakGFLOPS()
+		// Scale the paper's 20 MW / Exascale ratio to our cluster: cap at
+		// 85 % of uncapped facility power.
+		cap := rtrm.PowerCapper{CapW: c.FacilityPowerW(1) * 0.85}
+		greedyTP = cap.Apply(c, 1).ThroughputGFLOPS
+		uniTP = cap.UniformCap(c, 1).ThroughputGFLOPS
+	}
+	b.ReportMetric(unTP, "uncapped_GFLOPS")
+	b.ReportMetric(greedyTP, "greedy_GFLOPS")
+	b.ReportMetric(uniTP, "uniform_GFLOPS")
+	b.Logf("C5: under an 85%% facility cap, greedy RTRM keeps %.0f/%.0f GFLOPS (%.1f%%), uniform derating %.0f (%.1f%%)",
+		greedyTP, unTP, greedyTP/unTP*100, uniTP, uniTP/unTP*100)
+}
+
+// BenchmarkUseCaseDocking (U1) regenerates the §VII-a load-balancing
+// comparison: static vs dynamic vs work-stealing on heavy-tailed ligand
+// costs.
+func BenchmarkUseCaseDocking(b *testing.B) {
+	var rows []dock.Result
+	for i := 0; i < b.N; i++ {
+		rows = dock.Campaign(8, 400, 1.4, 42)
+	}
+	for _, r := range rows {
+		b.Logf("U1: %s", r)
+	}
+	b.ReportMetric(rows[0].MakespanS/rows[1].MakespanS, "static_over_dynamic_makespan")
+	b.ReportMetric(rows[0].Imbalance, "static_imbalance")
+	b.ReportMetric(rows[1].Imbalance, "dynamic_imbalance")
+}
+
+// BenchmarkUseCaseNavigation (U2) regenerates the §VII-b adaptive
+// navigation comparison: fixed vs self-adaptive fidelity under a storm.
+func BenchmarkUseCaseNavigation(b *testing.B) {
+	load := nav.StormProfile(2, 60, 600, 2400)
+	var vFixed, vAdaptive int
+	var qFixed, qAdaptive float64
+	for i := 0; i < b.N; i++ {
+		mk := func(adaptive bool) *nav.Server {
+			g := nav.NewGraph(24, 24, 3, 7)
+			s := nav.NewServer(g, 3000, 0.5, 99)
+			s.Adaptive = adaptive
+			return s
+		}
+		fixed := nav.Campaign(mk(false), 50, 60, load, 40)
+		adaptive := nav.Campaign(mk(true), 50, 60, load, 40)
+		vFixed, vAdaptive = nav.Violations(fixed), nav.Violations(adaptive)
+		qFixed, qAdaptive = nav.MeanQuality(fixed), nav.MeanQuality(adaptive)
+	}
+	b.ReportMetric(float64(vFixed), "fixed_violations")
+	b.ReportMetric(float64(vAdaptive), "adaptive_violations")
+	b.ReportMetric(qFixed, "fixed_quality")
+	b.ReportMetric(qAdaptive, "adaptive_quality")
+	b.Logf("U2: SLA violations fixed=%d adaptive=%d; route quality fixed=%.3f adaptive=%.3f",
+		vFixed, vAdaptive, qFixed, qAdaptive)
+}
+
+// BenchmarkAutotunerGreyBox (A1) regenerates the §IV grey-box claim:
+// annotated spaces converge in far fewer evaluations than black-box.
+func BenchmarkAutotunerGreyBox(b *testing.B) {
+	obj := func(cfg autotune.Config) autotune.Measurement {
+		bk := cfg["block"] - 8
+		th := cfg["threads"] - 16
+		v := 0.0
+		if cfg["variant"] != 1 {
+			v = 10
+		}
+		return autotune.Measurement{Cost: bk*bk + th*th/4 + v}
+	}
+	mk := func() *autotune.Space {
+		return autotune.NewSpace(
+			autotune.IntKnob("block", 1, 16, 1),
+			autotune.IntKnob("threads", 1, 32, 1),
+			autotune.VariantKnob("variant", "scalar", "vectorized", "unrolled", "tiled"),
+		)
+	}
+	var black, grey float64
+	for i := 0; i < b.N; i++ {
+		var bSum, gSum int
+		for seed := uint64(1); seed <= 5; seed++ {
+			tu := autotune.NewTuner(mk(), &autotune.RandomSearch{Budget: 400, Rng: simhpc.NewRNG(seed)}, obj)
+			if _, _, err := tu.Run(0); err != nil {
+				b.Fatal(err)
+			}
+			bSum += tu.History.EvalsToWithin(0.05)
+
+			gs := mk()
+			gs.Constrain(func(p autotune.Point) bool {
+				th := int(gs.Knobs[1].Level(p[1]))
+				return th&(th-1) == 0
+			}).Constrain(func(p autotune.Point) bool { return p[2] == 1 })
+			tg := autotune.NewTuner(gs, &autotune.RandomSearch{Budget: 400, Rng: simhpc.NewRNG(seed)}, obj)
+			if _, _, err := tg.Run(0); err != nil {
+				b.Fatal(err)
+			}
+			gSum += tg.History.EvalsToWithin(0.05)
+		}
+		black, grey = float64(bSum)/5, float64(gSum)/5
+	}
+	b.ReportMetric(black, "blackbox_evals")
+	b.ReportMetric(grey, "greybox_evals")
+	b.Logf("A1: evaluations to within 5%% of optimum — black-box %.0f, grey-box %.0f (%.1fx faster)", black, grey, black/grey)
+}
+
+// BenchmarkPrecisionAutotuning (A2) regenerates the §IV precision
+// autotuning trade-off on the three kernels.
+func BenchmarkPrecisionAutotuning(b *testing.B) {
+	rng := simhpc.NewRNG(9)
+	n := 512
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Uniform(-1, 1)
+		y[i] = rng.Uniform(-1, 1)
+	}
+	init := make([]float64, 128)
+	for i := range init {
+		init[i] = rng.Uniform(0, 10)
+	}
+	kernels := []precision.Kernel{
+		&precision.Dot{X: x, Y: y},
+		&precision.Stencil{Init: init, Steps: 50},
+		&precision.Saxpy{A: 1.5, X: x, Y: y},
+	}
+	for _, k := range kernels {
+		b.Run(k.Name(), func(b *testing.B) {
+			var res precision.TuneResult
+			for i := 0; i < b.N; i++ {
+				res = precision.Tune(k, 1e-2)
+			}
+			b.ReportMetric(res.EnergySaving*100, "energy_saving_%")
+			b.ReportMetric(res.TimeSaving*100, "time_saving_%")
+			b.Logf("A2 %s: chose %s at error budget 1e-2 → energy -%.0f%%, time -%.0f%% (rel err %.2g)",
+				k.Name(), res.Chosen, res.EnergySaving*100, res.TimeSaving*100, res.Eval.RelError)
+		})
+	}
+}
+
+// BenchmarkSplitCompilation (A3) regenerates the §III-B split-compilation
+// trade-off: offline-only vs split (runtime specialization) on repeated
+// hot calls.
+func BenchmarkSplitCompilation(b *testing.B) {
+	buf := benchBuf(24)
+	for _, mode := range []string{"offline-only", "split"} {
+		b.Run(mode, func(b *testing.B) {
+			sc, err := ir.NewSplitCompiler("k.c", benchKernelSrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode == "split" {
+				if _, err := sc.SpecializeNow("kernel", "size", 24); err != nil {
+					b.Fatal(err)
+				}
+			}
+			vm := ir.NewVM(sc.Mod)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.Call("kernel", ir.PtrValue(buf), ir.NumValue(24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(vm.Cycles)/float64(b.N), "simcycles/call")
+		})
+	}
+}
+
+// BenchmarkExascaleExtrapolation (C6) models the paper's roadmap claim:
+// use-case metrics measured at small scale are extrapolated to Exascale
+// node counts (§I: Exascale by 2023 within a 20-30 MW envelope; §VII:
+// "performance metrics ... will be modelled to extrapolate these results
+// towards Exascale systems").
+func BenchmarkExascaleExtrapolation(b *testing.B) {
+	// Measure the docking use case at small scale, then extrapolate.
+	var base simhpc.Measured
+	var sweep []simhpc.Projection
+	var exaNodes int
+	var exaProj simhpc.Projection
+	for i := 0; i < b.N; i++ {
+		rows := dock.Campaign(8, 400, 1.4, 42)
+		dyn := rows[1] // dynamic scheduler
+		base = simhpc.Measured{
+			Nodes:         8,
+			TaskS:         dyn.MakespanS / 400 * 8, // per-task time per worker
+			TasksPerBatch: 400,
+			NodePowerW:    900,
+		}
+		model := simhpc.DefaultScaling()
+		sweep = model.Sweep(base, 1<<17)
+		exaNodes, exaProj = model.NodesForExaflop(base, 6500)
+	}
+	for _, p := range sweep {
+		if p.Nodes >= 1024 {
+			b.Logf("C6: %s", p)
+		}
+	}
+	b.Logf("C6: 1 EFLOPS needs %d heterogeneous nodes at eff %.1f%% drawing %.0f MW (envelope: 20-30 MW -> efficiency gap %.1fx)",
+		exaNodes, exaProj.Efficiency*100, exaProj.PowerMW, exaProj.PowerMW/25)
+	b.ReportMetric(float64(exaNodes), "nodes_for_exaflop")
+	b.ReportMetric(exaProj.PowerMW, "power_MW")
+	b.ReportMetric(exaProj.Efficiency*100, "parallel_eff_%")
+}

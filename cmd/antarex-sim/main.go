@@ -1,0 +1,148 @@
+// antarex-sim runs the cluster-level experiments of the reproduction
+// from the command line and prints the paper-vs-measured tables.
+//
+// Usage:
+//
+//	antarex-sim efficiency    # C1: hetero vs homog MFLOPS/W
+//	antarex-sim variability   # C2: 15% component variation
+//	antarex-sim governor      # C3: optimal vs Linux-default savings
+//	antarex-sim pue           # C4: seasonal PUE + MS3 mitigation
+//	antarex-sim powercap      # C5: throughput under the power envelope
+//	antarex-sim docking       # U1: load-balancing comparison
+//	antarex-sim all           # everything
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/apps/dock"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+func main() {
+	cmd := "all"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	cmds := map[string]func(){
+		"efficiency":  efficiency,
+		"variability": variability,
+		"governor":    governor,
+		"pue":         pue,
+		"powercap":    powercap,
+		"docking":     docking,
+	}
+	if cmd == "all" {
+		for _, name := range []string{"efficiency", "variability", "governor", "pue", "powercap", "docking"} {
+			cmds[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := cmds[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "antarex-sim: unknown experiment %q\n", cmd)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func efficiency() {
+	fmt.Println("== C1: heterogeneous vs homogeneous efficiency (paper §I: 7032 vs 2304 MFLOPS/W, ~3x) ==")
+	het := simhpc.HeterogeneousNode("h", 0, nil)
+	hom := simhpc.HomogeneousNode("o", 0, nil)
+	he := het.EfficiencyGFLOPSPerW() * 1000
+	ho := hom.EfficiencyGFLOPSPerW() * 1000
+	fmt.Printf("  heterogeneous node (CPU+2 GPGPU): %7.0f MFLOPS/W\n", he)
+	fmt.Printf("  homogeneous node (2 CPU):         %7.0f MFLOPS/W\n", ho)
+	fmt.Printf("  ratio: %.2fx\n", he/ho)
+}
+
+func variability() {
+	fmt.Println("== C2: energy variation across instances of the same component (paper §V: 15%) ==")
+	rng := simhpc.NewRNG(42)
+	task := &simhpc.Task{GFlop: 100, MemGB: 2}
+	var min, max, sum float64
+	const n = 64
+	for i := 0; i < n; i++ {
+		d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0.15, rng)
+		e := d.ExecEnergy(task, d.Spec.MaxPState())
+		if i == 0 || e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+		sum += e
+	}
+	fmt.Printf("  %d instances, same binary: min %.1f J, max %.1f J, spread %.1f%% of mean\n",
+		n, min, max, (max-min)/(sum/n)*100)
+}
+
+func governor() {
+	fmt.Println("== C3: optimal operating point vs Linux default governor (paper §V: 18-50% savings) ==")
+	gen := simhpc.NewWorkloadGen(3)
+	apps := []struct {
+		name  string
+		tasks []*simhpc.Task
+	}{
+		{"memory-bound", []*simhpc.Task{gen.MemoryBound(100), gen.MemoryBound(60)}},
+		{"balanced", []*simhpc.Task{gen.Balanced(100), gen.Balanced(60)}},
+		{"compute-bound", []*simhpc.Task{gen.ComputeBound(100), gen.ComputeBound(60)}},
+	}
+	for _, app := range apps {
+		d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0, nil)
+		base, opt, saving := rtrm.GovernorSavings(d, app.tasks, 0)
+		fmt.Printf("  %-14s ondemand: %7.1f J  optimal: %7.1f J  saving: %4.1f%%  (slowdown %.2fx)\n",
+			app.name, base.EnergyJ, opt.EnergyJ, saving*100, opt.TimeS/base.TimeS)
+	}
+}
+
+func pue() {
+	fmt.Println("== C4: seasonal PUE and MS3 mitigation (paper §V: >10% loss winter→summer) ==")
+	cool := simhpc.DefaultCooling()
+	w, s := cool.PUE(15), cool.PUE(35)
+	fmt.Printf("  PUE at 15C (winter): %.3f   at 35C (summer): %.3f   loss: %.1f%%\n", w, s, (s-w)/w*100)
+	hot := simhpc.NewCluster(8, 35, func(int) *simhpc.Node { return simhpc.HomogeneousNode("n", 0, nil) })
+	ms3 := rtrm.NewMS3()
+	plan := ms3.Decide(hot)
+	naive := rtrm.Plan{AdmitFraction: 1, PUE: hot.Cooling.PUE(hot.AmbientC)}
+	fmt.Printf("  MS3 summer plan: admit %.0f%%, cooling boost %.2f, PUE %.3f\n",
+		plan.AdmitFraction*100, plan.CoolingBoost, plan.PUE)
+	fmt.Printf("  energy-to-solution: MS3 %.2e J vs naive %.2e J (%.1f%% saved)\n",
+		ms3.EnergyToSolution(hot, plan, 1e6), ms3.EnergyToSolution(hot, naive, 1e6),
+		(1-ms3.EnergyToSolution(hot, plan, 1e6)/ms3.EnergyToSolution(hot, naive, 1e6))*100)
+}
+
+func powercap() {
+	fmt.Println("== C5: throughput under the facility power envelope (paper §I: 20 MW target) ==")
+	rng := simhpc.NewRNG(17)
+	c := simhpc.NewCluster(64, 20, func(i int) *simhpc.Node {
+		if i%2 == 0 {
+			return simhpc.HeterogeneousNode("h", 0.15, rng)
+		}
+		return simhpc.HomogeneousNode("c", 0.15, rng)
+	})
+	full := c.FacilityPowerW(1)
+	fmt.Printf("  64-node mixed cluster: peak %.0f GFLOPS at %.0f kW facility\n", c.PeakGFLOPS(), full/1000)
+	for _, frac := range []float64{1.0, 0.9, 0.85, 0.8} {
+		cap := rtrm.PowerCapper{CapW: full * frac}
+		g := cap.Apply(c, 1)
+		u := cap.UniformCap(c, 1)
+		fmt.Printf("  cap %3.0f%%: greedy %7.0f GFLOPS (%4.1f%%)  uniform %7.0f GFLOPS (%4.1f%%)  demotions %d\n",
+			frac*100, g.ThroughputGFLOPS, g.ThroughputGFLOPS/c.PeakGFLOPS()*100,
+			u.ThroughputGFLOPS, u.ThroughputGFLOPS/c.PeakGFLOPS()*100, g.Demotions)
+	}
+}
+
+func docking() {
+	fmt.Println("== U1: docking load balancing under heavy-tailed ligand costs (paper §VII-a) ==")
+	for _, alpha := range []float64{1.2, 1.4, 1.8} {
+		fmt.Printf("  Pareto alpha=%.1f (heavier tail = smaller alpha):\n", alpha)
+		for _, r := range dock.Campaign(8, 400, alpha, 42) {
+			fmt.Printf("    %s\n", r)
+		}
+	}
+}

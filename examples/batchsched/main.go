@@ -1,0 +1,66 @@
+// Batchsched: the RTRM's job-dispatching knob (§V) and the
+// multi-objective operating-point view. A 120-job trace runs under
+// FCFS, EASY backfilling and energy-aware placement on a cluster with
+// 15% manufacturing variability; then the DVFS Pareto frontier is built
+// for each workload class and an SLA picks the operating point.
+//
+//	go run ./examples/batchsched
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/autotune"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+func main() {
+	fmt.Println("ANTAREX RTRM: batch dispatching on a 16-node cluster (15% part variability)")
+	mkCluster := func() *simhpc.Cluster {
+		rng := simhpc.NewRNG(51)
+		return simhpc.NewCluster(16, 20, func(int) *simhpc.Node {
+			return simhpc.HomogeneousNode("n", 0.15, rng)
+		})
+	}
+	jobs := rtrm.RandomJobMix(120, 16, simhpc.NewRNG(3))
+	fmt.Printf("trace: %d jobs, up to 16 nodes each\n\n", len(jobs))
+	for _, policy := range []rtrm.DispatchPolicy{rtrm.FCFS, rtrm.EASY, rtrm.EnergyAwareEASY} {
+		res := rtrm.Dispatch(policy, mkCluster(), jobs)
+		fmt.Printf("  %s\n", res)
+	}
+
+	fmt.Println("\nDVFS operating-point frontier (time vs energy) per workload class:")
+	gen := simhpc.NewWorkloadGen(7)
+	classes := []struct {
+		name string
+		task *simhpc.Task
+	}{
+		{"memory-bound", gen.MemoryBound(100)},
+		{"balanced", gen.Balanced(100)},
+		{"compute-bound", gen.ComputeBound(100)},
+	}
+	d := simhpc.NewDevice(simhpc.XeonCPUSpec(), "cpu", 0, nil)
+	space := autotune.NewSpace(autotune.IntKnob("pstate", 0, 7, 1))
+	for _, c := range classes {
+		front := autotune.ExploreFront(space, func(cfg autotune.Config) autotune.MultiMeasurement {
+			ps := int(cfg["pstate"])
+			return autotune.MultiMeasurement{Objectives: map[string]float64{
+				"time":   d.ExecTime(c.task, ps),
+				"energy": d.ExecEnergy(c.task, ps),
+			}}
+		})
+		fmt.Printf("\n  %s: %d Pareto-optimal operating points\n", c.name, front.Size())
+		for _, m := range front.Members("time") {
+			fmt.Printf("    pstate=%v  time=%6.3fs  energy=%6.1fJ\n",
+				m.Point[0], m.M.Objectives["time"], m.M.Objectives["energy"])
+		}
+		tMax := d.ExecTime(c.task, d.Spec.MaxPState())
+		for _, slack := range []float64{1.0, 1.3, 2.0} {
+			if pick, ok := front.PickUnder("energy", "time", slack*tMax); ok {
+				fmt.Printf("    SLA time<=%.1fx fastest -> pstate=%v (%.1fJ)\n",
+					slack, pick.Point[0], pick.M.Objectives["energy"])
+			}
+		}
+	}
+}

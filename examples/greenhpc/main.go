@@ -1,0 +1,69 @@
+// GreenHPC: the system-wide RTRM story of paper §V — an adaptive
+// application coupled to the runtime resource & power manager over the
+// simulated cluster, through a simulated year of ambient temperature.
+// MS3 defers load and boosts cooling in summer; the power capper holds
+// the facility envelope; the thermal controller keeps nodes safe.
+//
+//	go run ./examples/greenhpc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/autotune"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/simhpc"
+)
+
+func main() {
+	rng := simhpc.NewRNG(7)
+	cluster := simhpc.NewCluster(16, 15, func(i int) *simhpc.Node {
+		return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	capW := cluster.FacilityPowerW(1) * 0.85
+	sys := core.NewSystem(cluster, capW)
+
+	// One adaptive app: batch size knob, bigger batches amortize better.
+	space := autotune.NewSpace(autotune.IntKnob("batch", 1, 8, 1))
+	cost := func(cfg autotune.Config) autotune.Measurement {
+		return autotune.Measurement{Cost: 4 + 16/cfg["batch"]}
+	}
+	gen := simhpc.NewWorkloadGen(11)
+	app := core.NewApp("hpcapp", space, monitor.SLA{}, &autotune.Exhaustive{}, cost)
+	app.Workload = func(cfg autotune.Config) []*simhpc.Task {
+		return gen.Mix(int(cfg["batch"])*8, 1, 2, 1, 15)
+	}
+	if err := app.TuneInitial(0); err != nil {
+		log.Fatal(err)
+	}
+	sys.AddApp(app)
+	fmt.Printf("tuned configuration: batch=%v\n", app.Config()["batch"])
+	fmt.Printf("cluster: 16 heterogeneous nodes, facility cap %.0f kW\n\n", capW/1000)
+
+	fmt.Println("month  ambient  PUE    admit%  hot  energy(MJ)  eff(GFLOP/J)")
+	for month := 0; month < 12; month++ {
+		// Sinusoidal seasonal ambient: 8C in January, 32C in July.
+		cluster.AmbientC = 20 - 12*math.Cos(2*math.Pi*float64(month)/12)
+		var monthEnergy float64
+		var plan float64
+		hot := 0
+		for epoch := 0; epoch < 30; epoch++ {
+			res, err := sys.RunEpoch(3600)
+			if err != nil {
+				log.Fatal(err)
+			}
+			monthEnergy += res.Report.EnergyJ
+			plan = res.Report.Plan.AdmitFraction
+			hot += res.Report.HotNodes
+		}
+		fmt.Printf("%5d  %6.1fC  %.3f  %5.0f%%  %3d  %10.2f  %11.4f\n",
+			month+1, cluster.AmbientC, cluster.PUE(), plan*100, hot,
+			monthEnergy/1e6, sys.Manager.EfficiencyGFLOPSPerJ())
+	}
+	fmt.Printf("\ntotals: %.1f TFLOP done, %.1f MJ, %d thermal events, %d cap demotions\n",
+		sys.Manager.WorkGFlop/1000, sys.Manager.EnergyJ/1e6,
+		sys.Manager.ThermalEvents, sys.Manager.CapDemotions)
+}

@@ -1,0 +1,273 @@
+// Package dock implements ANTAREX use case 1 (paper §VII-a): computer-
+// accelerated drug discovery. Docking a ligand library is massively
+// parallel but "demonstrates unpredictable imbalances in the
+// computational time, since the verification of each point in the
+// solution space requires a widely varying time" — modeled here as
+// Pareto-distributed per-ligand cost. The package provides three task
+// schedulers (static partition, dynamic central queue, work stealing)
+// over the simulated heterogeneous cluster, so the dynamic-load-balancing
+// claim can be quantified: under heavy-tailed costs, dynamic policies
+// dominate static partitioning on makespan and device utilization.
+package dock
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simhpc"
+)
+
+// Result aggregates one scheduled docking run.
+type Result struct {
+	Scheduler string
+	// MakespanS is the completion time of the last task.
+	MakespanS float64
+	// Imbalance is max worker busy-time over mean busy-time (1.0 = perfect).
+	Imbalance float64
+	// EnergyJ is total energy across workers including idle tails.
+	EnergyJ float64
+	// Steals counts work-stealing events (0 for other policies).
+	Steals int
+	// PerWorkerBusy is each worker's busy seconds.
+	PerWorkerBusy []float64
+}
+
+// Utilization returns mean busy time / makespan (1.0 = no idle).
+func (r Result) Utilization() float64 {
+	if r.MakespanS == 0 || len(r.PerWorkerBusy) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.PerWorkerBusy {
+		sum += b
+	}
+	return sum / float64(len(r.PerWorkerBusy)) / r.MakespanS
+}
+
+// String renders the result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s makespan=%8.2fs imbalance=%5.2f util=%5.1f%% energy=%9.0fJ steals=%d",
+		r.Scheduler, r.MakespanS, r.Imbalance, r.Utilization()*100, r.EnergyJ, r.Steals)
+}
+
+// Scheduler runs a docking batch over a set of worker devices.
+type Scheduler interface {
+	Name() string
+	Run(devices []*simhpc.Device, tasks []*simhpc.Task) Result
+}
+
+// worker wraps a device with a queue and clock for the event-driven run.
+type worker struct {
+	dev   *simhpc.Device
+	queue []*simhpc.Task
+	busy  float64
+	done  float64 // time the worker went idle
+}
+
+func (w *worker) pop() *simhpc.Task {
+	if len(w.queue) == 0 {
+		return nil
+	}
+	t := w.queue[0]
+	w.queue = w.queue[1:]
+	return t
+}
+
+// finish computes result fields common to all schedulers.
+func finish(name string, workers []*worker, steals int) Result {
+	res := Result{Scheduler: name, Steals: steals}
+	var sum float64
+	for _, w := range workers {
+		res.PerWorkerBusy = append(res.PerWorkerBusy, w.busy)
+		sum += w.busy
+		if w.done > res.MakespanS {
+			res.MakespanS = w.done
+		}
+	}
+	mean := sum / float64(len(workers))
+	for _, w := range workers {
+		if mean > 0 && w.busy/mean > res.Imbalance {
+			res.Imbalance = w.busy / mean
+		}
+	}
+	// Idle tail: workers that finished early burn static power until the
+	// makespan, then sum total energy.
+	for _, w := range workers {
+		w.dev.AccountIdle(res.MakespanS - w.done)
+	}
+	for _, w := range workers {
+		res.EnergyJ += w.dev.EnergyJoules
+	}
+	return res
+}
+
+// StaticPartition pre-assigns tasks round-robin by index — the
+// oblivious baseline that heavy tails punish.
+type StaticPartition struct{}
+
+// Name implements Scheduler.
+func (StaticPartition) Name() string { return "static" }
+
+// Run implements Scheduler.
+func (StaticPartition) Run(devices []*simhpc.Device, tasks []*simhpc.Task) Result {
+	workers := wrap(devices)
+	for i, t := range tasks {
+		w := workers[i%len(workers)]
+		w.queue = append(w.queue, t)
+	}
+	eng := simhpc.NewEngine()
+	for _, w := range workers {
+		w := w
+		var next func()
+		next = func() {
+			t := w.pop()
+			if t == nil {
+				w.done = eng.Now()
+				return
+			}
+			dur := w.dev.Run(t)
+			w.busy += dur
+			eng.After(dur, next)
+		}
+		eng.At(0, next)
+	}
+	eng.Run(0)
+	return finish("static", workers, 0)
+}
+
+// DynamicQueue is a central task queue: free workers pull the next task
+// (the paper's "dynamic load balancing"). The single queue removes
+// pre-assignment imbalance entirely at the cost of a shared structure.
+type DynamicQueue struct{}
+
+// Name implements Scheduler.
+func (DynamicQueue) Name() string { return "dynamic" }
+
+// Run implements Scheduler.
+func (DynamicQueue) Run(devices []*simhpc.Device, tasks []*simhpc.Task) Result {
+	workers := wrap(devices)
+	queue := append([]*simhpc.Task(nil), tasks...)
+	eng := simhpc.NewEngine()
+	for _, w := range workers {
+		w := w
+		var next func()
+		next = func() {
+			if len(queue) == 0 {
+				w.done = eng.Now()
+				return
+			}
+			t := queue[0]
+			queue = queue[1:]
+			dur := w.dev.Run(t)
+			w.busy += dur
+			eng.After(dur, next)
+		}
+		eng.At(0, next)
+	}
+	eng.Run(0)
+	return finish("dynamic", workers, 0)
+}
+
+// WorkStealing partitions statically but lets idle workers steal half of
+// the largest remaining queue — the decentralized variant that scales
+// past a single shared queue.
+type WorkStealing struct{}
+
+// Name implements Scheduler.
+func (WorkStealing) Name() string { return "stealing" }
+
+// Run implements Scheduler.
+func (WorkStealing) Run(devices []*simhpc.Device, tasks []*simhpc.Task) Result {
+	workers := wrap(devices)
+	for i, t := range tasks {
+		w := workers[i%len(workers)]
+		w.queue = append(w.queue, t)
+	}
+	steals := 0
+	eng := simhpc.NewEngine()
+	for _, w := range workers {
+		w := w
+		var next func()
+		next = func() {
+			t := w.pop()
+			if t == nil {
+				// Steal half of the richest victim's queue (back half,
+				// classic deque split).
+				victim := richest(workers, w)
+				if victim == nil || len(victim.queue) < 2 {
+					w.done = eng.Now()
+					return
+				}
+				half := len(victim.queue) / 2
+				w.queue = append(w.queue, victim.queue[len(victim.queue)-half:]...)
+				victim.queue = victim.queue[:len(victim.queue)-half]
+				steals++
+				t = w.pop()
+			}
+			dur := w.dev.Run(t)
+			w.busy += dur
+			eng.After(dur, next)
+		}
+		eng.At(0, next)
+	}
+	eng.Run(0)
+	return finish("stealing", workers, steals)
+}
+
+func richest(workers []*worker, except *worker) *worker {
+	var best *worker
+	for _, w := range workers {
+		if w == except {
+			continue
+		}
+		if best == nil || len(w.queue) > len(best.queue) {
+			best = w
+		}
+	}
+	if best != nil && len(best.queue) == 0 {
+		return nil
+	}
+	return best
+}
+
+func wrap(devices []*simhpc.Device) []*worker {
+	ws := make([]*worker, len(devices))
+	for i, d := range devices {
+		ws[i] = &worker{dev: d}
+	}
+	return ws
+}
+
+// Campaign runs the same ligand batch under all three schedulers on
+// fresh identical device sets and returns the comparison rows.
+func Campaign(nWorkers, nLigands int, alpha float64, seed uint64) []Result {
+	mkDevices := func() []*simhpc.Device {
+		rng := simhpc.NewRNG(seed)
+		var ds []*simhpc.Device
+		for i := 0; i < nWorkers; i++ {
+			// Heterogeneous worker pool: 1 CPU : 1 GPU alternating, the
+			// §VII-a "different tasks might be more efficient on
+			// different types of processors" setting.
+			if i%2 == 0 {
+				ds = append(ds, simhpc.NewDevice(simhpc.XeonCPUSpec(), fmt.Sprintf("cpu%d", i), 0.15, rng))
+			} else {
+				ds = append(ds, simhpc.NewDevice(simhpc.GPGPUSpec(), fmt.Sprintf("gpu%d", i), 0.15, rng))
+			}
+		}
+		return ds
+	}
+	mkTasks := func() []*simhpc.Task {
+		gen := simhpc.NewWorkloadGen(seed + 1)
+		return gen.DockingBatch(nLigands, alpha, 5).Tasks
+	}
+	var out []Result
+	for _, s := range []Scheduler{StaticPartition{}, DynamicQueue{}, WorkStealing{}} {
+		out = append(out, s.Run(mkDevices(), mkTasks()))
+	}
+	return out
+}
+
+// SortByMakespan orders results best-first.
+func SortByMakespan(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].MakespanS < rs[j].MakespanS })
+}

@@ -1,0 +1,163 @@
+package dock
+
+import (
+	"testing"
+
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+func devices(n int, seed uint64) []*simhpc.Device {
+	rng := simhpc.NewRNG(seed)
+	var ds []*simhpc.Device
+	for i := 0; i < n; i++ {
+		ds = append(ds, simhpc.NewDevice(simhpc.XeonCPUSpec(), "d", 0, rng))
+	}
+	return ds
+}
+
+func heavyTasks(n int, seed uint64) []*simhpc.Task {
+	gen := simhpc.NewWorkloadGen(seed)
+	return gen.DockingBatch(n, 1.4, 5).Tasks
+}
+
+func totalGFlop(tasks []*simhpc.Task) float64 {
+	var s float64
+	for _, t := range tasks {
+		s += t.GFlop
+	}
+	return s
+}
+
+func TestAllSchedulersCompleteAllWork(t *testing.T) {
+	tasks := heavyTasks(200, 3)
+	// All workers share the same spec with no variability, so total busy
+	// time must equal the sum of per-task execution times regardless of
+	// which worker ran which task — a conservation check that no task is
+	// lost or run twice.
+	ref := devices(1, 7)[0]
+	var wantBusy float64
+	for _, task := range tasks {
+		wantBusy += ref.ExecTime(task, ref.Spec.MaxPState())
+	}
+	for _, s := range []Scheduler{StaticPartition{}, DynamicQueue{}, WorkStealing{}} {
+		ds := devices(8, 7)
+		res := s.Run(ds, append([]*simhpc.Task(nil), tasks...))
+		if res.MakespanS <= 0 {
+			t.Errorf("%s: makespan %v", s.Name(), res.MakespanS)
+		}
+		var busy float64
+		for _, b := range res.PerWorkerBusy {
+			busy += b
+		}
+		if diff := busy - wantBusy; diff > 1e-6*wantBusy || diff < -1e-6*wantBusy {
+			t.Errorf("%s: total busy %.4f, want %.4f (work lost or duplicated)", s.Name(), busy, wantBusy)
+		}
+		if res.EnergyJ <= 0 {
+			t.Errorf("%s: no energy accounted", s.Name())
+		}
+	}
+}
+
+// TestDynamicBeatsStaticUnderHeavyTails is the §VII-a claim: with
+// Pareto-distributed ligand costs, dynamic balancing dominates static
+// partitioning on makespan and imbalance.
+func TestDynamicBeatsStaticUnderHeavyTails(t *testing.T) {
+	tasks := heavyTasks(400, 11)
+	static := StaticPartition{}.Run(devices(8, 5), append([]*simhpc.Task(nil), tasks...))
+	dynamic := DynamicQueue{}.Run(devices(8, 5), append([]*simhpc.Task(nil), tasks...))
+	stealing := WorkStealing{}.Run(devices(8, 5), append([]*simhpc.Task(nil), tasks...))
+
+	if dynamic.MakespanS >= static.MakespanS {
+		t.Errorf("dynamic makespan %.1f should beat static %.1f", dynamic.MakespanS, static.MakespanS)
+	}
+	if stealing.MakespanS >= static.MakespanS {
+		t.Errorf("stealing makespan %.1f should beat static %.1f", stealing.MakespanS, static.MakespanS)
+	}
+	if dynamic.Imbalance >= static.Imbalance {
+		t.Errorf("dynamic imbalance %.2f should beat static %.2f", dynamic.Imbalance, static.Imbalance)
+	}
+	if stealing.Steals == 0 {
+		t.Error("stealing run recorded no steals")
+	}
+	if static.Utilization() >= dynamic.Utilization() {
+		t.Errorf("dynamic utilization %.2f should beat static %.2f",
+			dynamic.Utilization(), static.Utilization())
+	}
+}
+
+// Uniform tasks: the three schedulers are nearly equivalent (sanity that
+// the dynamic win really comes from the tail).
+func TestUniformTasksNearEquivalent(t *testing.T) {
+	gen := simhpc.NewWorkloadGen(17)
+	var tasks []*simhpc.Task
+	for i := 0; i < 400; i++ {
+		tasks = append(tasks, gen.Balanced(10))
+	}
+	static := StaticPartition{}.Run(devices(8, 5), append([]*simhpc.Task(nil), tasks...))
+	dynamic := DynamicQueue{}.Run(devices(8, 5), append([]*simhpc.Task(nil), tasks...))
+	ratio := static.MakespanS / dynamic.MakespanS
+	if ratio > 1.25 {
+		t.Errorf("uniform tasks: static/dynamic makespan ratio %.2f should be near 1", ratio)
+	}
+}
+
+func TestCampaignRowsAndDeterminism(t *testing.T) {
+	r1 := Campaign(8, 300, 1.4, 42)
+	r2 := Campaign(8, 300, 1.4, 42)
+	if len(r1) != 3 {
+		t.Fatalf("rows: %d", len(r1))
+	}
+	for i := range r1 {
+		if r1[i].MakespanS != r2[i].MakespanS || r1[i].EnergyJ != r2[i].EnergyJ {
+			t.Errorf("campaign not deterministic: %+v vs %+v", r1[i], r2[i])
+		}
+		if r1[i].String() == "" {
+			t.Error("empty row render")
+		}
+	}
+	SortByMakespan(r1)
+	if r1[0].MakespanS > r1[2].MakespanS {
+		t.Error("sort broken")
+	}
+	// Static should be the worst under heavy tails.
+	if r1[2].Scheduler != "static" {
+		t.Errorf("worst scheduler %q, want static (rows: %v)", r1[2].Scheduler, r1)
+	}
+}
+
+func TestHeterogeneousPoolFinishes(t *testing.T) {
+	rows := Campaign(6, 120, 1.6, 9)
+	for _, r := range rows {
+		if r.MakespanS <= 0 || r.Utilization() <= 0 || r.Utilization() > 1.0001 {
+			t.Errorf("%s: implausible result %+v", r.Scheduler, r)
+		}
+	}
+}
+
+// TestDockingUnderOptimalGovernor crosses use case 1 with the RTRM
+// governor claim: running the docking batch at the per-task optimal
+// operating point (with a slowdown bound) saves energy over the default
+// max-frequency execution the schedulers use.
+func TestDockingUnderOptimalGovernor(t *testing.T) {
+	tasks := heavyTasks(200, 31)
+	// Baseline: energy at max frequency (what Run uses).
+	ref := devices(1, 7)[0]
+	var eMax, eOpt, tMax, tOpt float64
+	gov := &rtrm.OptimalGovernor{MaxSlowdown: 1.3}
+	for _, task := range tasks {
+		top := ref.Spec.MaxPState()
+		eMax += ref.ExecEnergy(task, top)
+		tMax += ref.ExecTime(task, top)
+		ps := gov.PickPState(ref, task)
+		eOpt += ref.ExecEnergy(task, ps)
+		tOpt += ref.ExecTime(task, ps)
+	}
+	saving := 1 - eOpt/eMax
+	if saving <= 0.05 {
+		t.Errorf("optimal governor on docking batch saves only %.1f%%", saving*100)
+	}
+	if tOpt > tMax*1.3*1.001 {
+		t.Errorf("slowdown bound violated: %.2fx", tOpt/tMax)
+	}
+}

@@ -1,0 +1,174 @@
+// Package nav implements ANTAREX use case 2 (paper §VII-b): the
+// server-side of a self-adaptive navigation system for smart cities. A
+// synthetic city road network with time-dependent congestion serves
+// route requests; the routing fidelity (exact Dijkstra, A*, or a
+// coarsened approximate search) is a software knob the autotuner moves
+// to hold the latency SLA under a variable request load — "the efficient
+// operation of such a system depends strongly on balancing data
+// collection, big data analysis and extreme computational power".
+package nav
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simhpc"
+)
+
+// Graph is a grid road network. Nodes are grid cells (row-major); edges
+// connect 4-neighbors with per-edge free-flow travel times and a
+// time-dependent congestion multiplier per district.
+type Graph struct {
+	W, H int
+	// freeFlow[i][k] is the free-flow seconds of edge k of node i
+	// (k indexes the adjacency list).
+	adj      [][]edge
+	district []int // node -> district index
+	nd       int   // number of districts per axis
+	// Congestion state per district (multiplier >= 1).
+	Congestion []float64
+}
+
+type edge struct {
+	to       int
+	freeFlow float64
+}
+
+// NewGraph builds a w×h grid with deterministic per-edge free-flow times
+// in [30,90] seconds and nd×nd districts.
+func NewGraph(w, h, nd int, seed uint64) *Graph {
+	rng := simhpc.NewRNG(seed)
+	g := &Graph{W: w, H: h, nd: nd}
+	n := w * h
+	g.adj = make([][]edge, n)
+	g.district = make([]int, n)
+	g.Congestion = make([]float64, nd*nd)
+	for i := range g.Congestion {
+		g.Congestion[i] = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			dx := x * nd / w
+			dy := y * nd / h
+			g.district[i] = dy*nd + dx
+			add := func(j int) {
+				g.adj[i] = append(g.adj[i], edge{to: j, freeFlow: rng.Uniform(30, 90)})
+			}
+			if x+1 < w {
+				add(i + 1)
+			}
+			if x > 0 {
+				add(i - 1)
+			}
+			if y+1 < h {
+				add(i + w)
+			}
+			if y > 0 {
+				add(i - w)
+			}
+		}
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.W * g.H }
+
+// EdgeCost returns the current travel time of edge k out of node i.
+func (g *Graph) EdgeCost(i, k int) float64 {
+	e := g.adj[i][k]
+	return e.freeFlow * g.Congestion[g.district[i]]
+}
+
+// SetTraffic updates district congestion from a diurnal pattern plus
+// localized incidents: t is simulated seconds; incidents inject sharp
+// multipliers into specific districts.
+func (g *Graph) SetTraffic(t float64, incidents map[int]float64) {
+	// Diurnal double-peak profile with period 24h (86400 s).
+	phase := 2 * math.Pi * t / 86400
+	base := 1 + 0.5*(math.Sin(phase-math.Pi/2)+1)/2 + 0.3*math.Max(0, math.Sin(2*phase))
+	for d := range g.Congestion {
+		g.Congestion[d] = base * (1 + 0.1*float64(d%3))
+		if m, ok := incidents[d]; ok {
+			g.Congestion[d] *= m
+		}
+	}
+}
+
+// Coarsen returns a graph at 1/factor resolution, used by the
+// approximate routing fidelity: route on the coarse graph, then scale.
+// Node (x,y) maps to coarse node (x/factor, y/factor).
+func (g *Graph) Coarsen(factor int) *Graph {
+	cw := (g.W + factor - 1) / factor
+	ch := (g.H + factor - 1) / factor
+	c := &Graph{W: cw, H: ch, nd: g.nd}
+	c.adj = make([][]edge, cw*ch)
+	c.district = make([]int, cw*ch)
+	c.Congestion = g.Congestion // shared view: coarse routing sees live traffic
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			i := y*cw + x
+			fx := x * factor
+			fy := y * factor
+			if fx >= g.W {
+				fx = g.W - 1
+			}
+			if fy >= g.H {
+				fy = g.H - 1
+			}
+			c.district[i] = g.district[fy*g.W+fx]
+			add := func(j int, cost float64) {
+				c.adj[i] = append(c.adj[i], edge{to: j, freeFlow: cost})
+			}
+			// Coarse edges approximate factor fine edges.
+			avg := 60.0 * float64(factor)
+			if x+1 < cw {
+				add(i+1, avg)
+			}
+			if x > 0 {
+				add(i-1, avg)
+			}
+			if y+1 < ch {
+				add(i+cw, avg)
+			}
+			if y > 0 {
+				add(i-cw, avg)
+			}
+		}
+	}
+	return c
+}
+
+// MapToCoarse converts a fine node id to the coarse id.
+func (g *Graph) MapToCoarse(fine, factor int) int {
+	x := (fine % g.W) / factor
+	y := (fine / g.W) / factor
+	cw := (g.W + factor - 1) / factor
+	ch := (g.H + factor - 1) / factor
+	if x >= cw {
+		x = cw - 1
+	}
+	if y >= ch {
+		y = ch - 1
+	}
+	return y*cw + x
+}
+
+// Coords returns the (x,y) of node i.
+func (g *Graph) Coords(i int) (int, int) { return i % g.W, i / g.W }
+
+// Validate checks structural invariants.
+func (g *Graph) Validate() error {
+	for i, edges := range g.adj {
+		for _, e := range edges {
+			if e.to < 0 || e.to >= g.N() {
+				return fmt.Errorf("nav: node %d has edge to %d out of range", i, e.to)
+			}
+			if e.freeFlow <= 0 {
+				return fmt.Errorf("nav: non-positive edge cost at node %d", i)
+			}
+		}
+	}
+	return nil
+}

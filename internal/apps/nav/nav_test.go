@@ -1,0 +1,184 @@
+package nav
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simhpc"
+)
+
+func testGraph() *Graph { return NewGraph(24, 24, 3, 7) }
+
+func TestGraphStructure(t *testing.T) {
+	g := testGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 576 {
+		t.Errorf("N = %d", g.N())
+	}
+	// Interior node has 4 neighbors, corner has 2.
+	if len(g.adj[g.W+1]) != 4 {
+		t.Errorf("interior degree %d", len(g.adj[g.W+1]))
+	}
+	if len(g.adj[0]) != 2 {
+		t.Errorf("corner degree %d", len(g.adj[0]))
+	}
+	x, y := g.Coords(g.W*3 + 5)
+	if x != 5 || y != 3 {
+		t.Errorf("coords: %d,%d", x, y)
+	}
+}
+
+func TestTrafficModel(t *testing.T) {
+	g := testGraph()
+	g.SetTraffic(0, nil)
+	base := append([]float64(nil), g.Congestion...)
+	for _, c := range base {
+		if c < 1 {
+			t.Errorf("congestion below free flow: %v", c)
+		}
+	}
+	// Rush hour (8h = 28800s) is worse than 3am (10800s).
+	g.SetTraffic(28800, nil)
+	rush := g.Congestion[0]
+	g.SetTraffic(10800, nil)
+	night := g.Congestion[0]
+	if rush <= night {
+		t.Errorf("rush %.2f should exceed night %.2f", rush, night)
+	}
+	// Incidents multiply locally.
+	g.SetTraffic(0, map[int]float64{2: 3.0})
+	g2 := testGraph()
+	g2.SetTraffic(0, nil)
+	if g.Congestion[2] <= g2.Congestion[2]*2 {
+		t.Errorf("incident not applied: %v vs %v", g.Congestion[2], g2.Congestion[2])
+	}
+}
+
+func TestDijkstraOptimalAndAStarAgrees(t *testing.T) {
+	g := testGraph()
+	g.SetTraffic(0, nil)
+	r := NewRouter(g)
+	rng := simhpc.NewRNG(3)
+	for i := 0; i < 25; i++ {
+		s := rng.Intn(g.N())
+		d := rng.Intn(g.N())
+		exact := r.Query(s, d, Exact)
+		astar := r.Query(s, d, AStar)
+		if !exact.Found || !astar.Found {
+			t.Fatalf("route %d->%d not found", s, d)
+		}
+		if math.Abs(exact.CostS-astar.CostS) > 1e-9 {
+			t.Errorf("A* cost %.3f != Dijkstra %.3f for %d->%d", astar.CostS, exact.CostS, s, d)
+		}
+		if astar.Expanded > exact.Expanded {
+			t.Errorf("A* expanded %d > Dijkstra %d", astar.Expanded, exact.Expanded)
+		}
+	}
+}
+
+func TestCoarseFidelityCheaperButApproximate(t *testing.T) {
+	g := testGraph()
+	g.SetTraffic(0, nil)
+	r := NewRouter(g)
+	rng := simhpc.NewRNG(5)
+	var exactExp, c4Exp, relErrSum float64
+	n := 30
+	for i := 0; i < n; i++ {
+		s := rng.Intn(g.N())
+		d := rng.Intn(g.N())
+		exact := r.Query(s, d, Exact)
+		c4 := r.Query(s, d, Coarse4)
+		exactExp += float64(exact.Expanded)
+		c4Exp += float64(c4.Expanded)
+		if exact.Found && exact.CostS > 0 && c4.Found {
+			relErrSum += math.Abs(c4.CostS-exact.CostS) / exact.CostS
+		}
+	}
+	if c4Exp >= exactExp/2 {
+		t.Errorf("coarse4 expansions %.0f should be far below exact %.0f", c4Exp, exactExp)
+	}
+	meanErr := relErrSum / float64(n)
+	if meanErr == 0 {
+		t.Error("coarse route should be approximate (some error expected)")
+	}
+	if meanErr > 1.0 {
+		t.Errorf("coarse route error %.2f unreasonably large", meanErr)
+	}
+}
+
+func TestSameCellCoarseFallsBack(t *testing.T) {
+	g := testGraph()
+	r := NewRouter(g)
+	// Two adjacent nodes: same coarse-4 cell, must still route exactly.
+	route := r.Query(0, 1, Coarse4)
+	if !route.Found || route.CostS <= 0 {
+		t.Errorf("fallback route: %+v", route)
+	}
+}
+
+func TestStormProfile(t *testing.T) {
+	load := StormProfile(10, 100, 1000, 2000)
+	if load(0) != 10 || load(5000) != 10 {
+		t.Error("base rate wrong")
+	}
+	if peak := load(1500); math.Abs(peak-100) > 1e-9 {
+		t.Errorf("peak: %v", peak)
+	}
+	if mid := load(1250); mid <= 10 || mid >= 100 {
+		t.Errorf("ramp: %v", mid)
+	}
+}
+
+// TestAdaptiveBeatsFixedUnderStorm is the use-case-2 claim: under a
+// request storm, the self-adaptive server holds its latency SLA by
+// dropping fidelity, while the fixed server racks up violations.
+func TestAdaptiveBeatsFixedUnderStorm(t *testing.T) {
+	load := StormProfile(2, 60, 600, 2400)
+	mk := func(adaptive bool) *Server {
+		g := NewGraph(24, 24, 3, 7)
+		s := NewServer(g, 3000, 0.5, 99)
+		s.Adaptive = adaptive
+		return s
+	}
+	fixed := Campaign(mk(false), 50, 60, load, 40)
+	adaptive := Campaign(mk(true), 50, 60, load, 40)
+
+	vFixed, vAdaptive := Violations(fixed), Violations(adaptive)
+	if vAdaptive >= vFixed {
+		t.Errorf("adaptive violations %d should be below fixed %d", vAdaptive, vFixed)
+	}
+	// Quality cost of adaptation is bounded: adaptive still ≥ 70 % mean
+	// quality, fixed is exact (≈1.0).
+	qFixed, qAdaptive := MeanQuality(fixed), MeanQuality(adaptive)
+	if qFixed < 0.99 {
+		t.Errorf("fixed quality %.3f should be ~1", qFixed)
+	}
+	if qAdaptive < 0.70 {
+		t.Errorf("adaptive quality %.3f collapsed", qAdaptive)
+	}
+	// The adaptive server actually moved the knob, and recovered after
+	// the storm (fidelity raised back toward exact).
+	sAd := mk(true)
+	stats := Campaign(sAd, 50, 60, load, 40)
+	if sAd.Adaptations == 0 {
+		t.Error("adaptive server never adapted")
+	}
+	last := stats[len(stats)-1]
+	if last.Fid == Coarse4 {
+		t.Errorf("fidelity should recover after the storm, still %s", last.Fid)
+	}
+}
+
+func TestEpochStatsRender(t *testing.T) {
+	g := testGraph()
+	s := NewServer(g, 50000, 0.5, 1)
+	st := s.RunEpoch(0, 5, 20)
+	if st.String() == "" || st.Fid != Exact {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Quality < 0.99 {
+		t.Errorf("exact fidelity quality %.3f should be ~1", st.Quality)
+	}
+}

@@ -1,0 +1,169 @@
+package nav
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Route is a computed itinerary.
+type Route struct {
+	// CostS is the travel time of the found route.
+	CostS float64
+	// Expanded counts settled nodes — the computational work, which the
+	// server's latency model charges for.
+	Expanded int
+	// Found reports reachability.
+	Found bool
+}
+
+// Fidelity selects the routing algorithm/quality trade-off — the
+// navigation server's main software knob.
+type Fidelity int
+
+// Fidelities, most accurate (and expensive) first.
+const (
+	Exact   Fidelity = iota // full Dijkstra
+	AStar                   // A* with admissible free-flow heuristic
+	Coarse2                 // A* on a 2x-coarsened graph
+	Coarse4                 // A* on a 4x-coarsened graph
+)
+
+// String names the fidelity level.
+func (f Fidelity) String() string {
+	switch f {
+	case Exact:
+		return "exact"
+	case AStar:
+		return "astar"
+	case Coarse2:
+		return "coarse2"
+	case Coarse4:
+		return "coarse4"
+	}
+	return "?"
+}
+
+// Fidelities lists all levels, most accurate first.
+func Fidelities() []Fidelity { return []Fidelity{Exact, AStar, Coarse2, Coarse4} }
+
+// Router answers route queries over a graph at any fidelity, caching the
+// coarsened graphs.
+type Router struct {
+	G       *Graph
+	coarse2 *Graph
+	coarse4 *Graph
+}
+
+// NewRouter builds a router (pre-coarsening the approximations).
+func NewRouter(g *Graph) *Router {
+	return &Router{G: g, coarse2: g.Coarsen(2), coarse4: g.Coarsen(4)}
+}
+
+// Query routes from s to t at the given fidelity.
+func (r *Router) Query(s, t int, f Fidelity) Route {
+	switch f {
+	case Exact:
+		return dijkstra(r.G, s, t, nil)
+	case AStar:
+		return dijkstra(r.G, s, t, heuristic(r.G, t))
+	case Coarse2:
+		return r.coarseQuery(r.coarse2, 2, s, t)
+	case Coarse4:
+		return r.coarseQuery(r.coarse4, 4, s, t)
+	}
+	return Route{}
+}
+
+func (r *Router) coarseQuery(cg *Graph, factor, s, t int) Route {
+	cs := r.G.MapToCoarse(s, factor)
+	ct := r.G.MapToCoarse(t, factor)
+	if cs == ct {
+		// Same coarse cell: fall back to exact local search (cheap).
+		return dijkstra(r.G, s, t, heuristic(r.G, t))
+	}
+	route := dijkstra(cg, cs, ct, heuristic(cg, ct))
+	return route
+}
+
+// heuristic returns an admissible lower bound: Manhattan distance times
+// the minimum conceivable edge time (30 s at congestion 1).
+func heuristic(g *Graph, t int) func(int) float64 {
+	tx, ty := g.Coords(t)
+	return func(i int) float64 {
+		x, y := g.Coords(i)
+		return float64(abs(x-tx)+abs(y-ty)) * 30
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// dijkstra runs Dijkstra (h == nil) or A* (h != nil) from s to t.
+func dijkstra(g *Graph, s, t int, h func(int) float64) Route {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	settled := make([]bool, n)
+	dist[s] = 0
+	pq := &nodeHeap{}
+	heap.Init(pq)
+	prio := 0.0
+	if h != nil {
+		prio = h(s)
+	}
+	heap.Push(pq, nodeItem{id: s, prio: prio})
+	expanded := 0
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.id
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		expanded++
+		if u == t {
+			return Route{CostS: dist[u], Expanded: expanded, Found: true}
+		}
+		for k := range g.adj[u] {
+			v := g.adj[u][k].to
+			if settled[v] {
+				continue
+			}
+			nd := dist[u] + g.EdgeCost(u, k)
+			if nd < dist[v] {
+				dist[v] = nd
+				prio := nd
+				if h != nil {
+					prio += h(v)
+				}
+				heap.Push(pq, nodeItem{id: v, prio: prio})
+			}
+		}
+	}
+	return Route{Expanded: expanded, Found: false}
+}
+
+type nodeItem struct {
+	id   int
+	prio float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,213 @@
+package nav
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/monitor"
+	"repro/internal/simhpc"
+)
+
+// Server is the navigation back end: it serves route requests at a
+// configurable fidelity from a finite expansion budget per second, and —
+// in adaptive mode — moves the fidelity knob through an SLA-driven
+// monitor loop, trading route quality for latency exactly when the
+// request storm demands it.
+type Server struct {
+	Router *Router
+	// Fid is the current fidelity knob setting.
+	Fid Fidelity
+	// ExpansionRatePerS is the server's compute capacity in node
+	// expansions per second.
+	ExpansionRatePerS float64
+	// LatencySLA is the p95 latency target in seconds.
+	LatencySLA float64
+	// Adaptive enables the monitor-driven fidelity controller.
+	Adaptive bool
+
+	loop *monitor.Loop
+	rng  *simhpc.RNG
+	// headroomRun counts consecutive epochs with large latency headroom
+	// (used to raise fidelity back).
+	headroomRun int
+	// Adaptations counts knob moves.
+	Adaptations int
+}
+
+// NewServer builds a server over g with the given capacity and SLA.
+func NewServer(g *Graph, expansionRate, latencySLA float64, seed uint64) *Server {
+	s := &Server{
+		Router:            NewRouter(g),
+		Fid:               Exact,
+		ExpansionRatePerS: expansionRate,
+		LatencySLA:        latencySLA,
+		rng:               simhpc.NewRNG(seed),
+	}
+	sla := monitor.SLA{Name: "nav", Goals: []monitor.Goal{
+		{Metric: monitor.MetricLatency, Stat: "p95", Relation: monitor.AtMost, Target: latencySLA},
+	}}
+	s.loop = monitor.NewLoop(sla, 64, 2, func(d monitor.Decision, _ map[string]monitor.Summary) {
+		s.lowerFidelity()
+	})
+	return s
+}
+
+func (s *Server) lowerFidelity() {
+	if int(s.Fid) < len(Fidelities())-1 {
+		s.Fid++
+		s.Adaptations++
+	}
+}
+
+func (s *Server) raiseFidelity() {
+	if s.Fid > Exact {
+		s.Fid--
+		s.Adaptations++
+	}
+}
+
+// EpochStats summarizes one served epoch.
+type EpochStats struct {
+	TimeS       float64
+	Lambda      float64 // offered request rate (req/s)
+	Fid         Fidelity
+	MeanLatency float64
+	P95Latency  float64
+	Quality     float64 // mean route quality vs exact in [0,1]
+	Violated    bool
+	Utilization float64
+}
+
+// String renders the epoch row.
+func (e EpochStats) String() string {
+	return fmt.Sprintf("t=%6.0fs λ=%5.1f/s fid=%-7s lat(mean)=%6.3fs p95=%6.3fs q=%.3f util=%4.0f%% viol=%v",
+		e.TimeS, e.Lambda, e.Fid, e.MeanLatency, e.P95Latency, e.Quality, e.Utilization*100, e.Violated)
+}
+
+// RunEpoch serves one epoch at simulated time t with offered load lambda
+// (requests/second), sampling nSample queries to estimate cost and
+// quality. Latency follows an M/D/1-style queueing model on the
+// expansion budget; overload saturates instead of diverging.
+func (s *Server) RunEpoch(t, lambda float64, nSample int) EpochStats {
+	g := s.Router.G
+	var totalExp float64
+	var quality float64
+	qSamples := 0
+	var latencies []float64
+	for i := 0; i < nSample; i++ {
+		from := s.rng.Intn(g.N())
+		to := s.rng.Intn(g.N())
+		route := s.Router.Query(from, to, s.Fid)
+		totalExp += float64(route.Expanded)
+		// Quality against exact ground truth on a subsample (expensive).
+		if i < nSample/4 {
+			exact := s.Router.Query(from, to, Exact)
+			if exact.Found && exact.CostS > 0 && route.Found {
+				relErr := math.Abs(route.CostS-exact.CostS) / exact.CostS
+				quality += 1 / (1 + relErr)
+			} else if route.Found == exact.Found {
+				quality += 1
+			}
+			qSamples++
+		}
+	}
+	meanExp := totalExp / float64(nSample)
+	service := meanExp / s.ExpansionRatePerS
+	rho := lambda * service
+	var meanLat float64
+	switch {
+	case rho < 0.98:
+		// M/D/1 mean wait: ρ·S / (2(1-ρ)).
+		meanLat = service + rho*service/(2*(1-rho))
+	default:
+		// Saturated: latency grows with the backlog accumulated over the
+		// epoch; cap to keep numbers finite.
+		meanLat = service * 50 * rho
+	}
+	// Per-request jitter around the queueing mean feeds the p95 monitor.
+	for i := 0; i < nSample; i++ {
+		jitter := s.rng.LogNormal(0, 0.35)
+		lat := meanLat * jitter
+		latencies = append(latencies, lat)
+		s.loop.Metrics.Push(monitor.MetricLatency, lat)
+	}
+	stats := EpochStats{
+		TimeS:       t,
+		Lambda:      lambda,
+		Fid:         s.Fid,
+		MeanLatency: meanLat,
+		Quality:     quality / math.Max(1, float64(qSamples)),
+		Utilization: math.Min(rho, 1),
+	}
+	w := monitor.NewWindow(len(latencies))
+	for _, l := range latencies {
+		w.Push(l)
+	}
+	stats.P95Latency = w.Percentile(95)
+	stats.Violated = stats.P95Latency > s.LatencySLA
+
+	if s.Adaptive {
+		s.loop.Tick()
+		// Raise fidelity back when sustained headroom appears.
+		if stats.P95Latency < s.LatencySLA/3 && rho < 0.4 {
+			s.headroomRun++
+			if s.headroomRun >= 3 {
+				s.raiseFidelity()
+				s.headroomRun = 0
+			}
+		} else {
+			s.headroomRun = 0
+		}
+	}
+	return stats
+}
+
+// StormProfile returns the offered load at time t: a base rate with a
+// storm surge between tStart and tEnd (the §VII-b "variable workload").
+func StormProfile(base, peak, tStart, tEnd float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t >= tStart && t < tEnd {
+			// Ramp up and down within the storm window.
+			mid := (tStart + tEnd) / 2
+			half := (tEnd - tStart) / 2
+			frac := 1 - math.Abs(t-mid)/half
+			return base + (peak-base)*frac
+		}
+		return base
+	}
+}
+
+// Campaign runs epochs over a storm and returns the stats series —
+// the data behind the fixed-vs-adaptive comparison.
+func Campaign(server *Server, epochs int, epochLen float64, load func(float64) float64, nSample int) []EpochStats {
+	var out []EpochStats
+	for i := 0; i < epochs; i++ {
+		t := float64(i) * epochLen
+		server.Router.G.SetTraffic(t, nil)
+		out = append(out, server.RunEpoch(t, load(t), nSample))
+	}
+	return out
+}
+
+// Violations counts SLA-violating epochs.
+func Violations(stats []EpochStats) int {
+	n := 0
+	for _, s := range stats {
+		if s.Violated {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanQuality averages route quality over the series.
+func MeanQuality(stats []EpochStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var q float64
+	for _, s := range stats {
+		q += s.Quality
+	}
+	return q / float64(len(stats))
+}

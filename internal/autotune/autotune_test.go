@@ -1,0 +1,293 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simhpc"
+)
+
+func testSpace() *Space {
+	return NewSpace(
+		IntKnob("block", 1, 8, 1),                                  // 8 levels
+		IntKnob("threads", 1, 16, 1),                               // 16 levels
+		VariantKnob("variant", "scalar", "vectorized", "unrolled"), // 3
+	)
+}
+
+// quadratic cost with optimum at block=4, threads=8, variant=vectorized.
+func testObjective(cfg Config) Measurement {
+	b := cfg["block"] - 4
+	th := cfg["threads"] - 8
+	v := 0.0
+	if cfg["variant"] != 1 {
+		v = 5
+	}
+	return Measurement{Cost: b*b + th*th/4 + v}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := testSpace()
+	if s.RawSize() != 8*16*3 {
+		t.Errorf("raw size %d", s.RawSize())
+	}
+	if s.Size() != s.RawSize() {
+		t.Errorf("unconstrained size %d != raw %d", s.Size(), s.RawSize())
+	}
+	p := Point{3, 7, 1}
+	cfg := s.At(p)
+	if cfg["block"] != 4 || cfg["threads"] != 8 || cfg["variant"] != 1 {
+		t.Errorf("At: %v", cfg)
+	}
+	if s.Describe(p) == "" || p.Key() != "3,7,1" {
+		t.Errorf("describe/key: %q %q", s.Describe(p), p.Key())
+	}
+	n := s.Neighbors(Point{0, 0, 0})
+	if len(n) != 3 {
+		t.Errorf("corner neighbors: %d, want 3", len(n))
+	}
+	n = s.Neighbors(Point{3, 7, 1})
+	if len(n) != 6 {
+		t.Errorf("interior neighbors: %d, want 6", len(n))
+	}
+}
+
+func TestGreyBoxConstraintShrinksSpace(t *testing.T) {
+	s := testSpace()
+	raw := s.Size()
+	// Annotation: power-of-two thread counts only, vectorized variants
+	// need block >= 2.
+	s.Constrain(func(p Point) bool {
+		th := int(s.Knobs[1].Level(p[1]))
+		return th&(th-1) == 0
+	}).Constrain(func(p Point) bool {
+		return !(p[2] == 1 && s.Knobs[0].Level(p[0]) < 2)
+	})
+	shrunk := s.Size()
+	if shrunk >= raw {
+		t.Fatalf("constraints did not shrink: %d >= %d", shrunk, raw)
+	}
+	// 5 power-of-two thread levels (1,2,4,8,16) -> 8*5*3 minus vectorized
+	// with block 1 (1*5*1 = 5) = 120-5=115.
+	if shrunk != 115 {
+		t.Errorf("shrunk size %d, want 115", shrunk)
+	}
+	s.Enumerate(func(p Point) bool {
+		if !s.Valid(p) {
+			t.Fatalf("enumerate yielded invalid point %v", p)
+		}
+		return true
+	})
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	s := testSpace()
+	tu := NewTuner(s, &Exhaustive{}, testObjective)
+	best, m, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost != 0 {
+		t.Errorf("best cost %v at %s", m.Cost, s.Describe(best))
+	}
+	if len(tu.History.Evals) != s.Size() {
+		t.Errorf("evals %d != size %d", len(tu.History.Evals), s.Size())
+	}
+}
+
+func TestRandomSearchRespectsBudgetAndConstraints(t *testing.T) {
+	s := testSpace()
+	s.Constrain(func(p Point) bool { return p[0] != 0 })
+	rs := &RandomSearch{Budget: 50, Rng: simhpc.NewRNG(1)}
+	tu := NewTuner(s, rs, testObjective)
+	_, _, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tu.History.Evals) != 50 {
+		t.Errorf("evals: %d", len(tu.History.Evals))
+	}
+	for _, e := range tu.History.Evals {
+		if e.Point[0] == 0 {
+			t.Fatalf("constraint violated: %v", e.Point)
+		}
+	}
+}
+
+func TestHillClimbConverges(t *testing.T) {
+	s := testSpace()
+	hc := &HillClimb{Budget: 200, Restarts: 4, Rng: simhpc.NewRNG(3)}
+	tu := NewTuner(s, hc, testObjective)
+	best, m, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost > 1.0 {
+		t.Errorf("hill climb best %v at %s", m.Cost, s.Describe(best))
+	}
+	if len(tu.History.Evals) > 200 {
+		t.Errorf("budget exceeded: %d", len(tu.History.Evals))
+	}
+}
+
+func TestAnnealingConverges(t *testing.T) {
+	s := testSpace()
+	an := &Annealing{Budget: 300, T0: 1.0, Alpha: 0.97, Rng: simhpc.NewRNG(7)}
+	tu := NewTuner(s, an, testObjective)
+	_, m, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost > 2.0 {
+		t.Errorf("annealing best %v", m.Cost)
+	}
+}
+
+func TestUCBFocusesOnGoodArms(t *testing.T) {
+	// Small space so the bandit can sweep all arms.
+	s := NewSpace(IntKnob("x", 0, 4, 1), IntKnob("y", 0, 4, 1))
+	rng := simhpc.NewRNG(11)
+	noisy := func(cfg Config) Measurement {
+		d := math.Abs(cfg["x"]-2) + math.Abs(cfg["y"]-2)
+		return Measurement{Cost: d + rng.Uniform(-0.2, 0.2)}
+	}
+	ucb := &UCB{Budget: 300, C: 0.5}
+	tu := NewTuner(s, ucb, noisy)
+	best, _, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key() != "2,2" {
+		// Allow one step of noise-induced error.
+		d := math.Abs(float64(best[0])-2) + math.Abs(float64(best[1])-2)
+		if d > 1 {
+			t.Errorf("UCB best %v, want near (2,2)", best)
+		}
+	}
+	// Pulls concentrate: the optimum arm is played far more than corners.
+	plays := map[string]int{}
+	for _, e := range tu.History.Evals {
+		plays[e.Point.Key()]++
+	}
+	if plays["2,2"] <= plays["0,0"] {
+		t.Errorf("UCB did not focus: center=%d corner=%d", plays["2,2"], plays["0,0"])
+	}
+}
+
+// TestGreyBoxConvergesFaster reproduces the §IV grey-box argument: code
+// annotations shrink the space, so the same strategy converges in fewer
+// evaluations than on the raw black-box space.
+func TestGreyBoxConvergesFaster(t *testing.T) {
+	mk := func() *Space {
+		return NewSpace(
+			IntKnob("block", 1, 16, 1),
+			IntKnob("threads", 1, 32, 1),
+			VariantKnob("variant", "scalar", "vectorized", "unrolled", "tiled"),
+		)
+	}
+	obj := func(cfg Config) Measurement {
+		b := cfg["block"] - 8
+		th := cfg["threads"] - 16
+		v := 0.0
+		if cfg["variant"] != 1 {
+			v = 10
+		}
+		return Measurement{Cost: b*b + th*th/4 + v}
+	}
+	runOnce := func(space *Space, seed uint64) int {
+		tu := NewTuner(space, &RandomSearch{Budget: 400, Rng: simhpc.NewRNG(seed)}, obj)
+		if _, _, err := tu.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return tu.History.EvalsToWithin(0.05)
+	}
+	var blackSum, greySum int
+	for seed := uint64(1); seed <= 5; seed++ {
+		blackSum += runOnce(mk(), seed)
+		grey := mk()
+		// Annotations: domain expert knows threads is a power of two and
+		// the vectorized variant dominates.
+		grey.Constrain(func(p Point) bool {
+			th := int(grey.Knobs[1].Level(p[1]))
+			return th&(th-1) == 0
+		}).Constrain(func(p Point) bool { return p[2] == 1 })
+		greySum += runOnce(grey, seed)
+	}
+	if greySum >= blackSum {
+		t.Errorf("grey-box (%d evals avg) should converge faster than black-box (%d)",
+			greySum/5, blackSum/5)
+	}
+}
+
+func TestTunerOnlineLearningAndRetune(t *testing.T) {
+	s := NewSpace(VariantKnob("path", "A", "B"))
+	phase := 0
+	obj := func(cfg Config) Measurement {
+		// Phase 0: A (idx 0) is better. Phase 1: B is better.
+		if cfg["path"] == float64(phase) {
+			return Measurement{Cost: 1}
+		}
+		return Measurement{Cost: 2}
+	}
+	tu := NewTuner(s, &Exhaustive{}, obj)
+	best, _, err := tu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key() != "0" {
+		t.Fatalf("phase-0 best: %v", best)
+	}
+	// Conditions drift: the deployed config A degrades. Observe feeds the
+	// drift into the knowledge base until B's estimate wins.
+	phase = 1
+	for i := 0; i < 20; i++ {
+		tu.Observe(3.0) // live cost of A now worse than B's recorded 2.0
+	}
+	if !tu.Retune(0.1) {
+		t.Fatal("retune should fire after drift")
+	}
+	if tu.Applied().Key() != "1" {
+		t.Errorf("applied after retune: %v", tu.Applied())
+	}
+	// No further switch when already on the best.
+	if tu.Retune(0.1) {
+		t.Error("retune should be stable")
+	}
+}
+
+func TestHistoryEvalsToWithin(t *testing.T) {
+	s := NewSpace(IntKnob("x", 0, 9, 1))
+	h := NewHistory(s)
+	costs := []float64{10, 8, 8, 3, 3, 2.9}
+	for i, c := range costs {
+		h.Record(Point{i}, Measurement{Cost: c})
+	}
+	// Final best 2.9; within 5% → ≤3.045, first reached at eval 4 (cost 3).
+	if got := h.EvalsToWithin(0.05); got != 4 {
+		t.Errorf("EvalsToWithin = %d, want 4", got)
+	}
+	best, ok := h.Best()
+	if !ok || best.M.Cost != 2.9 {
+		t.Errorf("best: %+v", best)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := Point{int(a), int(b), int(c)}
+		return parseKey(p.Key()).Key() == p.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyStrategyErrors(t *testing.T) {
+	s := NewSpace(IntKnob("x", 0, 1, 1))
+	s.Constrain(func(Point) bool { return false }) // empty space
+	tu := NewTuner(s, &Exhaustive{}, func(Config) Measurement { return Measurement{} })
+	if _, _, err := tu.Run(0); err == nil {
+		t.Error("empty space should error")
+	}
+}

@@ -1,0 +1,118 @@
+package autotune
+
+import "sort"
+
+// The paper frames autotuning as navigating performance/energy
+// trade-offs ("identify the best compiler optimizations ... by
+// considering possible trade-offs", §III-B; operating points trading
+// time for energy, §V). This file adds the multi-objective view: each
+// configuration is measured on several objectives and the tuner exposes
+// the Pareto-optimal frontier, from which an SLA picks the operating
+// point — the mARGOt-style operating-point list.
+
+// MultiMeasurement is one observation across named objectives (all
+// minimized; negate maximization metrics before recording).
+type MultiMeasurement struct {
+	Objectives map[string]float64
+}
+
+// MultiEval pairs a point with its multi-objective measurement.
+type MultiEval struct {
+	Point Point
+	M     MultiMeasurement
+}
+
+// Dominates reports whether a is no worse than b on every objective and
+// strictly better on at least one (both must cover the same objectives;
+// missing keys count as +inf for the side missing them).
+func Dominates(a, b MultiMeasurement) bool {
+	strictlyBetter := false
+	for k, av := range a.Objectives {
+		bv, ok := b.Objectives[k]
+		if !ok {
+			strictlyBetter = true
+			continue
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strictlyBetter = true
+		}
+	}
+	for k := range b.Objectives {
+		if _, ok := a.Objectives[k]; !ok {
+			return false // a missing an objective b has: not comparable in a's favor
+		}
+	}
+	return strictlyBetter
+}
+
+// ParetoFront maintains the set of non-dominated evaluations.
+type ParetoFront struct {
+	evals []MultiEval
+}
+
+// Add inserts an evaluation, dropping any now-dominated members, and
+// reports whether the new evaluation survived (is non-dominated).
+func (pf *ParetoFront) Add(p Point, m MultiMeasurement) bool {
+	for _, e := range pf.evals {
+		if Dominates(e.M, m) {
+			return false
+		}
+	}
+	kept := pf.evals[:0]
+	for _, e := range pf.evals {
+		if !Dominates(m, e.M) {
+			kept = append(kept, e)
+		}
+	}
+	pf.evals = append(kept, MultiEval{Point: p.Clone(), M: m})
+	return true
+}
+
+// Size returns the frontier cardinality.
+func (pf *ParetoFront) Size() int { return len(pf.evals) }
+
+// Members returns the frontier sorted by the given objective ascending.
+func (pf *ParetoFront) Members(sortBy string) []MultiEval {
+	out := append([]MultiEval(nil), pf.evals...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].M.Objectives[sortBy] < out[j].M.Objectives[sortBy]
+	})
+	return out
+}
+
+// PickUnder returns the frontier member minimizing objective `minimize`
+// among those whose `bounded` objective is at most limit — the SLA-driven
+// operating-point selection (e.g. min energy s.t. time ≤ deadline).
+// ok=false when no member satisfies the bound.
+func (pf *ParetoFront) PickUnder(minimize, bounded string, limit float64) (MultiEval, bool) {
+	var best MultiEval
+	found := false
+	for _, e := range pf.evals {
+		if e.M.Objectives[bounded] > limit {
+			continue
+		}
+		if !found || e.M.Objectives[minimize] < best.M.Objectives[minimize] {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// MultiObjective evaluates a configuration on several objectives.
+type MultiObjective func(Config) MultiMeasurement
+
+// ExploreFront enumerates the (annotated) space, evaluates every point,
+// and returns the Pareto frontier. Intended for the modest spaces that
+// grey-box annotations produce; larger spaces can feed Add from any
+// search strategy instead.
+func ExploreFront(space *Space, obj MultiObjective) *ParetoFront {
+	pf := &ParetoFront{}
+	space.Enumerate(func(p Point) bool {
+		pf.Add(p, obj(space.At(p)))
+		return true
+	})
+	return pf
+}

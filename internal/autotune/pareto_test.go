@@ -1,0 +1,128 @@
+package autotune
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mm(time, energy float64) MultiMeasurement {
+	return MultiMeasurement{Objectives: map[string]float64{"time": time, "energy": energy}}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b MultiMeasurement
+		want bool
+	}{
+		{mm(1, 1), mm(2, 2), true},
+		{mm(1, 2), mm(2, 1), false},
+		{mm(2, 1), mm(1, 2), false},
+		{mm(1, 1), mm(1, 1), false}, // equal: no strict improvement
+		{mm(1, 1), mm(1, 2), true},
+	}
+	for i, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Dominates=%v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestParetoFrontMaintenance(t *testing.T) {
+	pf := &ParetoFront{}
+	if !pf.Add(Point{0}, mm(5, 5)) {
+		t.Error("first add must survive")
+	}
+	if pf.Add(Point{1}, mm(6, 6)) {
+		t.Error("dominated add must be rejected")
+	}
+	if !pf.Add(Point{2}, mm(3, 7)) || !pf.Add(Point{3}, mm(7, 3)) {
+		t.Error("trade-off points must survive")
+	}
+	if pf.Size() != 3 {
+		t.Fatalf("size %d, want 3", pf.Size())
+	}
+	// A dominating point evicts what it dominates.
+	if !pf.Add(Point{4}, mm(2, 4)) {
+		t.Error("dominating add must survive")
+	}
+	// (2,4) dominates (3,7)? 2<3 and 4<7 → yes, and (5,5)? 2<5,4<5 → yes.
+	if pf.Size() != 2 { // survivors: (2,4) and (7,3)
+		t.Fatalf("size after eviction %d, want 2", pf.Size())
+	}
+	members := pf.Members("time")
+	if members[0].M.Objectives["time"] != 2 || members[1].M.Objectives["time"] != 7 {
+		t.Errorf("members: %+v", members)
+	}
+}
+
+func TestPickUnder(t *testing.T) {
+	pf := &ParetoFront{}
+	pf.Add(Point{0}, mm(1, 10)) // fast, hungry
+	pf.Add(Point{1}, mm(4, 4))
+	pf.Add(Point{2}, mm(9, 1)) // slow, frugal
+	// Min energy subject to time <= 5: picks (4,4).
+	e, ok := pf.PickUnder("energy", "time", 5)
+	if !ok || e.M.Objectives["energy"] != 4 {
+		t.Errorf("PickUnder: %+v ok=%v", e, ok)
+	}
+	// Infeasible bound.
+	if _, ok := pf.PickUnder("energy", "time", 0.5); ok {
+		t.Error("infeasible bound should fail")
+	}
+	// Loose bound: min energy overall.
+	e, ok = pf.PickUnder("energy", "time", 100)
+	if !ok || e.M.Objectives["energy"] != 1 {
+		t.Errorf("loose bound: %+v", e)
+	}
+}
+
+// Property: no frontier member dominates another.
+func TestFrontInternallyNonDominatedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		pf := &ParetoFront{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			pf.Add(Point{i}, mm(float64(raw[i]%100), float64(raw[i+1]%100)))
+		}
+		ms := pf.Members("time")
+		for i := range ms {
+			for j := range ms {
+				if i != j && Dominates(ms[i].M, ms[j].M) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExploreFrontDVFSLike mimics the RTRM operating-point list: a
+// frequency knob trading time for energy produces a full-ladder
+// frontier, and the SLA picks interior points.
+func TestExploreFrontDVFSLike(t *testing.T) {
+	space := NewSpace(IntKnob("pstate", 0, 7, 1))
+	obj := func(cfg Config) MultiMeasurement {
+		f := 1.2 + 0.2*cfg["pstate"] // GHz
+		time := 100 / f
+		energy := (30 + 25*f*f) * time / 100
+		return mm(time, energy)
+	}
+	pf := ExploreFront(space, obj)
+	if pf.Size() < 2 {
+		t.Fatalf("frontier size %d; DVFS ladder should expose a trade-off", pf.Size())
+	}
+	fast, ok := pf.PickUnder("energy", "time", 45)
+	if !ok {
+		t.Fatal("no point meets time<=45")
+	}
+	frugal, ok := pf.PickUnder("energy", "time", 100)
+	if !ok {
+		t.Fatal("no point meets time<=100")
+	}
+	if fast.M.Objectives["energy"] <= frugal.M.Objectives["energy"] {
+		t.Errorf("tighter deadline should cost energy: %v vs %v",
+			fast.M.Objectives["energy"], frugal.M.Objectives["energy"])
+	}
+}

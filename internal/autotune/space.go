@@ -1,0 +1,193 @@
+// Package autotune implements the ANTAREX application autotuning
+// framework of §IV — a grey-box autotuner in the mARGOt tradition:
+//
+//   - software knobs (application parameters, code variants, precision)
+//     span a discrete design space;
+//   - grey-box annotations shrink the search space using code knowledge
+//     ("it can rely on code annotations to shrink the search space by
+//     focusing the autotuner on a certain sub-space");
+//   - several search strategies (exhaustive, random, hill-climbing,
+//     simulated annealing, UCB bandit) share one ask-tell interface;
+//   - an online knowledge base updated by continuous learning supports
+//     re-tuning "according to the most recent operating conditions".
+package autotune
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Knob is one tunable software control: a named, ordered set of discrete
+// values. Values carry float64 payloads; Labels (optional) name code
+// variants or categorical settings.
+type Knob struct {
+	Name   string
+	Values []float64
+	Labels []string // optional, parallel to Values
+}
+
+// Level returns the value at index i.
+func (k *Knob) Level(i int) float64 { return k.Values[i] }
+
+// Label returns the label at index i (or the value rendered).
+func (k *Knob) Label(i int) string {
+	if i < len(k.Labels) {
+		return k.Labels[i]
+	}
+	return fmt.Sprintf("%g", k.Values[i])
+}
+
+// Space is a discrete design space: the cartesian product of knob
+// levels, optionally filtered by constraints (the grey-box annotations).
+type Space struct {
+	Knobs       []Knob
+	constraints []func(Point) bool
+}
+
+// NewSpace builds a space over the given knobs.
+func NewSpace(knobs ...Knob) *Space { return &Space{Knobs: knobs} }
+
+// Point is one configuration: a level index per knob.
+type Point []int
+
+// Key renders a point as a stable map key.
+func (p Point) Key() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Clone copies the point.
+func (p Point) Clone() Point { return append(Point(nil), p...) }
+
+// Config resolves a point into named knob values.
+type Config map[string]float64
+
+// At resolves point p into a Config.
+func (s *Space) At(p Point) Config {
+	cfg := make(Config, len(s.Knobs))
+	for i, k := range s.Knobs {
+		cfg[k.Name] = k.Level(p[i])
+	}
+	return cfg
+}
+
+// Describe renders a point with knob names and labels.
+func (s *Space) Describe(p Point) string {
+	parts := make([]string, len(s.Knobs))
+	for i, k := range s.Knobs {
+		parts[i] = fmt.Sprintf("%s=%s", k.Name, k.Label(p[i]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Constrain adds a grey-box annotation: only points satisfying pred are
+// part of the space. Returns the space for chaining.
+func (s *Space) Constrain(pred func(Point) bool) *Space {
+	s.constraints = append(s.constraints, pred)
+	return s
+}
+
+// Valid reports whether p satisfies all annotations.
+func (s *Space) Valid(p Point) bool {
+	for _, c := range s.constraints {
+		if !c(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// RawSize is the unconstrained cartesian size.
+func (s *Space) RawSize() int {
+	n := 1
+	for _, k := range s.Knobs {
+		n *= len(k.Values)
+	}
+	return n
+}
+
+// Size counts valid points (enumerates; intended for modest spaces).
+func (s *Space) Size() int {
+	n := 0
+	s.Enumerate(func(Point) bool { n++; return true })
+	return n
+}
+
+// Enumerate visits every valid point in lexicographic order; the visitor
+// returns false to stop early.
+func (s *Space) Enumerate(visit func(Point) bool) {
+	p := make(Point, len(s.Knobs))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(s.Knobs) {
+			if s.Valid(p) {
+				return visit(p.Clone())
+			}
+			return true
+		}
+		for v := 0; v < len(s.Knobs[i].Values); v++ {
+			p[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Neighbors returns the valid one-step neighbors of p (±1 on a single
+// knob) — the move set of local search strategies.
+func (s *Space) Neighbors(p Point) []Point {
+	var out []Point
+	for i := range p {
+		for _, d := range []int{-1, 1} {
+			v := p[i] + d
+			if v < 0 || v >= len(s.Knobs[i].Values) {
+				continue
+			}
+			q := p.Clone()
+			q[i] = v
+			if s.Valid(q) {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// Center returns the mid-level point (clamped into validity by scanning
+// forward when constrained).
+func (s *Space) Center() Point {
+	p := make(Point, len(s.Knobs))
+	for i, k := range s.Knobs {
+		p[i] = len(k.Values) / 2
+	}
+	if s.Valid(p) {
+		return p
+	}
+	var first Point
+	s.Enumerate(func(q Point) bool { first = q; return false })
+	return first
+}
+
+// IntKnob builds a knob over the integers [lo, hi] with the given step.
+func IntKnob(name string, lo, hi, step int) Knob {
+	var vals []float64
+	for v := lo; v <= hi; v += step {
+		vals = append(vals, float64(v))
+	}
+	return Knob{Name: name, Values: vals}
+}
+
+// VariantKnob builds a categorical knob over labeled code variants.
+func VariantKnob(name string, labels ...string) Knob {
+	vals := make([]float64, len(labels))
+	for i := range labels {
+		vals[i] = float64(i)
+	}
+	return Knob{Name: name, Values: vals, Labels: labels}
+}

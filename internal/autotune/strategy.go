@@ -1,0 +1,360 @@
+package autotune
+
+import (
+	"math"
+
+	"repro/internal/simhpc"
+)
+
+// Measurement is one observation of a configuration: the scalar cost to
+// minimize plus any auxiliary metrics for SLA checking.
+type Measurement struct {
+	Cost    float64
+	Metrics map[string]float64
+}
+
+// Eval is a (point, measurement) pair in the tuning history.
+type Eval struct {
+	Point Point
+	M     Measurement
+}
+
+// History accumulates evaluations and answers best-so-far queries.
+type History struct {
+	Space *Space
+	Evals []Eval
+	seen  map[string]int // point key -> index of first eval
+}
+
+// NewHistory returns an empty history over space.
+func NewHistory(space *Space) *History {
+	return &History{Space: space, seen: make(map[string]int)}
+}
+
+// Record appends an evaluation.
+func (h *History) Record(p Point, m Measurement) {
+	if _, ok := h.seen[p.Key()]; !ok {
+		h.seen[p.Key()] = len(h.Evals)
+	}
+	h.Evals = append(h.Evals, Eval{Point: p.Clone(), M: m})
+}
+
+// Seen reports whether p was ever evaluated.
+func (h *History) Seen(p Point) bool {
+	_, ok := h.seen[p.Key()]
+	return ok
+}
+
+// Best returns the lowest-cost evaluation (ok=false when empty).
+func (h *History) Best() (Eval, bool) {
+	if len(h.Evals) == 0 {
+		return Eval{}, false
+	}
+	best := h.Evals[0]
+	for _, e := range h.Evals[1:] {
+		if e.M.Cost < best.M.Cost {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// EvalsToWithin returns how many evaluations were needed before the
+// running best came within frac of the final best cost (convergence
+// speed metric for the grey-box benchmark).
+func (h *History) EvalsToWithin(frac float64) int {
+	best, ok := h.Best()
+	if !ok {
+		return 0
+	}
+	threshold := best.M.Cost * (1 + frac)
+	running := math.Inf(1)
+	for i, e := range h.Evals {
+		if e.M.Cost < running {
+			running = e.M.Cost
+		}
+		if running <= threshold {
+			return i + 1
+		}
+	}
+	return len(h.Evals)
+}
+
+// Strategy proposes the next point to evaluate (ask-tell interface).
+// Next returns ok=false when the strategy has nothing more to propose.
+type Strategy interface {
+	Name() string
+	Next(h *History) (Point, bool)
+}
+
+// Exhaustive enumerates the whole (annotated) space once.
+type Exhaustive struct {
+	points []Point
+	idx    int
+	init   bool
+}
+
+// Name implements Strategy.
+func (e *Exhaustive) Name() string { return "exhaustive" }
+
+// Next implements Strategy.
+func (e *Exhaustive) Next(h *History) (Point, bool) {
+	if !e.init {
+		h.Space.Enumerate(func(p Point) bool {
+			e.points = append(e.points, p)
+			return true
+		})
+		e.init = true
+	}
+	if e.idx >= len(e.points) {
+		return nil, false
+	}
+	p := e.points[e.idx]
+	e.idx++
+	return p, true
+}
+
+// RandomSearch samples valid points uniformly (with replacement) up to a
+// budget.
+type RandomSearch struct {
+	Budget int
+	Rng    *simhpc.RNG
+	n      int
+}
+
+// Name implements Strategy.
+func (r *RandomSearch) Name() string { return "random" }
+
+// Next implements Strategy.
+func (r *RandomSearch) Next(h *History) (Point, bool) {
+	if r.n >= r.Budget {
+		return nil, false
+	}
+	for tries := 0; tries < 1000; tries++ {
+		p := make(Point, len(h.Space.Knobs))
+		for i, k := range h.Space.Knobs {
+			p[i] = r.Rng.Intn(len(k.Values))
+		}
+		if h.Space.Valid(p) {
+			r.n++
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// HillClimb is steepest-descent local search with random restarts.
+type HillClimb struct {
+	Budget   int
+	Restarts int
+	Rng      *simhpc.RNG
+
+	n        int
+	cur      Point
+	curCost  float64
+	pending  []Point // unevaluated neighbors of cur
+	restarts int
+	started  bool
+}
+
+// Name implements Strategy.
+func (hc *HillClimb) Name() string { return "hillclimb" }
+
+// Next implements Strategy.
+func (hc *HillClimb) Next(h *History) (Point, bool) {
+	if hc.n >= hc.Budget {
+		return nil, false
+	}
+	if !hc.started {
+		hc.started = true
+		hc.cur = hc.randomPoint(h)
+		hc.n++
+		return hc.cur, true
+	}
+	// Refresh cur's cost from history.
+	hc.curCost = costOf(h, hc.cur)
+	if hc.pending == nil {
+		hc.pending = h.Space.Neighbors(hc.cur)
+	}
+	for len(hc.pending) > 0 {
+		p := hc.pending[0]
+		hc.pending = hc.pending[1:]
+		if h.Seen(p) {
+			// Already measured: move if better without spending budget.
+			if c := costOf(h, p); c < hc.curCost {
+				hc.cur, hc.curCost, hc.pending = p, c, nil
+				return hc.Next(h)
+			}
+			continue
+		}
+		hc.n++
+		return p, true
+	}
+	// All neighbors seen: move to the best improving one, else restart.
+	moved := false
+	for _, p := range h.Space.Neighbors(hc.cur) {
+		if c := costOf(h, p); c < hc.curCost {
+			hc.cur, hc.curCost, moved = p, c, true
+		}
+	}
+	hc.pending = nil
+	if moved {
+		return hc.Next(h)
+	}
+	if hc.restarts < hc.Restarts {
+		hc.restarts++
+		hc.cur = hc.randomPoint(h)
+		if !h.Seen(hc.cur) {
+			hc.n++
+			return hc.cur, true
+		}
+		return hc.Next(h)
+	}
+	return nil, false
+}
+
+func (hc *HillClimb) randomPoint(h *History) Point {
+	for tries := 0; tries < 1000; tries++ {
+		p := make(Point, len(h.Space.Knobs))
+		for i, k := range h.Space.Knobs {
+			p[i] = hc.Rng.Intn(len(k.Values))
+		}
+		if h.Space.Valid(p) {
+			return p
+		}
+	}
+	return h.Space.Center()
+}
+
+func costOf(h *History, p Point) float64 {
+	if i, ok := h.seen[p.Key()]; ok {
+		return h.Evals[i].M.Cost
+	}
+	return math.Inf(1)
+}
+
+// Annealing is simulated annealing over the lattice with a geometric
+// cooling schedule.
+type Annealing struct {
+	Budget int
+	T0     float64 // initial temperature (relative to cost scale)
+	Alpha  float64 // cooling factor per step, e.g. 0.95
+	Rng    *simhpc.RNG
+
+	n       int
+	cur     Point
+	curCost float64
+	temp    float64
+	prop    Point
+	started bool
+}
+
+// Name implements Strategy.
+func (a *Annealing) Name() string { return "annealing" }
+
+// Next implements Strategy.
+func (a *Annealing) Next(h *History) (Point, bool) {
+	if a.n >= a.Budget {
+		return nil, false
+	}
+	if !a.started {
+		a.started = true
+		a.temp = a.T0
+		a.cur = h.Space.Center()
+		a.n++
+		return a.cur, true
+	}
+	// Accept/reject the previous proposal.
+	if a.prop != nil {
+		pc := costOf(h, a.prop)
+		a.curCost = costOf(h, a.cur)
+		accept := pc < a.curCost
+		if !accept && a.temp > 0 {
+			delta := (pc - a.curCost) / math.Max(math.Abs(a.curCost), 1e-12)
+			accept = a.Rng.Float64() < math.Exp(-delta/a.temp)
+		}
+		if accept {
+			a.cur = a.prop
+		}
+		a.prop = nil
+		a.temp *= a.Alpha
+	}
+	nbrs := h.Space.Neighbors(a.cur)
+	if len(nbrs) == 0 {
+		return nil, false
+	}
+	a.prop = nbrs[a.Rng.Intn(len(nbrs))]
+	a.n++
+	return a.prop, true
+}
+
+// UCB is an upper-confidence-bound bandit over the enumerated space:
+// suitable for small annotated spaces under noisy measurements, it is
+// the machine-learning decision engine of §IV ("predicting the most
+// promising set of parameter settings").
+type UCB struct {
+	Budget int
+	C      float64 // exploration weight
+
+	arms  []Point
+	stats []struct {
+		n    int
+		mean float64
+	}
+	n    int
+	init bool
+}
+
+// Name implements Strategy.
+func (u *UCB) Name() string { return "ucb" }
+
+// Next implements Strategy.
+func (u *UCB) Next(h *History) (Point, bool) {
+	if !u.init {
+		h.Space.Enumerate(func(p Point) bool {
+			u.arms = append(u.arms, p)
+			return true
+		})
+		u.stats = make([]struct {
+			n    int
+			mean float64
+		}, len(u.arms))
+		u.init = true
+	}
+	if u.n >= u.Budget || len(u.arms) == 0 {
+		return nil, false
+	}
+	// Fold in the latest observation.
+	if len(h.Evals) > 0 {
+		last := h.Evals[len(h.Evals)-1]
+		for i, p := range u.arms {
+			if p.Key() == last.Point.Key() {
+				s := &u.stats[i]
+				s.n++
+				s.mean += (last.M.Cost - s.mean) / float64(s.n)
+				break
+			}
+		}
+	}
+	// Play any unplayed arm first.
+	for i, s := range u.stats {
+		if s.n == 0 {
+			u.n++
+			return u.arms[i], true
+		}
+	}
+	// UCB on negated cost (we minimize).
+	total := 0
+	for _, s := range u.stats {
+		total += s.n
+	}
+	bestIdx, bestScore := 0, math.Inf(-1)
+	for i, s := range u.stats {
+		score := -s.mean + u.C*math.Sqrt(2*math.Log(float64(total))/float64(s.n))
+		if score > bestScore {
+			bestScore, bestIdx = score, i
+		}
+	}
+	u.n++
+	return u.arms[bestIdx], true
+}

@@ -1,0 +1,158 @@
+package autotune
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+)
+
+// Objective evaluates a configuration and returns its measurement.
+// In the live system this runs the application slice under the
+// configuration and reads the monitors; in benchmarks it queries the
+// simulator.
+type Objective func(Config) Measurement
+
+// Tuner drives a strategy against an objective and maintains the online
+// knowledge base of §IV: per-configuration EWMA cost estimates that
+// continuous learning keeps current as operating conditions drift.
+type Tuner struct {
+	Space    *Space
+	Strategy Strategy
+	Obj      Objective
+
+	History   *History
+	Knowledge map[string]*monitor.EWMA
+	// Alpha is the knowledge EWMA smoothing factor.
+	Alpha float64
+
+	applied Point
+}
+
+// NewTuner assembles a tuner.
+func NewTuner(space *Space, strat Strategy, obj Objective) *Tuner {
+	return &Tuner{
+		Space:     space,
+		Strategy:  strat,
+		Obj:       obj,
+		History:   NewHistory(space),
+		Knowledge: make(map[string]*monitor.EWMA),
+		Alpha:     0.3,
+	}
+}
+
+// Run drives the strategy to exhaustion (or at most maxEvals when > 0)
+// and returns the best point found.
+func (t *Tuner) Run(maxEvals int) (Point, Measurement, error) {
+	evals := 0
+	for {
+		if maxEvals > 0 && evals >= maxEvals {
+			break
+		}
+		p, ok := t.Strategy.Next(t.History)
+		if !ok {
+			break
+		}
+		m := t.Obj(t.Space.At(p))
+		t.record(p, m)
+		evals++
+	}
+	best, ok := t.History.Best()
+	if !ok {
+		return nil, Measurement{}, fmt.Errorf("autotune: strategy %q proposed no points", t.Strategy.Name())
+	}
+	t.applied = best.Point
+	return best.Point, best.M, nil
+}
+
+func (t *Tuner) record(p Point, m Measurement) {
+	t.History.Record(p, m)
+	key := p.Key()
+	e, ok := t.Knowledge[key]
+	if !ok {
+		e = monitor.NewEWMA(t.Alpha)
+		t.Knowledge[key] = e
+	}
+	e.Push(m.Cost)
+}
+
+// Applied returns the currently deployed configuration point (nil before
+// the first Run).
+func (t *Tuner) Applied() Point { return t.applied }
+
+// Observe feeds a production measurement of the applied configuration
+// into the knowledge base (continuous on-line learning): the autotuner
+// keeps learning after deployment, so Retune can react when the deployed
+// point's live cost drifts away from the best known alternative.
+func (t *Tuner) Observe(cost float64) {
+	if t.applied == nil {
+		return
+	}
+	key := t.applied.Key()
+	e, ok := t.Knowledge[key]
+	if !ok {
+		e = monitor.NewEWMA(t.Alpha)
+		t.Knowledge[key] = e
+	}
+	e.Push(cost)
+}
+
+// KnownBest returns the point with the lowest current knowledge-base
+// estimate (which, unlike History.Best, tracks drift via Observe).
+func (t *Tuner) KnownBest() (Point, float64, bool) {
+	var bestKey string
+	best := 0.0
+	found := false
+	for key, e := range t.Knowledge {
+		if !e.Initialized() {
+			continue
+		}
+		if !found || e.Value() < best {
+			best, bestKey, found = e.Value(), key, true
+		}
+	}
+	if !found {
+		return nil, 0, false
+	}
+	return parseKey(bestKey), best, true
+}
+
+func parseKey(key string) Point {
+	var p Point
+	cur := 0
+	has := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			if has {
+				p = append(p, cur)
+			}
+			cur, has = 0, false
+			continue
+		}
+		c := key[i]
+		if c >= '0' && c <= '9' {
+			cur = cur*10 + int(c-'0')
+			has = true
+		}
+	}
+	return p
+}
+
+// Retune switches to the knowledge-base best if it beats the applied
+// configuration by more than margin (fractional), returning whether a
+// switch happened. This is the "decide" step the monitor loop invokes on
+// SLA violations.
+func (t *Tuner) Retune(margin float64) bool {
+	bestP, bestCost, ok := t.KnownBest()
+	if !ok || t.applied == nil {
+		return false
+	}
+	curE, ok := t.Knowledge[t.applied.Key()]
+	if !ok || !curE.Initialized() {
+		return false
+	}
+	if bestCost < curE.Value()*(1-margin) && bestP.Key() != t.applied.Key() {
+		t.applied = bestP
+		return true
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/simhpc"
+	"repro/internal/srcmodel"
+)
+
+// parseMiniC isolates the srcmodel dependency for ToolFlow.
+func parseMiniC(file, src string) (*srcmodel.Program, error) {
+	return srcmodel.Parse(file, src)
+}
+
+// App is a managed adaptive application: a design space of software
+// knobs, an SLA, a monitor loop and an autotuner, plus a workload model
+// that turns the current configuration into simulator tasks for the
+// RTRM. It is the application-side endpoint of both Fig. 1 control
+// loops.
+type App struct {
+	Name  string
+	Space *autotune.Space
+	SLA   monitor.SLA
+	Tuner *autotune.Tuner
+	Loop  *monitor.Loop
+
+	// Workload converts the applied configuration into this epoch's
+	// tasks for the cluster.
+	Workload func(cfg autotune.Config) []*simhpc.Task
+	// CostFn measures a configuration (used during tuning).
+	CostFn autotune.Objective
+
+	applied autotune.Config
+	// Retunes counts adaptation events.
+	Retunes int
+}
+
+// NewApp assembles an adaptive application.
+func NewApp(name string, space *autotune.Space, sla monitor.SLA, strat autotune.Strategy, cost autotune.Objective) *App {
+	a := &App{Name: name, Space: space, SLA: sla, CostFn: cost}
+	a.Tuner = autotune.NewTuner(space, strat, cost)
+	a.Loop = monitor.NewLoop(sla, 32, 2, func(d monitor.Decision, _ map[string]monitor.Summary) {
+		if a.Tuner.Retune(0.05) {
+			a.Retunes++
+			a.applied = a.Space.At(a.Tuner.Applied())
+		}
+	})
+	return a
+}
+
+// TuneInitial runs the tuner's strategy to pick the deployment
+// configuration (design-time DSE, the "offline" part of autotuning).
+func (a *App) TuneInitial(maxEvals int) error {
+	p, _, err := a.Tuner.Run(maxEvals)
+	if err != nil {
+		return err
+	}
+	a.applied = a.Space.At(p)
+	return nil
+}
+
+// Config returns the currently applied configuration.
+func (a *App) Config() autotune.Config { return a.applied }
+
+// ObserveAndTick feeds a production cost sample into both the knowledge
+// base and the monitor loop, then runs one decide cycle.
+func (a *App) ObserveAndTick(metric string, value float64) {
+	a.Tuner.Observe(value)
+	a.Loop.Metrics.Push(metric, value)
+	a.Loop.Tick()
+}
+
+// EpochTasks materializes this epoch's workload under the applied
+// configuration.
+func (a *App) EpochTasks() ([]*simhpc.Task, error) {
+	if a.applied == nil {
+		return nil, fmt.Errorf("core: app %q not tuned (call TuneInitial)", a.Name)
+	}
+	if a.Workload == nil {
+		return nil, nil
+	}
+	return a.Workload(a.applied), nil
+}

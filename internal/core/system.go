@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// System couples adaptive applications to the RTRM over the simulated
+// cluster: the holistic, system-wide integration the paper positions as
+// its distinguishing contribution. Each epoch, applications materialize
+// their workloads under their autotuned configurations (fast loop) and
+// the RTRM allocates and operates the machine (slow loop).
+type System struct {
+	Manager *rtrm.Manager
+	Apps    []*App
+
+	Epochs int
+}
+
+// NewSystem builds a system over a cluster with a facility power cap.
+func NewSystem(cluster *simhpc.Cluster, capW float64) *System {
+	return &System{Manager: rtrm.NewManager(cluster, capW)}
+}
+
+// AddApp registers an application (it must already be tuned).
+func (s *System) AddApp(a *App) { s.Apps = append(s.Apps, a) }
+
+// EpochResult summarizes one system epoch.
+type EpochResult struct {
+	Report rtrm.EpochReport
+	PerApp map[string]float64 // GFlop contributed per app
+}
+
+// RunEpoch gathers every app's epoch workload and hands it to the RTRM.
+func (s *System) RunEpoch(dt float64) (EpochResult, error) {
+	var all []*simhpc.Task
+	perApp := make(map[string]float64, len(s.Apps))
+	for _, a := range s.Apps {
+		tasks, err := a.EpochTasks()
+		if err != nil {
+			return EpochResult{}, fmt.Errorf("core: %s: %w", a.Name, err)
+		}
+		for _, t := range tasks {
+			perApp[a.Name] += t.GFlop
+		}
+		all = append(all, tasks...)
+	}
+	rep := s.Manager.RunEpoch(dt, all)
+	s.Epochs++
+	return EpochResult{Report: rep, PerApp: perApp}, nil
+}

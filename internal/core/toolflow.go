@@ -1,0 +1,119 @@
+// Package core wires the ANTAREX tool flow of Fig. 1 end to end: C/C++
+// functional descriptions (miniC) plus DSL specifications enter the
+// weaver; the split compiler produces runnable code with runtime
+// monitoring and dynamic-specialization hooks; at run time the
+// application autotuning loop (monitor → tuner → software knobs) and the
+// RTRM control loop (telemetry → governor/capper → operating points) run
+// nested, exactly as drawn in the paper.
+//
+// The package owns the two integration seams:
+//
+//   - ToolFlow: design-time pipeline — weave aspects, compile, bind
+//     runtime hooks, expose monitored execution;
+//   - System: run-time coupling of adaptive applications to the RTRM
+//     over the simulated cluster.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+	"repro/internal/monitor"
+	"repro/internal/weaver"
+)
+
+// ToolFlow is the design-time half of Fig. 1: functional source + aspect
+// specifications → woven, compiled, hook-armed application.
+type ToolFlow struct {
+	Weaver *weaver.Weaver
+	Split  *ir.SplitCompiler
+	VM     *ir.VM
+	// Metrics collects runtime monitor samples (cycles, calls, ...)
+	// pushed by woven instrumentation and by Invoke.
+	Metrics *monitor.Set
+
+	aspects string
+	woven   []string
+}
+
+// NewToolFlow parses the functional description (miniC) and the aspect
+// file (DSL). Aspects are woven on demand with WeaveAspect, then Compile
+// produces the runnable.
+func NewToolFlow(file, cSource, aspectSource string) (*ToolFlow, error) {
+	w, err := weaverFromSource(file, cSource)
+	if err != nil {
+		return nil, err
+	}
+	return &ToolFlow{
+		Weaver:  w,
+		Metrics: monitor.NewSet(256),
+		aspects: aspectSource,
+	}, nil
+}
+
+func weaverFromSource(file, src string) (*weaver.Weaver, error) {
+	prog, err := parseMiniC(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return weaver.New(prog), nil
+}
+
+// WeaveAspect applies one aspect from the aspect file with arguments.
+func (tf *ToolFlow) WeaveAspect(name string, args ...interp.Value) error {
+	if tf.VM != nil {
+		return fmt.Errorf("core: weaving after Compile is not supported")
+	}
+	if _, err := tf.Weaver.Weave(tf.aspects, name, args...); err != nil {
+		return err
+	}
+	tf.woven = append(tf.woven, name)
+	return nil
+}
+
+// WovenAspects lists the aspects applied so far.
+func (tf *ToolFlow) WovenAspects() []string { return append([]string(nil), tf.woven...) }
+
+// Compile runs the split compiler over the woven program, creates the
+// VM, arms dynamic applies, and installs the standard monitoring externs
+// (profile_args, monitor_push).
+func (tf *ToolFlow) Compile() error {
+	sc, vm, err := tf.Weaver.CompileRuntime()
+	if err != nil {
+		return err
+	}
+	tf.Split, tf.VM = sc, vm
+	// profile_args(name, location, args...) — Fig. 2's probe — feeds the
+	// call-count monitor.
+	vm.RegisterExtern("profile_args", func(_ *ir.VM, args []ir.Value) (ir.Value, error) {
+		tf.Metrics.Push("calls", 1)
+		return ir.NumValue(0), nil
+	})
+	// monitor_push(metric, value) lets woven code publish any metric.
+	vm.RegisterExtern("monitor_push", func(_ *ir.VM, args []ir.Value) (ir.Value, error) {
+		if len(args) == 2 && args[0].Kind == ir.KindStr {
+			tf.Metrics.Push(args[0].Str, args[1].Num)
+		}
+		return ir.NumValue(0), nil
+	})
+	return nil
+}
+
+// Invoke calls a function in the compiled application, recording the
+// simulated cycle cost under the "cycles" metric.
+func (tf *ToolFlow) Invoke(fn string, args ...ir.Value) (ir.Value, error) {
+	if tf.VM == nil {
+		return ir.Value{}, fmt.Errorf("core: Compile before Invoke")
+	}
+	before := tf.VM.Cycles
+	v, err := tf.VM.Call(fn, args...)
+	if err != nil {
+		return ir.Value{}, err
+	}
+	tf.Metrics.Push("cycles", float64(tf.VM.Cycles-before))
+	return v, nil
+}
+
+// Source returns the current woven source text.
+func (tf *ToolFlow) Source() string { return tf.Weaver.Source() }

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestToolFlowErrorPaths(t *testing.T) {
+	// Bad functional source.
+	if _, err := NewToolFlow("bad.c", "int f( {", appAspects); err == nil {
+		t.Error("bad miniC should fail")
+	}
+	// Bad aspect source surfaces at weave time.
+	tf, err := NewToolFlow("app.c", appSource, "not an aspect file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.WeaveAspect("X"); err == nil {
+		t.Error("unparseable aspects should fail at weave")
+	}
+	// Unknown aspect.
+	tf2, _ := NewToolFlow("app.c", appSource, appAspects)
+	if err := tf2.WeaveAspect("NoSuchAspect"); err == nil || !strings.Contains(err.Error(), "not defined") {
+		t.Errorf("unknown aspect: %v", err)
+	}
+	// Invoke before compile.
+	if _, err := tf2.Invoke("run"); err == nil || !strings.Contains(err.Error(), "Compile before Invoke") {
+		t.Errorf("invoke before compile: %v", err)
+	}
+	// Unknown function after compile.
+	if err := tf2.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf2.Invoke("nosuch"); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Errorf("unknown function: %v", err)
+	}
+}
+
+func TestMonitorPushExtern(t *testing.T) {
+	src := `
+void work() {
+    monitor_push('speed', 42);
+    monitor_push('speed', 44);
+}
+`
+	tf, err := NewToolFlow("m.c", src, appAspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tf.Invoke("work"); err != nil {
+		t.Fatal(err)
+	}
+	w := tf.Metrics.Window("speed")
+	if w == nil || w.Total() != 2 || w.Mean() != 43 {
+		t.Errorf("monitor_push: %+v", w)
+	}
+	if _, err := ir.NewSplitCompiler("m.c", src); err != nil {
+		t.Errorf("source should stand alone: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package dsl
+
+// File is a parsed DSL source file: a set of aspect definitions.
+type File struct {
+	Aspects []*Aspect
+}
+
+// Aspect returns the aspect named name, or nil.
+func (f *File) Aspect(name string) *Aspect {
+	for _, a := range f.Aspects {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Aspect is one aspectdef: the basic modular unit of the DSL.
+type Aspect struct {
+	Name    string
+	Inputs  []string // input parameter names ($ prefix stripped)
+	Outputs []string
+	Body    []Stmt
+	Pos     Pos
+}
+
+// Stmt is an aspect body statement.
+type Stmt interface {
+	Position() Pos
+	stmt()
+}
+
+// SelectStmt captures join points: a chain of parts, optionally rooted at
+// an input variable (e.g. `select $func.loop{type=='for'} end`).
+type SelectStmt struct {
+	// Root is the variable name the chain starts from ("" when the chain
+	// is rooted at the whole target program, e.g. `select fCall end`).
+	Root  string
+	Chain []SelectPart
+	Pos   Pos
+}
+
+// SelectPart is one step of a select chain: a join-point kind plus an
+// optional filter: `{type=='for'}` (attribute expression) or `{'kernel'}`
+// (shorthand matching the join point's primary name).
+type SelectPart struct {
+	Kind    string
+	NameLit string // non-empty for the {'name'} shorthand
+	Filter  Expr   // non-nil for {expr} filters
+}
+
+// ApplyStmt acts over the join points selected by the preceding select,
+// constrained by the aspect's condition. Dynamic applies are deferred to
+// run time (dynamic weaving).
+type ApplyStmt struct {
+	Dynamic bool
+	Body    []Action
+	Pos     Pos
+}
+
+// ConditionStmt constrains the apply to join-point tuples for which the
+// expression is true.
+type ConditionStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// CallStmt invokes another aspect (or a weaver builtin) at the aspect's
+// top level, optionally binding its outputs to a label:
+// `call spCall: PrepareSpecialize('kernel','size');`.
+type CallStmt struct {
+	Label  string
+	Aspect string
+	Args   []Expr
+	Pos    Pos
+}
+
+func (s *SelectStmt) Position() Pos    { return s.Pos }
+func (s *ApplyStmt) Position() Pos     { return s.Pos }
+func (s *ConditionStmt) Position() Pos { return s.Pos }
+func (s *CallStmt) Position() Pos      { return s.Pos }
+
+func (*SelectStmt) stmt()    {}
+func (*ApplyStmt) stmt()     {}
+func (*ConditionStmt) stmt() {}
+func (*CallStmt) stmt()      {}
+
+// Action is a statement allowed inside apply blocks.
+type Action interface {
+	Position() Pos
+	action()
+}
+
+// InsertAction injects a code template before/after/around the selected
+// join point: `insert before %{...}%;`. Templates may interpolate DSL
+// expressions with [[expr]].
+type InsertAction struct {
+	Where    string // "before", "after", "around"
+	Template string
+	Pos      Pos
+}
+
+// DoAction invokes a weaver action on the selected join point:
+// `do LoopUnroll('full');`.
+type DoAction struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// CallAction invokes an aspect from inside an apply:
+// `call spOut : Specialize($fCall, $arg.name, $arg.runtimeValue);`.
+type CallAction struct {
+	Label  string
+	Aspect string
+	Args   []Expr
+	Pos    Pos
+}
+
+func (a *InsertAction) Position() Pos { return a.Pos }
+func (a *DoAction) Position() Pos     { return a.Pos }
+func (a *CallAction) Position() Pos   { return a.Pos }
+
+func (*InsertAction) action() {}
+func (*DoAction) action()     {}
+func (*CallAction) action()   {}
+
+// Expr is a DSL expression node.
+type Expr interface {
+	Position() Pos
+	expr()
+}
+
+// VarRef references a join-point binding or aspect input: $loop, $fCall,
+// or a plain input name like threshold, or a call label like spOut.
+type VarRef struct {
+	Name   string
+	Dollar bool // written with $ prefix
+	Pos    Pos
+}
+
+// MemberExpr accesses an attribute: $fCall.name, spOut.$func.
+type MemberExpr struct {
+	X      Expr
+	Name   string
+	Dollar bool // attribute written with $ prefix (spOut.$func)
+	Pos    Pos
+}
+
+// StringLit is a '...' literal.
+type StringLit struct {
+	Value string
+	Pos   Pos
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Pos   Pos
+}
+
+// BinaryExpr is a binary operation; Op is the operator token kind.
+type BinaryExpr struct {
+	Op   TokenKind
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Op  TokenKind
+	X   Expr
+	Pos Pos
+}
+
+func (e *VarRef) Position() Pos     { return e.Pos }
+func (e *MemberExpr) Position() Pos { return e.Pos }
+func (e *StringLit) Position() Pos  { return e.Pos }
+func (e *NumberLit) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+
+func (*VarRef) expr()     {}
+func (*MemberExpr) expr() {}
+func (*StringLit) expr()  {}
+func (*NumberLit) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}

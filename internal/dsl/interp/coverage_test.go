@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+func TestValueStringForms(t *testing.T) {
+	jp := &fakeJP{kind: "loop", name: "for"}
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{Str("x"), "x"},
+		{Num(2.5), "2.5"},
+		{Num(-3), "-3"},
+		{Bool(false), "false"},
+		{JP(jp), "<loop for>"},
+		{Object(map[string]Value{"a": Num(1)}), "<object 1 fields>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestValueTruthyAllKinds(t *testing.T) {
+	jp := &fakeJP{kind: "x"}
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{Str(""), false},
+		{Str("a"), true},
+		{Num(0), false},
+		{Num(-1), true},
+		{Bool(true), true},
+		{JP(jp), true},
+		{JP(nil), false},
+		{Object(nil), false},
+		{Object(map[string]Value{"k": Null()}), true},
+	}
+	for i, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("case %d: Truthy = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualsAllKinds(t *testing.T) {
+	jp1 := &fakeJP{kind: "a"}
+	jp2 := &fakeJP{kind: "a"}
+	if !Null().Equals(Null()) {
+		t.Error("null == null")
+	}
+	if !JP(jp1).Equals(JP(jp1)) || JP(jp1).Equals(JP(jp2)) {
+		t.Error("join-point identity equality")
+	}
+	if Object(nil).Equals(Object(nil)) {
+		t.Error("objects are never equal (no structural equality)")
+	}
+	if Str("a").Equals(Bool(true)) {
+		t.Error("string vs bool")
+	}
+}
+
+// TestEvalErrorPaths walks evaluator failure modes through real aspects.
+func TestEvalErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"member on number", `aspectdef A input x end call B(x.name); end aspectdef B input y end end`, "cannot access"},
+		{"minus on string", `aspectdef A input x end call B(-x); end aspectdef B input y end end`, "unary minus"},
+		{"plus on objects", `aspectdef A input x end call B(x - x); end aspectdef B input y end end`, "invalid - operands"},
+		{"compare string num", `aspectdef A input x end call B(x < 3); end aspectdef B input y end end`, "comparison on non-numbers"},
+	}
+	for _, c := range cases {
+		f, err := dsl.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		in := New(f, &fakeActions{})
+		arg := Str("s")
+		if c.name == "plus on objects" {
+			arg = Object(nil)
+		}
+		_, err = in.Run("A", arg)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMissingObjectFieldAndJPAttr(t *testing.T) {
+	src := `
+aspectdef A
+	call r: Mk();
+	call B(r.nosuch);
+end
+aspectdef B input y end end
+`
+	f, _ := dsl.Parse(src)
+	act := &fakeActions{builtins: map[string]func([]Value) (Value, error){
+		"Mk": func([]Value) (Value, error) {
+			return Object(map[string]Value{"field": Num(1)}), nil
+		},
+	}}
+	in := New(f, act)
+	if _, err := in.Run("A"); err == nil || !strings.Contains(err.Error(), "no output field") {
+		t.Errorf("missing field: %v", err)
+	}
+
+	src2 := `
+aspectdef C
+	select fCall end
+	apply
+		do X($fCall.nosuchattr);
+	end
+end
+`
+	f2, _ := dsl.Parse(src2)
+	act2 := &fakeActions{roots: map[string][]JoinPoint{"fCall": {call("k", "l", "a")}}}
+	in2 := New(f2, act2)
+	if _, err := in2.Run("C"); err == nil || !strings.Contains(err.Error(), "no attribute") {
+		t.Errorf("missing attr: %v", err)
+	}
+}
+
+func TestApplyWithoutSelectRunsOnce(t *testing.T) {
+	src := `
+aspectdef A
+	apply
+		call Mark();
+	end
+end
+`
+	f, _ := dsl.Parse(src)
+	count := 0
+	act := &fakeActions{builtins: map[string]func([]Value) (Value, error){
+		"Mark": func([]Value) (Value, error) { count++; return Null(), nil },
+	}}
+	in := New(f, act)
+	if _, err := in.Run("A"); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("apply without select ran %d times, want 1", count)
+	}
+	// insert/do without a selected join point are errors.
+	src2 := `aspectdef B apply insert before %{x();}%; end end`
+	f2, _ := dsl.Parse(src2)
+	in2 := New(f2, &fakeActions{})
+	if _, err := in2.Run("B"); err == nil || !strings.Contains(err.Error(), "without a selected join point") {
+		t.Errorf("insert without select: %v", err)
+	}
+}
+
+func TestTooManyArgsAndDepthGuard(t *testing.T) {
+	f, _ := dsl.Parse(`aspectdef A input x end end`)
+	in := New(f, &fakeActions{})
+	if _, err := in.Run("A", Num(1), Num(2)); err == nil {
+		t.Error("excess args should error")
+	}
+	// Mutual recursion trips the depth guard.
+	f2, _ := dsl.Parse(`
+aspectdef A call B(); end
+aspectdef B call A(); end
+`)
+	in2 := New(f2, &fakeActions{})
+	if _, err := in2.Run("A"); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("recursion: %v", err)
+	}
+}
+
+func TestOutputsDefaultNull(t *testing.T) {
+	f, _ := dsl.Parse(`aspectdef A output a, b end end`)
+	in := New(f, &fakeActions{})
+	out, err := in.Run("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != KObject || len(out.Obj) != 2 {
+		t.Fatalf("outputs: %+v", out)
+	}
+	if out.Obj["a"].Kind != KNull {
+		t.Errorf("unset output should be null: %+v", out.Obj["a"])
+	}
+}
+
+func TestDynamicInterpAccessor(t *testing.T) {
+	src := `
+aspectdef D
+	select fCall end
+	apply dynamic
+		do X();
+	end
+end
+`
+	f, _ := dsl.Parse(src)
+	act := &fakeActions{roots: map[string][]JoinPoint{"fCall": {call("k", "l", "")}}}
+	in := New(f, act)
+	if _, err := in.Run("D"); err != nil {
+		t.Fatal(err)
+	}
+	if len(act.dynamics) != 1 || act.dynamics[0].Interp() != in {
+		t.Error("dynamic apply should carry its interpreter")
+	}
+	if act.dynamics[0].AspectName != "D" {
+		t.Errorf("aspect name: %q", act.dynamics[0].AspectName)
+	}
+}
+
+// TestFilterUsesEnvFallback: select filters resolve bare identifiers
+// against the candidate join point first, then the aspect environment —
+// so thresholds can parameterize filters directly.
+func TestFilterUsesEnvFallback(t *testing.T) {
+	loop := func(n float64) *fakeJP {
+		return &fakeJP{kind: "loop", name: "for", attrs: map[string]Value{
+			"type": Str("for"), "numIter": Num(n),
+		}}
+	}
+	act := &fakeActions{roots: map[string][]JoinPoint{
+		"loop": {loop(2), loop(10), loop(50)},
+	}}
+	src := `
+aspectdef Small
+	input limit end
+	select loop{numIter <= limit} end
+	apply
+		do Touch();
+	end
+end
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(f, act)
+	if _, err := in.Run("Small", Num(10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(act.dos) != 2 {
+		t.Errorf("filtered selects: %v", act.dos)
+	}
+}

@@ -1,0 +1,510 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsl"
+)
+
+// Interp executes aspects from a parsed DSL file against an Actions
+// target.
+type Interp struct {
+	File *dsl.File
+	Act  Actions
+
+	// depth guards against runaway mutual aspect recursion.
+	depth int
+}
+
+// maxAspectDepth bounds aspect call nesting.
+const maxAspectDepth = 64
+
+// New returns an interpreter over file targeting act.
+func New(file *dsl.File, act Actions) *Interp {
+	return &Interp{File: file, Act: act}
+}
+
+// Run executes the named aspect with positional arguments and returns its
+// outputs as a KObject value (possibly empty).
+func (in *Interp) Run(name string, args ...Value) (Value, error) {
+	a := in.File.Aspect(name)
+	if a == nil {
+		return Null(), fmt.Errorf("interp: aspect %q not defined", name)
+	}
+	return in.runAspect(a, args)
+}
+
+func (in *Interp) runAspect(a *dsl.Aspect, args []Value) (Value, error) {
+	if in.depth >= maxAspectDepth {
+		return Null(), fmt.Errorf("interp: aspect call depth exceeded at %q", a.Name)
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+
+	if len(args) > len(a.Inputs) {
+		return Null(), fmt.Errorf("interp: aspect %q takes %d inputs, got %d args", a.Name, len(a.Inputs), len(args))
+	}
+	env := Binding{}
+	for i, inp := range a.Inputs {
+		if i < len(args) {
+			env[inp] = args[i]
+		} else {
+			env[inp] = Null()
+		}
+	}
+
+	// Pair each apply with the nearest preceding select and the nearest
+	// following condition, per the structure of Figs. 2-4.
+	var lastSelect *dsl.SelectStmt
+	for i := 0; i < len(a.Body); i++ {
+		switch st := a.Body[i].(type) {
+		case *dsl.SelectStmt:
+			lastSelect = st
+		case *dsl.ApplyStmt:
+			var cond dsl.Expr
+			if i+1 < len(a.Body) {
+				if c, ok := a.Body[i+1].(*dsl.ConditionStmt); ok {
+					cond = c.Cond
+					i++
+				}
+			}
+			if st.Dynamic {
+				d := &DynamicApply{
+					AspectName: a.Name,
+					Select:     lastSelect,
+					Apply:      st,
+					Cond:       cond,
+					Env:        env.clone(),
+					in:         in,
+				}
+				if err := in.Act.RegisterDynamic(d); err != nil {
+					return Null(), err
+				}
+				continue
+			}
+			if err := in.applyStatic(lastSelect, st, cond, env); err != nil {
+				return Null(), err
+			}
+		case *dsl.ConditionStmt:
+			return Null(), fmt.Errorf("interp: %s: condition without preceding apply in aspect %q", st.Pos, a.Name)
+		case *dsl.CallStmt:
+			out, err := in.callAspect(st.Aspect, st.Args, env)
+			if err != nil {
+				return Null(), err
+			}
+			if st.Label != "" {
+				env[st.Label] = out
+			}
+		}
+	}
+
+	outs := map[string]Value{}
+	for _, o := range a.Outputs {
+		if v, ok := env[o]; ok {
+			outs[o] = v
+		} else {
+			outs[o] = Null()
+		}
+	}
+	return Object(outs), nil
+}
+
+// applyStatic runs an apply over every tuple the select produces.
+func (in *Interp) applyStatic(sel *dsl.SelectStmt, app *dsl.ApplyStmt, cond dsl.Expr, env Binding) error {
+	if sel == nil {
+		// Apply without select runs once with no join-point bindings.
+		return in.runActions(app, nil, env)
+	}
+	tuples, err := in.EvalSelect(sel, env)
+	if err != nil {
+		return err
+	}
+	for _, tup := range tuples {
+		scope := env.clone()
+		for k, v := range tup.Bind {
+			scope[k] = v
+		}
+		if cond != nil {
+			ok, err := in.evalCond(cond, scope)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := in.runActions(app, tup.Last, scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tuple is one match of a select chain: the bindings it introduces and
+// the last (innermost) join point, which actions operate on.
+type Tuple struct {
+	Bind Binding
+	Last JoinPoint
+}
+
+// EvalSelect resolves a select chain to its match tuples. Exported for
+// the weaver's dynamic-weaving path, which evaluates the static prefix of
+// a chain at weave time.
+func (in *Interp) EvalSelect(sel *dsl.SelectStmt, env Binding) ([]Tuple, error) {
+	if len(sel.Chain) == 0 {
+		return nil, fmt.Errorf("interp: %s: empty select", sel.Pos)
+	}
+	var current []Tuple
+	first := sel.Chain[0]
+	if sel.Root != "" {
+		rv, ok := env[sel.Root]
+		if !ok || rv.Kind != KJoinPoint {
+			return nil, fmt.Errorf("interp: %s: select root $%s is not a join point", sel.Pos, sel.Root)
+		}
+		for _, child := range rv.JP.Children(first.Kind) {
+			current = append(current, Tuple{Bind: Binding{}, Last: child})
+		}
+	} else {
+		for _, jp := range in.Act.Roots(first.Kind) {
+			current = append(current, Tuple{Bind: Binding{}, Last: jp})
+		}
+	}
+	current, err := in.filterAndBind(current, first, env)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range sel.Chain[1:] {
+		var next []Tuple
+		for _, tup := range current {
+			for _, child := range tup.Last.Children(part.Kind) {
+				nb := tup.Bind.clone()
+				next = append(next, Tuple{Bind: nb, Last: child})
+			}
+		}
+		next, err = in.filterAndBind(next, part, env)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+	}
+	return current, nil
+}
+
+func (in *Interp) filterAndBind(tuples []Tuple, part dsl.SelectPart, env Binding) ([]Tuple, error) {
+	var out []Tuple
+	for _, tup := range tuples {
+		jp := tup.Last
+		if part.NameLit != "" && jp.Name() != part.NameLit {
+			continue
+		}
+		if part.Filter != nil {
+			// Bare identifiers in filters resolve against the candidate
+			// join point's attributes first ({type=='for'}).
+			scope := env.clone()
+			ok, err := in.evalFilter(part.Filter, jp, scope)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		tup.Bind[part.Kind] = JP(jp)
+		out = append(out, tup)
+	}
+	return out, nil
+}
+
+func (in *Interp) runActions(app *dsl.ApplyStmt, cur JoinPoint, env Binding) error {
+	for _, act := range app.Body {
+		switch a := act.(type) {
+		case *dsl.InsertAction:
+			if cur == nil {
+				return fmt.Errorf("interp: %s: insert without a selected join point", a.Pos)
+			}
+			code, err := in.ExpandTemplate(a.Template, env)
+			if err != nil {
+				return err
+			}
+			if err := in.Act.Insert(cur, a.Where, code); err != nil {
+				return err
+			}
+		case *dsl.DoAction:
+			if cur == nil {
+				return fmt.Errorf("interp: %s: do without a selected join point", a.Pos)
+			}
+			args, err := in.evalArgs(a.Args, env)
+			if err != nil {
+				return err
+			}
+			if err := in.Act.Do(cur, a.Name, args); err != nil {
+				return err
+			}
+		case *dsl.CallAction:
+			out, err := in.callAspect(a.Aspect, a.Args, env)
+			if err != nil {
+				return err
+			}
+			if a.Label != "" {
+				env[a.Label] = out
+			}
+		}
+	}
+	return nil
+}
+
+// callAspect resolves a `call`: user-defined aspects take precedence,
+// then weaver builtins.
+func (in *Interp) callAspect(name string, argExprs []dsl.Expr, env Binding) (Value, error) {
+	args, err := in.evalArgs(argExprs, env)
+	if err != nil {
+		return Null(), err
+	}
+	if a := in.File.Aspect(name); a != nil {
+		return in.runAspect(a, args)
+	}
+	out, ok, err := in.Act.CallBuiltin(name, args)
+	if err != nil {
+		return Null(), err
+	}
+	if !ok {
+		return Null(), fmt.Errorf("interp: call to undefined aspect %q", name)
+	}
+	return out, nil
+}
+
+func (in *Interp) evalArgs(exprs []dsl.Expr, env Binding) ([]Value, error) {
+	args := make([]Value, len(exprs))
+	for i, e := range exprs {
+		v, err := in.Eval(e, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+func (in *Interp) evalCond(e dsl.Expr, env Binding) (bool, error) {
+	v, err := in.Eval(e, env)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// evalFilter evaluates a select filter where bare identifiers resolve to
+// attributes of jp before falling back to the environment.
+func (in *Interp) evalFilter(e dsl.Expr, jp JoinPoint, env Binding) (bool, error) {
+	v, err := in.evalWith(e, env, jp)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// Eval evaluates a DSL expression in env.
+func (in *Interp) Eval(e dsl.Expr, env Binding) (Value, error) {
+	return in.evalWith(e, env, nil)
+}
+
+func (in *Interp) evalWith(e dsl.Expr, env Binding, attrScope JoinPoint) (Value, error) {
+	switch x := e.(type) {
+	case *dsl.StringLit:
+		return Str(x.Value), nil
+	case *dsl.NumberLit:
+		return Num(x.Value), nil
+	case *dsl.VarRef:
+		if attrScope != nil && !x.Dollar {
+			if v, ok := attrScope.Attr(x.Name); ok {
+				return v, nil
+			}
+		}
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		return Null(), fmt.Errorf("interp: %s: undefined variable %q", x.Pos, x.Name)
+	case *dsl.MemberExpr:
+		base, err := in.evalWith(x.X, env, attrScope)
+		if err != nil {
+			return Null(), err
+		}
+		switch base.Kind {
+		case KJoinPoint:
+			if v, ok := base.JP.Attr(x.Name); ok {
+				return v, nil
+			}
+			return Null(), fmt.Errorf("interp: %s: join point %s has no attribute %q", x.Pos, base.JP.Kind(), x.Name)
+		case KObject:
+			if v, ok := base.Obj[x.Name]; ok {
+				return v, nil
+			}
+			return Null(), fmt.Errorf("interp: %s: no output field %q", x.Pos, x.Name)
+		}
+		return Null(), fmt.Errorf("interp: %s: cannot access .%s on %v", x.Pos, x.Name, base.Kind)
+	case *dsl.UnaryExpr:
+		v, err := in.evalWith(x.X, env, attrScope)
+		if err != nil {
+			return Null(), err
+		}
+		switch x.Op {
+		case dsl.TNot:
+			return Bool(!v.Truthy()), nil
+		case dsl.TMinus:
+			if v.Kind != KNum {
+				return Null(), fmt.Errorf("interp: %s: unary minus on non-number", x.Pos)
+			}
+			return Num(-v.Num), nil
+		}
+		return Null(), fmt.Errorf("interp: %s: unknown unary op", x.Pos)
+	case *dsl.BinaryExpr:
+		// Short-circuit for && and ||.
+		if x.Op == dsl.TAnd || x.Op == dsl.TOr {
+			l, err := in.evalWith(x.L, env, attrScope)
+			if err != nil {
+				return Null(), err
+			}
+			if x.Op == dsl.TAnd && !l.Truthy() {
+				return Bool(false), nil
+			}
+			if x.Op == dsl.TOr && l.Truthy() {
+				return Bool(true), nil
+			}
+			r, err := in.evalWith(x.R, env, attrScope)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(r.Truthy()), nil
+		}
+		l, err := in.evalWith(x.L, env, attrScope)
+		if err != nil {
+			return Null(), err
+		}
+		r, err := in.evalWith(x.R, env, attrScope)
+		if err != nil {
+			return Null(), err
+		}
+		switch x.Op {
+		case dsl.TEq:
+			return Bool(l.Equals(r)), nil
+		case dsl.TNe:
+			return Bool(!l.Equals(r)), nil
+		case dsl.TPlus:
+			if l.Kind == KStr || r.Kind == KStr {
+				return Str(l.String() + r.String()), nil
+			}
+			if l.Kind == KNum && r.Kind == KNum {
+				return Num(l.Num + r.Num), nil
+			}
+			return Null(), fmt.Errorf("interp: %s: invalid + operands", x.Pos)
+		case dsl.TMinus:
+			if l.Kind == KNum && r.Kind == KNum {
+				return Num(l.Num - r.Num), nil
+			}
+			return Null(), fmt.Errorf("interp: %s: invalid - operands", x.Pos)
+		case dsl.TLt, dsl.TLe, dsl.TGt, dsl.TGe:
+			if l.Kind != KNum || r.Kind != KNum {
+				return Null(), fmt.Errorf("interp: %s: comparison on non-numbers (%v vs %v)", x.Pos, l.Kind, r.Kind)
+			}
+			switch x.Op {
+			case dsl.TLt:
+				return Bool(l.Num < r.Num), nil
+			case dsl.TLe:
+				return Bool(l.Num <= r.Num), nil
+			case dsl.TGt:
+				return Bool(l.Num > r.Num), nil
+			default:
+				return Bool(l.Num >= r.Num), nil
+			}
+		}
+		return Null(), fmt.Errorf("interp: %s: unknown binary op %v", x.Pos, x.Op)
+	}
+	return Null(), fmt.Errorf("interp: unknown expression %T", e)
+}
+
+// ExpandTemplate interpolates [[expr]] holes in a code template.
+func (in *Interp) ExpandTemplate(tpl string, env Binding) (string, error) {
+	var b strings.Builder
+	for {
+		i := strings.Index(tpl, "[[")
+		if i < 0 {
+			b.WriteString(tpl)
+			return b.String(), nil
+		}
+		b.WriteString(tpl[:i])
+		rest := tpl[i+2:]
+		j := strings.Index(rest, "]]")
+		if j < 0 {
+			return "", fmt.Errorf("interp: unterminated [[ in template")
+		}
+		exprSrc := rest[:j]
+		e, err := parseTemplateExpr(exprSrc)
+		if err != nil {
+			return "", fmt.Errorf("interp: template hole %q: %w", exprSrc, err)
+		}
+		v, err := in.Eval(e, env)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(v.String())
+		tpl = rest[j+2:]
+	}
+}
+
+// parseTemplateExpr parses the expression inside a [[...]] hole by
+// wrapping it in a throwaway aspect condition.
+func parseTemplateExpr(src string) (dsl.Expr, error) {
+	f, err := dsl.Parse("aspectdef __tpl condition " + src + " end end")
+	if err != nil {
+		return nil, err
+	}
+	cond := f.Aspects[0].Body[0].(*dsl.ConditionStmt)
+	return cond.Cond, nil
+}
+
+// DynamicApply is a dynamic weaving registration: an `apply dynamic`
+// block captured with its select, condition and environment. The weaver
+// arms it at runtime (e.g. as a VM call hook) and calls Fire with the
+// runtime join-point bindings.
+type DynamicApply struct {
+	AspectName string
+	Select     *dsl.SelectStmt
+	Apply      *dsl.ApplyStmt
+	Cond       dsl.Expr
+	Env        Binding
+	in         *Interp
+}
+
+// StaticTuples evaluates the static prefix of the dynamic select (all
+// chain parts except trailing runtime-only ones are still meaningful at
+// weave time). The weaver uses this to find the join points to arm.
+func (d *DynamicApply) StaticTuples() ([]Tuple, error) {
+	return d.in.EvalSelect(d.Select, d.Env)
+}
+
+// Interp returns the owning interpreter (for evaluating runtime selects).
+func (d *DynamicApply) Interp() *Interp { return d.in }
+
+// Fire evaluates the condition with the runtime bindings merged over the
+// captured environment and, if it holds, runs the apply actions against
+// cur. It returns whether the body ran.
+func (d *DynamicApply) Fire(cur JoinPoint, runtime Binding) (bool, error) {
+	scope := d.Env.clone()
+	for k, v := range runtime {
+		scope[k] = v
+	}
+	if d.Cond != nil {
+		ok, err := d.in.evalCond(d.Cond, scope)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	if err := d.in.runActions(d.Apply, cur, scope); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,358 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+// fakeJP is a join point backed by maps, for interpreter tests that do
+// not need the real weaver.
+type fakeJP struct {
+	kind     string
+	name     string
+	attrs    map[string]Value
+	children map[string][]JoinPoint
+}
+
+func (j *fakeJP) Kind() string { return j.kind }
+func (j *fakeJP) Name() string { return j.name }
+func (j *fakeJP) Attr(name string) (Value, bool) {
+	v, ok := j.attrs[name]
+	return v, ok
+}
+func (j *fakeJP) Children(kind string) []JoinPoint { return j.children[kind] }
+
+// fakeActions records what the interpreter asked for.
+type fakeActions struct {
+	roots    map[string][]JoinPoint
+	inserts  []string
+	dos      []string
+	builtins map[string]func(args []Value) (Value, error)
+	dynamics []*DynamicApply
+}
+
+func (a *fakeActions) Roots(kind string) []JoinPoint { return a.roots[kind] }
+func (a *fakeActions) Insert(jp JoinPoint, where, code string) error {
+	a.inserts = append(a.inserts, fmt.Sprintf("%s@%s:%s", where, jp.Name(), code))
+	return nil
+}
+func (a *fakeActions) Do(jp JoinPoint, action string, args []Value) error {
+	parts := []string{action, jp.Name()}
+	for _, v := range args {
+		parts = append(parts, v.String())
+	}
+	a.dos = append(a.dos, strings.Join(parts, "/"))
+	return nil
+}
+func (a *fakeActions) CallBuiltin(name string, args []Value) (Value, bool, error) {
+	fn, ok := a.builtins[name]
+	if !ok {
+		return Null(), false, nil
+	}
+	v, err := fn(args)
+	return v, true, err
+}
+func (a *fakeActions) RegisterDynamic(d *DynamicApply) error {
+	a.dynamics = append(a.dynamics, d)
+	return nil
+}
+
+func call(name, loc, argList string) *fakeJP {
+	return &fakeJP{
+		kind: "fCall", name: name,
+		attrs: map[string]Value{
+			"name":     Str(name),
+			"location": Str(loc),
+			"argList":  Str(argList),
+		},
+	}
+}
+
+func TestProfileArgumentsAspect(t *testing.T) {
+	src := `
+aspectdef ProfileArguments
+	input funcName end
+	select fCall end
+	apply
+		insert before %{profile_args('[[funcName]]', [[$fCall.location]], [[$fCall.argList]]);}%;
+	end
+	condition $fCall.name == funcName end
+end
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := &fakeActions{roots: map[string][]JoinPoint{
+		"fCall": {
+			call("kernel", "f.c:3:5", "buf, 16"),
+			call("other", "f.c:4:5", "x"),
+			call("kernel", "f.c:9:5", "buf, 32"),
+		},
+	}}
+	in := New(f, act)
+	if _, err := in.Run("ProfileArguments", Str("kernel")); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(act.inserts) != 2 {
+		t.Fatalf("inserts: %v", act.inserts)
+	}
+	want := "before@kernel:profile_args('kernel', f.c:3:5, buf, 16);"
+	if act.inserts[0] != want {
+		t.Errorf("insert[0] = %q, want %q", act.inserts[0], want)
+	}
+}
+
+func TestSelectChainWithFilterAndShorthand(t *testing.T) {
+	loop := func(typ string, inner bool, n float64) *fakeJP {
+		return &fakeJP{kind: "loop", name: typ, attrs: map[string]Value{
+			"type": Str(typ), "isInnermost": Bool(inner), "numIter": Num(n),
+		}}
+	}
+	fn := &fakeJP{
+		kind: "function", name: "kernel",
+		attrs: map[string]Value{"name": Str("kernel")},
+		children: map[string][]JoinPoint{
+			"loop": {loop("for", true, 4), loop("for", false, 100), loop("while", true, -1)},
+		},
+	}
+	src := `
+aspectdef U
+	input $func, threshold end
+	select $func.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+	condition $loop.isInnermost && $loop.numIter <= threshold end
+end
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := &fakeActions{roots: map[string][]JoinPoint{}}
+	in := New(f, act)
+	if _, err := in.Run("U", JP(fn), Num(8)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Only the innermost for loop with numIter 4 <= 8 qualifies.
+	if len(act.dos) != 1 || act.dos[0] != "LoopUnroll/for/full" {
+		t.Errorf("dos: %v", act.dos)
+	}
+}
+
+func TestAspectCallsAndOutputs(t *testing.T) {
+	src := `
+aspectdef Leaf
+	input x end
+	output y end
+end
+
+aspectdef Root
+	input v end
+	call r: Leaf(v);
+	call b: Builtin(v, 'lit');
+end
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builtinArgs []Value
+	act := &fakeActions{
+		roots: map[string][]JoinPoint{},
+		builtins: map[string]func([]Value) (Value, error){
+			"Builtin": func(args []Value) (Value, error) {
+				builtinArgs = args
+				return Object(map[string]Value{"out": Num(42)}), nil
+			},
+		},
+	}
+	in := New(f, act)
+	if _, err := in.Run("Root", Num(7)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(builtinArgs) != 2 || builtinArgs[0].Num != 7 || builtinArgs[1].Str != "lit" {
+		t.Errorf("builtin args: %v", builtinArgs)
+	}
+}
+
+func TestUndefinedAspectAndVariableErrors(t *testing.T) {
+	f, err := dsl.Parse(`
+aspectdef A
+	call Nope();
+end
+aspectdef B
+	select fCall end
+	apply
+		do X(missing);
+	end
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := &fakeActions{roots: map[string][]JoinPoint{
+		"fCall": {call("k", "l", "a")},
+	}}
+	in := New(f, act)
+	if _, err := in.Run("A"); err == nil || !strings.Contains(err.Error(), "undefined aspect") {
+		t.Errorf("A: %v", err)
+	}
+	if _, err := in.Run("B"); err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("B: %v", err)
+	}
+	if _, err := in.Run("NoSuch"); err == nil {
+		t.Error("NoSuch: expected error")
+	}
+}
+
+func TestDynamicApplyRegistersAndFires(t *testing.T) {
+	src := `
+aspectdef Dyn
+	input lowT, highT end
+	select fCall{'kernel'}.arg{'size'} end
+	apply dynamic
+		do Specialize($arg.runtimeValue);
+	end
+	condition $arg.runtimeValue >= lowT && $arg.runtimeValue <= highT end
+end
+`
+	f, err := dsl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	argJP := &fakeJP{kind: "arg", name: "size", attrs: map[string]Value{"name": Str("size")}}
+	callJP := call("kernel", "f.c:1:1", "buf, n")
+	callJP.children = map[string][]JoinPoint{"arg": {argJP}}
+	act := &fakeActions{roots: map[string][]JoinPoint{"fCall": {callJP}}}
+	in := New(f, act)
+	if _, err := in.Run("Dyn", Num(4), Num(64)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Static execution registers, does not act.
+	if len(act.dos) != 0 {
+		t.Fatalf("static run performed actions: %v", act.dos)
+	}
+	if len(act.dynamics) != 1 {
+		t.Fatalf("dynamics: %d", len(act.dynamics))
+	}
+	d := act.dynamics[0]
+
+	// Static prefix finds the kernel call-site arg.
+	tuples, err := d.StaticTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || tuples[0].Last.Kind() != "arg" {
+		t.Fatalf("static tuples: %+v", tuples)
+	}
+
+	// Fire with runtime value inside range: body runs.
+	rt := &fakeJP{kind: "arg", name: "size", attrs: map[string]Value{
+		"name": Str("size"), "runtimeValue": Num(16),
+	}}
+	ran, err := d.Fire(rt, Binding{"arg": JP(rt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || len(act.dos) != 1 || act.dos[0] != "Specialize/size/16" {
+		t.Errorf("fire in range: ran=%v dos=%v", ran, act.dos)
+	}
+
+	// Fire outside range: condition blocks.
+	rt2 := &fakeJP{kind: "arg", name: "size", attrs: map[string]Value{
+		"name": Str("size"), "runtimeValue": Num(1000),
+	}}
+	ran, err = d.Fire(rt2, Binding{"arg": JP(rt2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran || len(act.dos) != 1 {
+		t.Errorf("fire out of range: ran=%v dos=%v", ran, act.dos)
+	}
+}
+
+func TestTemplateExpansion(t *testing.T) {
+	in := New(&dsl.File{Aspects: []*dsl.Aspect{{Name: "x"}}}, &fakeActions{})
+	env := Binding{"a": Str("hello"), "n": Num(4.5), "b": Bool(true)}
+	got, err := in.ExpandTemplate("f([[a]], [[n]], [[b]], [[n + 1]]);", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "f(hello, 4.5, true, 5.5);"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	if _, err := in.ExpandTemplate("bad [[unclosed", env); err == nil {
+		t.Error("expected error for unterminated hole")
+	}
+	if _, err := in.ExpandTemplate("[[nosuchvar]]", env); err == nil {
+		t.Error("expected error for undefined variable in hole")
+	}
+}
+
+func TestValueSemantics(t *testing.T) {
+	if !Str("x").Truthy() || Str("").Truthy() {
+		t.Error("string truthiness")
+	}
+	if !Num(1).Truthy() || Num(0).Truthy() {
+		t.Error("number truthiness")
+	}
+	if !Num(1).Equals(Bool(true)) || !Bool(false).Equals(Num(0)) {
+		t.Error("cross-kind equality")
+	}
+	if Str("1").Equals(Num(1)) {
+		t.Error("string/number must not be equal")
+	}
+	if Num(2.5).String() != "2.5" || Bool(true).String() != "true" {
+		t.Error("string rendering")
+	}
+}
+
+func TestConditionWithoutApplyIsError(t *testing.T) {
+	f, err := dsl.Parse(`
+aspectdef C
+	condition 1 == 1 end
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(f, &fakeActions{})
+	if _, err := in.Run("C"); err == nil {
+		t.Error("expected error for condition without apply")
+	}
+}
+
+func TestStringConcatAndArith(t *testing.T) {
+	f, _ := dsl.Parse(`aspectdef T condition 1 end end`)
+	in := New(f, &fakeActions{})
+	env := Binding{"s": Str("ab"), "n": Num(3)}
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"s + 'c'", "abc"},
+		{"n + 2", "5"},
+		{"n - 1", "2"},
+		{"-n", "-3"},
+		{"!(n == 3)", "false"},
+	}
+	for _, c := range cases {
+		e, err := parseTemplateExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		v, err := in.Eval(e, env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if v.String() != c.want {
+			t.Errorf("%s = %q, want %q", c.src, v.String(), c.want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package interp executes ANTAREX DSL aspects: it evaluates select
+// chains against a join-point model, checks conditions, and dispatches
+// apply actions (insert / do / call). The join-point model and the
+// actions' effects are supplied by an Actions implementation (the weaver),
+// keeping the interpreter target-independent.
+package interp
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind tags a DSL runtime value.
+type Kind int
+
+// Value kinds.
+const (
+	KNull Kind = iota
+	KStr
+	KNum
+	KBool
+	KJoinPoint
+	KObject
+)
+
+// Value is a DSL runtime value: string, number, boolean, join point, or
+// an object of named fields (aspect call outputs).
+type Value struct {
+	Kind Kind
+	Str  string
+	Num  float64
+	Bool bool
+	JP   JoinPoint
+	Obj  map[string]Value
+}
+
+// Constructors.
+func Null() Value           { return Value{Kind: KNull} }
+func Str(s string) Value    { return Value{Kind: KStr, Str: s} }
+func Num(f float64) Value   { return Value{Kind: KNum, Num: f} }
+func Bool(b bool) Value     { return Value{Kind: KBool, Bool: b} }
+func JP(jp JoinPoint) Value { return Value{Kind: KJoinPoint, JP: jp} }
+func Object(m map[string]Value) Value {
+	return Value{Kind: KObject, Obj: m}
+}
+
+// Truthy converts to a boolean: non-empty strings, non-zero numbers, true
+// booleans, and any join point or object are truthy.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KNull:
+		return false
+	case KStr:
+		return v.Str != ""
+	case KNum:
+		return v.Num != 0
+	case KBool:
+		return v.Bool
+	case KJoinPoint:
+		return v.JP != nil
+	case KObject:
+		return len(v.Obj) > 0
+	}
+	return false
+}
+
+// String renders the value for template interpolation: strings are raw,
+// numbers drop trailing zeros, booleans are true/false.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return ""
+	case KStr:
+		return v.Str
+	case KNum:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case KJoinPoint:
+		return fmt.Sprintf("<%s %s>", v.JP.Kind(), v.JP.Name())
+	case KObject:
+		return fmt.Sprintf("<object %d fields>", len(v.Obj))
+	}
+	return "<?>"
+}
+
+// Equals implements the DSL == operator.
+func (v Value) Equals(o Value) bool {
+	if v.Kind != o.Kind {
+		// Permit number/bool cross comparison (LARA inherits JS laxity).
+		if v.Kind == KNum && o.Kind == KBool {
+			return (v.Num != 0) == o.Bool
+		}
+		if v.Kind == KBool && o.Kind == KNum {
+			return v.Bool == (o.Num != 0)
+		}
+		return false
+	}
+	switch v.Kind {
+	case KNull:
+		return true
+	case KStr:
+		return v.Str == o.Str
+	case KNum:
+		return v.Num == o.Num
+	case KBool:
+		return v.Bool == o.Bool
+	case KJoinPoint:
+		return v.JP == o.JP
+	}
+	return false
+}
+
+// JoinPoint is one selectable program point. Implementations live in the
+// weaver package (function, loop, call, arg join points over miniC).
+type JoinPoint interface {
+	// Kind is the join-point type name used in select chains ("fCall",
+	// "loop", "arg", "function", ...).
+	Kind() string
+	// Name is the primary name matched by the {'name'} select shorthand.
+	Name() string
+	// Attr resolves a named attribute ($loop.numIter, $fCall.location...).
+	Attr(name string) (Value, bool)
+	// Children returns nested join points of the given kind.
+	Children(kind string) []JoinPoint
+}
+
+// Actions is the weaver-side interface the interpreter drives.
+type Actions interface {
+	// Roots returns the top-level join points of the given kind for
+	// unrooted selects (e.g. `select fCall end` walks all functions).
+	Roots(kind string) []JoinPoint
+	// Insert weaves a code fragment before/after/around jp.
+	Insert(jp JoinPoint, where, code string) error
+	// Do performs a named weaver action (LoopUnroll, ...) on jp.
+	Do(jp JoinPoint, action string, args []Value) error
+	// CallBuiltin invokes a weaver builtin callable via `call` (e.g.
+	// PrepareSpecialize, Specialize, AddVersion). ok=false means the name
+	// is not a builtin and should resolve as a user aspect.
+	CallBuiltin(name string, args []Value) (out Value, ok bool, err error)
+	// RegisterDynamic records a dynamic apply for runtime weaving.
+	RegisterDynamic(d *DynamicApply) error
+}
+
+// Binding is a variable environment: aspect inputs, call labels, and
+// join-point bindings introduced by select chains ($fCall, $loop, $arg).
+type Binding map[string]Value
+
+// clone copies the binding so nested scopes do not leak outward.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,458 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses DSL source into a File of aspect definitions.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.atEOF() {
+		a, err := p.aspect()
+		if err != nil {
+			return nil, err
+		}
+		f.Aspects = append(f.Aspects, a)
+	}
+	if len(f.Aspects) == 0 {
+		return nil, fmt.Errorf("dsl: no aspect definitions found")
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{1, 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: TEOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(kind TokenKind) bool {
+	if p.cur().Kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s %q", kind, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("dsl: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// aspect := 'aspectdef' IDENT body* 'end'
+func (p *parser) aspect() (*Aspect, error) {
+	kw, err := p.expect(TAspectdef)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aspect{Name: name.Text, Pos: kw.Pos}
+	for {
+		switch p.cur().Kind {
+		case TEnd:
+			p.pos++
+			return a, nil
+		case TEOF:
+			return nil, p.errorf("unterminated aspectdef %s", a.Name)
+		case TInput:
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			a.Inputs = append(a.Inputs, names...)
+		case TOutput:
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			a.Outputs = append(a.Outputs, names...)
+		case TSelect:
+			s, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, s)
+		case TApply:
+			s, err := p.applyStmt()
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, s)
+		case TCondition:
+			s, err := p.conditionStmt()
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, s)
+		case TCall:
+			c, err := p.callClause()
+			if err != nil {
+				return nil, err
+			}
+			a.Body = append(a.Body, &CallStmt{Label: c.Label, Aspect: c.Aspect, Args: c.Args, Pos: c.Pos})
+		default:
+			return nil, p.errorf("unexpected %s %q in aspectdef %s", p.cur().Kind, p.cur().Text, a.Name)
+		}
+	}
+}
+
+// nameList := name (',' name)* 'end'   where name is IDENT or $VAR.
+func (p *parser) nameList() ([]string, error) {
+	var names []string
+	for {
+		t := p.cur()
+		if t.Kind != TIdent && t.Kind != TVar {
+			return nil, p.errorf("expected parameter name, found %s %q", t.Kind, t.Text)
+		}
+		p.pos++
+		names = append(names, t.Text)
+		if p.accept(TComma) {
+			continue
+		}
+		if _, err := p.expect(TEnd); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+}
+
+// selectStmt := 'select' [ $VAR '.' ] part ('.' part)* 'end'
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	kw, _ := p.expect(TSelect)
+	s := &SelectStmt{Pos: kw.Pos}
+	if p.cur().Kind == TVar {
+		s.Root = p.next().Text
+		if _, err := p.expect(TDot); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		part, err := p.selectPart()
+		if err != nil {
+			return nil, err
+		}
+		s.Chain = append(s.Chain, part)
+		if p.accept(TDot) {
+			continue
+		}
+		if _, err := p.expect(TEnd); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// selectPart := IDENT [ '{' (STRING | expr) '}' ]
+func (p *parser) selectPart() (SelectPart, error) {
+	kind, err := p.expect(TIdent)
+	if err != nil {
+		return SelectPart{}, err
+	}
+	part := SelectPart{Kind: kind.Text}
+	if p.accept(TLBrace) {
+		// Disambiguate the {'name'} shorthand from filter expressions:
+		// a lone string literal is the shorthand.
+		if p.cur().Kind == TString && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TRBrace {
+			part.NameLit = p.next().Text
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return SelectPart{}, err
+			}
+			part.Filter = e
+		}
+		if _, err := p.expect(TRBrace); err != nil {
+			return SelectPart{}, err
+		}
+	}
+	return part, nil
+}
+
+// applyStmt := 'apply' ['dynamic'] action* 'end'
+func (p *parser) applyStmt() (*ApplyStmt, error) {
+	kw, _ := p.expect(TApply)
+	s := &ApplyStmt{Pos: kw.Pos}
+	if p.accept(TDynamic) {
+		s.Dynamic = true
+	}
+	for {
+		switch p.cur().Kind {
+		case TEnd:
+			p.pos++
+			return s, nil
+		case TEOF:
+			return nil, p.errorf("unterminated apply")
+		case TInsert:
+			a, err := p.insertAction()
+			if err != nil {
+				return nil, err
+			}
+			s.Body = append(s.Body, a)
+		case TDo:
+			a, err := p.doAction()
+			if err != nil {
+				return nil, err
+			}
+			s.Body = append(s.Body, a)
+		case TCall:
+			a, err := p.callClause()
+			if err != nil {
+				return nil, err
+			}
+			s.Body = append(s.Body, a)
+		default:
+			return nil, p.errorf("unexpected %s %q in apply", p.cur().Kind, p.cur().Text)
+		}
+	}
+}
+
+// insertAction := 'insert' ('before'|'after'|'around') TEMPLATE [';']
+func (p *parser) insertAction() (*InsertAction, error) {
+	kw, _ := p.expect(TInsert)
+	var where string
+	switch p.cur().Kind {
+	case TBefore:
+		where = "before"
+	case TAfter:
+		where = "after"
+	case TAround:
+		where = "around"
+	default:
+		return nil, p.errorf("expected before/after/around, found %q", p.cur().Text)
+	}
+	p.pos++
+	tpl, err := p.expect(TTemplate)
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TSemi)
+	return &InsertAction{Where: where, Template: tpl.Text, Pos: kw.Pos}, nil
+}
+
+// doAction := 'do' IDENT '(' args ')' [';']
+func (p *parser) doAction() (*DoAction, error) {
+	kw, _ := p.expect(TDo)
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	args, err := p.argList()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TSemi)
+	return &DoAction{Name: name.Text, Args: args, Pos: kw.Pos}, nil
+}
+
+// callClause := 'call' [label ':'] IDENT '(' args ')' [';']
+func (p *parser) callClause() (*CallAction, error) {
+	kw, _ := p.expect(TCall)
+	first, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &CallAction{Pos: kw.Pos}
+	if p.accept(TColon) {
+		c.Label = first.Text
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Aspect = name.Text
+	} else {
+		c.Aspect = first.Text
+	}
+	args, err := p.argList()
+	if err != nil {
+		return nil, err
+	}
+	c.Args = args
+	p.accept(TSemi)
+	return c, nil
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.accept(TRParen) {
+		return args, nil
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.accept(TComma) {
+			continue
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+// conditionStmt := 'condition' expr 'end'
+func (p *parser) conditionStmt() (*ConditionStmt, error) {
+	kw, _ := p.expect(TCondition)
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TEnd); err != nil {
+		return nil, err
+	}
+	return &ConditionStmt{Cond: e, Pos: kw.Pos}, nil
+}
+
+// Expression precedence: || < && < comparison < additive < unary < member.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binLevel(p.andExpr, TOr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binLevel(p.cmpExpr, TAnd)
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	return p.binLevel(p.addExpr, TEq, TNe, TLt, TLe, TGt, TGe)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binLevel(p.unaryExpr, TPlus, TMinus)
+}
+
+func (p *parser) binLevel(sub func() (Expr, error), kinds ...TokenKind) (Expr, error) {
+	lhs, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		match := false
+		for _, want := range kinds {
+			if k == want {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TNot || t.Kind == TMinus {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	}
+	return p.memberExpr()
+}
+
+func (p *parser) memberExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TDot) {
+		t := p.cur()
+		switch t.Kind {
+		case TIdent:
+			p.pos++
+			e = &MemberExpr{X: e, Name: t.Text, Pos: t.Pos}
+		case TVar:
+			p.pos++
+			e = &MemberExpr{X: e, Name: t.Text, Dollar: true, Pos: t.Pos}
+		default:
+			return nil, p.errorf("expected attribute name after '.', found %s %q", t.Kind, t.Text)
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TVar:
+		p.pos++
+		return &VarRef{Name: t.Text, Dollar: true, Pos: t.Pos}, nil
+	case TIdent:
+		p.pos++
+		return &VarRef{Name: t.Text, Pos: t.Pos}, nil
+	case TString:
+		p.pos++
+		return &StringLit{Value: t.Text, Pos: t.Pos}, nil
+	case TNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &NumberLit{Value: v, Pos: t.Pos}, nil
+	case TLParen:
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected %s %q in expression", t.Kind, t.Text)
+}

@@ -1,0 +1,297 @@
+package dsl
+
+import "testing"
+
+// The three aspects of the paper's Figs. 2-4, verbatim (modulo layout).
+const Fig2Src = `
+aspectdef ProfileArguments
+	input funcName end
+	select fCall end
+	apply
+		insert before %{profile_args('[[funcName]]',
+			[[$fCall.location]],
+			[[$fCall.argList]]);
+		}%;
+	end
+	condition $fCall.name == funcName end
+end
+`
+
+const Fig3Src = `
+aspectdef UnrollInnermostLoops
+	input $func, threshold end
+	select $func.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+	condition
+		$loop.isInnermost && $loop.numIter <= threshold
+	end
+end
+`
+
+const Fig4Src = `
+aspectdef SpecializeKernel
+	input lowT, highT end
+
+	call spCall: PrepareSpecialize('kernel','size');
+
+	select fCall{'kernel'}.arg{'size'} end
+	apply dynamic
+		call spOut : Specialize($fCall, $arg.name,
+			$arg.runtimeValue);
+		call UnrollInnermostLoops(spOut.$func,
+			$arg.runtimeValue);
+		call AddVersion(spCall, spOut.$func,
+			$arg.runtimeValue);
+	end
+	condition
+		$arg.runtimeValue >= lowT &&
+		$arg.runtimeValue <= highT
+	end
+end
+`
+
+func TestParseFig2(t *testing.T) {
+	f, err := Parse(Fig2Src)
+	if err != nil {
+		t.Fatalf("Parse(Fig2): %v", err)
+	}
+	a := f.Aspect("ProfileArguments")
+	if a == nil {
+		t.Fatal("aspect not found")
+	}
+	if len(a.Inputs) != 1 || a.Inputs[0] != "funcName" {
+		t.Errorf("inputs: %v", a.Inputs)
+	}
+	if len(a.Body) != 3 {
+		t.Fatalf("body has %d statements, want 3", len(a.Body))
+	}
+	sel, ok := a.Body[0].(*SelectStmt)
+	if !ok || len(sel.Chain) != 1 || sel.Chain[0].Kind != "fCall" || sel.Root != "" {
+		t.Fatalf("select: %+v", a.Body[0])
+	}
+	app, ok := a.Body[1].(*ApplyStmt)
+	if !ok || app.Dynamic || len(app.Body) != 1 {
+		t.Fatalf("apply: %+v", a.Body[1])
+	}
+	ins, ok := app.Body[0].(*InsertAction)
+	if !ok || ins.Where != "before" {
+		t.Fatalf("insert: %+v", app.Body[0])
+	}
+	if want := "profile_args('[[funcName]]'"; len(ins.Template) < len(want) || ins.Template[:len(want)] != want {
+		t.Errorf("template: %q", ins.Template)
+	}
+	cond, ok := a.Body[2].(*ConditionStmt)
+	if !ok {
+		t.Fatalf("condition: %+v", a.Body[2])
+	}
+	be, ok := cond.Cond.(*BinaryExpr)
+	if !ok || be.Op != TEq {
+		t.Fatalf("condition expr: %+v", cond.Cond)
+	}
+	mem, ok := be.L.(*MemberExpr)
+	if !ok || mem.Name != "name" {
+		t.Fatalf("condition lhs: %+v", be.L)
+	}
+	root, ok := mem.X.(*VarRef)
+	if !ok || root.Name != "fCall" || !root.Dollar {
+		t.Fatalf("condition root: %+v", mem.X)
+	}
+}
+
+func TestParseFig3(t *testing.T) {
+	f, err := Parse(Fig3Src)
+	if err != nil {
+		t.Fatalf("Parse(Fig3): %v", err)
+	}
+	a := f.Aspect("UnrollInnermostLoops")
+	if a == nil {
+		t.Fatal("aspect not found")
+	}
+	if len(a.Inputs) != 2 || a.Inputs[0] != "func" || a.Inputs[1] != "threshold" {
+		t.Errorf("inputs: %v", a.Inputs)
+	}
+	sel := a.Body[0].(*SelectStmt)
+	if sel.Root != "func" {
+		t.Errorf("select root: %q", sel.Root)
+	}
+	if len(sel.Chain) != 1 || sel.Chain[0].Kind != "loop" || sel.Chain[0].Filter == nil {
+		t.Fatalf("select chain: %+v", sel.Chain)
+	}
+	filt, ok := sel.Chain[0].Filter.(*BinaryExpr)
+	if !ok || filt.Op != TEq {
+		t.Fatalf("filter: %+v", sel.Chain[0].Filter)
+	}
+	app := a.Body[1].(*ApplyStmt)
+	da, ok := app.Body[0].(*DoAction)
+	if !ok || da.Name != "LoopUnroll" || len(da.Args) != 1 {
+		t.Fatalf("do action: %+v", app.Body[0])
+	}
+	if lit, ok := da.Args[0].(*StringLit); !ok || lit.Value != "full" {
+		t.Fatalf("do arg: %+v", da.Args[0])
+	}
+	cond := a.Body[2].(*ConditionStmt)
+	and, ok := cond.Cond.(*BinaryExpr)
+	if !ok || and.Op != TAnd {
+		t.Fatalf("condition: %+v", cond.Cond)
+	}
+}
+
+func TestParseFig4(t *testing.T) {
+	f, err := Parse(Fig4Src)
+	if err != nil {
+		t.Fatalf("Parse(Fig4): %v", err)
+	}
+	a := f.Aspect("SpecializeKernel")
+	if a == nil {
+		t.Fatal("aspect not found")
+	}
+	if len(a.Body) != 4 {
+		t.Fatalf("body has %d statements, want 4", len(a.Body))
+	}
+	cs, ok := a.Body[0].(*CallStmt)
+	if !ok || cs.Label != "spCall" || cs.Aspect != "PrepareSpecialize" || len(cs.Args) != 2 {
+		t.Fatalf("top-level call: %+v", a.Body[0])
+	}
+	sel := a.Body[1].(*SelectStmt)
+	if len(sel.Chain) != 2 {
+		t.Fatalf("select chain: %+v", sel.Chain)
+	}
+	if sel.Chain[0].Kind != "fCall" || sel.Chain[0].NameLit != "kernel" {
+		t.Errorf("chain[0]: %+v", sel.Chain[0])
+	}
+	if sel.Chain[1].Kind != "arg" || sel.Chain[1].NameLit != "size" {
+		t.Errorf("chain[1]: %+v", sel.Chain[1])
+	}
+	app := a.Body[2].(*ApplyStmt)
+	if !app.Dynamic {
+		t.Error("apply should be dynamic")
+	}
+	if len(app.Body) != 3 {
+		t.Fatalf("apply body: %d actions", len(app.Body))
+	}
+	c0 := app.Body[0].(*CallAction)
+	if c0.Label != "spOut" || c0.Aspect != "Specialize" || len(c0.Args) != 3 {
+		t.Fatalf("call 0: %+v", c0)
+	}
+	c1 := app.Body[1].(*CallAction)
+	if c1.Aspect != "UnrollInnermostLoops" || c1.Label != "" {
+		t.Fatalf("call 1: %+v", c1)
+	}
+	// spOut.$func — member access with $-prefixed attribute.
+	mem, ok := c1.Args[0].(*MemberExpr)
+	if !ok || mem.Name != "func" || !mem.Dollar {
+		t.Fatalf("call 1 arg 0: %+v", c1.Args[0])
+	}
+	if root, ok := mem.X.(*VarRef); !ok || root.Name != "spOut" || root.Dollar {
+		t.Fatalf("call 1 arg 0 root: %+v", mem.X)
+	}
+	c2 := app.Body[2].(*CallAction)
+	if c2.Aspect != "AddVersion" || len(c2.Args) != 3 {
+		t.Fatalf("call 2: %+v", c2)
+	}
+}
+
+func TestParseMultipleAspects(t *testing.T) {
+	f, err := Parse(Fig2Src + Fig3Src + Fig4Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Aspects) != 3 {
+		t.Fatalf("got %d aspects", len(f.Aspects))
+	}
+	for _, name := range []string{"ProfileArguments", "UnrollInnermostLoops", "SpecializeKernel"} {
+		if f.Aspect(name) == nil {
+			t.Errorf("aspect %s missing", name)
+		}
+	}
+}
+
+func TestParseOutputsAndAround(t *testing.T) {
+	src := `
+aspectdef Wrap
+	input x end
+	output result end
+	select loop end
+	apply
+		insert around %{ timer_start(); }%;
+		insert after %{ timer_stop(); }%;
+	end
+end
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a := f.Aspect("Wrap")
+	if len(a.Outputs) != 1 || a.Outputs[0] != "result" {
+		t.Errorf("outputs: %v", a.Outputs)
+	}
+	app := a.Body[1].(*ApplyStmt)
+	if app.Body[0].(*InsertAction).Where != "around" {
+		t.Error("first insert should be around")
+	}
+	if app.Body[1].(*InsertAction).Where != "after" {
+		t.Error("second insert should be after")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`aspectdef`,
+		`aspectdef A`,
+		`aspectdef A select end end`,
+		`aspectdef A apply insert nowhere %{x}%; end end`,
+		`aspectdef A apply do (); end end`,
+		`aspectdef A condition end end`,
+		`aspectdef A input end end`,
+		`aspectdef A select fCall{ end end`,
+		`aspectdef A call X( end`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`$`,
+		`'unterminated`,
+		`%{ unterminated`,
+		"#",
+		`a & b`,
+		`a | b`,
+	}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexTemplateAndComments(t *testing.T) {
+	toks, err := Lex(`
+// a comment
+insert before %{ code(1); // not a comment inside }%;
+`)
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TInsert, TBefore, TTemplate, TSemi}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds: %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}

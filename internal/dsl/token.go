@@ -1,0 +1,316 @@
+// Package dsl implements the ANTAREX aspect DSL of the paper's Section
+// III: a LARA-inspired aspect-oriented language whose grammar accepts the
+// three aspect programs of Figs. 2–4 verbatim.
+//
+// An aspect (aspectdef) bundles select / apply / condition statements:
+// select captures join points in the target program (function calls,
+// loops, arguments), apply acts over them (inserting code, unrolling
+// loops, calling other aspects), and condition constrains which selected
+// join points the apply runs on. `apply dynamic` defers the body to run
+// time, driven by runtime values — the paper's dynamic weaving.
+//
+// This package covers the front end (tokens, grammar, AST); execution
+// lives in dsl/interp and join-point binding in the weaver package,
+// preserving the separation between language, semantics and target.
+package dsl
+
+import "fmt"
+
+// TokenKind enumerates DSL token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TEOF TokenKind = iota
+	TIdent
+	TVar // $identifier
+	TString
+	TNumber
+	TTemplate // %{ ... }% code template
+
+	// Keywords.
+	TAspectdef
+	TInput
+	TOutput
+	TEnd
+	TSelect
+	TApply
+	TCondition
+	TCall
+	TInsert
+	TBefore
+	TAfter
+	TAround
+	TDo
+	TDynamic
+
+	// Punctuation.
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TDot
+	TComma
+	TColon
+	TSemi
+	TEq     // ==
+	TNe     // !=
+	TLt     // <
+	TLe     // <=
+	TGt     // >
+	TGe     // >=
+	TAnd    // &&
+	TOr     // ||
+	TNot    // !
+	TPlus   // +
+	TMinus  // -
+	TAssign // =
+)
+
+var dslTokenNames = map[TokenKind]string{
+	TEOF: "EOF", TIdent: "identifier", TVar: "$variable",
+	TString: "string", TNumber: "number", TTemplate: "code template",
+	TAspectdef: "aspectdef", TInput: "input", TOutput: "output",
+	TEnd: "end", TSelect: "select", TApply: "apply",
+	TCondition: "condition", TCall: "call", TInsert: "insert",
+	TBefore: "before", TAfter: "after", TAround: "around", TDo: "do",
+	TDynamic: "dynamic",
+	TLParen:  "(", TRParen: ")", TLBrace: "{", TRBrace: "}", TDot: ".",
+	TComma: ",", TColon: ":", TSemi: ";", TEq: "==", TNe: "!=",
+	TLt: "<", TLe: "<=", TGt: ">", TGe: ">=", TAnd: "&&", TOr: "||",
+	TNot: "!", TPlus: "+", TMinus: "-", TAssign: "=",
+}
+
+// String returns the token kind's display name.
+func (k TokenKind) String() string {
+	if s, ok := dslTokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var dslKeywords = map[string]TokenKind{
+	"aspectdef": TAspectdef, "input": TInput, "output": TOutput,
+	"end": TEnd, "select": TSelect, "apply": TApply,
+	"condition": TCondition, "call": TCall, "insert": TInsert,
+	"before": TBefore, "after": TAfter, "around": TAround, "do": TDo,
+	"dynamic": TDynamic,
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one DSL lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// Lex scans the whole source into tokens (EOF excluded).
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	// Skip whitespace and // comments.
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.peek2() == '/' {
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '$':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && isWord(l.peek()) {
+			l.advance()
+		}
+		if l.off == start {
+			return Token{}, fmt.Errorf("dsl: %s: bare '$'", pos)
+		}
+		return Token{Kind: TVar, Text: l.src[start:l.off], Pos: pos}, nil
+	case isWordStart(c):
+		start := l.off
+		for l.off < len(l.src) && isWord(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := dslKeywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TIdent, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		start := l.off
+		for l.off < len(l.src) && (isDigitB(l.peek()) || l.peek() == '.') {
+			l.advance()
+		}
+		return Token{Kind: TNumber, Text: l.src[start:l.off], Pos: pos}, nil
+	case c == '\'':
+		l.advance()
+		var buf []byte
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, fmt.Errorf("dsl: %s: unterminated string", pos)
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				break
+			}
+			if ch == '\\' && l.off < len(l.src) {
+				buf = append(buf, l.advance())
+				continue
+			}
+			buf = append(buf, ch)
+		}
+		return Token{Kind: TString, Text: string(buf), Pos: pos}, nil
+	case c == '%' && l.peek2() == '{':
+		l.advance()
+		l.advance()
+		start := l.off
+		for {
+			if l.off+1 >= len(l.src) {
+				return Token{}, fmt.Errorf("dsl: %s: unterminated %%{ template", pos)
+			}
+			if l.peek() == '}' && l.peek2() == '%' {
+				text := l.src[start:l.off]
+				l.advance()
+				l.advance()
+				return Token{Kind: TTemplate, Text: text, Pos: pos}, nil
+			}
+			l.advance()
+		}
+	}
+	two := func(kind TokenKind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	}
+	one := func(kind TokenKind) (Token, error) {
+		l.advance()
+		return Token{Kind: kind, Text: string(c), Pos: pos}, nil
+	}
+	d := l.peek2()
+	switch c {
+	case '(':
+		return one(TLParen)
+	case ')':
+		return one(TRParen)
+	case '{':
+		return one(TLBrace)
+	case '}':
+		return one(TRBrace)
+	case '.':
+		return one(TDot)
+	case ',':
+		return one(TComma)
+	case ':':
+		return one(TColon)
+	case ';':
+		return one(TSemi)
+	case '=':
+		if d == '=' {
+			return two(TEq, "==")
+		}
+		return one(TAssign)
+	case '!':
+		if d == '=' {
+			return two(TNe, "!=")
+		}
+		return one(TNot)
+	case '<':
+		if d == '=' {
+			return two(TLe, "<=")
+		}
+		return one(TLt)
+	case '>':
+		if d == '=' {
+			return two(TGe, ">=")
+		}
+		return one(TGt)
+	case '&':
+		if d == '&' {
+			return two(TAnd, "&&")
+		}
+	case '|':
+		if d == '|' {
+			return two(TOr, "||")
+		}
+	case '+':
+		return one(TPlus)
+	case '-':
+		return one(TMinus)
+	}
+	return Token{}, fmt.Errorf("dsl: %s: unexpected character %q", pos, c)
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWord(c byte) bool { return isWordStart(c) || isDigitB(c) }
+
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,435 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/srcmodel"
+)
+
+// Compile translates a miniC program into an IR module, running the
+// offline half of split compilation: code generation, peephole constant
+// folding (inherited from srcmodel.FoldConstants), and metadata extraction
+// (specializable parameters, loop structure) for the runtime specializer.
+func Compile(p *srcmodel.Program) (*Module, error) {
+	m := NewModule()
+	for _, g := range p.Globals {
+		v, err := globalInit(g)
+		if err != nil {
+			return nil, err
+		}
+		m.Globals[g.Name] = v
+	}
+	globals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		fn, err := CompileFunc(f, globals)
+		if err != nil {
+			return nil, err
+		}
+		m.Add(fn)
+	}
+	return m, nil
+}
+
+func globalInit(g *srcmodel.VarDecl) (Value, error) {
+	if g.Type.ArrayLen > 0 {
+		return PtrValue(make([]float64, g.Type.ArrayLen)), nil
+	}
+	switch init := g.Init.(type) {
+	case nil:
+		return NumValue(0), nil
+	case *srcmodel.IntLit:
+		return NumValue(float64(init.Value)), nil
+	case *srcmodel.FloatLit:
+		return NumValue(init.Value), nil
+	}
+	return Value{}, fmt.Errorf("ir: global %q: only literal initializers supported", g.Name)
+}
+
+type compiler struct {
+	fn      *Function
+	scopes  []map[string]int
+	globals map[string]bool
+	// breaks/continues hold indices of jump instructions to patch per
+	// enclosing loop.
+	breaks    [][]int
+	continues [][]int
+	err       error
+}
+
+// CompileFunc compiles one function. globals names module-level variables
+// referenced by OpLoadGlobal/OpStoreGlobal.
+func CompileFunc(f *srcmodel.FuncDecl, globals map[string]bool) (*Function, error) {
+	c := &compiler{
+		fn:      &Function{Name: f.Name, NParams: len(f.Params)},
+		globals: globals,
+	}
+	c.push()
+	for _, prm := range f.Params {
+		c.declare(prm.Name)
+	}
+	c.stmt(f.Body)
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.emit(Instr{Op: OpRetVoid})
+	c.fn.Meta = extractMeta(f)
+	return c.fn, nil
+}
+
+func (c *compiler) fail(pos srcmodel.Pos, format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("ir: %s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *compiler) push() { c.scopes = append(c.scopes, map[string]int{}) }
+func (c *compiler) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *compiler) declare(name string) int {
+	slot := c.fn.NLocals
+	c.fn.NLocals++
+	c.scopes[len(c.scopes)-1][name] = slot
+	return slot
+}
+
+// resolve returns the slot for name, or -1 if it is a global (or unknown —
+// unknown identifiers become globals so instrumentation variables injected
+// by weaving resolve without declarations).
+func (c *compiler) resolve(name string) int {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return -1
+}
+
+func (c *compiler) emit(in Instr) int {
+	c.fn.Code = append(c.fn.Code, in)
+	return len(c.fn.Code) - 1
+}
+
+func (c *compiler) here() int { return len(c.fn.Code) }
+
+func (c *compiler) patch(at, target int) { c.fn.Code[at].A = target }
+
+func (c *compiler) stmt(s srcmodel.Stmt) {
+	if c.err != nil {
+		return
+	}
+	switch x := s.(type) {
+	case nil:
+	case *srcmodel.BlockStmt:
+		c.push()
+		for _, st := range x.Stmts {
+			c.stmt(st)
+		}
+		c.pop()
+	case *srcmodel.VarDecl:
+		slot := c.declare(x.Name)
+		if x.Type.ArrayLen > 0 {
+			c.emit(Instr{Op: OpNewArray, A: x.Type.ArrayLen})
+		} else if x.Init != nil {
+			c.expr(x.Init)
+		} else {
+			c.emit(Instr{Op: OpConst, Val: NumValue(0)})
+		}
+		c.emit(Instr{Op: OpStoreLocal, A: slot})
+	case *srcmodel.IfStmt:
+		c.expr(x.Cond)
+		jz := c.emit(Instr{Op: OpJmpZero})
+		c.stmt(x.Then)
+		if x.Else != nil {
+			jend := c.emit(Instr{Op: OpJmp})
+			c.patch(jz, c.here())
+			c.stmt(x.Else)
+			c.patch(jend, c.here())
+		} else {
+			c.patch(jz, c.here())
+		}
+	case *srcmodel.ForStmt:
+		c.push()
+		c.stmt(x.Init)
+		top := c.here()
+		var jz int = -1
+		if x.Cond != nil {
+			c.expr(x.Cond)
+			jz = c.emit(Instr{Op: OpJmpZero})
+		}
+		c.breaks = append(c.breaks, nil)
+		c.continues = append(c.continues, nil)
+		c.stmt(x.Body)
+		contTarget := c.here()
+		c.stmt(x.Post)
+		c.emit(Instr{Op: OpJmp, A: top})
+		end := c.here()
+		if jz >= 0 {
+			c.patch(jz, end)
+		}
+		c.patchLoopJumps(end, contTarget)
+		c.pop()
+	case *srcmodel.WhileStmt:
+		top := c.here()
+		c.expr(x.Cond)
+		jz := c.emit(Instr{Op: OpJmpZero})
+		c.breaks = append(c.breaks, nil)
+		c.continues = append(c.continues, nil)
+		c.stmt(x.Body)
+		c.emit(Instr{Op: OpJmp, A: top})
+		end := c.here()
+		c.patch(jz, end)
+		c.patchLoopJumps(end, top)
+	case *srcmodel.ReturnStmt:
+		if x.Value != nil {
+			c.expr(x.Value)
+			c.emit(Instr{Op: OpRet})
+		} else {
+			c.emit(Instr{Op: OpRetVoid})
+		}
+	case *srcmodel.BreakStmt:
+		if len(c.breaks) == 0 {
+			c.fail(x.Pos, "break outside loop")
+			return
+		}
+		j := c.emit(Instr{Op: OpJmp})
+		c.breaks[len(c.breaks)-1] = append(c.breaks[len(c.breaks)-1], j)
+	case *srcmodel.ContinueStmt:
+		if len(c.continues) == 0 {
+			c.fail(x.Pos, "continue outside loop")
+			return
+		}
+		j := c.emit(Instr{Op: OpJmp})
+		c.continues[len(c.continues)-1] = append(c.continues[len(c.continues)-1], j)
+	case *srcmodel.ExprStmt:
+		c.expr(x.X)
+		c.emit(Instr{Op: OpPop})
+	default:
+		c.fail(s.Position(), "unsupported statement %T", s)
+	}
+}
+
+func (c *compiler) patchLoopJumps(breakTarget, contTarget int) {
+	for _, j := range c.breaks[len(c.breaks)-1] {
+		c.patch(j, breakTarget)
+	}
+	for _, j := range c.continues[len(c.continues)-1] {
+		c.patch(j, contTarget)
+	}
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	c.continues = c.continues[:len(c.continues)-1]
+}
+
+var binOps = map[srcmodel.TokenKind]Opcode{
+	srcmodel.TokPlus: OpAdd, srcmodel.TokMinus: OpSub,
+	srcmodel.TokStar: OpMul, srcmodel.TokSlash: OpDiv,
+	srcmodel.TokPercent: OpMod, srcmodel.TokEq: OpEq,
+	srcmodel.TokNe: OpNe, srcmodel.TokLt: OpLt, srcmodel.TokLe: OpLe,
+	srcmodel.TokGt: OpGt, srcmodel.TokGe: OpGe,
+}
+
+var compoundOps = map[srcmodel.TokenKind]Opcode{
+	srcmodel.TokPlusEq: OpAdd, srcmodel.TokMinusEq: OpSub,
+	srcmodel.TokStarEq: OpMul, srcmodel.TokSlashEq: OpDiv,
+}
+
+// expr compiles e, leaving exactly one value on the stack.
+func (c *compiler) expr(e srcmodel.Expr) {
+	if c.err != nil {
+		return
+	}
+	switch x := e.(type) {
+	case *srcmodel.Ident:
+		if slot := c.resolve(x.Name); slot >= 0 {
+			c.emit(Instr{Op: OpLoadLocal, A: slot})
+		} else {
+			c.emit(Instr{Op: OpLoadGlobal, Sym: x.Name})
+		}
+	case *srcmodel.IntLit:
+		c.emit(Instr{Op: OpConst, Val: NumValue(float64(x.Value))})
+	case *srcmodel.FloatLit:
+		c.emit(Instr{Op: OpConst, Val: NumValue(x.Value)})
+	case *srcmodel.StringLit:
+		c.emit(Instr{Op: OpConst, Val: StrValue(x.Value)})
+	case *srcmodel.BinaryExpr:
+		switch x.Op {
+		case srcmodel.TokAndAnd:
+			// Short-circuit: L ? (R != 0) : 0
+			c.expr(x.L)
+			jz := c.emit(Instr{Op: OpJmpZero})
+			c.expr(x.R)
+			c.emit(Instr{Op: OpConst, Val: NumValue(0)})
+			c.emit(Instr{Op: OpNe})
+			jend := c.emit(Instr{Op: OpJmp})
+			c.patch(jz, c.here())
+			c.emit(Instr{Op: OpConst, Val: NumValue(0)})
+			c.patch(jend, c.here())
+		case srcmodel.TokOrOr:
+			// Short-circuit: L ? 1 : (R != 0)
+			c.expr(x.L)
+			jz := c.emit(Instr{Op: OpJmpZero})
+			c.emit(Instr{Op: OpConst, Val: NumValue(1)})
+			jend := c.emit(Instr{Op: OpJmp})
+			c.patch(jz, c.here())
+			c.expr(x.R)
+			c.emit(Instr{Op: OpConst, Val: NumValue(0)})
+			c.emit(Instr{Op: OpNe})
+			c.patch(jend, c.here())
+		default:
+			op, ok := binOps[x.Op]
+			if !ok {
+				c.fail(x.Pos, "unsupported binary operator %s", x.Op)
+				return
+			}
+			c.expr(x.L)
+			c.expr(x.R)
+			c.emit(Instr{Op: op})
+		}
+	case *srcmodel.UnaryExpr:
+		switch x.Op {
+		case srcmodel.TokMinus:
+			c.expr(x.X)
+			c.emit(Instr{Op: OpNeg})
+		case srcmodel.TokNot:
+			c.expr(x.X)
+			c.emit(Instr{Op: OpNot})
+		case srcmodel.TokStar:
+			// *p compiles as p[0].
+			c.expr(x.X)
+			c.emit(Instr{Op: OpConst, Val: NumValue(0)})
+			c.emit(Instr{Op: OpLoadIndex})
+		default:
+			c.fail(x.Pos, "unsupported unary operator %s", x.Op)
+		}
+	case *srcmodel.AssignExpr:
+		c.assign(x)
+	case *srcmodel.IncDecExpr:
+		id, ok := x.X.(*srcmodel.Ident)
+		if !ok {
+			c.fail(x.Pos, "++/-- supported on plain variables only")
+			return
+		}
+		op := OpAdd
+		if x.Op == srcmodel.TokDec {
+			op = OpSub
+		}
+		c.loadIdent(id)
+		c.emit(Instr{Op: OpConst, Val: NumValue(1)})
+		c.emit(Instr{Op: op})
+		c.storeIdent(id)
+		c.loadIdent(id) // expression value (post-inc semantics simplified to new value)
+	case *srcmodel.CallExpr:
+		for _, a := range x.Args {
+			c.expr(a)
+		}
+		c.emit(Instr{Op: OpCall, Sym: x.Callee, A: len(x.Args)})
+	case *srcmodel.IndexExpr:
+		c.expr(x.Array)
+		c.expr(x.Index)
+		c.emit(Instr{Op: OpLoadIndex})
+	default:
+		c.fail(e.Position(), "unsupported expression %T", e)
+	}
+}
+
+func (c *compiler) loadIdent(id *srcmodel.Ident) {
+	if slot := c.resolve(id.Name); slot >= 0 {
+		c.emit(Instr{Op: OpLoadLocal, A: slot})
+	} else {
+		c.emit(Instr{Op: OpLoadGlobal, Sym: id.Name})
+	}
+}
+
+func (c *compiler) storeIdent(id *srcmodel.Ident) {
+	if slot := c.resolve(id.Name); slot >= 0 {
+		c.emit(Instr{Op: OpStoreLocal, A: slot})
+	} else {
+		c.emit(Instr{Op: OpStoreGlobal, Sym: id.Name})
+	}
+}
+
+func (c *compiler) assign(x *srcmodel.AssignExpr) {
+	switch lhs := x.LHS.(type) {
+	case *srcmodel.Ident:
+		if x.Op == srcmodel.TokAssign {
+			c.expr(x.RHS)
+		} else {
+			c.loadIdent(lhs)
+			c.expr(x.RHS)
+			c.emit(Instr{Op: compoundOps[x.Op]})
+		}
+		c.storeIdent(lhs)
+		c.loadIdent(lhs) // assignment yields the stored value
+	case *srcmodel.IndexExpr:
+		c.expr(lhs.Array)
+		c.expr(lhs.Index)
+		if x.Op == srcmodel.TokAssign {
+			c.expr(x.RHS)
+		} else {
+			// ptr idx → load current, combine, store back. Re-evaluate
+			// array/index (safe: no side effects allowed in lvalues here).
+			c.expr(lhs.Array)
+			c.expr(lhs.Index)
+			c.emit(Instr{Op: OpLoadIndex})
+			c.expr(x.RHS)
+			c.emit(Instr{Op: compoundOps[x.Op]})
+		}
+		c.emit(Instr{Op: OpStoreIndex})
+		// Assignment-as-expression value: reload.
+		c.expr(lhs.Array)
+		c.expr(lhs.Index)
+		c.emit(Instr{Op: OpLoadIndex})
+	case *srcmodel.UnaryExpr:
+		if lhs.Op != srcmodel.TokStar {
+			c.fail(x.Pos, "unsupported assignment target")
+			return
+		}
+		// *p = v compiles as p[0] = v.
+		idx := &srcmodel.IndexExpr{Array: lhs.X, Index: &srcmodel.IntLit{Value: 0}, Pos: lhs.Pos}
+		c.assign(&srcmodel.AssignExpr{Op: x.Op, LHS: idx, RHS: x.RHS, Pos: x.Pos})
+	default:
+		c.fail(x.Pos, "unsupported assignment target %T", x.LHS)
+	}
+}
+
+// extractMeta runs the offline analyses whose results ship with the code:
+// which parameters are worth specializing on, and the loop structure.
+func extractMeta(f *srcmodel.FuncDecl) FuncMeta {
+	var meta FuncMeta
+	loops := srcmodel.Loops(f)
+	boundCounts := make(map[string]int)
+	for _, li := range loops {
+		lm := LoopMeta{BoundParam: -1, Depth: li.Depth, Innermost: li.IsInnermost}
+		if fs, ok := li.Stmt.(*srcmodel.ForStmt); ok && li.NumIter < 0 {
+			if cond, ok := fs.Cond.(*srcmodel.BinaryExpr); ok {
+				if bound, ok := cond.R.(*srcmodel.Ident); ok {
+					for pi, prm := range f.Params {
+						if prm.Name == bound.Name && prm.Type.Pointers == 0 {
+							lm.BoundParam = pi
+							boundCounts[prm.Name]++
+						}
+					}
+				}
+			}
+		}
+		meta.Loops = append(meta.Loops, lm)
+	}
+	for pi, prm := range f.Params {
+		if prm.Type.Pointers > 0 || boundCounts[prm.Name] == 0 {
+			continue
+		}
+		if srcmodel.WritesTo(f.Body, prm.Name) {
+			continue
+		}
+		meta.SpecializableParams = append(meta.SpecializableParams, pi)
+	}
+	meta.PureScalar = len(srcmodel.Calls(f, "")) == 0
+	for _, prm := range f.Params {
+		if prm.Type.Pointers > 0 {
+			meta.PureScalar = false
+		}
+	}
+	return meta
+}

@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/srcmodel"
+)
+
+func TestGlobalInitForms(t *testing.T) {
+	m := compileSrc(t, `
+int counter = 7;
+double rate = 1.5;
+double buf[4];
+int bare;
+int useAll() { buf[0] = rate; return counter + bare; }
+`)
+	if m.Globals["counter"].Num != 7 || m.Globals["rate"].Num != 1.5 {
+		t.Errorf("scalar globals: %+v", m.Globals)
+	}
+	if g := m.Globals["buf"]; g.Kind != KindPtr || len(g.Arr) != 4 {
+		t.Errorf("array global: %+v", g)
+	}
+	if m.Globals["bare"].Num != 0 {
+		t.Errorf("uninitialized global: %+v", m.Globals["bare"])
+	}
+	if got := run(t, m, "useAll"); got.Num != 7 {
+		t.Errorf("useAll: %v", got.Num)
+	}
+	// Non-literal global initializers are rejected.
+	prog, err := srcmodel.Parse("g.c", `int x = f();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(prog); err == nil || !strings.Contains(err.Error(), "literal initializers") {
+		t.Errorf("call initializer: %v", err)
+	}
+}
+
+func TestValueAndOpcodeStrings(t *testing.T) {
+	if NumValue(3).String() != "3" {
+		t.Error("num render")
+	}
+	if PtrValue(make([]float64, 2)).String() != "ptr(len=2)" {
+		t.Error("ptr render")
+	}
+	if StrValue("x").String() != `"x"` {
+		t.Error("str render")
+	}
+	if (Value{Kind: ValueKind(99)}).String() != "?" {
+		t.Error("unknown kind render")
+	}
+	if OpAdd.String() != "add" || Opcode(999).String() == "" {
+		t.Error("opcode render")
+	}
+}
+
+func TestAddVersionReplacesExisting(t *testing.T) {
+	m := NewModule()
+	m.AddVersion("f", 0, 8, "f_v1")
+	m.AddVersion("f", 0, 8, "f_v2") // same match: replace target
+	m.AddVersion("f", 0, 16, "f_w")
+	vt := m.Variants["f"]
+	if len(vt.Entries) != 2 {
+		t.Fatalf("entries: %+v", vt.Entries)
+	}
+	if vt.Entries[0].Target != "f_v2" {
+		t.Errorf("replacement: %+v", vt.Entries[0])
+	}
+	// Lookup misses: wrong arity, non-numeric, unmatched value.
+	if m.Lookup("f", nil) != "" {
+		t.Error("empty args should miss")
+	}
+	if m.Lookup("f", []Value{StrValue("x")}) != "" {
+		t.Error("string arg should miss")
+	}
+	if m.Lookup("f", []Value{NumValue(99)}) != "" {
+		t.Error("unmatched value should miss")
+	}
+	if m.Lookup("g", []Value{NumValue(8)}) != "" {
+		t.Error("unknown function should miss")
+	}
+	if m.Lookup("f", []Value{NumValue(16)}) != "f_w" {
+		t.Error("matching lookup failed")
+	}
+}
+
+func TestWhileWithContinueAndLogicalStatements(t *testing.T) {
+	m := compileSrc(t, `
+int oddsum(int n) {
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        i++;
+        if (i % 2 == 0) continue;
+        s += i;
+    }
+    return s;
+}
+int boolval(int a, int b) { return (a || b) + (a && b); }
+`)
+	if got := run(t, m, "oddsum", NumValue(10)); got.Num != 1+3+5+7+9 {
+		t.Errorf("oddsum = %v", got.Num)
+	}
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {1, 0, 1}, {0, 2, 1}, {3, 4, 2},
+	}
+	for _, c := range cases {
+		if got := run(t, m, "boolval", NumValue(c.a), NumValue(c.b)); got.Num != c.want {
+			t.Errorf("boolval(%v,%v) = %v, want %v", c.a, c.b, got.Num, c.want)
+		}
+	}
+}
+
+func TestDerefCompilesAsIndexZero(t *testing.T) {
+	m := compileSrc(t, `
+double first(double* p) { return *p; }
+void setFirst(double* p, double v) { *p = v; }
+`)
+	buf := []float64{3, 4}
+	if got := run(t, m, "first", PtrValue(buf)); got.Num != 3 {
+		t.Errorf("*p = %v", got.Num)
+	}
+	run(t, m, "setFirst", PtrValue(buf), NumValue(9))
+	if buf[0] != 9 {
+		t.Errorf("*p = v: %v", buf)
+	}
+}
+
+func TestCompoundIndexAssign(t *testing.T) {
+	m := compileSrc(t, `
+void bump(double* a, int i) { a[i] += 2.5; a[i] *= 2.0; }
+`)
+	buf := []float64{0, 1}
+	run(t, m, "bump", PtrValue(buf), NumValue(1))
+	if buf[1] != (1+2.5)*2 {
+		t.Errorf("compound index assign: %v", buf[1])
+	}
+}

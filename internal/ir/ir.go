@@ -1,0 +1,294 @@
+// Package ir implements the split-compilation pipeline of the ANTAREX
+// tool flow (paper §III-B): a compact stack IR, an *offline* compiler and
+// optimizer that runs at design/deploy time, and a *runtime* specializer
+// that — guided by metadata the offline step ships alongside the code —
+// produces value-specialized variants cheaply while the application runs.
+//
+// The offline step does the expensive work (parsing, analysis, constant
+// folding, identifying specializable parameters and unrollable loops) and
+// conveys the results to the runtime optimizer, exactly the division of
+// labour split compilation prescribes: "split the compilation process in
+// two steps — offline, and online — and offload as much of the complexity
+// as possible to the offline step".
+//
+// The bytecode interpreter doubles as the "machine code w/ JIT manager"
+// box of Fig. 1: it charges a deterministic cycle cost per instruction, so
+// the benefit of unrolling and specialization is measurable both in
+// simulated cycles and in wall-clock benchmark time.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode enumerates IR instructions. The machine is a simple operand
+// stack; locals live in a frame-indexed slot array.
+type Opcode int
+
+// Opcodes.
+const (
+	OpConst      Opcode = iota // push Val
+	OpLoadLocal                // push locals[A]
+	OpStoreLocal               // locals[A] = pop
+	OpLoadIndex                // idx=pop, ptr=pop; push ptr[idx]
+	OpStoreIndex               // val=pop, idx=pop, ptr=pop; ptr[idx]=val
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpJmp         // pc = A
+	OpJmpZero     // if pop == 0: pc = A
+	OpCall        // call Sym with A args (popped right-to-left); pushes result
+	OpRet         // return pop
+	OpRetVoid     // return 0
+	OpPop         // discard top
+	OpNewArray    // push new array of length A (zeroed)
+	OpLoadGlobal  // push Globals[Sym]
+	OpStoreGlobal // Globals[Sym] = pop
+)
+
+var opNames = map[Opcode]string{
+	OpConst: "const", OpLoadLocal: "load", OpStoreLocal: "store",
+	OpLoadIndex: "ldidx", OpStoreIndex: "stidx",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not", OpEq: "eq", OpNe: "ne", OpLt: "lt",
+	OpLe: "le", OpGt: "gt", OpGe: "ge", OpJmp: "jmp", OpJmpZero: "jz",
+	OpCall: "call", OpRet: "ret", OpRetVoid: "retv", OpPop: "pop",
+	OpNewArray: "newarr", OpLoadGlobal: "ldg", OpStoreGlobal: "stg",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Cost is the deterministic cycle cost charged per opcode by the VM. The
+// relative weights follow a classic in-order core: memory and branches
+// cost more than ALU; calls pay a frame-setup overhead. These weights are
+// what make loop overhead visible, so full unrolling yields a measurable
+// simulated speedup.
+func (o Opcode) Cost() int64 {
+	switch o {
+	case OpConst, OpPop:
+		return 1
+	case OpLoadLocal, OpStoreLocal:
+		return 1
+	case OpAdd, OpSub, OpNeg, OpNot, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 1
+	case OpMul:
+		return 3
+	case OpDiv, OpMod:
+		return 12
+	case OpLoadIndex, OpStoreIndex:
+		return 4
+	case OpJmp:
+		return 2
+	case OpJmpZero:
+		return 3
+	case OpCall:
+		return 10
+	case OpRet, OpRetVoid:
+		return 4
+	case OpNewArray:
+		return 20
+	case OpLoadGlobal, OpStoreGlobal:
+		return 3
+	}
+	return 1
+}
+
+// ValueKind tags runtime values.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindNum ValueKind = iota // numeric (float64 carries both int and fp)
+	KindPtr                  // array reference
+	KindStr                  // string (used by instrumentation externs)
+)
+
+// Value is a runtime value of the IR machine.
+type Value struct {
+	Kind ValueKind
+	Num  float64
+	Arr  []float64
+	Str  string
+}
+
+// Num returns a numeric value.
+func NumValue(f float64) Value { return Value{Kind: KindNum, Num: f} }
+
+// Ptr returns an array-reference value.
+func PtrValue(a []float64) Value { return Value{Kind: KindPtr, Arr: a} }
+
+// Str returns a string value.
+func StrValue(s string) Value { return Value{Kind: KindStr, Str: s} }
+
+// Bool converts a numeric value to a Go bool (non-zero is true).
+func (v Value) Bool() bool { return v.Num != 0 }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNum:
+		return fmt.Sprintf("%g", v.Num)
+	case KindPtr:
+		return fmt.Sprintf("ptr(len=%d)", len(v.Arr))
+	case KindStr:
+		return fmt.Sprintf("%q", v.Str)
+	}
+	return "?"
+}
+
+// Instr is one IR instruction. A is an integer operand (local slot, jump
+// target, argument count, or array length); Val is the constant for
+// OpConst; Sym is the callee name for OpCall.
+type Instr struct {
+	Op  Opcode
+	A   int
+	Val Value
+	Sym string
+}
+
+// LoopMeta is offline-computed loop metadata shipped to the runtime
+// specializer: which parameter (if any) bounds the loop's trip count.
+type LoopMeta struct {
+	// BoundParam is the index of the function parameter that appears as
+	// the loop bound, or -1 if the bound is already constant/complex.
+	BoundParam int
+	// Depth is the loop nesting depth.
+	Depth int
+	// Innermost marks loops with no nested loop.
+	Innermost bool
+}
+
+// FuncMeta is the per-function metadata block the offline compiler emits —
+// the "results conveyed to runtime optimizers" of split compilation.
+type FuncMeta struct {
+	// SpecializableParams lists parameter indices that are scalar, never
+	// written, and bound at least one loop: specializing on them unlocks
+	// constant trip counts and unrolling.
+	SpecializableParams []int
+	// Loops describes the loops found offline.
+	Loops []LoopMeta
+	// PureScalar reports that the function has no pointer params and no
+	// calls, so memoization of results by argument value is sound.
+	PureScalar bool
+}
+
+// Function is a compiled IR function.
+type Function struct {
+	Name    string
+	NParams int
+	NLocals int // includes params (slots [0,NParams) are the arguments)
+	Code    []Instr
+	Meta    FuncMeta
+}
+
+// Disasm renders the function's code for debugging and golden tests.
+func (f *Function) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (params=%d locals=%d)\n", f.Name, f.NParams, f.NLocals)
+	for i, in := range f.Code {
+		switch in.Op {
+		case OpConst:
+			fmt.Fprintf(&b, "  %3d: %-6s %s\n", i, in.Op, in.Val)
+		case OpCall:
+			fmt.Fprintf(&b, "  %3d: %-6s %s/%d\n", i, in.Op, in.Sym, in.A)
+		case OpLoadLocal, OpStoreLocal, OpJmp, OpJmpZero, OpNewArray:
+			fmt.Fprintf(&b, "  %3d: %-6s %d\n", i, in.Op, in.A)
+		default:
+			fmt.Fprintf(&b, "  %3d: %s\n", i, in.Op)
+		}
+	}
+	return b.String()
+}
+
+// Module is a set of compiled functions plus the runtime variant
+// dispatch table filled in by dynamic weaving (Fig. 4's AddVersion).
+type Module struct {
+	Funcs map[string]*Function
+	// Variants maps a function name to its specialization table.
+	Variants map[string]*VariantTable
+	// Globals are module-level variables, addressed by name.
+	Globals map[string]Value
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{
+		Funcs:    make(map[string]*Function),
+		Variants: make(map[string]*VariantTable),
+		Globals:  make(map[string]Value),
+	}
+}
+
+// Add registers fn, replacing any previous function of the same name.
+func (m *Module) Add(fn *Function) { m.Funcs[fn.Name] = fn }
+
+// VariantTable routes calls of a generic function to value-specialized
+// versions: when the argument at ArgIndex equals Match, the Target
+// function (which omits that argument) is invoked instead.
+type VariantTable struct {
+	ArgIndex int
+	Entries  []VariantEntry
+}
+
+// VariantEntry is one (value → specialized function) mapping.
+type VariantEntry struct {
+	Match  float64
+	Target string
+	// Hits counts dispatches, for monitoring and eviction policies.
+	Hits int64
+}
+
+// AddVersion registers a specialized variant for fn. It implements the
+// LARA AddVersion action: subsequent calls with arg[argIndex] == match are
+// routed to target.
+func (m *Module) AddVersion(fn string, argIndex int, match float64, target string) {
+	vt := m.Variants[fn]
+	if vt == nil {
+		vt = &VariantTable{ArgIndex: argIndex}
+		m.Variants[fn] = vt
+	}
+	for i := range vt.Entries {
+		if vt.Entries[i].Match == match {
+			vt.Entries[i].Target = target
+			return
+		}
+	}
+	vt.Entries = append(vt.Entries, VariantEntry{Match: match, Target: target})
+}
+
+// Lookup finds the variant target for a call to fn with the given args,
+// returning "" when no variant matches.
+func (m *Module) Lookup(fn string, args []Value) string {
+	vt := m.Variants[fn]
+	if vt == nil || vt.ArgIndex >= len(args) {
+		return ""
+	}
+	a := args[vt.ArgIndex]
+	if a.Kind != KindNum {
+		return ""
+	}
+	for i := range vt.Entries {
+		if vt.Entries[i].Match == a.Num {
+			vt.Entries[i].Hits++
+			return vt.Entries[i].Target
+		}
+	}
+	return ""
+}

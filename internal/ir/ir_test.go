@@ -1,0 +1,311 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/srcmodel"
+)
+
+func compileSrc(t *testing.T, src string) *Module {
+	t.Helper()
+	prog, err := srcmodel.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	srcmodel.NormalizeBodies(prog)
+	m, err := Compile(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func run(t *testing.T, m *Module, fn string, args ...Value) Value {
+	t.Helper()
+	vm := NewVM(m)
+	v, err := vm.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("Call(%s): %v", fn, err)
+	}
+	return v
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	m := compileSrc(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int gauss(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i++) {
+        s += i;
+    }
+    return s;
+}
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+`)
+	if got := run(t, m, "fib", NumValue(10)); got.Num != 55 {
+		t.Errorf("fib(10) = %v, want 55", got.Num)
+	}
+	if got := run(t, m, "gauss", NumValue(100)); got.Num != 5050 {
+		t.Errorf("gauss(100) = %v, want 5050", got.Num)
+	}
+	if got := run(t, m, "collatz", NumValue(27)); got.Num != 111 {
+		t.Errorf("collatz(27) = %v, want 111", got.Num)
+	}
+}
+
+func TestArraysAndGlobals(t *testing.T) {
+	m := compileSrc(t, `
+double total = 0.0;
+double work() {
+    double buf[8];
+    for (int i = 0; i < 8; i++) {
+        buf[i] = i * 1.5;
+    }
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) {
+        s += buf[i];
+    }
+    total = s;
+    return s;
+}
+`)
+	want := 1.5 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7)
+	if got := run(t, m, "work"); got.Num != want {
+		t.Errorf("work() = %v, want %v", got.Num, want)
+	}
+	if g := m.Globals["total"]; g.Num != want {
+		t.Errorf("global total = %v, want %v", g.Num, want)
+	}
+}
+
+func TestPointerArgsShareMemory(t *testing.T) {
+	m := compileSrc(t, `
+void scale(double* a, int n, double k) {
+    for (int i = 0; i < n; i++) {
+        a[i] *= k;
+    }
+}
+`)
+	buf := []float64{1, 2, 3, 4}
+	run(t, m, "scale", PtrValue(buf), NumValue(4), NumValue(10))
+	for i, want := range []float64{10, 20, 30, 40} {
+		if buf[i] != want {
+			t.Errorf("buf[%d] = %v, want %v", i, buf[i], want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	m := compileSrc(t, `
+int calls = 0;
+int bump() { calls += 1; return 1; }
+int andTest(int x) { return x && bump(); }
+int orTest(int x) { return x || bump(); }
+`)
+	vmRun := func(fn string, arg float64) (float64, float64) {
+		vm := NewVM(m)
+		m.Globals["calls"] = NumValue(0)
+		v, err := vm.Call(fn, NumValue(arg))
+		if err != nil {
+			t.Fatalf("%s: %v", fn, err)
+		}
+		return v.Num, m.Globals["calls"].Num
+	}
+	if v, calls := vmRun("andTest", 0); v != 0 || calls != 0 {
+		t.Errorf("0 && bump(): v=%v calls=%v, want 0,0", v, calls)
+	}
+	if v, calls := vmRun("andTest", 5); v != 1 || calls != 1 {
+		t.Errorf("5 && bump(): v=%v calls=%v, want 1,1", v, calls)
+	}
+	if v, calls := vmRun("orTest", 5); v != 1 || calls != 0 {
+		t.Errorf("5 || bump(): v=%v calls=%v, want 1,0", v, calls)
+	}
+	if v, calls := vmRun("orTest", 0); v != 1 || calls != 1 {
+		t.Errorf("0 || bump(): v=%v calls=%v, want 1,1", v, calls)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	m := compileSrc(t, `
+int f() {
+    int s = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        s += i;
+    }
+    return s;
+}
+`)
+	if got := run(t, m, "f"); got.Num != 1+3+5+7+9 {
+		t.Errorf("f() = %v, want 25", got.Num)
+	}
+}
+
+func TestExterns(t *testing.T) {
+	m := compileSrc(t, `
+void driver(int n) {
+    for (int i = 0; i < n; i++) {
+        record("driver", i);
+    }
+}
+`)
+	vm := NewVM(m)
+	var got []float64
+	vm.RegisterExtern("record", func(_ *VM, args []Value) (Value, error) {
+		if args[0].Str != "driver" {
+			t.Errorf("extern arg 0 = %v", args[0])
+		}
+		got = append(got, args[1].Num)
+		return NumValue(0), nil
+	})
+	if _, err := vm.Call("driver", NumValue(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("extern calls: %v", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	m := compileSrc(t, `
+double oob(double* a) { return a[99]; }
+double divz(double x) { return x / 0.0; }
+int infinite() { while (1) { } return 0; }
+int selfcall() { return selfcall(); }
+`)
+	cases := []struct {
+		fn   string
+		args []Value
+		want string
+	}{
+		{"oob", []Value{PtrValue(make([]float64, 4))}, "out of range"},
+		{"divz", []Value{NumValue(1)}, "division by zero"},
+		{"nosuch", nil, "undefined function"},
+		{"selfcall", nil, "call depth"},
+	}
+	for _, c := range cases {
+		vm := NewVM(m)
+		_, err := vm.Call(c.fn, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v, want containing %q", c.fn, err, c.want)
+		}
+	}
+	// Fuel exhaustion.
+	vm := NewVM(m)
+	vm.Fuel = 10_000
+	if _, err := vm.Call("infinite"); err != ErrOutOfFuel {
+		t.Errorf("infinite: err=%v, want ErrOutOfFuel", err)
+	}
+}
+
+func TestCycleAccountingDeterministic(t *testing.T) {
+	m := compileSrc(t, `
+int g(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * i; } return s; }
+`)
+	vm1 := NewVM(m)
+	vm2 := NewVM(m)
+	if _, err := vm1.Call("g", NumValue(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm2.Call("g", NumValue(100)); err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Cycles != vm2.Cycles || vm1.Cycles == 0 {
+		t.Errorf("cycles not deterministic: %d vs %d", vm1.Cycles, vm2.Cycles)
+	}
+	// More work costs more cycles.
+	vm3 := NewVM(m)
+	if _, err := vm3.Call("g", NumValue(200)); err != nil {
+		t.Fatal(err)
+	}
+	if vm3.Cycles <= vm1.Cycles {
+		t.Errorf("200 iterations (%d cycles) should cost more than 100 (%d)", vm3.Cycles, vm1.Cycles)
+	}
+}
+
+// Property: compiled gauss matches closed form for arbitrary n.
+func TestGaussProperty(t *testing.T) {
+	m := compileSrc(t, `
+int gauss(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }
+`)
+	f := func(n uint8) bool {
+		vm := NewVM(m)
+		v, err := vm.Call("gauss", NumValue(float64(n)))
+		if err != nil {
+			return false
+		}
+		want := float64(n) * float64(int(n)+1) / 2
+		return v.Num == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaExtraction(t *testing.T) {
+	m := compileSrc(t, `
+double kernel(double* data, int size, int flag) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s += data[i];
+    }
+    return s;
+}
+int pure(int a, int b) { return a * b + 1; }
+`)
+	k := m.Funcs["kernel"]
+	if len(k.Meta.SpecializableParams) != 1 || k.Meta.SpecializableParams[0] != 1 {
+		t.Errorf("kernel specializable params: %v, want [1]", k.Meta.SpecializableParams)
+	}
+	if len(k.Meta.Loops) != 1 || k.Meta.Loops[0].BoundParam != 1 || !k.Meta.Loops[0].Innermost {
+		t.Errorf("kernel loop meta: %+v", k.Meta.Loops)
+	}
+	if k.Meta.PureScalar {
+		t.Error("kernel has pointer params; must not be PureScalar")
+	}
+	p := m.Funcs["pure"]
+	if !p.Meta.PureScalar {
+		t.Error("pure should be PureScalar")
+	}
+}
+
+func TestDisasmStable(t *testing.T) {
+	m := compileSrc(t, `int id(int x) { return x; }`)
+	d := m.Funcs["id"].Disasm()
+	for _, want := range []string{"func id", "load", "ret"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`int f() { break; }`,
+		`int f() { continue; }`,
+		`int f(int x) { &x; return 0; }`,
+	}
+	for _, src := range bad {
+		prog, err := srcmodel.Parse("bad.c", src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(prog); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}

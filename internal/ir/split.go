@@ -1,0 +1,170 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/srcmodel"
+)
+
+// SplitCompiler packages the two halves of split compilation (§III-B).
+//
+// Offline (construction time): the miniC program is parsed, normalized,
+// compiled to IR and analysed; the source AST is retained as the portable
+// "bitcode" that the runtime specializer consumes (standing in for the
+// paper's SPIR kernels), together with FuncMeta describing where
+// specialization pays off.
+//
+// Online (SpecializeNow / the AutoSpecialize hook): for a hot (function,
+// argument value) pair, the specializer clones the retained AST,
+// substitutes the constant, folds, unrolls the now-constant innermost
+// loops, recompiles just that function, and installs it in the variant
+// table — a cheap, local step because all analysis was done offline.
+type SplitCompiler struct {
+	Source *srcmodel.Program
+	Mod    *Module
+	// UnrollThreshold bounds full unrolling of specialized loops,
+	// mirroring the threshold input of the Fig. 3 aspect.
+	UnrollThreshold int64
+
+	globals map[string]bool
+	// stats
+	Specializations int
+}
+
+// NewSplitCompiler runs the offline step over the program source.
+func NewSplitCompiler(file, source string) (*SplitCompiler, error) {
+	prog, err := srcmodel.Parse(file, source)
+	if err != nil {
+		return nil, err
+	}
+	return NewSplitCompilerAST(prog)
+}
+
+// NewSplitCompilerAST runs the offline step over an already-parsed (and
+// possibly woven) program.
+func NewSplitCompilerAST(prog *srcmodel.Program) (*SplitCompiler, error) {
+	srcmodel.NormalizeBodies(prog)
+	mod, err := Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	globals := make(map[string]bool, len(prog.Globals))
+	for _, g := range prog.Globals {
+		globals[g.Name] = true
+	}
+	return &SplitCompiler{
+		Source:          prog,
+		Mod:             mod,
+		UnrollThreshold: 64,
+		globals:         globals,
+	}, nil
+}
+
+// SpecializedName is the naming scheme for generated variants.
+func SpecializedName(fn, param string, value int64) string {
+	return fmt.Sprintf("%s__%s_%d", fn, param, value)
+}
+
+// SpecializeNow generates (or reuses) a variant of fn with paramName fixed
+// to value, installs it in the module and variant table, and returns its
+// name. This is the online half of split compilation.
+func (sc *SplitCompiler) SpecializeNow(fnName, paramName string, value int64) (string, error) {
+	f := sc.Source.Func(fnName)
+	if f == nil {
+		return "", fmt.Errorf("ir: split: no source for function %q", fnName)
+	}
+	spName := SpecializedName(fnName, paramName, value)
+	if _, ok := sc.Mod.Funcs[spName]; ok {
+		return spName, nil // already specialized
+	}
+	sp, err := srcmodel.SpecializeFunc(f, spName, paramName, value)
+	if err != nil {
+		return "", err
+	}
+	if _, err := srcmodel.UnrollInnermost(sp, sc.UnrollThreshold); err != nil {
+		return "", err
+	}
+	fn, err := CompileFunc(sp, sc.globals)
+	if err != nil {
+		return "", err
+	}
+	sc.Mod.Add(fn)
+	argIdx := -1
+	for i, prm := range f.Params {
+		if prm.Name == paramName {
+			argIdx = i
+		}
+	}
+	sc.Mod.AddVersion(fnName, argIdx, float64(value), spName)
+	sc.Specializations++
+	return spName, nil
+}
+
+// AutoSpecializeHook returns a CallHook implementing the dynamic-weaving
+// policy of Fig. 4: monitor calls to fnName; when the runtime value of
+// paramName falls within [lowT, highT] and has been seen at least
+// hotAfter times, specialize the function for that value and register the
+// variant. Specialization failures are silently skipped (the generic
+// version keeps serving the call).
+func (sc *SplitCompiler) AutoSpecializeHook(fnName, paramName string, lowT, highT int64, hotAfter int) CallHook {
+	f := sc.Source.Func(fnName)
+	argIdx := -1
+	if f != nil {
+		for i, prm := range f.Params {
+			if prm.Name == paramName {
+				argIdx = i
+			}
+		}
+	}
+	seen := make(map[int64]int)
+	return func(vm *VM, callee string, args []Value) {
+		if callee != fnName || argIdx < 0 || argIdx >= len(args) {
+			return
+		}
+		a := args[argIdx]
+		if a.Kind != KindNum || a.Num != float64(int64(a.Num)) {
+			return
+		}
+		v := int64(a.Num)
+		if v < lowT || v > highT {
+			return
+		}
+		seen[v]++
+		if seen[v] != hotAfter {
+			return
+		}
+		if _, err := sc.SpecializeNow(fnName, paramName, v); err != nil {
+			seen[v] = hotAfter + 1 // do not retry every call
+		}
+	}
+}
+
+// OfflineOptimize applies whole-program offline transformations that do
+// not depend on runtime values: constant folding everywhere and full
+// unrolling of constant-bound innermost loops up to the threshold. It
+// recompiles the module. The work it does here is exactly what the online
+// step is spared from repeating.
+func (sc *SplitCompiler) OfflineOptimize() error {
+	for _, f := range sc.Source.Funcs {
+		srcmodel.FoldConstants(f)
+		if _, err := srcmodel.UnrollInnermost(f, sc.UnrollThreshold); err != nil {
+			return err
+		}
+	}
+	mod, err := Compile(sc.Source)
+	if err != nil {
+		return err
+	}
+	// Preserve variants and globals accumulated so far.
+	for name, vt := range sc.Mod.Variants {
+		mod.Variants[name] = vt
+	}
+	for name, fn := range sc.Mod.Funcs {
+		if _, ok := mod.Funcs[name]; !ok {
+			mod.Funcs[name] = fn // keep generated variants
+		}
+	}
+	mod.Globals = sc.Mod.Globals
+	sc.Mod = mod
+	return nil
+}

@@ -1,0 +1,233 @@
+package ir
+
+import (
+	"testing"
+)
+
+const splitSrc = `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s = s + data[i] * data[i];
+    }
+    return s;
+}
+
+double other(double x) { return x * 2.0; }
+`
+
+func TestSpecializeNowCorrectAndFaster(t *testing.T) {
+	sc, err := NewSplitCompiler("k.c", splitSrc)
+	if err != nil {
+		t.Fatalf("NewSplitCompiler: %v", err)
+	}
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	var want float64
+	for _, v := range buf {
+		want += v * v
+	}
+
+	// Generic execution cost.
+	vmG := NewVM(sc.Mod)
+	got, err := vmG.Call("kernel", PtrValue(buf), NumValue(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Num != want {
+		t.Fatalf("generic kernel = %v, want %v", got.Num, want)
+	}
+	genericCycles := vmG.Cycles
+
+	// Specialize for size=16 and re-run through the SAME public name;
+	// variant dispatch must route to the specialized version.
+	spName, err := sc.SpecializeNow("kernel", "size", 16)
+	if err != nil {
+		t.Fatalf("SpecializeNow: %v", err)
+	}
+	if _, ok := sc.Mod.Funcs[spName]; !ok {
+		t.Fatalf("specialized function %q not installed", spName)
+	}
+	vmS := NewVM(sc.Mod)
+	got2, err := vmS.Call("kernel", PtrValue(buf), NumValue(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Num != want {
+		t.Fatalf("specialized kernel = %v, want %v", got2.Num, want)
+	}
+	if vmS.Cycles >= genericCycles {
+		t.Errorf("specialized (%d cycles) not faster than generic (%d)", vmS.Cycles, genericCycles)
+	}
+
+	// A different size must still use the generic path.
+	vmO := NewVM(sc.Mod)
+	buf8 := buf[:8]
+	got3, err := vmO.Call("kernel", PtrValue(buf8), NumValue(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want8 float64
+	for _, v := range buf8 {
+		want8 += v * v
+	}
+	if got3.Num != want8 {
+		t.Fatalf("kernel(8) = %v, want %v", got3.Num, want8)
+	}
+}
+
+func TestSpecializeNowIdempotent(t *testing.T) {
+	sc, err := NewSplitCompiler("k.c", splitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := sc.SpecializeNow("kernel", "size", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := sc.SpecializeNow("kernel", "size", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || sc.Specializations != 1 {
+		t.Errorf("idempotence: %q %q specializations=%d", n1, n2, sc.Specializations)
+	}
+}
+
+func TestSpecializeErrors(t *testing.T) {
+	sc, err := NewSplitCompiler("k.c", splitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.SpecializeNow("nosuch", "size", 8); err == nil {
+		t.Error("expected error for unknown function")
+	}
+	if _, err := sc.SpecializeNow("kernel", "data", 8); err == nil {
+		t.Error("expected error for pointer parameter")
+	}
+}
+
+func TestAutoSpecializeHook(t *testing.T) {
+	sc, err := NewSplitCompiler("k.c", splitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(sc.Mod)
+	vm.AddHook(sc.AutoSpecializeHook("kernel", "size", 4, 64, 3))
+	buf := make([]float64, 32)
+	for i := range buf {
+		buf[i] = 1
+	}
+	// Below hot threshold: no specialization yet.
+	for i := 0; i < 2; i++ {
+		if _, err := vm.Call("kernel", PtrValue(buf), NumValue(32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Specializations != 0 {
+		t.Fatalf("specialized too early: %d", sc.Specializations)
+	}
+	// Third call crosses hotAfter=3.
+	if _, err := vm.Call("kernel", PtrValue(buf), NumValue(32)); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Specializations != 1 {
+		t.Fatalf("expected 1 specialization, got %d", sc.Specializations)
+	}
+	// Out-of-range sizes never specialize.
+	big := make([]float64, 100)
+	for i := 0; i < 10; i++ {
+		if _, err := vm.Call("kernel", PtrValue(big), NumValue(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Specializations != 1 {
+		t.Errorf("out-of-range value specialized: %d", sc.Specializations)
+	}
+	// Variant table actually serves hits.
+	vt := sc.Mod.Variants["kernel"]
+	if vt == nil || len(vt.Entries) != 1 {
+		t.Fatalf("variant table: %+v", vt)
+	}
+	if vt.Entries[0].Hits == 0 {
+		t.Error("variant never dispatched")
+	}
+}
+
+func TestOfflineOptimizeUnrollsConstantLoops(t *testing.T) {
+	src := `
+double fixed(double* a) {
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) {
+        s += a[i];
+    }
+    return s;
+}
+`
+	sc, err := NewSplitCompiler("f.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	vmBefore := NewVM(sc.Mod)
+	v1, err := vmBefore.Call("fixed", PtrValue(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := vmBefore.Cycles
+
+	if err := sc.OfflineOptimize(); err != nil {
+		t.Fatal(err)
+	}
+	vmAfter := NewVM(sc.Mod)
+	v2, err := vmAfter.Call("fixed", PtrValue(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Num != v2.Num || v1.Num != 36 {
+		t.Fatalf("results differ: %v vs %v", v1.Num, v2.Num)
+	}
+	if vmAfter.Cycles >= before {
+		t.Errorf("offline optimize did not reduce cycles: %d >= %d", vmAfter.Cycles, before)
+	}
+}
+
+// TestSplitBeatsBothExtremes demonstrates the split-compilation trade-off
+// the paper leverages: offline-only cannot exploit runtime values,
+// online-only pays full compilation at runtime, split pays a small runtime
+// cost and gets the specialized code.
+func TestSplitBeatsBothExtremes(t *testing.T) {
+	sc, err := NewSplitCompiler("k.c", splitSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 24)
+	for i := range buf {
+		buf[i] = 2
+	}
+	// offline-only: generic code forever.
+	vmOff := NewVM(sc.Mod)
+	for i := 0; i < 50; i++ {
+		if _, err := vmOff.Call("kernel", PtrValue(buf), NumValue(24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offlineCycles := vmOff.Cycles
+
+	// split: specialize once, then reuse.
+	sc2, _ := NewSplitCompiler("k.c", splitSrc)
+	if _, err := sc2.SpecializeNow("kernel", "size", 24); err != nil {
+		t.Fatal(err)
+	}
+	vmSplit := NewVM(sc2.Mod)
+	for i := 0; i < 50; i++ {
+		if _, err := vmSplit.Call("kernel", PtrValue(buf), NumValue(24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vmSplit.Cycles >= offlineCycles {
+		t.Errorf("split (%d) should beat offline-only (%d) on repeated hot calls", vmSplit.Cycles, offlineCycles)
+	}
+}

@@ -1,0 +1,230 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Extern is a host function callable from IR code. Weaving-injected
+// instrumentation (profile_args, monitor hooks) is provided as externs.
+type Extern func(vm *VM, args []Value) (Value, error)
+
+// CallHook observes every call executed by the VM, before dispatch. The
+// DSL's dynamic weaving (Fig. 4 `apply dynamic`) registers a hook that
+// inspects runtime argument values and installs specialized variants.
+type CallHook func(vm *VM, callee string, args []Value)
+
+// VM executes IR modules with deterministic cycle accounting.
+type VM struct {
+	Mod     *Module
+	Externs map[string]Extern
+	Hooks   []CallHook
+
+	// Cycles accumulates the deterministic cost of executed instructions;
+	// it is the "time" the simulator substrates consume.
+	Cycles int64
+	// Fuel bounds execution; 0 means the default budget. Running out
+	// returns ErrOutOfFuel, preventing runaway woven programs.
+	Fuel int64
+
+	depth int
+}
+
+// ErrOutOfFuel is returned when execution exceeds the fuel budget.
+var ErrOutOfFuel = fmt.Errorf("ir: execution exceeded fuel budget")
+
+const defaultFuel = 500_000_000
+
+// maxDepth bounds recursion.
+const maxDepth = 512
+
+// NewVM returns a VM over mod with no externs registered.
+func NewVM(mod *Module) *VM {
+	return &VM{Mod: mod, Externs: make(map[string]Extern)}
+}
+
+// RegisterExtern installs a host function under name.
+func (vm *VM) RegisterExtern(name string, fn Extern) { vm.Externs[name] = fn }
+
+// AddHook appends a call hook.
+func (vm *VM) AddHook(h CallHook) { vm.Hooks = append(vm.Hooks, h) }
+
+// Call invokes the named function with args, applying variant dispatch and
+// call hooks, and returns its result.
+func (vm *VM) Call(name string, args ...Value) (Value, error) {
+	if vm.Fuel == 0 {
+		vm.Fuel = defaultFuel
+	}
+	return vm.call(name, args)
+}
+
+func (vm *VM) call(name string, args []Value) (Value, error) {
+	if vm.depth >= maxDepth {
+		return Value{}, fmt.Errorf("ir: call depth exceeded at %q", name)
+	}
+	for _, h := range vm.Hooks {
+		h(vm, name, args)
+	}
+	// Variant dispatch: a specialized version may shadow the generic one
+	// for specific argument values (Fig. 4 AddVersion semantics).
+	if target := vm.Mod.Lookup(name, args); target != "" {
+		vt := vm.Mod.Variants[name]
+		spArgs := make([]Value, 0, len(args)-1)
+		spArgs = append(spArgs, args[:vt.ArgIndex]...)
+		spArgs = append(spArgs, args[vt.ArgIndex+1:]...)
+		name, args = target, spArgs
+	}
+	if fn, ok := vm.Mod.Funcs[name]; ok {
+		vm.depth++
+		v, err := vm.exec(fn, args)
+		vm.depth--
+		return v, err
+	}
+	if ext, ok := vm.Externs[name]; ok {
+		return ext(vm, args)
+	}
+	return Value{}, fmt.Errorf("ir: undefined function %q", name)
+}
+
+func (vm *VM) exec(fn *Function, args []Value) (Value, error) {
+	if len(args) != fn.NParams {
+		return Value{}, fmt.Errorf("ir: %s expects %d args, got %d", fn.Name, fn.NParams, len(args))
+	}
+	locals := make([]Value, fn.NLocals)
+	copy(locals, args)
+	stack := make([]Value, 0, 16)
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	push := func(v Value) { stack = append(stack, v) }
+
+	code := fn.Code
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		cost := in.Op.Cost()
+		vm.Cycles += cost
+		vm.Fuel -= cost
+		if vm.Fuel <= 0 {
+			return Value{}, ErrOutOfFuel
+		}
+		switch in.Op {
+		case OpConst:
+			push(in.Val)
+		case OpLoadLocal:
+			push(locals[in.A])
+		case OpStoreLocal:
+			locals[in.A] = pop()
+		case OpLoadGlobal:
+			push(vm.Mod.Globals[in.Sym])
+		case OpStoreGlobal:
+			vm.Mod.Globals[in.Sym] = pop()
+		case OpLoadIndex:
+			idx := pop()
+			ptr := pop()
+			if ptr.Kind != KindPtr {
+				return Value{}, fmt.Errorf("ir: %s: indexing non-pointer", fn.Name)
+			}
+			i := int(idx.Num)
+			if i < 0 || i >= len(ptr.Arr) {
+				return Value{}, fmt.Errorf("ir: %s: index %d out of range [0,%d)", fn.Name, i, len(ptr.Arr))
+			}
+			push(NumValue(ptr.Arr[i]))
+		case OpStoreIndex:
+			val := pop()
+			idx := pop()
+			ptr := pop()
+			if ptr.Kind != KindPtr {
+				return Value{}, fmt.Errorf("ir: %s: indexing non-pointer", fn.Name)
+			}
+			i := int(idx.Num)
+			if i < 0 || i >= len(ptr.Arr) {
+				return Value{}, fmt.Errorf("ir: %s: index %d out of range [0,%d)", fn.Name, i, len(ptr.Arr))
+			}
+			ptr.Arr[i] = val.Num
+		case OpAdd:
+			r, l := pop(), pop()
+			push(NumValue(l.Num + r.Num))
+		case OpSub:
+			r, l := pop(), pop()
+			push(NumValue(l.Num - r.Num))
+		case OpMul:
+			r, l := pop(), pop()
+			push(NumValue(l.Num * r.Num))
+		case OpDiv:
+			r, l := pop(), pop()
+			if r.Num == 0 {
+				return Value{}, fmt.Errorf("ir: %s: division by zero", fn.Name)
+			}
+			push(NumValue(l.Num / r.Num))
+		case OpMod:
+			r, l := pop(), pop()
+			if r.Num == 0 {
+				return Value{}, fmt.Errorf("ir: %s: modulo by zero", fn.Name)
+			}
+			push(NumValue(math.Mod(l.Num, r.Num)))
+		case OpNeg:
+			push(NumValue(-pop().Num))
+		case OpNot:
+			if pop().Bool() {
+				push(NumValue(0))
+			} else {
+				push(NumValue(1))
+			}
+		case OpEq:
+			r, l := pop(), pop()
+			push(boolValue(l.Num == r.Num))
+		case OpNe:
+			r, l := pop(), pop()
+			push(boolValue(l.Num != r.Num))
+		case OpLt:
+			r, l := pop(), pop()
+			push(boolValue(l.Num < r.Num))
+		case OpLe:
+			r, l := pop(), pop()
+			push(boolValue(l.Num <= r.Num))
+		case OpGt:
+			r, l := pop(), pop()
+			push(boolValue(l.Num > r.Num))
+		case OpGe:
+			r, l := pop(), pop()
+			push(boolValue(l.Num >= r.Num))
+		case OpJmp:
+			pc = in.A - 1
+		case OpJmpZero:
+			if !pop().Bool() {
+				pc = in.A - 1
+			}
+		case OpCall:
+			n := in.A
+			callArgs := make([]Value, n)
+			for i := n - 1; i >= 0; i-- {
+				callArgs[i] = pop()
+			}
+			res, err := vm.call(in.Sym, callArgs)
+			if err != nil {
+				return Value{}, err
+			}
+			push(res)
+		case OpRet:
+			return pop(), nil
+		case OpRetVoid:
+			return NumValue(0), nil
+		case OpPop:
+			pop()
+		case OpNewArray:
+			push(PtrValue(make([]float64, in.A)))
+		default:
+			return Value{}, fmt.Errorf("ir: %s: unknown opcode %v", fn.Name, in.Op)
+		}
+	}
+	return NumValue(0), nil
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return NumValue(1)
+	}
+	return NumValue(0)
+}

@@ -1,0 +1,108 @@
+package monitor
+
+// Set is a collection of named metric windows — the "collect" stage.
+type Set struct {
+	windows map[string]*Window
+	size    int
+}
+
+// NewSet returns a monitor set whose windows hold size samples each.
+func NewSet(size int) *Set {
+	return &Set{windows: make(map[string]*Window), size: size}
+}
+
+// Push records a sample for metric.
+func (s *Set) Push(metric string, v float64) {
+	w, ok := s.windows[metric]
+	if !ok {
+		w = NewWindow(s.size)
+		s.windows[metric] = w
+	}
+	w.Push(v)
+}
+
+// Window returns the window for metric (nil if never pushed).
+func (s *Set) Window(metric string) *Window { return s.windows[metric] }
+
+// Summaries snapshots every metric — the "analyse" stage.
+func (s *Set) Summaries() map[string]Summary {
+	out := make(map[string]Summary, len(s.windows))
+	for name, w := range s.windows {
+		out[name] = w.Snapshot()
+	}
+	return out
+}
+
+// Reset clears all windows (used after an adaptation so stale samples
+// from the previous configuration do not pollute the next decision).
+func (s *Set) Reset() {
+	for _, w := range s.windows {
+		w.Reset()
+	}
+}
+
+// Decision is what the decide stage tells the act stage.
+type Decision struct {
+	// Adapt requests a configuration change.
+	Adapt bool
+	// Reason is the violated goal (or "" for proactive adaptations).
+	Reason string
+	// Violation is the normalized magnitude.
+	Violation float64
+}
+
+// Loop is the application-level collect–analyse–decide–act loop of §II.
+// Collect by pushing samples into Metrics; each Tick analyses the
+// windows against the SLA, debounces via the trigger, and invokes the
+// act callback on a firing decision.
+type Loop struct {
+	Metrics *Set
+	SLA     SLA
+	Trigger *Trigger
+	// Act is invoked when adaptation is decided. It receives the current
+	// summaries so the actuator (autotuner) can pick a new configuration.
+	Act func(Decision, map[string]Summary)
+
+	ticks       int64
+	adaptations int64
+}
+
+// NewLoop assembles a loop with a window of windowSize samples per
+// metric and a debounce of debounce consecutive violations.
+func NewLoop(sla SLA, windowSize, debounce int, act func(Decision, map[string]Summary)) *Loop {
+	return &Loop{
+		Metrics: NewSet(windowSize),
+		SLA:     sla,
+		Trigger: NewTrigger(debounce),
+		Act:     act,
+	}
+}
+
+// Tick runs one analyse-decide-act cycle and returns the decision.
+func (l *Loop) Tick() Decision {
+	l.ticks++
+	sums := l.Metrics.Summaries()
+	ok, goalIdx, violation := l.SLA.Check(sums)
+	fire := l.Trigger.Observe(!ok)
+	d := Decision{}
+	if fire {
+		d.Adapt = true
+		d.Violation = violation
+		if goalIdx >= 0 {
+			d.Reason = l.SLA.Goals[goalIdx].String()
+		}
+		l.adaptations++
+		if l.Act != nil {
+			l.Act(d, sums)
+		}
+		// Fresh windows for the new configuration.
+		l.Metrics.Reset()
+	}
+	return d
+}
+
+// Ticks returns the number of cycles run.
+func (l *Loop) Ticks() int64 { return l.ticks }
+
+// Adaptations returns how many times the loop fired the actuator.
+func (l *Loop) Adaptations() int64 { return l.adaptations }

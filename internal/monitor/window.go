@@ -1,0 +1,197 @@
+// Package monitor implements the application-level runtime monitoring
+// layer of the ANTAREX flow (paper §II and §IV): windowed statistics over
+// metric streams, Service-Level-Agreement goals, debounced violation
+// triggers, and the collect–analyse–decide–act loop that connects
+// monitors to the autotuner. "The monitoring, together with application
+// properties/features, represents the main support to the
+// decision-making during the application autotuning phase."
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Window is a fixed-capacity sliding window of float64 samples with O(1)
+// push and O(1) mean/variance queries (incremental sums) plus
+// percentile queries on demand.
+type Window struct {
+	buf   []float64
+	size  int
+	head  int
+	count int
+	sum   float64
+	sumSq float64
+	total int64 // lifetime samples
+}
+
+// NewWindow returns a window holding the last size samples.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		size = 1
+	}
+	return &Window{buf: make([]float64, size), size: size}
+}
+
+// Push adds a sample, evicting the oldest when full.
+func (w *Window) Push(v float64) {
+	if w.count == w.size {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sumSq -= old * old
+	} else {
+		w.count++
+	}
+	w.buf[w.head] = v
+	w.head = (w.head + 1) % w.size
+	w.sum += v
+	w.sumSq += v * v
+	w.total++
+}
+
+// Len returns the number of live samples.
+func (w *Window) Len() int { return w.count }
+
+// Total returns the lifetime sample count.
+func (w *Window) Total() int64 { return w.total }
+
+// Mean returns the window mean (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	return w.sum / float64(w.count)
+}
+
+// Variance returns the (population) variance over the window.
+func (w *Window) Variance() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sumSq/float64(w.count) - m*m
+	if v < 0 {
+		return 0 // numerical floor
+	}
+	return v
+}
+
+// StdDev returns the standard deviation over the window.
+func (w *Window) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the window minimum (0 when empty).
+func (w *Window) Min() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, v := range w.live() {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the window maximum (0 when empty).
+func (w *Window) Max() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	m := math.Inf(-1)
+	for _, v := range w.live() {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the window.
+func (w *Window) Percentile(p float64) float64 {
+	if w.count == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), w.live()...)
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[len(vals)-1]
+	}
+	rank := p / 100 * float64(len(vals)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[len(vals)-1]
+	}
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+func (w *Window) live() []float64 {
+	if w.count < w.size {
+		return w.buf[:w.count]
+	}
+	return w.buf
+}
+
+// Reset clears all samples but keeps the lifetime count.
+func (w *Window) Reset() {
+	w.head, w.count, w.sum, w.sumSq = 0, 0, 0, 0
+}
+
+// Summary is a point-in-time statistical snapshot.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P95    float64
+}
+
+// Snapshot computes a Summary of the window.
+func (w *Window) Snapshot() Summary {
+	return Summary{
+		Count:  w.count,
+		Mean:   w.Mean(),
+		StdDev: w.StdDev(),
+		Min:    w.Min(),
+		Max:    w.Max(),
+		P95:    w.Percentile(95),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g p95=%.4g",
+		s.Count, s.Mean, s.StdDev, s.Min, s.Max, s.P95)
+}
+
+// EWMA is an exponentially weighted moving average, the continuous
+// online-learning primitive used to track drifting operating conditions.
+type EWMA struct {
+	Alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0,1].
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Push folds in a sample.
+func (e *EWMA) Push(v float64) {
+	if !e.init {
+		e.value, e.init = v, true
+		return
+	}
+	e.value = e.Alpha*v + (1-e.Alpha)*e.value
+}
+
+// Value returns the current average.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether any sample has been pushed.
+func (e *EWMA) Initialized() bool { return e.init }

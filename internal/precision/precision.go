@@ -1,0 +1,274 @@
+// Package precision implements the customized-precision autotuning of
+// paper §IV: "customized precision has emerged as a promising approach
+// to achieve power/performance trade-offs when an application can
+// tolerate some loss of quality."
+//
+// Numeric formats below float64 are emulated by rounding every
+// intermediate result to the target format, which reproduces the error
+// propagation a real reduced-precision unit would exhibit. Each format
+// carries a relative energy/time cost per operation (narrower datapaths
+// and halved memory traffic), so a tuner can trade quality for energy
+// under an application error budget.
+package precision
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format is an emulated numeric format.
+type Format int
+
+// Supported formats, widest first.
+const (
+	Float64 Format = iota
+	Float32
+	BFloat16
+	Fixed16 // Q16.16 fixed point
+)
+
+var formatNames = map[Format]string{
+	Float64: "float64", Float32: "float32", BFloat16: "bfloat16",
+	Fixed16: "fixed16.16",
+}
+
+// String returns the format name.
+func (f Format) String() string {
+	if s, ok := formatNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Formats lists all supported formats, widest first.
+func Formats() []Format { return []Format{Float64, Float32, BFloat16, Fixed16} }
+
+// Round quantizes x to the format.
+func (f Format) Round(x float64) float64 {
+	switch f {
+	case Float64:
+		return x
+	case Float32:
+		return float64(float32(x))
+	case BFloat16:
+		// bfloat16 = float32 with the low 16 mantissa bits dropped
+		// (round-to-nearest on the retained bits).
+		bits := math.Float32bits(float32(x))
+		// Round to nearest even on bit 16.
+		lsb := (bits >> 16) & 1
+		bits += 0x7fff + lsb
+		bits &= 0xffff0000
+		return float64(math.Float32frombits(bits))
+	case Fixed16:
+		const scale = 65536.0
+		v := math.Round(x*scale) / scale
+		// Saturate to the Q16.16 range.
+		const lim = 32767.99998
+		if v > lim {
+			return lim
+		}
+		if v < -lim-1 {
+			return -lim - 1
+		}
+		return v
+	}
+	return x
+}
+
+// EnergyPerOp returns the relative energy cost of one arithmetic
+// operation in this format (float64 = 1). The ratios follow the usual
+// datapath-width scaling: energy grows roughly quadratically with
+// mantissa width, and memory traffic halves with the storage width.
+func (f Format) EnergyPerOp() float64 {
+	switch f {
+	case Float64:
+		return 1.0
+	case Float32:
+		return 0.55
+	case BFloat16:
+		return 0.30
+	case Fixed16:
+		return 0.25
+	}
+	return 1.0
+}
+
+// TimePerOp returns the relative latency of one operation (float64 = 1).
+func (f Format) TimePerOp() float64 {
+	switch f {
+	case Float64:
+		return 1.0
+	case Float32:
+		return 0.70
+	case BFloat16:
+		return 0.50
+	case Fixed16:
+		return 0.45
+	}
+	return 1.0
+}
+
+// Bits returns the storage width.
+func (f Format) Bits() int {
+	switch f {
+	case Float64:
+		return 64
+	case Float32:
+		return 32
+	case BFloat16:
+		return 16
+	case Fixed16:
+		return 32
+	}
+	return 64
+}
+
+// Kernel is a numeric kernel computable at any emulated precision.
+// Result returns the kernel output plus the operation count (for cost
+// accounting).
+type Kernel interface {
+	Name() string
+	Run(f Format) (result float64, ops int)
+}
+
+// Dot is an n-element dot product kernel.
+type Dot struct {
+	X, Y []float64
+}
+
+// Name implements Kernel.
+func (d *Dot) Name() string { return "dot" }
+
+// Run implements Kernel: every multiply and accumulate rounds to f.
+func (d *Dot) Run(f Format) (float64, int) {
+	acc := 0.0
+	ops := 0
+	for i := range d.X {
+		prod := f.Round(f.Round(d.X[i]) * f.Round(d.Y[i]))
+		acc = f.Round(acc + prod)
+		ops += 2
+	}
+	return acc, ops
+}
+
+// Stencil is a 1-D 3-point Jacobi stencil iterated Steps times.
+type Stencil struct {
+	Init  []float64
+	Steps int
+}
+
+// Name implements Kernel.
+func (s *Stencil) Name() string { return "stencil" }
+
+// Run implements Kernel.
+func (s *Stencil) Run(f Format) (float64, int) {
+	cur := make([]float64, len(s.Init))
+	for i, v := range s.Init {
+		cur[i] = f.Round(v)
+	}
+	next := make([]float64, len(cur))
+	ops := 0
+	third := f.Round(1.0 / 3.0)
+	for step := 0; step < s.Steps; step++ {
+		for i := range cur {
+			l, r := i-1, i+1
+			if l < 0 {
+				l = 0
+			}
+			if r >= len(cur) {
+				r = len(cur) - 1
+			}
+			sum := f.Round(f.Round(cur[l]+cur[i]) + cur[r])
+			next[i] = f.Round(sum * third)
+			ops += 3
+		}
+		cur, next = next, cur
+	}
+	var checksum float64
+	for _, v := range cur {
+		checksum += v
+	}
+	return checksum, ops
+}
+
+// Saxpy computes sum(a*x[i] + y[i]) as a reduction.
+type Saxpy struct {
+	A    float64
+	X, Y []float64
+}
+
+// Name implements Kernel.
+func (s *Saxpy) Name() string { return "saxpy" }
+
+// Run implements Kernel.
+func (s *Saxpy) Run(f Format) (float64, int) {
+	acc := 0.0
+	a := f.Round(s.A)
+	ops := 0
+	for i := range s.X {
+		v := f.Round(f.Round(a*f.Round(s.X[i])) + f.Round(s.Y[i]))
+		acc = f.Round(acc + v)
+		ops += 3
+	}
+	return acc, ops
+}
+
+// Evaluation is the quality/cost profile of one kernel at one format.
+type Evaluation struct {
+	Format   Format
+	RelError float64 // |result - reference| / |reference|
+	EnergyAU float64 // arbitrary units: ops * EnergyPerOp
+	TimeAU   float64
+}
+
+// Evaluate profiles the kernel at every format against the float64
+// reference.
+func Evaluate(k Kernel) []Evaluation {
+	ref, _ := k.Run(Float64)
+	var out []Evaluation
+	for _, f := range Formats() {
+		res, ops := k.Run(f)
+		relErr := 0.0
+		if ref != 0 {
+			relErr = math.Abs(res-ref) / math.Abs(ref)
+		} else {
+			relErr = math.Abs(res - ref)
+		}
+		out = append(out, Evaluation{
+			Format:   f,
+			RelError: relErr,
+			EnergyAU: float64(ops) * f.EnergyPerOp(),
+			TimeAU:   float64(ops) * f.TimePerOp(),
+		})
+	}
+	return out
+}
+
+// TuneResult is the outcome of precision autotuning.
+type TuneResult struct {
+	Chosen Format
+	Eval   Evaluation
+	// Savings vs float64.
+	EnergySaving float64
+	TimeSaving   float64
+}
+
+// Tune selects the cheapest format whose relative error stays within
+// budget — the precision-autotuning decision of §IV. It falls back to
+// Float64 when nothing narrower qualifies.
+func Tune(k Kernel, errBudget float64) TuneResult {
+	evals := Evaluate(k)
+	ref := evals[0] // Float64
+	best := ref
+	for _, e := range evals[1:] {
+		if e.RelError <= errBudget && e.EnergyAU < best.EnergyAU {
+			best = e
+		}
+	}
+	res := TuneResult{Chosen: best.Format, Eval: best}
+	if ref.EnergyAU > 0 {
+		res.EnergySaving = 1 - best.EnergyAU/ref.EnergyAU
+		res.TimeSaving = 1 - best.TimeAU/ref.TimeAU
+	}
+	return res
+}

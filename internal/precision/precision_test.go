@@ -1,0 +1,188 @@
+package precision
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simhpc"
+)
+
+func TestRoundIdentityForRepresentable(t *testing.T) {
+	cases := []struct {
+		f Format
+		v float64
+	}{
+		{Float64, 1.0 / 3.0},
+		{Float32, 0.5},
+		{BFloat16, 1.0},
+		{BFloat16, 0.5},
+		{Fixed16, 1.5},
+		{Fixed16, 0.25},
+	}
+	for _, c := range cases {
+		if got := c.f.Round(c.v); got != c.v {
+			t.Errorf("%s.Round(%v) = %v, want identity", c.f, c.v, got)
+		}
+	}
+}
+
+func TestRoundErrorOrdering(t *testing.T) {
+	// Error for an awkward constant grows as precision shrinks.
+	x := math.Pi
+	e32 := math.Abs(Float32.Round(x) - x)
+	e16 := math.Abs(BFloat16.Round(x) - x)
+	if e32 == 0 || e16 <= e32 {
+		t.Errorf("error ordering: fp32=%g bf16=%g", e32, e16)
+	}
+}
+
+func TestFixedSaturation(t *testing.T) {
+	if v := Fixed16.Round(1e9); v > 32768 {
+		t.Errorf("fixed saturation high: %v", v)
+	}
+	if v := Fixed16.Round(-1e9); v < -32769 {
+		t.Errorf("fixed saturation low: %v", v)
+	}
+	if v := Fixed16.Round(0.000001); v != 0 {
+		t.Errorf("sub-resolution value should flush to 0, got %v", v)
+	}
+}
+
+// Property: rounding is idempotent for every format.
+func TestRoundIdempotentProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		x := float64(raw) / 1000
+		for _, fm := range Formats() {
+			once := fm.Round(x)
+			if fm.Round(once) != once {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeDot(n int, seed uint64) *Dot {
+	rng := simhpc.NewRNG(seed)
+	d := &Dot{X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		d.X[i] = rng.Uniform(-1, 1)
+		d.Y[i] = rng.Uniform(-1, 1)
+	}
+	return d
+}
+
+func TestEvaluateQualityCostTradeoff(t *testing.T) {
+	evals := Evaluate(makeDot(512, 9))
+	if len(evals) != 4 {
+		t.Fatalf("evals: %d", len(evals))
+	}
+	if evals[0].Format != Float64 || evals[0].RelError != 0 {
+		t.Errorf("reference eval wrong: %+v", evals[0])
+	}
+	// Energy strictly decreases down the format list; error grows from
+	// fp64 to bf16 (fixed-point may beat bf16 in this value range).
+	for i := 1; i < len(evals); i++ {
+		if evals[i].EnergyAU >= evals[i-1].EnergyAU {
+			t.Errorf("energy not decreasing: %+v", evals)
+		}
+	}
+	if evals[1].RelError <= 0 || evals[2].RelError <= evals[1].RelError {
+		t.Errorf("error not growing fp64→fp32→bf16: %+v", evals)
+	}
+}
+
+func TestTuneRespectsBudget(t *testing.T) {
+	k := makeDot(512, 13)
+	// Loose budget: picks the cheapest qualifying format (not fp64).
+	loose := Tune(k, 1e-2)
+	if loose.Chosen == Float64 {
+		t.Errorf("loose budget should pick a narrow format, got %s", loose.Chosen)
+	}
+	if loose.EnergySaving <= 0 || loose.TimeSaving <= 0 {
+		t.Errorf("savings: %+v", loose)
+	}
+	if loose.Eval.RelError > 1e-2 {
+		t.Errorf("budget violated: %+v", loose.Eval)
+	}
+	// Tight budget: forces float64.
+	tight := Tune(k, 1e-15)
+	if tight.Chosen != Float64 || tight.EnergySaving != 0 {
+		t.Errorf("tight budget: %+v", tight)
+	}
+	// Medium budget: float32 qualifies, bf16 does not.
+	evals := Evaluate(k)
+	var e32, e16 float64
+	for _, e := range evals {
+		switch e.Format {
+		case Float32:
+			e32 = e.RelError
+		case BFloat16:
+			e16 = e.RelError
+		}
+	}
+	if e32 < e16 {
+		mid := Tune(k, (e32+e16)/2)
+		if mid.Chosen == Float64 || mid.Chosen == BFloat16 {
+			t.Errorf("medium budget picked %s (fp32 err=%g bf16 err=%g)", mid.Chosen, e32, e16)
+		}
+	}
+}
+
+func TestStencilStability(t *testing.T) {
+	rng := simhpc.NewRNG(21)
+	init := make([]float64, 128)
+	for i := range init {
+		init[i] = rng.Uniform(0, 10)
+	}
+	s := &Stencil{Init: init, Steps: 50}
+	evals := Evaluate(s)
+	// The averaging stencil is contractive: float32 stays essentially
+	// exact; bfloat16's 8 mantissa bits accumulate ~10 % over 50 steps
+	// but remain bounded.
+	for _, e := range evals {
+		switch e.Format {
+		case Float32:
+			if e.RelError > 1e-4 {
+				t.Errorf("float32 stencil error %.2g too large", e.RelError)
+			}
+		case BFloat16:
+			if e.RelError > 0.2 {
+				t.Errorf("bfloat16 stencil error %.4f unbounded", e.RelError)
+			}
+		}
+	}
+	ref, ops := s.Run(Float64)
+	if ops != 3*128*50 {
+		t.Errorf("op count: %d", ops)
+	}
+	if math.IsNaN(ref) || ref <= 0 {
+		t.Errorf("reference checksum: %v", ref)
+	}
+}
+
+func TestSaxpyKernel(t *testing.T) {
+	k := &Saxpy{A: 2, X: []float64{1, 2, 3}, Y: []float64{1, 1, 1}}
+	res, ops := k.Run(Float64)
+	if res != (2+1)+(4+1)+(6+1) || ops != 9 {
+		t.Errorf("saxpy: res=%v ops=%d", res, ops)
+	}
+	if k.Name() != "saxpy" {
+		t.Error("name")
+	}
+}
+
+func TestFormatMetadata(t *testing.T) {
+	for _, f := range Formats() {
+		if f.String() == "" || f.Bits() <= 0 {
+			t.Errorf("metadata for %d", f)
+		}
+		if f != Float64 && (f.EnergyPerOp() >= 1 || f.TimePerOp() >= 1) {
+			t.Errorf("%s should be cheaper than float64", f)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package precision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// §IV: "We also plan to apply fully automatic dynamic optimizations,
+// based on profiling information, and data acquired at runtime, e.g.
+// dynamic range of function parameters." RangeProfiler is that
+// mechanism: it accumulates the observed dynamic range of each
+// (function, parameter) stream — typically fed by the Fig. 2 profiling
+// aspect — and recommends the narrowest format whose range and
+// resolution cover the observations within an error budget.
+type RangeProfiler struct {
+	ranges map[string]*ValueRange
+}
+
+// ValueRange summarizes one observed value stream.
+type ValueRange struct {
+	Min, Max float64
+	// AbsMinNonzero is the smallest non-zero magnitude seen (sets the
+	// resolution requirement for fixed point).
+	AbsMinNonzero float64
+	// AbsMax is the largest magnitude (sets the range requirement).
+	AbsMax float64
+	N      int64
+}
+
+// NewRangeProfiler returns an empty profiler.
+func NewRangeProfiler() *RangeProfiler {
+	return &RangeProfiler{ranges: make(map[string]*ValueRange)}
+}
+
+func key(fn, param string) string { return fn + "/" + param }
+
+// Observe records one runtime value of fn's parameter param.
+func (rp *RangeProfiler) Observe(fn, param string, v float64) {
+	r, ok := rp.ranges[key(fn, param)]
+	if !ok {
+		r = &ValueRange{Min: v, Max: v, AbsMinNonzero: math.Inf(1)}
+		rp.ranges[key(fn, param)] = r
+	}
+	if v < r.Min {
+		r.Min = v
+	}
+	if v > r.Max {
+		r.Max = v
+	}
+	if a := math.Abs(v); a > 0 {
+		if a < r.AbsMinNonzero {
+			r.AbsMinNonzero = a
+		}
+		if a > r.AbsMax {
+			r.AbsMax = a
+		}
+	}
+	r.N++
+}
+
+// Range returns the observed range for (fn, param), or nil.
+func (rp *RangeProfiler) Range(fn, param string) *ValueRange {
+	return rp.ranges[key(fn, param)]
+}
+
+// Streams lists the profiled (function/parameter) keys, sorted.
+func (rp *RangeProfiler) Streams() []string {
+	out := make([]string, 0, len(rp.ranges))
+	for k := range rp.ranges {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// relResolution returns the worst-case relative representation error of
+// the format over the observed range.
+func relResolution(f Format, r *ValueRange) float64 {
+	switch f {
+	case Float64:
+		return 1.1e-16
+	case Float32:
+		return 6.0e-8 // 2^-24
+	case BFloat16:
+		return 3.9e-3 // 2^-8
+	case Fixed16:
+		// Absolute resolution 2^-16; worst relative error at the
+		// smallest observed magnitude. Out of range → unusable.
+		if r.AbsMax >= 32768 {
+			return math.Inf(1)
+		}
+		if r.AbsMinNonzero == 0 || math.IsInf(r.AbsMinNonzero, 1) {
+			return 1.0 / 131072 // only zeros observed: resolution vs 0.5 ulp
+		}
+		return (1.0 / 131072) / r.AbsMinNonzero
+	}
+	return math.Inf(1)
+}
+
+// Recommend returns the cheapest format that represents the observed
+// range of (fn, param) within the relative error budget. With no
+// observations it conservatively returns Float64.
+func (rp *RangeProfiler) Recommend(fn, param string, errBudget float64) Format {
+	r := rp.Range(fn, param)
+	if r == nil || r.N == 0 {
+		return Float64
+	}
+	best := Float64
+	bestCost := Float64.EnergyPerOp()
+	for _, f := range Formats() {
+		if relResolution(f, r) <= errBudget && f.EnergyPerOp() < bestCost {
+			best, bestCost = f, f.EnergyPerOp()
+		}
+	}
+	return best
+}
+
+// Report renders the profile for diagnostics.
+func (rp *RangeProfiler) Report(errBudget float64) string {
+	out := ""
+	for _, k := range rp.Streams() {
+		r := rp.ranges[k]
+		parts := splitKey(k)
+		rec := rp.Recommend(parts[0], parts[1], errBudget)
+		out += fmt.Sprintf("%-24s n=%6d range=[%g, %g] → %s\n", k, r.N, r.Min, r.Max, rec)
+	}
+	return out
+}
+
+func splitKey(k string) [2]string {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '/' {
+			return [2]string{k[:i], k[i+1:]}
+		}
+	}
+	return [2]string{k, ""}
+}

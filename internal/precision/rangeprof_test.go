@@ -1,0 +1,101 @@
+package precision
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simhpc"
+)
+
+func TestRangeProfilerObserve(t *testing.T) {
+	rp := NewRangeProfiler()
+	for _, v := range []float64{1.5, -2.25, 0, 100, 0.125} {
+		rp.Observe("kernel", "x", v)
+	}
+	r := rp.Range("kernel", "x")
+	if r == nil || r.N != 5 {
+		t.Fatalf("range: %+v", r)
+	}
+	if r.Min != -2.25 || r.Max != 100 {
+		t.Errorf("min/max: %v/%v", r.Min, r.Max)
+	}
+	if r.AbsMinNonzero != 0.125 || r.AbsMax != 100 {
+		t.Errorf("abs: %v/%v", r.AbsMinNonzero, r.AbsMax)
+	}
+	if rp.Range("kernel", "nosuch") != nil {
+		t.Error("unknown stream should be nil")
+	}
+}
+
+func TestRecommendByRange(t *testing.T) {
+	// Small-magnitude values with modest accuracy needs → fixed16.
+	rp := NewRangeProfiler()
+	for _, v := range []float64{1, 2, 3.5, 10, -4} {
+		rp.Observe("k", "a", v)
+	}
+	if got := rp.Recommend("k", "a", 1e-2); got != Fixed16 {
+		t.Errorf("small range: %s, want fixed16.16", got)
+	}
+	// Values exceeding the Q16.16 range → fixed16 unusable, bf16 ok at
+	// loose budgets.
+	rp2 := NewRangeProfiler()
+	rp2.Observe("k", "b", 1e6)
+	rp2.Observe("k", "b", 2)
+	if got := rp2.Recommend("k", "b", 1e-2); got != BFloat16 {
+		t.Errorf("big range loose budget: %s, want bfloat16", got)
+	}
+	if got := rp2.Recommend("k", "b", 1e-5); got != Float32 {
+		t.Errorf("big range tight budget: %s, want float32", got)
+	}
+	if got := rp2.Recommend("k", "b", 1e-12); got != Float64 {
+		t.Errorf("very tight budget: %s, want float64", got)
+	}
+	// Tiny magnitudes break fixed-point resolution.
+	rp3 := NewRangeProfiler()
+	rp3.Observe("k", "c", 1e-6)
+	if got := rp3.Recommend("k", "c", 1e-2); got == Fixed16 {
+		t.Error("sub-resolution values must not recommend fixed16")
+	}
+	// No observations: conservative.
+	if got := rp3.Recommend("k", "never", 1); got != Float64 {
+		t.Errorf("unobserved: %s", got)
+	}
+}
+
+// TestRecommendationIsSound verifies the promise behind Recommend: if it
+// returns a format, rounding every observed value to that format keeps
+// relative error within budget.
+func TestRecommendationIsSound(t *testing.T) {
+	rng := simhpc.NewRNG(13)
+	rp := NewRangeProfiler()
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Uniform(0.5, 200)
+		vals = append(vals, v)
+		rp.Observe("f", "p", v)
+	}
+	for _, budget := range []float64{1e-2, 1e-4, 1e-7} {
+		f := rp.Recommend("f", "p", budget)
+		for _, v := range vals {
+			got := f.Round(v)
+			rel := math.Abs(got-v) / math.Abs(v)
+			if rel > budget {
+				t.Fatalf("budget %g: %s.Round(%v) rel err %g exceeds budget", budget, f, v, rel)
+			}
+		}
+	}
+}
+
+func TestProfilerReport(t *testing.T) {
+	rp := NewRangeProfiler()
+	rp.Observe("kernel", "size", 64)
+	rp.Observe("kernel", "scale", 0.5)
+	rep := rp.Report(1e-2)
+	if !strings.Contains(rep, "kernel/size") || !strings.Contains(rep, "kernel/scale") {
+		t.Errorf("report:\n%s", rep)
+	}
+	if got := rp.Streams(); len(got) != 2 || got[0] != "kernel/scale" {
+		t.Errorf("streams: %v", got)
+	}
+}

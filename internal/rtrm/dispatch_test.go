@@ -1,0 +1,126 @@
+package rtrm
+
+import (
+	"testing"
+
+	"repro/internal/simhpc"
+)
+
+func dispatchCluster(n int, spread float64) *simhpc.Cluster {
+	rng := simhpc.NewRNG(51)
+	return simhpc.NewCluster(n, 20, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode("n", spread, rng)
+	})
+}
+
+func TestDispatchFCFSBasics(t *testing.T) {
+	c := dispatchCluster(4, 0)
+	jobs := []BatchJob{
+		{ID: 0, Nodes: 4, Runtime: 100, Submit: 0},
+		{ID: 1, Nodes: 2, Runtime: 50, Submit: 10},
+		{ID: 2, Nodes: 2, Runtime: 50, Submit: 10},
+	}
+	res := Dispatch(FCFS, c, jobs)
+	// Job 0 occupies everything until 100; jobs 1 and 2 run side by side.
+	if res.MakespanS != 150 {
+		t.Errorf("makespan %v, want 150", res.MakespanS)
+	}
+	// Waits: 0, 90, 90.
+	if res.MeanWaitS != 60 {
+		t.Errorf("mean wait %v, want 60", res.MeanWaitS)
+	}
+	if res.EnergyJ <= 0 || res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("metrics: %+v", res)
+	}
+}
+
+func TestBackfillReducesWait(t *testing.T) {
+	c := dispatchCluster(4, 0)
+	// Head job needs the whole machine but can only start at t=100 (a
+	// 2-node job holds half until then); a short narrow job can backfill.
+	jobs := []BatchJob{
+		{ID: 0, Nodes: 2, Runtime: 100, Submit: 0},
+		{ID: 1, Nodes: 4, Runtime: 200, Submit: 1},
+		{ID: 2, Nodes: 2, Runtime: 80, Submit: 2}, // fits before job 1 starts
+	}
+	fcfs := Dispatch(FCFS, c, jobs)
+	easy := Dispatch(EASY, dispatchCluster(4, 0), jobs)
+	if easy.Backfills == 0 {
+		t.Fatal("EASY should backfill job 2")
+	}
+	if easy.MeanWaitS >= fcfs.MeanWaitS {
+		t.Errorf("EASY wait %.1f should beat FCFS %.1f", easy.MeanWaitS, fcfs.MeanWaitS)
+	}
+	// Backfilling must not delay the head job: makespan equal or better.
+	if easy.MakespanS > fcfs.MakespanS {
+		t.Errorf("EASY makespan %.1f worse than FCFS %.1f", easy.MakespanS, fcfs.MakespanS)
+	}
+}
+
+func TestEnergyAwarePlacementSavesEnergy(t *testing.T) {
+	// With 15% instance variability, placing work on frugal nodes first
+	// saves energy at equal schedule quality.
+	mkJobs := func() []BatchJob {
+		rng := simhpc.NewRNG(7)
+		var jobs []BatchJob
+		var t float64
+		for i := 0; i < 60; i++ {
+			jobs = append(jobs, BatchJob{ID: i, Nodes: 1 + rng.Intn(3), Runtime: 100 + rng.Exp(200), Submit: t})
+			t += rng.Exp(150)
+		}
+		return jobs
+	}
+	easy := Dispatch(EASY, dispatchCluster(16, 0.15), mkJobs())
+	aware := Dispatch(EnergyAwareEASY, dispatchCluster(16, 0.15), mkJobs())
+	if aware.EnergyJ >= easy.EnergyJ {
+		t.Errorf("energy-aware %.3e J should beat plain EASY %.3e J", aware.EnergyJ, easy.EnergyJ)
+	}
+	// Schedule quality stays comparable (within 10%).
+	if aware.MeanWaitS > easy.MeanWaitS*1.1 {
+		t.Errorf("energy-aware wait %.1f degraded vs %.1f", aware.MeanWaitS, easy.MeanWaitS)
+	}
+}
+
+func TestDispatchEdgeCases(t *testing.T) {
+	c := dispatchCluster(4, 0)
+	// Empty queue.
+	res := Dispatch(EASY, c, nil)
+	if res.MakespanS != 0 || res.EnergyJ != 0 {
+		t.Errorf("empty: %+v", res)
+	}
+	// Oversized job is dropped, others run.
+	res = Dispatch(FCFS, dispatchCluster(4, 0), []BatchJob{
+		{ID: 0, Nodes: 99, Runtime: 100, Submit: 0},
+		{ID: 1, Nodes: 1, Runtime: 50, Submit: 0},
+	})
+	if res.MakespanS != 50 {
+		t.Errorf("oversized-drop: %+v", res)
+	}
+}
+
+func TestRandomJobMixAndPolicies(t *testing.T) {
+	rng := simhpc.NewRNG(3)
+	jobs := RandomJobMix(120, 16, rng)
+	if len(jobs) != 120 {
+		t.Fatalf("jobs: %d", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit < jobs[i-1].Submit {
+			t.Fatal("submit times must be non-decreasing")
+		}
+		if jobs[i].Nodes < 1 || jobs[i].Nodes > 16 || jobs[i].Runtime < 30 {
+			t.Fatalf("job %d implausible: %+v", i, jobs[i])
+		}
+	}
+	fcfs := Dispatch(FCFS, dispatchCluster(16, 0.15), jobs)
+	easy := Dispatch(EASY, dispatchCluster(16, 0.15), jobs)
+	if easy.Backfills == 0 {
+		t.Error("a 120-job mix should yield backfills")
+	}
+	if easy.MeanWaitS > fcfs.MeanWaitS {
+		t.Errorf("EASY wait %.0f should not exceed FCFS %.0f", easy.MeanWaitS, fcfs.MeanWaitS)
+	}
+	if fcfs.String() == "" || easy.String() == "" {
+		t.Error("empty renders")
+	}
+}

@@ -1,0 +1,111 @@
+package rtrm
+
+import "repro/internal/simhpc"
+
+// Manager is the scalable multilayer resource-management infrastructure
+// of §V: a cluster-level layer (power capping, seasonal scheduling) over
+// per-node layers (governor + thermal safety). Each control epoch it
+// fuses the three information flows the paper lists — application
+// requirements (the task at hand), processing-element telemetry
+// (temperature, power) and IT-infrastructure state (ambient, PUE) — into
+// per-node operating points.
+type Manager struct {
+	Cluster *simhpc.Cluster
+	Gov     Governor
+	Thermal *ThermalController
+	Capper  *PowerCapper
+	MS3     *MS3Scheduler
+
+	// Telemetry accumulated across epochs.
+	EpochCount    int
+	EnergyJ       float64
+	WorkGFlop     float64
+	DeferredGFlop float64
+	ThermalEvents int
+	CapDemotions  int
+}
+
+// NewManager wires the default control stack over a cluster with the
+// given facility power cap (watts).
+func NewManager(c *simhpc.Cluster, capW float64) *Manager {
+	return &Manager{
+		Cluster: c,
+		Gov:     &OptimalGovernor{MaxSlowdown: 1.5},
+		Thermal: NewThermalController(),
+		Capper:  &PowerCapper{CapW: capW},
+		MS3:     NewMS3(),
+	}
+}
+
+// EpochReport summarizes one control epoch.
+type EpochReport struct {
+	Plan          Plan
+	Cap           CapResult
+	HotNodes      int
+	EnergyJ       float64
+	DoneGFlop     float64
+	DeferredGFlop float64
+}
+
+// RunEpoch executes one control epoch of length dt seconds: MS3 decides
+// admission and cooling, the capper fits the envelope, each node runs
+// its share of offered under governor+thermal control, and thermal
+// state advances.
+func (m *Manager) RunEpoch(dt float64, offered []*simhpc.Task) EpochReport {
+	var rep EpochReport
+	plan := m.MS3.Decide(m.Cluster)
+	m.Cluster.Cooling.CoolingBoost = plan.CoolingBoost
+	rep.Plan = plan
+
+	admit := int(float64(len(offered)) * plan.AdmitFraction)
+	admitted, deferred := offered[:admit], offered[admit:]
+	for _, t := range deferred {
+		rep.DeferredGFlop += t.GFlop
+	}
+
+	cap := m.Capper.Apply(m.Cluster, 1)
+	rep.Cap = cap
+	m.CapDemotions += cap.Demotions
+
+	// Distribute admitted tasks round-robin over nodes; each node runs
+	// its tasks on its CPU at min(governor, thermal, cap) P-state.
+	for i, t := range admitted {
+		node := m.Cluster.Nodes[i%len(m.Cluster.Nodes)]
+		dev := node.CPUDevice()
+		if dev == nil {
+			dev = node.Devices[0]
+		}
+		ps := m.Gov.PickPState(dev, t)
+		if ceil := m.Thermal.Ceiling(node); ps > ceil {
+			ps = ceil
+		}
+		if capPS := cap.PStates[i%len(cap.PStates)]; ps > capPS {
+			ps = capPS
+		}
+		dev.SetPState(ps)
+		e := dev.ExecEnergy(t, ps)
+		rep.EnergyJ += e
+		rep.DoneGFlop += t.GFlop
+	}
+
+	hot := m.Cluster.StepThermals(dt, 1)
+	rep.HotNodes = hot
+	m.ThermalEvents += hot
+	for _, n := range m.Cluster.Nodes {
+		m.Thermal.Update(n)
+	}
+
+	m.EpochCount++
+	m.EnergyJ += rep.EnergyJ
+	m.WorkGFlop += rep.DoneGFlop
+	m.DeferredGFlop += rep.DeferredGFlop
+	return rep
+}
+
+// EfficiencyGFLOPSPerJ returns work done per joule so far.
+func (m *Manager) EfficiencyGFLOPSPerJ() float64 {
+	if m.EnergyJ == 0 {
+		return 0
+	}
+	return m.WorkGFlop / m.EnergyJ
+}

@@ -1,0 +1,75 @@
+package rtrm
+
+import "repro/internal/simhpc"
+
+// MS3Scheduler is the Mediterranean-style job scheduler of §V's citation
+// [23] ("do less when it's too hot"): when the ambient temperature — and
+// with it the cooling cost — rises, the scheduler trades peak throughput
+// for facility efficiency by (a) deferring a fraction of low-priority
+// load and (b) spending measured extra cooling effort, rather than
+// letting PUE degrade unchecked through the summer.
+type MS3Scheduler struct {
+	// ComfortC is the ambient below which no mitigation is needed.
+	ComfortC float64
+	// MaxDeferral is the largest load fraction that may be deferred.
+	MaxDeferral float64
+	// DeferSlope is deferral per °C above comfort.
+	DeferSlope float64
+}
+
+// NewMS3 returns the scheduler with the paper-calibrated knee at the
+// free-cooling limit.
+func NewMS3() *MS3Scheduler {
+	return &MS3Scheduler{ComfortC: 18, MaxDeferral: 0.35, DeferSlope: 0.02}
+}
+
+// Plan is MS3's decision for one scheduling epoch.
+type Plan struct {
+	// AdmitFraction of offered load runs now; the rest is deferred to a
+	// cooler epoch.
+	AdmitFraction float64
+	// CoolingBoost in [0,1] is the extra cooling effort to apply.
+	CoolingBoost float64
+	// PUE is the projected facility PUE under this plan.
+	PUE float64
+}
+
+// Decide computes the epoch plan for the cluster at its current ambient.
+func (s *MS3Scheduler) Decide(c *simhpc.Cluster) Plan {
+	over := c.AmbientC - s.ComfortC
+	if over <= 0 {
+		return Plan{AdmitFraction: 1, CoolingBoost: 0, PUE: c.Cooling.PUE(c.AmbientC)}
+	}
+	defer1 := over * s.DeferSlope
+	if defer1 > s.MaxDeferral {
+		defer1 = s.MaxDeferral
+	}
+	// Spend cooling boost proportional to excess heat, up to half effort:
+	// enough to keep node inlet temperature near the free-cooling regime
+	// without burning the PUE gain on the chillers themselves.
+	boost := over / 34
+	if boost > 0.5 {
+		boost = 0.5
+	}
+	cool := c.Cooling
+	cool.CoolingBoost = boost
+	return Plan{
+		AdmitFraction: 1 - defer1,
+		CoolingBoost:  boost,
+		PUE:           cool.PUE(c.AmbientC),
+	}
+}
+
+// EnergyToSolution estimates facility energy (J) to complete the given
+// compute volume under a plan: admitted load runs at full rate, deferred
+// load runs later in a cool epoch at base PUE (night/winter pricing of
+// the original MS3 policy).
+func (s *MS3Scheduler) EnergyToSolution(c *simhpc.Cluster, plan Plan, gflopTotal float64) float64 {
+	rate := c.PeakGFLOPS() // GFLOP per second at full tilt
+	itPower := c.ITPowerW(1)
+	admitted := gflopTotal * plan.AdmitFraction
+	deferred := gflopTotal - admitted
+	eNow := admitted / rate * itPower * plan.PUE
+	eLater := deferred / rate * itPower * c.Cooling.PUEBase
+	return eNow + eLater
+}

@@ -1,0 +1,158 @@
+package rtrm
+
+import (
+	"sort"
+
+	"repro/internal/simhpc"
+)
+
+// PowerCapper enforces a facility-level power envelope (the paper's
+// 20-30 MW Exascale target, scaled to the simulated cluster) by lowering
+// node operating points until projected facility power fits the cap.
+//
+// The policy is "greedy highest-power-first": repeatedly demote the
+// P-state of the node drawing the most power. Greedy demotion sheds the
+// most watts per step and, because each node's power is convex in
+// frequency, approximates the throughput-maximal allocation under the
+// cap far better than uniform derating.
+type PowerCapper struct {
+	// CapW is the facility power budget in watts (includes PUE).
+	CapW float64
+}
+
+// CapResult reports a capping decision.
+type CapResult struct {
+	// PStates holds the chosen per-node CPU P-state (index by node).
+	PStates []int
+	// FacilityW is projected facility power after capping.
+	FacilityW float64
+	// ThroughputGFLOPS is the projected aggregate compute rate.
+	ThroughputGFLOPS float64
+	// Demotions counts P-state reductions applied.
+	Demotions int
+}
+
+// Apply computes per-node P-states under the cap for a cluster running
+// at the given utilization. It does not mutate the cluster; callers set
+// the returned P-states if they accept the plan.
+func (pc *PowerCapper) Apply(c *simhpc.Cluster, util float64) CapResult {
+	type nodeState struct {
+		idx int
+		ps  int
+	}
+	states := make([]nodeState, len(c.Nodes))
+	for i, n := range c.Nodes {
+		dev := n.CPUDevice()
+		if dev == nil {
+			dev = n.Devices[0]
+		}
+		states[i] = nodeState{idx: i, ps: dev.Spec.MaxPState()}
+	}
+	pue := c.PUE()
+
+	nodePower := func(i, ps int) float64 {
+		n := c.Nodes[i]
+		var p float64
+		for _, d := range n.Devices {
+			if d.Spec.Kind == simhpc.CPU {
+				p += d.PowerW(ps, util)
+			} else {
+				p += d.PowerW(d.PState(), util)
+			}
+		}
+		return p
+	}
+	nodeRate := func(i, ps int) float64 {
+		n := c.Nodes[i]
+		var r float64
+		for _, d := range n.Devices {
+			if d.Spec.Kind == simhpc.CPU {
+				r += d.Spec.PeakGFLOPS * d.FreqRatio(ps)
+			} else {
+				r += d.Spec.PeakGFLOPS * d.FreqRatio(d.PState())
+			}
+		}
+		return r
+	}
+
+	total := func() float64 {
+		var s float64
+		for _, st := range states {
+			s += nodePower(st.idx, st.ps)
+		}
+		return s * pue
+	}
+
+	// capTol absorbs float summation-order noise so a cap equal to the
+	// uncapped power demotes nothing.
+	capLimit := pc.CapW * (1 + 1e-9)
+
+	res := CapResult{PStates: make([]int, len(c.Nodes))}
+	cur := total()
+	for cur > capLimit {
+		// Demote the hungriest node that can still go lower.
+		sort.Slice(states, func(a, b int) bool {
+			return nodePower(states[a].idx, states[a].ps) > nodePower(states[b].idx, states[b].ps)
+		})
+		demoted := false
+		for k := range states {
+			if states[k].ps > 0 {
+				states[k].ps--
+				res.Demotions++
+				demoted = true
+				break
+			}
+		}
+		if !demoted {
+			break // floor reached; cap infeasible
+		}
+		cur = total()
+	}
+	var rate float64
+	for _, st := range states {
+		res.PStates[st.idx] = st.ps
+		rate += nodeRate(st.idx, st.ps)
+	}
+	res.FacilityW = cur
+	res.ThroughputGFLOPS = rate
+	return res
+}
+
+// UniformCap is the naive alternative: derate every node to the same
+// P-state, the first that fits the budget. Used as the ablation baseline
+// for the capping benchmark.
+func (pc *PowerCapper) UniformCap(c *simhpc.Cluster, util float64) CapResult {
+	pue := c.PUE()
+	maxPS := 0
+	for _, n := range c.Nodes {
+		if d := n.CPUDevice(); d != nil && d.Spec.MaxPState() > maxPS {
+			maxPS = d.Spec.MaxPState()
+		}
+	}
+	res := CapResult{PStates: make([]int, len(c.Nodes))}
+	for ps := maxPS; ps >= 0; ps-- {
+		var power, rate float64
+		for _, n := range c.Nodes {
+			for _, d := range n.Devices {
+				if d.Spec.Kind == simhpc.CPU {
+					power += d.PowerW(ps, util)
+					rate += d.Spec.PeakGFLOPS * d.FreqRatio(ps)
+				} else {
+					power += d.PowerW(d.PState(), util)
+					rate += d.Spec.PeakGFLOPS * d.FreqRatio(d.PState())
+				}
+			}
+		}
+		power *= pue
+		if power <= pc.CapW*(1+1e-9) || ps == 0 {
+			for i := range res.PStates {
+				res.PStates[i] = ps
+			}
+			res.FacilityW = power
+			res.ThroughputGFLOPS = rate
+			res.Demotions = (maxPS - ps) * len(c.Nodes)
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,71 @@
+package rtrm
+
+import "repro/internal/simhpc"
+
+// ThermalController is the distributed optimal thermal-management
+// controller of §V: per node, it caps the P-state when temperature
+// approaches the safe ceiling and releases the cap with hysteresis once
+// the node cools, guaranteeing thermally-safe operation.
+type ThermalController struct {
+	// MarginC is the guard band below TSafe at which capping starts.
+	MarginC float64
+	// ReleaseC is the additional cooling below the cap threshold
+	// required before raising frequency again (hysteresis).
+	ReleaseC float64
+	// caps holds the current per-node P-state ceiling (-1 = uncapped).
+	caps map[string]int
+}
+
+// NewThermalController returns a controller with sensible guard bands.
+func NewThermalController() *ThermalController {
+	return &ThermalController{MarginC: 5, ReleaseC: 4, caps: make(map[string]int)}
+}
+
+// Update inspects the node's temperature and adjusts its P-state cap.
+// It returns the ceiling to enforce (a valid index) so callers can clamp
+// governor decisions: pstate = min(governor, ceiling).
+func (tc *ThermalController) Update(n *simhpc.Node) int {
+	dev := n.CPUDevice()
+	if dev == nil {
+		dev = n.Devices[0]
+	}
+	maxPS := dev.Spec.MaxPState()
+	cap, capped := tc.caps[n.ID]
+	trip := n.TSafeC - tc.MarginC
+	switch {
+	case n.TempC >= trip:
+		// Tighten: drop one more step each update while hot.
+		if !capped {
+			cap = maxPS - 1
+		} else if cap > 0 {
+			cap--
+		}
+		tc.caps[n.ID] = cap
+	case capped && n.TempC < trip-tc.ReleaseC:
+		// Relax one step; forget the cap at the top.
+		cap++
+		if cap >= maxPS {
+			delete(tc.caps, n.ID)
+			return maxPS
+		}
+		tc.caps[n.ID] = cap
+	case !capped:
+		return maxPS
+	}
+	return cap
+}
+
+// Ceiling returns the current cap for node id without updating.
+func (tc *ThermalController) Ceiling(n *simhpc.Node) int {
+	dev := n.CPUDevice()
+	if dev == nil {
+		dev = n.Devices[0]
+	}
+	if cap, ok := tc.caps[n.ID]; ok {
+		return cap
+	}
+	return dev.Spec.MaxPState()
+}
+
+// CappedNodes returns how many nodes currently run under a thermal cap.
+func (tc *ThermalController) CappedNodes() int { return len(tc.caps) }

@@ -1,0 +1,103 @@
+package simhpc
+
+import "math"
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+// Cluster is a set of nodes plus facility-level state: ambient
+// temperature and the cooling model that turns IT power into facility
+// power (PUE).
+type Cluster struct {
+	Nodes    []*Node
+	AmbientC float64
+	Cooling  CoolingModel
+}
+
+// NewCluster builds n identical nodes via build.
+func NewCluster(n int, ambientC float64, build func(i int) *Node) *Cluster {
+	c := &Cluster{AmbientC: ambientC, Cooling: DefaultCooling()}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, build(i))
+	}
+	return c
+}
+
+// CoolingModel maps ambient temperature and IT load to facility
+// overhead. Free cooling holds PUE near its floor until the ambient
+// exceeds the free-cooling threshold; past it, chillers engage and PUE
+// climbs — the §V observation that summer operation costs >10 % PUE vs
+// winter ("MS3 … do less when it's too hot").
+type CoolingModel struct {
+	// PUEBase is the floor PUE with full free cooling.
+	PUEBase float64
+	// FreeCoolingMaxC is the ambient ceiling for free cooling.
+	FreeCoolingMaxC float64
+	// ChillerSlope is PUE increase per °C above the free-cooling ceiling.
+	ChillerSlope float64
+	// CoolingBoost (0..1) spends extra cooling effort to lower the
+	// effective ambient seen by nodes, at a PUE penalty (the RTRM's
+	// "optimal selection of the cooling effort" knob).
+	CoolingBoost float64
+}
+
+// DefaultCooling returns a model calibrated so winter (15 °C) sits at
+// PUE ≈ 1.22 and summer (35 °C) at ≈ 1.39 — a >10 % loss.
+func DefaultCooling() CoolingModel {
+	return CoolingModel{PUEBase: 1.22, FreeCoolingMaxC: 18, ChillerSlope: 0.010}
+}
+
+// PUE returns the power usage effectiveness at the given ambient.
+func (m CoolingModel) PUE(ambientC float64) float64 {
+	pue := m.PUEBase
+	if over := ambientC - m.FreeCoolingMaxC; over > 0 {
+		pue += m.ChillerSlope * over
+	}
+	// Extra cooling effort costs facility power.
+	pue += 0.06 * m.CoolingBoost
+	return pue
+}
+
+// EffectiveAmbientC returns the air temperature nodes actually see,
+// after optional cooling boost.
+func (m CoolingModel) EffectiveAmbientC(ambientC float64) float64 {
+	return ambientC - 8*m.CoolingBoost
+}
+
+// PUE returns the cluster's current PUE.
+func (c *Cluster) PUE() float64 { return c.Cooling.PUE(c.AmbientC) }
+
+// ITPowerW sums node power at the given utilization.
+func (c *Cluster) ITPowerW(util float64) float64 {
+	var s float64
+	for _, n := range c.Nodes {
+		s += n.PowerW(util)
+	}
+	return s
+}
+
+// FacilityPowerW is IT power times PUE.
+func (c *Cluster) FacilityPowerW(util float64) float64 {
+	return c.ITPowerW(util) * c.PUE()
+}
+
+// PeakGFLOPS sums node peaks.
+func (c *Cluster) PeakGFLOPS() float64 {
+	var s float64
+	for _, n := range c.Nodes {
+		s += n.PeakGFLOPS()
+	}
+	return s
+}
+
+// StepThermals advances all node thermal states by dt at the given
+// utilization and returns the number of nodes above their safe ceiling.
+func (c *Cluster) StepThermals(dt, util float64) int {
+	eff := c.Cooling.EffectiveAmbientC(c.AmbientC)
+	hot := 0
+	for _, n := range c.Nodes {
+		if n.StepThermal(dt, n.PowerW(util), eff) {
+			hot++
+		}
+	}
+	return hot
+}

@@ -1,0 +1,251 @@
+package simhpc
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestSeasonalPUE reproduces §V: >10 % PUE loss transitioning from
+// winter to summer ambient.
+func TestSeasonalPUE(t *testing.T) {
+	cool := DefaultCooling()
+	winter := cool.PUE(15)
+	summer := cool.PUE(35)
+	loss := (summer - winter) / winter
+	if loss <= 0.10 {
+		t.Errorf("seasonal PUE loss %.1f%%, want > 10%%", loss*100)
+	}
+	if winter < 1.0 || summer < winter {
+		t.Errorf("PUE values implausible: winter=%.3f summer=%.3f", winter, summer)
+	}
+	// Free cooling makes PUE flat below the threshold.
+	if cool.PUE(5) != cool.PUE(15) {
+		t.Error("PUE should be flat in the free-cooling regime")
+	}
+	// Cooling boost lowers effective ambient but raises PUE.
+	boosted := cool
+	boosted.CoolingBoost = 1
+	if boosted.EffectiveAmbientC(35) >= cool.EffectiveAmbientC(35) {
+		t.Error("cooling boost should lower effective ambient")
+	}
+	if boosted.PUE(35) <= cool.PUE(35) {
+		t.Error("cooling boost should cost PUE")
+	}
+}
+
+func TestClusterAggregates(t *testing.T) {
+	rng := NewRNG(7)
+	c := NewCluster(4, 20, func(i int) *Node {
+		return HeterogeneousNode("n", 0.15, rng)
+	})
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes: %d", len(c.Nodes))
+	}
+	if c.PeakGFLOPS() <= 0 || c.ITPowerW(1) <= 0 {
+		t.Error("aggregates should be positive")
+	}
+	if c.FacilityPowerW(1) <= c.ITPowerW(1) {
+		t.Error("facility power must exceed IT power (PUE > 1)")
+	}
+}
+
+func TestThermalModel(t *testing.T) {
+	n := HomogeneousNode("n", 0, nil)
+	n.TempC = 30
+	p := n.PowerW(1)
+	// Step to steady state: T -> ambient + P*Rth.
+	for i := 0; i < 100; i++ {
+		n.StepThermal(10, p, 25)
+	}
+	want := 25 + p*n.RthCPerW
+	if math.Abs(n.TempC-want) > 0.5 {
+		t.Errorf("steady-state temp %.1f, want %.1f", n.TempC, want)
+	}
+	// Hot ambient pushes the node over its ceiling.
+	n2 := HomogeneousNode("n2", 0, nil)
+	n2.TSafeC = 60
+	hot := false
+	for i := 0; i < 100; i++ {
+		if n2.StepThermal(10, p, 45) {
+			hot = true
+		}
+	}
+	if !hot || !n2.Throttled() {
+		t.Error("node should exceed its thermal ceiling at 45C ambient")
+	}
+	// Cooling restores safety.
+	for i := 0; i < 200; i++ {
+		n2.StepThermal(10, n2.IdlePowerW(), 15)
+	}
+	if n2.Throttled() {
+		t.Errorf("node should cool down, at %.1fC", n2.TempC)
+	}
+}
+
+func TestClusterStepThermals(t *testing.T) {
+	c := NewCluster(8, 45, func(i int) *Node {
+		n := HomogeneousNode("n", 0, nil)
+		n.TSafeC = 55
+		return n
+	})
+	hot := 0
+	for i := 0; i < 100; i++ {
+		hot = c.StepThermals(10, 1)
+	}
+	if hot != 8 {
+		t.Errorf("at 45C ambient and full load, all 8 nodes should be hot, got %d", hot)
+	}
+	// Boosted cooling rescues them.
+	c.Cooling.CoolingBoost = 1
+	for i := 0; i < 200; i++ {
+		hot = c.StepThermals(10, 0.2)
+	}
+	if hot != 0 {
+		t.Errorf("with cooling boost and low load, no node should be hot, got %d", hot)
+	}
+}
+
+func TestEngineOrderingAndDeterminism(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 10) }) // FIFO at equal times
+	e.Run(0)
+	want := []int{1, 10, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order: %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order: %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time %v", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run(0)
+	if count != 5 || e.Now() != 5 {
+		t.Errorf("count=%d now=%v", count, e.Now())
+	}
+	// Run with a horizon stops early.
+	e2 := NewEngine()
+	fired := false
+	e2.At(100, func() { fired = true })
+	e2.Run(50)
+	if fired || e2.Now() != 50 {
+		t.Errorf("horizon: fired=%v now=%v", fired, e2.Now())
+	}
+	if e2.Pending() != 1 {
+		t.Errorf("pending: %d", e2.Pending())
+	}
+}
+
+func TestEnginePastEventClamps(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		e.At(1, func() {}) // in the past: clamps to now
+	})
+	e.Run(0)
+	if e.Now() != 5 {
+		t.Errorf("now=%v", e.Now())
+	}
+}
+
+func TestRNGDeterminismAndDistributions(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	// Pareto is heavy-tailed: its max should dwarf its median.
+	rng := NewRNG(5)
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		xs = append(xs, rng.Pareto(1.5, 1))
+	}
+	sort.Float64s(xs)
+	median := xs[len(xs)/2]
+	max := xs[len(xs)-1]
+	if max/median < 20 {
+		t.Errorf("Pareto tail too light: max/median = %.1f", max/median)
+	}
+	// Normal matches its moments roughly.
+	var sum, sumSq float64
+	for i := 0; i < 5000; i++ {
+		v := rng.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / 5000
+	sd := math.Sqrt(sumSq/5000 - mean*mean)
+	if math.Abs(mean-10) > 0.2 || math.Abs(sd-2) > 0.2 {
+		t.Errorf("Normal moments: mean=%.2f sd=%.2f", mean, sd)
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	gen := NewWorkloadGen(11)
+	cb := gen.ComputeBound(100)
+	mb := gen.MemoryBound(100)
+	if cb.ComputeIntensity() <= mb.ComputeIntensity() {
+		t.Error("compute-bound must have higher intensity than memory-bound")
+	}
+	mix := gen.Mix(300, 1, 1, 1, 50)
+	tags := map[string]int{}
+	for _, task := range mix {
+		tags[task.Tag]++
+	}
+	for _, tag := range []string{"compute", "balanced", "memory"} {
+		if tags[tag] < 50 {
+			t.Errorf("mix underrepresents %s: %v", tag, tags)
+		}
+	}
+	// Docking batch: heavy-tailed but capped.
+	job := gen.DockingBatch(500, 1.5, 1)
+	if len(job.Tasks) != 500 || job.Name != "docking" {
+		t.Fatalf("job: %s/%d", job.Name, len(job.Tasks))
+	}
+	var max float64
+	for _, task := range job.Tasks {
+		if task.GFlop > max {
+			max = task.GFlop
+		}
+		if task.GFlop > 500 {
+			t.Errorf("task cost %v exceeds cap", task.GFlop)
+		}
+	}
+	if max < 20 {
+		t.Errorf("docking tail too light: max=%v", max)
+	}
+	if job.TotalGFlop() <= 0 {
+		t.Error("total should be positive")
+	}
+}
+
+func TestTaskAffinity(t *testing.T) {
+	anyTask := &Task{}
+	if !anyTask.CanRunOn(CPU) || !anyTask.CanRunOn(GPGPU) {
+		t.Error("no affinity should run anywhere")
+	}
+	gpuOnly := &Task{Affinity: []DeviceKind{GPGPU}}
+	if gpuOnly.CanRunOn(CPU) || !gpuOnly.CanRunOn(GPGPU) {
+		t.Error("affinity filtering broken")
+	}
+}

@@ -1,0 +1,232 @@
+package simhpc
+
+import "fmt"
+
+// DeviceKind enumerates the processor types of a heterogeneous node.
+type DeviceKind int
+
+// Device kinds.
+const (
+	CPU DeviceKind = iota
+	MIC
+	GPGPU
+)
+
+// String returns the kind name.
+func (k DeviceKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case MIC:
+		return "MIC"
+	case GPGPU:
+		return "GPGPU"
+	}
+	return fmt.Sprintf("DeviceKind(%d)", int(k))
+}
+
+// PState is one DVFS operating point.
+type PState struct {
+	FreqGHz float64
+	VoltV   float64
+}
+
+// DeviceSpec is the nominal datasheet of a device model.
+type DeviceSpec struct {
+	Kind DeviceKind
+	Name string
+	// PeakGFLOPS is the peak compute rate at the highest P-state.
+	PeakGFLOPS float64
+	// MemBWGBs is the memory bandwidth in GB/s (frequency-independent).
+	MemBWGBs float64
+	// StaticW is leakage/uncore power, drawn whenever the device is on.
+	StaticW float64
+	// DynMaxW is dynamic power at the highest P-state under full load.
+	DynMaxW float64
+	// PStates is the DVFS ladder, ascending by frequency. CPUs expose a
+	// full ladder; accelerators may expose fewer points.
+	PStates []PState
+}
+
+// MaxPState returns the index of the highest-frequency P-state.
+func (s *DeviceSpec) MaxPState() int { return len(s.PStates) - 1 }
+
+// Validate checks internal consistency.
+func (s *DeviceSpec) Validate() error {
+	if len(s.PStates) == 0 {
+		return fmt.Errorf("simhpc: device %s has no P-states", s.Name)
+	}
+	for i := 1; i < len(s.PStates); i++ {
+		if s.PStates[i].FreqGHz <= s.PStates[i-1].FreqGHz {
+			return fmt.Errorf("simhpc: device %s P-states not ascending", s.Name)
+		}
+	}
+	if s.PeakGFLOPS <= 0 || s.MemBWGBs <= 0 || s.DynMaxW <= 0 {
+		return fmt.Errorf("simhpc: device %s has non-positive ratings", s.Name)
+	}
+	return nil
+}
+
+// Device is one physical instance of a spec, carrying its manufacturing
+// variability: different instances of the same nominal component execute
+// the same application with measurably different energy (§V cites 15 %).
+type Device struct {
+	Spec *DeviceSpec
+	ID   string
+	// PowerMult scales both static and dynamic power for this instance
+	// (process variation). 1.0 is nominal.
+	PowerMult float64
+	// pstate is the current operating point index.
+	pstate int
+	// Busy tracks utilization bookkeeping.
+	BusySeconds  float64
+	EnergyJoules float64
+}
+
+// NewDevice instantiates spec with variability drawn from rng:
+// PowerMult ~ Uniform(1-spread/2, 1+spread/2), so the max-min spread
+// across instances approaches `spread` of nominal. Pass spread=0.15 to
+// reproduce the paper's 15 % figure, 0 for ideal parts.
+func NewDevice(spec *DeviceSpec, id string, spread float64, rng *RNG) *Device {
+	mult := 1.0
+	if spread > 0 && rng != nil {
+		mult = rng.Uniform(1-spread/2, 1+spread/2)
+	}
+	return &Device{Spec: spec, ID: id, PowerMult: mult, pstate: spec.MaxPState()}
+}
+
+// PState returns the current operating-point index.
+func (d *Device) PState() int { return d.pstate }
+
+// SetPState clamps and sets the operating point.
+func (d *Device) SetPState(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i > d.Spec.MaxPState() {
+		i = d.Spec.MaxPState()
+	}
+	d.pstate = i
+}
+
+// FreqRatio returns f/fmax for P-state i.
+func (d *Device) FreqRatio(i int) float64 {
+	max := d.Spec.PStates[d.Spec.MaxPState()].FreqGHz
+	return d.Spec.PStates[i].FreqGHz / max
+}
+
+// PowerW returns instantaneous power at P-state i under the given
+// utilization in [0,1]: static + dynamic·(f/fmax)·(V/Vmax)²·util, scaled
+// by the instance's variability multiplier.
+func (d *Device) PowerW(i int, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	ps := d.Spec.PStates[i]
+	maxPS := d.Spec.PStates[d.Spec.MaxPState()]
+	fRatio := ps.FreqGHz / maxPS.FreqGHz
+	vRatio := ps.VoltV / maxPS.VoltV
+	dyn := d.Spec.DynMaxW * fRatio * vRatio * vRatio * util
+	return (d.Spec.StaticW + dyn) * d.PowerMult
+}
+
+// IdlePowerW is the power drawn with no work.
+func (d *Device) IdlePowerW() float64 { return d.Spec.StaticW * d.PowerMult }
+
+// ExecTime returns the time (seconds) to execute a task at P-state i
+// using a roofline-style model: compute time scales inversely with
+// frequency, memory time does not.
+func (d *Device) ExecTime(t *Task, i int) float64 {
+	fRatio := d.FreqRatio(i)
+	compute := t.GFlop / (d.Spec.PeakGFLOPS * fRatio)
+	mem := t.MemGB / d.Spec.MemBWGBs
+	return compute + mem
+}
+
+// StallPowerFrac is the fraction of active dynamic power a core still
+// draws while stalled on memory: the clock tree, speculation and retry
+// traffic keep burning energy even though no FLOPs retire. This is the
+// blind spot of busyness-based governors — the core looks 100 % busy to
+// the OS while stalled — and the source of the §V head-room.
+const StallPowerFrac = 0.6
+
+// ExecEnergy returns the energy (joules) to execute the task at P-state
+// i, assuming the device is fully committed to it for the duration.
+// During the memory-stalled share of the runtime the core draws
+// StallPowerFrac of its active dynamic power.
+func (d *Device) ExecEnergy(t *Task, i int) float64 {
+	dur := d.ExecTime(t, i)
+	compute := t.GFlop / (d.Spec.PeakGFLOPS * d.FreqRatio(i))
+	util := 1.0
+	if dur > 0 {
+		cf := compute / dur
+		util = cf + StallPowerFrac*(1-cf)
+	}
+	return d.PowerW(i, util) * dur
+}
+
+// Run executes the task at the current P-state, updating busy-time and
+// energy accounting, and returns the duration.
+func (d *Device) Run(t *Task) float64 {
+	dur := d.ExecTime(t, d.pstate)
+	d.BusySeconds += dur
+	d.EnergyJoules += d.ExecEnergy(t, d.pstate)
+	return dur
+}
+
+// AccountIdle charges idle power for dur seconds.
+func (d *Device) AccountIdle(dur float64) {
+	if dur > 0 {
+		d.EnergyJoules += d.IdlePowerW() * dur
+	}
+}
+
+// EfficiencyGFLOPSPerW returns the device's peak compute efficiency at
+// the top P-state under full load — the Green500-style metric of §I.
+func (d *Device) EfficiencyGFLOPSPerW() float64 {
+	return d.Spec.PeakGFLOPS / d.PowerW(d.Spec.MaxPState(), 1)
+}
+
+// Standard device models, calibrated against the paper's cited numbers.
+// A XeonCPU alone delivers ≈2.3 GFLOPS/W; a heterogeneous node (CPU + 2
+// accelerators) averages ≈7 GFLOPS/W — the "three times" of §I.
+
+// XeonCPUSpec returns a Haswell-class CPU model (NeXtScale/Salomon hosts).
+func XeonCPUSpec() *DeviceSpec {
+	return &DeviceSpec{
+		Kind: CPU, Name: "xeon-haswell",
+		PeakGFLOPS: 500, MemBWGBs: 60,
+		StaticW: 37, DynMaxW: 180,
+		PStates: []PState{
+			{1.2, 0.80}, {1.4, 0.85}, {1.6, 0.90}, {1.8, 0.95},
+			{2.0, 1.00}, {2.2, 1.05}, {2.4, 1.12}, {2.6, 1.20},
+		},
+	}
+}
+
+// MICSpec returns a Xeon Phi (Knights Corner) coprocessor model.
+func MICSpec() *DeviceSpec {
+	return &DeviceSpec{
+		Kind: MIC, Name: "xeon-phi",
+		PeakGFLOPS: 1200, MemBWGBs: 180,
+		StaticW: 45, DynMaxW: 205,
+		PStates: []PState{
+			{0.8, 0.90}, {1.0, 1.00}, {1.1, 1.05}, {1.24, 1.10},
+		},
+	}
+}
+
+// GPGPUSpec returns a Kepler-class GPGPU model.
+func GPGPUSpec() *DeviceSpec {
+	return &DeviceSpec{
+		Kind: GPGPU, Name: "kepler",
+		PeakGFLOPS: 3000, MemBWGBs: 250,
+		StaticW: 40, DynMaxW: 300,
+		PStates: []PState{
+			{0.56, 0.90}, {0.70, 1.00}, {0.80, 1.06}, {0.88, 1.12},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package simhpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecsValidate(t *testing.T) {
+	for _, spec := range []*DeviceSpec{XeonCPUSpec(), MICSpec(), GPGPUSpec()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	bad := &DeviceSpec{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty spec should not validate")
+	}
+	desc := XeonCPUSpec()
+	desc.PStates[0], desc.PStates[1] = desc.PStates[1], desc.PStates[0]
+	if err := desc.Validate(); err == nil {
+		t.Error("non-ascending ladder should not validate")
+	}
+}
+
+// TestEfficiencyCalibration pins the Green500-style numbers of §I:
+// CPU-only ≈ 2304 MFLOPS/W, heterogeneous node ≈ 7032 MFLOPS/W,
+// ratio ≈ 3x.
+func TestEfficiencyCalibration(t *testing.T) {
+	cpu := NewDevice(XeonCPUSpec(), "c", 0, nil)
+	cpuEff := cpu.EfficiencyGFLOPSPerW() * 1000 // MFLOPS/W
+	if cpuEff < 2304*0.9 || cpuEff > 2304*1.1 {
+		t.Errorf("CPU efficiency %.0f MFLOPS/W, want ≈2304 ±10%%", cpuEff)
+	}
+	het := HeterogeneousNode("h", 0, nil)
+	hetEff := het.EfficiencyGFLOPSPerW() * 1000
+	if hetEff < 7032*0.85 || hetEff > 7032*1.15 {
+		t.Errorf("hetero efficiency %.0f MFLOPS/W, want ≈7032 ±15%%", hetEff)
+	}
+	hom := HomogeneousNode("o", 0, nil)
+	ratio := hetEff / (hom.EfficiencyGFLOPSPerW() * 1000)
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("hetero/homog efficiency ratio %.2f, want ≈3", ratio)
+	}
+}
+
+// TestVariabilitySpread reproduces §V's 15 % energy variation across
+// instances of the same nominal component.
+func TestVariabilitySpread(t *testing.T) {
+	rng := NewRNG(42)
+	task := &Task{GFlop: 100, MemGB: 2}
+	var energies []float64
+	for i := 0; i < 64; i++ {
+		d := NewDevice(XeonCPUSpec(), "d", 0.15, rng)
+		energies = append(energies, d.ExecEnergy(task, d.Spec.MaxPState()))
+	}
+	min, max, sum := energies[0], energies[0], 0.0
+	for _, e := range energies {
+		if e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+		sum += e
+	}
+	mean := sum / float64(len(energies))
+	spread := (max - min) / mean
+	if spread < 0.10 || spread > 0.20 {
+		t.Errorf("energy spread %.1f%%, want ≈15%%", spread*100)
+	}
+	// Zero-spread devices are identical.
+	d1 := NewDevice(XeonCPUSpec(), "a", 0, nil)
+	d2 := NewDevice(XeonCPUSpec(), "b", 0, nil)
+	if d1.ExecEnergy(task, 0) != d2.ExecEnergy(task, 0) {
+		t.Error("zero-spread devices differ")
+	}
+}
+
+func TestRooflineModel(t *testing.T) {
+	d := NewDevice(XeonCPUSpec(), "d", 0, nil)
+	gen := NewWorkloadGen(1)
+	cb := gen.ComputeBound(100)
+	mb := gen.MemoryBound(100)
+	lo, hi := 0, d.Spec.MaxPState()
+
+	// Compute-bound time scales ~1/f; memory-bound barely moves.
+	cbSlow := d.ExecTime(cb, lo) / d.ExecTime(cb, hi)
+	mbSlow := d.ExecTime(mb, lo) / d.ExecTime(mb, hi)
+	fRatio := d.Spec.PStates[hi].FreqGHz / d.Spec.PStates[lo].FreqGHz
+	if cbSlow < fRatio*0.9 {
+		t.Errorf("compute-bound slowdown %.2f, want ≈ freq ratio %.2f", cbSlow, fRatio)
+	}
+	if mbSlow > 1.3 {
+		t.Errorf("memory-bound slowdown %.2f, want ≈ 1 (frequency-insensitive)", mbSlow)
+	}
+	// Memory-bound tasks save energy at low frequency.
+	if d.ExecEnergy(mb, lo) >= d.ExecEnergy(mb, hi) {
+		t.Errorf("memory-bound low-freq energy %.1f should beat high-freq %.1f",
+			d.ExecEnergy(mb, lo), d.ExecEnergy(mb, hi))
+	}
+}
+
+func TestPStateClamping(t *testing.T) {
+	d := NewDevice(XeonCPUSpec(), "d", 0, nil)
+	d.SetPState(-5)
+	if d.PState() != 0 {
+		t.Errorf("clamp low: %d", d.PState())
+	}
+	d.SetPState(999)
+	if d.PState() != d.Spec.MaxPState() {
+		t.Errorf("clamp high: %d", d.PState())
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	d := NewDevice(XeonCPUSpec(), "d", 0, nil)
+	task := &Task{GFlop: 50, MemGB: 1}
+	dur := d.Run(task)
+	if dur <= 0 || d.BusySeconds != dur || d.EnergyJoules <= 0 {
+		t.Errorf("accounting: dur=%v busy=%v energy=%v", dur, d.BusySeconds, d.EnergyJoules)
+	}
+	e0 := d.EnergyJoules
+	d.AccountIdle(10)
+	wantIdle := d.IdlePowerW() * 10
+	if math.Abs(d.EnergyJoules-e0-wantIdle) > 1e-9 {
+		t.Errorf("idle accounting: got %v, want %v", d.EnergyJoules-e0, wantIdle)
+	}
+}
+
+// Property: power is monotonically non-decreasing in P-state and in
+// utilization.
+func TestPowerMonotoneProperty(t *testing.T) {
+	d := NewDevice(XeonCPUSpec(), "d", 0, nil)
+	f := func(rawA, rawB uint8) bool {
+		i := int(rawA) % len(d.Spec.PStates)
+		j := int(rawB) % len(d.Spec.PStates)
+		if i > j {
+			i, j = j, i
+		}
+		u1 := float64(rawA%100) / 100
+		u2 := float64(rawB%100) / 100
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return d.PowerW(i, u1) <= d.PowerW(j, u1)+1e-12 &&
+			d.PowerW(i, u1) <= d.PowerW(i, u2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExecTime decreases (weakly) with P-state; ExecEnergy is
+// always positive.
+func TestExecTimeMonotoneProperty(t *testing.T) {
+	d := NewDevice(XeonCPUSpec(), "d", 0, nil)
+	f := func(g uint16, m uint16, a, b uint8) bool {
+		task := &Task{GFlop: 1 + float64(g)/10, MemGB: float64(m) / 100}
+		i := int(a) % len(d.Spec.PStates)
+		j := int(b) % len(d.Spec.PStates)
+		if i > j {
+			i, j = j, i
+		}
+		return d.ExecTime(task, i) >= d.ExecTime(task, j)-1e-12 &&
+			d.ExecEnergy(task, i) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package simhpc
+
+import "container/heap"
+
+// Engine is a minimal discrete-event simulation core: a time-ordered
+// event queue with deterministic FIFO tie-breaking.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run dt seconds from now.
+func (e *Engine) After(dt float64, fn func()) { e.At(e.now+dt, fn) }
+
+// Step runs the next event; it reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.t
+	ev.fn()
+	return true
+}
+
+// Run drains the queue (or stops once now exceeds until, if until > 0).
+func (e *Engine) Run(until float64) {
+	for e.queue.Len() > 0 {
+		if until > 0 && e.queue[0].t > until {
+			e.now = until
+			return
+		}
+		e.Step()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

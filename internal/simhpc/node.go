@@ -1,0 +1,139 @@
+package simhpc
+
+import "fmt"
+
+// Node is one compute node: a host CPU plus optional accelerators, a
+// first-order thermal model, and energy accounting.
+type Node struct {
+	ID      string
+	Devices []*Device
+
+	// Thermal model: dT/dt = (P·Rth + Tamb − T) / TauS.
+	TempC     float64
+	RthCPerW  float64 // thermal resistance, °C per watt
+	TauS      float64 // thermal time constant, seconds
+	TSafeC    float64 // thermally-safe ceiling
+	throttled bool
+}
+
+// NodeConfig selects a node's device complement.
+type NodeConfig struct {
+	CPUs   int
+	MICs   int
+	GPUs   int
+	Spread float64 // per-instance power variability (0.15 = paper's 15 %)
+}
+
+// NewNode builds a node with the given device complement; rng drives
+// per-instance variability.
+func NewNode(id string, cfg NodeConfig, rng *RNG) *Node {
+	n := &Node{
+		ID:       id,
+		TempC:    35,
+		RthCPerW: 0.065,
+		TauS:     90,
+		TSafeC:   85,
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		n.Devices = append(n.Devices, NewDevice(XeonCPUSpec(), fmt.Sprintf("%s-cpu%d", id, i), cfg.Spread, rng))
+	}
+	for i := 0; i < cfg.MICs; i++ {
+		n.Devices = append(n.Devices, NewDevice(MICSpec(), fmt.Sprintf("%s-mic%d", id, i), cfg.Spread, rng))
+	}
+	for i := 0; i < cfg.GPUs; i++ {
+		n.Devices = append(n.Devices, NewDevice(GPGPUSpec(), fmt.Sprintf("%s-gpu%d", id, i), cfg.Spread, rng))
+	}
+	return n
+}
+
+// HomogeneousNode is a CPU-only node (the paper's homogeneous baseline).
+func HomogeneousNode(id string, spread float64, rng *RNG) *Node {
+	return NewNode(id, NodeConfig{CPUs: 2, Spread: spread}, rng)
+}
+
+// HeterogeneousNode is the NeXtScale-style CPU + accelerator node.
+func HeterogeneousNode(id string, spread float64, rng *RNG) *Node {
+	return NewNode(id, NodeConfig{CPUs: 1, GPUs: 2, Spread: spread}, rng)
+}
+
+// Device returns the i-th device.
+func (n *Node) Device(i int) *Device { return n.Devices[i] }
+
+// CPUDevice returns the first CPU device, or nil.
+func (n *Node) CPUDevice() *Device {
+	for _, d := range n.Devices {
+		if d.Spec.Kind == CPU {
+			return d
+		}
+	}
+	return nil
+}
+
+// PeakGFLOPS sums device peaks.
+func (n *Node) PeakGFLOPS() float64 {
+	var s float64
+	for _, d := range n.Devices {
+		s += d.Spec.PeakGFLOPS
+	}
+	return s
+}
+
+// PowerW returns current node power assuming the given utilization on
+// every device at its current P-state.
+func (n *Node) PowerW(util float64) float64 {
+	var s float64
+	for _, d := range n.Devices {
+		s += d.PowerW(d.PState(), util)
+	}
+	return s
+}
+
+// IdlePowerW is node power with all devices idle.
+func (n *Node) IdlePowerW() float64 {
+	var s float64
+	for _, d := range n.Devices {
+		s += d.IdlePowerW()
+	}
+	return s
+}
+
+// EnergyJ sums device energy counters.
+func (n *Node) EnergyJ() float64 {
+	var s float64
+	for _, d := range n.Devices {
+		s += d.EnergyJoules
+	}
+	return s
+}
+
+// EfficiencyGFLOPSPerW is the node-level Green500-style metric at full
+// load and top P-states.
+func (n *Node) EfficiencyGFLOPSPerW() float64 {
+	return n.PeakGFLOPS() / n.PowerW(1)
+}
+
+// StepThermal advances the node's temperature by dt seconds under the
+// given dissipated power and ambient temperature, and reports whether
+// the node is above its thermal-safe ceiling afterwards.
+func (n *Node) StepThermal(dt, powerW, ambientC float64) bool {
+	if dt <= 0 {
+		return n.TempC > n.TSafeC
+	}
+	steady := ambientC + powerW*n.RthCPerW
+	// Exact first-order response over dt.
+	n.TempC = steady + (n.TempC-steady)*expNeg(dt/n.TauS)
+	n.throttled = n.TempC > n.TSafeC
+	return n.throttled
+}
+
+// Throttled reports whether the last thermal step exceeded TSafeC.
+func (n *Node) Throttled() bool { return n.throttled }
+
+// expNeg computes e^(-x) for x >= 0 with a guard for large x.
+func expNeg(x float64) float64 {
+	if x > 40 {
+		return 0
+	}
+	// Use the math package via a tiny wrapper to keep call sites tidy.
+	return mathExp(-x)
+}

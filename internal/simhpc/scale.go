@@ -1,0 +1,122 @@
+package simhpc
+
+import (
+	"fmt"
+	"math"
+)
+
+// §I/§VII: "All the key ANTAREX innovations will be designed and
+// engineered since the beginning to be scaled-up to the Exascale level.
+// Performance metrics extracted from the two use cases will be modelled
+// to extrapolate these results towards Exascale systems."
+//
+// ScalingModel does that extrapolation: from a measured small-scale run
+// (nodes, throughput, efficiency) it projects strong/weak scaling to
+// Exascale node counts under a communication model (alpha-beta collective
+// costs growing with node count) and the serial-fraction limit
+// (Amdahl/Gustafson), plus the facility power envelope.
+
+// ScalingModel parameterizes the extrapolation.
+type ScalingModel struct {
+	// SerialFraction is the non-parallelizable share of the workload.
+	SerialFraction float64
+	// CommLatencyS is the per-collective base latency (alpha).
+	CommLatencyS float64
+	// CommBytesPerTask and NetBWGBs set the bandwidth term (beta).
+	CommBytesPerTask float64
+	NetBWGBs         float64
+	// CollectiveScale is how collective cost grows with node count N:
+	// log2(N) for tree-based collectives.
+	CollectiveScale func(n float64) float64
+}
+
+// DefaultScaling returns a model with tree collectives and a small
+// serial fraction typical of the docking use case.
+func DefaultScaling() ScalingModel {
+	return ScalingModel{
+		SerialFraction:   0.002,
+		CommLatencyS:     5e-6,
+		CommBytesPerTask: 1e5,
+		NetBWGBs:         10,
+		CollectiveScale:  math.Log2,
+	}
+}
+
+// Measured is the small-scale observation the extrapolation starts from.
+type Measured struct {
+	Nodes         int
+	TaskS         float64 // mean per-task compute time on one node
+	TasksPerBatch int     // tasks per synchronization step
+	NodePowerW    float64
+}
+
+// Projection is one extrapolated operating point.
+type Projection struct {
+	Nodes      int
+	SpeedupX   float64 // vs the measured configuration
+	Efficiency float64 // parallel efficiency in (0,1]
+	PowerMW    float64
+	// CommShare is the fraction of step time spent communicating.
+	CommShare float64
+}
+
+// String renders the projection row.
+func (p Projection) String() string {
+	return fmt.Sprintf("N=%8d  speedup=%10.1fx  eff=%5.1f%%  comm=%4.1f%%  power=%7.2f MW",
+		p.Nodes, p.SpeedupX, p.Efficiency*100, p.CommShare*100, p.PowerMW)
+}
+
+// Project extrapolates the measured run to the given node count under
+// weak scaling (problem grows with nodes — the docking library and
+// navigation request stream both scale this way).
+func (m ScalingModel) Project(base Measured, nodes int) Projection {
+	if nodes < base.Nodes {
+		nodes = base.Nodes
+	}
+	n := float64(nodes)
+	b := float64(base.Nodes)
+
+	// Per-step compute time stays constant under weak scaling
+	// (Gustafson): the serial share stays a fixed fraction of the step,
+	// while collective communication grows with the tree depth log2(N).
+	compute := base.TaskS * float64(base.TasksPerBatch)
+	serial := compute * m.SerialFraction
+	comm := (m.CommLatencyS + m.CommBytesPerTask/1e9/m.NetBWGBs) * m.CollectiveScale(n)
+	step := compute + serial + comm
+	eff := compute / step
+	return Projection{
+		Nodes:      nodes,
+		SpeedupX:   (n / b) * eff,
+		Efficiency: eff,
+		PowerMW:    n * base.NodePowerW / 1e6,
+		CommShare:  comm / step,
+	}
+}
+
+// Sweep projects a ladder of node counts (doubling from the measured
+// scale to max), the series behind the Exascale roadmap table.
+func (m ScalingModel) Sweep(base Measured, maxNodes int) []Projection {
+	var out []Projection
+	for n := base.Nodes; n <= maxNodes; n *= 2 {
+		out = append(out, m.Project(base, n))
+	}
+	return out
+}
+
+// NodesForExaflop returns the node count needed to reach 1 EFLOPS given
+// a per-node rate, accounting for the projected parallel efficiency at
+// that scale (fixed-point iteration; converges because efficiency is
+// monotone decreasing in N).
+func (m ScalingModel) NodesForExaflop(base Measured, nodeGFLOPS float64) (int, Projection) {
+	const exa = 1e9 // EFLOPS in GFLOPS
+	nodes := int(exa / nodeGFLOPS)
+	for i := 0; i < 30; i++ {
+		p := m.Project(base, nodes)
+		want := int(exa / (nodeGFLOPS * p.Efficiency))
+		if want == nodes {
+			return nodes, p
+		}
+		nodes = want
+	}
+	return nodes, m.Project(base, nodes)
+}

@@ -1,0 +1,96 @@
+package simhpc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseMeasured() Measured {
+	return Measured{Nodes: 8, TaskS: 0.01, TasksPerBatch: 1000, NodePowerW: 900}
+}
+
+func TestProjectBaseline(t *testing.T) {
+	m := DefaultScaling()
+	base := baseMeasured()
+	p := m.Project(base, base.Nodes)
+	if p.SpeedupX < 0.95 || p.SpeedupX > 1.0 {
+		t.Errorf("self-projection speedup %v, want ~1", p.SpeedupX)
+	}
+	if p.Efficiency <= 0.9 {
+		t.Errorf("small-scale efficiency %v too low", p.Efficiency)
+	}
+	if p.PowerMW <= 0 {
+		t.Error("power should be positive")
+	}
+}
+
+func TestEfficiencyDecreasesWithScale(t *testing.T) {
+	m := DefaultScaling()
+	base := baseMeasured()
+	sweep := m.Sweep(base, 1<<20)
+	if len(sweep) < 10 {
+		t.Fatalf("sweep rows: %d", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Efficiency > sweep[i-1].Efficiency {
+			t.Errorf("efficiency must not increase with scale: %v then %v",
+				sweep[i-1].Efficiency, sweep[i].Efficiency)
+		}
+		if sweep[i].SpeedupX <= sweep[i-1].SpeedupX {
+			t.Errorf("weak-scaling speedup should still grow: %v then %v",
+				sweep[i-1].SpeedupX, sweep[i].SpeedupX)
+		}
+		if sweep[i].CommShare < sweep[i-1].CommShare-1e-12 {
+			t.Errorf("comm share should not shrink with scale: %v then %v",
+				sweep[i-1].CommShare, sweep[i].CommShare)
+		}
+	}
+	if sweep[len(sweep)-1].String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestNodesForExaflop(t *testing.T) {
+	m := DefaultScaling()
+	base := baseMeasured()
+	nodeRate := 6500.0 // heterogeneous node GFLOPS
+	nodes, p := m.NodesForExaflop(base, nodeRate)
+	ideal := int(1e9 / nodeRate)
+	if nodes < ideal {
+		t.Errorf("nodes %d below the zero-overhead ideal %d", nodes, ideal)
+	}
+	// Efficiency loss at that scale must be what inflated the count.
+	if p.Efficiency >= 1 {
+		t.Errorf("exascale efficiency %v should be < 1", p.Efficiency)
+	}
+	got := float64(nodes) * nodeRate * p.Efficiency
+	if got < 0.99e9 || got > 1.05e9 {
+		t.Errorf("delivered rate %g GFLOPS, want ~1e9", got)
+	}
+	// The paper's power question: at ~900 W/node is the 20-30 MW envelope
+	// within reach? Our calibrated hetero node overshoots it — exactly the
+	// gap ANTAREX motivates ("two orders of magnitude" in §I was for 2015
+	// efficiency; here it is ~5x).
+	if p.PowerMW < 30 {
+		t.Errorf("at 2015-era efficiency the projection should exceed the 30 MW envelope, got %.1f MW", p.PowerMW)
+	}
+}
+
+// Property: projections never report negative or >1 efficiency, and
+// power scales linearly in nodes.
+func TestProjectionSanityProperty(t *testing.T) {
+	m := DefaultScaling()
+	base := baseMeasured()
+	f := func(raw uint16) bool {
+		nodes := int(raw)%100000 + base.Nodes
+		p := m.Project(base, nodes)
+		if p.Efficiency <= 0 || p.Efficiency > 1 {
+			return false
+		}
+		wantMW := float64(p.Nodes) * base.NodePowerW / 1e6
+		return p.PowerMW == wantMW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package simhpc
+
+// Task is one schedulable unit of work, characterized by its compute
+// volume and memory traffic (roofline coordinates). The ratio of the two
+// decides how much the task's runtime scales with frequency — the lever
+// behind operating-point optimization.
+type Task struct {
+	ID    int
+	GFlop float64 // compute volume
+	MemGB float64 // memory traffic
+	// Affinity optionally restricts which device kinds may run the task
+	// (empty = any).
+	Affinity []DeviceKind
+	// Tag labels the generating workload for reporting.
+	Tag string
+}
+
+// CanRunOn reports whether the task may execute on kind.
+func (t *Task) CanRunOn(kind DeviceKind) bool {
+	if len(t.Affinity) == 0 {
+		return true
+	}
+	for _, k := range t.Affinity {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeIntensity returns GFlop per GB of memory traffic — the roofline
+// x-coordinate. High values are compute-bound.
+func (t *Task) ComputeIntensity() float64 {
+	if t.MemGB == 0 {
+		return 1e9
+	}
+	return t.GFlop / t.MemGB
+}
+
+// Job is a named batch of tasks.
+type Job struct {
+	Name  string
+	Tasks []*Task
+}
+
+// TotalGFlop sums the job's compute volume.
+func (j *Job) TotalGFlop() float64 {
+	var s float64
+	for _, t := range j.Tasks {
+		s += t.GFlop
+	}
+	return s
+}
+
+// WorkloadGen generates synthetic workloads with controlled roofline
+// characteristics.
+type WorkloadGen struct {
+	rng *RNG
+	seq int
+}
+
+// NewWorkloadGen returns a generator with a deterministic seed.
+func NewWorkloadGen(seed uint64) *WorkloadGen {
+	return &WorkloadGen{rng: NewRNG(seed)}
+}
+
+func (g *WorkloadGen) next() int {
+	g.seq++
+	return g.seq
+}
+
+// ComputeBound returns a task dominated by arithmetic (runtime scales
+// ~linearly with frequency).
+func (g *WorkloadGen) ComputeBound(gflop float64) *Task {
+	return &Task{ID: g.next(), GFlop: gflop, MemGB: gflop / 400, Tag: "compute"}
+}
+
+// MemoryBound returns a task dominated by memory traffic (runtime nearly
+// frequency-insensitive).
+func (g *WorkloadGen) MemoryBound(gflop float64) *Task {
+	return &Task{ID: g.next(), GFlop: gflop, MemGB: gflop / 2, Tag: "memory"}
+}
+
+// Balanced returns a task between the two regimes.
+func (g *WorkloadGen) Balanced(gflop float64) *Task {
+	return &Task{ID: g.next(), GFlop: gflop, MemGB: gflop / 12, Tag: "balanced"}
+}
+
+// Mix returns n tasks drawn from the three classes with the given
+// weights (compute, balanced, memory).
+func (g *WorkloadGen) Mix(n int, wCompute, wBalanced, wMemory float64, gflop float64) []*Task {
+	total := wCompute + wBalanced + wMemory
+	tasks := make([]*Task, 0, n)
+	for i := 0; i < n; i++ {
+		u := g.rng.Float64() * total
+		size := gflop * g.rng.Uniform(0.5, 1.5)
+		switch {
+		case u < wCompute:
+			tasks = append(tasks, g.ComputeBound(size))
+		case u < wCompute+wBalanced:
+			tasks = append(tasks, g.Balanced(size))
+		default:
+			tasks = append(tasks, g.MemoryBound(size))
+		}
+	}
+	return tasks
+}
+
+// DockingBatch generates the use-case-1 workload: n ligand-evaluation
+// tasks whose costs follow a Pareto(alpha) heavy tail — "unpredictable
+// imbalances in the computational time, since the verification of each
+// point in the solution space requires a widely varying time" (§VII-a).
+// alpha around 1.3-1.8 gives the strong imbalance the paper describes.
+func (g *WorkloadGen) DockingBatch(n int, alpha, baseGFlop float64) *Job {
+	job := &Job{Name: "docking"}
+	for i := 0; i < n; i++ {
+		cost := g.rng.Pareto(alpha, baseGFlop)
+		// Cap the tail so a single ligand cannot exceed 500x base:
+		// docking codes bound pose evaluation.
+		if cost > 500*baseGFlop {
+			cost = 500 * baseGFlop
+		}
+		job.Tasks = append(job.Tasks, &Task{
+			ID: g.next(), GFlop: cost, MemGB: cost / 50, Tag: "ligand",
+		})
+	}
+	return job
+}

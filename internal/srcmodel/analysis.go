@@ -1,0 +1,635 @@
+package srcmodel
+
+import "fmt"
+
+// LoopInfo describes one loop join point inside a function.
+type LoopInfo struct {
+	Func  *FuncDecl
+	Stmt  Stmt   // *ForStmt or *WhileStmt
+	Kind  string // "for" or "while"
+	Depth int    // 0 for outermost
+	// IsInnermost reports that no loop is nested inside this one.
+	IsInnermost bool
+	// NumIter is the statically determined trip count for canonical
+	// `for (i = 0; i < N; i++)`-shaped loops with constant bounds;
+	// -1 when unknown.
+	NumIter int64
+	// IndexVar is the induction variable name for canonical loops.
+	IndexVar string
+	// Parent points at the statement list owner so the weaver can replace
+	// the loop in place.
+	Parent *BlockStmt
+	// Index is the position of Stmt within Parent.Stmts.
+	Index int
+}
+
+// CallInfo describes one call join point.
+type CallInfo struct {
+	Func   *FuncDecl // enclosing function
+	Call   *CallExpr
+	Parent *BlockStmt // enclosing block (insertion context)
+	Index  int        // statement index within Parent
+}
+
+// Location renders the call's source location "file:line:col".
+func (c *CallInfo) Location(file string) string {
+	return fmt.Sprintf("%s:%s", file, c.Call.Pos)
+}
+
+// Loops returns all loops in f in source order, with nesting metadata.
+func Loops(f *FuncDecl) []*LoopInfo {
+	var out []*LoopInfo
+	collectLoops(f, f.Body, f.Body, 0, &out)
+	// Innermost detection: a loop is innermost if no collected loop's body
+	// chain contains another loop. Recompute by checking for nested loops.
+	for _, li := range out {
+		li.IsInnermost = !containsLoop(loopBody(li.Stmt))
+	}
+	return out
+}
+
+func loopBody(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *ForStmt:
+		return x.Body
+	case *WhileStmt:
+		return x.Body
+	}
+	return nil
+}
+
+func collectLoops(f *FuncDecl, s Stmt, parent *BlockStmt, depth int, out *[]*LoopInfo) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		for i, st := range x.Stmts {
+			switch st.(type) {
+			case *ForStmt, *WhileStmt:
+				li := describeLoop(f, st, x, i, depth)
+				*out = append(*out, li)
+				collectLoops(f, loopBody(st), x, depth+1, out)
+			default:
+				collectLoops(f, st, x, depth, out)
+			}
+		}
+	case *IfStmt:
+		collectLoops(f, x.Then, parent, depth, out)
+		if x.Else != nil {
+			collectLoops(f, x.Else, parent, depth, out)
+		}
+	case *ForStmt, *WhileStmt:
+		// A loop directly as a body (not in a block): wrap metadata without
+		// a parent index (cannot be replaced in place, weaver normalizes
+		// bodies to blocks first).
+		li := describeLoop(f, x, parent, -1, depth)
+		*out = append(*out, li)
+		collectLoops(f, loopBody(x), parent, depth+1, out)
+	}
+}
+
+func describeLoop(f *FuncDecl, s Stmt, parent *BlockStmt, idx, depth int) *LoopInfo {
+	li := &LoopInfo{Func: f, Stmt: s, Depth: depth, Parent: parent, Index: idx, NumIter: -1}
+	switch x := s.(type) {
+	case *ForStmt:
+		li.Kind = "for"
+		li.IndexVar, li.NumIter = canonicalTripCount(x)
+	case *WhileStmt:
+		li.Kind = "while"
+	}
+	return li
+}
+
+func containsLoop(s Stmt) bool {
+	switch x := s.(type) {
+	case nil:
+		return false
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			if containsLoop(st) {
+				return true
+			}
+		}
+	case *IfStmt:
+		return containsLoop(x.Then) || containsLoop(x.Else)
+	case *ForStmt, *WhileStmt:
+		return true
+	}
+	return false
+}
+
+// canonicalTripCount recognizes `for (i = 0; i < N; i++)` and
+// `for (int i = 0; i <= N; i += c)` shapes with integer-literal bounds and
+// returns the induction variable and trip count; ("", -1) when the shape
+// does not match.
+func canonicalTripCount(f *ForStmt) (string, int64) {
+	var ivar string
+	var start int64
+	switch init := f.Init.(type) {
+	case *VarDecl:
+		lit, ok := init.Init.(*IntLit)
+		if !ok {
+			return "", -1
+		}
+		ivar, start = init.Name, lit.Value
+	case *ExprStmt:
+		asn, ok := init.X.(*AssignExpr)
+		if !ok || asn.Op != TokAssign {
+			return "", -1
+		}
+		id, ok := asn.LHS.(*Ident)
+		if !ok {
+			return "", -1
+		}
+		lit, ok := asn.RHS.(*IntLit)
+		if !ok {
+			return "", -1
+		}
+		ivar, start = id.Name, lit.Value
+	default:
+		return "", -1
+	}
+
+	cond, ok := f.Cond.(*BinaryExpr)
+	if !ok {
+		return "", -1
+	}
+	condVar, ok := cond.L.(*Ident)
+	if !ok || condVar.Name != ivar {
+		return "", -1
+	}
+	// Symbolic bound: the induction variable is still known even though
+	// the trip count is not (weaving and specialization use it).
+	bound, boundIsConst := cond.R.(*IntLit)
+	if !boundIsConst {
+		return ivar, -1
+	}
+
+	var step int64
+	post, ok := f.Post.(*ExprStmt)
+	if !ok {
+		return "", -1
+	}
+	switch px := post.X.(type) {
+	case *IncDecExpr:
+		id, ok := px.X.(*Ident)
+		if !ok || id.Name != ivar {
+			return "", -1
+		}
+		if px.Op == TokInc {
+			step = 1
+		} else {
+			step = -1
+		}
+	case *AssignExpr:
+		id, ok := px.LHS.(*Ident)
+		if !ok || id.Name != ivar {
+			return "", -1
+		}
+		lit, ok := px.RHS.(*IntLit)
+		if !ok {
+			return "", -1
+		}
+		switch px.Op {
+		case TokPlusEq:
+			step = lit.Value
+		case TokMinusEq:
+			step = -lit.Value
+		default:
+			return "", -1
+		}
+	default:
+		return "", -1
+	}
+	if step == 0 {
+		return "", -1
+	}
+
+	limit := bound.Value
+	var n int64
+	switch cond.Op {
+	case TokLt:
+		if step <= 0 {
+			return "", -1
+		}
+		if start >= limit {
+			return ivar, 0
+		}
+		n = ceilDiv(limit-start, step)
+	case TokLe:
+		if step <= 0 {
+			return "", -1
+		}
+		if start > limit {
+			return ivar, 0
+		}
+		n = ceilDiv(limit-start+1, step)
+	case TokGt:
+		if step >= 0 {
+			return "", -1
+		}
+		if start <= limit {
+			return ivar, 0
+		}
+		n = ceilDiv(start-limit, -step)
+	case TokGe:
+		if step >= 0 {
+			return "", -1
+		}
+		if start < limit {
+			return ivar, 0
+		}
+		n = ceilDiv(start-limit+1, -step)
+	default:
+		return "", -1
+	}
+	return ivar, n
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Calls returns every call expression that appears as a direct expression
+// statement or inside one, in source order. callee filters by name when
+// non-empty.
+func Calls(f *FuncDecl, callee string) []*CallInfo {
+	var out []*CallInfo
+	collectCalls(f, f.Body, &out)
+	if callee == "" {
+		return out
+	}
+	var filtered []*CallInfo
+	for _, c := range out {
+		if c.Call.Callee == callee {
+			filtered = append(filtered, c)
+		}
+	}
+	return filtered
+}
+
+func collectCalls(f *FuncDecl, s Stmt, out *[]*CallInfo) {
+	switch x := s.(type) {
+	case nil:
+	case *BlockStmt:
+		for i, st := range x.Stmts {
+			collectCallsAt(f, st, x, i, out)
+		}
+	default:
+		collectCallsAt(f, s, nil, -1, out)
+	}
+}
+
+func collectCallsAt(f *FuncDecl, s Stmt, parent *BlockStmt, idx int, out *[]*CallInfo) {
+	add := func(e Expr) {
+		walkExprCalls(e, func(c *CallExpr) {
+			*out = append(*out, &CallInfo{Func: f, Call: c, Parent: parent, Index: idx})
+		})
+	}
+	switch x := s.(type) {
+	case nil:
+	case *BlockStmt:
+		collectCalls(f, x, out)
+	case *VarDecl:
+		add(x.Init)
+	case *IfStmt:
+		add(x.Cond)
+		collectCallsAt(f, x.Then, parent, idx, out)
+		collectCallsAt(f, x.Else, parent, idx, out)
+	case *ForStmt:
+		collectCallsAt(f, x.Init, parent, idx, out)
+		add(x.Cond)
+		collectCallsAt(f, x.Post, parent, idx, out)
+		collectCallsAt(f, x.Body, parent, idx, out)
+	case *WhileStmt:
+		add(x.Cond)
+		collectCallsAt(f, x.Body, parent, idx, out)
+	case *ReturnStmt:
+		add(x.Value)
+	case *ExprStmt:
+		add(x.X)
+	}
+}
+
+func walkExprCalls(e Expr, fn func(*CallExpr)) {
+	switch x := e.(type) {
+	case nil:
+	case *BinaryExpr:
+		walkExprCalls(x.L, fn)
+		walkExprCalls(x.R, fn)
+	case *UnaryExpr:
+		walkExprCalls(x.X, fn)
+	case *AssignExpr:
+		walkExprCalls(x.LHS, fn)
+		walkExprCalls(x.RHS, fn)
+	case *IncDecExpr:
+		walkExprCalls(x.X, fn)
+	case *CallExpr:
+		fn(x)
+		for _, a := range x.Args {
+			walkExprCalls(a, fn)
+		}
+	case *IndexExpr:
+		walkExprCalls(x.Array, fn)
+		walkExprCalls(x.Index, fn)
+	}
+}
+
+// SubstIdent replaces every read of identifier name inside s with a deep
+// copy of repl. Assignment targets are left untouched (a specialized
+// parameter must not be written to; callers check WritesTo first).
+func SubstIdent(s Stmt, name string, repl Expr) {
+	substStmt(s, name, repl)
+}
+
+func substStmt(s Stmt, name string, repl Expr) {
+	switch x := s.(type) {
+	case nil:
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			substStmt(st, name, repl)
+		}
+	case *VarDecl:
+		x.Init = substExpr(x.Init, name, repl)
+	case *IfStmt:
+		x.Cond = substExpr(x.Cond, name, repl)
+		substStmt(x.Then, name, repl)
+		substStmt(x.Else, name, repl)
+	case *ForStmt:
+		substStmt(x.Init, name, repl)
+		x.Cond = substExpr(x.Cond, name, repl)
+		substStmt(x.Post, name, repl)
+		substStmt(x.Body, name, repl)
+	case *WhileStmt:
+		x.Cond = substExpr(x.Cond, name, repl)
+		substStmt(x.Body, name, repl)
+	case *ReturnStmt:
+		x.Value = substExpr(x.Value, name, repl)
+	case *ExprStmt:
+		x.X = substExpr(x.X, name, repl)
+	}
+}
+
+func substExpr(e Expr, name string, repl Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		if x.Name == name {
+			return CloneExpr(repl)
+		}
+		return x
+	case *BinaryExpr:
+		x.L = substExpr(x.L, name, repl)
+		x.R = substExpr(x.R, name, repl)
+		return x
+	case *UnaryExpr:
+		x.X = substExpr(x.X, name, repl)
+		return x
+	case *AssignExpr:
+		// Only the RHS and index parts of the LHS are reads.
+		if idx, ok := x.LHS.(*IndexExpr); ok {
+			idx.Index = substExpr(idx.Index, name, repl)
+			idx.Array = substExpr(idx.Array, name, repl)
+		}
+		x.RHS = substExpr(x.RHS, name, repl)
+		return x
+	case *IncDecExpr:
+		return x
+	case *CallExpr:
+		for i, a := range x.Args {
+			x.Args[i] = substExpr(a, name, repl)
+		}
+		return x
+	case *IndexExpr:
+		x.Array = substExpr(x.Array, name, repl)
+		x.Index = substExpr(x.Index, name, repl)
+		return x
+	}
+	return e
+}
+
+// WritesTo reports whether s contains an assignment, ++ or -- whose target
+// is the plain identifier name.
+func WritesTo(s Stmt, name string) bool {
+	found := false
+	var visitExpr func(e Expr)
+	visitExpr = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *BinaryExpr:
+			visitExpr(x.L)
+			visitExpr(x.R)
+		case *UnaryExpr:
+			visitExpr(x.X)
+		case *AssignExpr:
+			if id, ok := x.LHS.(*Ident); ok && id.Name == name {
+				found = true
+			}
+			visitExpr(x.RHS)
+		case *IncDecExpr:
+			if id, ok := x.X.(*Ident); ok && id.Name == name {
+				found = true
+			}
+		case *CallExpr:
+			for _, a := range x.Args {
+				visitExpr(a)
+			}
+		case *IndexExpr:
+			visitExpr(x.Array)
+			visitExpr(x.Index)
+		}
+	}
+	var visit func(st Stmt)
+	visit = func(st Stmt) {
+		switch x := st.(type) {
+		case nil:
+		case *BlockStmt:
+			for _, s2 := range x.Stmts {
+				visit(s2)
+			}
+		case *VarDecl:
+			if x.Name == name {
+				found = true // shadowing redeclaration counts as a write
+			}
+			visitExpr(x.Init)
+		case *IfStmt:
+			visitExpr(x.Cond)
+			visit(x.Then)
+			visit(x.Else)
+		case *ForStmt:
+			visit(x.Init)
+			visitExpr(x.Cond)
+			visit(x.Post)
+			visit(x.Body)
+		case *WhileStmt:
+			visitExpr(x.Cond)
+			visit(x.Body)
+		case *ReturnStmt:
+			visitExpr(x.Value)
+		case *ExprStmt:
+			visitExpr(x.X)
+		}
+	}
+	visit(s)
+	return found
+}
+
+// FoldConstants simplifies integer-literal arithmetic and comparisons in
+// place throughout the function body. It enables canonicalTripCount to see
+// literal bounds after specialization substitutes a constant argument.
+func FoldConstants(f *FuncDecl) {
+	foldStmt(f.Body)
+}
+
+func foldStmt(s Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			foldStmt(st)
+		}
+	case *VarDecl:
+		x.Init = FoldExpr(x.Init)
+	case *IfStmt:
+		x.Cond = FoldExpr(x.Cond)
+		foldStmt(x.Then)
+		foldStmt(x.Else)
+	case *ForStmt:
+		foldStmt(x.Init)
+		x.Cond = FoldExpr(x.Cond)
+		foldStmt(x.Post)
+		foldStmt(x.Body)
+	case *WhileStmt:
+		x.Cond = FoldExpr(x.Cond)
+		foldStmt(x.Body)
+	case *ReturnStmt:
+		x.Value = FoldExpr(x.Value)
+	case *ExprStmt:
+		x.X = FoldExpr(x.X)
+	}
+}
+
+// FoldExpr returns e with integer constant sub-expressions folded.
+func FoldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *BinaryExpr:
+		x.L = FoldExpr(x.L)
+		x.R = FoldExpr(x.R)
+		l, lok := x.L.(*IntLit)
+		r, rok := x.R.(*IntLit)
+		if !lok || !rok {
+			return x
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		var v int64
+		switch x.Op {
+		case TokPlus:
+			v = l.Value + r.Value
+		case TokMinus:
+			v = l.Value - r.Value
+		case TokStar:
+			v = l.Value * r.Value
+		case TokSlash:
+			if r.Value == 0 {
+				return x
+			}
+			v = l.Value / r.Value
+		case TokPercent:
+			if r.Value == 0 {
+				return x
+			}
+			v = l.Value % r.Value
+		case TokEq:
+			v = b2i(l.Value == r.Value)
+		case TokNe:
+			v = b2i(l.Value != r.Value)
+		case TokLt:
+			v = b2i(l.Value < r.Value)
+		case TokLe:
+			v = b2i(l.Value <= r.Value)
+		case TokGt:
+			v = b2i(l.Value > r.Value)
+		case TokGe:
+			v = b2i(l.Value >= r.Value)
+		case TokAndAnd:
+			v = b2i(l.Value != 0 && r.Value != 0)
+		case TokOrOr:
+			v = b2i(l.Value != 0 || r.Value != 0)
+		default:
+			return x
+		}
+		return &IntLit{Value: v, Pos: x.Pos}
+	case *UnaryExpr:
+		x.X = FoldExpr(x.X)
+		if lit, ok := x.X.(*IntLit); ok {
+			switch x.Op {
+			case TokMinus:
+				return &IntLit{Value: -lit.Value, Pos: x.Pos}
+			case TokNot:
+				if lit.Value == 0 {
+					return &IntLit{Value: 1, Pos: x.Pos}
+				}
+				return &IntLit{Value: 0, Pos: x.Pos}
+			}
+		}
+		return x
+	case *AssignExpr:
+		x.RHS = FoldExpr(x.RHS)
+		return x
+	case *IncDecExpr:
+		return x
+	case *CallExpr:
+		for i, a := range x.Args {
+			x.Args[i] = FoldExpr(a)
+		}
+		return x
+	case *IndexExpr:
+		x.Array = FoldExpr(x.Array)
+		x.Index = FoldExpr(x.Index)
+		return x
+	}
+	return e
+}
+
+// NormalizeBodies rewrites every loop and if body that is a bare statement
+// into a single-statement block, so all join points live in a *BlockStmt
+// and can be replaced in place by the weaver.
+func NormalizeBodies(p *Program) {
+	for _, f := range p.Funcs {
+		normStmt(f.Body)
+	}
+}
+
+func normStmt(s Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *BlockStmt:
+		for _, st := range x.Stmts {
+			normStmt(st)
+		}
+	case *IfStmt:
+		x.Then = ensureBlock(x.Then)
+		normStmt(x.Then)
+		if x.Else != nil {
+			x.Else = ensureBlock(x.Else)
+			normStmt(x.Else)
+		}
+	case *ForStmt:
+		x.Body = ensureBlock(x.Body)
+		normStmt(x.Body)
+	case *WhileStmt:
+		x.Body = ensureBlock(x.Body)
+		normStmt(x.Body)
+	}
+}
+
+func ensureBlock(s Stmt) Stmt {
+	if _, ok := s.(*BlockStmt); ok {
+		return s
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Pos: s.Position()}
+}

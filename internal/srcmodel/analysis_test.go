@@ -1,0 +1,194 @@
+package srcmodel
+
+import "testing"
+
+func TestLoopsNesting(t *testing.T) {
+	src := `
+void mm(double* a, double* b, double* c) {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 4; j++) {
+            double s = 0.0;
+            for (int k = 0; k < 16; k++) {
+                s += a[i * 16 + k] * b[k * 4 + j];
+            }
+            c[i * 4 + j] = s;
+        }
+    }
+    while (a[0] > 0.0) {
+        a[0] = a[0] - 1.0;
+    }
+}
+`
+	p := mustParse(t, src)
+	loops := Loops(p.Func("mm"))
+	if len(loops) != 4 {
+		t.Fatalf("got %d loops, want 4", len(loops))
+	}
+	type want struct {
+		kind      string
+		depth     int
+		innermost bool
+		numIter   int64
+		indexVar  string
+	}
+	wants := []want{
+		{"for", 0, false, 8, "i"},
+		{"for", 1, false, 4, "j"},
+		{"for", 2, true, 16, "k"},
+		{"while", 0, true, -1, ""},
+	}
+	for i, w := range wants {
+		li := loops[i]
+		if li.Kind != w.kind || li.Depth != w.depth || li.IsInnermost != w.innermost ||
+			li.NumIter != w.numIter || li.IndexVar != w.indexVar {
+			t.Errorf("loop %d: got kind=%s depth=%d inner=%v n=%d var=%q, want %+v",
+				i, li.Kind, li.Depth, li.IsInnermost, li.NumIter, li.IndexVar, w)
+		}
+	}
+}
+
+func TestTripCountShapes(t *testing.T) {
+	cases := []struct {
+		header string
+		want   int64
+	}{
+		{"for (int i = 0; i < 10; i++)", 10},
+		{"for (int i = 0; i <= 10; i++)", 11},
+		{"for (int i = 2; i < 10; i += 3)", 3},
+		{"for (int i = 10; i > 0; i--)", 10},
+		{"for (int i = 10; i >= 0; i -= 2)", 6},
+		{"for (i = 0; i < 5; i++)", 5},
+		{"for (int i = 0; i < n; i++)", -1},     // symbolic bound
+		{"for (int i = 0; i < 10; i += n)", -1}, // symbolic step
+		{"for (int i = 5; i < 5; i++)", 0},
+	}
+	for _, c := range cases {
+		src := "void f(int n) { int i; " + c.header + " { g(i); } }"
+		p, err := Parse("tc.c", src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.header, err)
+		}
+		loops := Loops(p.Func("f"))
+		if len(loops) != 1 {
+			t.Fatalf("%s: %d loops", c.header, len(loops))
+		}
+		if loops[0].NumIter != c.want {
+			t.Errorf("%s: NumIter=%d, want %d", c.header, loops[0].NumIter, c.want)
+		}
+	}
+}
+
+func TestCalls(t *testing.T) {
+	p := mustParse(t, kernelSrc)
+	all := Calls(p.Func("main"), "")
+	if len(all) != 2 {
+		t.Fatalf("got %d calls, want 2: %+v", len(all), all)
+	}
+	ks := Calls(p.Func("main"), "kernel")
+	if len(ks) != 1 || ks[0].Call.Callee != "kernel" {
+		t.Fatalf("kernel calls: %+v", ks)
+	}
+	if len(ks[0].Call.Args) != 2 {
+		t.Errorf("kernel call args: %d", len(ks[0].Call.Args))
+	}
+	if ks[0].Parent == nil || ks[0].Index < 0 {
+		t.Errorf("call has no insertion context: %+v", ks[0])
+	}
+}
+
+func TestCallsNestedInExpressions(t *testing.T) {
+	src := `int f(int x) { return g(h(x) + 1) * k(x); }`
+	p := mustParse(t, src)
+	calls := Calls(p.Func("f"), "")
+	names := map[string]bool{}
+	for _, c := range calls {
+		names[c.Call.Callee] = true
+	}
+	for _, want := range []string{"g", "h", "k"} {
+		if !names[want] {
+			t.Errorf("missing call %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestSubstIdent(t *testing.T) {
+	src := `void f(int size) { for (int i = 0; i < size; i++) { g(i, size); } size2 = size + 1; }`
+	p := mustParse(t, src)
+	f := p.Func("f")
+	SubstIdent(f.Body, "size", &IntLit{Value: 64})
+	FoldConstants(f)
+	loops := Loops(f)
+	if loops[0].NumIter != 64 {
+		t.Errorf("after substitution NumIter=%d, want 64", loops[0].NumIter)
+	}
+	out := Print(&Program{Funcs: []*FuncDecl{f}})
+	if contains := "g(i, 64)"; !containsStr(out, contains) {
+		t.Errorf("substituted call not found in:\n%s", out)
+	}
+}
+
+func TestSubstIdentSkipsAssignTargets(t *testing.T) {
+	src := `void f(int x) { x = 1; y = x; }`
+	p := mustParse(t, src)
+	f := p.Func("f")
+	SubstIdent(f.Body, "x", &IntLit{Value: 7})
+	out := Print(&Program{Funcs: []*FuncDecl{f}})
+	if !containsStr(out, "x = 1") {
+		t.Errorf("assignment target was substituted:\n%s", out)
+	}
+	if !containsStr(out, "y = 7") {
+		t.Errorf("read was not substituted:\n%s", out)
+	}
+}
+
+func TestWritesTo(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+		want bool
+	}{
+		{"void f(int x) { x = 1; }", "x", true},
+		{"void f(int x) { x++; }", "x", true},
+		{"void f(int x) { y = x; }", "x", false},
+		{"void f(int x) { a[x] = 1; }", "x", false},
+		{"void f(int x) { int x; }", "x", true},
+		{"void f(int x) { for (int i = 0; i < x; i++) { x += 1; } }", "x", true},
+	}
+	for _, c := range cases {
+		p := mustParse(t, c.src)
+		got := WritesTo(p.Funcs[0].Body, c.name)
+		if got != c.want {
+			t.Errorf("WritesTo(%q, %q) = %v, want %v", c.src, c.name, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeBodies(t *testing.T) {
+	src := `void f(int n) { for (int i = 0; i < n; i++) g(i); if (n > 0) g(n); else g(0); while (n) n--; }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	f := p.Func("f")
+	loops := Loops(f)
+	for i, li := range loops {
+		if _, ok := loopBody(li.Stmt).(*BlockStmt); !ok {
+			t.Errorf("loop %d body not a block after normalize", i)
+		}
+	}
+	// Every loop now has a valid replacement context.
+	for i, li := range loops {
+		if li.Parent == nil || li.Index < 0 {
+			t.Errorf("loop %d missing parent context: %+v", i, li)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

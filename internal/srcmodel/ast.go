@@ -1,0 +1,370 @@
+package srcmodel
+
+import "fmt"
+
+// Type is a miniC type: a base type plus pointer depth and optional array
+// length (fixed-size arrays only, as in HPC kernel signatures).
+type Type struct {
+	Base     BaseType
+	Pointers int // number of '*'
+	ArrayLen int // 0 if not an array
+}
+
+// BaseType enumerates the scalar base types of miniC.
+type BaseType int
+
+// Base types.
+const (
+	TypeVoid BaseType = iota
+	TypeInt
+	TypeFloat
+	TypeDouble
+	TypeChar
+)
+
+// String renders the type in C syntax (without the array suffix, which
+// attaches to the declarator).
+func (t Type) String() string {
+	s := t.Base.String()
+	for i := 0; i < t.Pointers; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// IsFloat reports whether the base type is a floating-point type.
+func (t Type) IsFloat() bool { return t.Base == TypeFloat || t.Base == TypeDouble }
+
+// String returns the C keyword for the base type.
+func (b BaseType) String() string {
+	switch b {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeDouble:
+		return "double"
+	case TypeChar:
+		return "char"
+	}
+	return fmt.Sprintf("BaseType(%d)", int(b))
+}
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	Position() Pos
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+	// File is an optional label used in join-point locations.
+	File string
+}
+
+// Position implements Node; a program starts at 1:1.
+func (p *Program) Position() Pos { return Pos{1, 1} }
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Param is one formal parameter of a function.
+type Param struct {
+	Type Type
+	Name string
+	Pos  Pos
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Position implements Node.
+func (f *FuncDecl) Position() Pos { return f.Pos }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// VarDecl declares a local or global variable, optionally initialized.
+type VarDecl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// IfStmt is an if/else statement. Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+// ForStmt is a C for loop. Init and Post are simple statements (or nil);
+// Cond may be nil (infinite loop).
+type ForStmt struct {
+	Init Stmt // *VarDecl or *ExprStmt, may be nil
+	Cond Expr
+	Post Stmt // *ExprStmt, may be nil
+	Body Stmt
+	Pos  Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// ReturnStmt returns from a function; Value may be nil.
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// Position implementations for statements.
+func (s *BlockStmt) Position() Pos    { return s.Pos }
+func (s *VarDecl) Position() Pos      { return s.Pos }
+func (s *IfStmt) Position() Pos       { return s.Pos }
+func (s *ForStmt) Position() Pos      { return s.Pos }
+func (s *WhileStmt) Position() Pos    { return s.Pos }
+func (s *ReturnStmt) Position() Pos   { return s.Pos }
+func (s *BreakStmt) Position() Pos    { return s.Pos }
+func (s *ContinueStmt) Position() Pos { return s.Pos }
+func (s *ExprStmt) Position() Pos     { return s.Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	Pos   Pos
+}
+
+// StringLit is a string literal (used as arguments to runtime calls such
+// as profiling hooks).
+type StringLit struct {
+	Value string
+	Pos   Pos
+}
+
+// BinaryExpr is a binary operation; Op is the operator token kind.
+type BinaryExpr struct {
+	Op   TokenKind
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr is a prefix unary operation (-x, !x, &x, *x).
+type UnaryExpr struct {
+	Op  TokenKind
+	X   Expr
+	Pos Pos
+}
+
+// AssignExpr assigns to an lvalue. Op is TokAssign or a compound
+// assignment kind (TokPlusEq etc.).
+type AssignExpr struct {
+	Op  TokenKind
+	LHS Expr // Ident or IndexExpr or UnaryExpr(*p)
+	RHS Expr
+	Pos Pos
+}
+
+// IncDecExpr is x++ or x-- (postfix).
+type IncDecExpr struct {
+	Op  TokenKind // TokInc or TokDec
+	X   Expr
+	Pos Pos
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Pos    Pos
+}
+
+// IndexExpr is array indexing a[i].
+type IndexExpr struct {
+	Array Expr
+	Index Expr
+	Pos   Pos
+}
+
+// Position implementations for expressions.
+func (e *Ident) Position() Pos      { return e.Pos }
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *FloatLit) Position() Pos   { return e.Pos }
+func (e *StringLit) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *AssignExpr) Position() Pos { return e.Pos }
+func (e *IncDecExpr) Position() Pos { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StringLit) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		c := *x
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *StringLit:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R), Pos: x.Pos}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X), Pos: x.Pos}
+	case *AssignExpr:
+		return &AssignExpr{Op: x.Op, LHS: CloneExpr(x.LHS), RHS: CloneExpr(x.RHS), Pos: x.Pos}
+	case *IncDecExpr:
+		return &IncDecExpr{Op: x.Op, X: CloneExpr(x.X), Pos: x.Pos}
+	case *CallExpr:
+		c := &CallExpr{Callee: x.Callee, Pos: x.Pos}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *IndexExpr:
+		return &IndexExpr{Array: CloneExpr(x.Array), Index: CloneExpr(x.Index), Pos: x.Pos}
+	}
+	panic(fmt.Sprintf("srcmodel: CloneExpr: unknown node %T", e))
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *BlockStmt:
+		c := &BlockStmt{Pos: x.Pos}
+		for _, st := range x.Stmts {
+			c.Stmts = append(c.Stmts, CloneStmt(st))
+		}
+		return c
+	case *VarDecl:
+		return &VarDecl{Type: x.Type, Name: x.Name, Init: CloneExpr(x.Init), Pos: x.Pos}
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(x.Cond), Then: CloneStmt(x.Then), Else: CloneStmt(x.Else), Pos: x.Pos}
+	case *ForStmt:
+		return &ForStmt{Init: CloneStmt(x.Init), Cond: CloneExpr(x.Cond), Post: CloneStmt(x.Post), Body: CloneStmt(x.Body), Pos: x.Pos}
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(x.Cond), Body: CloneStmt(x.Body), Pos: x.Pos}
+	case *ReturnStmt:
+		return &ReturnStmt{Value: CloneExpr(x.Value), Pos: x.Pos}
+	case *BreakStmt:
+		c := *x
+		return &c
+	case *ContinueStmt:
+		c := *x
+		return &c
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(x.X), Pos: x.Pos}
+	}
+	panic(fmt.Sprintf("srcmodel: CloneStmt: unknown node %T", s))
+}
+
+// CloneFunc returns a deep copy of f.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	c := &FuncDecl{Ret: f.Ret, Name: f.Name, Pos: f.Pos}
+	c.Params = append(c.Params, f.Params...)
+	c.Body = CloneStmt(f.Body).(*BlockStmt)
+	return c
+}
+
+// CloneProgram returns a deep copy of p.
+func CloneProgram(p *Program) *Program {
+	c := &Program{File: p.File}
+	for _, g := range p.Globals {
+		c.Globals = append(c.Globals, CloneStmt(g).(*VarDecl))
+	}
+	for _, f := range p.Funcs {
+		c.Funcs = append(c.Funcs, CloneFunc(f))
+	}
+	return c
+}

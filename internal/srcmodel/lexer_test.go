@@ -1,0 +1,138 @@
+package srcmodel
+
+import "testing"
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`int x = 42; // comment
+double f(float* a) { return a[0] + 1.5e3; }`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	kinds := []TokenKind{
+		TokKwInt, TokIdent, TokAssign, TokIntLit, TokSemi,
+		TokKwDouble, TokIdent, TokLParen, TokKwFloat, TokStar, TokIdent,
+		TokRParen, TokLBrace, TokKwReturn, TokIdent, TokLBracket, TokIntLit,
+		TokRBracket, TokPlus, TokFloatLit, TokSemi, TokRBrace,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s %q, want %s", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize(`== != <= >= && || ++ -- += -= *= /= ! % &`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokEq, TokNe, TokLe, TokGe, TokAndAnd, TokOrOr,
+		TokInc, TokDec, TokPlusEq, TokMinusEq, TokStarEq, TokSlashEq,
+		TokNot, TokPercent, TokAmp}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("int\n  x;")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`"a\nb\t\"q\""`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Kind != TokStringLit || toks[0].Text != "a\nb\t\"q\"" {
+		t.Errorf("got %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeCharLit(t *testing.T) {
+	toks, err := Tokenize(`'a' '\n'`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Text != "a" || toks[1].Text != "\n" {
+		t.Errorf("got %q %q", toks[0].Text, toks[1].Text)
+	}
+}
+
+func TestTokenizeBlockComment(t *testing.T) {
+	toks, err := Tokenize("a /* mid \n comment */ b")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 2 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("got %v", toks)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		"\"unterminated",
+		"/* unterminated",
+		"'x",
+		"@",
+		"1e",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestTokenizeFloatForms(t *testing.T) {
+	toks, err := Tokenize("1.5 2e3 0.5f 7")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokFloatLit, TokFloatLit, TokFloatLit, TokIntLit}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d %q: got %s, want %s", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestSingleQuoteMultiCharIsString(t *testing.T) {
+	toks, err := Tokenize(`'kernel' 'a' '\n' 'a\tb'`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokStringLit, "kernel"},
+		{TokCharLit, "a"},
+		{TokCharLit, "\n"},
+		{TokStringLit, "a\tb"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}

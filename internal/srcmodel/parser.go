@@ -1,0 +1,617 @@
+package srcmodel
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for miniC.
+type Parser struct {
+	toks []Token
+	pos  int
+	file string
+}
+
+// Parse parses a miniC translation unit. file is a label used in
+// diagnostics and join-point locations.
+func Parse(file, src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	prog := &Program{File: file}
+	for !p.atEOF() {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == TokLParen {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		vd, err := p.parseVarDeclRest(typ, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, vd)
+	}
+	return prog, nil
+}
+
+// ParseStmts parses a sequence of statements (used by the weaver to turn
+// `insert` code templates into AST nodes).
+func ParseStmts(src string) ([]Stmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: "<insert>"}
+	var stmts []Stmt
+	for !p.atEOF() {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// ParseExpr parses a single expression.
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: "<expr>"}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing tokens after expression")
+	}
+	return e, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		last := Pos{1, 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].Pos
+		}
+		return Token{Kind: TokEOF, Pos: last}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) accept(kind TokenKind) bool {
+	if p.cur().Kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return Token{}, p.errorf("expected %s, found %s %q", kind, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("srcmodel: %s:%s: %s", p.file, p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TokKwInt, TokKwFloat, TokKwDouble, TokKwChar, TokKwVoid:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseType() (Type, error) {
+	var t Type
+	switch p.cur().Kind {
+	case TokKwInt:
+		t.Base = TypeInt
+	case TokKwFloat:
+		t.Base = TypeFloat
+	case TokKwDouble:
+		t.Base = TypeDouble
+	case TokKwChar:
+		t.Base = TypeChar
+	case TokKwVoid:
+		t.Base = TypeVoid
+	default:
+		return t, p.errorf("expected type, found %s %q", p.cur().Kind, p.cur().Text)
+	}
+	p.pos++
+	for p.accept(TokStar) {
+		t.Pointers++
+	}
+	return t, nil
+}
+
+func (p *Parser) parseFuncRest(ret Type, name Token) (*FuncDecl, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Ret: ret, Name: name.Text, Pos: name.Pos}
+	if !p.accept(TokRParen) {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(TokLBracket) {
+				// Array parameter: decays to pointer.
+				if p.cur().Kind == TokIntLit {
+					p.pos++
+				}
+				if _, err := p.expect(TokRBracket); err != nil {
+					return nil, err
+				}
+				pt.Pointers++
+			}
+			fn.Params = append(fn.Params, Param{Type: pt, Name: pn.Text, Pos: pn.Pos})
+			if p.accept(TokComma) {
+				continue
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseVarDeclRest(typ Type, name Token) (*VarDecl, error) {
+	vd := &VarDecl{Type: typ, Name: name.Text, Pos: name.Pos}
+	if p.accept(TokLBracket) {
+		lenTok, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(lenTok.Text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid array length %q", lenTok.Text)
+		}
+		vd.Type.ArrayLen = int(n)
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokAssign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vd.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.accept(TokRBrace) {
+		if p.atEOF() {
+			return nil, p.errorf("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwReturn:
+		p.pos++
+		rs := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != TokSemi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case TokKwBreak:
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case TokKwContinue:
+		p.pos++
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	}
+	if p.isTypeStart() {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return p.parseVarDeclRest(typ, name)
+	}
+	// Expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Pos: t.Pos}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t, _ := p.expect(TokKwIf)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t, _ := p.expect(TokKwFor)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: t.Pos}
+	if !p.accept(TokSemi) {
+		if p.isTypeStart() {
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			vd, err := p.parseVarDeclRest(typ, name) // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+			st.Init = vd
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: e, Pos: e.Position()}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind != TokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = &ExprStmt{X: e, Pos: e.Position()}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t, _ := p.expect(TokKwWhile)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+// Expression parsing: precedence climbing.
+//
+//	assign:   lvalue (= | += | -= | *= | /=) assign
+//	or:       and (|| and)*
+//	and:      cmp (&& cmp)*
+//	cmp:      add ((==|!=|<|<=|>|>=) add)*
+//	add:      mul ((+|-) mul)*
+//	mul:      unary ((*|/|%) unary)*
+//	unary:    (-|!|&|*) unary | postfix
+//	postfix:  primary ([expr] | ++ | --)*
+//	primary:  literal | ident | call | (expr)
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == TokStar
+	}
+	return false
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case TokAssign, TokPlusEq, TokMinusEq, TokStarEq, TokSlashEq:
+		if !isLValue(lhs) {
+			return nil, p.errorf("left side of assignment is not assignable")
+		}
+		opTok := p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: opTok.Kind, LHS: lhs, RHS: rhs, Pos: opTok.Pos}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseBinaryLevel(sub func() (Expr, error), kinds ...TokenKind) (Expr, error) {
+	lhs, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		match := false
+		for _, want := range kinds {
+			if k == want {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: opTok.Kind, L: lhs, R: rhs, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	return p.parseBinaryLevel(p.parseAnd, TokOrOr)
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	return p.parseBinaryLevel(p.parseCmp, TokAndAnd)
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	return p.parseBinaryLevel(p.parseAdd, TokEq, TokNe, TokLt, TokLe, TokGt, TokGe)
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	return p.parseBinaryLevel(p.parseMul, TokPlus, TokMinus)
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	return p.parseBinaryLevel(p.parseUnary, TokStar, TokSlash, TokPercent)
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokNot, TokAmp, TokStar:
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus on literals into negative literals so that
+		// printing a negative literal round-trips to the same AST.
+		if t.Kind == TokMinus {
+			switch lit := x.(type) {
+			case *IntLit:
+				return &IntLit{Value: -lit.Value, Pos: t.Pos}, nil
+			case *FloatLit:
+				return &FloatLit{Value: -lit.Value, Pos: t.Pos}, nil
+			}
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Array: e, Index: idx, Pos: lb.Pos}
+		case TokInc, TokDec:
+			opTok := p.next()
+			if !isLValue(e) {
+				return nil, p.errorf("%s operand is not assignable", opTok.Kind)
+			}
+			e = &IncDecExpr{Op: opTok.Kind, X: e, Pos: opTok.Pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.pos++
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid integer literal %q", t.Text)
+		}
+		return &IntLit{Value: v, Pos: t.Pos}, nil
+	case TokFloatLit:
+		p.pos++
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid float literal %q", t.Text)
+		}
+		return &FloatLit{Value: v, Pos: t.Pos}, nil
+	case TokStringLit:
+		p.pos++
+		return &StringLit{Value: t.Text, Pos: t.Pos}, nil
+	case TokCharLit:
+		p.pos++
+		return &IntLit{Value: int64(t.Text[0]), Pos: t.Pos}, nil
+	case TokIdent:
+		p.pos++
+		if p.cur().Kind == TokLParen {
+			p.pos++
+			call := &CallExpr{Callee: t.Text, Pos: t.Pos}
+			if !p.accept(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(TokComma) {
+						continue
+					}
+					if _, err := p.expect(TokRParen); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected token %s %q in expression", t.Kind, t.Text)
+}

@@ -1,0 +1,320 @@
+package srcmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const kernelSrc = `
+double acc = 0.0;
+
+void kernel(double* data, int size) {
+    for (int i = 0; i < size; i++) {
+        data[i] = data[i] * 2.0 + 1.0;
+    }
+}
+
+double sum(double* data, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += data[i];
+    }
+    return s;
+}
+
+int main() {
+    double buf[16];
+    for (int i = 0; i < 16; i++) {
+        buf[i] = i;
+    }
+    kernel(buf, 16);
+    acc = sum(buf, 16);
+    return 0;
+}
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseProgramShape(t *testing.T) {
+	p := mustParse(t, kernelSrc)
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d funcs, want 3", len(p.Funcs))
+	}
+	if len(p.Globals) != 1 || p.Globals[0].Name != "acc" {
+		t.Fatalf("globals: %+v", p.Globals)
+	}
+	k := p.Func("kernel")
+	if k == nil {
+		t.Fatal("kernel not found")
+	}
+	if len(k.Params) != 2 || k.Params[0].Name != "data" || k.Params[1].Name != "size" {
+		t.Fatalf("kernel params: %+v", k.Params)
+	}
+	if k.Params[0].Type.Pointers != 1 || k.Params[0].Type.Base != TypeDouble {
+		t.Fatalf("param 0 type: %v", k.Params[0].Type)
+	}
+	if p.Func("nosuch") != nil {
+		t.Error("Func(nosuch) should be nil")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int f(int n) {
+    int r = 0;
+    while (n > 0) {
+        if (n % 2 == 0) {
+            r += n;
+        } else {
+            r -= 1;
+        }
+        n--;
+        if (r > 100) break;
+        if (r < -100) continue;
+    }
+    return r;
+}
+`
+	p := mustParse(t, src)
+	f := p.Func("f")
+	if f == nil {
+		t.Fatal("f not found")
+	}
+	loops := Loops(f)
+	if len(loops) != 1 || loops[0].Kind != "while" {
+		t.Fatalf("loops: %+v", loops)
+	}
+}
+
+func TestParseArrayParamDecays(t *testing.T) {
+	p := mustParse(t, `void g(double a[128], int n) { a[0] = n; }`)
+	g := p.Func("g")
+	if g.Params[0].Type.Pointers != 1 {
+		t.Errorf("array param should decay to pointer, got %v", g.Params[0].Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( { }",
+		"int f() { return }",
+		"int f() { 1 + ; }",
+		"int f() { for (;; }",
+		"int",
+		"int f() { x = ; }",
+		"int f() { if (x }",
+		"3;",
+		"int f() { 1 = 2; }",
+		"int f() { 3++; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad.c", src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseStmtsForInsert(t *testing.T) {
+	stmts, err := ParseStmts(`profile_args("kernel", "test.c:5:5", size);`)
+	if err != nil {
+		t.Fatalf("ParseStmts: %v", err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("got %d stmts", len(stmts))
+	}
+	es, ok := stmts[0].(*ExprStmt)
+	if !ok {
+		t.Fatalf("got %T", stmts[0])
+	}
+	call, ok := es.X.(*CallExpr)
+	if !ok || call.Callee != "profile_args" || len(call.Args) != 3 {
+		t.Fatalf("got %+v", es.X)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 == 7 && 4 < 5")
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	top, ok := e.(*BinaryExpr)
+	if !ok || top.Op != TokAndAnd {
+		t.Fatalf("top: %+v", e)
+	}
+	eq, ok := top.L.(*BinaryExpr)
+	if !ok || eq.Op != TokEq {
+		t.Fatalf("left of &&: %+v", top.L)
+	}
+	folded := FoldExpr(e)
+	lit, ok := folded.(*IntLit)
+	if !ok || lit.Value != 1 {
+		t.Fatalf("folded: %+v", folded)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := mustParse(t, kernelSrc)
+	text1 := Print(p)
+	p2, err := Parse("rt.c", text1)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, text1)
+	}
+	text2 := Print(p2)
+	if text1 != text2 {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestRoundTripControlHeavy(t *testing.T) {
+	src := `
+int collatz(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        steps++;
+    }
+    return steps;
+}
+
+void nest(int a, int b) {
+    for (int i = 0; i < a; i++)
+        for (int j = 0; j < b; j += 2)
+            collatz(i * b + j);
+}
+`
+	p := mustParse(t, src)
+	text1 := Print(p)
+	p2, err := Parse("rt2.c", text1)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text1)
+	}
+	if text2 := Print(p2); text1 != text2 {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", text1, text2)
+	}
+}
+
+// TestCloneIndependence checks CloneProgram yields a deep copy: mutating
+// the clone leaves the original untouched.
+func TestCloneIndependence(t *testing.T) {
+	p := mustParse(t, kernelSrc)
+	orig := Print(p)
+	c := CloneProgram(p)
+	c.Func("kernel").Name = "renamed"
+	c.Func("sum").Body.Stmts = nil
+	SubstIdent(c.Func("main").Body, "buf", &Ident{Name: "zzz"})
+	if Print(p) != orig {
+		t.Fatal("mutating clone changed the original")
+	}
+}
+
+// Property: FoldExpr of a random int expression equals direct evaluation.
+func TestFoldExprMatchesEval(t *testing.T) {
+	eval := func(a, b, c int16) int64 {
+		// (a + b) * 2 - c with int64 semantics
+		return (int64(a)+int64(b))*2 - int64(c)
+	}
+	f := func(a, b, c int16) bool {
+		e := &BinaryExpr{
+			Op: TokMinus,
+			L: &BinaryExpr{
+				Op: TokStar,
+				L:  &BinaryExpr{Op: TokPlus, L: &IntLit{Value: int64(a)}, R: &IntLit{Value: int64(b)}},
+				R:  &IntLit{Value: 2},
+			},
+			R: &IntLit{Value: int64(c)},
+		}
+		folded := FoldExpr(e)
+		lit, ok := folded.(*IntLit)
+		return ok && lit.Value == eval(a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the printer's output for random canonical loops re-parses and
+// preserves the trip count analysis.
+func TestTripCountRoundTripProperty(t *testing.T) {
+	f := func(n uint8, step uint8) bool {
+		st := int64(step%7) + 1
+		limit := int64(n)
+		src := "void f() { for (int i = 0; i < " + itoa(limit) + "; i += " + itoa(st) + ") { g(i); } }"
+		p, err := Parse("prop.c", src)
+		if err != nil {
+			return false
+		}
+		loops := Loops(p.Func("f"))
+		if len(loops) != 1 {
+			return false
+		}
+		want := (limit + st - 1) / st
+		if limit <= 0 {
+			want = 0
+		}
+		return loops[0].NumIter == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [32]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestPrintExprForms(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":    "a + (b * c)",
+		"-x":           "-x",
+		"!(a && b)":    "!(a && b)",
+		"p[i + 1]":     "p[i + 1]",
+		"f(a, b, 1.5)": "f(a, b, 1.5)",
+		"x += 2":       "x += 2",
+		"i++":          "i++",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		got := ExprString(e)
+		// Normalize: re-parse both and compare printed forms.
+		e2, err := ParseExpr(got)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", got, err)
+		}
+		if ExprString(e2) != got {
+			t.Errorf("%q: print not stable: %q vs %q", src, got, ExprString(e2))
+		}
+		if !strings.Contains(got, strings.Split(want, " ")[0]) {
+			t.Errorf("%q printed as %q", src, got)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package srcmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program back to C source text. The output re-parses to
+// an equivalent AST (round-trip property, checked by tests).
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		printVarDecl(&b, g, 0)
+	}
+	if len(p.Globals) > 0 && len(p.Funcs) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		PrintFunc(&b, f)
+	}
+	return b.String()
+}
+
+// PrintFunc renders a single function definition to b.
+func PrintFunc(b *strings.Builder, f *FuncDecl) {
+	fmt.Fprintf(b, "%s %s(", f.Ret, f.Name)
+	for i, prm := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", prm.Type, prm.Name)
+	}
+	b.WriteString(") ")
+	printBlock(b, f.Body, 0)
+	b.WriteByte('\n')
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printBlock(b *strings.Builder, blk *BlockStmt, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		printStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func printVarDecl(b *strings.Builder, v *VarDecl, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "%s %s", v.Type, v.Name)
+	if v.Type.ArrayLen > 0 {
+		fmt.Fprintf(b, "[%d]", v.Type.ArrayLen)
+	}
+	if v.Init != nil {
+		b.WriteString(" = ")
+		b.WriteString(ExprString(v.Init))
+	}
+	b.WriteString(";\n")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		indent(b, depth)
+		printBlock(b, x, depth)
+		b.WriteByte('\n')
+	case *VarDecl:
+		printVarDecl(b, x, depth)
+	case *IfStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s) ", ExprString(x.Cond))
+		printStmtInline(b, x.Then, depth)
+		if x.Else != nil {
+			indent(b, depth)
+			b.WriteString("else ")
+			printStmtInline(b, x.Else, depth)
+		}
+	case *ForStmt:
+		indent(b, depth)
+		b.WriteString("for (")
+		switch init := x.Init.(type) {
+		case nil:
+		case *VarDecl:
+			fmt.Fprintf(b, "%s %s", init.Type, init.Name)
+			if init.Init != nil {
+				b.WriteString(" = ")
+				b.WriteString(ExprString(init.Init))
+			}
+		case *ExprStmt:
+			b.WriteString(ExprString(init.X))
+		}
+		b.WriteString("; ")
+		if x.Cond != nil {
+			b.WriteString(ExprString(x.Cond))
+		}
+		b.WriteString("; ")
+		if post, ok := x.Post.(*ExprStmt); ok {
+			b.WriteString(ExprString(post.X))
+		}
+		b.WriteString(") ")
+		printStmtInline(b, x.Body, depth)
+	case *WhileStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s) ", ExprString(x.Cond))
+		printStmtInline(b, x.Body, depth)
+	case *ReturnStmt:
+		indent(b, depth)
+		if x.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(x.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	case *ExprStmt:
+		indent(b, depth)
+		b.WriteString(ExprString(x.X))
+		b.WriteString(";\n")
+	default:
+		panic(fmt.Sprintf("srcmodel: printStmt: unknown node %T", s))
+	}
+}
+
+// printStmtInline prints a statement that follows a control-flow header
+// (if/for/while): blocks stay on the same line, other statements go on the
+// next line indented.
+func printStmtInline(b *strings.Builder, s Stmt, depth int) {
+	if blk, ok := s.(*BlockStmt); ok {
+		printBlock(b, blk, depth)
+		b.WriteByte('\n')
+		return
+	}
+	b.WriteByte('\n')
+	printStmt(b, s, depth+1)
+}
+
+var binOpText = map[TokenKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokAndAnd: "&&", TokOrOr: "||",
+}
+
+var assignOpText = map[TokenKind]string{
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokSlashEq: "/=",
+}
+
+// ExprString renders an expression in C syntax. Sub-expressions are
+// parenthesized conservatively so the output re-parses with the same
+// structure.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", x.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *StringLit:
+		return quoteC(x.Value)
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", parenOperand(x.L), binOpText[x.Op], parenOperand(x.R))
+	case *UnaryExpr:
+		op := tokenNames[x.Op]
+		operand := parenOperand(x.X)
+		// Avoid token fusion: "-(-194)" must not print as "--194"
+		// (decrement), nor "&(&x)" as "&&x".
+		if len(operand) > 0 && (op == "-" || op == "&") && operand[0] == op[0] {
+			operand = "(" + operand + ")"
+		}
+		return op + operand
+	case *AssignExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(x.LHS), assignOpText[x.Op], ExprString(x.RHS))
+	case *IncDecExpr:
+		return ExprString(x.X) + tokenNames[x.Op]
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Callee, strings.Join(args, ", "))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", parenOperand(x.Array), ExprString(x.Index))
+	}
+	panic(fmt.Sprintf("srcmodel: ExprString: unknown node %T", e))
+}
+
+// parenOperand parenthesizes compound operands so precedence survives the
+// round trip without tracking operator binding strength.
+func parenOperand(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *AssignExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func quoteC(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,451 @@
+// Package srcmodel implements a source-level model of a C-like language
+// ("miniC") used as the weaving substrate of the ANTAREX tool flow.
+//
+// The ANTAREX DSL (package dsl) selects join points — functions, loops,
+// calls, statements, arguments — and acts on them (insert code, unroll
+// loops, specialize functions). miniC provides those join points backed by
+// a real lexer, recursive-descent parser, typed AST and pretty-printer, so
+// weaving is exercised end-to-end on genuine source text rather than on a
+// mock. The subset covers what HPC kernels in the paper's examples need:
+// functions, scalar and pointer/array variables, for/while/if control
+// flow, calls, and arithmetic expressions.
+package srcmodel
+
+import "fmt"
+
+// TokenKind enumerates the lexical classes of miniC.
+type TokenKind int
+
+// Token kinds. Keywords are distinguished from identifiers during
+// scanning; operators each get their own kind so the parser can switch
+// directly on the kind.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokCharLit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwDouble
+	TokKwChar
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwFor
+	TokKwWhile
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokAssign   // =
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokAmp      // &
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokInc      // ++
+	TokDec      // --
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokStarEq   // *=
+	TokSlashEq  // /=
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "int literal",
+	TokFloatLit: "float literal", TokStringLit: "string literal",
+	TokCharLit: "char literal",
+	TokKwInt:   "int", TokKwFloat: "float", TokKwDouble: "double",
+	TokKwChar: "char", TokKwVoid: "void", TokKwIf: "if", TokKwElse: "else",
+	TokKwFor: "for", TokKwWhile: "while", TokKwReturn: "return",
+	TokKwBreak: "break", TokKwContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAmp: "&", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=", TokAndAnd: "&&",
+	TokOrOr: "||", TokNot: "!", TokInc: "++", TokDec: "--",
+	TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=", TokSlashEq: "/=",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"int": TokKwInt, "float": TokKwFloat, "double": TokKwDouble,
+	"char": TokKwChar, "void": TokKwVoid, "if": TokKwIf, "else": TokKwElse,
+	"for": TokKwFor, "while": TokKwWhile, "return": TokKwReturn,
+	"break": TokKwBreak, "continue": TokKwContinue,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit with its source position and raw text.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// Lexer scans miniC source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := Pos{l.line, l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return fmt.Errorf("srcmodel: %s: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, or an error on malformed input. At end of
+// input it returns a TokEOF token with a nil error.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	}
+	// Operators and punctuation.
+	two := func(kind TokenKind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	}
+	one := func(kind TokenKind) (Token, error) {
+		l.advance()
+		return Token{Kind: kind, Text: string(c), Pos: pos}, nil
+	}
+	d := l.peek2()
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case ';':
+		return one(TokSemi)
+	case ',':
+		return one(TokComma)
+	case '=':
+		if d == '=' {
+			return two(TokEq, "==")
+		}
+		return one(TokAssign)
+	case '+':
+		if d == '+' {
+			return two(TokInc, "++")
+		}
+		if d == '=' {
+			return two(TokPlusEq, "+=")
+		}
+		return one(TokPlus)
+	case '-':
+		if d == '-' {
+			return two(TokDec, "--")
+		}
+		if d == '=' {
+			return two(TokMinusEq, "-=")
+		}
+		return one(TokMinus)
+	case '*':
+		if d == '=' {
+			return two(TokStarEq, "*=")
+		}
+		return one(TokStar)
+	case '/':
+		if d == '=' {
+			return two(TokSlashEq, "/=")
+		}
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '&':
+		if d == '&' {
+			return two(TokAndAnd, "&&")
+		}
+		return one(TokAmp)
+	case '|':
+		if d == '|' {
+			return two(TokOrOr, "||")
+		}
+	case '!':
+		if d == '=' {
+			return two(TokNe, "!=")
+		}
+		return one(TokNot)
+	case '<':
+		if d == '=' {
+			return two(TokLe, "<=")
+		}
+		return one(TokLt)
+	case '>':
+		if d == '=' {
+			return two(TokGe, ">=")
+		}
+		return one(TokGt)
+	}
+	return Token{}, fmt.Errorf("srcmodel: %s: unexpected character %q", pos, c)
+}
+
+func (l *Lexer) scanNumber(pos Pos) (Token, error) {
+	start := l.off
+	isFloat := false
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		isFloat = true
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return Token{}, fmt.Errorf("srcmodel: %s: malformed exponent", pos)
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	// Trailing float suffix (e.g. 1.0f) is accepted and dropped.
+	if isFloat && (l.peek() == 'f' || l.peek() == 'F') {
+		l.advance()
+		return Token{Kind: TokFloatLit, Text: l.src[start : l.off-1], Pos: pos}, nil
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}, nil
+}
+
+func (l *Lexer) scanString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var buf []byte
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, fmt.Errorf("srcmodel: %s: unterminated string literal", pos)
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				return Token{}, fmt.Errorf("srcmodel: %s: unterminated escape", pos)
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			case '\\', '"', '\'':
+				buf = append(buf, e)
+			case '0':
+				buf = append(buf, 0)
+			default:
+				return Token{}, fmt.Errorf("srcmodel: %s: unknown escape \\%c", pos, e)
+			}
+			continue
+		}
+		buf = append(buf, c)
+	}
+	return Token{Kind: TokStringLit, Text: string(buf), Pos: pos}, nil
+}
+
+// scanChar scans a single-quoted literal. One character yields a char
+// literal; longer contents yield a string literal, so LARA-style
+// single-quoted strings woven into the source ('kernel') are accepted.
+func (l *Lexer) scanChar(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var buf []byte
+	for {
+		if l.off >= len(l.src) {
+			return Token{}, fmt.Errorf("srcmodel: %s: unterminated char literal", pos)
+		}
+		c := l.advance()
+		if c == '\'' {
+			break
+		}
+		if c == '\\' {
+			if l.off >= len(l.src) {
+				return Token{}, fmt.Errorf("srcmodel: %s: unterminated escape", pos)
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				c = '\n'
+			case 't':
+				c = '\t'
+			case '\\', '\'', '"':
+				c = e
+			case '0':
+				c = 0
+			default:
+				return Token{}, fmt.Errorf("srcmodel: %s: unknown escape \\%c", pos, e)
+			}
+		}
+		buf = append(buf, c)
+	}
+	if len(buf) == 1 {
+		return Token{Kind: TokCharLit, Text: string(buf), Pos: pos}, nil
+	}
+	return Token{Kind: TokStringLit, Text: string(buf), Pos: pos}, nil
+}
+
+// Tokenize scans all tokens in src, excluding the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,225 @@
+package srcmodel
+
+import "fmt"
+
+// UnrollLoop fully unrolls the canonical for loop described by li,
+// replacing it in its parent block with the unrolled statement sequence.
+// It requires a known trip count (li.NumIter >= 0) and a valid replacement
+// context (li.Parent != nil, li.Index >= 0; run NormalizeBodies first).
+//
+// Each iteration clones the body with the induction variable substituted
+// by its literal value, reproducing the effect of the LARA
+// `do LoopUnroll('full')` action of Fig. 3.
+func UnrollLoop(li *LoopInfo) error {
+	if li.Kind != "for" {
+		return fmt.Errorf("srcmodel: UnrollLoop: only for loops can be unrolled (got %s)", li.Kind)
+	}
+	if li.NumIter < 0 {
+		return fmt.Errorf("srcmodel: UnrollLoop: trip count unknown for loop at %s", li.Stmt.Position())
+	}
+	if li.Parent == nil || li.Index < 0 || li.Index >= len(li.Parent.Stmts) || li.Parent.Stmts[li.Index] != li.Stmt {
+		return fmt.Errorf("srcmodel: UnrollLoop: loop at %s has no replacement context (run NormalizeBodies)", li.Stmt.Position())
+	}
+	fs := li.Stmt.(*ForStmt)
+	if WritesTo(fs.Body, li.IndexVar) {
+		return fmt.Errorf("srcmodel: UnrollLoop: body writes induction variable %q", li.IndexVar)
+	}
+
+	start, step, err := loopStartStep(fs, li.IndexVar)
+	if err != nil {
+		return err
+	}
+
+	var unrolled []Stmt
+	v := start
+	for it := int64(0); it < li.NumIter; it++ {
+		body := CloneStmt(fs.Body)
+		SubstIdent(body, li.IndexVar, &IntLit{Value: v, Pos: fs.Pos})
+		if blk, ok := body.(*BlockStmt); ok {
+			unrolled = append(unrolled, blk.Stmts...)
+		} else {
+			unrolled = append(unrolled, body)
+		}
+		v += step
+	}
+
+	// Splice the unrolled statements over the loop.
+	out := make([]Stmt, 0, len(li.Parent.Stmts)-1+len(unrolled))
+	out = append(out, li.Parent.Stmts[:li.Index]...)
+	out = append(out, unrolled...)
+	out = append(out, li.Parent.Stmts[li.Index+1:]...)
+	li.Parent.Stmts = out
+	return nil
+}
+
+// UnrollInnermost fully unrolls every innermost for loop of f whose trip
+// count is statically known and at most threshold. It returns the number
+// of loops unrolled. Loops are re-analysed after each unroll because
+// unrolling changes positions.
+func UnrollInnermost(f *FuncDecl, threshold int64) (int, error) {
+	count := 0
+	for {
+		loops := Loops(f)
+		done := true
+		for _, li := range loops {
+			if li.Kind != "for" || !li.IsInnermost || li.NumIter < 0 || li.NumIter > threshold {
+				continue
+			}
+			if li.Parent == nil || li.Index < 0 {
+				continue
+			}
+			if WritesTo(loopBody(li.Stmt), li.IndexVar) {
+				continue
+			}
+			if err := UnrollLoop(li); err != nil {
+				return count, err
+			}
+			count++
+			done = false
+			break // re-analyse from scratch
+		}
+		if done {
+			return count, nil
+		}
+	}
+}
+
+func loopStartStep(fs *ForStmt, ivar string) (start, step int64, err error) {
+	switch init := fs.Init.(type) {
+	case *VarDecl:
+		lit, ok := init.Init.(*IntLit)
+		if !ok {
+			return 0, 0, fmt.Errorf("srcmodel: loop init not a literal")
+		}
+		start = lit.Value
+	case *ExprStmt:
+		asn, ok := init.X.(*AssignExpr)
+		if !ok {
+			return 0, 0, fmt.Errorf("srcmodel: loop init not an assignment")
+		}
+		lit, ok := asn.RHS.(*IntLit)
+		if !ok {
+			return 0, 0, fmt.Errorf("srcmodel: loop init not a literal")
+		}
+		start = lit.Value
+	default:
+		return 0, 0, fmt.Errorf("srcmodel: loop has no init")
+	}
+	post, ok := fs.Post.(*ExprStmt)
+	if !ok {
+		return 0, 0, fmt.Errorf("srcmodel: loop has no post")
+	}
+	switch px := post.X.(type) {
+	case *IncDecExpr:
+		if px.Op == TokInc {
+			step = 1
+		} else {
+			step = -1
+		}
+	case *AssignExpr:
+		lit, ok := px.RHS.(*IntLit)
+		if !ok {
+			return 0, 0, fmt.Errorf("srcmodel: loop step not a literal")
+		}
+		if px.Op == TokPlusEq {
+			step = lit.Value
+		} else {
+			step = -lit.Value
+		}
+	default:
+		return 0, 0, fmt.Errorf("srcmodel: unsupported loop post %T", post.X)
+	}
+	_ = ivar
+	return start, step, nil
+}
+
+// UnrollLoopBy partially unrolls the canonical for loop described by li
+// by the given factor: the body is replicated factor times per iteration
+// with the induction variable offset by k·step, and the loop step is
+// multiplied by factor. It requires the trip count to be known and
+// divisible by factor (remainder loops are not generated; callers pick a
+// dividing factor — the weaver's LoopUnroll action checks this).
+func UnrollLoopBy(li *LoopInfo, factor int64) error {
+	if factor <= 1 {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: factor must be > 1")
+	}
+	if li.Kind != "for" {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: only for loops can be unrolled")
+	}
+	if li.NumIter < 0 {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: trip count unknown for loop at %s", li.Stmt.Position())
+	}
+	if li.NumIter%factor != 0 {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: trip count %d not divisible by factor %d", li.NumIter, factor)
+	}
+	fs := li.Stmt.(*ForStmt)
+	if WritesTo(fs.Body, li.IndexVar) {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: body writes induction variable %q", li.IndexVar)
+	}
+	_, step, err := loopStartStep(fs, li.IndexVar)
+	if err != nil {
+		return err
+	}
+	body, ok := fs.Body.(*BlockStmt)
+	if !ok {
+		return fmt.Errorf("srcmodel: UnrollLoopBy: body is not a block (run NormalizeBodies)")
+	}
+	var widened []Stmt
+	for k := int64(0); k < factor; k++ {
+		clone := CloneStmt(body).(*BlockStmt)
+		if k > 0 {
+			// i -> (i + k*step) in the k-th replica.
+			offset := &BinaryExpr{
+				Op:  TokPlus,
+				L:   &Ident{Name: li.IndexVar, Pos: fs.Pos},
+				R:   &IntLit{Value: k * step, Pos: fs.Pos},
+				Pos: fs.Pos,
+			}
+			SubstIdent(clone, li.IndexVar, offset)
+		}
+		widened = append(widened, clone.Stmts...)
+	}
+	fs.Body = &BlockStmt{Stmts: widened, Pos: body.Pos}
+	// Widen the step.
+	post := fs.Post.(*ExprStmt)
+	newStep := step * factor
+	var postExpr Expr
+	if newStep >= 0 {
+		postExpr = &AssignExpr{Op: TokPlusEq, LHS: &Ident{Name: li.IndexVar, Pos: fs.Pos},
+			RHS: &IntLit{Value: newStep, Pos: fs.Pos}, Pos: fs.Pos}
+	} else {
+		postExpr = &AssignExpr{Op: TokMinusEq, LHS: &Ident{Name: li.IndexVar, Pos: fs.Pos},
+			RHS: &IntLit{Value: -newStep, Pos: fs.Pos}, Pos: fs.Pos}
+	}
+	post.X = postExpr
+	return nil
+}
+
+// SpecializeFunc clones f, renames it to newName, removes parameter
+// paramName and substitutes the integer constant value for every read of
+// it, then folds constants so downstream loop analysis sees literal
+// bounds. It implements the LARA `Specialize` action of Fig. 4.
+func SpecializeFunc(f *FuncDecl, newName, paramName string, value int64) (*FuncDecl, error) {
+	idx := -1
+	for i, prm := range f.Params {
+		if prm.Name == paramName {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("srcmodel: SpecializeFunc: %s has no parameter %q", f.Name, paramName)
+	}
+	if f.Params[idx].Type.Pointers > 0 {
+		return nil, fmt.Errorf("srcmodel: SpecializeFunc: parameter %q is a pointer", paramName)
+	}
+	if WritesTo(f.Body, paramName) {
+		return nil, fmt.Errorf("srcmodel: SpecializeFunc: %s writes to parameter %q", f.Name, paramName)
+	}
+	c := CloneFunc(f)
+	c.Name = newName
+	c.Params = append(c.Params[:idx:idx], c.Params[idx+1:]...)
+	SubstIdent(c.Body, paramName, &IntLit{Value: value})
+	FoldConstants(c)
+	return c, nil
+}

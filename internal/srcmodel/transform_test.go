@@ -1,0 +1,195 @@
+package srcmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnrollLoopFull(t *testing.T) {
+	src := `void f(double* a) { for (int i = 0; i < 4; i++) { a[i] = a[i] * 2.0; } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	f := p.Func("f")
+	loops := Loops(f)
+	if err := UnrollLoop(loops[0]); err != nil {
+		t.Fatalf("UnrollLoop: %v", err)
+	}
+	out := Print(p)
+	for _, want := range []string{"a[0] = a[0] * 2.0", "a[1]", "a[2]", "a[3]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in unrolled output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "for") {
+		t.Errorf("loop still present:\n%s", out)
+	}
+	if len(Loops(f)) != 0 {
+		t.Error("loop analysis still finds loops")
+	}
+}
+
+func TestUnrollLoopStep(t *testing.T) {
+	src := `void f(double* a) { for (int i = 1; i <= 7; i += 3) { g(i); } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if loops[0].NumIter != 3 {
+		t.Fatalf("NumIter=%d", loops[0].NumIter)
+	}
+	if err := UnrollLoop(loops[0]); err != nil {
+		t.Fatalf("UnrollLoop: %v", err)
+	}
+	out := Print(p)
+	for _, want := range []string{"g(1)", "g(4)", "g(7)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnrollRejectsUnknownTripCount(t *testing.T) {
+	src := `void f(int n) { for (int i = 0; i < n; i++) { g(i); } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if err := UnrollLoop(loops[0]); err == nil {
+		t.Error("expected error for symbolic trip count")
+	}
+}
+
+func TestUnrollRejectsInductionWrite(t *testing.T) {
+	src := `void f() { for (int i = 0; i < 4; i++) { i = i + 1; } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if err := UnrollLoop(loops[0]); err == nil {
+		t.Error("expected error when body writes induction variable")
+	}
+}
+
+func TestUnrollRejectsWhile(t *testing.T) {
+	src := `void f(int n) { while (n > 0) { n--; } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if err := UnrollLoop(loops[0]); err == nil {
+		t.Error("expected error for while loop")
+	}
+}
+
+func TestUnrollInnermostThreshold(t *testing.T) {
+	src := `
+void f(double* a) {
+    for (int i = 0; i < 100; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i * 4 + j] = 0.0;
+        }
+    }
+    for (int k = 0; k < 32; k++) {
+        a[k] = 1.0;
+    }
+}
+`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	f := p.Func("f")
+	n, err := UnrollInnermost(f, 8)
+	if err != nil {
+		t.Fatalf("UnrollInnermost: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("unrolled %d loops, want 1 (only j, under threshold)", n)
+	}
+	loops := Loops(f)
+	if len(loops) != 2 {
+		t.Fatalf("got %d remaining loops, want 2 (i and k)", len(loops))
+	}
+	// The i loop is now innermost and still symbolic in size 100 > 8.
+	for _, li := range loops {
+		if li.NumIter <= 8 {
+			t.Errorf("loop with NumIter=%d should have been unrolled", li.NumIter)
+		}
+	}
+}
+
+func TestSpecializeFunc(t *testing.T) {
+	src := `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s += data[i];
+    }
+    return s;
+}
+`
+	p := mustParse(t, src)
+	f := p.Func("kernel")
+	sp, err := SpecializeFunc(f, "kernel__64", "size", 64)
+	if err != nil {
+		t.Fatalf("SpecializeFunc: %v", err)
+	}
+	if sp.Name != "kernel__64" || len(sp.Params) != 1 || sp.Params[0].Name != "data" {
+		t.Fatalf("specialized signature wrong: %+v", sp)
+	}
+	loops := Loops(sp)
+	if len(loops) != 1 || loops[0].NumIter != 64 {
+		t.Fatalf("specialized loop bound: %+v", loops)
+	}
+	// Original untouched.
+	if len(f.Params) != 2 {
+		t.Error("original function was mutated")
+	}
+	if got := Loops(f)[0].NumIter; got != -1 {
+		t.Errorf("original loop bound changed: %d", got)
+	}
+}
+
+func TestSpecializeFuncErrors(t *testing.T) {
+	src := `
+void w(int size) { size = 1; }
+void ptr(double* p) { p[0] = 1.0; }
+`
+	p := mustParse(t, src)
+	if _, err := SpecializeFunc(p.Func("w"), "w2", "size", 1); err == nil {
+		t.Error("expected error: parameter is written")
+	}
+	if _, err := SpecializeFunc(p.Func("ptr"), "p2", "p", 1); err == nil {
+		t.Error("expected error: pointer parameter")
+	}
+	if _, err := SpecializeFunc(p.Func("w"), "w2", "nosuch", 1); err == nil {
+		t.Error("expected error: unknown parameter")
+	}
+}
+
+func TestSpecializeThenUnroll(t *testing.T) {
+	src := `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s += data[i] * data[i];
+    }
+    return s;
+}
+`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	sp, err := SpecializeFunc(p.Func("kernel"), "kernel__4", "size", 4)
+	if err != nil {
+		t.Fatalf("SpecializeFunc: %v", err)
+	}
+	n, err := UnrollInnermost(sp, 8)
+	if err != nil {
+		t.Fatalf("UnrollInnermost: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("unrolled %d, want 1", n)
+	}
+	var b strings.Builder
+	PrintFunc(&b, sp)
+	out := b.String()
+	for _, want := range []string{"data[0]", "data[1]", "data[2]", "data[3]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

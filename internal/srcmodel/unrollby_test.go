@@ -1,0 +1,74 @@
+package srcmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnrollLoopByFactor(t *testing.T) {
+	src := `void f(double* a) { for (int i = 0; i < 8; i++) { a[i] = a[i] + 1.0; } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if err := UnrollLoopBy(loops[0], 4); err != nil {
+		t.Fatalf("UnrollLoopBy: %v", err)
+	}
+	out := Print(p)
+	// Step widened to 4, body replicated with offsets 0..3.
+	if !strings.Contains(out, "i += 4") {
+		t.Errorf("step not widened:\n%s", out)
+	}
+	for _, want := range []string{"a[i] = a[i] + 1.0", "a[i + 1]", "a[i + 2]", "a[i + 3]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing replica %q:\n%s", want, out)
+		}
+	}
+	// New trip count is 2.
+	loops = Loops(p.Func("f"))
+	if len(loops) != 1 || loops[0].NumIter != 2 {
+		t.Errorf("after partial unroll: %+v", loops)
+	}
+}
+
+func TestUnrollLoopByErrors(t *testing.T) {
+	mk := func(src string) *LoopInfo {
+		p := mustParse(t, src)
+		NormalizeBodies(p)
+		return Loops(p.Funcs[0])[0]
+	}
+	if err := UnrollLoopBy(mk(`void f() { for (int i = 0; i < 8; i++) { g(i); } }`), 1); err == nil {
+		t.Error("factor 1 should error")
+	}
+	if err := UnrollLoopBy(mk(`void f() { for (int i = 0; i < 7; i++) { g(i); } }`), 2); err == nil {
+		t.Error("non-dividing factor should error")
+	}
+	if err := UnrollLoopBy(mk(`void f(int n) { for (int i = 0; i < n; i++) { g(i); } }`), 2); err == nil {
+		t.Error("symbolic trip count should error")
+	}
+	if err := UnrollLoopBy(mk(`void f() { while (1) { g(0); } }`), 2); err == nil {
+		t.Error("while loop should error")
+	}
+	if err := UnrollLoopBy(mk(`void f() { for (int i = 0; i < 8; i++) { i = i + 1; } }`), 2); err == nil {
+		t.Error("induction-writing body should error")
+	}
+}
+
+func TestUnrollLoopByNegativeStep(t *testing.T) {
+	src := `void f(double* a) { for (int i = 7; i >= 0; i--) { a[i] = 0.0; } }`
+	p := mustParse(t, src)
+	NormalizeBodies(p)
+	loops := Loops(p.Func("f"))
+	if loops[0].NumIter != 8 {
+		t.Fatalf("trip count %d", loops[0].NumIter)
+	}
+	if err := UnrollLoopBy(loops[0], 2); err != nil {
+		t.Fatalf("UnrollLoopBy: %v", err)
+	}
+	out := Print(p)
+	if !strings.Contains(out, "i -= 2") {
+		t.Errorf("negative step not widened:\n%s", out)
+	}
+	if !strings.Contains(out, "a[i + -1]") && !strings.Contains(out, "a[i - 1]") {
+		t.Errorf("replica offset missing:\n%s", out)
+	}
+}

@@ -1,0 +1,291 @@
+package weaver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+	"repro/internal/srcmodel"
+)
+
+// Insert implements interp.Actions: weave a code fragment before, after,
+// or around a join point. The fragment is parsed as miniC statements.
+// For "around", the fragment must contain a `proceed();` statement that
+// is replaced by the original join-point statement.
+func (w *Weaver) Insert(jp interp.JoinPoint, where, code string) error {
+	stmts, err := srcmodel.ParseStmts(code)
+	if err != nil {
+		return fmt.Errorf("weaver: insert template does not parse: %w", err)
+	}
+	fn, pred, err := anchorOf(jp)
+	if err != nil {
+		return err
+	}
+	switch where {
+	case "before", "after":
+		return insertRelative(fn, pred, where, stmts)
+	case "around":
+		return insertAround(fn, pred, stmts)
+	default:
+		return fmt.Errorf("weaver: unknown insert position %q", where)
+	}
+}
+
+// anchorOf resolves the statement anchor for a join point: the statement
+// containing a call, or the loop statement itself.
+func anchorOf(jp interp.JoinPoint) (*srcmodel.FuncDecl, func(srcmodel.Stmt) bool, error) {
+	switch x := jp.(type) {
+	case *CallJP:
+		target := x.CI.Call
+		return x.CI.Func, func(s srcmodel.Stmt) bool {
+			return stmtContainsExpr(s, callAsExpr(target))
+		}, nil
+	case *LoopJP:
+		return x.Fn, func(s srcmodel.Stmt) bool { return s == x.Loop }, nil
+	case *ArgJP:
+		target := x.Call.CI.Call
+		return x.Call.CI.Func, func(s srcmodel.Stmt) bool {
+			return stmtContainsExpr(s, callAsExpr(target))
+		}, nil
+	case *FunctionJP:
+		// Anchor at the first statement of the body: before = prologue.
+		return x.Fn, func(s srcmodel.Stmt) bool {
+			return len(x.Fn.Body.Stmts) > 0 && s == x.Fn.Body.Stmts[0]
+		}, nil
+	}
+	return nil, nil, fmt.Errorf("weaver: cannot insert at %s join point", jp.Kind())
+}
+
+func callAsExpr(c *srcmodel.CallExpr) srcmodel.Expr { return c }
+
+func insertAround(fn *srcmodel.FuncDecl, pred func(srcmodel.Stmt) bool, stmts []srcmodel.Stmt) error {
+	blk, idx := findStmtByPred(fn, pred)
+	if blk == nil {
+		return fmt.Errorf("weaver: join point statement not found in %s", fn.Name)
+	}
+	original := blk.Stmts[idx]
+	// Find the proceed(); placeholder in the template.
+	var replaced []srcmodel.Stmt
+	found := false
+	for _, s := range stmts {
+		if es, ok := s.(*srcmodel.ExprStmt); ok {
+			if call, ok := es.X.(*srcmodel.CallExpr); ok && call.Callee == "proceed" {
+				replaced = append(replaced, original)
+				found = true
+				continue
+			}
+		}
+		replaced = append(replaced, s)
+	}
+	if !found {
+		return fmt.Errorf("weaver: around template must contain proceed();")
+	}
+	out := make([]srcmodel.Stmt, 0, len(blk.Stmts)-1+len(replaced))
+	out = append(out, blk.Stmts[:idx]...)
+	out = append(out, replaced...)
+	out = append(out, blk.Stmts[idx+1:]...)
+	blk.Stmts = out
+	return nil
+}
+
+// Do implements interp.Actions: named weaver actions on join points.
+//
+// Supported actions:
+//
+//	LoopUnroll('full')      — fully unroll a constant-trip-count loop
+//	LoopUnroll(n)           — unroll only if trip count <= n, fully
+//	Rename('newName')       — rename a function
+func (w *Weaver) Do(jp interp.JoinPoint, action string, args []interp.Value) error {
+	switch action {
+	case "LoopUnroll":
+		lj, ok := jp.(*LoopJP)
+		if !ok {
+			return fmt.Errorf("weaver: LoopUnroll applies to loops, got %s", jp.Kind())
+		}
+		li := lj.info()
+		if li == nil {
+			return fmt.Errorf("weaver: loop no longer present (already unrolled?)")
+		}
+		if len(args) == 1 && args[0].Kind == interp.KNum {
+			if li.NumIter < 0 || li.NumIter > int64(args[0].Num) {
+				return nil // threshold form: silently skip
+			}
+		} else if len(args) != 1 || args[0].Kind != interp.KStr || args[0].Str != "full" {
+			return fmt.Errorf("weaver: LoopUnroll expects 'full' or a numeric threshold")
+		}
+		return srcmodel.UnrollLoop(li)
+	case "LoopUnrollBy":
+		lj, ok := jp.(*LoopJP)
+		if !ok {
+			return fmt.Errorf("weaver: LoopUnrollBy applies to loops, got %s", jp.Kind())
+		}
+		li := lj.info()
+		if li == nil {
+			return fmt.Errorf("weaver: loop no longer present")
+		}
+		if len(args) != 1 || args[0].Kind != interp.KNum {
+			return fmt.Errorf("weaver: LoopUnrollBy expects a numeric factor")
+		}
+		factor := int64(args[0].Num)
+		if li.NumIter > 0 && li.NumIter%factor != 0 {
+			return nil // non-dividing factor: skip rather than fail the weave
+		}
+		return srcmodel.UnrollLoopBy(li, factor)
+	case "Rename":
+		fj, ok := jp.(*FunctionJP)
+		if !ok {
+			return fmt.Errorf("weaver: Rename applies to functions, got %s", jp.Kind())
+		}
+		if len(args) != 1 || args[0].Kind != interp.KStr {
+			return fmt.Errorf("weaver: Rename expects a string")
+		}
+		fj.Fn.Name = args[0].Str
+		return nil
+	}
+	return fmt.Errorf("weaver: unknown action %q", action)
+}
+
+// CallBuiltin implements interp.Actions: the weaver-provided callable
+// "aspects" of Fig. 4.
+//
+//	PrepareSpecialize(funcName, paramName)            → handle object
+//	Specialize(fn, paramName, value)                  → {func: <jp>, name}
+//	AddVersion(handle, funcJP, value)                 → {}
+func (w *Weaver) CallBuiltin(name string, args []interp.Value) (interp.Value, bool, error) {
+	switch name {
+	case "PrepareSpecialize":
+		if len(args) != 2 || args[0].Kind != interp.KStr || args[1].Kind != interp.KStr {
+			return interp.Null(), true, fmt.Errorf("weaver: PrepareSpecialize(funcName, paramName)")
+		}
+		fn, param := args[0].Str, args[1].Str
+		f := w.Prog.Func(fn)
+		if f == nil {
+			return interp.Null(), true, fmt.Errorf("weaver: PrepareSpecialize: no function %q", fn)
+		}
+		idx := -1
+		for i, prm := range f.Params {
+			if prm.Name == param {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return interp.Null(), true, fmt.Errorf("weaver: PrepareSpecialize: %s has no parameter %q", fn, param)
+		}
+		w.prepared[fn] = param
+		return interp.Object(map[string]interp.Value{
+			"func":     interp.Str(fn),
+			"param":    interp.Str(param),
+			"argIndex": interp.Num(float64(idx)),
+		}), true, nil
+
+	case "Specialize":
+		if len(args) != 3 {
+			return interp.Null(), true, fmt.Errorf("weaver: Specialize(fn, paramName, value)")
+		}
+		fnName, err := functionNameOf(args[0])
+		if err != nil {
+			return interp.Null(), true, err
+		}
+		if args[1].Kind != interp.KStr || args[2].Kind != interp.KNum {
+			return interp.Null(), true, fmt.Errorf("weaver: Specialize: bad argument types")
+		}
+		param, val := args[1].Str, int64(args[2].Num)
+		f := w.Prog.Func(fnName)
+		if f == nil {
+			return interp.Null(), true, fmt.Errorf("weaver: Specialize: no function %q", fnName)
+		}
+		spName := ir.SpecializedName(fnName, param, val)
+		sp := w.Prog.Func(spName)
+		if sp == nil {
+			sp, err = srcmodel.SpecializeFunc(f, spName, param, val)
+			if err != nil {
+				return interp.Null(), true, err
+			}
+			srcmodel.NormalizeBodies(&srcmodel.Program{Funcs: []*srcmodel.FuncDecl{sp}})
+			w.Prog.Funcs = append(w.Prog.Funcs, sp)
+		}
+		return interp.Object(map[string]interp.Value{
+			"func": interp.JP(&FunctionJP{w: w, Fn: sp}),
+			"name": interp.Str(spName),
+		}), true, nil
+
+	case "AddVersion":
+		if len(args) != 3 {
+			return interp.Null(), true, fmt.Errorf("weaver: AddVersion(handle, funcJP, value)")
+		}
+		handle := args[0]
+		if handle.Kind != interp.KObject {
+			return interp.Null(), true, fmt.Errorf("weaver: AddVersion: first argument must be a PrepareSpecialize handle")
+		}
+		fj, ok := args[1].JP.(*FunctionJP)
+		if args[1].Kind != interp.KJoinPoint || !ok {
+			return interp.Null(), true, fmt.Errorf("weaver: AddVersion: second argument must be a function join point")
+		}
+		if args[2].Kind != interp.KNum {
+			return interp.Null(), true, fmt.Errorf("weaver: AddVersion: third argument must be a number")
+		}
+		req := VersionRequest{
+			Generic:  handle.Obj["func"].Str,
+			Param:    handle.Obj["param"].Str,
+			Target:   fj.Fn.Name,
+			Match:    args[2].Num,
+			ArgIndex: int(handle.Obj["argIndex"].Num),
+		}
+		if err := w.applyVersion(req, fj.Fn); err != nil {
+			return interp.Null(), true, err
+		}
+		return interp.Object(nil), true, nil
+	}
+	return interp.Null(), false, nil
+}
+
+// functionNameOf accepts a function name string, a function join point,
+// or a call join point (resolving to its callee).
+func functionNameOf(v interp.Value) (string, error) {
+	switch v.Kind {
+	case interp.KStr:
+		return v.Str, nil
+	case interp.KJoinPoint:
+		switch jp := v.JP.(type) {
+		case *FunctionJP:
+			return jp.Fn.Name, nil
+		case *CallJP:
+			return jp.CI.Call.Callee, nil
+		}
+	}
+	return "", fmt.Errorf("weaver: cannot resolve a function from %v", v.Kind)
+}
+
+// applyVersion registers a specialization either directly in the bound
+// runtime module or as a pending request.
+func (w *Weaver) applyVersion(req VersionRequest, fn *srcmodel.FuncDecl) error {
+	if w.split == nil {
+		w.PendingVersions = append(w.PendingVersions, req)
+		return nil
+	}
+	compiled, err := ir.CompileFunc(fn, moduleGlobals(w.Prog))
+	if err != nil {
+		return err
+	}
+	w.split.Mod.Add(compiled)
+	w.split.Mod.AddVersion(req.Generic, req.ArgIndex, req.Match, req.Target)
+	return nil
+}
+
+func moduleGlobals(p *srcmodel.Program) map[string]bool {
+	g := make(map[string]bool, len(p.Globals))
+	for _, v := range p.Globals {
+		g[v.Name] = true
+	}
+	return g
+}
+
+// joinNames is a debugging helper rendering join-point names.
+func joinNames(jps []interp.JoinPoint) string {
+	names := make([]string, len(jps))
+	for i, jp := range jps {
+		names[i] = jp.Name()
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,258 @@
+package weaver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestSelectChainFromRoots covers `select function{'f'}.loop{...}`:
+// a two-part chain rooted at the program rather than an input variable.
+func TestSelectChainFromRoots(t *testing.T) {
+	src := `
+void a(double* p) { for (int i = 0; i < 4; i++) { p[i] = 0.0; } }
+void b(double* p) { for (int j = 0; j < 4; j++) { p[j] = 1.0; } }
+`
+	aspect := `
+aspectdef OnlyA
+	select function{'a'}.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "OnlyA"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if strings.Contains(out, "i < 4") {
+		t.Errorf("a's loop should be unrolled:\n%s", out)
+	}
+	if !strings.Contains(out, "j < 4") {
+		t.Errorf("b's loop must be untouched:\n%s", out)
+	}
+}
+
+// TestMultipleSelectApplyPairs: each apply binds to its nearest
+// preceding select, as in multi-concern aspects.
+func TestMultipleSelectApplyPairs(t *testing.T) {
+	src := `
+void f(double* p) {
+    step1(p);
+    step2(p);
+}
+`
+	aspect := `
+aspectdef TwoConcerns
+	select fCall{'step1'} end
+	apply
+		insert before %{ pre1(); }%;
+	end
+	select fCall{'step2'} end
+	apply
+		insert after %{ post2(); }%;
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "TwoConcerns"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	i1 := strings.Index(out, "pre1()")
+	is1 := strings.Index(out, "step1(p)")
+	is2 := strings.Index(out, "step2(p)")
+	i2 := strings.Index(out, "post2()")
+	if !(i1 >= 0 && i1 < is1 && is2 < i2) {
+		t.Errorf("insert placement wrong:\n%s", out)
+	}
+}
+
+// TestLoopShorthandByName covers loop{'for'} / loop{'while'} name
+// matching.
+func TestLoopShorthandByName(t *testing.T) {
+	src := `
+void f(int n) {
+    for (int i = 0; i < 4; i++) { g(i); }
+    while (n > 0) { n--; }
+}
+`
+	aspect := `
+aspectdef MarkWhile
+	select loop{'while'} end
+	apply
+		insert before %{ mark(); }%;
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "MarkWhile"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	iMark := strings.Index(out, "mark()")
+	iWhile := strings.Index(out, "while")
+	iFor := strings.Index(out, "for ")
+	if iMark < 0 || iMark > iWhile || iMark < iFor {
+		t.Errorf("mark() should sit between the for and the while:\n%s", out)
+	}
+}
+
+// TestLoopUnrollByAction covers the partial-unroll weaver action through
+// the DSL, including semantics preservation at runtime.
+func TestLoopUnrollByAction(t *testing.T) {
+	src := `
+double f(double* a) {
+    double s = 0.0;
+    for (int i = 0; i < 16; i++) {
+        s = s + a[i];
+    }
+    return s;
+}
+`
+	aspect := `
+aspectdef Partial
+	select loop{type=='for'} end
+	apply
+		do LoopUnrollBy(4);
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "Partial"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if !strings.Contains(out, "i += 4") {
+		t.Fatalf("step not widened:\n%s", out)
+	}
+	sc, vm, err := w.CompileRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sc
+	buf := make([]float64, 16)
+	var want float64
+	for i := range buf {
+		buf[i] = float64(i)
+		want += float64(i)
+	}
+	got, err := vm.Call("f", ir.PtrValue(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Num != want {
+		t.Errorf("partially unrolled f = %v, want %v", got.Num, want)
+	}
+}
+
+// TestAspectComposition: one aspect calls another user aspect which
+// performs the actual weaving (the Fig. 4 pattern, statically).
+func TestAspectComposition(t *testing.T) {
+	src := `void f(double* a) { for (int i = 0; i < 4; i++) { a[i] = 0.0; } }`
+	aspects := `
+aspectdef Inner
+	input $func, threshold end
+	select $func.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+	condition $loop.numIter <= threshold end
+end
+
+aspectdef Outer
+	select function{'f'} end
+	apply
+		call Inner($function, 8);
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspects, "Outer"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	if strings.Contains(w.Source(), "for ") {
+		t.Errorf("nested aspect did not unroll:\n%s", w.Source())
+	}
+}
+
+// TestFunctionAttrsInConditions exercises function attributes in
+// conditions ($function.numParams).
+func TestFunctionAttrsInConditions(t *testing.T) {
+	src := `
+void one(int a) { g(a); }
+void two(int a, int b) { g(a + b); }
+`
+	aspect := `
+aspectdef MarkBinary
+	select function end
+	apply
+		insert before %{ is_binary(); }%;
+	end
+	condition $function.numParams == 2 end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "MarkBinary"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if strings.Count(out, "is_binary()") != 1 {
+		t.Errorf("exactly one function has two params:\n%s", out)
+	}
+	if strings.Index(out, "is_binary()") < strings.Index(out, "void two") {
+		t.Errorf("marker should be inside two():\n%s", out)
+	}
+}
+
+// TestArgValueAttr covers the static `value` attribute of argument join
+// points (source text of the argument expression).
+func TestArgValueAttr(t *testing.T) {
+	src := `
+void kernel(double* data, int size) { g(size); }
+void main2(double* d) { kernel(d, 32 + 4); }
+`
+	aspect := `
+aspectdef Inspect
+	output expr end
+	select fCall{'kernel'}.arg{'size'} end
+	apply
+		call r: Echo($arg.value);
+	end
+end
+`
+	w := newWeaver(t, src)
+	// Provide Echo as a builtin via a tiny embedding check: Echo is not
+	// defined, so the weave must fail loudly — covering the undefined-
+	// callable path through a real weaver (not the fake).
+	if _, err := w.Weave(aspect, "Inspect"); err == nil || !strings.Contains(err.Error(), "undefined aspect") {
+		t.Errorf("expected undefined aspect error, got %v", err)
+	}
+
+	// Now check the attribute value directly through the join point API.
+	w2 := newWeaver(t, src)
+	var argJP *ArgJP
+	for _, jp := range w2.Roots("fCall") {
+		cj := jp.(*CallJP)
+		if cj.Name() != "kernel" {
+			continue
+		}
+		for _, a := range cj.Children("arg") {
+			if a.Name() == "size" {
+				argJP = a.(*ArgJP)
+			}
+		}
+	}
+	if argJP == nil {
+		t.Fatal("size arg join point not found")
+	}
+	v, ok := argJP.Attr("value")
+	if !ok || v.Str != "32 + 4" {
+		t.Errorf("arg value attr: %v %v", v, ok)
+	}
+	if idx, ok := argJP.Attr("index"); !ok || idx.Num != 1 {
+		t.Errorf("arg index attr: %v", idx)
+	}
+}

@@ -1,0 +1,52 @@
+package weaver
+
+import (
+	"testing"
+
+	"repro/internal/dsl/interp"
+)
+
+// TestFig2GoldenOutput locks the exact woven text for the Fig. 2 aspect:
+// any printer or weaver drift shows up as a diff here.
+func TestFig2GoldenOutput(t *testing.T) {
+	src := `double run(double* data, int size) {
+    return kernel(data, size);
+}
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(Fig2Aspect, "ProfileArguments", interp.Str("kernel")); err != nil {
+		t.Fatal(err)
+	}
+	want := `double run(double* data, int size) {
+    profile_args("kernel", "test.c:2:12", data, size);
+    return kernel(data, size);
+}
+`
+	if got := w.Source(); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFig3GoldenOutput locks the unrolled text for the Fig. 3 aspect.
+func TestFig3GoldenOutput(t *testing.T) {
+	src := `void init(double* a) {
+    for (int i = 0; i < 3; i++) {
+        a[i] = 1.0;
+    }
+}
+`
+	w := newWeaver(t, src)
+	fn := interp.JP(&FunctionJP{w: w, Fn: w.Prog.Func("init")})
+	if _, err := w.Weave(Fig3Aspect, "UnrollInnermostLoops", fn, interp.Num(4)); err != nil {
+		t.Fatal(err)
+	}
+	want := `void init(double* a) {
+    a[0] = 1.0;
+    a[1] = 1.0;
+    a[2] = 1.0;
+}
+`
+	if got := w.Source(); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

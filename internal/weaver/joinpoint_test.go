@@ -1,0 +1,254 @@
+package weaver
+
+import (
+	"testing"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+)
+
+// TestJoinPointMetadata exercises the join-point API surface directly:
+// kinds, names, attributes, children — the contract dsl/interp relies on.
+func TestJoinPointMetadata(t *testing.T) {
+	src := `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        for (int j = 0; j < 2; j++) {
+            s = s + data[i] * data[i];
+        }
+    }
+    return s;
+}
+`
+	w := newWeaver(t, src)
+	fns := w.Roots("function")
+	if len(fns) != 1 {
+		t.Fatalf("function roots: %d", len(fns))
+	}
+	fj := fns[0].(*FunctionJP)
+	if fj.Kind() != "function" || fj.Name() != "kernel" {
+		t.Errorf("function jp: %s %s", fj.Kind(), fj.Name())
+	}
+	if v, ok := fj.Attr("numParams"); !ok || v.Num != 2 {
+		t.Errorf("numParams: %v", v)
+	}
+	if v, ok := fj.Attr("file"); !ok || v.Str != "test.c" {
+		t.Errorf("file: %v", v)
+	}
+	if _, ok := fj.Attr("nosuch"); ok {
+		t.Error("unknown attr should miss")
+	}
+	if got := fj.Children("nosuchkind"); got != nil {
+		t.Errorf("unknown child kind: %v", got)
+	}
+
+	loops := fj.Children("loop")
+	if len(loops) != 2 {
+		t.Fatalf("loops: %d", len(loops))
+	}
+	outer := loops[0].(*LoopJP)
+	if outer.Kind() != "loop" || outer.Name() != "for" {
+		t.Errorf("loop jp: %s %s", outer.Kind(), outer.Name())
+	}
+	if v, ok := outer.Attr("depth"); !ok || v.Num != 0 {
+		t.Errorf("depth: %v", v)
+	}
+	if v, ok := outer.Attr("indexVar"); !ok || v.Str != "i" {
+		t.Errorf("indexVar: %v", v)
+	}
+	// Nested loops via Children("loop").
+	nested := outer.Children("loop")
+	if len(nested) != 1 {
+		t.Fatalf("nested loops of outer: %d", len(nested))
+	}
+	if v, ok := nested[0].Attr("numIter"); !ok || v.Num != 2 {
+		t.Errorf("nested numIter: %v", v)
+	}
+	inner := nested[0].(*LoopJP)
+	if got := inner.Children("loop"); len(got) != 0 {
+		t.Errorf("innermost loop has children: %v", got)
+	}
+	if got := inner.Children("fCall"); got != nil {
+		t.Errorf("loops have no call children in this model: %v", got)
+	}
+
+	// Calls and args.
+	calls := w.Roots("fCall")
+	if len(calls) != 0 {
+		t.Fatalf("kernel has no calls, got %d", len(calls))
+	}
+	w2 := newWeaver(t, `
+void callee(int size) { g(size); }
+void caller() { callee(7); }
+`)
+	calls = w2.Roots("fCall")
+	// g(size) and callee(7).
+	if len(calls) != 2 {
+		t.Fatalf("calls: %d", len(calls))
+	}
+	var cj *CallJP
+	for _, c := range calls {
+		if c.Name() == "callee" {
+			cj = c.(*CallJP)
+		}
+	}
+	if cj == nil {
+		t.Fatal("callee call not found")
+	}
+	if v, ok := cj.Attr("numArgs"); !ok || v.Num != 1 {
+		t.Errorf("numArgs: %v", v)
+	}
+	if v, ok := cj.Attr("func"); !ok || v.Str != "caller" {
+		t.Errorf("enclosing func: %v", v)
+	}
+	args := cj.Children("arg")
+	if len(args) != 1 {
+		t.Fatalf("args: %d", len(args))
+	}
+	aj := args[0].(*ArgJP)
+	if aj.Kind() != "arg" || aj.Name() != "size" {
+		t.Errorf("arg jp: %s %s", aj.Kind(), aj.Name())
+	}
+	if _, ok := aj.Attr("runtimeValue"); ok {
+		t.Error("static arg must not expose runtimeValue")
+	}
+	rt := aj.WithRuntime(42)
+	if v, ok := rt.Attr("runtimeValue"); !ok || v.Num != 42 {
+		t.Errorf("runtime value: %v", v)
+	}
+	if aj.Children("anything") != nil {
+		t.Error("args have no children")
+	}
+	// Calls to functions not defined in the program name args by index.
+	var gj *CallJP
+	for _, c := range calls {
+		if c.Name() == "g" {
+			gj = c.(*CallJP)
+		}
+	}
+	gargs := gj.Children("arg")
+	if len(gargs) != 1 || gargs[0].Name() != "arg0" {
+		t.Errorf("extern call arg naming: %v", joinNames(gargs))
+	}
+}
+
+// TestFunctionNameResolution covers functionNameOf's accepted shapes via
+// the Specialize builtin.
+func TestFunctionNameResolution(t *testing.T) {
+	src := `
+double kernel(double* d, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) { s = s + d[i]; }
+    return s;
+}
+void main2(double* d) { kernel(d, 8); }
+`
+	// Specialize by name string.
+	w := newWeaver(t, src)
+	out, ok, err := w.CallBuiltin("Specialize", []interp.Value{
+		interp.Str("kernel"), interp.Str("size"), interp.Num(8),
+	})
+	if err != nil || !ok {
+		t.Fatalf("Specialize by name: %v %v", ok, err)
+	}
+	if out.Obj["name"].Str != "kernel__size_8" {
+		t.Errorf("specialized name: %v", out.Obj["name"])
+	}
+	// Specialize by function join point.
+	w = newWeaver(t, src)
+	fj := w.Roots("function")[0]
+	if _, _, err := w.CallBuiltin("Specialize", []interp.Value{
+		interp.JP(fj), interp.Str("size"), interp.Num(8),
+	}); err != nil {
+		t.Fatalf("Specialize by function jp: %v", err)
+	}
+	// Specialize by call join point (resolves callee).
+	w = newWeaver(t, src)
+	var cj interp.JoinPoint
+	for _, c := range w.Roots("fCall") {
+		if c.Name() == "kernel" {
+			cj = c
+		}
+	}
+	if _, _, err := w.CallBuiltin("Specialize", []interp.Value{
+		interp.JP(cj), interp.Str("size"), interp.Num(8),
+	}); err != nil {
+		t.Fatalf("Specialize by call jp: %v", err)
+	}
+	// Bad shapes.
+	if _, _, err := w.CallBuiltin("Specialize", []interp.Value{
+		interp.Num(3), interp.Str("size"), interp.Num(8),
+	}); err == nil {
+		t.Error("number as function should fail")
+	}
+	if _, _, err := w.CallBuiltin("Specialize", []interp.Value{
+		interp.Str("nosuch"), interp.Str("size"), interp.Num(8),
+	}); err == nil {
+		t.Error("unknown function should fail")
+	}
+	// AddVersion argument validation.
+	if _, _, err := w.CallBuiltin("AddVersion", []interp.Value{
+		interp.Str("not-a-handle"), interp.Num(1), interp.Num(2),
+	}); err == nil {
+		t.Error("AddVersion with bad handle should fail")
+	}
+	// Unknown builtin reports ok=false without error.
+	if _, ok, err := w.CallBuiltin("NoSuchBuiltin", nil); ok || err != nil {
+		t.Errorf("unknown builtin: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPendingVersionsFlushOnBind covers the static AddVersion path: the
+// version request parks in PendingVersions until BindRuntime.
+func TestPendingVersionsFlushOnBind(t *testing.T) {
+	src := `
+double kernel(double* d, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) { s = s + d[i]; }
+    return s;
+}
+`
+	aspect := `
+aspectdef StaticVersion
+	call spCall: PrepareSpecialize('kernel', 'size');
+	select function{'kernel'} end
+	apply
+		call spOut: Specialize($function, 'size', 16);
+		call AddVersion(spCall, spOut.$func, 16);
+	end
+end
+`
+	w := newWeaver(t, src)
+	if _, err := w.Weave(aspect, "StaticVersion"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	if len(w.PendingVersions) != 1 {
+		t.Fatalf("pending versions: %d", len(w.PendingVersions))
+	}
+	sc, vm, err := w.CompileRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.PendingVersions) != 0 {
+		t.Error("pending versions not flushed")
+	}
+	vt := sc.Mod.Variants["kernel"]
+	if vt == nil || len(vt.Entries) != 1 || vt.Entries[0].Match != 16 {
+		t.Fatalf("variant table: %+v", vt)
+	}
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = 1
+	}
+	got, err := vm.Call("kernel", ir.PtrValue(buf), ir.NumValue(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Num != 16 {
+		t.Errorf("kernel via static variant = %v, want 16", got.Num)
+	}
+	if vt.Entries[0].Hits != 1 {
+		t.Errorf("variant hits: %d", vt.Entries[0].Hits)
+	}
+}

@@ -1,0 +1,284 @@
+package weaver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/srcmodel"
+)
+
+// FunctionJP is a function join point.
+//
+// Attributes: name, numParams, file.
+// Children: loop, fCall/call, arg (parameters).
+type FunctionJP struct {
+	w  *Weaver
+	Fn *srcmodel.FuncDecl
+}
+
+// Kind implements interp.JoinPoint.
+func (j *FunctionJP) Kind() string { return "function" }
+
+// Name implements interp.JoinPoint.
+func (j *FunctionJP) Name() string { return j.Fn.Name }
+
+// Attr implements interp.JoinPoint.
+func (j *FunctionJP) Attr(name string) (interp.Value, bool) {
+	switch name {
+	case "name":
+		return interp.Str(j.Fn.Name), true
+	case "numParams":
+		return interp.Num(float64(len(j.Fn.Params))), true
+	case "file":
+		return interp.Str(j.w.Prog.File), true
+	}
+	return interp.Null(), false
+}
+
+// Children implements interp.JoinPoint.
+func (j *FunctionJP) Children(kind string) []interp.JoinPoint {
+	switch kind {
+	case "loop":
+		var jps []interp.JoinPoint
+		for _, li := range srcmodel.Loops(j.Fn) {
+			jps = append(jps, &LoopJP{w: j.w, Fn: j.Fn, Loop: li.Stmt})
+		}
+		return jps
+	case "fCall", "call":
+		var jps []interp.JoinPoint
+		for _, ci := range srcmodel.Calls(j.Fn, "") {
+			jps = append(jps, &CallJP{w: j.w, CI: ci})
+		}
+		return jps
+	}
+	return nil
+}
+
+// LoopJP is a loop join point. The underlying LoopInfo is re-derived on
+// every attribute access because weaving rewrites the AST; only the loop
+// statement's identity is stable.
+//
+// Attributes: type, isInnermost, numIter, depth, indexVar.
+type LoopJP struct {
+	w    *Weaver
+	Fn   *srcmodel.FuncDecl
+	Loop srcmodel.Stmt
+}
+
+// info re-resolves the loop's analysis record in the current AST.
+func (j *LoopJP) info() *srcmodel.LoopInfo {
+	for _, li := range srcmodel.Loops(j.Fn) {
+		if li.Stmt == j.Loop {
+			return li
+		}
+	}
+	return nil
+}
+
+// Kind implements interp.JoinPoint.
+func (j *LoopJP) Kind() string { return "loop" }
+
+// Name implements interp.JoinPoint. A loop's primary name is its kind
+// ("for"/"while"), enabling the select shorthand loop{'for'}.
+func (j *LoopJP) Name() string {
+	if li := j.info(); li != nil {
+		return li.Kind
+	}
+	return ""
+}
+
+// Attr implements interp.JoinPoint.
+func (j *LoopJP) Attr(name string) (interp.Value, bool) {
+	li := j.info()
+	if li == nil {
+		return interp.Null(), false
+	}
+	switch name {
+	case "type":
+		return interp.Str(li.Kind), true
+	case "isInnermost":
+		return interp.Bool(li.IsInnermost), true
+	case "numIter":
+		return interp.Num(float64(li.NumIter)), true
+	case "depth":
+		return interp.Num(float64(li.Depth)), true
+	case "indexVar":
+		return interp.Str(li.IndexVar), true
+	}
+	return interp.Null(), false
+}
+
+// Children implements interp.JoinPoint: nested loops.
+func (j *LoopJP) Children(kind string) []interp.JoinPoint {
+	if kind != "loop" {
+		return nil
+	}
+	li := j.info()
+	if li == nil {
+		return nil
+	}
+	var jps []interp.JoinPoint
+	for _, nested := range srcmodel.Loops(j.Fn) {
+		if nested.Stmt != j.Loop && loopContains(j.Loop, nested.Stmt) {
+			jps = append(jps, &LoopJP{w: j.w, Fn: j.Fn, Loop: nested.Stmt})
+		}
+	}
+	return jps
+}
+
+func loopContains(outer, inner srcmodel.Stmt) bool {
+	body := loopBodyOf(outer)
+	if body == nil {
+		return false
+	}
+	found := false
+	var visit func(s srcmodel.Stmt)
+	visit = func(s srcmodel.Stmt) {
+		if s == inner {
+			found = true
+		}
+		if found {
+			return
+		}
+		switch x := s.(type) {
+		case *srcmodel.BlockStmt:
+			for _, st := range x.Stmts {
+				visit(st)
+			}
+		case *srcmodel.IfStmt:
+			visit(x.Then)
+			if x.Else != nil {
+				visit(x.Else)
+			}
+		case *srcmodel.ForStmt:
+			visit(x.Body)
+		case *srcmodel.WhileStmt:
+			visit(x.Body)
+		}
+	}
+	visit(body)
+	return found
+}
+
+func loopBodyOf(s srcmodel.Stmt) srcmodel.Stmt {
+	switch x := s.(type) {
+	case *srcmodel.ForStmt:
+		return x.Body
+	case *srcmodel.WhileStmt:
+		return x.Body
+	}
+	return nil
+}
+
+// CallJP is a function-call join point.
+//
+// Attributes: name, location (as a quoted C string, ready to weave into
+// source), argList (the argument expressions' source text), numArgs,
+// func (enclosing function name).
+// Children: arg (one per call argument, named after the callee's
+// parameters when the callee is defined in the same program).
+type CallJP struct {
+	w  *Weaver
+	CI *srcmodel.CallInfo
+}
+
+// Kind implements interp.JoinPoint.
+func (j *CallJP) Kind() string { return "fCall" }
+
+// Name implements interp.JoinPoint.
+func (j *CallJP) Name() string { return j.CI.Call.Callee }
+
+// Attr implements interp.JoinPoint.
+func (j *CallJP) Attr(name string) (interp.Value, bool) {
+	switch name {
+	case "name":
+		return interp.Str(j.CI.Call.Callee), true
+	case "location":
+		// Quoted so `[[$fCall.location]]` weaves directly into C source
+		// as a string literal, as the Fig. 2 template expects.
+		return interp.Str(fmt.Sprintf("%q", j.CI.Location(j.w.Prog.File))), true
+	case "argList":
+		parts := make([]string, len(j.CI.Call.Args))
+		for i, a := range j.CI.Call.Args {
+			parts[i] = srcmodel.ExprString(a)
+		}
+		return interp.Str(strings.Join(parts, ", ")), true
+	case "numArgs":
+		return interp.Num(float64(len(j.CI.Call.Args))), true
+	case "func":
+		return interp.Str(j.CI.Func.Name), true
+	}
+	return interp.Null(), false
+}
+
+// Children implements interp.JoinPoint: the call's arguments.
+func (j *CallJP) Children(kind string) []interp.JoinPoint {
+	if kind != "arg" {
+		return nil
+	}
+	callee := j.w.Prog.Func(j.CI.Call.Callee)
+	var jps []interp.JoinPoint
+	for i := range j.CI.Call.Args {
+		paramName := fmt.Sprintf("arg%d", i)
+		if callee != nil && i < len(callee.Params) {
+			paramName = callee.Params[i].Name
+		}
+		jps = append(jps, &ArgJP{w: j.w, Call: j, Index: i, ParamName: paramName})
+	}
+	return jps
+}
+
+// ArgJP is a call-argument join point.
+//
+// Attributes: name (the callee's parameter name), index, value (source
+// text of the argument expression), and — during dynamic weaving only —
+// runtimeValue (the argument's numeric value observed at run time).
+type ArgJP struct {
+	w         *Weaver
+	Call      *CallJP
+	Index     int
+	ParamName string
+	// Runtime holds the observed value during dynamic weaving; nil
+	// statically.
+	Runtime *float64
+}
+
+// Kind implements interp.JoinPoint.
+func (j *ArgJP) Kind() string { return "arg" }
+
+// Name implements interp.JoinPoint. Matching `arg{'size'}` selects the
+// argument bound to the callee parameter named size.
+func (j *ArgJP) Name() string { return j.ParamName }
+
+// Attr implements interp.JoinPoint.
+func (j *ArgJP) Attr(name string) (interp.Value, bool) {
+	switch name {
+	case "name":
+		return interp.Str(j.ParamName), true
+	case "index":
+		return interp.Num(float64(j.Index)), true
+	case "value":
+		if j.Index < len(j.Call.CI.Call.Args) {
+			return interp.Str(srcmodel.ExprString(j.Call.CI.Call.Args[j.Index])), true
+		}
+		return interp.Null(), false
+	case "runtimeValue":
+		if j.Runtime == nil {
+			return interp.Null(), false
+		}
+		return interp.Num(*j.Runtime), true
+	}
+	return interp.Null(), false
+}
+
+// Children implements interp.JoinPoint: arguments have no children.
+func (j *ArgJP) Children(string) []interp.JoinPoint { return nil }
+
+// WithRuntime returns a copy of the argument join point carrying the
+// observed runtime value.
+func (j *ArgJP) WithRuntime(v float64) *ArgJP {
+	c := *j
+	c.Runtime = &v
+	return &c
+}

@@ -1,0 +1,122 @@
+package weaver
+
+import (
+	"fmt"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+)
+
+// CompileRuntime compiles the woven program with the split compiler,
+// creates a VM, arms every registered dynamic apply as a call hook, and
+// applies pending AddVersion requests. This is the hand-off from
+// design-time weaving to the runtime phase of Fig. 1.
+func (w *Weaver) CompileRuntime() (*ir.SplitCompiler, *ir.VM, error) {
+	sc, err := ir.NewSplitCompilerAST(w.Prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	vm := ir.NewVM(sc.Mod)
+	if err := w.BindRuntime(sc, vm); err != nil {
+		return nil, nil, err
+	}
+	return sc, vm, nil
+}
+
+// BindRuntime attaches the weaver to a compiled module: pending variant
+// registrations are applied, and dynamic applies become VM call hooks
+// that fire with runtime argument values (dynamic weaving).
+func (w *Weaver) BindRuntime(sc *ir.SplitCompiler, vm *ir.VM) error {
+	w.split = sc
+	w.vm = vm
+
+	// Flush statically accumulated AddVersion requests.
+	for _, req := range w.PendingVersions {
+		fn := w.Prog.Func(req.Target)
+		if fn == nil {
+			return fmt.Errorf("weaver: pending version target %q missing", req.Target)
+		}
+		if err := w.applyVersion(req, fn); err != nil {
+			return err
+		}
+	}
+	w.PendingVersions = nil
+
+	for _, d := range w.Dynamics {
+		if err := w.armDynamic(d, vm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// armDynamic installs one dynamic apply as a VM call hook. The static
+// prefix of the select chain is evaluated now (weave time); the runtime
+// part — argument values — is bound per call.
+func (w *Weaver) armDynamic(d *interp.DynamicApply, vm *ir.VM) error {
+	tuples, err := d.StaticTuples()
+	if err != nil {
+		return err
+	}
+	type target struct {
+		callee   string
+		argIdx   int
+		arg      *ArgJP
+		bindings interp.Binding
+	}
+	var targets []target
+	for _, tup := range tuples {
+		aj, ok := tup.Last.(*ArgJP)
+		if !ok {
+			return fmt.Errorf("weaver: dynamic apply in %s must select a call argument, got %s", d.AspectName, tup.Last.Kind())
+		}
+		targets = append(targets, target{
+			callee:   aj.Call.Name(),
+			argIdx:   aj.Index,
+			arg:      aj,
+			bindings: tup.Bind,
+		})
+	}
+	if len(targets) == 0 {
+		return nil // nothing matched statically; hook would never fire
+	}
+	// One value fires the body once per (callee, value): dynamic weaving
+	// installs a variant, after which re-firing is redundant work.
+	fired := make(map[string]map[float64]bool)
+	vm.AddHook(func(_ *ir.VM, callee string, args []ir.Value) {
+		for _, t := range targets {
+			if t.callee != callee || t.argIdx >= len(args) {
+				continue
+			}
+			av := args[t.argIdx]
+			if av.Kind != ir.KindNum {
+				continue
+			}
+			seen := fired[callee]
+			if seen == nil {
+				seen = make(map[float64]bool)
+				fired[callee] = seen
+			}
+			if seen[av.Num] {
+				continue
+			}
+			rt := t.arg.WithRuntime(av.Num)
+			bind := interp.Binding{}
+			for k, v := range t.bindings {
+				bind[k] = v
+			}
+			bind["arg"] = interp.JP(rt)
+			ran, err := d.Fire(rt, bind)
+			if err != nil {
+				// Dynamic weaving must not crash the application: the
+				// generic code path keeps serving the call.
+				seen[av.Num] = true
+				continue
+			}
+			if ran {
+				seen[av.Num] = true
+			}
+		}
+	})
+	return nil
+}

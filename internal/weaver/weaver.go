@@ -1,0 +1,231 @@
+// Package weaver implements the "S2S Compiler and Weaver" box of the
+// ANTAREX tool flow (Fig. 1): it binds the DSL interpreter's join-point
+// model to miniC source, carries out weaving actions (code insertion,
+// loop unrolling, function specialization, variant registration), and
+// arms dynamic applies as runtime hooks on the IR virtual machine.
+//
+// The weaver realizes the paper's separation of concerns: the miniC
+// program is the functional description; aspects are the extra-functional
+// strategies; Weave merges them into the "intended program".
+package weaver
+
+import (
+	"fmt"
+
+	"repro/internal/dsl"
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+	"repro/internal/srcmodel"
+)
+
+// Weaver weaves DSL aspects into a miniC program.
+type Weaver struct {
+	Prog *srcmodel.Program
+
+	// Dynamics holds dynamic applies registered while running aspects;
+	// BindRuntime arms them on a VM.
+	Dynamics []*interp.DynamicApply
+
+	// PendingVersions collects AddVersion requests made before a runtime
+	// binding exists (static weaving of Fig. 4's variant registration).
+	PendingVersions []VersionRequest
+
+	// split/vm are set by BindRuntime.
+	split *ir.SplitCompiler
+	vm    *ir.VM
+
+	// prepared records PrepareSpecialize declarations: function → param.
+	prepared map[string]string
+}
+
+// VersionRequest is a recorded AddVersion(spCall, func, value) builtin
+// call awaiting a runtime binding.
+type VersionRequest struct {
+	Generic  string // generic function name
+	Param    string // specialized-away parameter
+	Target   string // specialized function name
+	Match    float64
+	ArgIndex int
+}
+
+// New returns a weaver over prog. Loop/if bodies are normalized to blocks
+// so every join point has a replacement context.
+func New(prog *srcmodel.Program) *Weaver {
+	srcmodel.NormalizeBodies(prog)
+	return &Weaver{Prog: prog, prepared: make(map[string]string)}
+}
+
+// Weave parses the aspect source and runs the named aspect with args.
+// It returns the aspect's outputs.
+func (w *Weaver) Weave(aspectSrc, aspectName string, args ...interp.Value) (interp.Value, error) {
+	file, err := dsl.Parse(aspectSrc)
+	if err != nil {
+		return interp.Null(), err
+	}
+	return w.WeaveFile(file, aspectName, args...)
+}
+
+// WeaveFile runs the named aspect from an already-parsed DSL file.
+func (w *Weaver) WeaveFile(file *dsl.File, aspectName string, args ...interp.Value) (interp.Value, error) {
+	in := interp.New(file, w)
+	return in.Run(aspectName, args...)
+}
+
+// Roots implements interp.Actions: top-level join points by kind.
+func (w *Weaver) Roots(kind string) []interp.JoinPoint {
+	switch kind {
+	case "function":
+		jps := make([]interp.JoinPoint, 0, len(w.Prog.Funcs))
+		for _, f := range w.Prog.Funcs {
+			jps = append(jps, &FunctionJP{w: w, Fn: f})
+		}
+		return jps
+	case "fCall", "call":
+		var jps []interp.JoinPoint
+		for _, f := range w.Prog.Funcs {
+			for _, ci := range srcmodel.Calls(f, "") {
+				jps = append(jps, &CallJP{w: w, CI: ci})
+			}
+		}
+		return jps
+	case "loop":
+		var jps []interp.JoinPoint
+		for _, f := range w.Prog.Funcs {
+			for _, li := range srcmodel.Loops(f) {
+				jps = append(jps, &LoopJP{w: w, Fn: f, Loop: li.Stmt})
+			}
+		}
+		return jps
+	}
+	return nil
+}
+
+// RegisterDynamic implements interp.Actions.
+func (w *Weaver) RegisterDynamic(d *interp.DynamicApply) error {
+	w.Dynamics = append(w.Dynamics, d)
+	return nil
+}
+
+// Source renders the current (woven) program text.
+func (w *Weaver) Source() string { return srcmodel.Print(w.Prog) }
+
+// findStmtByPred locates the block and index of the first statement in f
+// satisfying pred, searching the current AST (robust against earlier
+// insertions shifting indices).
+func findStmtByPred(f *srcmodel.FuncDecl, pred func(srcmodel.Stmt) bool) (*srcmodel.BlockStmt, int) {
+	var find func(b *srcmodel.BlockStmt) (*srcmodel.BlockStmt, int)
+	find = func(b *srcmodel.BlockStmt) (*srcmodel.BlockStmt, int) {
+		for i, s := range b.Stmts {
+			if pred(s) {
+				return b, i
+			}
+			for _, nested := range nestedBlocks(s) {
+				if blk, idx := find(nested); blk != nil {
+					return blk, idx
+				}
+			}
+		}
+		return nil, -1
+	}
+	return find(f.Body)
+}
+
+func nestedBlocks(s srcmodel.Stmt) []*srcmodel.BlockStmt {
+	var out []*srcmodel.BlockStmt
+	add := func(st srcmodel.Stmt) {
+		if b, ok := st.(*srcmodel.BlockStmt); ok {
+			out = append(out, b)
+		}
+	}
+	switch x := s.(type) {
+	case *srcmodel.BlockStmt:
+		out = append(out, x)
+	case *srcmodel.IfStmt:
+		add(x.Then)
+		add(x.Else)
+	case *srcmodel.ForStmt:
+		add(x.Body)
+	case *srcmodel.WhileStmt:
+		add(x.Body)
+	}
+	return out
+}
+
+// stmtContainsExpr reports whether statement s contains the exact
+// expression node e (pointer identity).
+func stmtContainsExpr(s srcmodel.Stmt, target srcmodel.Expr) bool {
+	found := false
+	var visitExpr func(e srcmodel.Expr)
+	visitExpr = func(e srcmodel.Expr) {
+		if e == nil || found {
+			return
+		}
+		if e == target {
+			found = true
+			return
+		}
+		switch x := e.(type) {
+		case *srcmodel.BinaryExpr:
+			visitExpr(x.L)
+			visitExpr(x.R)
+		case *srcmodel.UnaryExpr:
+			visitExpr(x.X)
+		case *srcmodel.AssignExpr:
+			visitExpr(x.LHS)
+			visitExpr(x.RHS)
+		case *srcmodel.IncDecExpr:
+			visitExpr(x.X)
+		case *srcmodel.CallExpr:
+			for _, a := range x.Args {
+				visitExpr(a)
+			}
+		case *srcmodel.IndexExpr:
+			visitExpr(x.Array)
+			visitExpr(x.Index)
+		}
+	}
+	switch x := s.(type) {
+	case *srcmodel.VarDecl:
+		visitExpr(x.Init)
+	case *srcmodel.ExprStmt:
+		visitExpr(x.X)
+	case *srcmodel.ReturnStmt:
+		visitExpr(x.Value)
+	case *srcmodel.IfStmt:
+		visitExpr(x.Cond)
+	case *srcmodel.ForStmt:
+		if x.Init != nil {
+			if stmtContainsExpr(x.Init, target) {
+				return true
+			}
+		}
+		visitExpr(x.Cond)
+		if x.Post != nil && !found {
+			if stmtContainsExpr(x.Post, target) {
+				return true
+			}
+		}
+	case *srcmodel.WhileStmt:
+		visitExpr(x.Cond)
+	}
+	return found
+}
+
+// insertRelative splices stmts into f before/after the statement
+// identified by pred.
+func insertRelative(f *srcmodel.FuncDecl, pred func(srcmodel.Stmt) bool, where string, stmts []srcmodel.Stmt) error {
+	blk, idx := findStmtByPred(f, pred)
+	if blk == nil {
+		return fmt.Errorf("weaver: join point statement not found in %s (already removed?)", f.Name)
+	}
+	at := idx
+	if where == "after" {
+		at = idx + 1
+	}
+	out := make([]srcmodel.Stmt, 0, len(blk.Stmts)+len(stmts))
+	out = append(out, blk.Stmts[:at]...)
+	out = append(out, stmts...)
+	out = append(out, blk.Stmts[at:]...)
+	blk.Stmts = out
+	return nil
+}

@@ -1,0 +1,409 @@
+package weaver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl/interp"
+	"repro/internal/ir"
+	"repro/internal/srcmodel"
+)
+
+// Fig2Aspect, Fig3Aspect, Fig4Aspect are the paper's Figs. 2-4.
+const Fig2Aspect = `
+aspectdef ProfileArguments
+	input funcName end
+	select fCall end
+	apply
+		insert before %{profile_args('[[funcName]]',
+			[[$fCall.location]],
+			[[$fCall.argList]]);
+		}%;
+	end
+	condition $fCall.name == funcName end
+end
+`
+
+const Fig3Aspect = `
+aspectdef UnrollInnermostLoops
+	input $func, threshold end
+	select $func.loop{type=='for'} end
+	apply
+		do LoopUnroll('full');
+	end
+	condition
+		$loop.isInnermost && $loop.numIter <= threshold
+	end
+end
+`
+
+const Fig4Aspect = `
+aspectdef SpecializeKernel
+	input lowT, highT end
+
+	call spCall: PrepareSpecialize('kernel','size');
+
+	select fCall{'kernel'}.arg{'size'} end
+	apply dynamic
+		call spOut : Specialize($fCall, $arg.name,
+			$arg.runtimeValue);
+		call UnrollInnermostLoops(spOut.$func,
+			$arg.runtimeValue);
+		call AddVersion(spCall, spOut.$func,
+			$arg.runtimeValue);
+	end
+	condition
+		$arg.runtimeValue >= lowT &&
+		$arg.runtimeValue <= highT
+	end
+end
+`
+
+const targetSrc = `
+double kernel(double* data, int size) {
+    double s = 0.0;
+    for (int i = 0; i < size; i++) {
+        s = s + data[i] * data[i];
+    }
+    return s;
+}
+
+double run(double* data, int size, int reps) {
+    double acc = 0.0;
+    for (int r = 0; r < reps; r++) {
+        acc = acc + kernel(data, size);
+    }
+    return acc;
+}
+`
+
+func newWeaver(t *testing.T, src string) *Weaver {
+	t.Helper()
+	prog, err := srcmodel.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse target: %v", err)
+	}
+	return New(prog)
+}
+
+func TestFig2ProfileArgumentsWeavesAndRuns(t *testing.T) {
+	w := newWeaver(t, targetSrc)
+	if _, err := w.Weave(Fig2Aspect, "ProfileArguments", interp.Str("kernel")); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if !strings.Contains(out, `profile_args("kernel"`) {
+		t.Fatalf("profiling call not woven:\n%s", out)
+	}
+	// The woven program still compiles and runs; the profiling extern
+	// observes the call site's argument list.
+	sc, vm, err := w.CompileRuntime()
+	if err != nil {
+		t.Fatalf("CompileRuntime: %v", err)
+	}
+	_ = sc
+	type rec struct {
+		fn, loc string
+		args    []float64
+	}
+	var records []rec
+	vm.RegisterExtern("profile_args", func(_ *ir.VM, args []ir.Value) (ir.Value, error) {
+		r := rec{fn: args[0].Str, loc: args[1].Str}
+		for _, a := range args[2:] {
+			if a.Kind == ir.KindNum {
+				r.args = append(r.args, a.Num)
+			}
+		}
+		records = append(records, r)
+		return ir.NumValue(0), nil
+	})
+	buf := []float64{1, 2, 3, 4}
+	got, err := vm.Call("run", ir.PtrValue(buf), ir.NumValue(4), ir.NumValue(3))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got.Num != 3*(1+4+9+16) {
+		t.Errorf("run = %v, want 90", got.Num)
+	}
+	if len(records) != 3 {
+		t.Fatalf("profile records: %d, want 3 (one per rep)", len(records))
+	}
+	if records[0].fn != "kernel" || !strings.Contains(records[0].loc, "test.c:") {
+		t.Errorf("record: %+v", records[0])
+	}
+}
+
+func TestFig3UnrollInnermostLoops(t *testing.T) {
+	src := `
+void init(double* a) {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i * 4 + j] = 1.0;
+        }
+    }
+}
+`
+	w := newWeaver(t, src)
+	fn := w.Prog.Func("init")
+	fnJP := interp.JP(&FunctionJP{w: w, Fn: fn})
+	if _, err := w.Weave(Fig3Aspect, "UnrollInnermostLoops", fnJP, interp.Num(8)); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	// The j loop (4 <= 8) is unrolled; the i loop (64 > 8) stays.
+	if strings.Contains(out, "j < 4") {
+		t.Errorf("inner loop not unrolled:\n%s", out)
+	}
+	if !strings.Contains(out, "i < 64") {
+		t.Errorf("outer loop should remain:\n%s", out)
+	}
+	for _, want := range []string{"a[(i * 4) + 0] = 1.0", "a[(i * 4) + 3] = 1.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing unrolled statement %q:\n%s", want, out)
+		}
+	}
+	// Woven program still computes the right thing.
+	sc, err := ir.NewSplitCompilerAST(w.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := ir.NewVM(sc.Mod)
+	buf := make([]float64, 256)
+	if _, err := vm.Call("init", ir.PtrValue(buf)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 1.0 {
+			t.Fatalf("buf[%d] = %v after unrolled init", i, v)
+		}
+	}
+}
+
+func TestFig4DynamicSpecializeEndToEnd(t *testing.T) {
+	w := newWeaver(t, targetSrc)
+	// Weave both Fig. 3 (called by Fig. 4) and Fig. 4 from one file.
+	if _, err := w.Weave(Fig3Aspect+Fig4Aspect, "SpecializeKernel",
+		interp.Num(4), interp.Num(64)); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	if len(w.Dynamics) != 1 {
+		t.Fatalf("dynamics registered: %d", len(w.Dynamics))
+	}
+	sc, vm, err := w.CompileRuntime()
+	if err != nil {
+		t.Fatalf("CompileRuntime: %v", err)
+	}
+	buf := make([]float64, 16)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	var want float64
+	for _, v := range buf {
+		want += v * v
+	}
+	// First call: hook fires, specializes kernel for size=16, registers
+	// the variant.
+	got, err := vm.Call("run", ir.PtrValue(buf), ir.NumValue(16), ir.NumValue(5))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got.Num != 5*want {
+		t.Errorf("run = %v, want %v", got.Num, 5*want)
+	}
+	spName := ir.SpecializedName("kernel", "size", 16)
+	if w.Prog.Func(spName) == nil {
+		t.Fatalf("specialized source function %q not created", spName)
+	}
+	if _, ok := sc.Mod.Funcs[spName]; !ok {
+		t.Fatalf("specialized IR function %q not installed", spName)
+	}
+	vt := sc.Mod.Variants["kernel"]
+	if vt == nil || len(vt.Entries) != 1 || vt.Entries[0].Match != 16 {
+		t.Fatalf("variant table: %+v", vt)
+	}
+	if vt.Entries[0].Hits == 0 {
+		t.Error("specialized variant never dispatched")
+	}
+	// The specialized body is unrolled: no loop remains.
+	if loops := srcmodel.Loops(w.Prog.Func(spName)); len(loops) != 0 {
+		t.Errorf("specialized function still has %d loops", len(loops))
+	}
+
+	// Out-of-range size (100 > highT=64): no new specialization.
+	big := make([]float64, 100)
+	if _, err := vm.Call("run", ir.PtrValue(big), ir.NumValue(100), ir.NumValue(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(vt.Entries) != 1 {
+		t.Errorf("out-of-range size was specialized: %+v", vt.Entries)
+	}
+
+	// Specialized execution is cheaper than generic for the same work.
+	vmGeneric := ir.NewVM(func() *ir.Module {
+		prog, _ := srcmodel.Parse("g.c", targetSrc)
+		srcmodel.NormalizeBodies(prog)
+		m, _ := ir.Compile(prog)
+		return m
+	}())
+	if _, err := vmGeneric.Call("run", ir.PtrValue(buf), ir.NumValue(16), ir.NumValue(50)); err != nil {
+		t.Fatal(err)
+	}
+	vmSpec := ir.NewVM(sc.Mod)
+	if _, err := vmSpec.Call("run", ir.PtrValue(buf), ir.NumValue(16), ir.NumValue(50)); err != nil {
+		t.Fatal(err)
+	}
+	if vmSpec.Cycles >= vmGeneric.Cycles {
+		t.Errorf("specialized run (%d cycles) not cheaper than generic (%d)", vmSpec.Cycles, vmGeneric.Cycles)
+	}
+}
+
+func TestInsertAfterAndAround(t *testing.T) {
+	src := `
+void work(double* a) {
+    step(a);
+}
+`
+	w := newWeaver(t, src)
+	aspect := `
+aspectdef Wrap
+	select fCall{'step'} end
+	apply
+		insert around %{
+			timer_start();
+			proceed();
+			timer_stop();
+		}%;
+		insert after %{ flush(); }%;
+	end
+end
+`
+	if _, err := w.Weave(aspect, "Wrap"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	iStart := strings.Index(out, "timer_start")
+	iStep := strings.Index(out, "step(a)")
+	iStop := strings.Index(out, "timer_stop")
+	iFlush := strings.Index(out, "flush()")
+	if iStart < 0 || iStep < 0 || iStop < 0 || iFlush < 0 {
+		t.Fatalf("woven output missing pieces:\n%s", out)
+	}
+	if !(iStart < iStep && iStep < iStop) {
+		t.Errorf("around ordering wrong:\n%s", out)
+	}
+	// "after" anchors after the statement containing the call, which now
+	// sits inside the around block.
+	if iFlush < iStep {
+		t.Errorf("after-insert should follow the call:\n%s", out)
+	}
+}
+
+func TestInsertIntoFunctionPrologue(t *testing.T) {
+	w := newWeaver(t, `int f(int x) { return x + 1; }`)
+	aspect := `
+aspectdef Prologue
+	select function{'f'} end
+	apply
+		insert before %{ log_enter('enter:f'); }%;
+	end
+end
+`
+	if _, err := w.Weave(aspect, "Prologue"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if !strings.Contains(out, `log_enter("enter:f")`) {
+		t.Errorf("prologue not woven:\n%s", out)
+	}
+	if strings.Index(out, "log_enter") > strings.Index(out, "return") {
+		t.Errorf("prologue after return:\n%s", out)
+	}
+}
+
+func TestWeaveErrors(t *testing.T) {
+	w := newWeaver(t, targetSrc)
+	cases := []struct {
+		name   string
+		aspect string
+		want   string
+	}{
+		{"bad template", `
+aspectdef A
+	select fCall end
+	apply insert before %{ not valid c ((( }%; end
+end`, "does not parse"},
+		{"unroll on call", `
+aspectdef A
+	select fCall end
+	apply do LoopUnroll('full'); end
+end`, "applies to loops"},
+		{"unknown action", `
+aspectdef A
+	select fCall end
+	apply do Nope(); end
+end`, "unknown action"},
+		{"prepare unknown fn", `
+aspectdef A
+	call PrepareSpecialize('nosuch', 'x');
+end`, "no function"},
+		{"prepare unknown param", `
+aspectdef A
+	call PrepareSpecialize('kernel', 'nosuch');
+end`, "no parameter"},
+		{"around without proceed", `
+aspectdef A
+	select fCall{'kernel'} end
+	apply insert around %{ x = 1; }%; end
+end`, "proceed"},
+	}
+	for _, c := range cases {
+		w := newWeaver(t, targetSrc)
+		_, err := w.Weave(c.aspect, "A")
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+	_ = w
+}
+
+func TestLoopUnrollThresholdForm(t *testing.T) {
+	src := `
+void f(double* a) {
+    for (int i = 0; i < 100; i++) { a[i] = 0.0; }
+    for (int j = 0; j < 4; j++) { a[j] = 1.0; }
+}
+`
+	w := newWeaver(t, src)
+	aspect := `
+aspectdef A
+	select loop{type=='for'} end
+	apply do LoopUnroll(8); end
+end
+`
+	if _, err := w.Weave(aspect, "A"); err != nil {
+		t.Fatalf("Weave: %v", err)
+	}
+	out := w.Source()
+	if !strings.Contains(out, "i < 100") {
+		t.Errorf("big loop should remain:\n%s", out)
+	}
+	if strings.Contains(out, "j < 4") {
+		t.Errorf("small loop should be unrolled:\n%s", out)
+	}
+}
+
+func TestRenameAction(t *testing.T) {
+	w := newWeaver(t, `int f(int x) { return x; }`)
+	aspect := `
+aspectdef R
+	select function{'f'} end
+	apply do Rename('g'); end
+end
+`
+	if _, err := w.Weave(aspect, "R"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Prog.Func("g") == nil || w.Prog.Func("f") != nil {
+		t.Errorf("rename failed:\n%s", w.Source())
+	}
+}
