@@ -9,8 +9,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/apps/dock"
 	"repro/internal/apps/nav"
@@ -18,8 +20,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsl/interp"
 	"repro/internal/ir"
+	"repro/internal/monitor"
 	"repro/internal/precision"
 	"repro/internal/rtrm"
+	kernelrt "repro/internal/runtime"
 	"repro/internal/simhpc"
 	"repro/internal/srcmodel"
 	"repro/internal/weaver"
@@ -551,6 +555,101 @@ func BenchmarkSplitCompilation(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(vm.Cycles)/float64(b.N), "simcycles/call")
+		})
+	}
+}
+
+// benchKernel builds an adaptation kernel with nApps attached apps,
+// each with its own telemetry inbox, a trivial policy/knob pair and a
+// private workload generator (no cross-app locking in the workload
+// path).
+func benchKernel(nApps int) (*kernelrt.Kernel, []*kernelrt.Inbox) {
+	rng := simhpc.NewRNG(61)
+	cluster := simhpc.NewCluster(16, 24, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	k := kernelrt.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9))
+	inboxes := make([]*kernelrt.Inbox, nApps)
+	for i := 0; i < nApps; i++ {
+		gen := simhpc.NewWorkloadGen(uint64(100 + i))
+		inbox := &kernelrt.Inbox{}
+		inboxes[i] = inbox
+		_, err := k.Attach(kernelrt.AppSpec{
+			Name: fmt.Sprintf("app%d", i),
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Window:   16,
+			Debounce: 2,
+			Sensor:   inbox,
+			Policy: kernelrt.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				return autotune.Config{"x": 1}, true
+			}),
+			Knob: kernelrt.KnobFunc(func(autotune.Config) {}),
+			Workload: func() ([]*simhpc.Task, error) {
+				return gen.Mix(2, 1, 1, 1, 8), nil
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return k, inboxes
+}
+
+// BenchmarkKernelEpochSync (K1) measures the adaptation kernel's
+// synchronous epoch rate as attached apps scale: each epoch ticks every
+// app's control loop and multiplexes the merged workload into the
+// shared manager.
+func BenchmarkKernelEpochSync(b *testing.B) {
+	for _, nApps := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("apps=%d", nApps), func(b *testing.B) {
+			k, inboxes := benchKernel(nApps)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, in := range inboxes {
+					in.Push(monitor.MetricLatency, 0.2)
+				}
+				if _, err := k.RunEpoch(60); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(k.Manager().WorkGFlop)/float64(b.N), "GFLOP/epoch")
+		})
+	}
+}
+
+// BenchmarkKernelConcurrent (K2) measures end-to-end concurrent-mode
+// throughput: per-app goroutine loops feeding the batched epoch
+// scheduler, with telemetry producers running alongside. Reported in
+// epochs completed per benchmark iteration wall time (epochs = b.N).
+func BenchmarkKernelConcurrent(b *testing.B) {
+	for _, nApps := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("apps=%d", nApps), func(b *testing.B) {
+			k, inboxes := benchKernel(nApps)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for _, in := range inboxes {
+				go func(in *kernelrt.Inbox) {
+					for ctx.Err() == nil {
+						in.Push(monitor.MetricLatency, 0.2)
+						time.Sleep(200 * time.Microsecond)
+					}
+				}(in)
+			}
+			b.ResetTimer()
+			if err := k.Start(ctx, kernelrt.Options{EpochDt: 60, Flush: 2 * time.Millisecond}); err != nil {
+				b.Fatal(err)
+			}
+			target := int64(b.N)
+			for k.Epochs() < target {
+				time.Sleep(100 * time.Microsecond)
+			}
+			k.Stop()
+			b.StopTimer()
+			if err := k.Err(); err != nil {
+				b.Fatal(err)
+			}
 		})
 	}
 }

@@ -9,44 +9,66 @@
 //	antarex-sim pue           # C4: seasonal PUE + MS3 mitigation
 //	antarex-sim powercap      # C5: throughput under the power envelope
 //	antarex-sim docking       # U1: load-balancing comparison
+//	antarex-sim kernel        # concurrent adaptation kernel: N apps, one RTRM
 //	antarex-sim all           # everything
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"repro/internal/apps/dock"
+	"repro/internal/autotune"
+	"repro/internal/monitor"
 	"repro/internal/rtrm"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
+
+// experimentOrder is the "all" sequence; experiments maps names to
+// runnable experiments (the dispatch table exercised by main_test.go).
+var experimentOrder = []string{"efficiency", "variability", "governor", "pue", "powercap", "docking", "kernel"}
+
+var experiments = map[string]func(){
+	"efficiency":  efficiency,
+	"variability": variability,
+	"governor":    governor,
+	"pue":         pue,
+	"powercap":    powercap,
+	"docking":     docking,
+	"kernel":      kernelDemo,
+}
+
+// runExperiment dispatches one experiment (or "all"), returning an
+// error for unknown names.
+func runExperiment(name string) error {
+	if name == "all" {
+		for _, n := range experimentOrder {
+			experiments[n]()
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("antarex-sim: unknown experiment %q", name)
+	}
+	fn()
+	return nil
+}
 
 func main() {
 	cmd := "all"
 	if len(os.Args) > 1 {
 		cmd = os.Args[1]
 	}
-	cmds := map[string]func(){
-		"efficiency":  efficiency,
-		"variability": variability,
-		"governor":    governor,
-		"pue":         pue,
-		"powercap":    powercap,
-		"docking":     docking,
-	}
-	if cmd == "all" {
-		for _, name := range []string{"efficiency", "variability", "governor", "pue", "powercap", "docking"} {
-			cmds[name]()
-			fmt.Println()
-		}
-		return
-	}
-	fn, ok := cmds[cmd]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "antarex-sim: unknown experiment %q\n", cmd)
+	if err := runExperiment(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fn()
 }
 
 func efficiency() {
@@ -144,5 +166,113 @@ func docking() {
 		for _, r := range dock.Campaign(8, 400, alpha, 42) {
 			fmt.Printf("    %s\n", r)
 		}
+	}
+}
+
+func kernelDemo() {
+	fmt.Println("== concurrent adaptation kernel: 8 adaptive apps on one shared RTRM ==")
+	const nApps = 8
+	rng := simhpc.NewRNG(29)
+	cluster := simhpc.NewCluster(16, 24, func(i int) *simhpc.Node {
+		return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	kern := runtime.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.85))
+
+	gen := simhpc.NewWorkloadGen(31)
+	var genMu sync.Mutex
+	type appState struct {
+		inbox *runtime.Inbox
+		ctl   *runtime.Controller
+		level float64
+		mu    sync.Mutex
+	}
+	states := make([]*appState, nApps)
+	for i := 0; i < nApps; i++ {
+		st := &appState{inbox: &runtime.Inbox{}, level: 8}
+		states[i] = st
+		ctl, err := kern.Attach(runtime.AppSpec{
+			Name: fmt.Sprintf("app%d", i),
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Stat: "p95", Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Window:   32,
+			Debounce: 2,
+			Sensor:   st.inbox,
+			Policy: runtime.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				if st.level <= 1 {
+					return nil, false
+				}
+				return autotune.Config{"level": st.level / 2}, true
+			}),
+			Knob: runtime.KnobFunc(func(cfg autotune.Config) {
+				st.mu.Lock()
+				st.level = cfg["level"]
+				st.mu.Unlock()
+			}),
+			Workload: func() ([]*simhpc.Task, error) {
+				st.mu.Lock()
+				n := int(st.level)
+				st.mu.Unlock()
+				genMu.Lock()
+				defer genMu.Unlock()
+				return gen.Mix(n, 1, 1, 1, 10), nil
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		st.ctl = ctl
+	}
+
+	// Telemetry producers: the odd apps run hot (SLA-violating latency)
+	// and must shed load; the even apps stay healthy.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *appState) {
+			defer wg.Done()
+			lat := 0.2
+			if i%2 == 1 {
+				lat = 3.0
+			}
+			for ctx.Err() == nil {
+				st.inbox.Push(monitor.MetricLatency, lat)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}(i, st)
+	}
+
+	start := time.Now()
+	if err := kern.Start(ctx, runtime.Options{EpochDt: 60, Flush: 5 * time.Millisecond}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cancel()
+		wg.Wait()
+		return
+	}
+	for kern.Epochs() < 200 {
+		time.Sleep(time.Millisecond)
+	}
+	kern.Stop()
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	mgr := kern.Manager()
+	totals := kern.TotalsPerApp()
+	fmt.Printf("  %d epochs across %d apps in %v (%.0f epochs/s)\n",
+		kern.Epochs(), nApps, elapsed.Round(time.Millisecond),
+		float64(kern.Epochs())/elapsed.Seconds())
+	fmt.Printf("  cluster: %.1f TFLOP done, %.2f MJ, efficiency %.3f GFLOP/J\n",
+		mgr.WorkGFlop/1000, mgr.EnergyJ/1e6, mgr.EfficiencyGFLOPSPerJ())
+	for i, st := range states {
+		st.mu.Lock()
+		level := st.level
+		st.mu.Unlock()
+		fmt.Printf("  app%d: %7.1f GFLOP  ticks %4d  adaptations %d  level %g\n",
+			i, totals[fmt.Sprintf("app%d", i)], st.ctl.Ticks(), st.ctl.Adaptations(), level)
 	}
 }

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// TestDispatchTableCoversAll: every experiment in the "all" sequence
+// exists in the dispatch table and vice versa.
+func TestDispatchTableCoversAll(t *testing.T) {
+	if len(experimentOrder) != len(experiments) {
+		t.Fatalf("order lists %d experiments, table has %d", len(experimentOrder), len(experiments))
+	}
+	for _, name := range experimentOrder {
+		if experiments[name] == nil {
+			t.Errorf("experiment %q in order but not in table", name)
+		}
+	}
+}
+
+// TestRunExperimentUnknownName: unknown experiments are rejected with
+// an error instead of a panic or silent success.
+func TestRunExperimentUnknownName(t *testing.T) {
+	if err := runExperiment("nosuch"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := runExperiment(""); err == nil {
+		t.Fatal("empty experiment should error")
+	}
+}
+
+// TestRunExperimentSmoke executes the cheapest real experiments through
+// the dispatch path (output goes to stdout; only success is asserted).
+func TestRunExperimentSmoke(t *testing.T) {
+	for _, name := range []string{"efficiency", "variability", "pue"} {
+		if err := runExperiment(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 // antarex-tune demonstrates the autotuning framework from the command
 // line: it explores a kernel-configuration design space with the chosen
-// strategy and prints the convergence trace, optionally with grey-box
-// annotations enabled.
+// strategy, prints the convergence trace (optionally with grey-box
+// annotations enabled), then deploys the best point under the
+// adaptation kernel's control loop and retunes online when the
+// operating conditions drift.
 //
 // Usage:
 //
@@ -17,6 +19,8 @@ import (
 	"os"
 
 	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
 
@@ -92,4 +96,40 @@ func main() {
 			fmt.Printf("  %4d: %.3f\n", i+1, running)
 		}
 	}
+
+	// Online phase: deploy the best point under the adaptation kernel's
+	// control loop. After 20 epochs the operating conditions drift — the
+	// deployed configuration degrades in production (say, its cache
+	// blocking no longer fits the hot problem size) — and the control
+	// loop (monitor → TunerPolicy → knob) retunes from the knowledge
+	// base onto a point the drift does not touch.
+	fmt.Println("\nonline phase: production drift after epoch 20")
+	inbox := &runtime.Inbox{}
+	applied := space.At(tuner.Applied())
+	deployedKey := tuner.Applied().Key()
+	ctl := runtime.NewController(runtime.AppSpec{
+		Name: "tune",
+		SLA: monitor.SLA{Goals: []monitor.Goal{
+			{Metric: monitor.MetricEnergy, Relation: monitor.AtMost, Target: m.Cost + 2},
+		}},
+		Window:   8,
+		Debounce: 2,
+		Sensor:   inbox,
+		Policy:   &runtime.TunerPolicy{Tuner: tuner},
+		Knob: runtime.KnobFunc(func(cfg autotune.Config) {
+			applied = cfg
+			fmt.Printf("  retuned to %s\n", space.Describe(tuner.Applied()))
+		}),
+	})
+	for epoch := 0; epoch < 60; epoch++ {
+		cost := obj(applied).Cost
+		if epoch >= 20 && tuner.Applied().Key() == deployedKey {
+			cost = cost*3 + 15 // drift: the deployed point degrades in production
+		}
+		tuner.Observe(cost)
+		inbox.Push(monitor.MetricEnergy, cost)
+		ctl.Tick()
+	}
+	fmt.Printf("online epochs %d, SLA fires %d, retunes %d, final %s\n",
+		ctl.Ticks(), ctl.Fires(), ctl.Adaptations(), space.Describe(tuner.Applied()))
 }

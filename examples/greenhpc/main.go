@@ -1,8 +1,13 @@
-// GreenHPC: the system-wide RTRM story of paper §V — an adaptive
-// application coupled to the runtime resource & power manager over the
+// GreenHPC: the system-wide RTRM story of paper §V — adaptive
+// applications coupled to the runtime resource & power manager over the
 // simulated cluster, through a simulated year of ambient temperature.
 // MS3 defers load and boosts cooling in summer; the power capper holds
 // the facility envelope; the thermal controller keeps nodes safe.
+//
+// The coupling runs through the concurrent adaptation kernel
+// (internal/runtime): two adaptive applications attach their specs and
+// the kernel multiplexes their epoch workloads into the one shared
+// rtrm.Manager.
 //
 //	go run ./examples/greenhpc
 package main
@@ -15,6 +20,8 @@ import (
 	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
 
@@ -24,25 +31,50 @@ func main() {
 		return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
 	})
 	capW := cluster.FacilityPowerW(1) * 0.85
-	sys := core.NewSystem(cluster, capW)
+	kern := runtime.NewKernel(rtrm.NewManager(cluster, capW))
 
-	// One adaptive app: batch size knob, bigger batches amortize better.
+	// App 1: batch HPC workload, batch-size knob; bigger batches
+	// amortize better.
 	space := autotune.NewSpace(autotune.IntKnob("batch", 1, 8, 1))
 	cost := func(cfg autotune.Config) autotune.Measurement {
 		return autotune.Measurement{Cost: 4 + 16/cfg["batch"]}
 	}
 	gen := simhpc.NewWorkloadGen(11)
-	app := core.NewApp("hpcapp", space, monitor.SLA{}, &autotune.Exhaustive{}, cost)
-	app.Workload = func(cfg autotune.Config) []*simhpc.Task {
+	hpc := core.NewApp("hpcapp", space, monitor.SLA{}, &autotune.Exhaustive{}, cost)
+	hpc.Workload = func(cfg autotune.Config) []*simhpc.Task {
 		return gen.Mix(int(cfg["batch"])*8, 1, 2, 1, 15)
 	}
-	if err := app.TuneInitial(0); err != nil {
+	if err := hpc.TuneInitial(0); err != nil {
 		log.Fatal(err)
 	}
-	sys.AddApp(app)
-	fmt.Printf("tuned configuration: batch=%v\n", app.Config()["batch"])
-	fmt.Printf("cluster: 16 heterogeneous nodes, facility cap %.0f kW\n\n", capW/1000)
 
+	// App 2: an analytics service with a parallelism knob; wider fans
+	// out more, smaller tasks.
+	aSpace := autotune.NewSpace(autotune.IntKnob("width", 1, 4, 1))
+	aCost := func(cfg autotune.Config) autotune.Measurement {
+		return autotune.Measurement{Cost: 8 / cfg["width"]}
+	}
+	aGen := simhpc.NewWorkloadGen(12)
+	analytics := core.NewApp("analytics", aSpace, monitor.SLA{}, &autotune.Exhaustive{}, aCost)
+	analytics.Workload = func(cfg autotune.Config) []*simhpc.Task {
+		w := int(cfg["width"])
+		return aGen.Mix(w*4, 2, 1, 1, 30/float64(w))
+	}
+	if err := analytics.TuneInitial(0); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, app := range []*core.App{hpc, analytics} {
+		if _, err := kern.Attach(app.Spec()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("tuned configurations: hpcapp batch=%v, analytics width=%v\n",
+		hpc.Config()["batch"], analytics.Config()["width"])
+	fmt.Printf("cluster: 16 heterogeneous nodes, facility cap %.0f kW, %d apps on one kernel\n\n",
+		capW/1000, len(kern.Apps()))
+
+	mgr := kern.Manager()
 	fmt.Println("month  ambient  PUE    admit%  hot  energy(MJ)  eff(GFLOP/J)")
 	for month := 0; month < 12; month++ {
 		// Sinusoidal seasonal ambient: 8C in January, 32C in July.
@@ -51,7 +83,7 @@ func main() {
 		var plan float64
 		hot := 0
 		for epoch := 0; epoch < 30; epoch++ {
-			res, err := sys.RunEpoch(3600)
+			res, err := kern.RunEpoch(3600)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -61,9 +93,11 @@ func main() {
 		}
 		fmt.Printf("%5d  %6.1fC  %.3f  %5.0f%%  %3d  %10.2f  %11.4f\n",
 			month+1, cluster.AmbientC, cluster.PUE(), plan*100, hot,
-			monthEnergy/1e6, sys.Manager.EfficiencyGFLOPSPerJ())
+			monthEnergy/1e6, mgr.EfficiencyGFLOPSPerJ())
 	}
-	fmt.Printf("\ntotals: %.1f TFLOP done, %.1f MJ, %d thermal events, %d cap demotions\n",
-		sys.Manager.WorkGFlop/1000, sys.Manager.EnergyJ/1e6,
-		sys.Manager.ThermalEvents, sys.Manager.CapDemotions)
+	totals := kern.TotalsPerApp()
+	fmt.Printf("\nper-app work: hpcapp %.1f TFLOP, analytics %.1f TFLOP\n",
+		totals["hpcapp"]/1000, totals["analytics"]/1000)
+	fmt.Printf("totals: %.1f TFLOP done, %.1f MJ, %d thermal events, %d cap demotions over %d epochs\n",
+		mgr.WorkGFlop/1000, mgr.EnergyJ/1e6, mgr.ThermalEvents, mgr.CapDemotions, kern.Epochs())
 }

@@ -1,9 +1,12 @@
-// Quickstart: the ANTAREX tool flow of Fig. 1 in ~80 lines.
+// Quickstart: the ANTAREX tool flow of Fig. 1, end to end.
 //
 // A miniC kernel plus three DSL aspects (the paper's Figs. 2-4) are
 // woven, split-compiled, and run: profiling instrumentation feeds the
 // runtime monitor, and dynamic weaving specializes the kernel for the
-// hot problem size observed at run time.
+// hot problem size observed at run time. Finally the application runs
+// under the concurrent adaptation kernel (internal/runtime), which
+// couples its monitored cycle costs to the cluster-level RTRM — both
+// Fig. 1 control loops in one flow.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,6 +18,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsl/interp"
 	"repro/internal/ir"
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/runtime"
+	"repro/internal/simhpc"
 )
 
 const cSource = `
@@ -124,6 +131,49 @@ func main() {
 	specializedCycles := tf.VM.Cycles - s0
 	fmt.Printf("steady state: generic %d cycles vs specialized %d cycles (%.2fx faster)\n",
 		genericCycles, specializedCycles, float64(genericCycles)/float64(specializedCycles))
+
+	// Run time, system side: the application attaches to the adaptation
+	// kernel, which schedules its cycle cost as cluster work each epoch
+	// — the RTRM control loop of Fig. 1 closing around the same app.
+	rng := simhpc.NewRNG(3)
+	cluster := simhpc.NewCluster(4, 22, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.1, rng)
+	})
+	kern := runtime.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9))
+	inbox := &runtime.Inbox{}
+	var lastCycles float64
+	ctl, err := kern.Attach(runtime.AppSpec{
+		Name:   "quickstart",
+		SLA:    monitor.SLA{}, // no goals: monitor-only
+		Sensor: inbox,
+		Workload: func() ([]*simhpc.Task, error) {
+			// Map the app's simulated cycles to roofline task traffic,
+			// split across the nodes (MS3 admission floors the task
+			// count, so a single task could be deferred forever).
+			tasks := make([]*simhpc.Task, 4)
+			for i := range tasks {
+				tasks[i] = &simhpc.Task{GFlop: lastCycles / 4e4, MemGB: lastCycles / 1.2e6}
+			}
+			return tasks, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for epoch := 0; epoch < 8; epoch++ {
+		before := tf.VM.Cycles
+		if _, err := tf.Invoke("run", ir.PtrValue(buf), ir.NumValue(32), ir.NumValue(8)); err != nil {
+			log.Fatal(err)
+		}
+		lastCycles = float64(tf.VM.Cycles - before)
+		inbox.Push("cycles", lastCycles)
+		if _, err := kern.RunEpoch(60); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("adaptation kernel: %d epochs, %.2f GFLOP offered, %.2f GFLOP done, %.2f J, mean cycles %.0f\n",
+		kern.Epochs(), kern.TotalsPerApp()["quickstart"], kern.Manager().WorkGFlop,
+		kern.Manager().EnergyJ, ctl.Metrics().Window("cycles").Mean())
 }
 
 func must(err error) {

@@ -4,15 +4,19 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/autotune"
 	"repro/internal/monitor"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
 
 // Server is the navigation back end: it serves route requests at a
 // configurable fidelity from a finite expansion budget per second, and —
-// in adaptive mode — moves the fidelity knob through an SLA-driven
-// monitor loop, trading route quality for latency exactly when the
-// request storm demands it.
+// in adaptive mode — moves the fidelity knob through the adaptation
+// kernel's control loop (internal/runtime), trading route quality for
+// latency exactly when the request storm demands it. The fidelity
+// levels form a runtime.LadderPolicy: each SLA violation steps one rung
+// down; sustained headroom raises back.
 type Server struct {
 	Router *Router
 	// Fid is the current fidelity knob setting.
@@ -25,8 +29,9 @@ type Server struct {
 	// Adaptive enables the monitor-driven fidelity controller.
 	Adaptive bool
 
-	loop *monitor.Loop
-	rng  *simhpc.RNG
+	ctl    *runtime.Controller
+	ladder *runtime.LadderPolicy
+	rng    *simhpc.RNG
 	// headroomRun counts consecutive epochs with large latency headroom
 	// (used to raise fidelity back).
 	headroomRun int
@@ -43,26 +48,43 @@ func NewServer(g *Graph, expansionRate, latencySLA float64, seed uint64) *Server
 		LatencySLA:        latencySLA,
 		rng:               simhpc.NewRNG(seed),
 	}
-	sla := monitor.SLA{Name: "nav", Goals: []monitor.Goal{
-		{Metric: monitor.MetricLatency, Stat: "p95", Relation: monitor.AtMost, Target: latencySLA},
-	}}
-	s.loop = monitor.NewLoop(sla, 64, 2, func(d monitor.Decision, _ map[string]monitor.Summary) {
-		s.lowerFidelity()
-	})
+	rungs := make([]float64, len(Fidelities()))
+	for i, f := range Fidelities() {
+		rungs[i] = float64(f)
+	}
+	s.ladder = &runtime.LadderPolicy{Knob: "fidelity", Rungs: rungs}
+	s.ctl = runtime.NewController(s.spec())
 	return s
 }
 
-func (s *Server) lowerFidelity() {
-	if int(s.Fid) < len(Fidelities())-1 {
-		s.Fid++
-		s.Adaptations++
+// spec declares the server's control loop: p95-latency SLA,
+// fidelity-ladder policy, fidelity knob. The server pushes its
+// per-request latencies straight into its own controller's windows
+// (no separate Sensor), so the spec is only valid for that internal
+// controller — it is not exported for Kernel.Attach, which would
+// build a second controller that never sees the latency stream.
+func (s *Server) spec() runtime.AppSpec {
+	return runtime.AppSpec{
+		Name: "nav",
+		SLA: monitor.SLA{Name: "nav", Goals: []monitor.Goal{
+			{Metric: monitor.MetricLatency, Stat: "p95", Relation: monitor.AtMost, Target: s.LatencySLA},
+		}},
+		Window:   64,
+		Debounce: 2,
+		Policy:   s.ladder,
+		Knob:     runtime.KnobFunc(s.applyFidelity),
 	}
 }
 
+// applyFidelity is the act stage: move the fidelity knob.
+func (s *Server) applyFidelity(cfg autotune.Config) {
+	s.Fid = Fidelity(int(cfg["fidelity"]))
+	s.Adaptations++
+}
+
 func (s *Server) raiseFidelity() {
-	if s.Fid > Exact {
-		s.Fid--
-		s.Adaptations++
+	if cfg, ok := s.ladder.Raise(); ok {
+		s.applyFidelity(cfg)
 	}
 }
 
@@ -129,7 +151,7 @@ func (s *Server) RunEpoch(t, lambda float64, nSample int) EpochStats {
 		jitter := s.rng.LogNormal(0, 0.35)
 		lat := meanLat * jitter
 		latencies = append(latencies, lat)
-		s.loop.Metrics.Push(monitor.MetricLatency, lat)
+		s.ctl.Push(monitor.MetricLatency, lat)
 	}
 	stats := EpochStats{
 		TimeS:       t,
@@ -147,7 +169,7 @@ func (s *Server) RunEpoch(t, lambda float64, nSample int) EpochStats {
 	stats.Violated = stats.P95Latency > s.LatencySLA
 
 	if s.Adaptive {
-		s.loop.Tick()
+		s.ctl.Tick()
 		// Raise fidelity back when sustained headroom appears.
 		if stats.P95Latency < s.LatencySLA/3 && rho < 0.4 {
 			s.headroomRun++

@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/monitor"
 )
@@ -15,17 +16,23 @@ type Objective func(Config) Measurement
 // Tuner drives a strategy against an objective and maintains the online
 // knowledge base of §IV: per-configuration EWMA cost estimates that
 // continuous learning keeps current as operating conditions drift.
+//
+// The knowledge base and applied-point state are safe for concurrent
+// use: serving goroutines Observe production costs while the adaptation
+// kernel's control loop calls Retune. Run itself is a design-time
+// operation and must not race with other Runs on the same Tuner.
 type Tuner struct {
 	Space    *Space
 	Strategy Strategy
 	Obj      Objective
 
-	History   *History
-	Knowledge map[string]*monitor.EWMA
+	History *History
 	// Alpha is the knowledge EWMA smoothing factor.
 	Alpha float64
 
-	applied Point
+	mu        sync.Mutex
+	knowledge map[string]*monitor.EWMA
+	applied   Point
 }
 
 // NewTuner assembles a tuner.
@@ -35,7 +42,7 @@ func NewTuner(space *Space, strat Strategy, obj Objective) *Tuner {
 		Strategy:  strat,
 		Obj:       obj,
 		History:   NewHistory(space),
-		Knowledge: make(map[string]*monitor.EWMA),
+		knowledge: make(map[string]*monitor.EWMA),
 		Alpha:     0.3,
 	}
 }
@@ -60,49 +67,83 @@ func (t *Tuner) Run(maxEvals int) (Point, Measurement, error) {
 	if !ok {
 		return nil, Measurement{}, fmt.Errorf("autotune: strategy %q proposed no points", t.Strategy.Name())
 	}
+	t.mu.Lock()
 	t.applied = best.Point
+	t.mu.Unlock()
 	return best.Point, best.M, nil
 }
 
 func (t *Tuner) record(p Point, m Measurement) {
 	t.History.Record(p, m)
-	key := p.Key()
-	e, ok := t.Knowledge[key]
+	t.estimator(p.Key()).Push(m.Cost)
+}
+
+// estimator returns (creating on demand) the knowledge EWMA for key.
+func (t *Tuner) estimator(key string) *monitor.EWMA {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.knowledge[key]
 	if !ok {
 		e = monitor.NewEWMA(t.Alpha)
-		t.Knowledge[key] = e
+		t.knowledge[key] = e
 	}
-	e.Push(m.Cost)
+	return e
 }
 
 // Applied returns the currently deployed configuration point (nil before
 // the first Run).
-func (t *Tuner) Applied() Point { return t.applied }
+func (t *Tuner) Applied() Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applied
+}
+
+// Knowledge returns the current EWMA estimate for point p (ok=false if
+// the knowledge base has never seen it).
+func (t *Tuner) Knowledge(p Point) (float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.knowledge[p.Key()]
+	if !ok || !e.Initialized() {
+		return 0, false
+	}
+	return e.Value(), true
+}
 
 // Observe feeds a production measurement of the applied configuration
 // into the knowledge base (continuous on-line learning): the autotuner
 // keeps learning after deployment, so Retune can react when the deployed
-// point's live cost drifts away from the best known alternative.
+// point's live cost drifts away from the best known alternative. Safe to
+// call from many serving goroutines.
 func (t *Tuner) Observe(cost float64) {
+	t.mu.Lock()
 	if t.applied == nil {
+		t.mu.Unlock()
 		return
 	}
 	key := t.applied.Key()
-	e, ok := t.Knowledge[key]
+	e, ok := t.knowledge[key]
 	if !ok {
 		e = monitor.NewEWMA(t.Alpha)
-		t.Knowledge[key] = e
+		t.knowledge[key] = e
 	}
+	t.mu.Unlock()
 	e.Push(cost)
 }
 
 // KnownBest returns the point with the lowest current knowledge-base
 // estimate (which, unlike History.Best, tracks drift via Observe).
 func (t *Tuner) KnownBest() (Point, float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.knownBest()
+}
+
+func (t *Tuner) knownBest() (Point, float64, bool) {
 	var bestKey string
 	best := 0.0
 	found := false
-	for key, e := range t.Knowledge {
+	for key, e := range t.knowledge {
 		if !e.Initialized() {
 			continue
 		}
@@ -139,14 +180,16 @@ func parseKey(key string) Point {
 
 // Retune switches to the knowledge-base best if it beats the applied
 // configuration by more than margin (fractional), returning whether a
-// switch happened. This is the "decide" step the monitor loop invokes on
-// SLA violations.
+// switch happened. This is the "decide" step the adaptation kernel
+// invokes on SLA violations.
 func (t *Tuner) Retune(margin float64) bool {
-	bestP, bestCost, ok := t.KnownBest()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bestP, bestCost, ok := t.knownBest()
 	if !ok || t.applied == nil {
 		return false
 	}
-	curE, ok := t.Knowledge[t.applied.Key()]
+	curE, ok := t.knowledge[t.applied.Key()]
 	if !ok || !curE.Initialized() {
 		return false
 	}

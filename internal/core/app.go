@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/autotune"
 	"repro/internal/monitor"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 	"repro/internal/srcmodel"
 )
@@ -15,16 +18,18 @@ func parseMiniC(file, src string) (*srcmodel.Program, error) {
 }
 
 // App is a managed adaptive application: a design space of software
-// knobs, an SLA, a monitor loop and an autotuner, plus a workload model
-// that turns the current configuration into simulator tasks for the
-// RTRM. It is the application-side endpoint of both Fig. 1 control
-// loops.
+// knobs, an SLA, an autotuner, plus a workload model that turns the
+// current configuration into simulator tasks for the RTRM. It is the
+// application-side endpoint of both Fig. 1 control loops, expressed as
+// an AppSpec for the concurrent adaptation kernel (internal/runtime):
+// its Sensor is a concurrent telemetry inbox, its Policy retunes from
+// the autotuner's knowledge base, its Knob swaps the applied
+// configuration. All methods are safe for concurrent use.
 type App struct {
 	Name  string
 	Space *autotune.Space
 	SLA   monitor.SLA
 	Tuner *autotune.Tuner
-	Loop  *monitor.Loop
 
 	// Workload converts the applied configuration into this epoch's
 	// tasks for the cluster.
@@ -32,22 +37,38 @@ type App struct {
 	// CostFn measures a configuration (used during tuning).
 	CostFn autotune.Objective
 
+	inbox   runtime.Inbox
+	mu      sync.Mutex
 	applied autotune.Config
-	// Retunes counts adaptation events.
-	Retunes int
+	retunes atomic.Int64
 }
 
 // NewApp assembles an adaptive application.
 func NewApp(name string, space *autotune.Space, sla monitor.SLA, strat autotune.Strategy, cost autotune.Objective) *App {
 	a := &App{Name: name, Space: space, SLA: sla, CostFn: cost}
 	a.Tuner = autotune.NewTuner(space, strat, cost)
-	a.Loop = monitor.NewLoop(sla, 32, 2, func(d monitor.Decision, _ map[string]monitor.Summary) {
-		if a.Tuner.Retune(0.05) {
-			a.Retunes++
-			a.applied = a.Space.At(a.Tuner.Applied())
-		}
-	})
 	return a
+}
+
+// Spec declares the app to the adaptation kernel: attach it with
+// Kernel.Attach(app.Spec()) or run it standalone under a
+// runtime.NewController(app.Spec()).
+func (a *App) Spec() runtime.AppSpec {
+	return runtime.AppSpec{
+		Name:     a.Name,
+		SLA:      a.SLA,
+		Window:   32,
+		Debounce: 2,
+		Sensor:   &a.inbox,
+		Policy:   &runtime.TunerPolicy{Tuner: a.Tuner, Margin: 0.05},
+		Knob: runtime.KnobFunc(func(cfg autotune.Config) {
+			a.mu.Lock()
+			a.applied = cfg
+			a.mu.Unlock()
+			a.retunes.Add(1)
+		}),
+		Workload: a.EpochTasks,
+	}
 }
 
 // TuneInitial runs the tuner's strategy to pick the deployment
@@ -57,29 +78,43 @@ func (a *App) TuneInitial(maxEvals int) error {
 	if err != nil {
 		return err
 	}
+	a.mu.Lock()
 	a.applied = a.Space.At(p)
+	a.mu.Unlock()
 	return nil
 }
 
 // Config returns the currently applied configuration.
-func (a *App) Config() autotune.Config { return a.applied }
+func (a *App) Config() autotune.Config {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
 
-// ObserveAndTick feeds a production cost sample into both the knowledge
-// base and the monitor loop, then runs one decide cycle.
-func (a *App) ObserveAndTick(metric string, value float64) {
+// Retunes counts adaptation events (kernel-applied configuration
+// switches).
+func (a *App) Retunes() int64 { return a.retunes.Load() }
+
+// Observe feeds a production cost sample into both the knowledge base
+// and the kernel-facing telemetry inbox. Safe from any serving
+// goroutine; the kernel's control loop collects and decides on its next
+// epoch.
+func (a *App) Observe(metric string, value float64) {
 	a.Tuner.Observe(value)
-	a.Loop.Metrics.Push(metric, value)
-	a.Loop.Tick()
+	a.inbox.Push(metric, value)
 }
 
 // EpochTasks materializes this epoch's workload under the applied
-// configuration.
+// configuration (the kernel's Workload stage).
 func (a *App) EpochTasks() ([]*simhpc.Task, error) {
-	if a.applied == nil {
+	a.mu.Lock()
+	cfg := a.applied
+	a.mu.Unlock()
+	if cfg == nil {
 		return nil, fmt.Errorf("core: app %q not tuned (call TuneInitial)", a.Name)
 	}
 	if a.Workload == nil {
 		return nil, nil
 	}
-	return a.Workload(a.applied), nil
+	return a.Workload(cfg), nil
 }

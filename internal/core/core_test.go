@@ -8,6 +8,8 @@ import (
 	"repro/internal/dsl/interp"
 	"repro/internal/ir"
 	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
 
@@ -169,15 +171,18 @@ func TestAppTuneAndDriftRetune(t *testing.T) {
 	if app.Config()["variant"] != 0 {
 		t.Fatalf("initial config: %v", app.Config())
 	}
-	// Drift: variant A degrades past B's known cost (3 > 3-estimate of
-	// B... B was measured at 3 during phase 0, A now costs 3 while B
-	// would cost 1; the knowledge base only sees A's live samples, so
-	// feed it A's degraded cost until B's stale estimate wins).
+	// Drift: variant A degrades past B's known cost (B was measured at 3
+	// during phase 0, A now costs 4; the knowledge base only sees A's
+	// live samples, so feed it A's degraded cost until B's stale estimate
+	// wins). The app runs under its kernel controller: Observe feeds the
+	// inbox, Tick runs collect-analyse-decide-act.
+	ctl := runtime.NewController(app.Spec())
 	phase = 1
 	for i := 0; i < 40; i++ {
-		app.ObserveAndTick(monitor.MetricLatency, 4.0)
+		app.Observe(monitor.MetricLatency, 4.0)
+		ctl.Tick()
 	}
-	if app.Retunes == 0 {
+	if app.Retunes() == 0 {
 		t.Fatal("app never retuned under drift")
 	}
 	if app.Config()["variant"] != 1 {
@@ -185,12 +190,15 @@ func TestAppTuneAndDriftRetune(t *testing.T) {
 	}
 }
 
-func TestSystemEpochs(t *testing.T) {
+// TestKernelEpochs is the old System test, restated over the adaptation
+// kernel: apps attach their specs, the kernel multiplexes their epoch
+// workloads into the shared manager.
+func TestKernelEpochs(t *testing.T) {
 	rng := simhpc.NewRNG(31)
 	cluster := simhpc.NewCluster(4, 25, func(i int) *simhpc.Node {
 		return simhpc.HomogeneousNode("n", 0.15, rng)
 	})
-	sys := NewSystem(cluster, cluster.FacilityPowerW(1)*0.9)
+	kern := runtime.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9))
 
 	space := autotune.NewSpace(autotune.IntKnob("batch", 1, 4, 1))
 	cost := func(cfg autotune.Config) autotune.Measurement {
@@ -208,9 +216,11 @@ func TestSystemEpochs(t *testing.T) {
 	if app.Config()["batch"] != 4 {
 		t.Errorf("tuned batch: %v", app.Config())
 	}
-	sys.AddApp(app)
+	if _, err := kern.Attach(app.Spec()); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
-		res, err := sys.RunEpoch(60)
+		res, err := kern.RunEpoch(60)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +228,7 @@ func TestSystemEpochs(t *testing.T) {
 			t.Error("no per-app work recorded")
 		}
 	}
-	if sys.Epochs != 5 || sys.Manager.WorkGFlop <= 0 {
-		t.Errorf("system counters: epochs=%d work=%v", sys.Epochs, sys.Manager.WorkGFlop)
+	if kern.Epochs() != 5 || kern.Manager().WorkGFlop <= 0 {
+		t.Errorf("kernel counters: epochs=%d work=%v", kern.Epochs(), kern.Manager().WorkGFlop)
 	}
 }

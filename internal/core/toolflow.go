@@ -10,8 +10,10 @@
 //
 //   - ToolFlow: design-time pipeline — weave aspects, compile, bind
 //     runtime hooks, expose monitored execution;
-//   - System: run-time coupling of adaptive applications to the RTRM
-//     over the simulated cluster.
+//   - App: the application-side endpoint of the run-time coupling — an
+//     AppSpec for the concurrent adaptation kernel (internal/runtime),
+//     which multiplexes many apps' epoch workloads into the shared
+//     rtrm.Manager.
 package core
 
 import (

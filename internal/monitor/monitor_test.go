@@ -188,40 +188,6 @@ func TestTriggerDebounce(t *testing.T) {
 	}
 }
 
-func TestLoopAdaptsOnSustainedViolation(t *testing.T) {
-	sla := SLA{Goals: []Goal{{Metric: MetricLatency, Relation: AtMost, Target: 1.0}}}
-	var acted []Decision
-	loop := NewLoop(sla, 4, 2, func(d Decision, _ map[string]Summary) {
-		acted = append(acted, d)
-	})
-	// Healthy phase: no adaptations.
-	for i := 0; i < 5; i++ {
-		loop.Metrics.Push(MetricLatency, 0.5)
-		loop.Tick()
-	}
-	if len(acted) != 0 {
-		t.Fatalf("healthy phase adapted: %v", acted)
-	}
-	// Degraded phase: fires after debounce.
-	for i := 0; i < 3; i++ {
-		loop.Metrics.Push(MetricLatency, 2.0)
-		loop.Tick()
-	}
-	if len(acted) != 1 {
-		t.Fatalf("adaptations: %d, want 1", len(acted))
-	}
-	if !acted[0].Adapt || acted[0].Violation <= 0 || acted[0].Reason == "" {
-		t.Errorf("decision: %+v", acted[0])
-	}
-	// Windows were reset after adapting.
-	if loop.Metrics.Window(MetricLatency).Len() != 0 {
-		t.Error("windows should reset after adaptation")
-	}
-	if loop.Adaptations() != 1 || loop.Ticks() != 8 {
-		t.Errorf("counters: adapt=%d ticks=%d", loop.Adaptations(), loop.Ticks())
-	}
-}
-
 func TestSetSummaries(t *testing.T) {
 	s := NewSet(8)
 	s.Push("a", 1)

@@ -1,0 +1,78 @@
+package monitor
+
+import "sync"
+
+// Set is a collection of named metric windows — the "collect" stage.
+// It is safe for concurrent use: serving goroutines Push while the
+// adaptation kernel snapshots and resets. The window map is guarded by
+// an RWMutex; per-sample mutual exclusion lives inside Window, so
+// steady-state pushes to existing metrics only take the read lock here.
+type Set struct {
+	mu      sync.RWMutex
+	windows map[string]*Window
+	size    int
+}
+
+// NewSet returns a monitor set whose windows hold size samples each.
+func NewSet(size int) *Set {
+	return &Set{windows: make(map[string]*Window), size: size}
+}
+
+// Push records a sample for metric.
+func (s *Set) Push(metric string, v float64) {
+	s.mu.RLock()
+	w, ok := s.windows[metric]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		w, ok = s.windows[metric]
+		if !ok {
+			w = NewWindow(s.size)
+			s.windows[metric] = w
+		}
+		s.mu.Unlock()
+	}
+	w.Push(v)
+}
+
+// Window returns the window for metric (nil if never pushed).
+func (s *Set) Window(metric string) *Window {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.windows[metric]
+}
+
+// Summaries snapshots every metric — the "analyse" stage.
+func (s *Set) Summaries() map[string]Summary {
+	s.mu.RLock()
+	ws := make(map[string]*Window, len(s.windows))
+	for name, w := range s.windows {
+		ws[name] = w
+	}
+	s.mu.RUnlock()
+	out := make(map[string]Summary, len(ws))
+	for name, w := range ws {
+		out[name] = w.Snapshot()
+	}
+	return out
+}
+
+// Reset clears all windows (used after an adaptation so stale samples
+// from the previous configuration do not pollute the next decision).
+func (s *Set) Reset() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, w := range s.windows {
+		w.Reset()
+	}
+}
+
+// Decision is what the decide stage tells the act stage.
+type Decision struct {
+	// Adapt requests a configuration change.
+	Adapt bool
+	// Reason is the violated goal (or "" for proactive adaptations).
+	Reason string
+	// Violation is the normalized magnitude.
+	Violation float64
+}

@@ -1,22 +1,29 @@
 // Package monitor implements the application-level runtime monitoring
 // layer of the ANTAREX flow (paper §II and §IV): windowed statistics over
 // metric streams, Service-Level-Agreement goals, debounced violation
-// triggers, and the collect–analyse–decide–act loop that connects
-// monitors to the autotuner. "The monitoring, together with application
+// triggers, and the concurrent metric sets that feed the adaptation
+// kernel in internal/runtime. "The monitoring, together with application
 // properties/features, represents the main support to the
 // decision-making during the application autotuning phase."
+//
+// All exported types in this package are safe for concurrent use: the
+// kernel runs one control loop per application while serving goroutines
+// push production samples into the same windows.
 package monitor
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Window is a fixed-capacity sliding window of float64 samples with O(1)
 // push and O(1) mean/variance queries (incremental sums) plus
-// percentile queries on demand.
+// percentile queries on demand. It is safe for concurrent use: many
+// producer goroutines may Push while the control loop snapshots.
 type Window struct {
+	mu    sync.Mutex
 	buf   []float64
 	size  int
 	head  int
@@ -36,6 +43,8 @@ func NewWindow(size int) *Window {
 
 // Push adds a sample, evicting the oldest when full.
 func (w *Window) Push(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.count == w.size {
 		old := w.buf[w.head]
 		w.sum -= old
@@ -51,13 +60,27 @@ func (w *Window) Push(v float64) {
 }
 
 // Len returns the number of live samples.
-func (w *Window) Len() int { return w.count }
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
 
 // Total returns the lifetime sample count.
-func (w *Window) Total() int64 { return w.total }
+func (w *Window) Total() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
 
 // Mean returns the window mean (0 when empty).
 func (w *Window) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.mean()
+}
+
+func (w *Window) mean() float64 {
 	if w.count == 0 {
 		return 0
 	}
@@ -66,10 +89,16 @@ func (w *Window) Mean() float64 {
 
 // Variance returns the (population) variance over the window.
 func (w *Window) Variance() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.variance()
+}
+
+func (w *Window) variance() float64 {
 	if w.count == 0 {
 		return 0
 	}
-	m := w.Mean()
+	m := w.mean()
 	v := w.sumSq/float64(w.count) - m*m
 	if v < 0 {
 		return 0 // numerical floor
@@ -78,10 +107,20 @@ func (w *Window) Variance() float64 {
 }
 
 // StdDev returns the standard deviation over the window.
-func (w *Window) StdDev() float64 { return math.Sqrt(w.Variance()) }
+func (w *Window) StdDev() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return math.Sqrt(w.variance())
+}
 
 // Min returns the window minimum (0 when empty).
 func (w *Window) Min() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.min()
+}
+
+func (w *Window) min() float64 {
 	if w.count == 0 {
 		return 0
 	}
@@ -96,6 +135,12 @@ func (w *Window) Min() float64 {
 
 // Max returns the window maximum (0 when empty).
 func (w *Window) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max()
+}
+
+func (w *Window) max() float64 {
 	if w.count == 0 {
 		return 0
 	}
@@ -110,6 +155,12 @@ func (w *Window) Max() float64 {
 
 // Percentile returns the p-th percentile (p in [0,100]) of the window.
 func (w *Window) Percentile(p float64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.percentile(p)
+}
+
+func (w *Window) percentile(p float64) float64 {
 	if w.count == 0 {
 		return 0
 	}
@@ -139,6 +190,8 @@ func (w *Window) live() []float64 {
 
 // Reset clears all samples but keeps the lifetime count.
 func (w *Window) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.head, w.count, w.sum, w.sumSq = 0, 0, 0, 0
 }
 
@@ -152,15 +205,18 @@ type Summary struct {
 	P95    float64
 }
 
-// Snapshot computes a Summary of the window.
+// Snapshot computes a Summary of the window under one lock acquisition,
+// so the statistics are mutually consistent even under concurrent Push.
 func (w *Window) Snapshot() Summary {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return Summary{
 		Count:  w.count,
-		Mean:   w.Mean(),
-		StdDev: w.StdDev(),
-		Min:    w.Min(),
-		Max:    w.Max(),
-		P95:    w.Percentile(95),
+		Mean:   w.mean(),
+		StdDev: math.Sqrt(w.variance()),
+		Min:    w.min(),
+		Max:    w.max(),
+		P95:    w.percentile(95),
 	}
 }
 
@@ -172,8 +228,11 @@ func (s Summary) String() string {
 
 // EWMA is an exponentially weighted moving average, the continuous
 // online-learning primitive used to track drifting operating conditions.
+// Safe for concurrent use.
 type EWMA struct {
 	Alpha float64
+
+	mu    sync.Mutex
 	value float64
 	init  bool
 }
@@ -183,6 +242,8 @@ func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
 
 // Push folds in a sample.
 func (e *EWMA) Push(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.init {
 		e.value, e.init = v, true
 		return
@@ -191,7 +252,15 @@ func (e *EWMA) Push(v float64) {
 }
 
 // Value returns the current average.
-func (e *EWMA) Value() float64 { return e.value }
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
 
 // Initialized reports whether any sample has been pushed.
-func (e *EWMA) Initialized() bool { return e.init }
+func (e *EWMA) Initialized() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.init
+}

@@ -1,0 +1,105 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/monitor"
+)
+
+// Controller is one application's collect–analyse–decide–act loop: the
+// successor of the old monitor.Loop, with the decide and act stages
+// factored out behind Policy and Knob. It is safe for concurrent use:
+// producers Push (or feed the Sensor) from serving goroutines while
+// Tick runs on the control-loop goroutine; Ticks themselves serialize.
+type Controller struct {
+	spec    AppSpec
+	metrics *monitor.Set
+	trigger *monitor.Trigger
+
+	tickMu      sync.Mutex
+	ticks       atomic.Int64
+	fires       atomic.Int64
+	adaptations atomic.Int64
+}
+
+// NewController assembles a controller from an AppSpec, applying the
+// window/debounce defaults.
+func NewController(spec AppSpec) *Controller {
+	if spec.Window <= 0 {
+		spec.Window = 32
+	}
+	if spec.Debounce <= 0 {
+		spec.Debounce = 2
+	}
+	return &Controller{
+		spec:    spec,
+		metrics: monitor.NewSet(spec.Window),
+		trigger: monitor.NewTrigger(spec.Debounce),
+	}
+}
+
+// Name returns the application name.
+func (c *Controller) Name() string { return c.spec.Name }
+
+// Metrics exposes the controller's metric windows for direct pushes —
+// the collect path for applications without a dedicated Sensor.
+func (c *Controller) Metrics() *monitor.Set { return c.metrics }
+
+// Push records a sample directly into the metric windows. Safe from any
+// goroutine.
+func (c *Controller) Push(metric string, v float64) { c.metrics.Push(metric, v) }
+
+// Tick runs one collect-analyse-decide-act cycle and returns the
+// decision. Concurrent Ticks serialize; producers may keep pushing.
+func (c *Controller) Tick() monitor.Decision {
+	c.tickMu.Lock()
+	defer c.tickMu.Unlock()
+	c.ticks.Add(1)
+
+	// Collect: drain the sensor into the windows.
+	if c.spec.Sensor != nil {
+		for _, s := range c.spec.Sensor.Collect() {
+			c.metrics.Push(s.Metric, s.Value)
+		}
+	}
+
+	// Analyse: snapshot and check the SLA.
+	sums := c.metrics.Summaries()
+	ok, goalIdx, violation := c.spec.SLA.Check(sums)
+	fire := c.trigger.Observe(!ok)
+	d := monitor.Decision{}
+	if !fire {
+		return d
+	}
+	d.Adapt = true
+	d.Violation = violation
+	if goalIdx >= 0 {
+		d.Reason = c.spec.SLA.Goals[goalIdx].String()
+	}
+	c.fires.Add(1)
+
+	// Decide and act.
+	if c.spec.Policy != nil {
+		if cfg, changed := c.spec.Policy.Decide(d, sums); changed {
+			if c.spec.Knob != nil {
+				c.spec.Knob.Apply(cfg)
+			}
+			c.adaptations.Add(1)
+		}
+	}
+	// Fresh windows after a firing decision, so stale samples from the
+	// previous operating point do not pollute the next one.
+	c.metrics.Reset()
+	return d
+}
+
+// Ticks returns the number of cycles run.
+func (c *Controller) Ticks() int64 { return c.ticks.Load() }
+
+// Fires returns how many ticks produced a firing (Adapt) decision.
+func (c *Controller) Fires() int64 { return c.fires.Load() }
+
+// Adaptations returns how many times the policy actually changed the
+// configuration (a fire whose Decide returned ok).
+func (c *Controller) Adaptations() int64 { return c.adaptations.Load() }

@@ -1,0 +1,383 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// Kernel drives the adaptation loops of many applications over one
+// shared rtrm.Manager. Applications Attach an AppSpec; each epoch the
+// kernel ticks every application's Controller (collect-analyse-decide-
+// act), materializes the epoch workloads under the freshly decided
+// configurations, merges them, and hands the batch to the manager — the
+// system-wide coupling of the paper's two control loops, for N apps.
+//
+// Two driving modes share the same epoch engine:
+//
+//   - RunEpoch: synchronous, one epoch per call. Goroutine-safe; used by
+//     deterministic simulation drivers and tests.
+//   - Start/Stop: one control-loop goroutine per application feeding a
+//     batched epoch scheduler. The scheduler runs a manager epoch when
+//     every app has contributed its batch (or after Flush expires, so a
+//     stalled app cannot wedge the cluster).
+type Kernel struct {
+	mgr *rtrm.Manager
+
+	mu      sync.Mutex // guards apps, running, cancel
+	apps    []*Controller
+	byName  map[string]bool
+	running bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	submit  chan batch
+
+	syncMu  sync.Mutex // serializes whole synchronous RunEpoch calls
+	epochMu sync.Mutex // serializes manager epochs and totals
+	totals  map[string]float64
+	epochs  atomic.Int64
+
+	errMu sync.Mutex
+	err   error // first workload error observed by concurrent loops
+}
+
+// NewKernel builds a kernel over a manager.
+func NewKernel(mgr *rtrm.Manager) *Kernel {
+	return &Kernel{
+		mgr:    mgr,
+		byName: make(map[string]bool),
+		totals: make(map[string]float64),
+	}
+}
+
+// Manager exposes the shared resource manager (telemetry, cluster).
+func (k *Kernel) Manager() *rtrm.Manager { return k.mgr }
+
+// Attach registers an application and returns its Controller (for
+// direct metric pushes and adaptation counters). Attaching while the
+// kernel is running is an error.
+func (k *Kernel) Attach(spec AppSpec) (*Controller, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.running {
+		return nil, fmt.Errorf("runtime: attach %q: kernel is running", spec.Name)
+	}
+	if spec.Name == "" {
+		return nil, fmt.Errorf("runtime: attach: empty app name")
+	}
+	if k.byName[spec.Name] {
+		return nil, fmt.Errorf("runtime: attach %q: duplicate app name", spec.Name)
+	}
+	ctl := NewController(spec)
+	k.apps = append(k.apps, ctl)
+	k.byName[spec.Name] = true
+	return ctl, nil
+}
+
+// Apps returns the attached controllers in attach order.
+func (k *Kernel) Apps() []*Controller {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]*Controller(nil), k.apps...)
+}
+
+// Epochs returns the number of manager epochs run so far.
+func (k *Kernel) Epochs() int64 { return k.epochs.Load() }
+
+// TotalsPerApp returns the cumulative GFlop each application has
+// offered to the manager (the manager's own telemetry tracks how much
+// was executed vs deferred).
+func (k *Kernel) TotalsPerApp() map[string]float64 {
+	k.epochMu.Lock()
+	defer k.epochMu.Unlock()
+	out := make(map[string]float64, len(k.totals))
+	for n, g := range k.totals {
+		out[n] = g
+	}
+	return out
+}
+
+// Err returns the first workload error observed by the concurrent
+// loops since the last Start (nil if none). Synchronous RunEpoch
+// returns errors directly instead.
+func (k *Kernel) Err() error {
+	k.errMu.Lock()
+	defer k.errMu.Unlock()
+	return k.err
+}
+
+func (k *Kernel) noteErr(err error) {
+	k.errMu.Lock()
+	if k.err == nil {
+		k.err = err
+	}
+	k.errMu.Unlock()
+}
+
+// EpochResult summarizes one kernel epoch.
+type EpochResult struct {
+	// Epoch is the 1-based epoch sequence number.
+	Epoch int64
+	// Report is the manager's account of the epoch.
+	Report rtrm.EpochReport
+	// PerApp is the GFlop each contributing app offered this epoch.
+	PerApp map[string]float64
+}
+
+// contribution is one app's share of an epoch.
+type contribution struct {
+	ctl   *Controller
+	tasks []*simhpc.Task
+}
+
+// execute runs one manager epoch over the merged contributions. It is
+// the single funnel both driving modes go through, so epochs serialize
+// on epochMu no matter who calls.
+func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
+	k.epochMu.Lock()
+	var all []*simhpc.Task
+	perApp := make(map[string]float64, len(contribs))
+	for _, c := range contribs {
+		name := c.ctl.Name()
+		if _, ok := perApp[name]; !ok {
+			perApp[name] = 0 // every contributor appears, even with zero work
+		}
+		for _, t := range c.tasks {
+			perApp[name] += t.GFlop
+		}
+		all = append(all, c.tasks...)
+	}
+	rep := k.mgr.RunEpoch(dt, all)
+	for name, g := range perApp {
+		k.totals[name] += g
+	}
+	res := EpochResult{Epoch: k.epochs.Add(1), Report: rep, PerApp: perApp}
+	k.epochMu.Unlock()
+
+	for _, c := range contribs {
+		if c.ctl.spec.OnEpoch != nil {
+			c.ctl.spec.OnEpoch(res)
+		}
+	}
+	return res
+}
+
+// RunEpoch synchronously runs one adaptation epoch across every
+// attached application: tick each controller, materialize workloads,
+// run the manager over the merged task list. Safe for concurrent use
+// (calls serialize fully, so no app's Workload ever runs twice at
+// once), but mutually exclusive with the concurrent mode: it errors
+// while Start's loops are running.
+func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
+	k.syncMu.Lock()
+	defer k.syncMu.Unlock()
+	k.mu.Lock()
+	if k.running {
+		k.mu.Unlock()
+		return EpochResult{}, fmt.Errorf("runtime: RunEpoch while the concurrent kernel is running")
+	}
+	apps := append([]*Controller(nil), k.apps...)
+	k.mu.Unlock()
+
+	contribs := make([]contribution, 0, len(apps))
+	for _, ctl := range apps {
+		ctl.Tick()
+		tasks, err := ctl.workload()
+		if err != nil {
+			return EpochResult{}, fmt.Errorf("runtime: %s: %w", ctl.Name(), err)
+		}
+		contribs = append(contribs, contribution{ctl: ctl, tasks: tasks})
+	}
+	return k.execute(dt, contribs), nil
+}
+
+// workload materializes the controller's epoch tasks (nil Workload → no
+// tasks).
+func (c *Controller) workload() ([]*simhpc.Task, error) {
+	if c.spec.Workload == nil {
+		return nil, nil
+	}
+	return c.spec.Workload()
+}
+
+// Options configures the concurrent driving mode.
+type Options struct {
+	// EpochDt is the simulated seconds each manager epoch covers
+	// (default 60).
+	EpochDt float64
+	// Interval paces each application loop between epochs (default 0:
+	// back-to-back, throttled only by the epoch barrier).
+	Interval time.Duration
+	// Flush bounds how long the scheduler waits for straggler apps
+	// before running an epoch with the batches at hand (default 100ms).
+	Flush time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.EpochDt <= 0 {
+		o.EpochDt = 60
+	}
+	if o.Flush <= 0 {
+		o.Flush = 100 * time.Millisecond
+	}
+	return o
+}
+
+// batch is one app loop's submission to the epoch scheduler.
+type batch struct {
+	ctl   *Controller
+	tasks []*simhpc.Task
+	done  chan EpochResult // buffered(1); receives the epoch this batch joined
+}
+
+// Start launches the concurrent kernel: one control-loop goroutine per
+// attached application plus the batched epoch scheduler. It returns
+// immediately; the loops run until ctx is cancelled or Stop is called.
+// Call Stop even after an external ctx cancellation — it reaps the
+// goroutines and returns the kernel to the attachable/restartable
+// state (until then Attach, Start and RunEpoch keep erroring).
+func (k *Kernel) Start(ctx context.Context, opts Options) error {
+	opts = opts.withDefaults()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.running {
+		return fmt.Errorf("runtime: kernel already running")
+	}
+	if len(k.apps) == 0 {
+		return fmt.Errorf("runtime: no applications attached")
+	}
+	k.errMu.Lock()
+	k.err = nil // previous runs' workload errors do not outlive a restart
+	k.errMu.Unlock()
+	ctx, cancel := context.WithCancel(ctx)
+	k.cancel = cancel
+	k.running = true
+	k.submit = make(chan batch, len(k.apps))
+
+	k.wg.Add(1)
+	go k.scheduler(ctx, opts, len(k.apps))
+	for _, ctl := range k.apps {
+		k.wg.Add(1)
+		go k.appLoop(ctx, ctl, opts)
+	}
+	return nil
+}
+
+// Stop cancels the concurrent loops and waits for them to exit. The
+// kernel can be restarted (or driven synchronously) afterwards.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	cancel := k.cancel
+	k.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	k.wg.Wait()
+	k.mu.Lock()
+	k.cancel = nil
+	k.running = false
+	k.mu.Unlock()
+}
+
+// appLoop is one application's control loop: tick, materialize the
+// epoch workload, submit it to the scheduler, wait for the epoch to
+// land, repeat.
+func (k *Kernel) appLoop(ctx context.Context, ctl *Controller, opts Options) {
+	defer k.wg.Done()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		ctl.Tick()
+		tasks, err := ctl.workload()
+		if err != nil {
+			k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
+			tasks = nil
+		}
+		b := batch{ctl: ctl, tasks: tasks, done: make(chan EpochResult, 1)}
+		select {
+		case k.submit <- b:
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case <-b.done:
+		case <-ctx.Done():
+			return
+		}
+		if opts.Interval > 0 {
+			t := time.NewTimer(opts.Interval)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		}
+	}
+}
+
+// scheduler batches app submissions into manager epochs: it runs an
+// epoch as soon as every live app has contributed, or when Flush
+// expires with a partial batch (stragglers then catch the next epoch).
+func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
+	defer k.wg.Done()
+	// An epoch can never contain two batches from one app: each app loop
+	// waits for its batch's done signal — delivered only at flush —
+	// before submitting again.
+	pending := make([]batch, 0, nApps)
+	timer := time.NewTimer(opts.Flush)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	armed := false
+
+	disarm := func() {
+		if armed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		armed = false
+	}
+	flush := func() {
+		contribs := make([]contribution, len(pending))
+		for i, b := range pending {
+			contribs[i] = contribution{ctl: b.ctl, tasks: b.tasks}
+		}
+		res := k.execute(opts.EpochDt, contribs)
+		for _, b := range pending {
+			b.done <- res
+		}
+		pending = pending[:0]
+		disarm()
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case b := <-k.submit:
+			pending = append(pending, b)
+			if len(pending) >= nApps {
+				flush()
+			} else if !armed {
+				timer.Reset(opts.Flush)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			if len(pending) > 0 {
+				flush()
+			}
+		}
+	}
+}

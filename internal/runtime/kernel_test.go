@@ -1,0 +1,395 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+func testManager(nodes int) *rtrm.Manager {
+	rng := simhpc.NewRNG(101)
+	cluster := simhpc.NewCluster(nodes, 22, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	return rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9)
+}
+
+// simpleSpec is an app that offers a fixed workload each epoch.
+func simpleSpec(name string, gen *simhpc.WorkloadGen, tasks int) AppSpec {
+	return AppSpec{
+		Name: name,
+		Workload: func() ([]*simhpc.Task, error) {
+			return gen.Mix(tasks, 1, 1, 1, 8), nil
+		},
+	}
+}
+
+func TestKernelAttachValidation(t *testing.T) {
+	k := NewKernel(testManager(2))
+	if _, err := k.Attach(AppSpec{}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := k.Attach(AppSpec{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Attach(AppSpec{Name: "a"}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if err := k.Start(context.Background(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	if _, err := k.Attach(AppSpec{Name: "b"}); err == nil {
+		t.Error("attach while running should fail")
+	}
+	if err := k.Start(context.Background(), Options{}); err == nil {
+		t.Error("double start should fail")
+	}
+	if _, err := k.RunEpoch(60); err == nil {
+		t.Error("synchronous RunEpoch while running should fail")
+	}
+}
+
+// TestKernelErrClearedOnRestart: a previous run's workload error must
+// not outlive a Stop/Start restart.
+func TestKernelErrClearedOnRestart(t *testing.T) {
+	k := NewKernel(testManager(2))
+	var failing atomic.Bool
+	failing.Store(true)
+	if _, err := k.Attach(AppSpec{
+		Name: "flaky",
+		Workload: func() ([]*simhpc.Task, error) {
+			if failing.Load() {
+				return nil, fmt.Errorf("transient")
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for k.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	k.Stop()
+	if k.Err() == nil {
+		t.Fatal("workload error was not recorded")
+	}
+	failing.Store(false)
+	if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	want := k.Epochs() + 2
+	deadline = time.Now().Add(5 * time.Second)
+	for k.Epochs() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	k.Stop()
+	if err := k.Err(); err != nil {
+		t.Errorf("stale error after healthy restart: %v", err)
+	}
+}
+
+func TestKernelStartWithoutAppsFails(t *testing.T) {
+	k := NewKernel(testManager(2))
+	if err := k.Start(context.Background(), Options{}); err == nil {
+		t.Fatal("start with no apps should fail")
+	}
+}
+
+// TestKernelSynchronousEpochs covers the deterministic driving mode:
+// the old core.System behaviour, now multiplexing several apps.
+func TestKernelSynchronousEpochs(t *testing.T) {
+	k := NewKernel(testManager(4))
+	gen := simhpc.NewWorkloadGen(5)
+	for i := 0; i < 3; i++ {
+		if _, err := k.Attach(simpleSpec(fmt.Sprintf("app%d", i), gen, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 5; e++ {
+		res, err := k.RunEpoch(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerApp) != 3 {
+			t.Fatalf("epoch %d contributors: %v", e, res.PerApp)
+		}
+		for name, g := range res.PerApp {
+			if g <= 0 {
+				t.Errorf("epoch %d: app %s offered no work", e, name)
+			}
+		}
+	}
+	if k.Epochs() != 5 || k.Manager().EpochCount != 5 {
+		t.Errorf("epochs: kernel=%d manager=%d", k.Epochs(), k.Manager().EpochCount)
+	}
+	if k.Manager().WorkGFlop <= 0 {
+		t.Error("no work recorded")
+	}
+}
+
+// TestKernelWorkloadError verifies error propagation in sync mode.
+func TestKernelWorkloadError(t *testing.T) {
+	k := NewKernel(testManager(2))
+	boom := fmt.Errorf("not tuned")
+	if _, err := k.Attach(AppSpec{
+		Name:     "bad",
+		Workload: func() ([]*simhpc.Task, error) { return nil, boom },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunEpoch(60); err == nil {
+		t.Fatal("workload error should propagate")
+	}
+}
+
+// TestKernelAdaptationLoop runs a full collect-analyse-decide-act cycle
+// through the kernel: a sensor reports SLA-violating latency, the policy
+// picks a cheaper configuration, the knob applies it, and the workload
+// shrinks accordingly.
+func TestKernelAdaptationLoop(t *testing.T) {
+	k := NewKernel(testManager(2))
+	gen := simhpc.NewWorkloadGen(9)
+	inbox := &Inbox{}
+	var mu sync.Mutex
+	level := 4.0 // work level; policy halves it under violation
+
+	ctl, err := k.Attach(AppSpec{
+		Name: "adaptive",
+		SLA: monitor.SLA{Goals: []monitor.Goal{
+			{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+		}},
+		Window:   8,
+		Debounce: 2,
+		Sensor:   inbox,
+		Policy: PolicyFunc(func(d monitor.Decision, _ map[string]monitor.Summary) (autotune.Config, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if level <= 1 {
+				return nil, false
+			}
+			return autotune.Config{"level": level / 2}, true
+		}),
+		Knob: KnobFunc(func(cfg autotune.Config) {
+			mu.Lock()
+			level = cfg["level"]
+			mu.Unlock()
+		}),
+		Workload: func() ([]*simhpc.Task, error) {
+			mu.Lock()
+			n := int(level)
+			mu.Unlock()
+			return gen.Mix(n, 1, 1, 1, 5), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy epochs: no adaptation.
+	inbox.Push(monitor.MetricLatency, 0.5)
+	if _, err := k.RunEpoch(60); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Adaptations() != 0 {
+		t.Fatal("adapted while healthy")
+	}
+	// Sustained violation: adapts after the debounce.
+	for e := 0; e < 3; e++ {
+		inbox.Push(monitor.MetricLatency, 3.0)
+		if _, err := k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctl.Adaptations() != 1 {
+		t.Fatalf("adaptations: %d, want 1", ctl.Adaptations())
+	}
+	mu.Lock()
+	got := level
+	mu.Unlock()
+	if got != 2 {
+		t.Errorf("level after adaptation: %v, want 2", got)
+	}
+	// The firing decision reset the windows; only the sample collected
+	// after the adaptation remains.
+	if n := ctl.Metrics().Window(monitor.MetricLatency).Len(); n != 1 {
+		t.Errorf("window has %d samples after reset+1 push, want 1", n)
+	}
+}
+
+// TestKernelConcurrentApps is the acceptance-criterion test: the kernel
+// drives many apps at once through one shared manager, with producer
+// goroutines pushing telemetry the whole time. Run under -race in CI.
+func TestKernelConcurrentApps(t *testing.T) {
+	const nApps = 8
+	k := NewKernel(testManager(8))
+	gen := simhpc.NewWorkloadGen(13)
+	var genMu sync.Mutex
+	inboxes := make([]*Inbox, nApps)
+	ctls := make([]*Controller, nApps)
+	for i := 0; i < nApps; i++ {
+		inbox := &Inbox{}
+		inboxes[i] = inbox
+		ctl, err := k.Attach(AppSpec{
+			Name: fmt.Sprintf("app%d", i),
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Window:   16,
+			Debounce: 2,
+			Sensor:   inbox,
+			Policy: PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				return autotune.Config{"x": 1}, true
+			}),
+			Knob: KnobFunc(func(autotune.Config) {}),
+			Workload: func() ([]*simhpc.Task, error) {
+				genMu.Lock()
+				defer genMu.Unlock()
+				return gen.Mix(2, 1, 1, 1, 4), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctls[i] = ctl
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Telemetry producers run concurrently with the kernel loops; half
+	// the apps see violating latency and must adapt.
+	var prodWG sync.WaitGroup
+	for i := 0; i < nApps; i++ {
+		prodWG.Add(1)
+		go func(i int) {
+			defer prodWG.Done()
+			lat := 0.2
+			if i%2 == 0 {
+				lat = 5.0
+			}
+			for ctx.Err() == nil {
+				inboxes[i].Push(monitor.MetricLatency, lat)
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	if err := k.Start(ctx, Options{EpochDt: 60, Flush: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for k.Epochs() < 20 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	k.Stop()
+	cancel()
+	prodWG.Wait()
+
+	if k.Epochs() < 20 {
+		t.Fatalf("only %d epochs ran", k.Epochs())
+	}
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	totals := k.TotalsPerApp()
+	for i := 0; i < nApps; i++ {
+		name := fmt.Sprintf("app%d", i)
+		if totals[name] <= 0 {
+			t.Errorf("%s contributed no work (totals %v)", name, totals)
+		}
+		if ctls[i].Ticks() == 0 {
+			t.Errorf("%s never ticked", name)
+		}
+	}
+	// The violating half adapted; the healthy half did not.
+	for i := 0; i < nApps; i++ {
+		adapted := ctls[i].Adaptations() > 0
+		if i%2 == 0 && !adapted {
+			t.Errorf("app%d saw violations but never adapted", i)
+		}
+		if i%2 == 1 && adapted {
+			t.Errorf("app%d was healthy but adapted", i)
+		}
+	}
+	if k.Manager().EpochCount != int(k.Epochs()) {
+		t.Errorf("manager epochs %d != kernel epochs %d", k.Manager().EpochCount, k.Epochs())
+	}
+}
+
+// TestKernelFlushToleratesStragglers: a stalled app must not wedge the
+// other apps' epochs.
+func TestKernelFlushToleratesStragglers(t *testing.T) {
+	k := NewKernel(testManager(2))
+	gen := simhpc.NewWorkloadGen(17)
+	var genMu sync.Mutex
+	mkWorkload := func(delay time.Duration) Workload {
+		return func() ([]*simhpc.Task, error) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			genMu.Lock()
+			defer genMu.Unlock()
+			return gen.Mix(1, 1, 1, 1, 4), nil
+		}
+	}
+	if _, err := k.Attach(AppSpec{Name: "fast", Workload: mkWorkload(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Attach(AppSpec{Name: "slow", Workload: mkWorkload(400 * time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for k.Epochs() < 6 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	k.Stop()
+	if k.Epochs() < 6 {
+		t.Fatalf("stalled app wedged the kernel: %d epochs", k.Epochs())
+	}
+	totals := k.TotalsPerApp()
+	if totals["fast"] <= totals["slow"] {
+		t.Errorf("fast app should outpace slow: %v", totals)
+	}
+}
+
+// TestKernelRestart: Stop then Start again reuses the kernel.
+func TestKernelRestart(t *testing.T) {
+	k := NewKernel(testManager(2))
+	gen := simhpc.NewWorkloadGen(23)
+	if _, err := k.Attach(simpleSpec("a", gen, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		if err := k.Start(context.Background(), Options{Flush: 10 * time.Millisecond}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := k.Epochs() + 3
+		deadline := time.Now().Add(5 * time.Second)
+		for k.Epochs() < want && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		k.Stop()
+		if k.Epochs() < want {
+			t.Fatalf("round %d: epochs %d < %d", round, k.Epochs(), want)
+		}
+	}
+	// Synchronous driving still works after concurrent rounds.
+	if _, err := k.RunEpoch(60); err != nil {
+		t.Fatal(err)
+	}
+}

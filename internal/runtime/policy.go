@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+)
+
+// TunerPolicy is the mARGOt-style decide stage: on a firing decision it
+// asks the autotuner to retune from its online knowledge base and, when
+// the tuner switches points, returns the newly applied configuration.
+type TunerPolicy struct {
+	Tuner *autotune.Tuner
+	// Margin is the fractional improvement the knowledge-base best must
+	// offer over the applied point (default 0.05).
+	Margin float64
+}
+
+// Decide implements Policy.
+func (p *TunerPolicy) Decide(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+	margin := p.Margin
+	if margin == 0 {
+		margin = 0.05
+	}
+	if !p.Tuner.Retune(margin) {
+		return nil, false
+	}
+	return p.Tuner.Space.At(p.Tuner.Applied()), true
+}
+
+// LadderPolicy walks a single named knob down an ordered ladder of
+// values, one rung per firing decision — the shape of the navigation
+// server's fidelity controller (§VII-b): degrade under violation, and
+// let the application Raise back when headroom returns.
+type LadderPolicy struct {
+	// Knob is the configuration key the ladder controls.
+	Knob string
+	// Rungs are the knob values, best quality (most expensive) first.
+	Rungs []float64
+
+	mu  sync.Mutex
+	cur int
+}
+
+// Decide implements Policy: step one rung down (cheaper) if possible.
+func (p *LadderPolicy) Decide(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur >= len(p.Rungs)-1 {
+		return nil, false
+	}
+	p.cur++
+	return autotune.Config{p.Knob: p.Rungs[p.cur]}, true
+}
+
+// Raise steps one rung up (better quality) if possible, returning the
+// configuration to apply.
+func (p *LadderPolicy) Raise() (autotune.Config, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cur <= 0 {
+		return nil, false
+	}
+	p.cur--
+	return autotune.Config{p.Knob: p.Rungs[p.cur]}, true
+}
+
+// Level returns the current rung's value.
+func (p *LadderPolicy) Level() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Rungs[p.cur]
+}

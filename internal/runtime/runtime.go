@@ -1,0 +1,132 @@
+// Package runtime is the concurrent adaptation kernel of the
+// reproduction: it owns the collect–analyse–decide–act loop of paper §II
+// for many applications at once and multiplexes their epoch workloads
+// into a single shared rtrm.Manager — the two coupled control loops of
+// Fig. 1 (application autotuning, cluster resource management) lifted
+// out of per-example wiring into one goroutine-safe engine.
+//
+// The building blocks are three small interfaces extracted from the old
+// monitor.Loop + autotune.Tuner + core.App tangle:
+//
+//   - Sensor — the collect stage: surrenders the telemetry samples
+//     accumulated since the last epoch;
+//   - Policy — the decide stage: picks the next configuration when the
+//     SLA trigger fires;
+//   - Knob — the act stage: actuates the chosen configuration.
+//
+// A Controller runs one application's loop over these stages; a Kernel
+// runs many Controllers — either synchronously (RunEpoch, for
+// deterministic simulation drivers) or concurrently (Start/Stop, one
+// goroutine per application feeding a batched epoch scheduler).
+package runtime
+
+import (
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/simhpc"
+	"sync"
+)
+
+// Sample is one telemetry observation.
+type Sample struct {
+	Metric string
+	Value  float64
+}
+
+// Sensor is the collect stage: Collect returns (and forgets) the samples
+// produced since the last call. Implementations must be safe for
+// concurrent use with their producers.
+type Sensor interface {
+	Collect() []Sample
+}
+
+// SensorFunc adapts a function to the Sensor interface.
+type SensorFunc func() []Sample
+
+// Collect implements Sensor.
+func (f SensorFunc) Collect() []Sample { return f() }
+
+// Policy is the decide stage: when the debounced SLA trigger fires,
+// Decide picks the configuration to switch to. ok=false keeps the
+// current configuration (e.g. the knowledge base knows nothing better).
+type Policy interface {
+	Decide(d monitor.Decision, sums map[string]monitor.Summary) (cfg autotune.Config, ok bool)
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool)
+
+// Decide implements Policy.
+func (f PolicyFunc) Decide(d monitor.Decision, sums map[string]monitor.Summary) (autotune.Config, bool) {
+	return f(d, sums)
+}
+
+// Knob is the act stage: Apply actuates a configuration chosen by the
+// policy. Implementations must tolerate calls from the control-loop
+// goroutine while the application is serving.
+type Knob interface {
+	Apply(cfg autotune.Config)
+}
+
+// KnobFunc adapts a function to the Knob interface.
+type KnobFunc func(autotune.Config)
+
+// Apply implements Knob.
+func (f KnobFunc) Apply(cfg autotune.Config) { f(cfg) }
+
+// Workload materializes the application's next-epoch tasks for the
+// cluster under its currently applied configuration.
+type Workload func() ([]*simhpc.Task, error)
+
+// AppSpec declares one adaptive application to a Controller or Kernel.
+// Sensor, Policy, Knob and Workload are all optional: a pure compute app
+// may only have a Workload; a pure serving app may have no Workload.
+type AppSpec struct {
+	Name string
+	// SLA is checked against the windowed metric summaries each tick.
+	SLA monitor.SLA
+	// Window is the samples-per-metric window size (default 32).
+	Window int
+	// Debounce is the consecutive-violation count required before the
+	// policy is consulted (default 2).
+	Debounce int
+
+	Sensor   Sensor
+	Policy   Policy
+	Knob     Knob
+	Workload Workload
+
+	// OnEpoch, when set, receives every kernel epoch result this app
+	// contributed to (called from the scheduler goroutine).
+	OnEpoch func(EpochResult)
+}
+
+// Inbox is a concurrent sample buffer implementing Sensor: any number of
+// producer goroutines Push while the control loop drains via Collect.
+type Inbox struct {
+	mu  sync.Mutex
+	buf []Sample
+}
+
+// Push records a sample.
+func (in *Inbox) Push(metric string, v float64) {
+	in.mu.Lock()
+	in.buf = append(in.buf, Sample{Metric: metric, Value: v})
+	in.mu.Unlock()
+}
+
+// Collect drains and returns the buffered samples.
+func (in *Inbox) Collect() []Sample {
+	in.mu.Lock()
+	out := in.buf
+	in.buf = nil
+	in.mu.Unlock()
+	return out
+}
+
+// Len returns the number of buffered samples.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.buf)
+}
