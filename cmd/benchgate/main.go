@@ -1,0 +1,279 @@
+// Command benchgate is the paper-metric regression gate (ROADMAP item):
+// it parses `go test -bench` output, records every reported metric in a
+// JSON baseline, and fails CI when a metric drifts beyond tolerance —
+// so the reproduction's claim numbers (C1–C6) and kernel throughput
+// (K1–K3) cannot silently rot.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchmem . | benchgate -update -baseline BENCH_kernel.json
+//	go test -run '^$' -bench '...' -benchmem . | benchgate -baseline BENCH_kernel.json
+//
+// Deterministic simulation metrics (ratios, percentages, GFLOP/epoch)
+// are gated symmetrically at -tol (default 0.25 per the
+// regression-gate spec). Environment-dependent metrics — ns/op, B/op,
+// allocs/op, samples/s — are gated one-sidedly at the looser
+// -time-tol: only regressions fail, since CI machine classes vary and
+// an improvement is never a defect. Relative invariants between
+// benchmarks measured in the same
+// run — e.g. the acceptance criterion that the concurrent kernel beats
+// the synchronous driver — are expressed with -require-le, which is
+// noise-robust because both sides share the run's machine conditions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark record: benchmark name → metric
+// unit → value.
+type Baseline struct {
+	Note       string                        `json:"note,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// procSuffix strips the -GOMAXPROCS suffix go test appends to
+// benchmark names on multi-proc runs (absent when GOMAXPROCS=1).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark metrics from `go test -bench` output.
+// A result line looks like:
+//
+//	BenchmarkKernelEpochSync/apps=64-8   10000   105655 ns/op   896.3 GFLOP/epoch   68749 B/op   496 allocs/op
+func parseBench(r io.Reader) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %s: bad value %q", name, fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// metricClass distinguishes deterministic simulation outputs (gated
+// symmetrically: drifting in either direction means the reproduction's
+// numbers rotted) from environment-dependent metrics, which vary with
+// machine class and load and are gated one-sidedly at the loose
+// tolerance — only a regression fails; a faster machine or a genuine
+// improvement never does.
+type metricClass int
+
+const (
+	deterministic     metricClass = iota
+	envLowerIsBetter              // ns/op, B/op, allocs/op
+	envHigherIsBetter             // samples/s
+)
+
+func classify(unit string) metricClass {
+	switch {
+	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
+		return envLowerIsBetter
+	case strings.HasSuffix(unit, "samples/s"):
+		return envHigherIsBetter
+	}
+	return deterministic
+}
+
+// regressed reports whether got regressed from want beyond the
+// tolerance for the unit's class, and returns the tolerance applied.
+func regressed(unit string, want, got, tol, timeTol float64) (bool, float64) {
+	switch classify(unit) {
+	case envLowerIsBetter:
+		return got > want*(1+timeTol), timeTol
+	case envHigherIsBetter:
+		// Asymmetric division keeps the check meaningful for any
+		// tolerance: tol 4.0 means "no worse than 5x slower".
+		return got < want/(1+timeTol), timeTol
+	default:
+		return drift(want, got) > tol, tol
+	}
+}
+
+// drift returns |cur-base| / |base| (0 when both are 0).
+func drift(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := (cur - base) / base
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// requirement is one -require-le clause: lhs must not exceed rhs*slack,
+// both read from the current run.
+type requirement struct {
+	lhsBench, lhsMetric string
+	rhsBench, rhsMetric string
+	slack               float64
+}
+
+// parseRequirement parses "BenchA:metric<=BenchB:metric[xSLACK]".
+func parseRequirement(s string) (requirement, error) {
+	req := requirement{slack: 1.0}
+	if i := strings.LastIndex(s, "x"); i > strings.Index(s, "<=") {
+		sl, err := strconv.ParseFloat(s[i+1:], 64)
+		if err == nil && sl > 0 {
+			req.slack = sl
+			s = s[:i]
+		}
+	}
+	parts := strings.SplitN(s, "<=", 2)
+	if len(parts) != 2 {
+		return req, fmt.Errorf("benchgate: requirement %q: want LHS<=RHS", s)
+	}
+	var ok1, ok2 bool
+	req.lhsBench, req.lhsMetric, ok1 = strings.Cut(strings.TrimSpace(parts[0]), ":")
+	req.rhsBench, req.rhsMetric, ok2 = strings.Cut(strings.TrimSpace(parts[1]), ":")
+	if !ok1 || !ok2 {
+		return req, fmt.Errorf("benchgate: requirement %q: sides must be Benchmark:metric", s)
+	}
+	return req, nil
+}
+
+func lookup(cur map[string]map[string]float64, bench, metric string) (float64, error) {
+	m, ok := cur[bench]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s missing from the run", bench)
+	}
+	v, ok := m[metric]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s reported no %q", bench, metric)
+	}
+	return v, nil
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_kernel.json", "baseline JSON path")
+		update       = flag.Bool("update", false, "rewrite the baseline from stdin instead of checking")
+		note         = flag.String("note", "", "note stored in the baseline on -update")
+		tol          = flag.Float64("tol", 0.25, "allowed relative drift for deterministic metrics")
+		timeTol      = flag.Float64("time-tol", 1.0, "allowed one-sided regression for environment-dependent metrics (ns/op, B/op, allocs/op, samples/s)")
+		requires     []requirement
+	)
+	flag.Func("require-le", "relative requirement LHS<=RHS (Benchmark:metric<=Benchmark:metric[xSLACK]); repeatable", func(s string) error {
+		req, err := parseRequirement(s)
+		if err != nil {
+			return err
+		}
+		requires = append(requires, req)
+		return nil
+	})
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("benchgate: no benchmark results on stdin")
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: cur}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(cur), *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchgate: %s: %w", *baselinePath, err)
+	}
+
+	var failures []string
+	checked := 0
+	for bench, metrics := range base.Benchmarks {
+		curMetrics, ok := cur[bench]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the run", bench))
+			continue
+		}
+		for unit, want := range metrics {
+			got, ok := curMetrics[unit]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %q missing from the run", bench, unit))
+				continue
+			}
+			checked++
+			bad, limit := regressed(unit, want, got, *tol, *timeTol)
+			if bad {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed beyond %.0f%% (baseline %g, run %g)",
+					bench, unit, limit*100, want, got))
+			}
+		}
+	}
+	for _, req := range requires {
+		lhs, err1 := lookup(cur, req.lhsBench, req.lhsMetric)
+		rhs, err2 := lookup(cur, req.rhsBench, req.rhsMetric)
+		if err1 != nil {
+			failures = append(failures, err1.Error())
+			continue
+		}
+		if err2 != nil {
+			failures = append(failures, err2.Error())
+			continue
+		}
+		checked++
+		if lhs > rhs*req.slack {
+			failures = append(failures, fmt.Sprintf("require-le violated: %s:%s (%g) > %s:%s (%g) x %.2f",
+				req.lhsBench, req.lhsMetric, lhs, req.rhsBench, req.rhsMetric, rhs, req.slack))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		return fmt.Errorf("benchgate: %d of %d checks failed", len(failures), checked)
+	}
+	fmt.Printf("benchgate: %d checks passed against %s\n", checked, *baselinePath)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelEpochSync/apps=64-8         	   20614	     59135 ns/op	       896.3 GFLOP/epoch	   14969 B/op	     198 allocs/op
+BenchmarkKernelConcurrent/apps=64         	   19266	     55971 ns/op	   13439 B/op	     197 allocs/op
+BenchmarkClaimHeteroEfficiency	     100	  11881 ns/op	      7032 hetero_MFLOPS/W	      2304 homog_MFLOPS/W	         3.052 ratio
+PASS
+ok  	repro	44.224s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	// The -8 proc suffix must be stripped; the suffix-less form kept.
+	sync := got["BenchmarkKernelEpochSync/apps=64"]
+	if sync == nil {
+		t.Fatal("sync benchmark missing (proc suffix not stripped?)")
+	}
+	if sync["ns/op"] != 59135 || sync["allocs/op"] != 198 || sync["GFLOP/epoch"] != 896.3 {
+		t.Errorf("sync metrics: %v", sync)
+	}
+	conc := got["BenchmarkKernelConcurrent/apps=64"]
+	if conc == nil || conc["ns/op"] != 55971 {
+		t.Errorf("concurrent metrics: %v", conc)
+	}
+	claim := got["BenchmarkClaimHeteroEfficiency"]
+	if claim == nil || claim["ratio"] != 3.052 || claim["hetero_MFLOPS/W"] != 7032 {
+		t.Errorf("claim metrics: %v", claim)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	for _, tc := range []struct {
+		base, cur, want float64
+	}{
+		{100, 100, 0},
+		{100, 125, 0.25},
+		{100, 75, 0.25},
+		{0, 0, 0},
+		{0, 5, 1},
+	} {
+		if got := drift(tc.base, tc.cur); got != tc.want {
+			t.Errorf("drift(%g,%g) = %g, want %g", tc.base, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for unit, want := range map[string]metricClass{
+		"ns/op":       envLowerIsBetter,
+		"B/op":        envLowerIsBetter,
+		"allocs/op":   envLowerIsBetter,
+		"samples/s":   envHigherIsBetter,
+		"GFLOP/epoch": deterministic,
+		"ratio":       deterministic,
+		"power_MW":    deterministic,
+	} {
+		if got := classify(unit); got != want {
+			t.Errorf("classify(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseRequirement(t *testing.T) {
+	req, err := parseRequirement("BenchmarkKernelConcurrent/apps=64:ns/op<=BenchmarkKernelEpochSync/apps=64:ns/opx1.10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.lhsBench != "BenchmarkKernelConcurrent/apps=64" || req.lhsMetric != "ns/op" {
+		t.Errorf("lhs: %+v", req)
+	}
+	if req.rhsBench != "BenchmarkKernelEpochSync/apps=64" || req.rhsMetric != "ns/op" {
+		t.Errorf("rhs: %+v", req)
+	}
+	if req.slack != 1.10 {
+		t.Errorf("slack: %v", req.slack)
+	}
+	// Without slack the factor defaults to 1.
+	req, err = parseRequirement("A:m<=B:m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.slack != 1.0 {
+		t.Errorf("default slack: %v", req.slack)
+	}
+	if _, err := parseRequirement("garbage"); err == nil {
+		t.Error("garbage requirement accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	cur, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := lookup(cur, "BenchmarkKernelConcurrent/apps=64", "ns/op"); err != nil || v != 55971 {
+		t.Errorf("lookup: %v, %v", v, err)
+	}
+	if _, err := lookup(cur, "BenchmarkNope", "ns/op"); err == nil {
+		t.Error("missing benchmark accepted")
+	}
+	if _, err := lookup(cur, "BenchmarkClaimHeteroEfficiency", "nope"); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
+func TestRegressed(t *testing.T) {
+	const tol, timeTol = 0.25, 4.0
+	for _, tc := range []struct {
+		unit      string
+		want, got float64
+		bad       bool
+	}{
+		// Deterministic: symmetric at tol.
+		{"ratio", 100, 120, false},
+		{"ratio", 100, 130, true},
+		{"ratio", 100, 70, true},
+		// Lower-is-better env metric: only slower fails, at timeTol.
+		{"ns/op", 100, 450, false},
+		{"ns/op", 100, 600, true},
+		{"ns/op", 100, 1, false}, // improvements never fail
+		// Higher-is-better env metric: only a collapse fails — the
+		// division form stays meaningful even with timeTol >= 1.
+		{"samples/s", 1e6, 5e6, false},
+		{"samples/s", 1e6, 3e5, false},
+		{"samples/s", 1e6, 1e5, true},
+	} {
+		if bad, _ := regressed(tc.unit, tc.want, tc.got, tol, timeTol); bad != tc.bad {
+			t.Errorf("regressed(%q, %g, %g) = %v, want %v", tc.unit, tc.want, tc.got, bad, tc.bad)
+		}
+	}
+}

@@ -122,3 +122,26 @@ func BenchmarkShardedSetPushParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHandlePushParallel measures the cached-handle fast path the
+// adaptation kernel's control loop uses: Acquire the window once, then
+// push on it directly, skipping the set's lock and map lookup per
+// sample.
+func BenchmarkHandlePushParallel(b *testing.B) {
+	for _, metrics := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("metrics=%d", metrics), func(b *testing.B) {
+			s := NewSet(128)
+			handles := make([]*Window, metrics)
+			for i := range handles {
+				handles[i] = s.Acquire(fmt.Sprintf("metric-%d", i))
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					handles[i%metrics].Push(float64(i))
+					i++
+				}
+			})
+		})
+	}
+}

@@ -20,19 +20,29 @@ func NewSet(size int) *Set {
 
 // Push records a sample for metric.
 func (s *Set) Push(metric string, v float64) {
+	s.Acquire(metric).Push(v)
+}
+
+// Acquire returns the window for metric, creating it if absent. It is
+// the cached-handle fast path for hot producers: resolve the handle
+// once, then call Window.Push directly, skipping this set's lock and
+// map lookup on every sample. The returned window stays valid for the
+// life of the set (Reset clears samples but keeps windows).
+func (s *Set) Acquire(metric string) *Window {
 	s.mu.RLock()
 	w, ok := s.windows[metric]
 	s.mu.RUnlock()
-	if !ok {
-		s.mu.Lock()
-		w, ok = s.windows[metric]
-		if !ok {
-			w = NewWindow(s.size)
-			s.windows[metric] = w
-		}
-		s.mu.Unlock()
+	if ok {
+		return w
 	}
-	w.Push(v)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok = s.windows[metric]; ok {
+		return w
+	}
+	w = NewWindow(s.size)
+	s.windows[metric] = w
+	return w
 }
 
 // Window returns the window for metric (nil if never pushed).
@@ -45,16 +55,24 @@ func (s *Set) Window(metric string) *Window {
 // Summaries snapshots every metric — the "analyse" stage.
 func (s *Set) Summaries() map[string]Summary {
 	s.mu.RLock()
-	ws := make(map[string]*Window, len(s.windows))
-	for name, w := range s.windows {
-		ws[name] = w
-	}
+	out := make(map[string]Summary, len(s.windows))
 	s.mu.RUnlock()
-	out := make(map[string]Summary, len(ws))
-	for name, w := range ws {
-		out[name] = w.Snapshot()
-	}
+	s.SummariesInto(out)
 	return out
+}
+
+// SummariesInto clears dst and fills it with a snapshot of every
+// metric, reusing dst's storage — the allocation-free analyse path for
+// hot control loops. The per-window snapshots are taken under the
+// set's read lock, so Push with a brand-new metric briefly waits, but
+// steady-state pushes to existing windows never touch this lock.
+func (s *Set) SummariesInto(dst map[string]Summary) {
+	clear(dst)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, w := range s.windows {
+		dst[name] = w.Snapshot()
+	}
 }
 
 // Reset clears all windows (used after an adaptation so stale samples

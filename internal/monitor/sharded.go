@@ -14,6 +14,15 @@ package monitor
 // kernel therefore uses Set; ShardedSet is kept for workloads that
 // funnel many hot metrics through a single shared set (e.g. a future
 // global telemetry sink).
+//
+// Re-run for the epoch fast path (PR 2), after the kernel moved its
+// ingress to the lock-free runtime.Inbox and its control loops to
+// cached window handles: Set.Push 47 ns vs ShardedSet.Push 52-60 ns at
+// 1-16 hot metrics, and the cached-handle path
+// (BenchmarkHandlePushParallel, Set.Acquire once + Window.Push per
+// sample) at 21 ns beats both. The decision stands — simple mutexed
+// windows behind a resolve-once handle; sharding still only pays at
+// contention levels the kernel does not generate.
 type ShardedSet struct {
 	shards []*Set
 }

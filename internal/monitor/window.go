@@ -31,6 +31,8 @@ type Window struct {
 	sum   float64
 	sumSq float64
 	total int64 // lifetime samples
+
+	scratch []float64 // percentile sort buffer, reused under mu
 }
 
 // NewWindow returns a window holding the last size samples.
@@ -164,7 +166,8 @@ func (w *Window) percentile(p float64) float64 {
 	if w.count == 0 {
 		return 0
 	}
-	vals := append([]float64(nil), w.live()...)
+	vals := append(w.scratch[:0], w.live()...)
+	w.scratch = vals
 	sort.Float64s(vals)
 	if p <= 0 {
 		return vals[0]

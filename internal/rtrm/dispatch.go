@@ -2,7 +2,7 @@ package rtrm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/simhpc"
 )
@@ -70,6 +70,7 @@ type dispatchNode struct {
 	busyW  float64
 	idleW  float64
 	busyS  float64
+	mark   int // generation stamp for allocation-free disjointness checks
 }
 
 // Dispatch schedules jobs (sorted by submit time) on the cluster under
@@ -82,7 +83,15 @@ func Dispatch(policy DispatchPolicy, c *simhpc.Cluster, jobs []BatchJob) Dispatc
 		nodes[i] = &dispatchNode{idx: i, busyW: n.PowerW(1), idleW: n.IdlePowerW()}
 	}
 	queue := append([]BatchJob(nil), jobs...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Submit < queue[j].Submit })
+	slices.SortStableFunc(queue, func(a, b BatchJob) int {
+		switch {
+		case a.Submit < b.Submit:
+			return -1
+		case a.Submit > b.Submit:
+			return 1
+		}
+		return 0
+	})
 
 	res := DispatchResult{Policy: policy}
 	var totalWait float64
@@ -106,38 +115,62 @@ func Dispatch(policy DispatchPolicy, c *simhpc.Cluster, jobs []BatchJob) Dispatc
 		}
 	}
 
+	// Sort and candidate buffers, reused across every earliestStart call
+	// instead of two fresh slices per candidate job (the dispatcher's
+	// former dominant allocation). The returned slice aliases dst, so
+	// the head reservation and a backfill probe use separate buffers.
+	byFree := make([]*dispatchNode, len(nodes))
+	byFreeCmp := func(a, b *dispatchNode) int {
+		switch {
+		case a.freeAt < b.freeAt:
+			return -1
+		case a.freeAt > b.freeAt:
+			return 1
+		}
+		return a.idx - b.idx // deterministic tie order
+	}
+
 	// earliestStart returns the soonest time at which `want` nodes are
-	// simultaneously free (not before minT), plus those nodes ordered by
-	// the policy's placement preference.
-	earliestStart := func(want int, minT float64) (float64, []*dispatchNode) {
-		byFree := append([]*dispatchNode(nil), nodes...)
-		sort.Slice(byFree, func(a, b int) bool { return byFree[a].freeAt < byFree[b].freeAt })
-		if want > len(byFree) {
+	// simultaneously free (not before minT), plus those nodes — written
+	// into dst[:0] — ordered by the policy's placement preference.
+	earliestStart := func(want int, minT float64, dst []*dispatchNode) (float64, []*dispatchNode) {
+		if want > len(nodes) {
 			return -1, nil
 		}
+		copy(byFree, nodes)
+		slices.SortFunc(byFree, byFreeCmp)
 		t := byFree[want-1].freeAt
 		if t < minT {
 			t = minT
 		}
 		// All nodes free at t are candidates; prefer efficient instances
 		// under the energy-aware policy.
-		var candidates []*dispatchNode
+		candidates := dst[:0]
 		for _, n := range byFree {
 			if n.freeAt <= t {
 				candidates = append(candidates, n)
 			}
 		}
 		if policy == EnergyAwareEASY {
-			sort.SliceStable(candidates, func(a, b int) bool {
-				return candidates[a].busyW < candidates[b].busyW
+			slices.SortStableFunc(candidates, func(a, b *dispatchNode) int {
+				switch {
+				case a.busyW < b.busyW:
+					return -1
+				case a.busyW > b.busyW:
+					return 1
+				}
+				return 0
 			})
 		}
 		return t, candidates[:want]
 	}
+	headBuf := make([]*dispatchNode, 0, len(nodes))
+	candBuf := make([]*dispatchNode, 0, len(nodes))
 
+	generation := 0
 	for len(queue) > 0 {
 		head := queue[0]
-		headStart, headNodes := earliestStart(head.Nodes, head.Submit)
+		headStart, headNodes := earliestStart(head.Nodes, head.Submit, headBuf)
 		if headNodes == nil {
 			// Job requests more nodes than the cluster has: drop it.
 			queue = queue[1:]
@@ -150,17 +183,21 @@ func Dispatch(policy DispatchPolicy, c *simhpc.Cluster, jobs []BatchJob) Dispatc
 		}
 		// EASY: try to backfill any later job that can finish before the
 		// head's reserved start (or that doesn't need the reserved nodes).
+		generation++
+		for _, n := range headNodes {
+			n.mark = generation
+		}
 		backfilled := -1
 		for k := 1; k < len(queue); k++ {
 			cand := queue[k]
 			if cand.Nodes > len(nodes) {
 				continue
 			}
-			t, cnodes := earliestStart(cand.Nodes, cand.Submit)
+			t, cnodes := earliestStart(cand.Nodes, cand.Submit, candBuf)
 			if cnodes == nil || t > headStart {
 				continue
 			}
-			if t+cand.Runtime <= headStart || disjoint(cnodes, headNodes) {
+			if t+cand.Runtime <= headStart || disjoint(cnodes, generation) {
 				start(cand, cnodes, t)
 				res.Backfills++
 				backfilled = k
@@ -189,13 +226,11 @@ func Dispatch(policy DispatchPolicy, c *simhpc.Cluster, jobs []BatchJob) Dispatc
 	return res
 }
 
-func disjoint(a, b []*dispatchNode) bool {
-	seen := make(map[int]bool, len(a))
-	for _, n := range a {
-		seen[n.idx] = true
-	}
-	for _, n := range b {
-		if seen[n.idx] {
+// disjoint reports whether none of the nodes carry the current head
+// reservation's generation mark (set just before the backfill scan).
+func disjoint(nodes []*dispatchNode, generation int) bool {
+	for _, n := range nodes {
+		if n.mark == generation {
 			return false
 		}
 	}

@@ -87,10 +87,33 @@ func (g *OnDemandGovernor) PickPState(d *simhpc.Device, _ *simhpc.Task) int {
 // points": per task, sweep the DVFS ladder and pick the point minimizing
 // energy, optionally subject to a performance-degradation bound
 // (MaxSlowdown ≥ 1; 0 means unconstrained).
+//
+// The sweep is memoized: under the roofline model both energy and
+// slowdown scale linearly with the task's GFlop at fixed memory
+// intensity (MemGB per GFlop), and an instance's power variability
+// multiplies every P-state's energy uniformly, so the optimal point is
+// fully determined by the device *model* (the shared immutable spec)
+// and the intensity ratio. Workloads cluster on a handful of
+// intensities, so the per-task cost collapses to one map lookup —
+// this governor sits inside the kernel's per-epoch serial section.
+// Like Manager, an OptimalGovernor must not be shared across
+// goroutines without external serialization.
 type OptimalGovernor struct {
 	// MaxSlowdown bounds execution-time degradation relative to maximum
 	// frequency (e.g. 1.5 = at most 50 % slower). 0 disables the bound.
 	MaxSlowdown float64
+
+	memo map[pstateKey]int
+}
+
+// pstateKey identifies an optimal-P-state decision: the device's
+// immutable datasheet, the task's memory intensity, and the slowdown
+// bound in force when the sweep ran (so retuning MaxSlowdown online
+// never serves stale points).
+type pstateKey struct {
+	spec        *simhpc.DeviceSpec
+	r           float64 // MemGB per GFlop (+Inf for pure-memory tasks)
+	maxSlowdown float64
 }
 
 // Name implements Governor.
@@ -100,6 +123,13 @@ func (g *OptimalGovernor) Name() string { return "antarex-optimal" }
 func (g *OptimalGovernor) PickPState(d *simhpc.Device, t *simhpc.Task) int {
 	if t == nil {
 		return d.Spec.MaxPState()
+	}
+	key := pstateKey{spec: d.Spec, r: math.Inf(1), maxSlowdown: g.MaxSlowdown}
+	if t.GFlop > 0 {
+		key.r = t.MemGB / t.GFlop
+	}
+	if ps, ok := g.memo[key]; ok {
+		return ps
 	}
 	best := d.Spec.MaxPState()
 	bestE := d.ExecEnergy(t, best)
@@ -112,6 +142,12 @@ func (g *OptimalGovernor) PickPState(d *simhpc.Device, t *simhpc.Task) int {
 			best, bestE = i, e
 		}
 	}
+	if g.memo == nil {
+		g.memo = make(map[pstateKey]int)
+	} else if len(g.memo) >= 4096 {
+		clear(g.memo) // pathological continuous intensities: stay bounded
+	}
+	g.memo[key] = best
 	return best
 }
 

@@ -70,7 +70,8 @@ func (m *Manager) RunEpoch(dt float64, offered []*simhpc.Task) EpochReport {
 	// Distribute admitted tasks round-robin over nodes; each node runs
 	// its tasks on its CPU at min(governor, thermal, cap) P-state.
 	for i, t := range admitted {
-		node := m.Cluster.Nodes[i%len(m.Cluster.Nodes)]
+		nodeIdx := i % len(m.Cluster.Nodes)
+		node := m.Cluster.Nodes[nodeIdx]
 		dev := node.CPUDevice()
 		if dev == nil {
 			dev = node.Devices[0]
@@ -79,7 +80,7 @@ func (m *Manager) RunEpoch(dt float64, offered []*simhpc.Task) EpochReport {
 		if ceil := m.Thermal.Ceiling(node); ps > ceil {
 			ps = ceil
 		}
-		if capPS := cap.PStates[i%len(cap.PStates)]; ps > capPS {
+		if capPS, ok := capPState(cap, nodeIdx); ok && ps > capPS {
 			ps = capPS
 		}
 		dev.SetPState(ps)
@@ -100,6 +101,17 @@ func (m *Manager) RunEpoch(dt float64, offered []*simhpc.Task) EpochReport {
 	m.WorkGFlop += rep.DoneGFlop
 	m.DeferredGFlop += rep.DeferredGFlop
 	return rep
+}
+
+// capPState returns the capped P-state for the node at nodeIdx. The
+// cap plan indexes by node — never by task — and a plan shorter than
+// the cluster (or empty) simply leaves the uncovered nodes uncapped
+// instead of silently misaligning node and P-state or panicking.
+func capPState(cap CapResult, nodeIdx int) (int, bool) {
+	if nodeIdx < 0 || nodeIdx >= len(cap.PStates) {
+		return 0, false
+	}
+	return cap.PStates[nodeIdx], true
 }
 
 // EfficiencyGFLOPSPerJ returns work done per joule so far.

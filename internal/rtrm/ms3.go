@@ -35,6 +35,8 @@ type Plan struct {
 }
 
 // Decide computes the epoch plan for the cluster at its current ambient.
+// It is allocation-free (Plan and the cooling model are plain values),
+// so it sits inside the kernel's per-epoch serial section at zero cost.
 func (s *MS3Scheduler) Decide(c *simhpc.Cluster) Plan {
 	over := c.AmbientC - s.ComfortC
 	if over <= 0 {

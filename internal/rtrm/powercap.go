@@ -1,8 +1,6 @@
 package rtrm
 
 import (
-	"sort"
-
 	"repro/internal/simhpc"
 )
 
@@ -32,86 +30,84 @@ type CapResult struct {
 	Demotions int
 }
 
+// nodePowerAt is node i's power with its CPUs pinned at ps (other
+// devices at their current P-state).
+func nodePowerAt(c *simhpc.Cluster, i, ps int, util float64) float64 {
+	var p float64
+	for _, d := range c.Nodes[i].Devices {
+		if d.Spec.Kind == simhpc.CPU {
+			p += d.PowerW(ps, util)
+		} else {
+			p += d.PowerW(d.PState(), util)
+		}
+	}
+	return p
+}
+
+// nodeRateAt is node i's compute rate with its CPUs pinned at ps.
+func nodeRateAt(c *simhpc.Cluster, i, ps int) float64 {
+	var r float64
+	for _, d := range c.Nodes[i].Devices {
+		if d.Spec.Kind == simhpc.CPU {
+			r += d.Spec.PeakGFLOPS * d.FreqRatio(ps)
+		} else {
+			r += d.Spec.PeakGFLOPS * d.FreqRatio(d.PState())
+		}
+	}
+	return r
+}
+
 // Apply computes per-node P-states under the cap for a cluster running
 // at the given utilization. It does not mutate the cluster; callers set
 // the returned P-states if they accept the plan.
+//
+// This is on the kernel's per-epoch fast path, so it allocates only the
+// escaping result slice: each demotion step is an O(n) max-scan for the
+// hungriest node with headroom (the former sort per step bought nothing
+// — only the maximum is consumed) and the projected facility power is
+// updated incrementally with the demoted node's delta instead of being
+// resummed over the cluster.
 func (pc *PowerCapper) Apply(c *simhpc.Cluster, util float64) CapResult {
-	type nodeState struct {
-		idx int
-		ps  int
-	}
-	states := make([]nodeState, len(c.Nodes))
-	for i, n := range c.Nodes {
-		dev := n.CPUDevice()
-		if dev == nil {
-			dev = n.Devices[0]
-		}
-		states[i] = nodeState{idx: i, ps: dev.Spec.MaxPState()}
-	}
+	n := len(c.Nodes)
+	res := CapResult{PStates: make([]int, n)}
+	ps := res.PStates // chosen per-node P-states, refined in place
 	pue := c.PUE()
-
-	nodePower := func(i, ps int) float64 {
-		n := c.Nodes[i]
-		var p float64
-		for _, d := range n.Devices {
-			if d.Spec.Kind == simhpc.CPU {
-				p += d.PowerW(ps, util)
-			} else {
-				p += d.PowerW(d.PState(), util)
-			}
+	var cur float64
+	for i, node := range c.Nodes {
+		dev := node.CPUDevice()
+		if dev == nil {
+			dev = node.Devices[0]
 		}
-		return p
+		ps[i] = dev.Spec.MaxPState()
+		cur += nodePowerAt(c, i, ps[i], util)
 	}
-	nodeRate := func(i, ps int) float64 {
-		n := c.Nodes[i]
-		var r float64
-		for _, d := range n.Devices {
-			if d.Spec.Kind == simhpc.CPU {
-				r += d.Spec.PeakGFLOPS * d.FreqRatio(ps)
-			} else {
-				r += d.Spec.PeakGFLOPS * d.FreqRatio(d.PState())
-			}
-		}
-		return r
-	}
-
-	total := func() float64 {
-		var s float64
-		for _, st := range states {
-			s += nodePower(st.idx, st.ps)
-		}
-		return s * pue
-	}
+	cur *= pue
 
 	// capTol absorbs float summation-order noise so a cap equal to the
 	// uncapped power demotes nothing.
 	capLimit := pc.CapW * (1 + 1e-9)
 
-	res := CapResult{PStates: make([]int, len(c.Nodes))}
-	cur := total()
 	for cur > capLimit {
 		// Demote the hungriest node that can still go lower.
-		sort.Slice(states, func(a, b int) bool {
-			return nodePower(states[a].idx, states[a].ps) > nodePower(states[b].idx, states[b].ps)
-		})
-		demoted := false
-		for k := range states {
-			if states[k].ps > 0 {
-				states[k].ps--
-				res.Demotions++
-				demoted = true
-				break
+		best, bestP := -1, 0.0
+		for i := range ps {
+			if ps[i] == 0 {
+				continue
+			}
+			if p := nodePowerAt(c, i, ps[i], util); best < 0 || p > bestP {
+				best, bestP = i, p
 			}
 		}
-		if !demoted {
+		if best < 0 {
 			break // floor reached; cap infeasible
 		}
-		cur = total()
+		ps[best]--
+		res.Demotions++
+		cur += (nodePowerAt(c, best, ps[best], util) - bestP) * pue
 	}
 	var rate float64
-	for _, st := range states {
-		res.PStates[st.idx] = st.ps
-		rate += nodeRate(st.idx, st.ps)
+	for i := range ps {
+		rate += nodeRateAt(c, i, ps[i])
 	}
 	res.FacilityW = cur
 	res.ThroughputGFLOPS = rate

@@ -224,3 +224,83 @@ func TestManagerEpochs(t *testing.T) {
 		t.Error("summer epochs should defer load")
 	}
 }
+
+// TestCapPStateIndexing is the regression test for the cap plan being
+// indexed by task instead of by node: a plan shorter than the cluster
+// (or empty) must leave uncovered nodes uncapped, never wrap around to
+// another node's P-state or panic.
+func TestCapPStateIndexing(t *testing.T) {
+	cap := CapResult{PStates: []int{3, 1}}
+	if ps, ok := capPState(cap, 0); !ok || ps != 3 {
+		t.Errorf("node 0: got (%d,%v), want (3,true)", ps, ok)
+	}
+	if ps, ok := capPState(cap, 1); !ok || ps != 1 {
+		t.Errorf("node 1: got (%d,%v), want (1,true)", ps, ok)
+	}
+	// Node 2 is not covered by the plan: the old i%len wrap would have
+	// silently handed it node 0's P-state.
+	if _, ok := capPState(cap, 2); ok {
+		t.Error("node beyond the plan must be uncapped, not wrapped")
+	}
+	if _, ok := capPState(CapResult{}, 0); ok {
+		t.Error("an empty plan must cap nothing (old code panicked)")
+	}
+	if _, ok := capPState(cap, -1); ok {
+		t.Error("negative node index must cap nothing")
+	}
+}
+
+// TestManagerEpochShortCapPlan drives a full epoch where the cap plan
+// covers fewer nodes than receive tasks and checks the epoch completes
+// with the plan applied per node (no wraparound panic path).
+func TestManagerEpochShortCapPlan(t *testing.T) {
+	rng := simhpc.NewRNG(41)
+	c := simhpc.NewCluster(4, 20, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode("n", 0.15, rng)
+	})
+	m := NewManager(c, c.FacilityPowerW(1)*2) // generous: no demotions
+	gen := simhpc.NewWorkloadGen(43)
+	// More tasks than nodes forces the round-robin to wrap the node
+	// list several times, exercising every nodeIdx against the plan.
+	rep := m.RunEpoch(60, gen.Mix(16, 1, 1, 1, 10))
+	if len(rep.Cap.PStates) != len(c.Nodes) {
+		t.Fatalf("plan covers %d of %d nodes", len(rep.Cap.PStates), len(c.Nodes))
+	}
+	if rep.DoneGFlop <= 0 {
+		t.Error("epoch did no work")
+	}
+}
+
+// TestPowerCapperApplyAllocs pins the fast-path property the kernel
+// relies on: Apply allocates only the escaping result slice.
+func TestPowerCapperApplyAllocs(t *testing.T) {
+	rng := simhpc.NewRNG(59)
+	c := simhpc.NewCluster(16, 20, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode("n", 0.15, rng)
+	})
+	pc := &PowerCapper{CapW: c.FacilityPowerW(1) * 0.8}
+	allocs := testing.AllocsPerRun(100, func() {
+		pc.Apply(c, 1)
+	})
+	if allocs > 1 {
+		t.Errorf("Apply allocates %.0f objects per call, want <= 1 (the result slice)", allocs)
+	}
+}
+
+// TestOptimalGovernorMemoTracksSlowdownBound: the memoized DVFS sweep
+// must not serve a point cached under a different MaxSlowdown.
+func TestOptimalGovernorMemoTracksSlowdownBound(t *testing.T) {
+	d := cpu()
+	task := simhpc.NewWorkloadGen(3).ComputeBound(100)
+	g := &OptimalGovernor{} // unconstrained: free to pick a slow point
+	free := g.PickPState(d, task)
+	g.MaxSlowdown = 1.0000001 // effectively "no slowdown allowed"
+	bound := g.PickPState(d, task)
+	if bound != d.Spec.MaxPState() {
+		t.Errorf("near-1.0 slowdown bound picked %d, want max %d (stale memo?)",
+			bound, d.Spec.MaxPState())
+	}
+	if free == d.Spec.MaxPState() {
+		t.Skip("unconstrained sweep already picked max; bound change not observable")
+	}
+}

@@ -12,12 +12,21 @@ import (
 // factored out behind Policy and Knob. It is safe for concurrent use:
 // producers Push (or feed the Sensor) from serving goroutines while
 // Tick runs on the control-loop goroutine; Ticks themselves serialize.
+//
+// The tick path is allocation-free in steady state: sensor samples are
+// drained straight into cached window handles (no per-sample map
+// lookup), and the summary map handed to SLA.Check and Policy.Decide is
+// scratch reused across ticks.
 type Controller struct {
 	spec    AppSpec
 	metrics *monitor.Set
 	trigger *monitor.Trigger
 
-	tickMu      sync.Mutex
+	tickMu  sync.Mutex
+	sums    map[string]monitor.Summary // analyse scratch, under tickMu
+	handles map[string]*monitor.Window // metric → window cache, under tickMu
+	drainFn func(metric string, v float64)
+
 	ticks       atomic.Int64
 	fires       atomic.Int64
 	adaptations atomic.Int64
@@ -32,11 +41,15 @@ func NewController(spec AppSpec) *Controller {
 	if spec.Debounce <= 0 {
 		spec.Debounce = 2
 	}
-	return &Controller{
+	c := &Controller{
 		spec:    spec,
 		metrics: monitor.NewSet(spec.Window),
 		trigger: monitor.NewTrigger(spec.Debounce),
+		sums:    make(map[string]monitor.Summary),
+		handles: make(map[string]*monitor.Window),
 	}
+	c.drainFn = c.pushCached // bind once so Tick never allocates a closure
+	return c
 }
 
 // Name returns the application name.
@@ -50,6 +63,18 @@ func (c *Controller) Metrics() *monitor.Set { return c.metrics }
 // goroutine.
 func (c *Controller) Push(metric string, v float64) { c.metrics.Push(metric, v) }
 
+// pushCached records a sample through the per-metric handle cache,
+// skipping the set's lock and map lookup after the first sample of each
+// metric. Only called under tickMu.
+func (c *Controller) pushCached(metric string, v float64) {
+	w := c.handles[metric]
+	if w == nil {
+		w = c.metrics.Acquire(metric)
+		c.handles[metric] = w
+	}
+	w.Push(v)
+}
+
 // Tick runs one collect-analyse-decide-act cycle and returns the
 // decision. Concurrent Ticks serialize; producers may keep pushing.
 func (c *Controller) Tick() monitor.Decision {
@@ -57,16 +82,22 @@ func (c *Controller) Tick() monitor.Decision {
 	defer c.tickMu.Unlock()
 	c.ticks.Add(1)
 
-	// Collect: drain the sensor into the windows.
+	// Collect: drain the sensor into the windows, without allocating
+	// when the sensor supports streaming.
 	if c.spec.Sensor != nil {
-		for _, s := range c.spec.Sensor.Collect() {
-			c.metrics.Push(s.Metric, s.Value)
+		if d, ok := c.spec.Sensor.(SampleDrainer); ok {
+			d.Drain(c.drainFn)
+		} else {
+			for _, s := range c.spec.Sensor.Collect() {
+				c.pushCached(s.Metric, s.Value)
+			}
 		}
 	}
 
-	// Analyse: snapshot and check the SLA.
-	sums := c.metrics.Summaries()
-	ok, goalIdx, violation := c.spec.SLA.Check(sums)
+	// Analyse: snapshot into the reused summary scratch and check the
+	// SLA. The map is only lent to the policy for the call.
+	c.metrics.SummariesInto(c.sums)
+	ok, goalIdx, violation := c.spec.SLA.Check(c.sums)
 	fire := c.trigger.Observe(!ok)
 	d := monitor.Decision{}
 	if !fire {
@@ -81,7 +112,7 @@ func (c *Controller) Tick() monitor.Decision {
 
 	// Decide and act.
 	if c.spec.Policy != nil {
-		if cfg, changed := c.spec.Policy.Decide(d, sums); changed {
+		if cfg, changed := c.spec.Policy.Decide(d, c.sums); changed {
 			if c.spec.Knob != nil {
 				c.spec.Knob.Apply(cfg)
 			}

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// inboxChunkSize is the slot count of one ingestion chunk. 256 samples
+// amortize one chunk allocation over ~6 KB of telemetry, keeping the
+// steady-state push path allocation-free.
+const inboxChunkSize = 256
+
+// inboxChunk is one fixed-size segment of the ingestion ring. Producers
+// claim slots with a single atomic add; a slot's ready flag publishes
+// the written sample to the collector (store-release / load-acquire).
+type inboxChunk struct {
+	// reserve counts claimed slots; values >= inboxChunkSize mean the
+	// chunk is exhausted and the claimant must move to next.
+	reserve atomic.Int64
+	next    atomic.Pointer[inboxChunk]
+	ready   [inboxChunkSize]atomic.Uint32
+	slots   [inboxChunkSize]Sample
+}
+
+// Inbox is a concurrent sample buffer implementing Sensor: any number
+// of producer goroutines Push while the control loop drains via Collect
+// (or the allocation-free Drain). The zero value is ready to use.
+//
+// Internally it is a chunked lock-free ring (the ROADMAP's "async
+// telemetry ingestion" item, after the non-threaded-CCP argument for a
+// lock-free ingress): Push claims a slot with one atomic add and never
+// takes a lock, so producers never contend with Collect or with a
+// slower producer holding a mutex. Collect walks the chunk chain behind
+// a consumer-side mutex that producers never touch. LockedInbox is the
+// retained mutex-guarded baseline (benchmark K3 compares the two).
+type Inbox struct {
+	first atomic.Pointer[inboxChunk] // anchor for the collector, set once
+	tail  atomic.Pointer[inboxChunk] // where producers claim slots
+
+	pending atomic.Int64 // pushed minus collected (Len)
+
+	collectMu sync.Mutex // serializes collectors only
+	head      *inboxChunk
+	headPos   int
+}
+
+// Push records a sample. It is lock-free: one atomic add to claim a
+// slot, one atomic store to publish it; a chunk allocation every
+// inboxChunkSize samples.
+func (in *Inbox) Push(metric string, v float64) {
+	c := in.tail.Load()
+	if c == nil {
+		c = in.initTail()
+	}
+	for {
+		i := c.reserve.Add(1) - 1
+		if i < inboxChunkSize {
+			c.slots[i] = Sample{Metric: metric, Value: v}
+			c.ready[i].Store(1)
+			in.pending.Add(1)
+			return
+		}
+		c = in.advance(c)
+	}
+}
+
+// initTail installs the first chunk. The first pointer is published
+// before tail so the collector's anchor always reaches every sample.
+func (in *Inbox) initTail() *inboxChunk {
+	in.first.CompareAndSwap(nil, &inboxChunk{})
+	c := in.first.Load()
+	in.tail.CompareAndSwap(nil, c)
+	return in.tail.Load()
+}
+
+// advance returns the successor of exhausted chunk c, installing it if
+// needed, and helps swing the producer tail forward.
+func (in *Inbox) advance(c *inboxChunk) *inboxChunk {
+	next := c.next.Load()
+	if next == nil {
+		n := &inboxChunk{}
+		if c.next.CompareAndSwap(nil, n) {
+			next = n
+		} else {
+			next = c.next.Load()
+		}
+	}
+	in.tail.CompareAndSwap(c, next)
+	return next
+}
+
+// Drain streams every buffered sample into fn in push-claim order and
+// removes them — the allocation-free collect path (SampleDrainer).
+func (in *Inbox) Drain(fn func(metric string, v float64)) {
+	in.collectMu.Lock()
+	defer in.collectMu.Unlock()
+	in.drainLocked(fn)
+}
+
+func (in *Inbox) drainLocked(fn func(metric string, v float64)) {
+	c := in.head
+	if c == nil {
+		if c = in.first.Load(); c == nil {
+			return // nothing ever pushed
+		}
+		in.head = c
+	}
+	// Drop the anchor once the producer side can no longer need it:
+	// initTail reads `first` only while `tail` is nil and `tail` is
+	// never reset, so after `tail` is published the anchor's only
+	// effect is retaining every drained chunk via the next chain.
+	// Clearing it any earlier races the first Push's two-step install
+	// (first set, tail not yet) into a nil-chunk dereference.
+	if in.first.Load() != nil && in.tail.Load() != nil {
+		in.first.Store(nil)
+	}
+	for {
+		claimed := c.reserve.Load()
+		if claimed > inboxChunkSize {
+			claimed = inboxChunkSize
+		}
+		for i := in.headPos; i < int(claimed); i++ {
+			// A producer claimed this slot but may not have published it
+			// yet; the window between its Add and Store is a few
+			// instructions, so spin briefly.
+			for c.ready[i].Load() == 0 {
+				goruntime.Gosched()
+			}
+			s := &c.slots[i]
+			fn(s.Metric, s.Value)
+			in.pending.Add(-1)
+		}
+		in.headPos = int(claimed)
+		if claimed < inboxChunkSize {
+			return // chunk still filling: stay on it
+		}
+		next := c.next.Load()
+		if next == nil {
+			return // exhausted, successor not installed yet
+		}
+		c, in.head, in.headPos = next, next, 0
+	}
+}
+
+// Collect drains and returns the buffered samples (Sensor).
+func (in *Inbox) Collect() []Sample {
+	in.collectMu.Lock()
+	defer in.collectMu.Unlock()
+	var out []Sample
+	if n := in.pending.Load(); n > 0 {
+		out = make([]Sample, 0, n)
+	}
+	in.drainLocked(func(metric string, v float64) {
+		out = append(out, Sample{Metric: metric, Value: v})
+	})
+	return out
+}
+
+// Len returns the number of buffered samples (approximate while
+// producers and collectors are active, exact at rest).
+func (in *Inbox) Len() int { return int(in.pending.Load()) }
+
+// LockedInbox is the PR-1 mutex-guarded sample buffer, retained as the
+// CCBench-style contention baseline for the K3 ingestion benchmark
+// (BenchmarkInboxIngest): every Push contends with every other producer
+// and with Collect on one mutex. New code should use Inbox.
+type LockedInbox struct {
+	mu  sync.Mutex
+	buf []Sample
+}
+
+// Push records a sample.
+func (in *LockedInbox) Push(metric string, v float64) {
+	in.mu.Lock()
+	in.buf = append(in.buf, Sample{Metric: metric, Value: v})
+	in.mu.Unlock()
+}
+
+// Collect drains and returns the buffered samples.
+func (in *LockedInbox) Collect() []Sample {
+	in.mu.Lock()
+	out := in.buf
+	in.buf = nil
+	in.mu.Unlock()
+	return out
+}
+
+// Len returns the number of buffered samples.
+func (in *LockedInbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.buf)
+}

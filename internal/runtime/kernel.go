@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,11 +22,25 @@ import (
 // Two driving modes share the same epoch engine:
 //
 //   - RunEpoch: synchronous, one epoch per call. Goroutine-safe; used by
-//     deterministic simulation drivers and tests.
-//   - Start/Stop: one control-loop goroutine per application feeding a
-//     batched epoch scheduler. The scheduler runs a manager epoch when
-//     every app has contributed its batch (or after Flush expires, so a
-//     stalled app cannot wedge the cluster).
+//     deterministic simulation drivers and tests. The Tick+workload
+//     fan-out runs on a worker pool, so different apps' Workload and
+//     Sensor callbacks may run concurrently with each other (the same
+//     guarantee the concurrent mode has always given).
+//   - Start/Stop: sharded control-loop goroutines feeding a batched
+//     epoch scheduler. The scheduler runs a manager epoch when every
+//     app has contributed its batch (or after Flush expires, so a
+//     stalled app cannot wedge the other loops' epochs — stall
+//     isolation is per loop goroutine, see Start). Epochs are
+//     pipelined: a loop is released as soon as its batch is merged, so
+//     the next round of Tick+Workload runs concurrently with the
+//     manager epoch — the serial section every app waits on is the
+//     manager alone.
+//
+// The epoch fast path is allocation-free in steady state: the merged
+// task list and fan-out buffers are kernel-owned scratch reused across
+// epochs, and epochMu — the serial section every app waits on — covers
+// only the manager epoch itself plus the totals update. Merging,
+// ticking and workload materialization all happen outside it.
 type Kernel struct {
 	mgr *rtrm.Manager
 
@@ -35,12 +50,19 @@ type Kernel struct {
 	running bool
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
-	submit  chan batch
+	submit  chan *shard
 
 	syncMu  sync.Mutex // serializes whole synchronous RunEpoch calls
 	epochMu sync.Mutex // serializes manager epochs and totals
 	totals  map[string]float64
 	epochs  atomic.Int64
+
+	// Epoch scratch, reused across epochs. Safe without its own lock:
+	// execute's callers are already serialized — RunEpoch by syncMu, the
+	// concurrent mode by its single epoch-executor goroutine, and the
+	// two modes are mutually exclusive.
+	mergedTasks []*simhpc.Task
+	fanout      []contribution
 
 	errMu sync.Mutex
 	err   error // first workload error observed by concurrent loops
@@ -136,11 +158,17 @@ type contribution struct {
 }
 
 // execute runs one manager epoch over the merged contributions. It is
-// the single funnel both driving modes go through, so epochs serialize
-// on epochMu no matter who calls.
+// the single funnel both driving modes go through; its callers are
+// serialized (see the scratch-field comment), so only the manager epoch
+// and the totals update need epochMu — merging stays outside the lock
+// where concurrent TotalsPerApp readers cannot stall an epoch on it.
+// OnEpoch callbacks run here: on the caller's goroutine in sync mode,
+// on the kernel's epoch-executor goroutine in concurrent mode.
 func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
-	k.epochMu.Lock()
-	var all []*simhpc.Task
+	all := k.mergedTasks[:0]
+	// PerApp escapes to OnEpoch observers and RunEpoch callers, who may
+	// hold it across epochs, so it is the one per-epoch allocation that
+	// cannot come from scratch.
 	perApp := make(map[string]float64, len(contribs))
 	for _, c := range contribs {
 		name := c.ctl.Name()
@@ -152,13 +180,20 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 		}
 		all = append(all, c.tasks...)
 	}
+	// Zero the reused buffer's tail so one burst epoch's task pointers
+	// are not pinned for the kernel's lifetime by smaller later epochs.
+	clear(all[len(all):cap(all)])
+	k.mergedTasks = all
+
+	k.epochMu.Lock()
 	rep := k.mgr.RunEpoch(dt, all)
 	for name, g := range perApp {
 		k.totals[name] += g
 	}
-	res := EpochResult{Epoch: k.epochs.Add(1), Report: rep, PerApp: perApp}
+	epoch := k.epochs.Add(1)
 	k.epochMu.Unlock()
 
+	res := EpochResult{Epoch: epoch, Report: rep, PerApp: perApp}
 	for _, c := range contribs {
 		if c.ctl.spec.OnEpoch != nil {
 			c.ctl.spec.OnEpoch(res)
@@ -167,12 +202,29 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 	return res
 }
 
+// executor drains merged epochs off the scheduler, keeping the manager
+// busy while the scheduler collects and releases the next round of
+// batches. The handoff channel is unbuffered, so a send completing
+// proves the previous epoch finished and its contribution buffer is
+// free for reuse — the scheduler double-buffers on that guarantee.
+func (k *Kernel) executor(execCh <-chan []contribution, dt float64) {
+	defer k.wg.Done()
+	for contribs := range execCh {
+		k.execute(dt, contribs)
+	}
+}
+
 // RunEpoch synchronously runs one adaptation epoch across every
 // attached application: tick each controller, materialize workloads,
 // run the manager over the merged task list. Safe for concurrent use
 // (calls serialize fully, so no app's Workload ever runs twice at
 // once), but mutually exclusive with the concurrent mode: it errors
 // while Start's loops are running.
+//
+// The per-app Tick+workload stage fans out over a worker pool, so two
+// different apps' callbacks may run concurrently (each app's own
+// callbacks never do). On a workload error the epoch is abandoned —
+// no manager epoch runs — but other apps may already have ticked.
 func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 	k.syncMu.Lock()
 	defer k.syncMu.Unlock()
@@ -181,17 +233,64 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 		k.mu.Unlock()
 		return EpochResult{}, fmt.Errorf("runtime: RunEpoch while the concurrent kernel is running")
 	}
-	apps := append([]*Controller(nil), k.apps...)
+	// Safe to share the slice header: Attach only appends, and the
+	// elements below len are never rewritten.
+	apps := k.apps
 	k.mu.Unlock()
 
-	contribs := make([]contribution, 0, len(apps))
-	for _, ctl := range apps {
-		ctl.Tick()
-		tasks, err := ctl.workload()
-		if err != nil {
-			return EpochResult{}, fmt.Errorf("runtime: %s: %w", ctl.Name(), err)
+	n := len(apps)
+	if cap(k.fanout) < n {
+		k.fanout = make([]contribution, n)
+	}
+	contribs := k.fanout[:n]
+
+	var firstErr error
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		// Few apps: the fan-out costs less than spawning workers.
+		for i, ctl := range apps {
+			ctl.Tick()
+			tasks, err := ctl.workload()
+			if err != nil {
+				return EpochResult{}, fmt.Errorf("runtime: %s: %w", ctl.Name(), err)
+			}
+			contribs[i] = contribution{ctl: ctl, tasks: tasks}
 		}
-		contribs = append(contribs, contribution{ctl: ctl, tasks: tasks})
+	} else {
+		var next atomic.Int64
+		var errMu sync.Mutex
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					ctl := apps[i]
+					ctl.Tick()
+					tasks, err := ctl.workload()
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("runtime: %s: %w", ctl.Name(), err)
+						}
+						errMu.Unlock()
+						tasks = nil
+					}
+					contribs[i] = contribution{ctl: ctl, tasks: tasks}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return EpochResult{}, firstErr
+		}
 	}
 	return k.execute(dt, contribs), nil
 }
@@ -228,19 +327,41 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// batch is one app loop's submission to the epoch scheduler.
-type batch struct {
-	ctl   *Controller
-	tasks []*simhpc.Task
-	done  chan EpochResult // buffered(1); receives the epoch this batch joined
+// shard is one loop worker's slice of the attached applications. The
+// concurrent mode keeps one goroutine per app only while nApps ≤
+// 2·GOMAXPROCS; past that it collapses to GOMAXPROCS shard loops. At
+// 64+ apps the per-app model spends its time waking 2 goroutines per
+// app per epoch (most of them landing on idle Ps), while a shard wakes
+// once, ticks its apps back-to-back and submits one combined batch —
+// the event-driven-core shape of the non-threaded CCP argument, with
+// wakeups per epoch dropping from O(apps) to O(cores).
+type shard struct {
+	apps     []*Controller
+	contribs []contribution // this epoch's batch, reused every round
+	// accepted is signalled when the shard's batch is merged into an
+	// epoch (buffered 1; a shard never has two batches in flight). The
+	// signal arrives before the manager epoch runs, so the shard's next
+	// round of ticks overlaps it — epoch results reach apps through
+	// OnEpoch instead.
+	accepted chan struct{}
 }
 
-// Start launches the concurrent kernel: one control-loop goroutine per
-// attached application plus the batched epoch scheduler. It returns
-// immediately; the loops run until ctx is cancelled or Stop is called.
-// Call Stop even after an external ctx cancellation — it reaps the
-// goroutines and returns the kernel to the attachable/restartable
-// state (until then Attach, Start and RunEpoch keep erroring).
+// Start launches the concurrent kernel: sharded control-loop workers
+// covering every attached application, the batched epoch scheduler,
+// and the epoch executor. It returns immediately; the loops run until
+// ctx is cancelled or Stop is called. Call Stop even after an external
+// ctx cancellation — it reaps the goroutines and returns the kernel to
+// the attachable/restartable state (until then Attach, Start and
+// RunEpoch keep erroring).
+//
+// Apps sharing a shard share a loop goroutine, so one app's stalled
+// Workload delays its shard-mates' next batch; the scheduler's Flush
+// bound keeps running epochs for the OTHER shards' apps. With nApps ≤
+// 2·GOMAXPROCS every app keeps its own goroutine and stall isolation
+// is per app, as in PR 1; in the single-worker degenerate case there
+// are no other loops, so a blocked Workload blocks all epochs until
+// it returns — callers with blocking workloads on single-core hosts
+// should keep them non-blocking or bound them themselves.
 func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	opts = opts.withDefaults()
 	k.mu.Lock()
@@ -257,15 +378,82 @@ func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	ctx, cancel := context.WithCancel(ctx)
 	k.cancel = cancel
 	k.running = true
-	k.submit = make(chan batch, len(k.apps))
+
+	// Per-app loops while they are affordable (strongest straggler
+	// isolation); collapse to one shard per core once the app count
+	// would make per-app wakeups the epoch's critical path.
+	nShards := len(k.apps)
+	if maxLoops := 2 * goruntime.GOMAXPROCS(0); nShards > maxLoops {
+		nShards = goruntime.GOMAXPROCS(0)
+	}
+	shards := make([]*shard, nShards)
+	for i := range shards {
+		shards[i] = &shard{accepted: make(chan struct{}, 1)}
+	}
+	for i, ctl := range k.apps {
+		sh := shards[i%nShards]
+		sh.apps = append(sh.apps, ctl)
+	}
+	for _, sh := range shards {
+		sh.contribs = make([]contribution, 0, len(sh.apps))
+	}
+	if nShards == 1 {
+		// One worker covers every app (single-core host, or a single
+		// app): scheduler, executor and epoch barrier would only add
+		// handoffs between goroutines that cannot run in parallel
+		// anyway. Degenerate to one uncontended control-loop driver —
+		// the non-threaded event-driven core, with telemetry producers
+		// still feeding the lock-free inboxes from outside.
+		k.wg.Add(1)
+		go k.singleLoop(ctx, shards[0], opts)
+		return nil
+	}
+	k.submit = make(chan *shard, nShards)
 
 	k.wg.Add(1)
 	go k.scheduler(ctx, opts, len(k.apps))
-	for _, ctl := range k.apps {
+	for _, sh := range shards {
 		k.wg.Add(1)
-		go k.appLoop(ctx, ctl, opts)
+		go k.shardLoop(ctx, sh, opts)
 	}
 	return nil
+}
+
+// singleLoop is the degenerate concurrent mode for one shard: tick,
+// materialize, execute, repeat — no batching machinery, because there
+// is nothing to batch against.
+func (k *Kernel) singleLoop(ctx context.Context, sh *shard, opts Options) {
+	defer k.wg.Done()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		sh.contribs = sh.contribs[:0]
+		for _, ctl := range sh.apps {
+			ctl.Tick()
+			tasks, err := ctl.workload()
+			if err != nil {
+				k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
+				tasks = nil
+			}
+			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
+		}
+		k.execute(opts.EpochDt, sh.contribs)
+		if opts.Interval > 0 {
+			t := time.NewTimer(opts.Interval)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		} else {
+			// Unpaced epochs on a single P would otherwise starve the
+			// telemetry producers until async preemption kicks in; the
+			// epoch boundary is the fair point to let them run.
+			goruntime.Gosched()
+		}
+	}
 }
 
 // Stop cancels the concurrent loops and waits for them to exit. The
@@ -285,31 +473,51 @@ func (k *Kernel) Stop() {
 	k.mu.Unlock()
 }
 
-// appLoop is one application's control loop: tick, materialize the
-// epoch workload, submit it to the scheduler, wait for the epoch to
-// land, repeat.
-func (k *Kernel) appLoop(ctx context.Context, ctl *Controller, opts Options) {
+// shardLoop drives the control loops of one shard of applications:
+// tick each app, materialize its epoch workload, submit the combined
+// batch to the scheduler, wait for it to be merged into an epoch,
+// repeat. Because acceptance is signalled before the manager epoch
+// runs, the shard's next round of ticks overlaps it. (Ticking ahead of
+// acceptance was tried and measured slower: with the epoch barrier the
+// slowest shard sets the pace, and eager next-round ticks steal cores
+// from the current round's stragglers.)
+func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options) {
 	defer k.wg.Done()
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		ctl.Tick()
-		tasks, err := ctl.workload()
-		if err != nil {
-			k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
-			tasks = nil
+		sh.contribs = sh.contribs[:0]
+		for _, ctl := range sh.apps {
+			ctl.Tick()
+			tasks, err := ctl.workload()
+			if err != nil {
+				k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
+				tasks = nil
+			}
+			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
 		}
-		b := batch{ctl: ctl, tasks: tasks, done: make(chan EpochResult, 1)}
+		// Non-blocking fast paths first: submit has one slot per shard
+		// so the send nearly always lands immediately, and a two-case
+		// select costs an order of magnitude more than a failed
+		// non-blocking attempt.
 		select {
-		case k.submit <- b:
-		case <-ctx.Done():
-			return
+		case k.submit <- sh:
+		default:
+			select {
+			case k.submit <- sh:
+			case <-ctx.Done():
+				return
+			}
 		}
 		select {
-		case <-b.done:
-		case <-ctx.Done():
-			return
+		case <-sh.accepted:
+		default:
+			select {
+			case <-sh.accepted:
+			case <-ctx.Done():
+				return
+			}
 		}
 		if opts.Interval > 0 {
 			t := time.NewTimer(opts.Interval)
@@ -326,12 +534,32 @@ func (k *Kernel) appLoop(ctx context.Context, ctl *Controller, opts Options) {
 // scheduler batches app submissions into manager epochs: it runs an
 // epoch as soon as every live app has contributed, or when Flush
 // expires with a partial batch (stragglers then catch the next epoch).
+//
+// Flushing is pipelined two deep. Contributors are released the moment
+// their batches are merged into the epoch's contribution list, so
+// every released app loop ticks, collects telemetry and materializes
+// its next workload while the manager is still executing the epoch
+// they just joined. The manager itself runs on the executor goroutine:
+// the scheduler hands a merged epoch over and immediately goes back to
+// collecting, so releasing N apps and running the manager overlap too.
+// The unbuffered handoff is the depth bound — a second merged epoch
+// blocks until the first finishes, which also guarantees the epoch's
+// double-buffered contribution slices are never written while read.
 func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 	defer k.wg.Done()
-	// An epoch can never contain two batches from one app: each app loop
-	// waits for its batch's done signal — delivered only at flush —
-	// before submitting again.
-	pending := make([]batch, 0, nApps)
+	// An epoch can never contain two batches from one shard: each shard
+	// loop waits for its accepted signal — sent only at flush — before
+	// submitting again.
+	var pending []*shard
+	pendingApps := 0
+	execCh := make(chan []contribution)
+	k.wg.Add(1)
+	go k.executor(execCh, opts.EpochDt)
+	defer close(execCh)
+	// Two merge buffers: while the executor reads one, the scheduler
+	// merges the next epoch into the other.
+	var buffers [2][]contribution
+	cur := 0
 	timer := time.NewTimer(opts.Flush)
 	if !timer.Stop() {
 		<-timer.C
@@ -348,27 +576,52 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 		}
 		armed = false
 	}
-	flush := func() {
-		contribs := make([]contribution, len(pending))
-		for i, b := range pending {
-			contribs[i] = contribution{ctl: b.ctl, tasks: b.tasks}
+	flush := func() bool {
+		contribs := buffers[cur][:0]
+		for _, sh := range pending {
+			contribs = append(contribs, sh.contribs...)
 		}
-		res := k.execute(opts.EpochDt, contribs)
-		for _, b := range pending {
-			b.done <- res
+		clear(contribs[len(contribs):cap(contribs)]) // no stale task pointers in the tail
+		buffers[cur] = contribs
+		cur = 1 - cur
+		for _, sh := range pending {
+			sh.accepted <- struct{}{}
 		}
+		clear(pending)
 		pending = pending[:0]
+		pendingApps = 0
 		disarm()
+		select {
+		case execCh <- contribs:
+			return true
+		case <-ctx.Done():
+			return false
+		}
 	}
 
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case b := <-k.submit:
-			pending = append(pending, b)
-			if len(pending) >= nApps {
-				flush()
+		case sh := <-k.submit:
+			pending = append(pending, sh)
+			pendingApps += len(sh.apps)
+			// Greedily drain whatever else has queued: non-blocking
+			// receives skip the full select machinery.
+		drain:
+			for pendingApps < nApps {
+				select {
+				case sh := <-k.submit:
+					pending = append(pending, sh)
+					pendingApps += len(sh.apps)
+				default:
+					break drain
+				}
+			}
+			if pendingApps >= nApps {
+				if !flush() {
+					return
+				}
 			} else if !armed {
 				timer.Reset(opts.Flush)
 				armed = true
@@ -376,7 +629,9 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 		case <-timer.C:
 			armed = false
 			if len(pending) > 0 {
-				flush()
+				if !flush() {
+					return
+				}
 			}
 		}
 	}

@@ -112,8 +112,10 @@ func TestKernelStartWithoutAppsFails(t *testing.T) {
 // the old core.System behaviour, now multiplexing several apps.
 func TestKernelSynchronousEpochs(t *testing.T) {
 	k := NewKernel(testManager(4))
-	gen := simhpc.NewWorkloadGen(5)
+	// One generator per app: RunEpoch fans Tick+Workload out over a
+	// worker pool, so different apps' workloads may run concurrently.
 	for i := 0; i < 3; i++ {
+		gen := simhpc.NewWorkloadGen(uint64(5 + i))
 		if _, err := k.Attach(simpleSpec(fmt.Sprintf("app%d", i), gen, 4)); err != nil {
 			t.Fatal(err)
 		}
@@ -391,5 +393,102 @@ func TestKernelRestart(t *testing.T) {
 	// Synchronous driving still works after concurrent rounds.
 	if _, err := k.RunEpoch(60); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestKernelScratchReuseAcrossRestarts: the epoch engine's reused
+// scratch buffers (merged-task slice, fan-out contributions, per-app
+// done channels) must not leak state across Start/Stop cycles or
+// between the two driving modes, and a published EpochResult must stay
+// immutable once later epochs run.
+func TestKernelScratchReuseAcrossRestarts(t *testing.T) {
+	k := NewKernel(testManager(4))
+	const nApps = 6 // above the parallel fan-out threshold
+	for i := 0; i < nApps; i++ {
+		gen := simhpc.NewWorkloadGen(uint64(31 + i))
+		if _, err := k.Attach(simpleSpec(fmt.Sprintf("app%d", i), gen, 1+i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sync epochs before, between and after concurrent rounds.
+	prev, err := k.RunEpoch(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make(map[string]float64, len(prev.PerApp))
+	for name, g := range prev.PerApp {
+		snapshot[name] = g
+	}
+	for round := 0; round < 2; round++ {
+		if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := k.Epochs() + 4
+		deadline := time.Now().Add(5 * time.Second)
+		for k.Epochs() < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		k.Stop()
+		if k.Epochs() < want {
+			t.Fatalf("round %d: epochs %d < %d", round, k.Epochs(), want)
+		}
+		res, err := k.RunEpoch(60)
+		if err != nil {
+			t.Fatalf("round %d: sync after concurrent: %v", round, err)
+		}
+		if len(res.PerApp) != nApps {
+			t.Fatalf("round %d: %d contributors, want %d (stale scratch?)", round, len(res.PerApp), nApps)
+		}
+		for name, g := range res.PerApp {
+			if g <= 0 {
+				t.Errorf("round %d: %s offered no work", round, name)
+			}
+		}
+	}
+	// The first epoch's result must not have been clobbered by any of
+	// the later epochs reusing kernel scratch.
+	if len(prev.PerApp) != len(snapshot) {
+		t.Fatalf("published PerApp mutated: %v vs %v", prev.PerApp, snapshot)
+	}
+	for name, g := range snapshot {
+		if prev.PerApp[name] != g {
+			t.Errorf("published PerApp[%s] changed: %v -> %v", name, g, prev.PerApp[name])
+		}
+	}
+	totals := k.TotalsPerApp()
+	for i := 0; i < nApps; i++ {
+		if totals[fmt.Sprintf("app%d", i)] <= 0 {
+			t.Errorf("app%d lost its totals across restarts: %v", i, totals)
+		}
+	}
+}
+
+// TestKernelSyncEpochAllocs pins the tentpole property: a synchronous
+// epoch's kernel-side overhead stays within a small constant allocation
+// budget regardless of app count (the workloads themselves still
+// allocate their tasks).
+func TestKernelSyncEpochAllocs(t *testing.T) {
+	const nApps = 16
+	k := NewKernel(testManager(4))
+	for i := 0; i < nApps; i++ {
+		name := fmt.Sprintf("app%d", i)
+		if _, err := k.Attach(AppSpec{Name: name}); err != nil { // no Workload: kernel overhead only
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.RunEpoch(60); err != nil { // warm scratch buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Fan-out workers + the escaping PerApp map + the manager's cap
+	// plan are the only per-epoch allocations; anything growing with
+	// nApps would land far above this budget.
+	if allocs > 24 {
+		t.Errorf("sync epoch allocates %.0f objects for %d apps, want <= 24", allocs, nApps)
 	}
 }

@@ -24,7 +24,6 @@ import (
 	"repro/internal/autotune"
 	"repro/internal/monitor"
 	"repro/internal/simhpc"
-	"sync"
 )
 
 // Sample is one telemetry observation.
@@ -46,9 +45,19 @@ type SensorFunc func() []Sample
 // Collect implements Sensor.
 func (f SensorFunc) Collect() []Sample { return f() }
 
+// SampleDrainer is an optional Sensor fast path: instead of returning a
+// freshly allocated slice, the sensor streams its pending samples into
+// fn. The control loop prefers this path when available, keeping the
+// collect stage allocation-free (Inbox implements it).
+type SampleDrainer interface {
+	Drain(fn func(metric string, v float64))
+}
+
 // Policy is the decide stage: when the debounced SLA trigger fires,
 // Decide picks the configuration to switch to. ok=false keeps the
 // current configuration (e.g. the knowledge base knows nothing better).
+// The sums map is scratch the control loop reuses across ticks: it is
+// only valid for the duration of the call and must not be retained.
 type Policy interface {
 	Decide(d monitor.Decision, sums map[string]monitor.Summary) (cfg autotune.Config, ok bool)
 }
@@ -75,7 +84,11 @@ type KnobFunc func(autotune.Config)
 func (f KnobFunc) Apply(cfg autotune.Config) { f(cfg) }
 
 // Workload materializes the application's next-epoch tasks for the
-// cluster under its currently applied configuration.
+// cluster under its currently applied configuration. The returned
+// tasks are handed to the manager, which may still be reading them
+// while the kernel's pipelined epochs invoke Workload again — so each
+// call must return freshly built tasks and never retain or mutate
+// previously returned ones.
 type Workload func() ([]*simhpc.Task, error)
 
 // AppSpec declares one adaptive application to a Controller or Kernel.
@@ -97,36 +110,8 @@ type AppSpec struct {
 	Workload Workload
 
 	// OnEpoch, when set, receives every kernel epoch result this app
-	// contributed to (called from the scheduler goroutine).
+	// contributed to. In concurrent mode it is called from the kernel's
+	// epoch-executor goroutine, possibly while this app's control loop
+	// is already ticking the next epoch.
 	OnEpoch func(EpochResult)
-}
-
-// Inbox is a concurrent sample buffer implementing Sensor: any number of
-// producer goroutines Push while the control loop drains via Collect.
-type Inbox struct {
-	mu  sync.Mutex
-	buf []Sample
-}
-
-// Push records a sample.
-func (in *Inbox) Push(metric string, v float64) {
-	in.mu.Lock()
-	in.buf = append(in.buf, Sample{Metric: metric, Value: v})
-	in.mu.Unlock()
-}
-
-// Collect drains and returns the buffered samples.
-func (in *Inbox) Collect() []Sample {
-	in.mu.Lock()
-	out := in.buf
-	in.buf = nil
-	in.mu.Unlock()
-	return out
-}
-
-// Len returns the number of buffered samples.
-func (in *Inbox) Len() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return len(in.buf)
 }
