@@ -11,6 +11,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/apps/dock"
 	"repro/internal/apps/nav"
 	"repro/internal/autotune"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/dsl/interp"
 	"repro/internal/ir"
@@ -731,6 +733,177 @@ func BenchmarkInboxIngest(b *testing.B) {
 				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
 			})
 		}
+	}
+}
+
+// BenchmarkKernelChurn (K4) measures membership churn under load: the
+// concurrent kernel serves nApps working apps (telemetry producers and
+// all, as in K2) while a churn goroutine live-attaches and detaches an
+// extra app every few epochs — each change rolls the membership epoch
+// and rebuilds the loop topology at an epoch boundary. ns/op is the
+// per-epoch wall time including that churn tax; the K4 ≤ K2 bench-gate
+// requirement bounds it.
+func BenchmarkKernelChurn(b *testing.B) {
+	const producerBatch = 10
+	for _, nApps := range []int{8, 64} {
+		b.Run(fmt.Sprintf("apps=%d", nApps), func(b *testing.B) {
+			k, inboxes := benchKernel(nApps)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for _, in := range inboxes {
+				go func(in *kernelrt.Inbox) {
+					for ctx.Err() == nil {
+						for i := 0; i < producerBatch; i++ {
+							in.Push(monitor.MetricLatency, 0.2)
+						}
+						time.Sleep(producerBatch * 200 * time.Microsecond)
+					}
+				}(in)
+			}
+			var churns atomic.Int64
+			churnDone := make(chan struct{})
+			waitEpochs := func(n int64) {
+				for target := k.Epochs() + n; k.Epochs() < target && ctx.Err() == nil; {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+			b.ResetTimer()
+			if err := k.Start(ctx, kernelrt.Options{EpochDt: 60, Flush: 2 * time.Millisecond}); err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				defer close(churnDone)
+				gen := simhpc.NewWorkloadGen(999)
+				for ctx.Err() == nil {
+					if _, err := k.Attach(kernelrt.AppSpec{
+						Name: "churn",
+						Workload: func() ([]*simhpc.Task, error) {
+							return gen.Mix(2, 1, 1, 1, 8), nil
+						},
+					}); err != nil {
+						return
+					}
+					waitEpochs(4)
+					if err := k.Detach("churn"); err != nil {
+						return
+					}
+					churns.Add(1)
+					waitEpochs(4)
+				}
+			}()
+			for k.Epochs() < int64(b.N) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			k.Stop()
+			b.StopTimer()
+			cancel()
+			<-churnDone
+			if err := k.Err(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(churns.Load())/b.Elapsed().Seconds(), "churn/s")
+		})
+	}
+}
+
+// BenchmarkHTTPIngest (K5) measures telemetry ingestion through the
+// HTTP control plane — P remote producers POSTing 64-sample batches at
+// a registered app, JSON decode and all, with the app's control loop
+// ticking concurrently as the collector — against the same shape fed
+// straight into the in-process lock-free Inbox ("inproc"). The spread
+// between the two is the serving tax of moving a producer out of
+// process; K3 covers the inbox's own contention profile.
+func BenchmarkHTTPIngest(b *testing.B) {
+	const batch = 64
+	mkKernel := func() *kernelrt.Kernel {
+		rng := simhpc.NewRNG(61)
+		cluster := simhpc.NewCluster(4, 24, func(i int) *simhpc.Node {
+			return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+		})
+		return kernelrt.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9))
+	}
+	// collector ticks the app's control loop so the inbox keeps
+	// draining while producers push — K3's concurrent-collector shape.
+	collect := func(ctl *kernelrt.Controller) (stop func()) {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					ctl.Tick()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+		return func() { close(done); wg.Wait() }
+	}
+	for _, producers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("http/producers=%d", producers), func(b *testing.B) {
+			k := mkKernel()
+			srv := httptest.NewServer(controlplane.NewServer(k))
+			defer srv.Close()
+			c := controlplane.NewClient(srv.URL, srv.Client())
+			if _, err := c.Register(controlplane.AppSpec{Name: "ingest"}); err != nil {
+				b.Fatal(err)
+			}
+			stop := collect(k.App("ingest"))
+			defer stop()
+			samples := make([]controlplane.Observation, batch)
+			for i := range samples {
+				samples[i] = controlplane.Observation{Metric: monitor.MetricLatency, Value: float64(i)}
+			}
+			per := (b.N + producers*batch - 1) / (producers * batch)
+			total := per * producers * batch
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := c.Observe("ingest", samples); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+		})
+		b.Run(fmt.Sprintf("inproc/producers=%d", producers), func(b *testing.B) {
+			k := mkKernel()
+			inbox := &kernelrt.Inbox{}
+			if _, err := k.Attach(kernelrt.AppSpec{Name: "ingest", Sensor: inbox}); err != nil {
+				b.Fatal(err)
+			}
+			stop := collect(k.App("ingest"))
+			defer stop()
+			per := (b.N + producers*batch - 1) / (producers * batch)
+			total := per * producers * batch
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						for s := 0; s < batch; s++ {
+							inbox.Push(monitor.MetricLatency, float64(s))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }
 

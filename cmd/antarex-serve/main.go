@@ -1,0 +1,92 @@
+// Command antarex-serve runs the adaptation kernel as a multi-tenant
+// HTTP service: a simulated heterogeneous cluster under one
+// rtrm.Manager, the concurrent kernel started empty, and the
+// controlplane API on -addr. Remote applications register, stream
+// observations and detach while the kernel is running — membership
+// changes are admitted and drained at epoch boundaries.
+//
+//	go run ./cmd/antarex-serve -addr :8077
+//	curl -s localhost:8077/healthz
+//	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"levels":[1,0.5,0.25]}'
+//	curl -s -X POST localhost:8077/v1/apps/web/observations -d '{"samples":[{"metric":"latency","value":2.2}]}'
+//	curl -s localhost:8077/v1/epochs
+//	curl -s -X DELETE localhost:8077/v1/apps/web
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/rtrm"
+	"repro/internal/runtime"
+	"repro/internal/simhpc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8077", "HTTP listen address")
+		nodes    = flag.Int("nodes", 8, "simulated cluster nodes")
+		hetero   = flag.Bool("hetero", true, "alternate heterogeneous/homogeneous nodes")
+		ambient  = flag.Float64("ambient", 22, "ambient temperature (C)")
+		capFrac  = flag.Float64("cap-frac", 0.9, "facility power cap as a fraction of peak")
+		vary     = flag.Float64("vary", 0.15, "component manufacturing variability")
+		seed     = flag.Uint64("seed", 42, "cluster RNG seed")
+		epochDt  = flag.Float64("epoch-dt", 60, "simulated seconds per manager epoch")
+		flush    = flag.Duration("flush", 20*time.Millisecond, "epoch scheduler straggler flush bound")
+		interval = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
+	)
+	flag.Parse()
+
+	rng := simhpc.NewRNG(*seed)
+	cluster := simhpc.NewCluster(*nodes, *ambient, func(i int) *simhpc.Node {
+		if *hetero && i%2 == 0 {
+			return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), *vary, rng)
+		}
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), *vary, rng)
+	})
+	mgr := rtrm.NewManager(cluster, cluster.FacilityPowerW(1)**capFrac)
+	kernel := runtime.NewKernel(mgr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := kernel.Start(ctx, runtime.Options{
+		EpochDt:  *epochDt,
+		Flush:    *flush,
+		Interval: *interval,
+	}); err != nil {
+		log.Fatalf("antarex-serve: start kernel: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           controlplane.NewServer(kernel),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+	}()
+
+	log.Printf("antarex-serve: %d-node cluster (cap %.0f W), control plane on %s", *nodes, mgr.Capper.CapW, *addr)
+	err := srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		kernel.Stop()
+		log.Fatalf("antarex-serve: %v", err)
+	}
+	// Graceful path: HTTP drained; now quiesce the kernel.
+	kernel.Stop()
+	stats := kernel.ManagerStats()
+	log.Printf("antarex-serve: stopped after %d epochs, %.1f GFLOP done, %.1f J, membership epoch %d",
+		kernel.Epochs(), stats.WorkGFlop, stats.EnergyJ, kernel.Generation())
+}

@@ -2,7 +2,8 @@
 // it parses `go test -bench` output, records every reported metric in a
 // JSON baseline, and fails CI when a metric drifts beyond tolerance —
 // so the reproduction's claim numbers (C1–C6) and kernel throughput
-// (K1–K3) cannot silently rot.
+// (K1–K5, including membership churn and HTTP ingest) cannot silently
+// rot.
 //
 // Usage:
 //
@@ -86,14 +87,16 @@ type metricClass int
 const (
 	deterministic     metricClass = iota
 	envLowerIsBetter              // ns/op, B/op, allocs/op
-	envHigherIsBetter             // samples/s
+	envHigherIsBetter             // rates: samples/s, churn/s, ...
 )
 
 func classify(unit string) metricClass {
 	switch {
 	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
 		return envLowerIsBetter
-	case strings.HasSuffix(unit, "samples/s"):
+	case strings.HasSuffix(unit, "/s"):
+		// Wall-clock rates (samples/s, churn/s) scale with the machine
+		// class like ns/op does; higher is better.
 		return envHigherIsBetter
 	}
 	return deterministic

@@ -64,6 +64,7 @@ func TestClassify(t *testing.T) {
 		"B/op":        envLowerIsBetter,
 		"allocs/op":   envLowerIsBetter,
 		"samples/s":   envHigherIsBetter,
+		"churn/s":     envHigherIsBetter,
 		"GFLOP/epoch": deterministic,
 		"ratio":       deterministic,
 		"power_MW":    deterministic,

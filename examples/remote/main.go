@@ -1,0 +1,175 @@
+// Remote serving demo: the adaptation kernel as a multi-tenant HTTP
+// service, driven purely through the controlplane client — the Fig. 1
+// control loops closed over the network instead of in-process.
+//
+// Two tenants register over HTTP. "steady" meets its latency SLA;
+// "bursty" violates it and walks down its declared level ladder (the
+// built-in step-down policy), shedding epoch work. Then "steady"
+// detaches while the kernel keeps running — the membership epoch drains
+// it at an epoch boundary without stalling "bursty".
+//
+//	go run ./examples/remote                 # self-hosted: in-process server
+//	go run ./examples/remote -connect URL    # drive an external antarex-serve
+//
+// With -connect the program doubles as an end-to-end smoke check (CI
+// runs it against a freshly started cmd/antarex-serve): any failed
+// assertion exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/runtime"
+	"repro/internal/simhpc"
+)
+
+func main() {
+	connect := flag.String("connect", "", "control-plane URL (empty: start an in-process server)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	base := *connect
+	if base == "" {
+		var shutdown func()
+		base, shutdown = selfHost()
+		defer shutdown()
+		log.Printf("in-process control plane on %s", base)
+	}
+	c := controlplane.NewClient(base, nil)
+
+	h, err := c.Health()
+	must(err)
+	if h.Status != "ok" || !h.Running {
+		log.Fatalf("unhealthy control plane: %+v", h)
+	}
+	gen0 := h.Generation
+
+	// Register the two tenants.
+	_, err = c.Register(controlplane.AppSpec{
+		Name:     "steady",
+		Goals:    []controlplane.GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
+		Workload: controlplane.WorkloadSpec{Tasks: 2, GFlop: 4},
+	})
+	must(err)
+	_, err = c.Register(controlplane.AppSpec{
+		Name:     "bursty",
+		Window:   8,
+		Debounce: 2,
+		Goals:    []controlplane.GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
+		Workload: controlplane.WorkloadSpec{Tasks: 2, GFlop: 4},
+		Levels:   []float64{1, 0.5, 0.25},
+	})
+	must(err)
+	log.Printf("registered tenants steady + bursty (membership epoch %d -> %d)", gen0, mustGen(c))
+
+	// Stream observations: steady within SLA, bursty far beyond it.
+	stream := func(name string, lat float64) {
+		_, err := c.Observe(name, []controlplane.Observation{
+			{Metric: monitor.MetricLatency, Value: lat},
+			{Metric: monitor.MetricLatency, Value: lat},
+		})
+		must(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var bursty controlplane.AppStatus
+	for {
+		stream("steady", 0.3)
+		stream("bursty", 4.0)
+		bursty, err = c.App("bursty")
+		must(err)
+		if bursty.Adaptations > 0 && bursty.Level < 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("bursty never adapted: %+v", bursty)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Printf("bursty adapted: level %.2f after %d ticks, %d fires (shedding %d%% of its work)",
+		bursty.Level, bursty.Ticks, bursty.Fires, int(100*(1-bursty.Level)))
+
+	// Live detach: steady leaves while epochs keep flowing.
+	ep0, err := c.Epochs()
+	must(err)
+	must(c.Detach("steady"))
+	deadline = time.Now().Add(30 * time.Second) // fresh budget for the settle phase
+	for {
+		h, err = c.Health()
+		must(err)
+		if h.ServedGeneration == h.Generation {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("membership epoch never settled: %+v", h)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.App("steady"); !controlplane.IsNotFound(err) {
+		log.Fatalf("detached tenant still served: %v", err)
+	}
+	for {
+		ep, err := c.Epochs()
+		must(err)
+		if ep.Epochs >= ep0.Epochs+10 && ep.TotalsPerApp["bursty"] > ep0.TotalsPerApp["bursty"] {
+			if ep.TotalsPerApp["steady"] <= 0 {
+				log.Fatal("steady's cumulative totals were dropped on detach")
+			}
+			log.Printf("steady detached live at epoch %d; bursty kept running: epoch %d, %.1f GFLOP total, %.1f J",
+				ep0.Epochs, ep.Epochs, ep.TotalsPerApp["bursty"], ep.EnergyJ)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("survivor stalled after detach: %+v vs %+v", ep, ep0)
+		}
+		stream("bursty", 4.0)
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Println("remote serving demo: OK")
+}
+
+// selfHost spins up the whole serving stack in-process: cluster,
+// manager, kernel (started empty) and the control plane on a loopback
+// listener — the same wiring as cmd/antarex-serve, minus the process.
+func selfHost() (base string, shutdown func()) {
+	rng := simhpc.NewRNG(7)
+	cluster := simhpc.NewCluster(4, 22, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.1, rng)
+	})
+	kernel := runtime.NewKernel(rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9))
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := kernel.Start(ctx, runtime.Options{Flush: 5 * time.Millisecond}); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: controlplane.NewServer(kernel)}
+	go func() { _ = srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() {
+		_ = srv.Close()
+		cancel()
+		kernel.Stop()
+	}
+}
+
+func mustGen(c *controlplane.Client) int64 {
+	h, err := c.Health()
+	must(err)
+	return h.Generation
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package controlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is the Go client of the v1 control-plane API. Zero-value-safe
+// construction via NewClient; safe for concurrent use (it only wraps an
+// http.Client).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a control plane at base (e.g.
+// "http://127.0.0.1:8077"). Pass nil to use a default http.Client with
+// a 10 s timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx control-plane response.
+type APIError struct {
+	Status int    // HTTP status code
+	Msg    string // server-side error string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("controlplane: %d %s: %s", e.Status, http.StatusText(e.Status), e.Msg)
+}
+
+// IsNotFound reports whether err is an APIError with status 404 — the
+// wire-side analogue of runtime.ErrUnknownApp.
+func IsNotFound(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.Status == http.StatusNotFound
+}
+
+// do runs one request: in (when non-nil) is marshalled as the JSON
+// body, out (when non-nil) receives the decoded 2xx response.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("controlplane: marshal %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb ErrorBody
+		_ = json.NewDecoder(io.LimitReader(resp.Body, maxSpecBody)).Decode(&eb)
+		return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("controlplane: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Register attaches an application (POST /v1/apps).
+func (c *Client) Register(spec AppSpec) (AppStatus, error) {
+	var st AppStatus
+	err := c.do(http.MethodPost, "/v1/apps", spec, &st)
+	return st, err
+}
+
+// Detach removes an application (DELETE /v1/apps/{id}). The kernel
+// drains it at the next epoch boundary.
+func (c *Client) Detach(name string) error {
+	return c.do(http.MethodDelete, "/v1/apps/"+url.PathEscape(name), nil, nil)
+}
+
+// Observe streams a batch of telemetry samples into the app's inbox
+// (POST /v1/apps/{id}/observations) and returns the accepted count.
+func (c *Client) Observe(name string, samples []Observation) (int, error) {
+	var ack ObservationAck
+	err := c.do(http.MethodPost, "/v1/apps/"+url.PathEscape(name)+"/observations",
+		ObservationBatch{Samples: samples}, &ack)
+	return ack.Accepted, err
+}
+
+// App reads one app's status (GET /v1/apps/{id}).
+func (c *Client) App(name string) (AppStatus, error) {
+	var st AppStatus
+	err := c.do(http.MethodGet, "/v1/apps/"+url.PathEscape(name), nil, &st)
+	return st, err
+}
+
+// Apps lists the HTTP-registered apps (GET /v1/apps).
+func (c *Client) Apps() ([]AppStatus, error) {
+	var out []AppStatus
+	err := c.do(http.MethodGet, "/v1/apps", nil, &out)
+	return out, err
+}
+
+// Epochs reads kernel-wide epoch telemetry (GET /v1/epochs).
+func (c *Client) Epochs() (EpochsStatus, error) {
+	var st EpochsStatus
+	err := c.do(http.MethodGet, "/v1/epochs", nil, &st)
+	return st, err
+}
+
+// Health reads the liveness probe (GET /healthz).
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}

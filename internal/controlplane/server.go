@@ -1,0 +1,476 @@
+// Package controlplane turns the adaptation kernel into a multi-tenant
+// service: an HTTP/JSON API (stdlib net/http only) through which remote
+// applications register (POST /v1/apps), stream telemetry observations
+// into their lock-free runtime.Inbox (POST /v1/apps/{id}/observations),
+// and detach live (DELETE /v1/apps/{id}) — the kernel's membership
+// epoch admits and drains them at epoch boundaries while the sharded
+// control loops keep serving everyone else. Read-side telemetry is
+// GET /v1/apps[/{id}], GET /v1/epochs and GET /healthz.
+//
+// The ingress funnel deliberately ends at Inbox.Push: an HTTP handler
+// goroutine is just another telemetry producer, so the CCBench-style
+// contention argument that chose the lock-free ring (PR 2, K3) carries
+// over to remote producers unchanged — handlers never contend with the
+// control loops' Collect; beyond the chunk-claim atomics the only
+// shared state on the warm path is a read-locked metric-cardinality
+// check and a pending-sample bound (backpressure when the kernel is
+// not draining).
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/runtime"
+	"repro/internal/simhpc"
+)
+
+// Body-size ceilings, defensive bounds for a public ingress.
+const (
+	maxSpecBody        = 64 << 10
+	maxObservationBody = 1 << 20
+)
+
+// remoteApp is the server-side state of one HTTP-registered tenant:
+// the kernel controller, the inbox HTTP observations feed, and the
+// level-ladder position of the built-in step-down policy.
+type remoteApp struct {
+	spec     AppSpec
+	inbox    *runtime.Inbox
+	ctl      *runtime.Controller
+	samples  atomic.Int64
+	levelIdx atomic.Int64 // index into spec.Levels
+
+	// metrics tracks the distinct metric names this tenant has streamed.
+	// Every new name permanently allocates a monitor.Window in the
+	// controller, so cardinality is capped (maxMetricsPerApp) — without
+	// it a hostile tenant could grow server memory one fresh name at a
+	// time, under the body-size ceilings. Once the set is warm the
+	// check is a shared RLock, so concurrent producers to one app do
+	// not serialize on it.
+	metricsMu sync.RWMutex
+	metrics   map[string]struct{}
+}
+
+// admitMetrics checks a batch's metric names against the cardinality
+// cap. All-or-nothing: a rejected batch admits no names, so it cannot
+// burn cardinality slots a later well-formed batch would need.
+func (a *remoteApp) admitMetrics(samples []Observation) error {
+	a.metricsMu.RLock()
+	known := true
+	for _, o := range samples {
+		if _, ok := a.metrics[o.Metric]; !ok {
+			known = false
+			break
+		}
+	}
+	a.metricsMu.RUnlock()
+	if known {
+		return nil // warm path: no write lock on the ingest funnel
+	}
+	a.metricsMu.Lock()
+	defer a.metricsMu.Unlock()
+	var added []string
+	for _, o := range samples {
+		if _, ok := a.metrics[o.Metric]; ok {
+			continue
+		}
+		if len(a.metrics) >= maxMetricsPerApp {
+			for _, m := range added {
+				delete(a.metrics, m) // roll back: the batch is rejected whole
+			}
+			return fmt.Errorf("metric %q would exceed the %d distinct metrics per app", o.Metric, maxMetricsPerApp)
+		}
+		a.metrics[o.Metric] = struct{}{}
+		added = append(added, o.Metric)
+	}
+	return nil
+}
+
+// level returns the active workload multiplier (1 without a ladder).
+func (a *remoteApp) level() float64 {
+	if len(a.spec.Levels) == 0 {
+		return 1
+	}
+	return a.spec.Levels[a.levelIdx.Load()]
+}
+
+// Server exposes a runtime.Kernel over HTTP. It implements
+// http.Handler; the caller owns the kernel's lifecycle (Start/Stop) and
+// the http.Server wrapping.
+type Server struct {
+	kernel *runtime.Kernel
+	mux    *http.ServeMux
+
+	mu   sync.RWMutex // guards apps; held across Attach/Detach so map and membership agree
+	apps map[string]*remoteApp
+}
+
+// NewServer builds the control plane over a kernel. Apps attached to
+// the kernel directly (in-process) are visible in /v1/epochs but are
+// not addressable under /v1/apps, which serves HTTP-registered tenants.
+func NewServer(k *runtime.Kernel) *Server {
+	s := &Server{
+		kernel: k,
+		mux:    http.NewServeMux(),
+		apps:   make(map[string]*remoteApp),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
+	s.mux.HandleFunc("POST /v1/apps", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
+	s.mux.HandleFunc("GET /v1/apps/{id}", s.handleApp)
+	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.handleDetach)
+	s.mux.HandleFunc("POST /v1/apps/{id}/observations", s.handleObserve)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps kernel errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, runtime.ErrDuplicateApp):
+		code = http.StatusConflict
+	case errors.Is(err, runtime.ErrUnknownApp):
+		code = http.StatusNotFound
+	case errors.Is(err, runtime.ErrEmptyAppName):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, ErrorBody{Error: err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// Spec magnitude ceilings: the body-size caps bound the JSON, these
+// bound what the numbers inside it can make the kernel allocate or
+// feed into the simulator. Generous for any real tenant, fatal for a
+// hostile one.
+const (
+	maxTasksPerEpoch = 4096
+	maxWindow        = 1 << 16
+	maxDebounce      = 1024
+	maxLevels        = 64
+	maxMetricsPerApp = 64
+	maxNameLen       = 128
+	maxMagnitude     = 1e9 // gflop, mem_gb, level, goal target
+	// maxPendingSamples bounds one tenant's uncollected inbox. The
+	// inbox chain is otherwise unbounded, and it only drains while the
+	// kernel ticks the app — without this cap, observations streamed at
+	// a stopped (or slow) kernel would grow server memory without
+	// limit. ~6 MB of samples per tenant at the default chunk layout.
+	maxPendingSamples = 1 << 18
+)
+
+// validMag reports whether v is a finite value in [0, maxMagnitude]
+// (NaN rejected by the double negation).
+func validMag(v float64) bool {
+	return v >= 0 && v <= maxMagnitude
+}
+
+// validName reports whether a tenant name is addressable as one URL
+// path segment under /v1/apps/{id}: [A-Za-z0-9._-]+, not "." or "..".
+// Anything looser (slashes, dot segments) registers fine but then
+// path-cleans into a 404 on every per-app route — a tenant that can
+// never be observed or detached over HTTP.
+func validName(name string) bool {
+	if name == "" || len(name) > maxNameLen || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validateSpec bounds a remote AppSpec's magnitudes.
+func validateSpec(spec AppSpec) error {
+	switch {
+	case !validName(spec.Name):
+		return fmt.Errorf("name %q must be 1-%d characters of [A-Za-z0-9._-] and not a dot segment", spec.Name, maxNameLen)
+	case spec.Workload.Tasks < 0 || spec.Workload.Tasks > maxTasksPerEpoch:
+		return fmt.Errorf("workload.tasks %d out of range [0, %d]", spec.Workload.Tasks, maxTasksPerEpoch)
+	case spec.Window < 0 || spec.Window > maxWindow:
+		return fmt.Errorf("window %d out of range [0, %d]", spec.Window, maxWindow)
+	case spec.Debounce < 0 || spec.Debounce > maxDebounce:
+		return fmt.Errorf("debounce %d out of range [0, %d]", spec.Debounce, maxDebounce)
+	case len(spec.Levels) > maxLevels:
+		return fmt.Errorf("%d levels, at most %d", len(spec.Levels), maxLevels)
+	case !validMag(spec.Workload.GFlop) || !validMag(spec.Workload.MemGB):
+		return fmt.Errorf("workload gflop/mem_gb must be finite in [0, %g]", float64(maxMagnitude))
+	}
+	for _, l := range spec.Levels {
+		if !validMag(l) {
+			return fmt.Errorf("level %g must be finite in [0, %g]", l, float64(maxMagnitude))
+		}
+	}
+	for _, g := range spec.Goals {
+		if !validMag(g.Target) {
+			return fmt.Errorf("goal %s: target %g must be finite in [0, %g]", g.Metric, g.Target, float64(maxMagnitude))
+		}
+	}
+	return nil
+}
+
+// parseGoals converts wire goals to monitor goals.
+func parseGoals(specs []GoalSpec) ([]monitor.Goal, error) {
+	goals := make([]monitor.Goal, 0, len(specs))
+	for _, g := range specs {
+		if g.Metric == "" {
+			return nil, fmt.Errorf("goal missing metric")
+		}
+		rel := monitor.AtMost
+		switch g.Relation {
+		case "", "at_most", "<=":
+		case "at_least", ">=":
+			rel = monitor.AtLeast
+		default:
+			return nil, fmt.Errorf("goal %s: unknown relation %q", g.Metric, g.Relation)
+		}
+		switch g.Stat {
+		case "", "mean", "p95", "max":
+		default:
+			return nil, fmt.Errorf("goal %s: unknown stat %q", g.Metric, g.Stat)
+		}
+		goals = append(goals, monitor.Goal{Metric: g.Metric, Stat: g.Stat, Relation: rel, Target: g.Target})
+	}
+	return goals, nil
+}
+
+// kernelSpec lowers a wire AppSpec into a runtime.AppSpec wired to the
+// remoteApp's inbox, synthetic workload and level ladder.
+func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal) runtime.AppSpec {
+	w := ra.spec.Workload
+	if w.Tasks <= 0 {
+		w.Tasks = 1
+	}
+	if w.GFlop <= 0 {
+		w.GFlop = 1
+	}
+	if w.MemGB <= 0 {
+		w.MemGB = w.GFlop / 8
+	}
+	spec := runtime.AppSpec{
+		Name:     ra.spec.Name,
+		SLA:      monitor.SLA{Name: ra.spec.Name, Goals: goals},
+		Window:   ra.spec.Window,
+		Debounce: ra.spec.Debounce,
+		Sensor:   ra.inbox,
+		Workload: func() ([]*simhpc.Task, error) {
+			// Fresh tasks every call: the pipelined executor may still
+			// be reading the previous epoch's slice.
+			lvl := ra.level()
+			tasks := make([]*simhpc.Task, w.Tasks)
+			for i := range tasks {
+				tasks[i] = &simhpc.Task{GFlop: w.GFlop * lvl, MemGB: w.MemGB * lvl, Tag: ra.spec.Name}
+			}
+			return tasks, nil
+		},
+	}
+	if len(ra.spec.Levels) > 0 {
+		spec.Policy = runtime.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+			next := ra.levelIdx.Load() + 1
+			if int(next) >= len(ra.spec.Levels) {
+				return nil, false // bottom of the ladder: nothing to shed
+			}
+			return autotune.Config{"level_idx": float64(next)}, true
+		})
+		spec.Knob = runtime.KnobFunc(func(cfg autotune.Config) {
+			if v, ok := cfg["level_idx"]; ok && int(v) < len(ra.spec.Levels) {
+				ra.levelIdx.Store(int64(v))
+			}
+		})
+	}
+	return spec
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec AppSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := validateSpec(spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	goals, err := parseGoals(spec.Goals)
+	if err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	ra := &remoteApp{spec: spec, inbox: &runtime.Inbox{}, metrics: make(map[string]struct{})}
+	s.mu.Lock()
+	ctl, err := s.kernel.Attach(s.kernelSpec(ra, goals))
+	if err == nil {
+		ra.ctl = ctl
+		s.apps[spec.Name] = ra
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.status(ra, nil))
+}
+
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	s.mu.Lock()
+	_, known := s.apps[name]
+	var err error
+	if !known {
+		err = fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp)
+	} else if err = s.kernel.Detach(name); err == nil {
+		delete(s.apps, name)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// The kernel drains the app at the next epoch boundary; membership
+	// is already updated, so 204 without waiting for the drain.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	s.mu.RLock()
+	ra := s.apps[name]
+	s.mu.RUnlock()
+	if ra == nil {
+		writeErr(w, fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp))
+		return
+	}
+	// Backpressure: the inbox only drains while the kernel ticks this
+	// app; refuse new batches once too much telemetry is already
+	// pending instead of buffering without bound.
+	if ra.inbox.Len() >= maxPendingSamples {
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
+			Error: fmt.Sprintf("controlplane: %s: %d samples pending and not being collected; retry later", name, ra.inbox.Len()),
+		})
+		return
+	}
+	var batch ObservationBatch
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObservationBody))
+	if err := dec.Decode(&batch); err != nil {
+		badRequest(w, "bad observation batch: %v", err)
+		return
+	}
+	for _, o := range batch.Samples {
+		if o.Metric == "" {
+			badRequest(w, "observation missing metric")
+			return
+		}
+	}
+	if err := ra.admitMetrics(batch.Samples); err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	// Past validation nothing can fail: pushes are lock-free and the
+	// batch lands even if the app is detached concurrently (its inbox
+	// just never gets collected again).
+	for _, o := range batch.Samples {
+		ra.inbox.Push(o.Metric, o.Value)
+	}
+	ra.samples.Add(int64(len(batch.Samples)))
+	writeJSON(w, http.StatusOK, ObservationAck{Accepted: len(batch.Samples)})
+}
+
+// status renders one tenant. totals is an optional snapshot for list
+// endpoints (TotalsPerApp copies the whole map under the kernel's
+// epoch lock, so a list re-fetching per app would put an O(N²) load on
+// the epoch serial section); nil means the O(1) single-app read.
+func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
+	total, ok := totals[ra.spec.Name]
+	if !ok && totals == nil {
+		total = s.kernel.TotalFor(ra.spec.Name)
+	}
+	return AppStatus{
+		Name:        ra.spec.Name,
+		Ticks:       ra.ctl.Ticks(),
+		Fires:       ra.ctl.Fires(),
+		Adaptations: ra.ctl.Adaptations(),
+		TotalGFlop:  total,
+		Samples:     ra.samples.Load(),
+		Level:       ra.level(),
+	}
+}
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	s.mu.RLock()
+	ra := s.apps[name]
+	s.mu.RUnlock()
+	if ra == nil {
+		writeErr(w, fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(ra, nil))
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	apps := make([]*remoteApp, 0, len(s.apps))
+	for _, ra := range s.apps {
+		apps = append(apps, ra)
+	}
+	s.mu.RUnlock()
+	totals := s.kernel.TotalsPerApp()
+	out := make([]AppStatus, 0, len(apps))
+	for _, ra := range apps {
+		out = append(out, s.status(ra, totals))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	k := s.kernel
+	ms := k.ManagerStats()
+	writeJSON(w, http.StatusOK, EpochsStatus{
+		Epochs:           k.Epochs(),
+		Generation:       k.Generation(),
+		ServedGeneration: k.ServedGeneration(),
+		Apps:             k.NumApps(),
+		TotalsPerApp:     k.TotalsPerApp(),
+		WorkGFlop:        ms.WorkGFlop,
+		DeferredGFlop:    ms.DeferredGFlop,
+		EnergyJ:          ms.EnergyJ,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	k := s.kernel
+	writeJSON(w, http.StatusOK, Health{
+		Status:           "ok",
+		Running:          k.Running(),
+		Apps:             k.NumApps(),
+		Epochs:           k.Epochs(),
+		Generation:       k.Generation(),
+		ServedGeneration: k.ServedGeneration(),
+	})
+}

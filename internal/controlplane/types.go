@@ -1,0 +1,117 @@
+package controlplane
+
+// Wire types of the v1 HTTP/JSON control-plane API. Remote applications
+// cannot ship Go callbacks, so the declarative subset an AppSpec can
+// express over the wire is: SLA goals over streamed observations, a
+// synthetic epoch workload (task count × roofline coordinates), and an
+// optional level ladder the server turns into a built-in step-down
+// policy (each SLA firing steps one level down; each level scales the
+// workload's compute volume).
+
+// GoalSpec is one SLA clause (monitor.Goal over the wire).
+type GoalSpec struct {
+	Metric string `json:"metric"`
+	// Stat selects the windowed statistic the bound applies to: "mean"
+	// (default), "p95" or "max".
+	Stat string `json:"stat,omitempty"`
+	// Relation is "at_most" (default) or "at_least".
+	Relation string  `json:"relation,omitempty"`
+	Target   float64 `json:"target"`
+}
+
+// WorkloadSpec declares the synthetic workload the app offers the
+// shared manager each epoch.
+type WorkloadSpec struct {
+	// Tasks is the number of tasks per epoch (default 1).
+	Tasks int `json:"tasks,omitempty"`
+	// GFlop is each task's compute volume (default 1).
+	GFlop float64 `json:"gflop,omitempty"`
+	// MemGB is each task's memory traffic (default GFlop/8).
+	MemGB float64 `json:"mem_gb,omitempty"`
+}
+
+// AppSpec registers one remote application (POST /v1/apps).
+type AppSpec struct {
+	// Name must be addressable as a URL path segment: 1-128 characters
+	// of [A-Za-z0-9._-], not "." or "..".
+	Name string `json:"name"`
+	// Window is the samples-per-metric window size (default 32).
+	Window int `json:"window,omitempty"`
+	// Debounce is the consecutive-violation count before the policy
+	// fires (default 2).
+	Debounce int          `json:"debounce,omitempty"`
+	Goals    []GoalSpec   `json:"goals,omitempty"`
+	Workload WorkloadSpec `json:"workload,omitempty"`
+	// Levels, when non-empty, arms the built-in step-down policy:
+	// the app starts at Levels[0]; every debounced SLA firing moves one
+	// level to the right; the active level scales each task's compute
+	// volume AND memory traffic together (the task's roofline intensity
+	// is preserved — less work, not different work). A descending
+	// ladder (e.g. [1, 0.5, 0.25]) sheds work under violation, like
+	// the navigation server's fidelity ladder.
+	Levels []float64 `json:"levels,omitempty"`
+}
+
+// Observation is one streamed telemetry sample.
+type Observation struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// ObservationBatch is the body of POST /v1/apps/{id}/observations.
+type ObservationBatch struct {
+	Samples []Observation `json:"samples"`
+}
+
+// ObservationAck acknowledges an accepted batch.
+type ObservationAck struct {
+	Accepted int `json:"accepted"`
+}
+
+// AppStatus is the read side of one app (GET /v1/apps/{id}).
+type AppStatus struct {
+	Name        string  `json:"name"`
+	Ticks       int64   `json:"ticks"`
+	Fires       int64   `json:"fires"`
+	Adaptations int64   `json:"adaptations"`
+	TotalGFlop  float64 `json:"total_gflop"`
+	// Samples counts observations accepted over HTTP for this app.
+	Samples int64 `json:"samples"`
+	// Level is the app's active workload level (1 when no ladder).
+	Level float64 `json:"level"`
+}
+
+// EpochsStatus is the kernel-wide epoch telemetry (GET /v1/epochs).
+type EpochsStatus struct {
+	// Epochs counts manager epochs run since the kernel was built.
+	Epochs int64 `json:"epochs"`
+	// Generation is the membership epoch: attach/detach count so far.
+	Generation int64 `json:"generation"`
+	// ServedGeneration is the membership epoch the concurrent loops
+	// currently serve; it trails Generation briefly after a change.
+	ServedGeneration int64 `json:"served_generation"`
+	// Apps is the current number of attached applications.
+	Apps int `json:"apps"`
+	// TotalsPerApp is cumulative offered GFlop per app (detached apps
+	// keep their entries).
+	TotalsPerApp map[string]float64 `json:"totals_per_app"`
+	// Manager aggregates from the shared rtrm.Manager.
+	WorkGFlop     float64 `json:"work_gflop"`
+	DeferredGFlop float64 `json:"deferred_gflop"`
+	EnergyJ       float64 `json:"energy_j"`
+}
+
+// Health is the liveness probe (GET /healthz).
+type Health struct {
+	Status           string `json:"status"`
+	Running          bool   `json:"running"`
+	Apps             int    `json:"apps"`
+	Epochs           int64  `json:"epochs"`
+	Generation       int64  `json:"generation"`
+	ServedGeneration int64  `json:"served_generation"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync"
@@ -10,6 +11,21 @@ import (
 
 	"repro/internal/rtrm"
 	"repro/internal/simhpc"
+)
+
+// Typed kernel errors. They are wrapped with context (app name, mode),
+// so match with errors.Is; the HTTP control plane maps them to status
+// codes (ErrDuplicateApp → 409, ErrUnknownApp → 404, ...).
+var (
+	// ErrDuplicateApp: Attach of a name that is already attached.
+	ErrDuplicateApp = errors.New("duplicate app name")
+	// ErrUnknownApp: Detach of a name that is not attached.
+	ErrUnknownApp = errors.New("unknown app")
+	// ErrEmptyAppName: Attach with an empty AppSpec.Name.
+	ErrEmptyAppName = errors.New("empty app name")
+	// ErrRunning: an operation that requires the concurrent loops to be
+	// stopped (Start while started, RunEpoch while started).
+	ErrRunning = errors.New("kernel is running")
 )
 
 // Kernel drives the adaptation loops of many applications over one
@@ -36,21 +52,36 @@ import (
 //     manager epoch — the serial section every app waits on is the
 //     manager alone.
 //
+// Membership is dynamic: Attach and Detach work while the kernel is
+// running. Every membership change bumps the membership epoch (a
+// generation counter); the concurrent mode serves one generation at a
+// time and rolls to the next at an epoch boundary — in-flight batches
+// are drained into a final epoch, the loop topology is rebuilt for the
+// new app set (re-sharding when the count crosses 2·GOMAXPROCS), and
+// only then do the new generation's loops start. So a newly attached
+// app is admitted at the next epoch boundary, and a detaching app's
+// already-submitted batch is never dropped.
+//
 // The epoch fast path is allocation-free in steady state: the merged
 // task list and fan-out buffers are kernel-owned scratch reused across
 // epochs, and epochMu — the serial section every app waits on — covers
 // only the manager epoch itself plus the totals update. Merging,
-// ticking and workload materialization all happen outside it.
+// ticking and workload materialization all happen outside it. A
+// membership change allocates (new shards, channels, goroutines), but
+// that cost is paid once per generation, not per epoch.
 type Kernel struct {
 	mgr *rtrm.Manager
 
-	mu      sync.Mutex // guards apps, running, cancel
-	apps    []*Controller
-	byName  map[string]bool
-	running bool
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	submit  chan *shard
+	mu         sync.Mutex // guards apps, byName, running, cancel, memGen, memChanged
+	apps       []*Controller
+	byName     map[string]*Controller
+	running    bool
+	cancel     context.CancelFunc
+	wg         sync.WaitGroup
+	memGen     int64         // membership epoch: bumped by every Attach/Detach
+	memChanged chan struct{} // closed on membership change; re-armed per generation
+
+	servedGen atomic.Int64 // generation the concurrent loops currently serve
 
 	syncMu  sync.Mutex // serializes whole synchronous RunEpoch calls
 	epochMu sync.Mutex // serializes manager epochs and totals
@@ -59,8 +90,10 @@ type Kernel struct {
 
 	// Epoch scratch, reused across epochs. Safe without its own lock:
 	// execute's callers are already serialized — RunEpoch by syncMu, the
-	// concurrent mode by its single epoch-executor goroutine, and the
-	// two modes are mutually exclusive.
+	// concurrent mode by its single per-generation epoch executor (and
+	// generations are sequential: the supervisor waits for one to wind
+	// down before starting the next) — and the two modes are mutually
+	// exclusive.
 	mergedTasks []*simhpc.Task
 	fanout      []contribution
 
@@ -72,33 +105,98 @@ type Kernel struct {
 func NewKernel(mgr *rtrm.Manager) *Kernel {
 	return &Kernel{
 		mgr:    mgr,
-		byName: make(map[string]bool),
+		byName: make(map[string]*Controller),
 		totals: make(map[string]float64),
 	}
 }
 
 // Manager exposes the shared resource manager (telemetry, cluster).
+// Reading its telemetry fields while the kernel is running races with
+// the epoch executor; concurrent readers should use ManagerStats.
 func (k *Kernel) Manager() *rtrm.Manager { return k.mgr }
+
+// ManagerStats is a consistent snapshot of the shared manager's
+// cumulative telemetry, safe to take while epochs are running.
+type ManagerStats struct {
+	Epochs        int
+	WorkGFlop     float64
+	DeferredGFlop float64
+	EnergyJ       float64
+	ThermalEvents int
+	CapDemotions  int
+}
+
+// ManagerStats snapshots the manager's epoch telemetry under the epoch
+// lock, so it is safe to call from any goroutine while the kernel runs.
+func (k *Kernel) ManagerStats() ManagerStats {
+	k.epochMu.Lock()
+	defer k.epochMu.Unlock()
+	return ManagerStats{
+		Epochs:        k.mgr.EpochCount,
+		WorkGFlop:     k.mgr.WorkGFlop,
+		DeferredGFlop: k.mgr.DeferredGFlop,
+		EnergyJ:       k.mgr.EnergyJ,
+		ThermalEvents: k.mgr.ThermalEvents,
+		CapDemotions:  k.mgr.CapDemotions,
+	}
+}
 
 // Attach registers an application and returns its Controller (for
 // direct metric pushes and adaptation counters). Attaching while the
-// kernel is running is an error.
+// kernel is running is allowed: the app is admitted at the next epoch
+// boundary, when the current generation's loops roll over (watch
+// ServedGeneration to observe admission).
 func (k *Kernel) Attach(spec AppSpec) (*Controller, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("runtime: attach: %w", ErrEmptyAppName)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if k.running {
-		return nil, fmt.Errorf("runtime: attach %q: kernel is running", spec.Name)
-	}
-	if spec.Name == "" {
-		return nil, fmt.Errorf("runtime: attach: empty app name")
-	}
-	if k.byName[spec.Name] {
-		return nil, fmt.Errorf("runtime: attach %q: duplicate app name", spec.Name)
+	if k.byName[spec.Name] != nil {
+		return nil, fmt.Errorf("runtime: attach %q: %w", spec.Name, ErrDuplicateApp)
 	}
 	ctl := NewController(spec)
 	k.apps = append(k.apps, ctl)
-	k.byName[spec.Name] = true
+	k.byName[spec.Name] = ctl
+	k.membershipChangedLocked()
 	return ctl, nil
+}
+
+// Detach removes an application by name. Detaching while the kernel is
+// running is allowed: the app's control loop stops at the next epoch
+// boundary, and a batch it already submitted is drained into the
+// generation's final epoch rather than dropped. Cumulative totals for
+// the app are retained.
+func (k *Kernel) Detach(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	gone := k.byName[name]
+	if gone == nil {
+		return fmt.Errorf("runtime: detach %q: %w", name, ErrUnknownApp)
+	}
+	// Copy-on-write: snapshots of k.apps taken by RunEpoch and the
+	// supervisor stay valid (Attach only appends, which never rewrites
+	// elements below a snapshot's length).
+	apps := make([]*Controller, 0, len(k.apps)-1)
+	for _, ctl := range k.apps {
+		if ctl != gone {
+			apps = append(apps, ctl)
+		}
+	}
+	k.apps = apps
+	delete(k.byName, name)
+	k.membershipChangedLocked()
+	return nil
+}
+
+// membershipChangedLocked bumps the membership epoch and wakes the
+// supervisor. Callers hold k.mu.
+func (k *Kernel) membershipChangedLocked() {
+	k.memGen++
+	if k.memChanged != nil {
+		close(k.memChanged)
+		k.memChanged = nil
+	}
 }
 
 // Apps returns the attached controllers in attach order.
@@ -108,12 +206,59 @@ func (k *Kernel) Apps() []*Controller {
 	return append([]*Controller(nil), k.apps...)
 }
 
+// App returns the controller attached under name, or nil.
+func (k *Kernel) App(name string) *Controller {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.byName[name]
+}
+
+// Running reports whether the concurrent loops are active.
+func (k *Kernel) Running() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.running
+}
+
+// Generation returns the membership epoch: the number of Attach/Detach
+// calls accepted so far. It advances immediately on a membership
+// change, before the concurrent loops have rolled over to the new set.
+func (k *Kernel) Generation() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.memGen
+}
+
+// ServedGeneration returns the membership epoch the concurrent loops
+// are currently serving. After an Attach or Detach while running,
+// ServedGeneration catching up to Generation means the change has taken
+// effect at an epoch boundary. Zero before the first Start; stale after
+// Stop.
+func (k *Kernel) ServedGeneration() int64 { return k.servedGen.Load() }
+
 // Epochs returns the number of manager epochs run so far.
 func (k *Kernel) Epochs() int64 { return k.epochs.Load() }
 
+// NumApps returns the current number of attached applications without
+// copying the controller slice.
+func (k *Kernel) NumApps() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.apps)
+}
+
+// TotalFor returns one application's cumulative offered GFlop — the
+// O(1) read for per-app status endpoints, where TotalsPerApp's full
+// map copy under the epoch lock would be per-request O(apps).
+func (k *Kernel) TotalFor(name string) float64 {
+	k.epochMu.Lock()
+	defer k.epochMu.Unlock()
+	return k.totals[name]
+}
+
 // TotalsPerApp returns the cumulative GFlop each application has
 // offered to the manager (the manager's own telemetry tracks how much
-// was executed vs deferred).
+// was executed vs deferred). Detached apps keep their entries.
 func (k *Kernel) TotalsPerApp() map[string]float64 {
 	k.epochMu.Lock()
 	defer k.epochMu.Unlock()
@@ -207,8 +352,8 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 // batches. The handoff channel is unbuffered, so a send completing
 // proves the previous epoch finished and its contribution buffer is
 // free for reuse — the scheduler double-buffers on that guarantee.
-func (k *Kernel) executor(execCh <-chan []contribution, dt float64) {
-	defer k.wg.Done()
+func (k *Kernel) executor(execCh <-chan []contribution, dt float64, wg *sync.WaitGroup) {
+	defer wg.Done()
 	for contribs := range execCh {
 		k.execute(dt, contribs)
 	}
@@ -231,10 +376,10 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 	k.mu.Lock()
 	if k.running {
 		k.mu.Unlock()
-		return EpochResult{}, fmt.Errorf("runtime: RunEpoch while the concurrent kernel is running")
+		return EpochResult{}, fmt.Errorf("runtime: RunEpoch: %w", ErrRunning)
 	}
-	// Safe to share the slice header: Attach only appends, and the
-	// elements below len are never rewritten.
+	// Safe to share the slice header: Attach only appends, and Detach
+	// replaces the slice (copy-on-write) instead of rewriting elements.
 	apps := k.apps
 	k.mu.Unlock()
 
@@ -346,13 +491,16 @@ type shard struct {
 	accepted chan struct{}
 }
 
-// Start launches the concurrent kernel: sharded control-loop workers
-// covering every attached application, the batched epoch scheduler,
-// and the epoch executor. It returns immediately; the loops run until
-// ctx is cancelled or Stop is called. Call Stop even after an external
-// ctx cancellation — it reaps the goroutines and returns the kernel to
-// the attachable/restartable state (until then Attach, Start and
-// RunEpoch keep erroring).
+// Start launches the concurrent kernel: a supervisor goroutine that
+// serves the attached app set one membership generation at a time —
+// sharded control-loop workers, the batched epoch scheduler and the
+// epoch executor per generation — and rebuilds the loop topology
+// whenever Attach or Detach changes membership. Starting with zero
+// apps is allowed: the supervisor idles until the first Attach. Start
+// returns immediately; the loops run until ctx is cancelled or Stop is
+// called. Call Stop even after an external ctx cancellation — it reaps
+// the goroutines and returns the kernel to the restartable state
+// (until then Start and RunEpoch keep erroring).
 //
 // Apps sharing a shard share a loop goroutine, so one app's stalled
 // Workload delays its shard-mates' next batch; the scheduler's Flush
@@ -361,16 +509,16 @@ type shard struct {
 // is per app, as in PR 1; in the single-worker degenerate case there
 // are no other loops, so a blocked Workload blocks all epochs until
 // it returns — callers with blocking workloads on single-core hosts
-// should keep them non-blocking or bound them themselves.
+// should keep them non-blocking or bound them themselves. A membership
+// change also waits for in-flight Workload calls to return before the
+// new generation starts (the drain guarantee), so a stalled workload
+// delays admission of newly attached apps.
 func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	opts = opts.withDefaults()
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.running {
-		return fmt.Errorf("runtime: kernel already running")
-	}
-	if len(k.apps) == 0 {
-		return fmt.Errorf("runtime: no applications attached")
+		return fmt.Errorf("runtime: start: %w", ErrRunning)
 	}
 	k.errMu.Lock()
 	k.err = nil // previous runs' workload errors do not outlive a restart
@@ -378,11 +526,61 @@ func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	ctx, cancel := context.WithCancel(ctx)
 	k.cancel = cancel
 	k.running = true
+	k.wg.Add(1)
+	go k.supervise(ctx, opts)
+	return nil
+}
+
+// supervise is the generation loop: snapshot membership, serve it until
+// it changes (or ctx ends), repeat. The snapshot and the change-signal
+// channel are installed under one lock acquisition, so a membership
+// change is either visible in the snapshot or closes the channel —
+// never silently missed.
+func (k *Kernel) supervise(ctx context.Context, opts Options) {
+	defer k.wg.Done()
+	for {
+		k.mu.Lock()
+		apps := k.apps
+		gen := k.memGen
+		changed := make(chan struct{})
+		k.memChanged = changed
+		k.mu.Unlock()
+		k.servedGen.Store(gen)
+		if ctx.Err() != nil {
+			return
+		}
+		if len(apps) == 0 {
+			// Nothing to serve yet: idle until the first Attach.
+			select {
+			case <-ctx.Done():
+				return
+			case <-changed:
+				continue
+			}
+		}
+		k.serveGeneration(ctx, changed, apps, opts)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// serveGeneration runs the concurrent epoch machinery over one fixed
+// app set until membership changes or ctx ends, then winds it down:
+// loops park at their next ctx check, the scheduler drains every
+// already-submitted batch into a final epoch (no accepted work is
+// dropped — the detach-drain guarantee), and the executor finishes.
+// Only after the generation is fully quiesced does the supervisor move
+// on, so generations never overlap and the epoch scratch buffers stay
+// single-writer.
+func (k *Kernel) serveGeneration(ctx context.Context, changed <-chan struct{}, apps []*Controller, opts Options) {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// Per-app loops while they are affordable (strongest straggler
 	// isolation); collapse to one shard per core once the app count
 	// would make per-app wakeups the epoch's critical path.
-	nShards := len(k.apps)
+	nShards := len(apps)
 	if maxLoops := 2 * goruntime.GOMAXPROCS(0); nShards > maxLoops {
 		nShards = goruntime.GOMAXPROCS(0)
 	}
@@ -390,13 +588,15 @@ func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	for i := range shards {
 		shards[i] = &shard{accepted: make(chan struct{}, 1)}
 	}
-	for i, ctl := range k.apps {
+	for i, ctl := range apps {
 		sh := shards[i%nShards]
 		sh.apps = append(sh.apps, ctl)
 	}
 	for _, sh := range shards {
 		sh.contribs = make([]contribution, 0, len(sh.apps))
 	}
+
+	var loopsWG, genWG sync.WaitGroup
 	if nShards == 1 {
 		// One worker covers every app (single-core host, or a single
 		// app): scheduler, executor and epoch barrier would only add
@@ -404,26 +604,32 @@ func (k *Kernel) Start(ctx context.Context, opts Options) error {
 		// anyway. Degenerate to one uncontended control-loop driver —
 		// the non-threaded event-driven core, with telemetry producers
 		// still feeding the lock-free inboxes from outside.
-		k.wg.Add(1)
-		go k.singleLoop(ctx, shards[0], opts)
-		return nil
+		loopsWG.Add(1)
+		go k.singleLoop(gctx, shards[0], opts, &loopsWG)
+	} else {
+		submit := make(chan *shard, nShards)
+		genWG.Add(1)
+		go k.scheduler(gctx, opts, len(apps), submit, &loopsWG, &genWG)
+		for _, sh := range shards {
+			loopsWG.Add(1)
+			go k.shardLoop(gctx, sh, opts, submit, &loopsWG)
+		}
 	}
-	k.submit = make(chan *shard, nShards)
 
-	k.wg.Add(1)
-	go k.scheduler(ctx, opts, len(k.apps))
-	for _, sh := range shards {
-		k.wg.Add(1)
-		go k.shardLoop(ctx, sh, opts)
+	select {
+	case <-ctx.Done():
+	case <-changed:
 	}
-	return nil
+	cancel()
+	loopsWG.Wait()
+	genWG.Wait()
 }
 
 // singleLoop is the degenerate concurrent mode for one shard: tick,
 // materialize, execute, repeat — no batching machinery, because there
 // is nothing to batch against.
-func (k *Kernel) singleLoop(ctx context.Context, sh *shard, opts Options) {
-	defer k.wg.Done()
+func (k *Kernel) singleLoop(ctx context.Context, sh *shard, opts Options, wg *sync.WaitGroup) {
+	defer wg.Done()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -470,6 +676,7 @@ func (k *Kernel) Stop() {
 	k.mu.Lock()
 	k.cancel = nil
 	k.running = false
+	k.memChanged = nil // the supervisor that armed it is gone
 	k.mu.Unlock()
 }
 
@@ -481,8 +688,8 @@ func (k *Kernel) Stop() {
 // acceptance was tried and measured slower: with the epoch barrier the
 // slowest shard sets the pace, and eager next-round ticks steal cores
 // from the current round's stragglers.)
-func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options) {
-	defer k.wg.Done()
+func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, submit chan<- *shard, wg *sync.WaitGroup) {
+	defer wg.Done()
 	for {
 		if ctx.Err() != nil {
 			return
@@ -497,19 +704,12 @@ func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options) {
 			}
 			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
 		}
-		// Non-blocking fast paths first: submit has one slot per shard
-		// so the send nearly always lands immediately, and a two-case
-		// select costs an order of magnitude more than a failed
-		// non-blocking attempt.
-		select {
-		case k.submit <- sh:
-		default:
-			select {
-			case k.submit <- sh:
-			case <-ctx.Done():
-				return
-			}
-		}
+		// submit has one slot per shard and a shard never has two
+		// batches in flight, so the send always lands without blocking —
+		// even during generation wind-down, which is what guarantees a
+		// parked shard's last batch is still in the channel for the
+		// scheduler's drain pass.
+		submit <- sh
 		select {
 		case <-sh.accepted:
 		default:
@@ -545,16 +745,21 @@ func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options) {
 // The unbuffered handoff is the depth bound — a second merged epoch
 // blocks until the first finishes, which also guarantees the epoch's
 // double-buffered contribution slices are never written while read.
-func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
-	defer k.wg.Done()
+//
+// On wind-down (ctx cancelled — membership change or Stop) the
+// scheduler waits for the shard loops to park, drains any batches
+// still queued in submit, and executes one final epoch over them, so
+// work an app already handed over is never dropped.
+func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit chan *shard, loopsWG, wg *sync.WaitGroup) {
+	defer wg.Done()
 	// An epoch can never contain two batches from one shard: each shard
 	// loop waits for its accepted signal — sent only at flush — before
 	// submitting again.
 	var pending []*shard
 	pendingApps := 0
 	execCh := make(chan []contribution)
-	k.wg.Add(1)
-	go k.executor(execCh, opts.EpochDt)
+	wg.Add(1)
+	go k.executor(execCh, opts.EpochDt, wg)
 	defer close(execCh)
 	// Two merge buffers: while the executor reads one, the scheduler
 	// merges the next epoch into the other.
@@ -576,7 +781,12 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 		}
 		armed = false
 	}
-	flush := func() bool {
+	// flush merges the pending batches, releases their shards, and hands
+	// the epoch to the executor. The send is unconditional: the executor
+	// consumes until execCh closes and never blocks on anything but the
+	// manager epoch itself, so the send waits at most one epoch — and an
+	// accepted batch is executed even when ctx is already cancelled.
+	flush := func() {
 		contribs := buffers[cur][:0]
 		for _, sh := range pending {
 			contribs = append(contribs, sh.contribs...)
@@ -591,37 +801,49 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 		pending = pending[:0]
 		pendingApps = 0
 		disarm()
-		select {
-		case execCh <- contribs:
-			return true
-		case <-ctx.Done():
-			return false
+		execCh <- contribs
+	}
+	// drain is the wind-down path: once the shard loops have parked,
+	// whatever they already submitted (received or still in the channel
+	// buffer) joins one final epoch.
+	drain := func() {
+		loopsWG.Wait()
+		for {
+			select {
+			case sh := <-submit:
+				pending = append(pending, sh)
+				pendingApps += len(sh.apps)
+			default:
+				if len(pending) > 0 {
+					flush()
+				}
+				return
+			}
 		}
 	}
+	defer drain()
 
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case sh := <-k.submit:
+		case sh := <-submit:
 			pending = append(pending, sh)
 			pendingApps += len(sh.apps)
 			// Greedily drain whatever else has queued: non-blocking
 			// receives skip the full select machinery.
-		drain:
+		greedy:
 			for pendingApps < nApps {
 				select {
-				case sh := <-k.submit:
+				case sh := <-submit:
 					pending = append(pending, sh)
 					pendingApps += len(sh.apps)
 				default:
-					break drain
+					break greedy
 				}
 			}
 			if pendingApps >= nApps {
-				if !flush() {
-					return
-				}
+				flush()
 			} else if !armed {
 				timer.Reset(opts.Flush)
 				armed = true
@@ -629,9 +851,7 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int) {
 		case <-timer.C:
 			armed = false
 			if len(pending) > 0 {
-				if !flush() {
-					return
-				}
+				flush()
 			}
 		}
 	}

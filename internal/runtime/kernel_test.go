@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -34,27 +35,35 @@ func simpleSpec(name string, gen *simhpc.WorkloadGen, tasks int) AppSpec {
 
 func TestKernelAttachValidation(t *testing.T) {
 	k := NewKernel(testManager(2))
-	if _, err := k.Attach(AppSpec{}); err == nil {
-		t.Error("empty name should fail")
+	if _, err := k.Attach(AppSpec{}); !errors.Is(err, ErrEmptyAppName) {
+		t.Errorf("empty name: %v, want ErrEmptyAppName", err)
 	}
 	if _, err := k.Attach(AppSpec{Name: "a"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.Attach(AppSpec{Name: "a"}); err == nil {
-		t.Error("duplicate name should fail")
+	if _, err := k.Attach(AppSpec{Name: "a"}); !errors.Is(err, ErrDuplicateApp) {
+		t.Errorf("duplicate name: %v, want ErrDuplicateApp", err)
+	}
+	if err := k.Detach("nope"); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("unknown detach: %v, want ErrUnknownApp", err)
 	}
 	if err := k.Start(context.Background(), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	defer k.Stop()
-	if _, err := k.Attach(AppSpec{Name: "b"}); err == nil {
-		t.Error("attach while running should fail")
+	// Live attach is allowed since the membership epoch landed; the
+	// duplicate check still applies while running.
+	if _, err := k.Attach(AppSpec{Name: "b"}); err != nil {
+		t.Errorf("attach while running: %v, want success", err)
 	}
-	if err := k.Start(context.Background(), Options{}); err == nil {
-		t.Error("double start should fail")
+	if _, err := k.Attach(AppSpec{Name: "b"}); !errors.Is(err, ErrDuplicateApp) {
+		t.Errorf("duplicate live attach: %v, want ErrDuplicateApp", err)
 	}
-	if _, err := k.RunEpoch(60); err == nil {
-		t.Error("synchronous RunEpoch while running should fail")
+	if err := k.Start(context.Background(), Options{}); !errors.Is(err, ErrRunning) {
+		t.Errorf("double start: %v, want ErrRunning", err)
+	}
+	if _, err := k.RunEpoch(60); !errors.Is(err, ErrRunning) {
+		t.Errorf("synchronous RunEpoch while running: %v, want ErrRunning", err)
 	}
 }
 
@@ -101,10 +110,31 @@ func TestKernelErrClearedOnRestart(t *testing.T) {
 	}
 }
 
-func TestKernelStartWithoutAppsFails(t *testing.T) {
+// TestKernelStartEmptyThenAttach: starting with zero apps parks the
+// supervisor until the first attach — the serving-system shape, where
+// the kernel is up before any tenant registers.
+func TestKernelStartEmptyThenAttach(t *testing.T) {
 	k := NewKernel(testManager(2))
-	if err := k.Start(context.Background(), Options{}); err == nil {
-		t.Fatal("start with no apps should fail")
+	if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+		t.Fatalf("start with no apps: %v", err)
+	}
+	defer k.Stop()
+	if got := k.Epochs(); got != 0 {
+		t.Fatalf("epochs before any app: %d", got)
+	}
+	gen := simhpc.NewWorkloadGen(3)
+	if _, err := k.Attach(simpleSpec("late", gen, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for k.Epochs() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if k.Epochs() < 3 {
+		t.Fatalf("late-attached app never drove epochs: %d", k.Epochs())
+	}
+	if k.TotalsPerApp()["late"] <= 0 {
+		t.Error("late app contributed no work")
 	}
 }
 
