@@ -11,6 +11,12 @@
 //	curl -s -X POST localhost:8077/v1/apps/web/observations -d '{"samples":[{"metric":"latency","value":2.2}]}'
 //	curl -s localhost:8077/v1/epochs
 //	curl -s -X DELETE localhost:8077/v1/apps/web
+//
+// High-rate telemetry should use the binary paths instead of JSON:
+// POST /v1/apps/{id}/observations:binary for one-shot frame batches
+// and the persistent POST /v1/stream (controlplane.Client.Stream from
+// Go; `examples/remote -stream` demonstrates both ends) — ~8× the
+// JSON ingest rate on the baseline host, gated as K6.
 package main
 
 import (

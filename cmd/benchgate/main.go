@@ -2,7 +2,8 @@
 // it parses `go test -bench` output, records every reported metric in a
 // JSON baseline, and fails CI when a metric drifts beyond tolerance —
 // so the reproduction's claim numbers (C1–C6) and kernel throughput
-// (K1–K5, including membership churn and HTTP ingest) cannot silently
+// (K1–K6, including membership churn, HTTP ingest and the binary
+// streaming ingest that must stay ≥5× the JSON path) cannot silently
 // rot.
 //
 // Usage:

@@ -10,10 +10,16 @@
 //
 //	go run ./examples/remote                 # self-hosted: in-process server
 //	go run ./examples/remote -connect URL    # drive an external antarex-serve
+//	go run ./examples/remote -stream         # telemetry over the binary stream
 //
-// With -connect the program doubles as an end-to-end smoke check (CI
-// runs it against a freshly started cmd/antarex-serve): any failed
-// assertion exits non-zero.
+// With -stream, observations ride the persistent binary ingest
+// connection (POST /v1/stream via Client.Stream) instead of one JSON
+// POST per batch — the protocol built to close K5's ~20× serving tax —
+// and the tenants get "-bin" name suffixes so both modes can run
+// against one server. With -connect the program doubles as an
+// end-to-end smoke check (CI runs it against a freshly started
+// cmd/antarex-serve, in both modes): any failed assertion exits
+// non-zero.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 
 func main() {
 	connect := flag.String("connect", "", "control-plane URL (empty: start an in-process server)")
+	useStream := flag.Bool("stream", false, "send telemetry over the persistent binary stream instead of JSON POSTs")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -53,15 +60,25 @@ func main() {
 	}
 	gen0 := h.Generation
 
+	// Distinct tenant names per mode, so the JSON and stream runs can
+	// drive the same server back to back (CI does).
+	tenant := func(name string) string {
+		if *useStream {
+			return name + "-bin"
+		}
+		return name
+	}
+	steadyName, burstyName := tenant("steady"), tenant("bursty")
+
 	// Register the two tenants.
 	_, err = c.Register(controlplane.AppSpec{
-		Name:     "steady",
+		Name:     steadyName,
 		Goals:    []controlplane.GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
 		Workload: controlplane.WorkloadSpec{Tasks: 2, GFlop: 4},
 	})
 	must(err)
 	_, err = c.Register(controlplane.AppSpec{
-		Name:     "bursty",
+		Name:     burstyName,
 		Window:   8,
 		Debounce: 2,
 		Goals:    []controlplane.GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
@@ -69,22 +86,38 @@ func main() {
 		Levels:   []float64{1, 0.5, 0.25},
 	})
 	must(err)
-	log.Printf("registered tenants steady + bursty (membership epoch %d -> %d)", gen0, mustGen(c))
+	log.Printf("registered tenants %s + %s (membership epoch %d -> %d)", steadyName, burstyName, gen0, mustGen(c))
 
-	// Stream observations: steady within SLA, bursty far beyond it.
-	stream := func(name string, lat float64) {
-		_, err := c.Observe(name, []controlplane.Observation{
-			{Metric: monitor.MetricLatency, Value: lat},
-			{Metric: monitor.MetricLatency, Value: lat},
-		})
+	// Stream observations: steady within SLA, bursty far beyond it —
+	// either one JSON POST per batch, or buffered frames on the one
+	// long-lived binary stream.
+	var ow *controlplane.ObservationWriter
+	if *useStream {
+		ow, err = c.Stream()
 		must(err)
+		log.Printf("binary observation stream open (POST /v1/stream)")
+	}
+	var sent int64
+	stream := func(name string, lat float64) {
+		if ow != nil {
+			must(ow.Observe(name, monitor.MetricLatency, lat))
+			must(ow.Observe(name, monitor.MetricLatency, lat))
+			must(ow.Flush())
+		} else {
+			_, err := c.Observe(name, []controlplane.Observation{
+				{Metric: monitor.MetricLatency, Value: lat},
+				{Metric: monitor.MetricLatency, Value: lat},
+			})
+			must(err)
+		}
+		sent += 2
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	var bursty controlplane.AppStatus
 	for {
-		stream("steady", 0.3)
-		stream("bursty", 4.0)
-		bursty, err = c.App("bursty")
+		stream(steadyName, 0.3)
+		stream(burstyName, 4.0)
+		bursty, err = c.App(burstyName)
 		must(err)
 		if bursty.Adaptations > 0 && bursty.Level < 1 {
 			break
@@ -97,10 +130,22 @@ func main() {
 	log.Printf("bursty adapted: level %.2f after %d ticks, %d fires (shedding %d%% of its work)",
 		bursty.Level, bursty.Ticks, bursty.Fires, int(100*(1-bursty.Level)))
 
-	// Live detach: steady leaves while epochs keep flowing.
+	// Live detach: steady leaves while epochs keep flowing. In stream
+	// mode, close the stream first — Close returns only after the
+	// server has consumed every flushed frame, so no in-flight steady
+	// frame can race the detach (a frame for a detached app would kill
+	// the stream with 404) — then reopen for the survivor.
+	var acked int64
+	if ow != nil {
+		ack, err := ow.Close()
+		must(err)
+		acked += ack.Accepted
+		ow, err = c.Stream()
+		must(err)
+	}
 	ep0, err := c.Epochs()
 	must(err)
-	must(c.Detach("steady"))
+	must(c.Detach(steadyName))
 	deadline = time.Now().Add(30 * time.Second) // fresh budget for the settle phase
 	for {
 		h, err = c.Health()
@@ -113,25 +158,37 @@ func main() {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := c.App("steady"); !controlplane.IsNotFound(err) {
+	if _, err := c.App(steadyName); !controlplane.IsNotFound(err) {
 		log.Fatalf("detached tenant still served: %v", err)
 	}
 	for {
 		ep, err := c.Epochs()
 		must(err)
-		if ep.Epochs >= ep0.Epochs+10 && ep.TotalsPerApp["bursty"] > ep0.TotalsPerApp["bursty"] {
-			if ep.TotalsPerApp["steady"] <= 0 {
+		if ep.Epochs >= ep0.Epochs+10 && ep.TotalsPerApp[burstyName] > ep0.TotalsPerApp[burstyName] {
+			if ep.TotalsPerApp[steadyName] <= 0 {
 				log.Fatal("steady's cumulative totals were dropped on detach")
 			}
-			log.Printf("steady detached live at epoch %d; bursty kept running: epoch %d, %.1f GFLOP total, %.1f J",
-				ep0.Epochs, ep.Epochs, ep.TotalsPerApp["bursty"], ep.EnergyJ)
+			log.Printf("%s detached live at epoch %d; %s kept running: epoch %d, %.1f GFLOP total, %.1f J",
+				steadyName, ep0.Epochs, burstyName, ep.Epochs, ep.TotalsPerApp[burstyName], ep.EnergyJ)
 			break
 		}
 		if time.Now().After(deadline) {
 			log.Fatalf("survivor stalled after detach: %+v vs %+v", ep, ep0)
 		}
-		stream("bursty", 4.0)
+		stream(burstyName, 4.0)
 		time.Sleep(5 * time.Millisecond)
+	}
+	if ow != nil {
+		// End the second stream and reconcile the servers' acks (both
+		// streams) with what was sent — the streamed path's delivery
+		// assertion.
+		ack, err := ow.Close()
+		must(err)
+		acked += ack.Accepted
+		if acked != sent {
+			log.Fatalf("streams acked %d of %d sent samples", acked, sent)
+		}
+		log.Printf("streams closed: %d samples acked across both connections", acked)
 	}
 	fmt.Println("remote serving demo: OK")
 }

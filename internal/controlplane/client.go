@@ -9,7 +9,11 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/controlplane/wire"
+	"repro/internal/runtime"
 )
 
 // Client is the Go client of the v1 control-plane API. Zero-value-safe
@@ -48,6 +52,14 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &api) && api.Status == http.StatusNotFound
 }
 
+// apiError reads a non-2xx response's JSON error envelope into an
+// APIError.
+func apiError(resp *http.Response) error {
+	var eb ErrorBody
+	_ = json.NewDecoder(io.LimitReader(resp.Body, maxSpecBody)).Decode(&eb)
+	return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+}
+
 // do runs one request: in (when non-nil) is marshalled as the JSON
 // body, out (when non-nil) receives the decoded 2xx response.
 func (c *Client) do(method, path string, in, out any) error {
@@ -72,9 +84,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var eb ErrorBody
-		_ = json.NewDecoder(io.LimitReader(resp.Body, maxSpecBody)).Decode(&eb)
-		return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+		return apiError(resp)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -104,6 +114,243 @@ func (c *Client) Observe(name string, samples []Observation) (int, error) {
 	err := c.do(http.MethodPost, "/v1/apps/"+url.PathEscape(name)+"/observations",
 		ObservationBatch{Samples: samples}, &ack)
 	return ack.Accepted, err
+}
+
+// ObserveBinary sends a batch through the one-shot binary endpoint
+// (POST /v1/apps/{id}/observations:binary) — the JSON Observe's wire
+// format swapped for one encoded frame. For sustained telemetry use
+// Stream, which amortizes the per-request round trip away.
+func (c *Client) ObserveBinary(name string, samples []runtime.Sample) (int, error) {
+	frame, err := wire.NewEncoder().AppendFrame(nil, name, samples)
+	if err != nil {
+		return 0, err
+	}
+	path := "/v1/apps/" + url.PathEscape(name) + "/observations:binary"
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return 0, fmt.Errorf("controlplane: POST %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", wireContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("controlplane: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, apiError(resp)
+	}
+	var ack ObservationAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return 0, fmt.Errorf("controlplane: decode POST %s: %w", path, err)
+	}
+	return ack.Accepted, nil
+}
+
+// wireContentType labels binary observation bodies.
+const wireContentType = "application/x-antarex-wire"
+
+// Stream opens the persistent binary ingest connection
+// (POST /v1/stream) and returns a buffered ObservationWriter over it.
+// The request stays open — observations are chunked up the same
+// connection on every Flush — until Close, which also collects the
+// server's terminal ack. The writer multiplexes any number of
+// registered apps over one stream.
+func (c *Client) Stream() (*ObservationWriter, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, fmt.Errorf("controlplane: POST /v1/stream: %w", err)
+	}
+	req.Header.Set("Content-Type", wireContentType)
+	// The configured client's overall timeout would sever a long-lived
+	// stream mid-flight; strip it for this one request (dial and TLS
+	// setup still bound by the transport).
+	hc := *c.hc
+	hc.Timeout = 0
+	w := &ObservationWriter{
+		pw:   pw,
+		enc:  wire.NewEncoder(),
+		idx:  make(map[string]int),
+		resp: make(chan streamResponse, 1),
+	}
+	go func() {
+		resp, err := hc.Do(req)
+		if err != nil {
+			// Unblock any in-flight Flush write before reporting.
+			pr.CloseWithError(err)
+			w.resp <- streamResponse{err: fmt.Errorf("controlplane: POST /v1/stream: %w", err)}
+			return
+		}
+		w.resp <- streamResponse{resp: resp}
+	}()
+	return w, nil
+}
+
+// streamResponse carries the stream's terminal HTTP response (or
+// transport error) from the request goroutine to Close.
+type streamResponse struct {
+	resp *http.Response
+	err  error
+}
+
+// ObservationWriter buffers observations for a binary ingest stream.
+// Observe appends to an in-memory batch; Flush encodes the batch as
+// one frame per app and writes it up the connection; Close flushes,
+// ends the stream and returns the server's ack. Safe for concurrent
+// use; writes are not durable until Flush returns.
+//
+// Buffering is bounded: once the pending batch reaches the auto-flush
+// threshold, the next Observe flushes inline, so an agent that never
+// calls Flush still cannot grow the buffer without bound (at the cost
+// of that Observe blocking on the network).
+type ObservationWriter struct {
+	pw   *io.PipeWriter
+	resp chan streamResponse
+
+	mu      sync.Mutex
+	enc     *wire.Encoder
+	pending []appBatch
+	idx     map[string]int // app → index into pending
+	total   int            // buffered samples across apps
+	frames  []byte         // Flush encode scratch, reused
+	err     error          // sticky stream error
+	closed  bool
+	done    bool // terminal response already consumed (body closed)
+}
+
+// appBatch is one app's buffered samples, in observation order.
+type appBatch struct {
+	app     string
+	samples []runtime.Sample
+}
+
+// autoFlushSamples bounds the buffered batch; see ObservationWriter.
+const autoFlushSamples = 8192
+
+// Observe buffers one sample for app. The returned error is the
+// stream's sticky error — once the stream has failed every call
+// reports it.
+func (w *ObservationWriter) Observe(app, metric string, v float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("controlplane: observation stream is closed")
+	}
+	i, ok := w.idx[app]
+	if !ok {
+		i = len(w.pending)
+		w.pending = append(w.pending, appBatch{app: app})
+		w.idx[app] = i
+	}
+	w.pending[i].samples = append(w.pending[i].samples, runtime.Sample{Metric: metric, Value: v})
+	w.total++
+	if w.total >= autoFlushSamples {
+		return w.flushLocked()
+	}
+	return nil
+}
+
+// Flush encodes and writes every buffered sample. A Flush that
+// returns nil means the frames were handed to the HTTP transport, not
+// that the server has acked them — the ack arrives at Close.
+func (w *ObservationWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.flushLocked()
+}
+
+func (w *ObservationWriter) flushLocked() error {
+	if w.total == 0 {
+		return nil
+	}
+	frames := w.frames[:0]
+	for i := range w.pending {
+		b := &w.pending[i]
+		if len(b.samples) == 0 {
+			continue
+		}
+		var err error
+		frames, err = w.enc.AppendFrame(frames, b.app, b.samples)
+		if err != nil {
+			// Encode errors (oversized name/frame) are client bugs; the
+			// stream is dead — nothing partially encoded was written, so
+			// the receiver's dictionaries stay consistent.
+			w.err = err
+			return w.err
+		}
+		b.samples = b.samples[:0]
+	}
+	w.frames = frames
+	w.total = 0
+	if _, err := w.pw.Write(frames); err != nil {
+		w.err = w.terminalError(err)
+		return w.err
+	}
+	return nil
+}
+
+// terminalError upgrades a pipe write error to the server's response
+// if it already arrived (e.g. a 400/404/429 that ended the stream);
+// otherwise the transport error stands. Consuming the response here
+// marks the stream done so Close does not wait for it again.
+func (w *ObservationWriter) terminalError(err error) error {
+	select {
+	case sr := <-w.resp:
+		w.done = true
+		if sr.err != nil {
+			return sr.err
+		}
+		defer sr.resp.Body.Close()
+		return apiError(sr.resp)
+	default:
+		return fmt.Errorf("controlplane: stream write: %w", err)
+	}
+}
+
+// Close flushes buffered samples, ends the stream and returns the
+// server's terminal ack. Safe to call after a stream error (the
+// sticky error is returned).
+func (w *ObservationWriter) Close() (StreamAck, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return StreamAck{}, errors.New("controlplane: observation stream is closed")
+	}
+	w.closed = true
+	flushErr := w.err
+	if flushErr == nil {
+		flushErr = w.flushLocked()
+	}
+	w.pw.Close()
+	if w.done {
+		// The stream already terminated and its response was consumed
+		// while surfacing the sticky error.
+		return StreamAck{}, flushErr
+	}
+	sr := <-w.resp
+	w.done = true
+	if sr.err != nil {
+		return StreamAck{}, sr.err
+	}
+	defer sr.resp.Body.Close()
+	if sr.resp.StatusCode >= 300 {
+		return StreamAck{}, apiError(sr.resp)
+	}
+	if flushErr != nil {
+		return StreamAck{}, flushErr
+	}
+	var ack StreamAck
+	if err := json.NewDecoder(sr.resp.Body).Decode(&ack); err != nil {
+		return StreamAck{}, fmt.Errorf("controlplane: decode stream ack: %w", err)
+	}
+	return ack, nil
 }
 
 // App reads one app's status (GET /v1/apps/{id}).

@@ -7,25 +7,45 @@
 // control loops keep serving everyone else. Read-side telemetry is
 // GET /v1/apps[/{id}], GET /v1/epochs and GET /healthz.
 //
-// The ingress funnel deliberately ends at Inbox.Push: an HTTP handler
-// goroutine is just another telemetry producer, so the CCBench-style
-// contention argument that chose the lock-free ring (PR 2, K3) carries
-// over to remote producers unchanged — handlers never contend with the
-// control loops' Collect; beyond the chunk-claim atomics the only
-// shared state on the warm path is a read-locked metric-cardinality
-// check and a pending-sample bound (backpressure when the kernel is
-// not draining).
+// The ingress funnel deliberately ends at the lock-free inbox: an HTTP
+// handler goroutine is just another telemetry producer, so the
+// CCBench-style contention argument that chose the lock-free ring
+// (PR 2, K3) carries over to remote producers unchanged — handlers
+// never contend with the control loops' Collect; beyond the
+// batch-claim atomics the only shared state on the warm path is a
+// read-locked metric-cardinality check and a pending-sample bound
+// (backpressure when the kernel is not draining).
+//
+// Telemetry has two wire formats over that funnel. JSON
+// (POST /v1/apps/{id}/observations) stays for debuggability — curl a
+// batch in by hand. The binary observation protocol
+// (internal/controlplane/wire) is the throughput path:
+// POST /v1/apps/{id}/observations:binary takes one-shot frame bodies,
+// and POST /v1/stream holds a long-lived request body open and decodes
+// frames off it in a loop — any registered app per frame, name
+// dictionaries scoped to the stream, each batch landing in the app's
+// inbox via one bulk slot-range claim (Inbox.PushBatch). Both paths
+// run on pooled scratch (zero steady-state allocations for binary
+// decode) and enforce the same hardening caps as JSON: metric
+// cardinality, name bounds, pending-sample backpressure, and finite
+// values (JSON cannot carry NaN/Inf, so the binary path rejects them).
 package controlplane
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/autotune"
+	"repro/internal/controlplane/wire"
 	"repro/internal/monitor"
 	"repro/internal/runtime"
 	"repro/internal/simhpc"
@@ -60,12 +80,14 @@ type remoteApp struct {
 
 // admitMetrics checks a batch's metric names against the cardinality
 // cap. All-or-nothing: a rejected batch admits no names, so it cannot
-// burn cardinality slots a later well-formed batch would need.
-func (a *remoteApp) admitMetrics(samples []Observation) error {
+// burn cardinality slots a later well-formed batch would need. It
+// takes the kernel's sample type so the JSON and binary ingest paths
+// share it without converting.
+func (a *remoteApp) admitMetrics(samples []runtime.Sample) error {
 	a.metricsMu.RLock()
 	known := true
-	for _, o := range samples {
-		if _, ok := a.metrics[o.Metric]; !ok {
+	for i := range samples {
+		if _, ok := a.metrics[samples[i].Metric]; !ok {
 			known = false
 			break
 		}
@@ -77,18 +99,19 @@ func (a *remoteApp) admitMetrics(samples []Observation) error {
 	a.metricsMu.Lock()
 	defer a.metricsMu.Unlock()
 	var added []string
-	for _, o := range samples {
-		if _, ok := a.metrics[o.Metric]; ok {
+	for i := range samples {
+		m := samples[i].Metric
+		if _, ok := a.metrics[m]; ok {
 			continue
 		}
 		if len(a.metrics) >= maxMetricsPerApp {
-			for _, m := range added {
-				delete(a.metrics, m) // roll back: the batch is rejected whole
+			for _, rollback := range added {
+				delete(a.metrics, rollback) // roll back: the batch is rejected whole
 			}
-			return fmt.Errorf("metric %q would exceed the %d distinct metrics per app", o.Metric, maxMetricsPerApp)
+			return fmt.Errorf("metric %q would exceed the %d distinct metrics per app", m, maxMetricsPerApp)
 		}
-		a.metrics[o.Metric] = struct{}{}
-		added = append(added, o.Metric)
+		a.metrics[m] = struct{}{}
+		added = append(added, m)
 	}
 	return nil
 }
@@ -128,6 +151,8 @@ func NewServer(k *runtime.Kernel) *Server {
 	s.mux.HandleFunc("GET /v1/apps/{id}", s.handleApp)
 	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.handleDetach)
 	s.mux.HandleFunc("POST /v1/apps/{id}/observations", s.handleObserve)
+	s.mux.HandleFunc("POST /v1/apps/{id}/observations:binary", s.handleObserveBinary)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	return s
 }
 
@@ -357,48 +382,279 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("id")
+// backpressureError is a full-inbox rejection (HTTP 429): the inbox
+// only drains while the kernel ticks the app, so past the pending cap
+// the server refuses new batches instead of buffering without bound.
+type backpressureError struct {
+	name    string
+	pending int
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("controlplane: %s: %d samples pending and not being collected; retry later", e.name, e.pending)
+}
+
+// writeIngestErr maps ingest-funnel errors onto HTTP statuses.
+func writeIngestErr(w http.ResponseWriter, err error) {
+	var bp *backpressureError
+	if errors.As(err, &bp) {
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
+		return
+	}
+	badRequest(w, "%v", err)
+}
+
+// ingest is the funnel every observation path ends in — JSON, binary
+// one-shot and streaming alike: backpressure bound, cardinality
+// admission, then one bulk slot-range claim into the app's lock-free
+// inbox. Past admission nothing can fail: the batch lands even if the
+// app is detached concurrently (its inbox just never gets collected
+// again).
+func (s *Server) ingest(ra *remoteApp, samples []runtime.Sample) error {
+	if ra.inbox.Len() >= maxPendingSamples {
+		return &backpressureError{name: ra.spec.Name, pending: ra.inbox.Len()}
+	}
+	if err := ra.admitMetrics(samples); err != nil {
+		return err
+	}
+	ra.inbox.PushBatch(samples)
+	ra.samples.Add(int64(len(samples)))
+	return nil
+}
+
+// checkFinite rejects non-finite sample values on the binary paths:
+// RFC 8259 JSON cannot carry NaN or ±Inf, so enforcing the caps
+// "identically" means raw float64 frames must not smuggle them into
+// metric windows either.
+func checkFinite(samples []runtime.Sample) error {
+	for i := range samples {
+		if v := samples[i].Value; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sample %d (metric %q): non-finite value", i, samples[i].Metric)
+		}
+	}
+	return nil
+}
+
+// jsonIngest is the pooled per-request scratch of the JSON observation
+// path: the body buffer, the decoded batch (json.Unmarshal reuses the
+// samples slice capacity) and the kernel-sample conversion buffer.
+type jsonIngest struct {
+	body    bytes.Buffer
+	batch   ObservationBatch
+	samples []runtime.Sample
+}
+
+var jsonIngestPool = sync.Pool{New: func() any { return new(jsonIngest) }}
+
+// binaryIngest is the pooled per-request scratch of the binary paths:
+// a buffered reader over the request body, the frame decoder with its
+// stream dictionaries, and the one-shot endpoint's whole-body
+// accumulation buffer.
+type binaryIngest struct {
+	br    *bufio.Reader
+	dec   wire.Decoder
+	batch []runtime.Sample
+}
+
+var binaryIngestPool = sync.Pool{New: func() any {
+	return &binaryIngest{br: bufio.NewReaderSize(nil, 32<<10)}
+}}
+
+func (s *Server) lookupApp(name string) *remoteApp {
 	s.mu.RLock()
 	ra := s.apps[name]
 	s.mu.RUnlock()
+	return ra
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	ra := s.lookupApp(name)
 	if ra == nil {
 		writeErr(w, fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp))
 		return
 	}
-	// Backpressure: the inbox only drains while the kernel ticks this
-	// app; refuse new batches once too much telemetry is already
-	// pending instead of buffering without bound.
+	// Cheap early backpressure check before reading the body: an
+	// over-cap tenant is refused without the server paying for a 1 MB
+	// read + decode on the very path the bound exists to shed. ingest
+	// re-checks, covering the decode-window race.
 	if ra.inbox.Len() >= maxPendingSamples {
-		writeJSON(w, http.StatusTooManyRequests, ErrorBody{
-			Error: fmt.Sprintf("controlplane: %s: %d samples pending and not being collected; retry later", name, ra.inbox.Len()),
-		})
+		writeIngestErr(w, &backpressureError{name: name, pending: ra.inbox.Len()})
 		return
 	}
-	var batch ObservationBatch
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObservationBody))
-	if err := dec.Decode(&batch); err != nil {
+	sc := jsonIngestPool.Get().(*jsonIngest)
+	defer jsonIngestPool.Put(sc)
+	sc.body.Reset()
+	if _, err := sc.body.ReadFrom(http.MaxBytesReader(w, r.Body, maxObservationBody)); err != nil {
 		badRequest(w, "bad observation batch: %v", err)
 		return
 	}
-	for _, o := range batch.Samples {
+	// Zero the whole reused backing array, not just truncate:
+	// json.Unmarshal merges into existing slice elements, so a field a
+	// request omits would otherwise inherit the previous request's
+	// value — a cross-tenant leak through the pool.
+	sc.batch.Samples = sc.batch.Samples[:cap(sc.batch.Samples)]
+	clear(sc.batch.Samples)
+	sc.batch.Samples = sc.batch.Samples[:0]
+	if err := json.Unmarshal(sc.body.Bytes(), &sc.batch); err != nil {
+		badRequest(w, "bad observation batch: %v", err)
+		return
+	}
+	sc.samples = sc.samples[:0]
+	for _, o := range sc.batch.Samples {
 		if o.Metric == "" {
 			badRequest(w, "observation missing metric")
 			return
 		}
+		sc.samples = append(sc.samples, runtime.Sample{Metric: o.Metric, Value: o.Value})
 	}
-	if err := ra.admitMetrics(batch.Samples); err != nil {
-		badRequest(w, "%v", err)
+	if err := s.ingest(ra, sc.samples); err != nil {
+		writeIngestErr(w, err)
 		return
 	}
-	// Past validation nothing can fail: pushes are lock-free and the
-	// batch lands even if the app is detached concurrently (its inbox
-	// just never gets collected again).
-	for _, o := range batch.Samples {
-		ra.inbox.Push(o.Metric, o.Value)
+	writeJSON(w, http.StatusOK, ObservationAck{Accepted: len(sc.samples)})
+}
+
+// handleObserveBinary is the one-shot binary batch endpoint
+// (POST /v1/apps/{id}/observations:binary): the body is a short wire
+// stream — one or more frames, all addressed to the URL's app — under
+// the same body-size ceiling as the JSON path. The body is one batch:
+// every frame is decoded and validated before anything is ingested,
+// so a rejected body admits nothing (the JSON path's all-or-nothing
+// semantics; a client may blindly retry the whole body without
+// duplicating samples).
+func (s *Server) handleObserveBinary(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	ra := s.lookupApp(name)
+	if ra == nil {
+		writeErr(w, fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp))
+		return
 	}
-	ra.samples.Add(int64(len(batch.Samples)))
-	writeJSON(w, http.StatusOK, ObservationAck{Accepted: len(batch.Samples)})
+	// Same cheap pre-read backpressure refusal as the JSON handler.
+	if ra.inbox.Len() >= maxPendingSamples {
+		writeIngestErr(w, &backpressureError{name: name, pending: ra.inbox.Len()})
+		return
+	}
+	sc := binaryIngestPool.Get().(*binaryIngest)
+	defer binaryIngestPool.Put(sc)
+	sc.br.Reset(http.MaxBytesReader(w, r.Body, maxObservationBody))
+	sc.dec.Reset()
+	sc.batch = sc.batch[:0]
+	for {
+		app, samples, err := sc.dec.ReadFrame(sc.br)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			badRequest(w, "bad observation frame: %v", err)
+			return
+		}
+		if app != name {
+			badRequest(w, "frame addressed to %q on the %q endpoint", app, name)
+			return
+		}
+		if err := checkFinite(samples); err != nil {
+			badRequest(w, "bad observation frame: %v", err)
+			return
+		}
+		// The decoder's sample scratch is reused by the next ReadFrame,
+		// so accumulate a copy (metric strings stay interned).
+		sc.batch = append(sc.batch, samples...)
+	}
+	if err := s.ingest(ra, sc.batch); err != nil {
+		writeIngestErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ObservationAck{Accepted: len(sc.batch)})
+}
+
+// handleStream is the persistent ingest endpoint (POST /v1/stream): it
+// reads binary frames off the request body in a loop until the client
+// closes the stream, pushing each frame's batch into its app's inbox
+// as it arrives. Any registered app may appear in any frame (the name
+// dictionaries are scoped to the stream), so one connection can carry
+// a whole agent's fleet of tenants. The response — an ack with totals,
+// or the error that terminated the stream — is written when the stream
+// ends; an unknown app, a malformed frame or a cardinality violation
+// each end the stream (the client sees the HTTP status once its send
+// side closes).
+//
+// Backpressure differs from the one-shot endpoints: a persistent
+// stream has a transport to push back on, so a full inbox stalls the
+// frame loop instead of rejecting — the server stops reading, the TCP
+// window and the client's pipe fill, and the producer self-paces at
+// the kernel's drain rate. Only a stall that outlives
+// streamStallLimit (a stopped or wedged kernel, not a busy one) turns
+// into the 429 the one-shot paths return immediately.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sc := binaryIngestPool.Get().(*binaryIngest)
+	defer binaryIngestPool.Put(sc)
+	sc.br.Reset(r.Body)
+	sc.dec.Reset()
+	var ack StreamAck
+	for {
+		app, samples, err := sc.dec.ReadFrame(sc.br)
+		if errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusOK, ack)
+			return
+		}
+		if err != nil {
+			badRequest(w, "bad stream frame: %v", err)
+			return
+		}
+		ra := s.lookupApp(app)
+		if ra == nil {
+			writeErr(w, fmt.Errorf("controlplane: %q: %w", app, runtime.ErrUnknownApp))
+			return
+		}
+		if err := checkFinite(samples); err != nil {
+			badRequest(w, "bad stream frame: %v", err)
+			return
+		}
+		if err := s.ingestStream(r, ra, samples); err != nil {
+			writeIngestErr(w, err)
+			return
+		}
+		ack.Accepted += int64(len(samples))
+		ack.Frames++
+	}
+}
+
+// streamStallLimit bounds how long one stream frame may wait out
+// backpressure before the stream fails with 429. Generous against a
+// busy kernel (drains run every epoch, microseconds apart), short
+// against a stopped one. A var so tests can shorten the stall.
+var streamStallLimit = 5 * time.Second
+
+// ingestStream is ingest with stream flow control: backpressure waits
+// for the kernel to drain instead of failing, bounded by
+// streamStallLimit and the client hanging up.
+func (s *Server) ingestStream(r *http.Request, ra *remoteApp, samples []runtime.Sample) error {
+	err := s.ingest(ra, samples)
+	if err == nil {
+		return nil
+	}
+	var bp *backpressureError
+	if !errors.As(err, &bp) {
+		return err
+	}
+	deadline := time.Now().Add(streamStallLimit)
+	for {
+		// Plain sleep, not a select on time.After: this loop can spin
+		// thousands of times per second per stalled stream, and each
+		// time.After would allocate a runtime timer. The client hanging
+		// up is noticed on the next iteration instead of mid-sleep.
+		time.Sleep(200 * time.Microsecond)
+		if r.Context().Err() != nil {
+			return err // client hung up; surface the last state
+		}
+		if err = s.ingest(ra, samples); err == nil {
+			return nil
+		}
+		if !errors.As(err, &bp) || time.Now().After(deadline) {
+			return err
+		}
+	}
 }
 
 // status renders one tenant. totals is an optional snapshot for list

@@ -68,6 +68,13 @@ type ObservationAck struct {
 	Accepted int `json:"accepted"`
 }
 
+// StreamAck is the terminal response of POST /v1/stream: totals for
+// the whole stream, written when the client closes its send side.
+type StreamAck struct {
+	Accepted int64 `json:"accepted"`
+	Frames   int64 `json:"frames"`
+}
+
 // AppStatus is the read side of one app (GET /v1/apps/{id}).
 type AppStatus struct {
 	Name        string  `json:"name"`

@@ -1,0 +1,392 @@
+// Package wire is the control plane's binary observation protocol: a
+// compact length-prefixed frame codec that closes the ~20× gap K5
+// measured between JSON HTTP ingest and the in-process lock-free inbox
+// (EXPERIMENTS.md) by shrinking per-sample protocol overhead until the
+// contention-free data structure is the bottleneck again.
+//
+// A stream is a sequence of frames. Both ends keep two append-only
+// string dictionaries scoped to the stream — application names and
+// metric names — so each name crosses the wire once and every later
+// reference is a small varint id. Sample values are raw little-endian
+// float64s grouped into per-metric runs. The grammar (all integers are
+// unsigned varints, encoding/binary.Uvarint):
+//
+//	stream  := frame*
+//	frame   := payloadLen payload            payloadLen ≤ MaxFrame
+//	payload := version                       1 byte, Version
+//	           nNewApps    { nameLen name }*   appended to the app table
+//	           appID                           index into the app table
+//	           nNewMetrics { nameLen name }*   appended to the metric table
+//	           nRuns { metricID nValues value* }*
+//	value   := 8-byte little-endian IEEE-754 float64
+//
+// Every count is validated against the bytes remaining in the frame
+// before anything is allocated, names are bounded by MaxNameLen and
+// must be non-empty, dictionaries are bounded by MaxDictEntries, and a
+// truncated or corrupt frame is an error, never a panic — the codec
+// fronts a public ingress.
+//
+// Encoder and Decoder reuse internal scratch across frames: after the
+// dictionaries are warm, encoding appends to a caller-owned buffer and
+// decoding returns samples backed by a reused slice whose metric
+// strings are the interned dictionary entries — zero allocations per
+// steady-state frame on either side.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/runtime"
+)
+
+// Version is the payload version byte every frame starts with.
+const Version = 0x01
+
+// Protocol bounds, enforced by the Decoder.
+const (
+	// MaxFrame bounds one frame's payload (matches the control plane's
+	// JSON observation-body ceiling).
+	MaxFrame = 1 << 20
+	// MaxNameLen bounds one dictionary name (matches the control
+	// plane's app/metric name cap).
+	MaxNameLen = 128
+	// MaxDictEntries bounds each of the two per-stream dictionaries;
+	// at MaxNameLen bytes per entry a hostile stream can pin at most a
+	// few MB of interned names.
+	MaxDictEntries = 1 << 16
+)
+
+// ErrFrameTooLarge rejects a frame whose declared payload exceeds
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size bound")
+
+// Encoder builds frames for one stream. Not safe for concurrent use;
+// the zero value is not ready — use NewEncoder.
+type Encoder struct {
+	apps    map[string]uint64
+	metrics map[string]uint64
+	scratch []byte   // payload assembly buffer, reused across frames
+	added   []string // metrics interned by the in-flight frame, for rollback
+}
+
+// NewEncoder returns an encoder with empty dictionaries (a new stream).
+func NewEncoder() *Encoder {
+	return &Encoder{
+		apps:    make(map[string]uint64),
+		metrics: make(map[string]uint64),
+	}
+}
+
+// AppendFrame encodes one frame carrying samples for app and appends
+// it to dst, returning the extended buffer. Consecutive samples with
+// the same metric are folded into one run, so pre-grouped batches
+// encode densest; order is preserved either way. New app/metric names
+// are added to the stream's dictionaries in this frame.
+//
+// The encoder enforces the same bounds the decoder rejects — name
+// lengths, dictionary capacity, MaxFrame — so an invalid frame fails
+// here, before a whole body ships only to earn an opaque 400 (or kill
+// a persistent stream). On error dst is returned unchanged and every
+// dictionary entry the failed frame interned is rolled back, keeping
+// the encoder's tables in lockstep with what the receiver has actually
+// seen.
+func (e *Encoder) AppendFrame(dst []byte, app string, samples []runtime.Sample) ([]byte, error) {
+	if len(app) == 0 || len(app) > MaxNameLen {
+		return dst, fmt.Errorf("wire: app name length %d out of range [1, %d]", len(app), MaxNameLen)
+	}
+	p := e.scratch[:0]
+	p = append(p, Version)
+
+	// App section: define the name on first use, then reference it.
+	id, known := e.apps[app]
+	addedApp := false
+	if known {
+		p = append(p, 0) // no new apps
+	} else {
+		if len(e.apps) >= MaxDictEntries {
+			return dst, fmt.Errorf("wire: app dictionary full (%d entries)", MaxDictEntries)
+		}
+		id = uint64(len(e.apps))
+		e.apps[app] = id
+		addedApp = true
+		p = append(p, 1)
+		p = binary.AppendUvarint(p, uint64(len(app)))
+		p = append(p, app...)
+	}
+	p = binary.AppendUvarint(p, id)
+
+	// rollback undoes this frame's dictionary additions so a failed
+	// frame cannot leave the encoder referencing ids the receiver
+	// never learned.
+	rollback := func() {
+		if addedApp {
+			delete(e.apps, app)
+		}
+		for _, m := range e.added {
+			delete(e.metrics, m)
+		}
+		e.added = e.added[:0]
+	}
+
+	// Metric section: collect the names this frame introduces.
+	e.added = e.added[:0]
+	newAt := len(p)
+	p = append(p, 0) // placeholder when ≤ 0x7f new metrics (patched below)
+	newCount := uint64(0)
+	for i := range samples {
+		m := samples[i].Metric
+		if _, ok := e.metrics[m]; ok {
+			continue
+		}
+		if len(m) == 0 || len(m) > MaxNameLen {
+			rollback()
+			return dst, fmt.Errorf("wire: metric name length %d out of range [1, %d]", len(m), MaxNameLen)
+		}
+		if len(e.metrics) >= MaxDictEntries {
+			rollback()
+			return dst, fmt.Errorf("wire: metric dictionary full (%d entries)", MaxDictEntries)
+		}
+		e.metrics[m] = uint64(len(e.metrics))
+		e.added = append(e.added, m)
+		newCount++
+		p = binary.AppendUvarint(p, uint64(len(m)))
+		p = append(p, m...)
+	}
+	if newCount < 0x80 {
+		p[newAt] = byte(newCount)
+	} else {
+		// Rare (a frame introducing ≥128 metrics): re-splice with the
+		// full varint.
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], newCount)
+		p = append(p[:newAt], append(tmp[:n], p[newAt+1:]...)...)
+	}
+
+	// Runs: fold consecutive same-metric samples together.
+	runsAt := len(p)
+	p = append(p, 0) // run-count placeholder, same patching scheme
+	runCount := uint64(0)
+	for i := 0; i < len(samples); {
+		j := i + 1
+		for j < len(samples) && samples[j].Metric == samples[i].Metric {
+			j++
+		}
+		p = binary.AppendUvarint(p, e.metrics[samples[i].Metric])
+		p = binary.AppendUvarint(p, uint64(j-i))
+		for ; i < j; i++ {
+			p = binary.LittleEndian.AppendUint64(p, math.Float64bits(samples[i].Value))
+		}
+		runCount++
+	}
+	if runCount < 0x80 {
+		p[runsAt] = byte(runCount)
+	} else {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], runCount)
+		p = append(p[:runsAt], append(tmp[:n], p[runsAt+1:]...)...)
+	}
+
+	e.scratch = p[:0] // keep the grown buffer for the next frame
+	if len(p) > MaxFrame {
+		rollback()
+		return dst, fmt.Errorf("%w: %d > %d bytes (flush smaller batches)", ErrFrameTooLarge, len(p), MaxFrame)
+	}
+	e.added = e.added[:0]
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...), nil
+}
+
+// reader is what ReadFrame consumes: *bufio.Reader satisfies it.
+type reader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Decoder decodes one stream's frames. Not safe for concurrent use;
+// the zero value is ready (empty dictionaries).
+type Decoder struct {
+	apps    []string
+	metrics []string
+	payload []byte           // frame read buffer, reused
+	samples []runtime.Sample // decode output, reused
+}
+
+// Reset clears the dictionaries and returns the decoder to the start
+// of a new stream, keeping the allocated scratch. The entries are
+// zeroed, not just truncated, so a pooled decoder does not pin a
+// previous stream's interned names (up to ~8 MB at the dictionary
+// caps) through the backing array.
+func (d *Decoder) Reset() {
+	clear(d.apps)
+	clear(d.metrics)
+	d.apps = d.apps[:0]
+	d.metrics = d.metrics[:0]
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it,
+// returning the application name and its samples. The samples slice
+// (and its metric strings, interned per stream) is only valid until
+// the next ReadFrame. A clean end of stream at a frame boundary
+// returns io.EOF; truncation inside a frame returns
+// io.ErrUnexpectedEOF.
+func (d *Decoder) ReadFrame(r reader) (app string, samples []runtime.Sample, err error) {
+	size, err := readLength(r)
+	if err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("wire: frame length: %w", err)
+	}
+	if size > MaxFrame {
+		return "", nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, size, MaxFrame)
+	}
+	if cap(d.payload) < int(size) {
+		d.payload = make([]byte, size)
+	}
+	d.payload = d.payload[:size]
+	if _, err := io.ReadFull(r, d.payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return "", nil, fmt.Errorf("wire: frame body: %w", err)
+	}
+	return d.Decode(d.payload)
+}
+
+// Decode decodes one frame payload (the bytes after the length
+// prefix), updating the stream dictionaries. See ReadFrame for the
+// lifetime of the returned slice.
+func (d *Decoder) Decode(payload []byte) (app string, samples []runtime.Sample, err error) {
+	p := payload
+	if len(p) < 1 {
+		return "", nil, fmt.Errorf("wire: empty frame")
+	}
+	if p[0] != Version {
+		return "", nil, fmt.Errorf("wire: unknown frame version 0x%02x", p[0])
+	}
+	p = p[1:]
+
+	if p, err = d.readDefs(p, &d.apps, "app", "app definition count"); err != nil {
+		return "", nil, err
+	}
+	appID, p, err := readUvarint(p, "app id")
+	if err != nil {
+		return "", nil, err
+	}
+	if appID >= uint64(len(d.apps)) {
+		return "", nil, fmt.Errorf("wire: app id %d out of range (%d defined)", appID, len(d.apps))
+	}
+	app = d.apps[appID]
+
+	if p, err = d.readDefs(p, &d.metrics, "metric", "metric definition count"); err != nil {
+		return "", nil, err
+	}
+
+	nRuns, p, err := readUvarint(p, "run count")
+	if err != nil {
+		return "", nil, err
+	}
+	// Each run needs at least 2 bytes (metric id + count) before its
+	// values; reject counts the remaining bytes cannot hold.
+	if nRuns > uint64(len(p)) {
+		return "", nil, fmt.Errorf("wire: %d runs in a %d-byte remainder", nRuns, len(p))
+	}
+	out := d.samples[:0]
+	for run := uint64(0); run < nRuns; run++ {
+		metricID, rest, err := readUvarint(p, "metric id")
+		if err != nil {
+			return "", nil, err
+		}
+		if metricID >= uint64(len(d.metrics)) {
+			return "", nil, fmt.Errorf("wire: metric id %d out of range (%d defined)", metricID, len(d.metrics))
+		}
+		metric := d.metrics[metricID]
+		nValues, rest, err := readUvarint(rest, "value count")
+		if err != nil {
+			return "", nil, err
+		}
+		// Division, not nValues*8, so a hostile count cannot wrap the
+		// bound check around uint64.
+		if nValues > uint64(len(rest))/8 {
+			return "", nil, fmt.Errorf("wire: run of %d values in a %d-byte remainder", nValues, len(rest))
+		}
+		for i := uint64(0); i < nValues; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+			out = append(out, runtime.Sample{Metric: metric, Value: v})
+		}
+		p = rest[nValues*8:]
+	}
+	if len(p) != 0 {
+		return "", nil, fmt.Errorf("wire: %d trailing bytes after the last run", len(p))
+	}
+	d.samples = out
+	return app, out, nil
+}
+
+// readDefs consumes one dictionary-definition section, appending the
+// new names to the table. countLabel is passed pre-built (not
+// concatenated from kind here) so the common zero-definition path
+// stays allocation-free.
+func (d *Decoder) readDefs(p []byte, table *[]string, kind, countLabel string) ([]byte, error) {
+	n, p, err := readUvarint(p, countLabel)
+	if err != nil {
+		return nil, err
+	}
+	// A definition is at least 2 bytes (length + one character).
+	if n > uint64(len(p)) {
+		return nil, fmt.Errorf("wire: %d %s definitions in a %d-byte remainder", n, kind, len(p))
+	}
+	for i := uint64(0); i < n; i++ {
+		nameLen, rest, err := readUvarint(p, kind+" name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return nil, fmt.Errorf("wire: %s name length %d out of range [1, %d]", kind, nameLen, MaxNameLen)
+		}
+		if nameLen > uint64(len(rest)) {
+			return nil, fmt.Errorf("wire: truncated %s name (%d of %d bytes)", kind, len(rest), nameLen)
+		}
+		if len(*table) >= MaxDictEntries {
+			return nil, fmt.Errorf("wire: %s dictionary full (%d entries)", kind, MaxDictEntries)
+		}
+		*table = append(*table, string(rest[:nameLen]))
+		p = rest[nameLen:]
+	}
+	return p, nil
+}
+
+// readLength reads the frame-length varint. Only a stream ending
+// before its first byte is a clean io.EOF; running dry mid-varint is
+// io.ErrUnexpectedEOF, so a truncated prefix cannot masquerade as a
+// frame boundary (binary.ReadUvarint would conflate the two).
+func readLength(r io.ByteReader) (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		b, err := r.ReadByte()
+		if err != nil {
+			if shift > 0 && errors.Is(err, io.EOF) {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("wire: frame length varint overflows uint64")
+}
+
+// readUvarint decodes a varint from the head of p.
+func readUvarint(p []byte, what string) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad %s varint", what)
+	}
+	return v, p[n:], nil
+}

@@ -1,0 +1,422 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// mustFrame is AppendFrame with encode errors fatal to the test.
+func mustFrame(tb testing.TB, enc *Encoder, dst []byte, app string, samples []runtime.Sample) []byte {
+	tb.Helper()
+	out, err := enc.AppendFrame(dst, app, samples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+func samplesEqual(a, b []runtime.Sample) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Metric != b[i].Metric {
+			return false
+		}
+		av, bv := a[i].Value, b[i].Value
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip drives a multi-frame stream through encoder and
+// decoder: multiple apps, dictionary reuse across frames, runs of
+// mixed metrics, and edge-case values.
+func TestRoundTrip(t *testing.T) {
+	type frame struct {
+		app     string
+		samples []runtime.Sample
+	}
+	frames := []frame{
+		{"web", []runtime.Sample{{Metric: "latency", Value: 0.25}, {Metric: "latency", Value: 0.5}, {Metric: "power", Value: 180}}},
+		{"batch", []runtime.Sample{{Metric: "latency", Value: 3}}},
+		{"web", []runtime.Sample{{Metric: "power", Value: 175}, {Metric: "latency", Value: 0.75}, {Metric: "power", Value: -0}}},
+		{"web", nil}, // an empty frame is legal (keeps a stream alive)
+		{"batch", []runtime.Sample{{Metric: "qps", Value: math.Inf(1)}, {Metric: "qps", Value: math.NaN()}}},
+	}
+	enc := NewEncoder()
+	var stream []byte
+	for _, f := range frames {
+		stream = mustFrame(t, enc, stream, f.app, f.samples)
+	}
+
+	var dec Decoder
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for i, f := range frames {
+		app, samples, err := dec.ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if app != f.app {
+			t.Errorf("frame %d: app %q, want %q", i, app, f.app)
+		}
+		if !samplesEqual(samples, f.samples) {
+			t.Errorf("frame %d: samples %v, want %v", i, samples, f.samples)
+		}
+	}
+	if _, _, err := dec.ReadFrame(br); err != io.EOF {
+		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestRoundTripManyMetrics crosses the single-byte varint patch point:
+// a frame defining ≥128 new metrics (and ≥128 runs) must still decode.
+func TestRoundTripManyMetrics(t *testing.T) {
+	var samples []runtime.Sample
+	for i := 0; i < 200; i++ {
+		samples = append(samples, runtime.Sample{Metric: fmt.Sprintf("metric-%03d", i), Value: float64(i)})
+	}
+	enc := NewEncoder()
+	stream := mustFrame(t, enc, nil, "app", samples)
+	var dec Decoder
+	app, got, err := decodeOne(&dec, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != "app" || !samplesEqual(got, samples) {
+		t.Errorf("round trip lost samples: got %d for app %q", len(got), app)
+	}
+}
+
+func decodeOne(dec *Decoder, stream []byte) (string, []runtime.Sample, error) {
+	return dec.ReadFrame(bufio.NewReader(bytes.NewReader(stream)))
+}
+
+// TestDecodeRejectsCorruption hand-corrupts valid frames field by
+// field: every mutation must produce an error, never a panic, and
+// never a silently wrong decode.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := NewEncoder()
+	valid := mustFrame(t, enc, nil, "app", []runtime.Sample{
+		{Metric: "m0", Value: 1}, {Metric: "m1", Value: 2},
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		// Every strict prefix of the stream must fail cleanly (io.EOF
+		// only at the zero-byte boundary).
+		for cut := 1; cut < len(valid); cut++ {
+			var dec Decoder
+			_, _, err := decodeOne(&dec, valid[:cut])
+			if err == nil {
+				t.Fatalf("prefix of %d/%d bytes decoded", cut, len(valid))
+			}
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := bytes.Clone(valid)
+		bad[1] ^= 0xff // first payload byte
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, bad); err == nil {
+			t.Fatal("corrupt version accepted")
+		}
+	})
+	t.Run("oversized frame", func(t *testing.T) {
+		huge := binary.AppendUvarint(nil, MaxFrame+1)
+		var dec Decoder
+		_, _, err := decodeOne(&dec, huge)
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("oversized frame: %v", err)
+		}
+	})
+	t.Run("app id out of range", func(t *testing.T) {
+		// payload: version, 0 new apps, app id 7 → no table entry.
+		payload := []byte{Version, 0, 7}
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("undefined app id accepted")
+		}
+	})
+	t.Run("metric id out of range", func(t *testing.T) {
+		// version, 1 app "a", id 0, 0 new metrics, 1 run on metric 3.
+		payload := []byte{Version, 1, 1, 'a', 0, 0, 1, 3, 0}
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("undefined metric id accepted")
+		}
+	})
+	t.Run("run count beyond frame", func(t *testing.T) {
+		payload := []byte{Version, 1, 1, 'a', 0, 0, 0xff}
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("impossible run count accepted")
+		}
+	})
+	t.Run("value count overflow", func(t *testing.T) {
+		// A value count near 2^61 whose ×8 wraps uint64: must be
+		// rejected by the division-based bound, not loop.
+		payload := []byte{Version, 1, 1, 'a', 0, 1, 1, 'm', 1, 0}
+		payload = binary.AppendUvarint(payload, 1<<61)
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("wrapping value count accepted")
+		}
+	})
+	t.Run("empty name", func(t *testing.T) {
+		payload := []byte{Version, 1, 0}
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("empty dictionary name accepted")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		// A valid empty frame with junk appended inside the declared
+		// payload length.
+		payload := []byte{Version, 1, 1, 'a', 0, 0, 0, 0xAB}
+		frame := append(binary.AppendUvarint(nil, uint64(len(payload))), payload...)
+		var dec Decoder
+		if _, _, err := decodeOne(&dec, frame); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	})
+}
+
+// TestEncoderBounds: the encoder rejects what the decoder would —
+// fail fast at encode time instead of shipping a doomed body — and a
+// rejected frame rolls its dictionary additions back, so the next
+// valid frame still decodes against a receiver that never saw the
+// failed one.
+func TestEncoderBounds(t *testing.T) {
+	t.Run("app name too long", func(t *testing.T) {
+		enc := NewEncoder()
+		if _, err := enc.AppendFrame(nil, string(make([]byte, MaxNameLen+1)), nil); err == nil {
+			t.Fatal("oversized app name encoded")
+		}
+		if _, err := enc.AppendFrame(nil, "", nil); err == nil {
+			t.Fatal("empty app name encoded")
+		}
+	})
+	t.Run("metric name too long rolls back", func(t *testing.T) {
+		enc := NewEncoder()
+		bad := []runtime.Sample{
+			{Metric: "fine", Value: 1},
+			{Metric: string(make([]byte, MaxNameLen+1)), Value: 2},
+		}
+		if _, err := enc.AppendFrame(nil, "app", bad); err == nil {
+			t.Fatal("oversized metric name encoded")
+		}
+		// After the rollback a fresh decoder must be able to follow the
+		// stream: "fine" (and "app") must be re-defined, not referenced
+		// as ids the failed frame never delivered.
+		stream, err := enc.AppendFrame(nil, "app", []runtime.Sample{{Metric: "fine", Value: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Decoder
+		app, samples, err := decodeOne(&dec, stream)
+		if err != nil {
+			t.Fatalf("post-rollback frame does not decode standalone: %v", err)
+		}
+		if app != "app" || len(samples) != 1 || samples[0].Metric != "fine" || samples[0].Value != 3 {
+			t.Errorf("post-rollback frame decoded as %q %v", app, samples)
+		}
+	})
+	t.Run("frame too large", func(t *testing.T) {
+		enc := NewEncoder()
+		huge := make([]runtime.Sample, MaxFrame/8+64)
+		for i := range huge {
+			huge[i] = runtime.Sample{Metric: "m", Value: float64(i)}
+		}
+		dst, err := enc.AppendFrame(nil, "app", huge)
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("oversized frame: %v", err)
+		}
+		if len(dst) != 0 {
+			t.Errorf("dst mutated on error: %d bytes", len(dst))
+		}
+		// The rolled-back encoder still works for sendable batches.
+		stream, err := enc.AppendFrame(nil, "app", huge[:64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Decoder
+		if _, samples, err := decodeOne(&dec, stream); err != nil || len(samples) != 64 {
+			t.Fatalf("post-rollback encode: %d samples, %v", len(samples), err)
+		}
+	})
+}
+
+// TestDecoderReset: after Reset the dictionaries are empty, so ids
+// from the previous stream no longer resolve.
+func TestDecoderReset(t *testing.T) {
+	enc := NewEncoder()
+	first := mustFrame(t, enc, nil, "app", []runtime.Sample{{Metric: "m", Value: 1}})
+	// Second frame references dictionary ids defined in the first.
+	second := mustFrame(t, enc, nil, "app", []runtime.Sample{{Metric: "m", Value: 2}})
+
+	var dec Decoder
+	if _, _, err := decodeOne(&dec, first); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeOne(&dec, second); err != nil {
+		t.Fatalf("warm-dictionary frame: %v", err)
+	}
+	dec.Reset()
+	if _, _, err := decodeOne(&dec, second); err == nil {
+		t.Fatal("dictionary survived Reset")
+	}
+}
+
+// TestDecodeNoAlloc pins the tentpole property: once the stream's
+// dictionaries are warm, decoding a frame allocates nothing — the
+// payload buffer, the sample slice and the metric strings are all
+// reused.
+func TestDecodeNoAlloc(t *testing.T) {
+	enc := NewEncoder()
+	samples := make([]runtime.Sample, 64)
+	for i := range samples {
+		samples[i] = runtime.Sample{Metric: "latency", Value: float64(i)}
+	}
+	warm := mustFrame(t, enc, nil, "app", samples)
+	steady := mustFrame(t, enc, nil, "app", samples)
+
+	var dec Decoder
+	if _, _, err := decodeOne(&dec, warm); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(steady)
+	br := bufio.NewReader(r)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(steady)
+		br.Reset(r)
+		if _, _, err := dec.ReadFrame(br); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state decode allocates %.1f objects/frame, want 0", allocs)
+	}
+}
+
+// TestEncodeNoAlloc: steady-state encoding onto a reused destination
+// buffer must not allocate either (the client's Flush path).
+func TestEncodeNoAlloc(t *testing.T) {
+	enc := NewEncoder()
+	samples := make([]runtime.Sample, 64)
+	for i := range samples {
+		samples[i] = runtime.Sample{Metric: "latency", Value: float64(i)}
+	}
+	dst := mustFrame(t, enc, nil, "app", samples) // warm dictionaries + scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = enc.AppendFrame(dst[:0], "app", samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state encode allocates %.1f objects/frame, want 0", allocs)
+	}
+}
+
+// BenchmarkWireDecode is the allocation-budget benchmark the ingest
+// acceptance criterion points at: ns and allocs per steady-state
+// 64-sample frame (dictionaries warm).
+func BenchmarkWireDecode(b *testing.B) {
+	enc := NewEncoder()
+	samples := make([]runtime.Sample, 64)
+	for i := range samples {
+		samples[i] = runtime.Sample{Metric: "latency", Value: float64(i)}
+	}
+	warm := mustFrame(b, enc, nil, "app", samples)
+	steady := mustFrame(b, enc, nil, "app", samples)
+	var dec Decoder
+	if _, _, err := decodeOne(&dec, warm); err != nil {
+		b.Fatal(err)
+	}
+	r := bytes.NewReader(steady)
+	br := bufio.NewReader(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(steady)
+		br.Reset(r)
+		if _, _, err := dec.ReadFrame(br); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/frame")
+}
+
+// FuzzDecode feeds arbitrary bytes through a whole-stream decode loop:
+// the decoder must never panic, and everything it accepts must
+// re-encode and decode back to the same samples (a full round-trip
+// through fresh dictionaries).
+func FuzzDecode(f *testing.F) {
+	enc := NewEncoder()
+	seed := mustFrame(f, enc, nil, "app", []runtime.Sample{
+		{Metric: "latency", Value: 0.25}, {Metric: "latency", Value: 4}, {Metric: "power", Value: 180},
+	})
+	seed = mustFrame(f, enc, seed, "other", []runtime.Sample{{Metric: "power", Value: -1}})
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])                  // truncated mid-frame
+	f.Add([]byte{0})                           // zero-length frame payload
+	f.Add([]byte{2, Version, 0})               // truncated header fields
+	f.Add([]byte{3, Version, 0, 7})            // app id with empty table
+	f.Add([]byte{5, Version, 1, 1, 'a', 0xff}) // bad varint tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec Decoder
+		br := bufio.NewReader(bytes.NewReader(data))
+		re := NewEncoder()
+		var restream []byte
+		type decoded struct {
+			app     string
+			samples []runtime.Sample
+		}
+		var accepted []decoded
+		for {
+			app, samples, err := dec.ReadFrame(br)
+			if err != nil {
+				break // io.EOF or rejection — either is fine, panics are not
+			}
+			cp := make([]runtime.Sample, len(samples))
+			copy(cp, samples)
+			accepted = append(accepted, decoded{app, cp})
+			var encErr error
+			restream, encErr = re.AppendFrame(restream, app, cp)
+			if encErr != nil {
+				// Anything the decoder accepted is within the bounds
+				// the encoder enforces.
+				t.Fatalf("re-encode accepted frame: %v", encErr)
+			}
+		}
+		// Round-trip property: whatever was accepted survives
+		// re-encoding byte-for-byte at the sample level.
+		var dec2 Decoder
+		br2 := bufio.NewReader(bytes.NewReader(restream))
+		for i, want := range accepted {
+			app, samples, err := dec2.ReadFrame(br2)
+			if err != nil {
+				t.Fatalf("re-decode frame %d: %v", i, err)
+			}
+			if app != want.app || !samplesEqual(samples, want.samples) {
+				t.Fatalf("frame %d mutated in round trip", i)
+			}
+		}
+	})
+}

@@ -123,6 +123,48 @@ func BenchmarkShardedSetPushParallel(b *testing.B) {
 	}
 }
 
+// The run-shaped variants model the binary streaming ingest's load at
+// a hypothetical global sink: decoded wire frames deliver 64-sample
+// runs of one metric, so a sink sees long same-metric bursts rather
+// than interleaved single pushes. One op = one 64-sample run.
+
+const runShape = 64
+
+func benchmarkPushRunParallel(b *testing.B, push func(string, float64), metrics int) {
+	names := make([]string, metrics)
+	for i := range names {
+		names[i] = fmt.Sprintf("metric-%d", i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := names[i%metrics]
+			for s := 0; s < runShape; s++ {
+				push(name, float64(s))
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkSetPushRunParallel(b *testing.B) {
+	for _, metrics := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("metrics=%d", metrics), func(b *testing.B) {
+			s := NewSet(128)
+			benchmarkPushRunParallel(b, s.Push, metrics)
+		})
+	}
+}
+
+func BenchmarkShardedSetPushRunParallel(b *testing.B) {
+	for _, metrics := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("metrics=%d", metrics), func(b *testing.B) {
+			s := NewShardedSet(128, 16)
+			benchmarkPushRunParallel(b, s.Push, metrics)
+		})
+	}
+}
+
 // BenchmarkHandlePushParallel measures the cached-handle fast path the
 // adaptation kernel's control loop uses: Acquire the window once, then
 // push on it directly, skipping the set's lock and map lookup per

@@ -27,6 +27,14 @@ type Controller struct {
 	handles map[string]*monitor.Window // metric → window cache, under tickMu
 	drainFn func(metric string, v float64)
 
+	// lastMetric/lastWindow memoize the previous drained sample's
+	// window (under tickMu): batched ingest delivers runs of one metric
+	// — the wire protocol's frame shape — so consecutive samples skip
+	// even the handle map's hash, usually via pointer-equal interned
+	// strings.
+	lastMetric string
+	lastWindow *monitor.Window
+
 	ticks       atomic.Int64
 	fires       atomic.Int64
 	adaptations atomic.Int64
@@ -65,13 +73,19 @@ func (c *Controller) Push(metric string, v float64) { c.metrics.Push(metric, v) 
 
 // pushCached records a sample through the per-metric handle cache,
 // skipping the set's lock and map lookup after the first sample of each
-// metric. Only called under tickMu.
+// metric — and skipping the map entirely inside a same-metric run.
+// Only called under tickMu.
 func (c *Controller) pushCached(metric string, v float64) {
+	if metric == c.lastMetric && c.lastWindow != nil {
+		c.lastWindow.Push(v)
+		return
+	}
 	w := c.handles[metric]
 	if w == nil {
 		w = c.metrics.Acquire(metric)
 		c.handles[metric] = w
 	}
+	c.lastMetric, c.lastWindow = metric, w
 	w.Push(v)
 }
 

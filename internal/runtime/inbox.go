@@ -65,6 +65,57 @@ func (in *Inbox) Push(metric string, v float64) {
 	}
 }
 
+// PushBatch records a batch of samples with one atomic slot-range
+// claim per chunk touched — amortized one claim per inboxChunkSize
+// samples — instead of one claim per sample: the bulk ingest path the
+// control plane's observation batches land on. Batch order is
+// preserved (the claimed ranges are contiguous and chunks are chained
+// in claim order), the samples are copied, and the caller may reuse
+// the slice immediately. Like Push it is lock-free and never contends
+// with Collect.
+func (in *Inbox) PushBatch(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	c := in.tail.Load()
+	if c == nil {
+		c = in.initTail()
+	}
+	rest := samples
+	for len(rest) > 0 {
+		want := int64(len(rest))
+		if want > inboxChunkSize {
+			want = inboxChunkSize
+		}
+		end := c.reserve.Add(want)
+		start := end - want
+		if start >= inboxChunkSize {
+			c = in.advance(c)
+			continue
+		}
+		// The claim may run past the chunk: slots below the boundary
+		// are filled, the overhang is abandoned (exactly what Push
+		// does with a claim that lands past the end) and the remainder
+		// of the batch moves to the successor chunk. The collector
+		// never waits on abandoned slots — it caps the claim count at
+		// the chunk size, and every slot below that cap is published
+		// here before the overhang redirects.
+		n := inboxChunkSize - start
+		if n > want {
+			n = want
+		}
+		copy(c.slots[start:start+n], rest[:n])
+		for i := start; i < start+n; i++ {
+			c.ready[i].Store(1)
+		}
+		rest = rest[n:]
+		if end >= inboxChunkSize {
+			c = in.advance(c)
+		}
+	}
+	in.pending.Add(int64(len(samples)))
+}
+
 // initTail installs the first chunk. The first pointer is published
 // before tail so the collector's anchor always reaches every sample.
 func (in *Inbox) initTail() *inboxChunk {
