@@ -618,7 +618,7 @@ func BenchmarkKernelEpochSync(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(k.Manager().WorkGFlop)/float64(b.N), "GFLOP/epoch")
+			b.ReportMetric(k.ManagerStats().WorkGFlop/float64(b.N), "GFLOP/epoch")
 		})
 	}
 }
@@ -804,6 +804,137 @@ func BenchmarkKernelChurn(b *testing.B) {
 			b.ReportMetric(float64(churns.Load())/b.Elapsed().Seconds(), "churn/s")
 		})
 	}
+}
+
+// benchKernelBackends is benchKernel over nBackends managers: the same
+// 16 simulated nodes split into nBackends per-site clusters, apps
+// hint-pinned round-robin so the static partition is exact and
+// deterministic. nBackends=1 exercises the kernel's single-backend
+// fast path through the same construction.
+func benchKernelBackends(nApps, nBackends int) (*kernelrt.Kernel, []*kernelrt.Inbox) {
+	rng := simhpc.NewRNG(61)
+	k := kernelrt.NewKernel()
+	for bIdx := 0; bIdx < nBackends; bIdx++ {
+		cluster := simhpc.NewCluster(16/nBackends, 24, func(i int) *simhpc.Node {
+			return simhpc.HomogeneousNode(fmt.Sprintf("b%d-n%d", bIdx, i), 0.15, rng)
+		})
+		if err := k.AddBackend(fmt.Sprintf("b%d", bIdx), rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9)); err != nil {
+			panic(err)
+		}
+	}
+	inboxes := make([]*kernelrt.Inbox, nApps)
+	for i := 0; i < nApps; i++ {
+		gen := simhpc.NewWorkloadGen(uint64(100 + i))
+		inbox := &kernelrt.Inbox{}
+		inboxes[i] = inbox
+		_, err := k.Attach(kernelrt.AppSpec{
+			Name:    fmt.Sprintf("app%d", i),
+			Backend: fmt.Sprintf("b%d", i%nBackends),
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Window:   16,
+			Debounce: 2,
+			Sensor:   inbox,
+			Policy: kernelrt.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				return autotune.Config{"x": 1}, true
+			}),
+			Knob: kernelrt.KnobFunc(func(autotune.Config) {}),
+			Workload: func() ([]*simhpc.Task, error) {
+				return gen.Mix(2, 1, 1, 1, 8), nil
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	return k, inboxes
+}
+
+// churnPlacement is K7's migration-churn driver: a static round-robin
+// partition whose first app roams — every stride epochs the policy
+// requests a placement refresh and moves app 0 to the next backend, so
+// each period pays one full migration (generation roll, drain,
+// topology rebuild).
+type churnPlacement struct {
+	stride     int64
+	epochCount atomic.Int64
+	moves      atomic.Int64
+}
+
+func (p *churnPlacement) ObserveEpoch([]kernelrt.BackendLoad) bool {
+	return p.epochCount.Add(1)%p.stride == 0
+}
+
+func (p *churnPlacement) Place(apps []kernelrt.AppPlacement, view []kernelrt.BackendLoad) []int {
+	move := p.moves.Add(1)
+	out := make([]int, len(apps))
+	for i := range apps {
+		out[i] = i % len(view)
+	}
+	if len(apps) > 0 {
+		out[0] = int(move) % len(view)
+	}
+	return out
+}
+
+// BenchmarkKernelPlacement (K7) measures the multi-backend kernel: the
+// K2 shape (64 apps, concurrent mode, live telemetry producers) with
+// the merged epoch batch placement-routed over N backends whose epochs
+// run concurrently behind the one barrier. backends=1 is the
+// single-backend fast path — the identical code path to K2 — gated
+// same-run within 1.25x of K2/apps=64, where the slack above the
+// measured ~1.04x is the 1-vCPU class's per-sample noise (see ci.yml);
+// backends=2/4 record the partitioned scaling, env-dependent. The
+// migrate case adds a forced migration every 8 epochs on 2 backends —
+// each one a generation roll with drain — and its ns/op is the
+// migration churn tax (gated same-run ≤1.5x of backends=2, the K4
+// convention).
+func BenchmarkKernelPlacement(b *testing.B) {
+	const nApps = 64
+	const producerBatch = 10
+	run := func(b *testing.B, nBackends int, placement kernelrt.Placement) {
+		k, inboxes := benchKernelBackends(nApps, nBackends)
+		if placement != nil {
+			k.SetPlacement(placement)
+		}
+		interval := 200 * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for _, in := range inboxes {
+			go func(in *kernelrt.Inbox) {
+				for ctx.Err() == nil {
+					for i := 0; i < producerBatch; i++ {
+						in.Push(monitor.MetricLatency, 0.2)
+					}
+					time.Sleep(producerBatch * interval)
+				}
+			}(in)
+		}
+		b.ResetTimer()
+		if err := k.Start(ctx, kernelrt.Options{EpochDt: 60, Flush: 2 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		target := int64(b.N)
+		for k.Epochs() < target {
+			time.Sleep(100 * time.Microsecond)
+		}
+		k.Stop()
+		b.StopTimer()
+		if err := k.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, nBackends := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", nBackends), func(b *testing.B) {
+			run(b, nBackends, nil)
+		})
+	}
+	b.Run("migrate", func(b *testing.B) {
+		cp := &churnPlacement{stride: 8}
+		run(b, 2, cp)
+		b.ReportMetric(float64(cp.moves.Load())/b.Elapsed().Seconds(), "migrations/s")
+	})
 }
 
 // mkIngestKernel builds the small kernel the ingest benchmarks (K5,

@@ -1,16 +1,24 @@
 // Command antarex-serve runs the adaptation kernel as a multi-tenant
-// HTTP service: a simulated heterogeneous cluster under one
-// rtrm.Manager, the concurrent kernel started empty, and the
-// controlplane API on -addr. Remote applications register, stream
-// observations and detach while the kernel is running — membership
-// changes are admitted and drained at epoch boundaries.
+// HTTP service: one or more simulated clusters, each under its own
+// rtrm.Manager backend, the concurrent kernel started empty with a
+// placement policy routing each tenant's epoch batches to a backend,
+// and the controlplane API on -addr. Remote applications register,
+// stream observations and detach while the kernel is running —
+// membership changes, backend additions and placement migrations all
+// land at epoch boundaries.
 //
-//	go run ./cmd/antarex-serve -addr :8077
+//	go run ./cmd/antarex-serve -addr :8077 -backends 2 -placement sla
 //	curl -s localhost:8077/healthz
-//	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"levels":[1,0.5,0.25]}'
+//	curl -s localhost:8077/v1/backends
+//	curl -s -X POST localhost:8077/v1/backends -d '{"name":"edge","nodes":4,"ambient_c":30}'
+//	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","placement":"b1","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"levels":[1,0.5,0.25]}'
 //	curl -s -X POST localhost:8077/v1/apps/web/observations -d '{"samples":[{"metric":"latency","value":2.2}]}'
 //	curl -s localhost:8077/v1/epochs
+//	curl -sN localhost:8077/v1/epochs/stream    # server-sent epoch events
 //	curl -s -X DELETE localhost:8077/v1/apps/web
+//
+// With -auth-token (or ANTAREX_AUTH_TOKEN), every mutating route
+// requires "Authorization: Bearer <token>"; reads stay open.
 //
 // High-rate telemetry should use the binary paths instead of JSON:
 // POST /v1/apps/{id}/observations:binary for one-shot frame batches
@@ -32,35 +40,66 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
-	"repro/internal/rtrm"
 	"repro/internal/runtime"
-	"repro/internal/simhpc"
 )
+
+// buildKernel assembles the kernel over nBackends simulated sites
+// (named b0..bN-1, seeded distinctly) and the named placement policy.
+func buildKernel(nBackends int, spec controlplane.BackendSpec, policy string) (*runtime.Kernel, error) {
+	if nBackends < 1 {
+		return nil, fmt.Errorf("need at least 1 backend, got %d", nBackends)
+	}
+	kernel := runtime.NewKernel()
+	for i := 0; i < nBackends; i++ {
+		s := spec
+		s.Name = fmt.Sprintf("b%d", i)
+		s.Seed += uint64(i)
+		if err := kernel.AddBackend(s.Name, controlplane.BuildBackend(s)); err != nil {
+			return nil, err
+		}
+	}
+	switch policy {
+	case "pinned":
+		kernel.SetPlacement(runtime.Pinned{})
+	case "least-loaded":
+		kernel.SetPlacement(runtime.LeastLoaded{})
+	case "sla":
+		kernel.SetPlacement(runtime.NewSLAAware(0))
+	default:
+		return nil, fmt.Errorf("unknown placement policy %q (pinned|least-loaded|sla)", policy)
+	}
+	return kernel, nil
+}
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8077", "HTTP listen address")
-		nodes    = flag.Int("nodes", 8, "simulated cluster nodes")
-		hetero   = flag.Bool("hetero", true, "alternate heterogeneous/homogeneous nodes")
-		ambient  = flag.Float64("ambient", 22, "ambient temperature (C)")
-		capFrac  = flag.Float64("cap-frac", 0.9, "facility power cap as a fraction of peak")
-		vary     = flag.Float64("vary", 0.15, "component manufacturing variability")
-		seed     = flag.Uint64("seed", 42, "cluster RNG seed")
-		epochDt  = flag.Float64("epoch-dt", 60, "simulated seconds per manager epoch")
-		flush    = flag.Duration("flush", 20*time.Millisecond, "epoch scheduler straggler flush bound")
-		interval = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
+		addr      = flag.String("addr", ":8077", "HTTP listen address")
+		nBackends = flag.Int("backends", 1, "resource-manager backends (simulated sites) to start with; more via POST /v1/backends")
+		placement = flag.String("placement", "least-loaded", "placement policy: pinned, least-loaded or sla")
+		authToken = flag.String("auth-token", os.Getenv("ANTAREX_AUTH_TOKEN"), "bearer token required on mutating routes (empty: auth off; also via ANTAREX_AUTH_TOKEN)")
+		nodes     = flag.Int("nodes", 8, "simulated cluster nodes per backend")
+		hetero    = flag.Bool("hetero", true, "alternate heterogeneous/homogeneous nodes")
+		ambient   = flag.Float64("ambient", 22, "ambient temperature (C)")
+		capFrac   = flag.Float64("cap-frac", 0.9, "facility power cap as a fraction of peak")
+		vary      = flag.Float64("vary", 0.15, "component manufacturing variability")
+		seed      = flag.Uint64("seed", 42, "cluster RNG seed (backend i uses seed+i)")
+		epochDt   = flag.Float64("epoch-dt", 60, "simulated seconds per manager epoch")
+		flush     = flag.Duration("flush", 20*time.Millisecond, "epoch scheduler straggler flush bound")
+		interval  = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
 	)
 	flag.Parse()
 
-	rng := simhpc.NewRNG(*seed)
-	cluster := simhpc.NewCluster(*nodes, *ambient, func(i int) *simhpc.Node {
-		if *hetero && i%2 == 0 {
-			return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), *vary, rng)
-		}
-		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), *vary, rng)
-	})
-	mgr := rtrm.NewManager(cluster, cluster.FacilityPowerW(1)**capFrac)
-	kernel := runtime.NewKernel(mgr)
+	kernel, err := buildKernel(*nBackends, controlplane.BackendSpec{
+		Nodes:    *nodes,
+		Hetero:   *hetero,
+		AmbientC: *ambient,
+		CapFrac:  *capFrac,
+		Vary:     *vary,
+		Seed:     *seed,
+	}, *placement)
+	if err != nil {
+		log.Fatalf("antarex-serve: %v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -72,9 +111,13 @@ func main() {
 		log.Fatalf("antarex-serve: start kernel: %v", err)
 	}
 
+	var opts []controlplane.ServerOption
+	if *authToken != "" {
+		opts = append(opts, controlplane.WithAuthToken(*authToken))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           controlplane.NewServer(kernel),
+		Handler:           controlplane.NewServer(kernel, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -84,8 +127,13 @@ func main() {
 		_ = srv.Shutdown(shctx)
 	}()
 
-	log.Printf("antarex-serve: %d-node cluster (cap %.0f W), control plane on %s", *nodes, mgr.Capper.CapW, *addr)
-	err := srv.ListenAndServe()
+	auth := "open"
+	if *authToken != "" {
+		auth = "bearer-token"
+	}
+	log.Printf("antarex-serve: %d backend(s) × %d nodes, placement %s, ingress %s, control plane on %s",
+		*nBackends, *nodes, *placement, auth, *addr)
+	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		kernel.Stop()
 		log.Fatalf("antarex-serve: %v", err)

@@ -261,13 +261,17 @@ func kernelDemo() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	mgr := kern.Manager()
+	stats := kern.ManagerStats()
 	totals := kern.TotalsPerApp()
 	fmt.Printf("  %d epochs across %d apps in %v (%.0f epochs/s)\n",
 		kern.Epochs(), nApps, elapsed.Round(time.Millisecond),
 		float64(kern.Epochs())/elapsed.Seconds())
+	eff := 0.0
+	if stats.EnergyJ > 0 {
+		eff = stats.WorkGFlop / stats.EnergyJ
+	}
 	fmt.Printf("  cluster: %.1f TFLOP done, %.2f MJ, efficiency %.3f GFLOP/J\n",
-		mgr.WorkGFlop/1000, mgr.EnergyJ/1e6, mgr.EfficiencyGFLOPSPerJ())
+		stats.WorkGFlop/1000, stats.EnergyJ/1e6, eff)
 	for i, st := range states {
 		st.mu.Lock()
 		level := st.level

@@ -1,13 +1,17 @@
-// GreenHPC: the system-wide RTRM story of paper §V — adaptive
-// applications coupled to the runtime resource & power manager over the
-// simulated cluster, through a simulated year of ambient temperature.
-// MS3 defers load and boosts cooling in summer; the power capper holds
-// the facility envelope; the thermal controller keeps nodes safe.
+// GreenHPC: the system-wide RTRM story of paper §V, scaled out to two
+// sites — adaptive applications coupled to per-site runtime resource &
+// power managers over simulated clusters, through a simulated year of
+// ambient temperature. Each site runs its own rtrm.Manager (MS3 defers
+// load and boosts cooling in its summer; the power capper holds the
+// facility envelope; the thermal controller keeps nodes safe), and one
+// adaptation kernel routes every app's epoch batches to a site through
+// the SLA-aware placement policy.
 //
-// The coupling runs through the concurrent adaptation kernel
-// (internal/runtime): two adaptive applications attach their specs and
-// the kernel multiplexes their epoch workloads into the one shared
-// rtrm.Manager.
+// "alpine" stays below the free-cooling knee most of the year;
+// "desert" blows past it in summer and starts deferring work. When the
+// desert site's deferred fraction persists above the placement goal,
+// the kernel migrates an app off it at a membership-generation
+// boundary — watch the placement column flip mid-year.
 //
 //	go run ./examples/greenhpc
 package main
@@ -25,13 +29,42 @@ import (
 	"repro/internal/simhpc"
 )
 
+// site is one geography: its cluster, its manager, its seasonal
+// ambient model.
+type site struct {
+	name    string
+	cluster *simhpc.Cluster
+	base    float64 // mean ambient (C)
+	swing   float64 // seasonal half-amplitude (C)
+}
+
+// ambientAt returns the site ambient for a month (0 = January).
+func (s *site) ambientAt(month int) float64 {
+	return s.base - s.swing*math.Cos(2*math.Pi*float64(month)/12)
+}
+
 func main() {
 	rng := simhpc.NewRNG(7)
-	cluster := simhpc.NewCluster(16, 15, func(i int) *simhpc.Node {
-		return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
-	})
-	capW := cluster.FacilityPowerW(1) * 0.85
-	kern := runtime.NewKernel(rtrm.NewManager(cluster, capW))
+	mkCluster := func(ambient float64) *simhpc.Cluster {
+		return simhpc.NewCluster(8, ambient, func(i int) *simhpc.Node {
+			return simhpc.HeterogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+		})
+	}
+	sites := []*site{
+		{name: "alpine", base: 10, swing: 8},  // 2C .. 18C: free cooling year-round
+		{name: "desert", base: 28, swing: 12}, // 16C .. 40C: deep MS3 deferral in summer
+	}
+	kern := runtime.NewKernel()
+	for _, s := range sites {
+		s.cluster = mkCluster(s.ambientAt(0))
+		mgr := rtrm.NewManager(s.cluster, s.cluster.FacilityPowerW(1)*0.85)
+		if err := kern.AddBackend(s.name, mgr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Steer apps off a site once it defers >10% of their work for a
+	// few epochs running; migrations land at generation boundaries.
+	kern.SetPlacement(&runtime.SLAAware{MaxDeferredFrac: 0.10, Patience: 6, Cooldown: 30})
 
 	// App 1: batch HPC workload, batch-size knob; bigger batches
 	// amortize better.
@@ -71,33 +104,50 @@ func main() {
 	}
 	fmt.Printf("tuned configurations: hpcapp batch=%v, analytics width=%v\n",
 		hpc.Config()["batch"], analytics.Config()["width"])
-	fmt.Printf("cluster: 16 heterogeneous nodes, facility cap %.0f kW, %d apps on one kernel\n\n",
-		capW/1000, len(kern.Apps()))
+	fmt.Printf("2 sites × 8 heterogeneous nodes, one kernel, SLA-aware placement (goal: <10%% deferred)\n\n")
 
-	mgr := kern.Manager()
-	fmt.Println("month  ambient  PUE    admit%  hot  energy(MJ)  eff(GFLOP/J)")
+	fmt.Println("month  alpine   desert   hpcapp@   analytics@  defer%(desert)  energy(MJ)")
 	for month := 0; month < 12; month++ {
-		// Sinusoidal seasonal ambient: 8C in January, 32C in July.
-		cluster.AmbientC = 20 - 12*math.Cos(2*math.Pi*float64(month)/12)
-		var monthEnergy float64
-		var plan float64
-		hot := 0
+		for _, s := range sites {
+			s.cluster.AmbientC = s.ambientAt(month)
+		}
+		var monthEnergy, desertDefer, desertOffered float64
 		for epoch := 0; epoch < 30; epoch++ {
 			res, err := kern.RunEpoch(3600)
 			if err != nil {
 				log.Fatal(err)
 			}
 			monthEnergy += res.Report.EnergyJ
-			plan = res.Report.Plan.AdmitFraction
-			hot += res.Report.HotNodes
+			for _, be := range res.Backends {
+				if be.Name == "desert" {
+					desertDefer += be.Report.DeferredGFlop
+					desertOffered += be.Report.DeferredGFlop + be.Report.DoneGFlop
+				}
+			}
 		}
-		fmt.Printf("%5d  %6.1fC  %.3f  %5.0f%%  %3d  %10.2f  %11.4f\n",
-			month+1, cluster.AmbientC, cluster.PUE(), plan*100, hot,
-			monthEnergy/1e6, mgr.EfficiencyGFLOPSPerJ())
+		deferPct := 0.0
+		if desertOffered > 0 {
+			deferPct = desertDefer / desertOffered * 100
+		}
+		fmt.Printf("%5d  %5.1fC   %5.1fC   %-9s %-11s %13.1f%%  %10.2f\n",
+			month+1, sites[0].cluster.AmbientC, sites[1].cluster.AmbientC,
+			kern.AppBackend("hpcapp"), kern.AppBackend("analytics"),
+			deferPct, monthEnergy/1e6)
 	}
+
 	totals := kern.TotalsPerApp()
 	fmt.Printf("\nper-app work: hpcapp %.1f TFLOP, analytics %.1f TFLOP\n",
 		totals["hpcapp"]/1000, totals["analytics"]/1000)
-	fmt.Printf("totals: %.1f TFLOP done, %.1f MJ, %d thermal events, %d cap demotions over %d epochs\n",
-		mgr.WorkGFlop/1000, mgr.EnergyJ/1e6, mgr.ThermalEvents, mgr.CapDemotions, kern.Epochs())
+	merged := kern.ManagerStats()
+	fmt.Printf("fleet totals: %.1f TFLOP done, %.1f TFLOP deferred, %.1f MJ, %d thermal events, %d cap demotions over %d epochs\n",
+		merged.WorkGFlop/1000, merged.DeferredGFlop/1000, merged.EnergyJ/1e6,
+		merged.ThermalEvents, merged.CapDemotions, kern.Epochs())
+	for _, st := range kern.BackendStats() {
+		eff := 0.0
+		if st.EnergyJ > 0 {
+			eff = st.WorkGFlop / st.EnergyJ
+		}
+		fmt.Printf("  %-7s %4d epochs  %8.1f GFLOP done  %8.1f deferred  %7.2f MJ  eff %.4f GFLOP/J\n",
+			st.Name, st.Epochs, st.WorkGFlop, st.DeferredGFlop, st.EnergyJ/1e6, eff)
+	}
 }

@@ -171,9 +171,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	stats := kern.ManagerStats()
 	fmt.Printf("adaptation kernel: %d epochs, %.2f GFLOP offered, %.2f GFLOP done, %.2f J, mean cycles %.0f\n",
-		kern.Epochs(), kern.TotalsPerApp()["quickstart"], kern.Manager().WorkGFlop,
-		kern.Manager().EnergyJ, ctl.Metrics().Window("cycles").Mean())
+		kern.Epochs(), kern.TotalsPerApp()["quickstart"], stats.WorkGFlop,
+		stats.EnergyJ, ctl.Metrics().Window("cycles").Mean())
 }
 
 func must(err error) {

@@ -146,38 +146,36 @@ func main() {
 	ep0, err := c.Epochs()
 	must(err)
 	must(c.Detach(steadyName))
-	deadline = time.Now().Add(30 * time.Second) // fresh budget for the settle phase
-	for {
-		h, err = c.Health()
-		must(err)
-		if h.ServedGeneration == h.Generation {
-			break
+	// Watch the settle and the survivor's progress over the server-sent
+	// epoch event feed (GET /v1/epochs/stream) instead of polling
+	// /v1/epochs: each event carries the full EpochsStatus, so one
+	// subscription covers the generation settling AND the survivor's
+	// epochs advancing.
+	settleCtx, settleCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer settleCancel()
+	var last controlplane.EpochsStatus
+	err = c.StreamEpochs(settleCtx, 5*time.Millisecond, func(ep controlplane.EpochsStatus) bool {
+		last = ep
+		if ep.ServedGeneration != ep.Generation {
+			return true // membership change not yet served
 		}
-		if time.Now().After(deadline) {
-			log.Fatalf("membership epoch never settled: %+v", h)
+		if ep.Epochs < ep0.Epochs+10 || ep.TotalsPerApp[burstyName] <= ep0.TotalsPerApp[burstyName] {
+			stream(burstyName, 4.0)
+			return true // survivor still warming through the roll
 		}
-		time.Sleep(2 * time.Millisecond)
+		return false // settled and progressing: done watching
+	})
+	if err != nil {
+		log.Fatalf("epoch event stream ended early (last %+v): %v", last, err)
 	}
 	if _, err := c.App(steadyName); !controlplane.IsNotFound(err) {
 		log.Fatalf("detached tenant still served: %v", err)
 	}
-	for {
-		ep, err := c.Epochs()
-		must(err)
-		if ep.Epochs >= ep0.Epochs+10 && ep.TotalsPerApp[burstyName] > ep0.TotalsPerApp[burstyName] {
-			if ep.TotalsPerApp[steadyName] <= 0 {
-				log.Fatal("steady's cumulative totals were dropped on detach")
-			}
-			log.Printf("%s detached live at epoch %d; %s kept running: epoch %d, %.1f GFLOP total, %.1f J",
-				steadyName, ep0.Epochs, burstyName, ep.Epochs, ep.TotalsPerApp[burstyName], ep.EnergyJ)
-			break
-		}
-		if time.Now().After(deadline) {
-			log.Fatalf("survivor stalled after detach: %+v vs %+v", ep, ep0)
-		}
-		stream(burstyName, 4.0)
-		time.Sleep(5 * time.Millisecond)
+	if last.TotalsPerApp[steadyName] <= 0 {
+		log.Fatal("steady's cumulative totals were dropped on detach")
 	}
+	log.Printf("%s detached live at epoch %d; %s kept running: epoch %d, %.1f GFLOP total, %.1f J (watched over SSE)",
+		steadyName, ep0.Epochs, burstyName, last.Epochs, last.TotalsPerApp[burstyName], last.EnergyJ)
 	if ow != nil {
 		// End the second stream and reconcile the servers' acks (both
 		// streams) with what was sent — the streamed path's delivery

@@ -1,7 +1,9 @@
 package controlplane
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,10 +20,11 @@ import (
 
 // Client is the Go client of the v1 control-plane API. Zero-value-safe
 // construction via NewClient; safe for concurrent use (it only wraps an
-// http.Client).
+// http.Client) once configured — SetAuthToken before sharing.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 }
 
 // NewClient returns a client for a control plane at base (e.g.
@@ -32,6 +35,18 @@ func NewClient(base string, hc *http.Client) *Client {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// SetAuthToken arms the bearer token sent with every request — the
+// client side of the server's -auth-token ingress auth. Call before
+// sharing the client across goroutines.
+func (c *Client) SetAuthToken(token string) { c.token = token }
+
+// authorize attaches the bearer token, when configured.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // APIError is a non-2xx control-plane response.
@@ -78,6 +93,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
@@ -131,6 +147,7 @@ func (c *Client) ObserveBinary(name string, samples []runtime.Sample) (int, erro
 		return 0, fmt.Errorf("controlplane: POST %s: %w", path, err)
 	}
 	req.Header.Set("Content-Type", wireContentType)
+	c.authorize(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("controlplane: POST %s: %w", path, err)
@@ -163,6 +180,7 @@ func (c *Client) Stream() (*ObservationWriter, error) {
 		return nil, fmt.Errorf("controlplane: POST /v1/stream: %w", err)
 	}
 	req.Header.Set("Content-Type", wireContentType)
+	c.authorize(req)
 	// The configured client's overall timeout would sever a long-lived
 	// stream mid-flight; strip it for this one request (dial and TLS
 	// setup still bound by the transport).
@@ -372,6 +390,81 @@ func (c *Client) Epochs() (EpochsStatus, error) {
 	var st EpochsStatus
 	err := c.do(http.MethodGet, "/v1/epochs", nil, &st)
 	return st, err
+}
+
+// Backends lists the kernel's backends with per-backend telemetry
+// (GET /v1/backends).
+func (c *Client) Backends() ([]BackendStatus, error) {
+	var out []BackendStatus
+	err := c.do(http.MethodGet, "/v1/backends", nil, &out)
+	return out, err
+}
+
+// AddBackend declares a new backend (POST /v1/backends). It joins the
+// kernel's routing set at the next epoch boundary.
+func (c *Client) AddBackend(spec BackendSpec) (BackendStatus, error) {
+	var st BackendStatus
+	err := c.do(http.MethodPost, "/v1/backends", spec, &st)
+	return st, err
+}
+
+// StreamEpochs subscribes to the server-sent epoch event feed
+// (GET /v1/epochs/stream) and calls fn for every event — the
+// push-based replacement for polling Epochs. interval throttles the
+// server to at most one event per interval (0 = one event per epoch
+// signal); the server accepts [0, 60s], so the client clamps the
+// requested interval into that range before sending. StreamEpochs
+// returns when fn returns false (nil error), ctx ends (ctx.Err()), or
+// the stream fails.
+func (c *Client) StreamEpochs(ctx context.Context, interval time.Duration, fn func(EpochsStatus) bool) error {
+	ms := interval.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 60_000 {
+		ms = 60_000
+	}
+	path := "/v1/epochs/stream?interval_ms=" + fmt.Sprint(ms)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("controlplane: GET %s: %w", path, err)
+	}
+	c.authorize(req)
+	// A long-lived subscription must outlive the client's request
+	// timeout, like Stream does.
+	hc := *c.hc
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("controlplane: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // event: / blank separator lines
+		}
+		var st EpochsStatus
+		if err := json.Unmarshal([]byte(data), &st); err != nil {
+			return fmt.Errorf("controlplane: epoch stream event: %w", err)
+		}
+		if !fn(st) {
+			return nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("controlplane: epoch stream: %w", err)
+	}
+	return io.ErrUnexpectedEOF // server never ends the stream first
 }
 
 // Health reads the liveness probe (GET /healthz).

@@ -34,12 +34,14 @@ package controlplane
 import (
 	"bufio"
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,7 @@ import (
 	"repro/internal/autotune"
 	"repro/internal/controlplane/wire"
 	"repro/internal/monitor"
+	"repro/internal/rtrm"
 	"repro/internal/runtime"
 	"repro/internal/simhpc"
 )
@@ -128,32 +131,68 @@ func (a *remoteApp) level() float64 {
 // http.Handler; the caller owns the kernel's lifecycle (Start/Stop) and
 // the http.Server wrapping.
 type Server struct {
-	kernel *runtime.Kernel
-	mux    *http.ServeMux
+	kernel    *runtime.Kernel
+	mux       *http.ServeMux
+	authToken string
 
 	mu   sync.RWMutex // guards apps; held across Attach/Detach so map and membership agree
 	apps map[string]*remoteApp
 }
 
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithAuthToken arms static bearer-token ingress auth: every mutating
+// route (POST and DELETE — registration, detach, observations, the
+// stream, backend creation) requires "Authorization: Bearer <token>"
+// and answers 401 without it. Read-side routes (GET) stay open, as
+// liveness probes must. An empty token leaves auth off.
+func WithAuthToken(token string) ServerOption {
+	return func(s *Server) { s.authToken = token }
+}
+
 // NewServer builds the control plane over a kernel. Apps attached to
 // the kernel directly (in-process) are visible in /v1/epochs but are
 // not addressable under /v1/apps, which serves HTTP-registered tenants.
-func NewServer(k *runtime.Kernel) *Server {
+func NewServer(k *runtime.Kernel, opts ...ServerOption) *Server {
 	s := &Server{
 		kernel: k,
 		mux:    http.NewServeMux(),
 		apps:   make(map[string]*remoteApp),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
-	s.mux.HandleFunc("POST /v1/apps", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/epochs/stream", s.handleEpochStream)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("POST /v1/backends", s.auth(s.handleAddBackend))
+	s.mux.HandleFunc("POST /v1/apps", s.auth(s.handleRegister))
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/apps/{id}", s.handleApp)
-	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.handleDetach)
-	s.mux.HandleFunc("POST /v1/apps/{id}/observations", s.handleObserve)
-	s.mux.HandleFunc("POST /v1/apps/{id}/observations:binary", s.handleObserveBinary)
-	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.auth(s.handleDetach))
+	s.mux.HandleFunc("POST /v1/apps/{id}/observations", s.auth(s.handleObserve))
+	s.mux.HandleFunc("POST /v1/apps/{id}/observations:binary", s.auth(s.handleObserveBinary))
+	s.mux.HandleFunc("POST /v1/stream", s.auth(s.handleStream))
 	return s
+}
+
+// auth wraps a mutating handler with the bearer-token check.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	if s.authToken == "" {
+		return h
+	}
+	want := []byte("Bearer " + s.authToken)
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="antarex"`)
+			writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -255,7 +294,72 @@ func validateSpec(spec AppSpec) error {
 			return fmt.Errorf("goal %s: target %g must be finite in [0, %g]", g.Metric, g.Target, float64(maxMagnitude))
 		}
 	}
+	if spec.Placement != "" && !validName(spec.Placement) {
+		return fmt.Errorf("placement %q must be 1-%d characters of [A-Za-z0-9._-]", spec.Placement, maxNameLen)
+	}
 	return nil
+}
+
+// Backend-spec ceilings: a POST /v1/backends allocates a simulated
+// cluster, so its dimensions are bounded like an AppSpec's magnitudes.
+const (
+	maxBackendNodes = 256
+	minAmbientC     = -40
+	maxAmbientC     = 60
+)
+
+// withBackendDefaults fills a BackendSpec's zero values.
+func withBackendDefaults(spec BackendSpec) BackendSpec {
+	if spec.Nodes <= 0 {
+		spec.Nodes = 8
+	}
+	if spec.AmbientC == 0 {
+		spec.AmbientC = 22
+	}
+	if spec.CapFrac <= 0 {
+		spec.CapFrac = 0.9
+	}
+	if spec.Vary <= 0 {
+		spec.Vary = 0.15
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	return spec
+}
+
+// ValidateBackendSpec bounds a backend declaration. Zero values are
+// the unset sentinels (see BackendSpec) and always pass; explicit
+// negatives are rejected rather than silently defaulted.
+func ValidateBackendSpec(spec BackendSpec) error {
+	switch {
+	case !validName(spec.Name):
+		return fmt.Errorf("name %q must be 1-%d characters of [A-Za-z0-9._-] and not a dot segment", spec.Name, maxNameLen)
+	case spec.Nodes < 0 || spec.Nodes > maxBackendNodes:
+		return fmt.Errorf("nodes %d out of range [1, %d] (0 = default)", spec.Nodes, maxBackendNodes)
+	case math.IsNaN(spec.AmbientC) || spec.AmbientC < minAmbientC || spec.AmbientC > maxAmbientC:
+		return fmt.Errorf("ambient_c %g out of range [%d, %d] (0 = default 22)", spec.AmbientC, minAmbientC, maxAmbientC)
+	case math.IsNaN(spec.CapFrac) || spec.CapFrac < 0 || spec.CapFrac > 1:
+		return fmt.Errorf("cap_frac %g out of range (0, 1] (0 = default 0.9)", spec.CapFrac)
+	case math.IsNaN(spec.Vary) || spec.Vary < 0 || spec.Vary >= 1:
+		return fmt.Errorf("vary %g out of range [0, 1) (0 = default 0.15)", spec.Vary)
+	}
+	return nil
+}
+
+// BuildBackend materializes a backend declaration: a simulated cluster
+// of the declared shape under its own rtrm.Manager. Shared by the
+// POST /v1/backends handler and cmd/antarex-serve's startup flags.
+func BuildBackend(spec BackendSpec) *rtrm.Manager {
+	spec = withBackendDefaults(spec)
+	rng := simhpc.NewRNG(spec.Seed)
+	cluster := simhpc.NewCluster(spec.Nodes, spec.AmbientC, func(i int) *simhpc.Node {
+		if spec.Hetero && i%2 == 0 {
+			return simhpc.HeterogeneousNode(fmt.Sprintf("%s-n%d", spec.Name, i), spec.Vary, rng)
+		}
+		return simhpc.HomogeneousNode(fmt.Sprintf("%s-n%d", spec.Name, i), spec.Vary, rng)
+	})
+	return rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*spec.CapFrac)
 }
 
 // parseGoals converts wire goals to monitor goals.
@@ -301,6 +405,7 @@ func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal) runtime.AppSpec
 		SLA:      monitor.SLA{Name: ra.spec.Name, Goals: goals},
 		Window:   ra.spec.Window,
 		Debounce: ra.spec.Debounce,
+		Backend:  ra.spec.Placement,
 		Sensor:   ra.inbox,
 		Workload: func() ([]*simhpc.Task, error) {
 			// Fresh tasks every call: the pipelined executor may still
@@ -340,6 +445,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := validateSpec(spec); err != nil {
 		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if spec.Placement != "" && !s.kernel.HasBackend(spec.Placement) {
+		badRequest(w, "bad app spec: placement %q names no registered backend (see GET /v1/backends)", spec.Placement)
 		return
 	}
 	goals, err := parseGoals(spec.Goals)
@@ -674,6 +783,7 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 		TotalGFlop:  total,
 		Samples:     ra.samples.Load(),
 		Level:       ra.level(),
+		Backend:     s.kernel.AppBackend(ra.spec.Name),
 	}
 }
 
@@ -704,10 +814,32 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+// backendStatuses converts the kernel's per-backend snapshot to wire
+// form.
+func (s *Server) backendStatuses() []BackendStatus {
+	stats := s.kernel.BackendStats()
+	out := make([]BackendStatus, len(stats))
+	for i, st := range stats {
+		out[i] = BackendStatus{
+			Name:          st.Name,
+			Apps:          st.Apps,
+			Epochs:        st.Epochs,
+			WorkGFlop:     st.WorkGFlop,
+			DeferredGFlop: st.DeferredGFlop,
+			EnergyJ:       st.EnergyJ,
+			ThermalEvents: st.ThermalEvents,
+			CapDemotions:  st.CapDemotions,
+		}
+	}
+	return out
+}
+
+// epochsStatus assembles the /v1/epochs payload (also the SSE event
+// body).
+func (s *Server) epochsStatus() EpochsStatus {
 	k := s.kernel
 	ms := k.ManagerStats()
-	writeJSON(w, http.StatusOK, EpochsStatus{
+	return EpochsStatus{
 		Epochs:           k.Epochs(),
 		Generation:       k.Generation(),
 		ServedGeneration: k.ServedGeneration(),
@@ -716,7 +848,121 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 		WorkGFlop:        ms.WorkGFlop,
 		DeferredGFlop:    ms.DeferredGFlop,
 		EnergyJ:          ms.EnergyJ,
-	})
+		Backends:         s.backendStatuses(),
+	}
+}
+
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.epochsStatus())
+}
+
+// handleEpochStream is the server-sent-events feed of /v1/epochs
+// (GET /v1/epochs/stream): one "epochs" event per epoch advance,
+// throttled to at most one event per interval (?interval_ms, default
+// 250, 0 = every epoch signal) so a kernel running epochs at
+// microsecond pace cannot flood the connection. Clients watch the
+// stream instead of polling /v1/epochs; the subscription costs the
+// epoch hot path a single atomic load. The stream ends only when the
+// client disconnects.
+func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	interval := 250 * time.Millisecond
+	if q := r.URL.Query().Get("interval_ms"); q != "" {
+		ms, err := strconv.Atoi(q)
+		if err != nil || ms < 0 || ms > 60_000 {
+			badRequest(w, "interval_ms %q out of range [0, 60000]", q)
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	sig, cancel := s.kernel.EpochSignal()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	lastEpoch := int64(-1)
+	send := func() error {
+		st := s.epochsStatus()
+		if st.Epochs == lastEpoch {
+			return nil // woken but nothing new (coalesced signals)
+		}
+		lastEpoch = st.Epochs
+		if _, err := io.WriteString(w, "event: epochs\ndata: "); err != nil {
+			return err
+		}
+		if err := enc.Encode(st); err != nil { // Encode appends one \n
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
+	if err := send(); err != nil { // initial snapshot, before any epoch
+		return
+	}
+	done := r.Context().Done()
+	for {
+		select {
+		case <-done:
+			return
+		case <-sig:
+		}
+		if interval > 0 {
+			// Throttle: coalesce the epochs that land inside the window.
+			t := time.NewTimer(interval)
+			select {
+			case <-done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if err := send(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.backendStatuses())
+}
+
+// handleAddBackend declares a new backend (POST /v1/backends): a
+// simulated cluster under its own manager joins the kernel's routing
+// set at the next epoch boundary. Backends cannot be removed, and
+// names must be unique (409 on duplicate).
+func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
+	var spec BackendSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		badRequest(w, "bad backend spec: %v", err)
+		return
+	}
+	if err := ValidateBackendSpec(spec); err != nil {
+		badRequest(w, "bad backend spec: %v", err)
+		return
+	}
+	if err := s.kernel.AddBackend(spec.Name, BuildBackend(spec)); err != nil {
+		writeJSON(w, http.StatusConflict, ErrorBody{Error: err.Error()})
+		return
+	}
+	for _, st := range s.backendStatuses() {
+		if st.Name == spec.Name {
+			writeJSON(w, http.StatusCreated, st)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, BackendStatus{Name: spec.Name})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -725,6 +971,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status:           "ok",
 		Running:          k.Running(),
 		Apps:             k.NumApps(),
+		Backends:         k.NumBackends(),
 		Epochs:           k.Epochs(),
 		Generation:       k.Generation(),
 		ServedGeneration: k.ServedGeneration(),

@@ -50,6 +50,57 @@ type AppSpec struct {
 	// ladder (e.g. [1, 0.5, 0.25]) sheds work under violation, like
 	// the navigation server's fidelity ladder.
 	Levels []float64 `json:"levels,omitempty"`
+	// Placement optionally names the backend this app prefers — the
+	// kernel's placement hint. Must name a registered backend (400
+	// otherwise); all shipped placement policies pin a hinted app to
+	// its backend and never steer it away.
+	Placement string `json:"placement,omitempty"`
+}
+
+// BackendSpec declares one resource-manager backend — a simulated
+// cluster under its own rtrm.Manager — to a running kernel
+// (POST /v1/backends). Backends join the routing set at the next epoch
+// boundary and cannot be removed.
+type BackendSpec struct {
+	// Name must be addressable like an app name: 1-128 characters of
+	// [A-Za-z0-9._-], not "." or "..".
+	Name string `json:"name"`
+	// Nodes is the cluster size (0 selects the default, 8).
+	Nodes int `json:"nodes,omitempty"`
+	// Hetero alternates heterogeneous/homogeneous nodes when true;
+	// false builds an all-homogeneous site.
+	Hetero bool `json:"hetero,omitempty"`
+	// AmbientC is the site's ambient temperature in [-40, 60].
+	// 0 is the unset sentinel and selects the default (22); a site at
+	// exactly 0C is not expressible — declare 0.01 instead.
+	AmbientC float64 `json:"ambient_c,omitempty"`
+	// CapFrac is the facility power cap as a fraction of peak, in
+	// (0, 1]. 0 selects the default (0.9); negative values are
+	// rejected.
+	CapFrac float64 `json:"cap_frac,omitempty"`
+	// Vary is the component manufacturing variability, in (0, 1).
+	// 0 is the unset sentinel and selects the default (0.15); declare
+	// a tiny positive value for a variability-free site. Negative
+	// values are rejected.
+	Vary float64 `json:"vary,omitempty"`
+	// Seed seeds the site's RNG (0 selects the default, 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// BackendStatus is the read side of one backend (GET /v1/backends,
+// and embedded per-backend in GET /v1/epochs).
+type BackendStatus struct {
+	Name string `json:"name"`
+	// Apps is the number of applications placed on the backend.
+	Apps int `json:"apps"`
+	// Epochs is the number of control epochs this backend has run
+	// (backends only run when apps placed on them contribute).
+	Epochs        int     `json:"epochs"`
+	WorkGFlop     float64 `json:"work_gflop"`
+	DeferredGFlop float64 `json:"deferred_gflop"`
+	EnergyJ       float64 `json:"energy_j"`
+	ThermalEvents int     `json:"thermal_events"`
+	CapDemotions  int     `json:"cap_demotions"`
 }
 
 // Observation is one streamed telemetry sample.
@@ -86,6 +137,9 @@ type AppStatus struct {
 	Samples int64 `json:"samples"`
 	// Level is the app's active workload level (1 when no ladder).
 	Level float64 `json:"level"`
+	// Backend is the backend the app is currently placed on ("" until
+	// the first placement, i.e. before the app's first epoch boundary).
+	Backend string `json:"backend,omitempty"`
 }
 
 // EpochsStatus is the kernel-wide epoch telemetry (GET /v1/epochs).
@@ -102,10 +156,12 @@ type EpochsStatus struct {
 	// TotalsPerApp is cumulative offered GFlop per app (detached apps
 	// keep their entries).
 	TotalsPerApp map[string]float64 `json:"totals_per_app"`
-	// Manager aggregates from the shared rtrm.Manager.
+	// Manager aggregates, merged across every backend.
 	WorkGFlop     float64 `json:"work_gflop"`
 	DeferredGFlop float64 `json:"deferred_gflop"`
 	EnergyJ       float64 `json:"energy_j"`
+	// Backends is the per-backend breakdown, in registration order.
+	Backends []BackendStatus `json:"backends"`
 }
 
 // Health is the liveness probe (GET /healthz).
@@ -113,6 +169,7 @@ type Health struct {
 	Status           string `json:"status"`
 	Running          bool   `json:"running"`
 	Apps             int    `json:"apps"`
+	Backends         int    `json:"backends"`
 	Epochs           int64  `json:"epochs"`
 	Generation       int64  `json:"generation"`
 	ServedGeneration int64  `json:"served_generation"`

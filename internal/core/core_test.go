@@ -228,7 +228,7 @@ func TestKernelEpochs(t *testing.T) {
 			t.Error("no per-app work recorded")
 		}
 	}
-	if kern.Epochs() != 5 || kern.Manager().WorkGFlop <= 0 {
-		t.Errorf("kernel counters: epochs=%d work=%v", kern.Epochs(), kern.Manager().WorkGFlop)
+	if stats := kern.ManagerStats(); kern.Epochs() != 5 || stats.WorkGFlop <= 0 {
+		t.Errorf("kernel counters: epochs=%d work=%v", kern.Epochs(), stats.WorkGFlop)
 	}
 }

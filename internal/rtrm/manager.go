@@ -114,6 +114,31 @@ func capPState(cap CapResult, nodeIdx int) (int, bool) {
 	return cap.PStates[nodeIdx], true
 }
 
+// Stats is a copy of the manager's cumulative epoch telemetry. Taking
+// one while RunEpoch may be running races; callers who share a manager
+// with a running kernel should snapshot through the kernel
+// (Kernel.BackendStats), which serializes against the epoch executor.
+type Stats struct {
+	Epochs        int
+	WorkGFlop     float64
+	DeferredGFlop float64
+	EnergyJ       float64
+	ThermalEvents int
+	CapDemotions  int
+}
+
+// Stats snapshots the cumulative telemetry counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Epochs:        m.EpochCount,
+		WorkGFlop:     m.WorkGFlop,
+		DeferredGFlop: m.DeferredGFlop,
+		EnergyJ:       m.EnergyJ,
+		ThermalEvents: m.ThermalEvents,
+		CapDemotions:  m.CapDemotions,
+	}
+}
+
 // EfficiencyGFLOPSPerJ returns work done per joule so far.
 func (m *Manager) EfficiencyGFLOPSPerJ() float64 {
 	if m.EnergyJ == 0 {

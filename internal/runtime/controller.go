@@ -38,6 +38,12 @@ type Controller struct {
 	ticks       atomic.Int64
 	fires       atomic.Int64
 	adaptations atomic.Int64
+
+	// backend is the index of the kernel backend this app's epoch
+	// batches route to; -1 until the first placement refresh. Written
+	// only at generation boundaries (the kernel's placement refresh),
+	// read by the epoch engine.
+	backend atomic.Int32
 }
 
 // NewController assembles a controller from an AppSpec, applying the
@@ -57,6 +63,7 @@ func NewController(spec AppSpec) *Controller {
 		handles: make(map[string]*monitor.Window),
 	}
 	c.drainFn = c.pushCached // bind once so Tick never allocates a closure
+	c.backend.Store(-1)      // unplaced until the kernel's first refresh
 	return c
 }
 

@@ -26,14 +26,30 @@ var (
 	// ErrRunning: an operation that requires the concurrent loops to be
 	// stopped (Start while started, RunEpoch while started).
 	ErrRunning = errors.New("kernel is running")
+	// ErrNoBackends: Start or RunEpoch on a kernel with no backends
+	// registered yet (NewKernel() + AddBackend construction).
+	ErrNoBackends = errors.New("kernel has no backends")
 )
 
-// Kernel drives the adaptation loops of many applications over one
-// shared rtrm.Manager. Applications Attach an AppSpec; each epoch the
-// kernel ticks every application's Controller (collect-analyse-decide-
-// act), materializes the epoch workloads under the freshly decided
-// configurations, merges them, and hands the batch to the manager — the
-// system-wide coupling of the paper's two control loops, for N apps.
+// Kernel drives the adaptation loops of many applications over one or
+// more resource-manager Backends. Applications Attach an AppSpec; each
+// epoch the kernel ticks every application's Controller (collect-
+// analyse-decide-act), materializes the epoch workloads under the
+// freshly decided configurations, merges them, partitions the merged
+// batch by each app's placed backend, and runs every contributing
+// backend's epoch concurrently behind one barrier — the system-wide
+// coupling of the paper's two control loops, for N apps over N sites.
+//
+// Placement is a pluggable policy (see Placement; Pinned, LeastLoaded
+// and SLAAware ship in-package). Assignments are computed per
+// membership generation: Attach, Detach, AddBackend and a steering
+// policy's refresh request all bump the generation, and the new
+// placement takes effect at the next epoch boundary with in-flight
+// batches drained — an app migrating backends never has work in
+// flight on two backends at once. With exactly one backend the kernel
+// takes a placement-free fast path identical to the pre-multi-backend
+// engine (no partitioning, no per-backend fan-out goroutines, no load
+// telemetry).
 //
 // Two driving modes share the same epoch engine:
 //
@@ -70,23 +86,30 @@ var (
 // membership change allocates (new shards, channels, goroutines), but
 // that cost is paid once per generation, not per epoch.
 type Kernel struct {
-	mgr *rtrm.Manager
-
-	mu         sync.Mutex // guards apps, byName, running, cancel, memGen, memChanged
+	mu         sync.Mutex // guards apps, byName, backends, byBackend, placement, placeGen, running, cancel, memGen, memChanged
 	apps       []*Controller
 	byName     map[string]*Controller
+	backends   []*backendSlot // copy-on-write: AddBackend replaces the slice
+	byBackend  map[string]int
+	placement  Placement
+	placeGen   int64 // membership epoch the current assignments were computed for
 	running    bool
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
-	memGen     int64         // membership epoch: bumped by every Attach/Detach
+	memGen     int64         // membership epoch: bumped by every Attach/Detach/AddBackend
 	memChanged chan struct{} // closed on membership change; re-armed per generation
 
 	servedGen atomic.Int64 // generation the concurrent loops currently serve
 
 	syncMu  sync.Mutex // serializes whole synchronous RunEpoch calls
-	epochMu sync.Mutex // serializes manager epochs and totals
+	epochMu sync.Mutex // serializes backend epochs and totals
 	totals  map[string]float64
 	epochs  atomic.Int64
+
+	// loadMu guards the per-backend placement telemetry (backendSlot
+	// offered/deferredEWMA/apps). A leaf lock: never held while taking
+	// another kernel lock.
+	loadMu sync.Mutex
 
 	// Epoch scratch, reused across epochs. Safe without its own lock:
 	// execute's callers are already serialized — RunEpoch by syncMu, the
@@ -96,27 +119,173 @@ type Kernel struct {
 	// exclusive.
 	mergedTasks []*simhpc.Task
 	fanout      []contribution
+	// epochBackends is the backend set the current generation (or sync
+	// epoch) routes over — snapshotted with the app set, so an epoch
+	// never sees assignments pointing past its backend view.
+	// epochObserver is the placement policy's steering hook for that
+	// snapshot (nil unless multi-backend and the policy observes).
+	epochBackends []*backendSlot
+	epochObserver EpochObserver
+	loadScratch   []BackendLoad // ObserveEpoch view, reused
+
+	// epoch-signal subscribers (EpochSignal); notifyCount caches
+	// len(notify) so the zero-subscriber epoch path is one atomic load.
+	notifyMu    sync.Mutex
+	notify      map[chan struct{}]struct{}
+	notifyCount atomic.Int32
 
 	errMu sync.Mutex
 	err   error // first workload error observed by concurrent loops
 }
 
-// NewKernel builds a kernel over a manager.
-func NewKernel(mgr *rtrm.Manager) *Kernel {
-	return &Kernel{
-		mgr:    mgr,
-		byName: make(map[string]*Controller),
-		totals: make(map[string]float64),
-	}
+// backendSlot is the kernel's per-backend state: identity, epoch merge
+// scratch (owned by the serialized epoch engine) and the placement
+// load telemetry (under loadMu).
+type backendSlot struct {
+	name string
+	be   Backend
+
+	// Epoch scratch — same ownership discipline as Kernel.mergedTasks.
+	tasks  []*simhpc.Task
+	report rtrm.EpochReport
+	active bool
+
+	// Placement telemetry, under Kernel.loadMu. Only maintained on the
+	// multi-backend path; see BackendLoad.
+	offered      float64
+	deferredEWMA float64
+	apps         int
 }
 
-// Manager exposes the shared resource manager (telemetry, cluster).
-// Reading its telemetry fields while the kernel is running races with
-// the epoch executor; concurrent readers should use ManagerStats.
-func (k *Kernel) Manager() *rtrm.Manager { return k.mgr }
+// deferredEWMAAlpha smooths the per-backend deferred-work fraction the
+// SLA-aware steering watches: ~0.25 weights the last few epochs.
+const deferredEWMAAlpha = 0.25
 
-// ManagerStats is a consistent snapshot of the shared manager's
-// cumulative telemetry, safe to take while epochs are running.
+// NewKernel builds a kernel over zero or more backends (*rtrm.Manager
+// implements Backend). Backends passed here are named "b0", "b1", ...
+// in argument order; AddBackend attaches more, under chosen names —
+// NewKernel() followed by AddBackend calls builds a fully named
+// backend set. The default placement policy is the static partition
+// (Pinned); see SetPlacement. Start and RunEpoch error with
+// ErrNoBackends until at least one backend is registered.
+func NewKernel(backends ...Backend) *Kernel {
+	k := &Kernel{
+		byName:    make(map[string]*Controller),
+		byBackend: make(map[string]int, len(backends)),
+		placement: Pinned{},
+		placeGen:  -1, // first refresh always runs
+		totals:    make(map[string]float64),
+	}
+	for i, be := range backends {
+		name := fmt.Sprintf("b%d", i)
+		k.backends = append(k.backends, &backendSlot{name: name, be: be})
+		k.byBackend[name] = i
+	}
+	return k
+}
+
+// AddBackend registers another backend under name. Adding while the
+// kernel is running is allowed: the backend joins the routing set at
+// the next epoch boundary (a membership-generation roll, like Attach),
+// at which point the placement policy may start assigning apps to it.
+// Backends cannot be removed.
+func (k *Kernel) AddBackend(name string, be Backend) error {
+	if name == "" {
+		return errors.New("runtime: add backend: empty backend name")
+	}
+	if be == nil {
+		return fmt.Errorf("runtime: add backend %q: nil backend", name)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, dup := k.byBackend[name]; dup {
+		return fmt.Errorf("runtime: add backend %q: duplicate backend name", name)
+	}
+	// Copy-on-write: epoch snapshots of k.backends stay valid.
+	bks := make([]*backendSlot, len(k.backends), len(k.backends)+1)
+	copy(bks, k.backends)
+	k.backends = append(bks, &backendSlot{name: name, be: be})
+	k.byBackend[name] = len(k.backends) - 1
+	k.membershipChangedLocked()
+	return nil
+}
+
+// SetPlacement swaps the placement policy (nil restores the default
+// Pinned static partition). Takes effect at the next epoch boundary;
+// every app is re-placed through the new policy then.
+func (k *Kernel) SetPlacement(p Placement) {
+	if p == nil {
+		p = Pinned{}
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.placement = p
+	k.membershipChangedLocked()
+}
+
+// Backends returns the backend names in registration order.
+func (k *Kernel) Backends() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	names := make([]string, len(k.backends))
+	for i, bs := range k.backends {
+		names[i] = bs.name
+	}
+	return names
+}
+
+// NumBackends returns the number of registered backends.
+func (k *Kernel) NumBackends() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.backends)
+}
+
+// HasBackend reports whether a backend is registered under name.
+func (k *Kernel) HasBackend(name string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	_, ok := k.byBackend[name]
+	return ok
+}
+
+// AppBackend returns the name of the backend the app is currently
+// placed on ("" for an unknown app, or one not yet placed).
+func (k *Kernel) AppBackend(name string) string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ctl := k.byName[name]
+	if ctl == nil {
+		return ""
+	}
+	idx := int(ctl.backend.Load())
+	if idx < 0 || idx >= len(k.backends) {
+		return ""
+	}
+	return k.backends[idx].name
+}
+
+// Manager returns the first backend's *rtrm.Manager (nil when that
+// backend is not a Manager) — the pre-multi-backend accessor.
+//
+// Deprecated: reading the manager's telemetry fields while the kernel
+// is running races with the epoch executor, and a multi-backend kernel
+// has no single manager. Use ManagerStats for the merged snapshot or
+// BackendStats for the per-backend view.
+func (k *Kernel) Manager() *rtrm.Manager {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.backends) == 0 {
+		return nil
+	}
+	m, _ := k.backends[0].be.(*rtrm.Manager)
+	return m
+}
+
+// ManagerStats is a consistent snapshot of backend epoch telemetry,
+// safe to take while epochs are running. The kernel-level view
+// (Kernel.ManagerStats) merges every backend; BackendStats carries one
+// backend's own counters.
 type ManagerStats struct {
 	Epochs        int
 	WorkGFlop     float64
@@ -126,19 +295,72 @@ type ManagerStats struct {
 	CapDemotions  int
 }
 
-// ManagerStats snapshots the manager's epoch telemetry under the epoch
-// lock, so it is safe to call from any goroutine while the kernel runs.
+// BackendStats is one backend's stats snapshot plus its placement
+// state.
+type BackendStats struct {
+	// Name is the backend's kernel-assigned name.
+	Name string
+	// Apps is the number of applications placed on the backend at the
+	// last placement refresh.
+	Apps int
+	ManagerStats
+}
+
+// fromStats converts a backend's own snapshot.
+func fromStats(s rtrm.Stats) ManagerStats {
+	return ManagerStats{
+		Epochs:        s.Epochs,
+		WorkGFlop:     s.WorkGFlop,
+		DeferredGFlop: s.DeferredGFlop,
+		EnergyJ:       s.EnergyJ,
+		ThermalEvents: s.ThermalEvents,
+		CapDemotions:  s.CapDemotions,
+	}
+}
+
+// ManagerStats snapshots every backend's epoch telemetry under the
+// epoch lock and merges it, so it is safe to call from any goroutine
+// while the kernel runs. Numeric counters sum across backends; Epochs
+// is the number of kernel epochs (with one backend this equals the
+// backend's own epoch count; with several, backends only run epochs
+// when apps placed on them contribute).
 func (k *Kernel) ManagerStats() ManagerStats {
+	k.mu.Lock()
+	bks := k.backends
+	k.mu.Unlock()
 	k.epochMu.Lock()
 	defer k.epochMu.Unlock()
-	return ManagerStats{
-		Epochs:        k.mgr.EpochCount,
-		WorkGFlop:     k.mgr.WorkGFlop,
-		DeferredGFlop: k.mgr.DeferredGFlop,
-		EnergyJ:       k.mgr.EnergyJ,
-		ThermalEvents: k.mgr.ThermalEvents,
-		CapDemotions:  k.mgr.CapDemotions,
+	var out ManagerStats
+	for _, bs := range bks {
+		s := bs.be.Stats()
+		out.WorkGFlop += s.WorkGFlop
+		out.DeferredGFlop += s.DeferredGFlop
+		out.EnergyJ += s.EnergyJ
+		out.ThermalEvents += s.ThermalEvents
+		out.CapDemotions += s.CapDemotions
 	}
+	out.Epochs = int(k.epochs.Load())
+	return out
+}
+
+// BackendStats snapshots each backend's telemetry under the epoch
+// lock, in registration order.
+func (k *Kernel) BackendStats() []BackendStats {
+	k.mu.Lock()
+	bks := k.backends
+	k.mu.Unlock()
+	out := make([]BackendStats, len(bks))
+	k.epochMu.Lock()
+	for i, bs := range bks {
+		out[i] = BackendStats{Name: bs.name, ManagerStats: fromStats(bs.be.Stats())}
+	}
+	k.epochMu.Unlock()
+	k.loadMu.Lock()
+	for i, bs := range bks {
+		out[i].Apps = bs.apps
+	}
+	k.loadMu.Unlock()
+	return out
 }
 
 // Attach registers an application and returns its Controller (for
@@ -197,6 +419,117 @@ func (k *Kernel) membershipChangedLocked() {
 		close(k.memChanged)
 		k.memChanged = nil
 	}
+}
+
+// requestPlacementRefresh rolls a placement generation with an
+// unchanged app set — how a steering policy's migration lands at an
+// epoch boundary, exactly like a membership change.
+func (k *Kernel) requestPlacementRefresh() {
+	k.mu.Lock()
+	k.membershipChangedLocked()
+	k.mu.Unlock()
+}
+
+// refreshPlacementLocked recomputes app→backend assignments when the
+// membership epoch moved past the last placement. Callers hold k.mu;
+// the epoch engine is quiescent (the supervisor refreshes between
+// generations, the sync driver before its epoch), so assignment writes
+// cannot tear an in-flight epoch.
+func (k *Kernel) refreshPlacementLocked() {
+	if k.placeGen == k.memGen {
+		return
+	}
+	k.placeGen = k.memGen
+	n := len(k.backends)
+	if n == 0 {
+		return // nothing to place on yet; apps stay unplaced
+	}
+	if n == 1 {
+		for _, ctl := range k.apps {
+			ctl.backend.Store(0)
+		}
+		k.loadMu.Lock()
+		k.backends[0].apps = len(k.apps)
+		k.loadMu.Unlock()
+		return
+	}
+	apps := make([]AppPlacement, len(k.apps))
+	for i, ctl := range k.apps {
+		apps[i] = AppPlacement{Name: ctl.Name(), Hint: ctl.spec.Backend, Current: int(ctl.backend.Load())}
+	}
+	placed := k.placement.Place(apps, k.backendLoads(k.backends))
+	counts := make([]int, n)
+	for i, ctl := range k.apps {
+		idx := -1
+		if i < len(placed) {
+			idx = placed[i]
+		}
+		idx = clampBackend(idx, apps[i].Current, n)
+		ctl.backend.Store(int32(idx))
+		counts[idx]++
+	}
+	k.loadMu.Lock()
+	for i, bs := range k.backends {
+		bs.apps = counts[i]
+	}
+	k.loadMu.Unlock()
+}
+
+// backendLoads snapshots the placement view of bks into the kernel's
+// reused scratch. Callers are the serialized epoch engine and the
+// placement refresh (which runs only while the engine is quiescent),
+// so the scratch needs no lock of its own.
+func (k *Kernel) backendLoads(bks []*backendSlot) []BackendLoad {
+	out := k.loadScratch[:0]
+	k.loadMu.Lock()
+	for _, bs := range bks {
+		out = append(out, BackendLoad{
+			Name:         bs.name,
+			Apps:         bs.apps,
+			OfferedGFlop: bs.offered,
+			DeferredFrac: bs.deferredEWMA,
+		})
+	}
+	k.loadMu.Unlock()
+	k.loadScratch = out
+	return out
+}
+
+// EpochSignal subscribes to epoch completions: the returned channel
+// receives a coalesced wakeup after every kernel epoch (buffered one
+// deep — a slow consumer sees one pending signal, not a backlog).
+// cancel releases the subscription. With no subscribers the epoch path
+// pays a single atomic load.
+func (k *Kernel) EpochSignal() (ch <-chan struct{}, cancel func()) {
+	c := make(chan struct{}, 1)
+	k.notifyMu.Lock()
+	if k.notify == nil {
+		k.notify = make(map[chan struct{}]struct{})
+	}
+	k.notify[c] = struct{}{}
+	k.notifyCount.Store(int32(len(k.notify)))
+	k.notifyMu.Unlock()
+	return c, func() {
+		k.notifyMu.Lock()
+		delete(k.notify, c)
+		k.notifyCount.Store(int32(len(k.notify)))
+		k.notifyMu.Unlock()
+	}
+}
+
+// signalEpoch wakes every epoch-signal subscriber (non-blocking).
+func (k *Kernel) signalEpoch() {
+	if k.notifyCount.Load() == 0 {
+		return
+	}
+	k.notifyMu.Lock()
+	for c := range k.notify {
+		select {
+		case c <- struct{}{}:
+		default:
+		}
+	}
+	k.notifyMu.Unlock()
 }
 
 // Apps returns the attached controllers in attach order.
@@ -290,10 +623,26 @@ func (k *Kernel) noteErr(err error) {
 type EpochResult struct {
 	// Epoch is the 1-based epoch sequence number.
 	Epoch int64
-	// Report is the manager's account of the epoch.
+	// Report is the backends' account of the epoch. With one backend it
+	// is that backend's report verbatim; with several it is the merged
+	// aggregate — numeric fields summed, while Plan and Cap (per-site
+	// concepts with no meaningful merge) stay zero; read Backends for
+	// them.
 	Report rtrm.EpochReport
+	// Backends holds each contributing backend's own report, in
+	// registration order. Nil on the single-backend fast path, where
+	// Report already is the sole backend's account.
+	Backends []BackendEpoch
 	// PerApp is the GFlop each contributing app offered this epoch.
 	PerApp map[string]float64
+}
+
+// BackendEpoch is one backend's share of a kernel epoch.
+type BackendEpoch struct {
+	// Name is the backend's kernel-assigned name.
+	Name string
+	// Report is the backend's own account of its epoch.
+	Report rtrm.EpochReport
 }
 
 // contribution is one app's share of an epoch.
@@ -302,14 +651,34 @@ type contribution struct {
 	tasks []*simhpc.Task
 }
 
-// execute runs one manager epoch over the merged contributions. It is
+// execute runs one kernel epoch over the merged contributions. It is
 // the single funnel both driving modes go through; its callers are
-// serialized (see the scratch-field comment), so only the manager epoch
-// and the totals update need epochMu — merging stays outside the lock
-// where concurrent TotalsPerApp readers cannot stall an epoch on it.
-// OnEpoch callbacks run here: on the caller's goroutine in sync mode,
-// on the kernel's epoch-executor goroutine in concurrent mode.
+// serialized (see the scratch-field comment), so only the backend
+// epochs and the totals update need epochMu — merging stays outside
+// the lock where concurrent TotalsPerApp readers cannot stall an epoch
+// on it. OnEpoch callbacks run here: on the caller's goroutine in sync
+// mode, on the kernel's epoch-executor goroutine in concurrent mode.
 func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
+	var res EpochResult
+	if bks := k.epochBackends; len(bks) == 1 {
+		res = k.executeSingle(dt, contribs, bks[0])
+	} else {
+		res = k.executeRouted(dt, contribs, bks)
+	}
+	for _, c := range contribs {
+		if c.ctl.spec.OnEpoch != nil {
+			c.ctl.spec.OnEpoch(res)
+		}
+	}
+	k.signalEpoch()
+	return res
+}
+
+// executeSingle is the single-backend fast path: the pre-multi-backend
+// epoch, with no placement routing, no per-backend fan-out and no load
+// telemetry — one merge, one backend epoch, allocation-free on kernel
+// scratch.
+func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendSlot) EpochResult {
 	all := k.mergedTasks[:0]
 	// PerApp escapes to OnEpoch observers and RunEpoch callers, who may
 	// hold it across epochs, so it is the one per-epoch allocation that
@@ -331,17 +700,115 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 	k.mergedTasks = all
 
 	k.epochMu.Lock()
-	rep := k.mgr.RunEpoch(dt, all)
+	rep := bs.be.RunEpoch(dt, all)
 	for name, g := range perApp {
 		k.totals[name] += g
 	}
 	epoch := k.epochs.Add(1)
 	k.epochMu.Unlock()
 
-	res := EpochResult{Epoch: epoch, Report: rep, PerApp: perApp}
+	return EpochResult{Epoch: epoch, Report: rep, PerApp: perApp}
+}
+
+// executeRouted is the multi-backend epoch: partition the merged
+// acceptance batch by each contributing app's placed backend, then run
+// every contributing backend's epoch concurrently behind the same
+// barrier — the serial section stays one batch-merged epoch, not N
+// per-backend locks; backends without contributors this epoch do not
+// run. Afterwards the per-backend load telemetry feeds the placement
+// policy, and an EpochObserver policy may request the generation roll
+// that migrates an app.
+func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backendSlot) EpochResult {
+	perApp := make(map[string]float64, len(contribs))
+	for _, bs := range bks {
+		bs.tasks = bs.tasks[:0]
+		bs.active = false
+	}
 	for _, c := range contribs {
-		if c.ctl.spec.OnEpoch != nil {
-			c.ctl.spec.OnEpoch(res)
+		name := c.ctl.Name()
+		if _, ok := perApp[name]; !ok {
+			perApp[name] = 0
+		}
+		idx := int(c.ctl.backend.Load())
+		if idx < 0 || idx >= len(bks) {
+			idx = 0 // unplaced app mid-roll: route to the first backend
+		}
+		bs := bks[idx]
+		bs.active = true
+		for _, t := range c.tasks {
+			perApp[name] += t.GFlop
+		}
+		bs.tasks = append(bs.tasks, c.tasks...)
+	}
+	nActive := 0
+	for _, bs := range bks {
+		clear(bs.tasks[len(bs.tasks):cap(bs.tasks)]) // no pinned stale tasks
+		if bs.active {
+			nActive++
+		}
+	}
+
+	k.epochMu.Lock()
+	if nActive == 1 {
+		for _, bs := range bks {
+			if bs.active {
+				bs.report = bs.be.RunEpoch(dt, bs.tasks)
+			}
+		}
+	} else if nActive > 1 {
+		var wg sync.WaitGroup
+		for _, bs := range bks {
+			if !bs.active {
+				continue
+			}
+			wg.Add(1)
+			go func(bs *backendSlot) {
+				defer wg.Done()
+				bs.report = bs.be.RunEpoch(dt, bs.tasks)
+			}(bs)
+		}
+		wg.Wait()
+	}
+	for name, g := range perApp {
+		k.totals[name] += g
+	}
+	epoch := k.epochs.Add(1)
+	k.epochMu.Unlock()
+
+	res := EpochResult{Epoch: epoch, PerApp: perApp}
+	if nActive > 0 {
+		res.Backends = make([]BackendEpoch, 0, nActive)
+	}
+	for _, bs := range bks {
+		if !bs.active {
+			continue
+		}
+		res.Report.EnergyJ += bs.report.EnergyJ
+		res.Report.DoneGFlop += bs.report.DoneGFlop
+		res.Report.DeferredGFlop += bs.report.DeferredGFlop
+		res.Report.HotNodes += bs.report.HotNodes
+		res.Backends = append(res.Backends, BackendEpoch{Name: bs.name, Report: bs.report})
+	}
+
+	// Per-backend load telemetry for placement decisions.
+	k.loadMu.Lock()
+	for _, bs := range bks {
+		if !bs.active {
+			continue
+		}
+		offered := bs.report.DoneGFlop + bs.report.DeferredGFlop
+		bs.offered = offered
+		frac := 0.0
+		if offered > 0 {
+			frac = bs.report.DeferredGFlop / offered
+		}
+		bs.deferredEWMA += deferredEWMAAlpha * (frac - bs.deferredEWMA)
+	}
+	k.loadMu.Unlock()
+
+	if obs := k.epochObserver; obs != nil {
+		if obs.ObserveEpoch(k.backendLoads(bks)) {
+			k.requestPlacementRefresh()
 		}
 	}
 	return res
@@ -378,9 +845,20 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 		k.mu.Unlock()
 		return EpochResult{}, fmt.Errorf("runtime: RunEpoch: %w", ErrRunning)
 	}
-	// Safe to share the slice header: Attach only appends, and Detach
-	// replaces the slice (copy-on-write) instead of rewriting elements.
+	if len(k.backends) == 0 {
+		k.mu.Unlock()
+		return EpochResult{}, fmt.Errorf("runtime: RunEpoch: %w", ErrNoBackends)
+	}
+	k.refreshPlacementLocked()
+	// Safe to share the slice headers: Attach/AddBackend only append,
+	// and Detach replaces the app slice (copy-on-write) instead of
+	// rewriting elements.
 	apps := k.apps
+	k.epochBackends = k.backends
+	k.epochObserver = nil
+	if len(k.backends) > 1 {
+		k.epochObserver, _ = k.placement.(EpochObserver)
+	}
 	k.mu.Unlock()
 
 	n := len(apps)
@@ -520,6 +998,9 @@ func (k *Kernel) Start(ctx context.Context, opts Options) error {
 	if k.running {
 		return fmt.Errorf("runtime: start: %w", ErrRunning)
 	}
+	if len(k.backends) == 0 {
+		return fmt.Errorf("runtime: start: %w", ErrNoBackends)
+	}
 	k.errMu.Lock()
 	k.err = nil // previous runs' workload errors do not outlive a restart
 	k.errMu.Unlock()
@@ -540,11 +1021,21 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 	defer k.wg.Done()
 	for {
 		k.mu.Lock()
+		k.refreshPlacementLocked()
 		apps := k.apps
+		bks := k.backends
+		var obs EpochObserver
+		if len(bks) > 1 {
+			obs, _ = k.placement.(EpochObserver)
+		}
 		gen := k.memGen
 		changed := make(chan struct{})
 		k.memChanged = changed
 		k.mu.Unlock()
+		// Safe plain writes: the previous generation's epoch executor is
+		// fully quiesced before the supervisor loops back here.
+		k.epochBackends = bks
+		k.epochObserver = obs
 		k.servedGen.Store(gen)
 		if ctx.Err() != nil {
 			return

@@ -164,10 +164,10 @@ func TestKernelSynchronousEpochs(t *testing.T) {
 			}
 		}
 	}
-	if k.Epochs() != 5 || k.Manager().EpochCount != 5 {
-		t.Errorf("epochs: kernel=%d manager=%d", k.Epochs(), k.Manager().EpochCount)
+	if stats := k.ManagerStats(); k.Epochs() != 5 || stats.Epochs != 5 {
+		t.Errorf("epochs: kernel=%d manager=%d", k.Epochs(), stats.Epochs)
 	}
-	if k.Manager().WorkGFlop <= 0 {
+	if k.ManagerStats().WorkGFlop <= 0 {
 		t.Error("no work recorded")
 	}
 }
@@ -355,8 +355,8 @@ func TestKernelConcurrentApps(t *testing.T) {
 			t.Errorf("app%d was healthy but adapted", i)
 		}
 	}
-	if k.Manager().EpochCount != int(k.Epochs()) {
-		t.Errorf("manager epochs %d != kernel epochs %d", k.Manager().EpochCount, k.Epochs())
+	if stats := k.ManagerStats(); stats.Epochs != int(k.Epochs()) {
+		t.Errorf("manager epochs %d != kernel epochs %d", stats.Epochs, k.Epochs())
 	}
 }
 

@@ -1,0 +1,476 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// testManagerAt builds a manager over a small homogeneous cluster at
+// the given ambient temperature (hot sites defer work through MS3 —
+// the signal SLA-aware steering watches).
+func testManagerAt(nodes int, ambientC float64) *rtrm.Manager {
+	rng := simhpc.NewRNG(101)
+	cluster := simhpc.NewCluster(nodes, ambientC, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	return rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9)
+}
+
+// pinnedSpec is simpleSpec with a placement hint.
+func pinnedSpec(name, backend string, gen *simhpc.WorkloadGen, tasks int) AppSpec {
+	spec := simpleSpec(name, gen, tasks)
+	spec.Backend = backend
+	return spec
+}
+
+// TestKernelRoutesByPinnedHint: the sync driver partitions each epoch's
+// merged batch by placement hint, runs both backends behind the one
+// barrier, and reports per-backend plus merged telemetry.
+func TestKernelRoutesByPinnedHint(t *testing.T) {
+	k := NewKernel(testManagerAt(2, 22), testManagerAt(2, 22))
+	if got := k.Backends(); len(got) != 2 || got[0] != "b0" || got[1] != "b1" {
+		t.Fatalf("backend names: %v", got)
+	}
+	if _, err := k.Attach(pinnedSpec("left", "b0", simhpc.NewWorkloadGen(7), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Attach(pinnedSpec("right", "b1", simhpc.NewWorkloadGen(9), 3)); err != nil {
+		t.Fatal(err)
+	}
+	var res EpochResult
+	var err error
+	for e := 0; e < 4; e++ {
+		if res, err = k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.AppBackend("left"); got != "b0" {
+		t.Errorf("left placed on %q, want b0", got)
+	}
+	if got := k.AppBackend("right"); got != "b1" {
+		t.Errorf("right placed on %q, want b1", got)
+	}
+	if len(res.Backends) != 2 {
+		t.Fatalf("per-backend reports: %d, want 2", len(res.Backends))
+	}
+	var sum float64
+	for _, be := range res.Backends {
+		sum += be.Report.DoneGFlop + be.Report.DeferredGFlop
+	}
+	if merged := res.Report.DoneGFlop + res.Report.DeferredGFlop; merged != sum {
+		t.Errorf("merged report %.3f != per-backend sum %.3f", merged, sum)
+	}
+	stats := k.BackendStats()
+	if len(stats) != 2 {
+		t.Fatalf("backend stats: %d entries", len(stats))
+	}
+	for i, st := range stats {
+		if st.WorkGFlop <= 0 {
+			t.Errorf("backend %s ran no work: %+v", st.Name, st)
+		}
+		if st.Epochs != 4 {
+			t.Errorf("backend %s epochs %d, want 4", st.Name, st.Epochs)
+		}
+		if st.Apps != 1 {
+			t.Errorf("backend %s apps %d, want 1", st.Name, st.Apps)
+		}
+		if i == 0 && st.Name != "b0" || i == 1 && st.Name != "b1" {
+			t.Errorf("backend order: %d = %s", i, st.Name)
+		}
+	}
+	merged := k.ManagerStats()
+	if got, want := merged.WorkGFlop, stats[0].WorkGFlop+stats[1].WorkGFlop; got != want {
+		t.Errorf("merged WorkGFlop %.3f, want %.3f", got, want)
+	}
+	if merged.Epochs != 4 {
+		t.Errorf("merged epochs %d, want kernel epochs 4", merged.Epochs)
+	}
+}
+
+// TestPinnedPolicy: hints win, placed apps stick, unhinted apps hash to
+// a stable home — independent of attach order.
+func TestPinnedPolicy(t *testing.T) {
+	view := []BackendLoad{{Name: "b0"}, {Name: "b1"}, {Name: "b2"}}
+	apps := []AppPlacement{
+		{Name: "pinned", Hint: "b2", Current: 0},
+		{Name: "sticky", Current: 1},
+		{Name: "fresh", Current: -1},
+		{Name: "badhint", Hint: "nope", Current: -1},
+	}
+	got := Pinned{}.Place(apps, view)
+	if got[0] != 2 {
+		t.Errorf("hinted app placed on %d, want 2", got[0])
+	}
+	if got[1] != 1 {
+		t.Errorf("placed app moved: %d, want 1", got[1])
+	}
+	if h := int(fnv1a("fresh") % 3); got[2] != h {
+		t.Errorf("fresh app on %d, want hash home %d", got[2], h)
+	}
+	if h := int(fnv1a("badhint") % 3); got[3] != h {
+		t.Errorf("unmatched hint should hash: %d, want %d", got[3], h)
+	}
+	// Stability: same inputs, same answer.
+	again := Pinned{}.Place(apps, view)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("Pinned not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestLeastLoadedPolicy: new apps spread toward the least pending
+// work, bursts don't pile onto one backend, hints still pin.
+func TestLeastLoadedPolicy(t *testing.T) {
+	// A burst of four fresh apps over two idle backends splits 2/2.
+	view := []BackendLoad{{Name: "b0"}, {Name: "b1"}}
+	apps := make([]AppPlacement, 4)
+	for i := range apps {
+		apps[i] = AppPlacement{Name: fmt.Sprintf("app%d", i), Current: -1}
+	}
+	got := LeastLoaded{}.Place(apps, view)
+	counts := make([]int, 2)
+	for _, idx := range got {
+		counts[idx]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("burst split %v, want [2 2] (placements %v)", counts, got)
+	}
+	// A loaded b0 pushes the next new app to b1; placed apps stay.
+	view = []BackendLoad{
+		{Name: "b0", Apps: 2, OfferedGFlop: 100},
+		{Name: "b1", Apps: 1, OfferedGFlop: 10},
+	}
+	apps = []AppPlacement{
+		{Name: "old", Current: 0},
+		{Name: "new", Current: -1},
+		{Name: "pin", Hint: "b0", Current: -1},
+	}
+	got = LeastLoaded{}.Place(apps, view)
+	if got[0] != 0 {
+		t.Errorf("placed app migrated: %d", got[0])
+	}
+	if got[1] != 1 {
+		t.Errorf("new app on %d, want least-loaded 1", got[1])
+	}
+	if got[2] != 0 {
+		t.Errorf("hinted app on %d, want 0", got[2])
+	}
+}
+
+// TestSLAAwareMigratesSync: with a cool and a hot backend (the hot one
+// defers ~35% of offered work through MS3), SLA-aware steering moves
+// the app off the over-goal backend. Sync mode makes it deterministic:
+// the policy's refresh request lands as a membership-epoch bump and
+// the next RunEpoch re-places.
+func TestSLAAwareMigratesSync(t *testing.T) {
+	k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 40))
+	k.SetPlacement(&SLAAware{MaxDeferredFrac: 0.05, Patience: 2, Cooldown: 2})
+	// Two unhinted apps: least-loaded initial placement puts one on
+	// each backend, so exactly one starts on the hot site.
+	for i := 0; i < 2; i++ {
+		if _, err := k.Attach(simpleSpec(fmt.Sprintf("app%d", i), simhpc.NewWorkloadGen(uint64(7+i)), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.RunEpoch(60); err != nil {
+		t.Fatal(err)
+	}
+	onHot := ""
+	for _, name := range []string{"app0", "app1"} {
+		if k.AppBackend(name) == "b1" {
+			onHot = name
+		}
+	}
+	if onHot == "" {
+		t.Fatalf("no app started on the hot backend: app0=%s app1=%s",
+			k.AppBackend("app0"), k.AppBackend("app1"))
+	}
+	genBefore := k.Generation()
+	migrated := false
+	for e := 0; e < 40 && !migrated; e++ {
+		if _, err := k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+		migrated = k.AppBackend(onHot) == "b0"
+	}
+	if !migrated {
+		t.Fatalf("%s never migrated off the hot backend (deferred EWMA never steered?)", onHot)
+	}
+	if k.Generation() == genBefore {
+		t.Error("migration did not roll a membership generation")
+	}
+	// Post-migration epochs route everything to the cool backend.
+	before := k.BackendStats()
+	for e := 0; e < 3; e++ {
+		if _, err := k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := k.BackendStats()
+	if after[0].WorkGFlop <= before[0].WorkGFlop {
+		t.Error("cool backend gained no work after migration")
+	}
+	if after[1].Epochs != before[1].Epochs {
+		t.Errorf("hot backend kept running epochs with no apps: %d -> %d",
+			before[1].Epochs, after[1].Epochs)
+	}
+}
+
+// TestSLAAwareMigratesLive: the concurrent-mode migration guarantee —
+// the app moves backends at a generation boundary while telemetry
+// producers keep pushing, and not one observation is dropped across
+// the move (the controller, its inbox and its windows travel whole).
+func TestSLAAwareMigratesLive(t *testing.T) {
+	k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 40))
+	k.SetPlacement(&SLAAware{MaxDeferredFrac: 0.05, Patience: 2, Cooldown: 2})
+	inboxes := map[string]*Inbox{}
+	ctls := map[string]*Controller{}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("app%d", i)
+		inbox := &Inbox{}
+		inboxes[name] = inbox
+		spec := simpleSpec(name, simhpc.NewWorkloadGen(uint64(11+i)), 2)
+		spec.Sensor = inbox
+		ctl, err := k.Attach(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctls[name] = ctl
+	}
+	// The initial least-loaded placement is deterministic: app0 → b0,
+	// app1 → b1 (the hot site). Producer pushes observations at the
+	// to-be-migrated app from before Start, so the stream provably
+	// spans the migration.
+	const onHot = "app1"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var pushed int64
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		for ctx.Err() == nil {
+			inboxes[onHot].Push(monitor.MetricLatency, 0.2)
+			pushed++ // only read after prodDone closes
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	genBefore := k.Generation()
+	if err := k.Start(ctx, Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+
+	waitFor(t, "migration off the hot backend", func() bool {
+		return k.AppBackend(onHot) == "b0"
+	})
+	waitServed(t, k)
+	epochs := k.Epochs()
+	waitFor(t, "post-migration epochs", func() bool { return k.Epochs() >= epochs+5 })
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Generation() == genBefore {
+		t.Error("migration did not roll a membership generation")
+	}
+	// The hot backend really served the app before steering moved it.
+	for _, st := range k.BackendStats() {
+		if st.Name == "b1" && st.WorkGFlop+st.DeferredGFlop <= 0 {
+			t.Errorf("hot backend never ran the migrated app's work: %+v", st)
+		}
+	}
+	cancel()
+	<-prodDone
+	k.Stop()
+	// Drain whatever the last generation left in the inbox; every
+	// pushed observation must have landed in the app's windows.
+	ctls[onHot].Tick()
+	if got := ctls[onHot].Metrics().Window(monitor.MetricLatency).Total(); got != pushed {
+		t.Errorf("observations dropped across migration: window total %d, pushed %d", got, pushed)
+	}
+}
+
+// TestKernelAddBackendLive: a backend added while the kernel runs joins
+// the routing set at the next generation boundary and serves newly
+// hinted apps.
+func TestKernelAddBackendLive(t *testing.T) {
+	k := NewKernel(testManagerAt(2, 22))
+	if err := k.AddBackend("b0", testManagerAt(2, 22)); err == nil {
+		t.Error("duplicate backend name accepted")
+	}
+	if _, err := k.Attach(simpleSpec("base", simhpc.NewWorkloadGen(3), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	waitFor(t, "base epochs", func() bool { return k.Epochs() >= 3 })
+
+	if err := k.AddBackend("site-b", testManagerAt(2, 22)); err != nil {
+		t.Fatalf("live add backend: %v", err)
+	}
+	if _, err := k.Attach(pinnedSpec("tenant", "site-b", simhpc.NewWorkloadGen(5), 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitServed(t, k)
+	waitFor(t, "tenant work on site-b", func() bool {
+		for _, st := range k.BackendStats() {
+			if st.Name == "site-b" && st.WorkGFlop > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if got := k.AppBackend("tenant"); got != "site-b" {
+		t.Errorf("tenant placed on %q, want site-b", got)
+	}
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelDetachDrainPerBackend: detaching an app whose workload is
+// mid-flight on one backend drains its submitted batch into that
+// backend's final epoch; the other backend's app keeps running.
+func TestKernelDetachDrainPerBackend(t *testing.T) {
+	// Ambient 15 < the MS3 comfort knee, so nothing is deferred and a
+	// one-task drain epoch shows up as executed work, not deferral.
+	k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 15))
+	gen := simhpc.NewWorkloadGen(29)
+	var genMu sync.Mutex
+	started := make(chan struct{}, 64)
+	slow := AppSpec{
+		Name:    "slow",
+		Backend: "b1",
+		Workload: func() ([]*simhpc.Task, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			time.Sleep(50 * time.Millisecond)
+			genMu.Lock()
+			defer genMu.Unlock()
+			return gen.Mix(1, 1, 1, 1, 4), nil
+		},
+	}
+	if _, err := k.Attach(slow); err != nil {
+		t.Fatal(err)
+	}
+	fast := AppSpec{
+		Name:    "fast",
+		Backend: "b0",
+		Workload: func() ([]*simhpc.Task, error) {
+			genMu.Lock()
+			defer genMu.Unlock()
+			return gen.Mix(1, 1, 1, 1, 4), nil
+		},
+	}
+	if _, err := k.Attach(fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	<-started // the slow workload is in flight on b1 right now
+	if err := k.Detach("slow"); err != nil {
+		t.Fatal(err)
+	}
+	waitServed(t, k) // wind-down waited out the straggler without deadlock
+	epochs := k.Epochs()
+	waitFor(t, "survivor epochs", func() bool { return k.Epochs() >= epochs+5 })
+	if k.TotalsPerApp()["slow"] <= 0 {
+		t.Error("detached app's drained work was dropped")
+	}
+	var b1 BackendStats
+	for _, st := range k.BackendStats() {
+		if st.Name == "b1" {
+			b1 = st
+		}
+	}
+	if b1.WorkGFlop <= 0 {
+		t.Errorf("b1 never ran the detaching app's drained batch: %+v", b1)
+	}
+	if k.TotalsPerApp()["fast"] <= 0 {
+		t.Error("survivor contributed no work")
+	}
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementMembershipChurnRace is the -race stress for placement ×
+// membership: churners attach and detach hinted and unhinted apps
+// while SLA-aware steering migrates against a hot backend, telemetry
+// producers push the whole time, and a base app keeps its epochs.
+func TestPlacementMembershipChurnRace(t *testing.T) {
+	k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 40))
+	k.SetPlacement(&SLAAware{MaxDeferredFrac: 0.05, Patience: 2, Cooldown: 2})
+	baseInbox := &Inbox{}
+	baseSpec := simpleSpec("base", simhpc.NewWorkloadGen(51), 2)
+	baseSpec.Sensor = baseInbox
+	if _, err := k.Attach(baseSpec); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := k.Start(ctx, Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+
+	go func() {
+		for ctx.Err() == nil {
+			baseInbox.Push(monitor.MetricLatency, 0.2)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const churners = 4
+	const cycles = 10
+	var wg sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn%d", c)
+			hint := ""
+			if c%2 == 0 {
+				hint = fmt.Sprintf("b%d", c%2) // half the churners pin
+			}
+			gen := simhpc.NewWorkloadGen(uint64(60 + c))
+			for i := 0; i < cycles; i++ {
+				if _, err := k.Attach(pinnedSpec(name, hint, gen, 1)); err != nil {
+					t.Errorf("churn attach %s: %v", name, err)
+					return
+				}
+				time.Sleep(time.Duration(c+1) * time.Millisecond)
+				if err := k.Detach(name); err != nil {
+					t.Errorf("churn detach %s: %v", name, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	waitServed(t, k)
+	epochs := k.Epochs()
+	waitFor(t, "epochs after churn", func() bool { return k.Epochs() > epochs })
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if apps := k.Apps(); len(apps) != 1 || apps[0].Name() != "base" {
+		t.Errorf("leftover membership after churn: %d apps", len(apps))
+	}
+	if g, s := k.Generation(), k.ServedGeneration(); g != s {
+		t.Errorf("generation %d not served (served %d) after quiesce", g, s)
+	}
+}

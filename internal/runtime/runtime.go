@@ -104,6 +104,12 @@ type AppSpec struct {
 	// policy is consulted (default 2).
 	Debounce int
 
+	// Backend optionally names the kernel backend this app prefers —
+	// the placement hint. All shipped placement policies pin an app
+	// whose hint matches a registered backend; an unmatched hint is
+	// ignored (the policy places the app as if unhinted).
+	Backend string
+
 	Sensor   Sensor
 	Policy   Policy
 	Knob     Knob
