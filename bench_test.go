@@ -812,6 +812,12 @@ func BenchmarkKernelChurn(b *testing.B) {
 // deterministic. nBackends=1 exercises the kernel's single-backend
 // fast path through the same construction.
 func benchKernelBackends(nApps, nBackends int) (*kernelrt.Kernel, []*kernelrt.Inbox) {
+	return benchKernelBackendsPinned(nApps, nBackends, func(i int) int { return i % nBackends })
+}
+
+// benchKernelBackendsPinned is benchKernelBackends with an explicit
+// app→backend pin function, so K8 can shape contention skew.
+func benchKernelBackendsPinned(nApps, nBackends int, pin func(i int) int) (*kernelrt.Kernel, []*kernelrt.Inbox) {
 	rng := simhpc.NewRNG(61)
 	k := kernelrt.NewKernel()
 	for bIdx := 0; bIdx < nBackends; bIdx++ {
@@ -829,7 +835,7 @@ func benchKernelBackends(nApps, nBackends int) (*kernelrt.Kernel, []*kernelrt.In
 		inboxes[i] = inbox
 		_, err := k.Attach(kernelrt.AppSpec{
 			Name:    fmt.Sprintf("app%d", i),
-			Backend: fmt.Sprintf("b%d", i%nBackends),
+			Backend: fmt.Sprintf("b%d", pin(i)),
 			SLA: monitor.SLA{Goals: []monitor.Goal{
 				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
 			}},
@@ -935,6 +941,81 @@ func BenchmarkKernelPlacement(b *testing.B) {
 		run(b, 2, cp)
 		b.ReportMetric(float64(cp.moves.Load())/b.Elapsed().Seconds(), "migrations/s")
 	})
+}
+
+// BenchmarkEpochProtocols (K8) is the CCBench-style protocol matrix:
+// the three epoch commit protocols (barrier, clock, optimistic) crossed
+// with backend count {1, 2, 4} and contention skew. Each cell is the K7
+// shape — 64 apps, concurrent mode, live telemetry producers — plus a
+// status reader polling ManagerStats/BackendStats throughout, the
+// control plane's /v1/epochs shape, so the reader-side cost of each
+// commit discipline is in the measurement (optimistic's seqlock snapshot
+// vs the commit-lock acquire of barrier/clock). skew=hot pins 3/4 of
+// the apps to b0 on a 4-backend kernel: the cell where per-backend
+// clocks pay off most, since b1-b3's epochs never wait behind b0's hot
+// lane. ns/op comparisons across cells are same-run only and only at
+// equal GOMAXPROCS — benchgate records gomaxprocs per entry and refuses
+// -require-le across differing core counts.
+func BenchmarkEpochProtocols(b *testing.B) {
+	const nApps = 64
+	const producerBatch = 10
+	run := func(b *testing.B, proto kernelrt.EpochProtocol, nBackends int, pin func(i int) int) {
+		k, inboxes := benchKernelBackendsPinned(nApps, nBackends, pin)
+		k.SetProtocol(proto)
+		interval := 200 * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for _, in := range inboxes {
+			go func(in *kernelrt.Inbox) {
+				for ctx.Err() == nil {
+					for i := 0; i < producerBatch; i++ {
+						in.Push(monitor.MetricLatency, 0.2)
+					}
+					time.Sleep(producerBatch * interval)
+				}
+			}(in)
+		}
+		readerDone := make(chan struct{})
+		go func() {
+			defer close(readerDone)
+			for ctx.Err() == nil {
+				_ = k.ManagerStats()
+				_ = k.BackendStats()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+		b.ResetTimer()
+		if err := k.Start(ctx, kernelrt.Options{EpochDt: 60, Flush: 2 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		target := int64(b.N)
+		for k.Epochs() < target {
+			time.Sleep(100 * time.Microsecond)
+		}
+		k.Stop()
+		b.StopTimer()
+		cancel()
+		<-readerDone
+		if err := k.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, proto := range []kernelrt.EpochProtocol{kernelrt.Barrier, kernelrt.PerBackendClock, kernelrt.OptimisticMerge} {
+		for _, nBackends := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("protocol=%s/backends=%d", proto, nBackends), func(b *testing.B) {
+				run(b, proto, nBackends, func(i int) int { return i % nBackends })
+			})
+		}
+		b.Run(fmt.Sprintf("protocol=%s/skew=hot", proto), func(b *testing.B) {
+			// 48 of 64 apps on b0; the rest round-robin over b1-b3.
+			run(b, proto, 4, func(i int) int {
+				if i%4 != 0 {
+					return 0
+				}
+				return 1 + (i/4)%3
+			})
+		})
+	}
 }
 
 // mkIngestKernel builds the small kernel the ingest benchmarks (K5,

@@ -76,6 +76,7 @@ func main() {
 		addr      = flag.String("addr", ":8077", "HTTP listen address")
 		nBackends = flag.Int("backends", 1, "resource-manager backends (simulated sites) to start with; more via POST /v1/backends")
 		placement = flag.String("placement", "least-loaded", "placement policy: pinned, least-loaded or sla")
+		protocol  = flag.String("protocol", "barrier", "epoch commit protocol: barrier, clock or optimistic")
 		authToken = flag.String("auth-token", os.Getenv("ANTAREX_AUTH_TOKEN"), "bearer token required on mutating routes (empty: auth off; also via ANTAREX_AUTH_TOKEN)")
 		nodes     = flag.Int("nodes", 8, "simulated cluster nodes per backend")
 		hetero    = flag.Bool("hetero", true, "alternate heterogeneous/homogeneous nodes")
@@ -100,6 +101,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("antarex-serve: %v", err)
 	}
+	proto, err := runtime.ParseEpochProtocol(*protocol)
+	if err != nil {
+		log.Fatalf("antarex-serve: %v", err)
+	}
+	kernel.SetProtocol(proto)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -131,8 +137,8 @@ func main() {
 	if *authToken != "" {
 		auth = "bearer-token"
 	}
-	log.Printf("antarex-serve: %d backend(s) × %d nodes, placement %s, ingress %s, control plane on %s",
-		*nBackends, *nodes, *placement, auth, *addr)
+	log.Printf("antarex-serve: %d backend(s) × %d nodes, placement %s, protocol %s, ingress %s, control plane on %s",
+		*nBackends, *nodes, *placement, proto, auth, *addr)
 	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		kernel.Stop()

@@ -31,6 +31,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	goruntime "runtime"
 	"strconv"
 	"strings"
 )
@@ -42,14 +43,30 @@ type Baseline struct {
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
-// procSuffix strips the -GOMAXPROCS suffix go test appends to
+// procSuffix captures the -GOMAXPROCS suffix go test appends to
 // benchmark names on multi-proc runs (absent when GOMAXPROCS=1).
-var procSuffix = regexp.MustCompile(`-\d+$`)
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Informational per-entry metrics benchgate records with every
+// benchmark: the GOMAXPROCS the benchmark ran under (from the name
+// suffix) and the core count of the gating host (benchgate consumes
+// the bench pipe on the machine that ran it). They exist so a number
+// measured on the 1-vCPU CI class is never again confused with a
+// many-core one — relative -require-le comparisons refuse to run
+// across differing gomaxprocs, and the drift gate skips them.
+const (
+	metricGomaxprocs = "gomaxprocs"
+	metricNumCPU     = "num_cpu"
+)
 
 // parseBench extracts benchmark metrics from `go test -bench` output.
 // A result line looks like:
 //
 //	BenchmarkKernelEpochSync/apps=64-8   10000   105655 ns/op   896.3 GFLOP/epoch   68749 B/op   496 allocs/op
+//
+// The -8 proc suffix is stripped from the name and recorded as the
+// entry's gomaxprocs metric (1 when absent); num_cpu records this
+// host's core count.
 func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 	out := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -59,6 +76,10 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
+		procs := 1.0
+		if m := procSuffix.FindStringSubmatch(fields[0]); m != nil {
+			procs, _ = strconv.ParseFloat(m[1], 64)
+		}
 		name := procSuffix.ReplaceAllString(fields[0], "")
 		// fields[1] is the iteration count; then (value, unit) pairs.
 		metrics := out[name]
@@ -66,6 +87,8 @@ func parseBench(r io.Reader) (map[string]map[string]float64, error) {
 			metrics = make(map[string]float64)
 			out[name] = metrics
 		}
+		metrics[metricGomaxprocs] = procs
+		metrics[metricNumCPU] = float64(goruntime.NumCPU())
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -89,10 +112,13 @@ const (
 	deterministic     metricClass = iota
 	envLowerIsBetter              // ns/op, B/op, allocs/op
 	envHigherIsBetter             // rates: samples/s, churn/s, ...
+	informational                 // gomaxprocs, num_cpu: recorded, never gated
 )
 
 func classify(unit string) metricClass {
 	switch {
+	case unit == metricGomaxprocs || unit == metricNumCPU:
+		return informational
 	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
 		return envLowerIsBetter
 	case strings.HasSuffix(unit, "/s"):
@@ -107,6 +133,8 @@ func classify(unit string) metricClass {
 // tolerance for the unit's class, and returns the tolerance applied.
 func regressed(unit string, want, got, tol, timeTol float64) (bool, float64) {
 	switch classify(unit) {
+	case informational:
+		return false, 0 // recorded context, not a gated number
 	case envLowerIsBetter:
 		return got > want*(1+timeTol), timeTol
 	case envHigherIsBetter:
@@ -164,6 +192,33 @@ func parseRequirement(s string) (requirement, error) {
 	return req, nil
 }
 
+// checkRequirement evaluates one -require-le clause against the run.
+// ok=false carries the failure message. A relative invariant is only
+// meaningful when both sides ran with the same parallelism, so the
+// check refuses to compare a 1-proc number with a 4-proc one (as a
+// `go test -cpu 1,4` mixed run would produce).
+func checkRequirement(cur map[string]map[string]float64, req requirement) (string, bool) {
+	lhs, err1 := lookup(cur, req.lhsBench, req.lhsMetric)
+	if err1 != nil {
+		return err1.Error(), false
+	}
+	rhs, err2 := lookup(cur, req.rhsBench, req.rhsMetric)
+	if err2 != nil {
+		return err2.Error(), false
+	}
+	lp, rp := cur[req.lhsBench][metricGomaxprocs], cur[req.rhsBench][metricGomaxprocs]
+	if lp != rp {
+		return fmt.Sprintf(
+			"require-le refused: %s ran at gomaxprocs=%g but %s at gomaxprocs=%g — cross-core comparisons are not meaningful",
+			req.lhsBench, lp, req.rhsBench, rp), false
+	}
+	if lhs > rhs*req.slack {
+		return fmt.Sprintf("require-le violated: %s:%s (%g) > %s:%s (%g) x %.2f",
+			req.lhsBench, req.lhsMetric, lhs, req.rhsBench, req.rhsMetric, rhs, req.slack), false
+	}
+	return "", true
+}
+
 func lookup(cur map[string]map[string]float64, bench, metric string) (float64, error) {
 	m, ok := cur[bench]
 	if !ok {
@@ -183,6 +238,7 @@ func run() error {
 		note         = flag.String("note", "", "note stored in the baseline on -update")
 		tol          = flag.Float64("tol", 0.25, "allowed relative drift for deterministic metrics")
 		timeTol      = flag.Float64("time-tol", 1.0, "allowed one-sided regression for environment-dependent metrics (ns/op, B/op, allocs/op, samples/s)")
+		only         = flag.String("only", "", "regex restricting which baseline benchmarks are drift-checked (empty: all); -require-le clauses always run")
 		requires     []requirement
 	)
 	flag.Func("require-le", "relative requirement LHS<=RHS (Benchmark:metric<=Benchmark:metric[xSLACK]); repeatable", func(s string) error {
@@ -225,9 +281,20 @@ func run() error {
 		return fmt.Errorf("benchgate: %s: %w", *baselinePath, err)
 	}
 
+	var onlyRe *regexp.Regexp
+	if *only != "" {
+		onlyRe, err = regexp.Compile(*only)
+		if err != nil {
+			return fmt.Errorf("benchgate: -only: %w", err)
+		}
+	}
+
 	var failures []string
 	checked := 0
 	for bench, metrics := range base.Benchmarks {
+		if onlyRe != nil && !onlyRe.MatchString(bench) {
+			continue // partial run: only the selected subset is gated
+		}
 		curMetrics, ok := cur[bench]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the run", bench))
@@ -248,21 +315,11 @@ func run() error {
 		}
 	}
 	for _, req := range requires {
-		lhs, err1 := lookup(cur, req.lhsBench, req.lhsMetric)
-		rhs, err2 := lookup(cur, req.rhsBench, req.rhsMetric)
-		if err1 != nil {
-			failures = append(failures, err1.Error())
-			continue
-		}
-		if err2 != nil {
-			failures = append(failures, err2.Error())
+		if msg, ok := checkRequirement(cur, req); !ok {
+			failures = append(failures, msg)
 			continue
 		}
 		checked++
-		if lhs > rhs*req.slack {
-			failures = append(failures, fmt.Sprintf("require-le violated: %s:%s (%g) > %s:%s (%g) x %.2f",
-				req.lhsBench, req.lhsMetric, lhs, req.rhsBench, req.rhsMetric, rhs, req.slack))
-		}
 	}
 
 	if len(failures) > 0 {

@@ -42,6 +42,49 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchRecordsHostContext(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 suffix becomes the entry's gomaxprocs; a suffix-less line
+	// (GOMAXPROCS=1 run) records 1.
+	if v := got["BenchmarkKernelEpochSync/apps=64"][metricGomaxprocs]; v != 8 {
+		t.Errorf("suffixed gomaxprocs = %v, want 8", v)
+	}
+	if v := got["BenchmarkKernelConcurrent/apps=64"][metricGomaxprocs]; v != 1 {
+		t.Errorf("suffix-less gomaxprocs = %v, want 1", v)
+	}
+	for name, metrics := range got {
+		if metrics[metricNumCPU] < 1 {
+			t.Errorf("%s: num_cpu = %v, want >= 1", name, metrics[metricNumCPU])
+		}
+	}
+}
+
+func TestRequireRefusesCrossCoreComparison(t *testing.T) {
+	cur := map[string]map[string]float64{
+		"BenchA": {"ns/op": 100, metricGomaxprocs: 1},
+		"BenchB": {"ns/op": 200, metricGomaxprocs: 4},
+		"BenchC": {"ns/op": 200, metricGomaxprocs: 1},
+	}
+	req := requirement{lhsBench: "BenchA", lhsMetric: "ns/op", rhsBench: "BenchB", rhsMetric: "ns/op", slack: 1.0}
+	msg, ok := checkRequirement(cur, req)
+	if ok || !strings.Contains(msg, "refused") {
+		t.Errorf("cross-core comparison not refused: ok=%v msg=%q", ok, msg)
+	}
+	// Same core count: the comparison runs and passes.
+	req.rhsBench = "BenchC"
+	if msg, ok := checkRequirement(cur, req); !ok {
+		t.Errorf("same-core comparison failed: %q", msg)
+	}
+	// Same core count but violated: fails with the violation message.
+	req.lhsBench, req.rhsBench = "BenchC", "BenchA"
+	if msg, ok := checkRequirement(cur, req); ok || !strings.Contains(msg, "violated") {
+		t.Errorf("violation not reported: ok=%v msg=%q", ok, msg)
+	}
+}
+
 func TestDrift(t *testing.T) {
 	for _, tc := range []struct {
 		base, cur, want float64
@@ -68,6 +111,8 @@ func TestClassify(t *testing.T) {
 		"GFLOP/epoch": deterministic,
 		"ratio":       deterministic,
 		"power_MW":    deterministic,
+		"gomaxprocs":  informational,
+		"num_cpu":     informational,
 	} {
 		if got := classify(unit); got != want {
 			t.Errorf("classify(%q) = %v, want %v", unit, got, want)
@@ -138,6 +183,10 @@ func TestRegressed(t *testing.T) {
 		{"samples/s", 1e6, 5e6, false},
 		{"samples/s", 1e6, 3e5, false},
 		{"samples/s", 1e6, 1e5, true},
+		// Informational context is recorded, never gated: a baseline
+		// written on one machine class must not fail on another.
+		{"gomaxprocs", 1, 8, false},
+		{"num_cpu", 1, 64, false},
 	} {
 		if bad, _ := regressed(tc.unit, tc.want, tc.got, tol, timeTol); bad != tc.bad {
 			t.Errorf("regressed(%q, %g, %g) = %v, want %v", tc.unit, tc.want, tc.got, bad, tc.bad)

@@ -823,6 +823,7 @@ func (s *Server) backendStatuses() []BackendStatus {
 		out[i] = BackendStatus{
 			Name:          st.Name,
 			Apps:          st.Apps,
+			Seq:           st.Seq,
 			Epochs:        st.Epochs,
 			WorkGFlop:     st.WorkGFlop,
 			DeferredGFlop: st.DeferredGFlop,
@@ -841,6 +842,7 @@ func (s *Server) epochsStatus() EpochsStatus {
 	ms := k.ManagerStats()
 	return EpochsStatus{
 		Epochs:           k.Epochs(),
+		Protocol:         k.Protocol().String(),
 		Generation:       k.Generation(),
 		ServedGeneration: k.ServedGeneration(),
 		Apps:             k.NumApps(),
@@ -887,13 +889,35 @@ func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	enc := json.NewEncoder(w)
+	// Coalescing is per backend, not per global epoch counter: under a
+	// barrier-free protocol each backend advances its own sequence
+	// number, and a late backend's commit must produce an event even
+	// when the global counter moved (and was streamed) long before. An
+	// event is suppressed only when the epoch counter AND every
+	// backend's seq are unchanged since the last one.
 	lastEpoch := int64(-1)
+	var lastSeqs []int64
+	fresh := func(st EpochsStatus) bool {
+		if st.Epochs != lastEpoch || len(st.Backends) != len(lastSeqs) {
+			return true
+		}
+		for i, b := range st.Backends {
+			if b.Seq != lastSeqs[i] {
+				return true
+			}
+		}
+		return false
+	}
 	send := func() error {
 		st := s.epochsStatus()
-		if st.Epochs == lastEpoch {
+		if !fresh(st) {
 			return nil // woken but nothing new (coalesced signals)
 		}
 		lastEpoch = st.Epochs
+		lastSeqs = lastSeqs[:0]
+		for _, b := range st.Backends {
+			lastSeqs = append(lastSeqs, b.Seq)
+		}
 		if _, err := io.WriteString(w, "event: epochs\ndata: "); err != nil {
 			return err
 		}

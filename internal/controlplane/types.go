@@ -93,6 +93,11 @@ type BackendStatus struct {
 	Name string `json:"name"`
 	// Apps is the number of applications placed on the backend.
 	Apps int `json:"apps"`
+	// Seq is the backend's epoch sequence number: it advances on every
+	// commit this backend runs. Under a barrier-free kernel protocol
+	// backends advance independently, so stream consumers key change
+	// detection on the seq vector, not on the global epoch counter.
+	Seq int64 `json:"seq"`
 	// Epochs is the number of control epochs this backend has run
 	// (backends only run when apps placed on them contribute).
 	Epochs        int     `json:"epochs"`
@@ -146,6 +151,9 @@ type AppStatus struct {
 type EpochsStatus struct {
 	// Epochs counts manager epochs run since the kernel was built.
 	Epochs int64 `json:"epochs"`
+	// Protocol is the kernel's epoch commit protocol ("barrier",
+	// "clock" or "optimistic" — see the serve command's -protocol flag).
+	Protocol string `json:"protocol,omitempty"`
 	// Generation is the membership epoch: attach/detach count so far.
 	Generation int64 `json:"generation"`
 	// ServedGeneration is the membership epoch the concurrent loops

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -44,6 +45,24 @@ type Controller struct {
 	// only at generation boundaries (the kernel's placement refresh),
 	// read by the epoch engine.
 	backend atomic.Int32
+
+	// total is the app's cumulative offered GFlop as float bits. A
+	// single-writer atomic, not a lock: within a generation exactly one
+	// epoch-commit goroutine carries this app's batches (its placed
+	// backend's), and generation rolls quiesce all commits — so writes
+	// never race, while status readers load it lock-free.
+	total atomic.Uint64
+}
+
+// addTotal accumulates offered work. See the total field for why the
+// non-atomic read-modify-write is safe.
+func (c *Controller) addTotal(g float64) {
+	c.total.Store(math.Float64bits(math.Float64frombits(c.total.Load()) + g))
+}
+
+// totalGFlop reads the cumulative offered work.
+func (c *Controller) totalGFlop() float64 {
+	return math.Float64frombits(c.total.Load())
 }
 
 // NewController assembles a controller from an AppSpec, applying the

@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/simhpc"
+)
+
+// This file is the barrier-free concurrent epoch engine: under
+// PerBackendClock and OptimisticMerge the per-generation executor
+// stops running epochs itself and instead partitions each merged
+// kernel epoch into per-backend batches, handing every backend's share
+// to that backend's own commit goroutine. Each backend then advances
+// its epoch clock independently — b0 committing epoch N+2 while b2 is
+// still inside epoch N — bounded only by the lanes' run-ahead window.
+// Membership generations stay the single global synchronization
+// point: a generation roll closes every lane and waits for its worker,
+// which both preserves the detach-drain guarantee per backend and is
+// the forced Barrier fallback while a placement migration is in
+// flight (migrations only land at generation rolls).
+
+// backendBatch is one backend's share of one dispatched kernel epoch.
+// Batches are lane-owned scratch, reused in rotation (see lane.bufs).
+type backendBatch struct {
+	epoch int64 // global epoch number this batch belongs to
+	tasks []*simhpc.Task
+	ctls  []*Controller // contributing controllers, for totals + OnEpoch
+	gflop []float64     // offered GFlop per contributing controller
+}
+
+// lane is the dispatch channel to one backend's commit goroutine. The
+// channel holds one batch and the dispatcher blocks sending a second,
+// so a backend runs at most two epochs behind the dispatch frontier —
+// enough to pipeline, bounded enough that stats and steering stay
+// fresh. Three rotating buffers make the reuse safe: when the send of
+// batch n completes, the worker has received batch n-1 and therefore
+// finished batch n-2, so the buffer of batch n-3 — the one the next
+// fill uses — is no longer referenced by anyone.
+type lane struct {
+	ch   chan *backendBatch
+	bufs [3]*backendBatch
+	n    uint64 // batches dispatched on this lane
+}
+
+// dispatchEpochs is the barrier-free executor body: consume merged
+// epochs from the scheduler, partition each by the contributing apps'
+// placed backends, and dispatch every active backend's batch to its
+// lane. Task slices are copied out of the contribution buffer before
+// returning to the channel receive, so the scheduler's double-buffer
+// contract ("send completed ⇒ previous buffer free") still holds.
+// When execCh closes (generation wind-down) the lanes close and the
+// workers drain — no dispatched batch is ever dropped.
+func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []*backendSlot) {
+	lanes := make([]*lane, len(bks))
+	var workers sync.WaitGroup
+	for i, bs := range bks {
+		l := &lane{ch: make(chan *backendBatch, 1)}
+		for j := range l.bufs {
+			l.bufs[j] = &backendBatch{}
+		}
+		lanes[i] = l
+		workers.Add(1)
+		go k.backendWorker(bs, dt, l.ch, &workers)
+	}
+	for contribs := range execCh {
+		epoch := k.epochs.Add(1)
+		for _, c := range contribs {
+			idx := int(c.ctl.backend.Load())
+			if idx < 0 || idx >= len(bks) {
+				idx = 0 // unplaced app mid-roll: route to the first backend
+			}
+			l := lanes[idx]
+			b := l.bufs[l.n%3]
+			if b.epoch != epoch { // first contribution this epoch: reset the buffer
+				b.epoch = epoch
+				b.tasks = b.tasks[:0]
+				b.ctls = b.ctls[:0]
+				b.gflop = b.gflop[:0]
+			}
+			sum := 0.0
+			for _, t := range c.tasks {
+				sum += t.GFlop
+			}
+			b.tasks = append(b.tasks, c.tasks...)
+			b.ctls = append(b.ctls, c.ctl)
+			b.gflop = append(b.gflop, sum)
+		}
+		for _, l := range lanes {
+			b := l.bufs[l.n%3]
+			if b.epoch != epoch {
+				continue // no contributors on this backend this epoch
+			}
+			clear(b.tasks[len(b.tasks):cap(b.tasks)]) // no pinned stale tasks
+			// Blocks only while this backend is two epochs behind — the
+			// run-ahead bound; every other backend keeps committing.
+			l.ch <- b
+			l.n++
+		}
+		// Steering sees whatever the workers have committed so far: at
+		// most two epochs stale, which the EWMA-based policies tolerate.
+		// ObserveEpoch stays serialized — it runs only here.
+		if obs := k.epochObserver; obs != nil {
+			if obs.ObserveEpoch(k.backendLoads(bks)) {
+				k.requestPlacementRefresh()
+			}
+		}
+	}
+	for _, l := range lanes {
+		close(l.ch)
+	}
+	workers.Wait()
+}
+
+// backendWorker is one backend's epoch clock: it commits every batch
+// dispatched on its lane, in order, under the backend's own commit
+// mutex — no cross-backend barrier. After each commit it updates the
+// backend's placement telemetry, fires the contributing apps' OnEpoch
+// callbacks with the per-backend result, and signals epoch
+// subscribers, so a late backend's commit still wakes the SSE stream
+// even when the global epoch counter moved long before.
+func (k *Kernel) backendWorker(bs *backendSlot, dt float64, ch <-chan *backendBatch, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range ch {
+		bs.commitMu.Lock()
+		rep := bs.be.RunEpoch(dt, b.tasks)
+		bs.cell.publishStats(bs.be.Stats())
+		bs.commitMu.Unlock()
+		bs.seq.Add(1)
+
+		for i, ctl := range b.ctls {
+			ctl.addTotal(b.gflop[i])
+		}
+
+		offered := rep.DoneGFlop + rep.DeferredGFlop
+		frac := 0.0
+		if offered > 0 {
+			frac = rep.DeferredGFlop / offered
+		}
+		k.loadMu.Lock()
+		bs.offered = offered
+		bs.deferredEWMA += deferredEWMAAlpha * (frac - bs.deferredEWMA)
+		k.loadMu.Unlock()
+
+		// Per-backend OnEpoch delivery: the result covers this backend's
+		// share of the kernel epoch, not the merged whole — under an
+		// independent clock there is no merged whole to report. Built
+		// lazily: most apps have no OnEpoch observer.
+		var res EpochResult
+		built := false
+		for _, ctl := range b.ctls {
+			if ctl.spec.OnEpoch == nil {
+				continue
+			}
+			if !built {
+				built = true
+				perApp := make(map[string]float64, len(b.ctls))
+				for j, c := range b.ctls {
+					perApp[c.Name()] += b.gflop[j]
+				}
+				res = EpochResult{
+					Epoch:    b.epoch,
+					Report:   rep,
+					Backends: []BackendEpoch{{Name: bs.name, Report: rep}},
+					PerApp:   perApp,
+				}
+			}
+			ctl.spec.OnEpoch(res)
+		}
+
+		k.signalEpoch()
+	}
+}

@@ -86,13 +86,14 @@ var (
 // membership change allocates (new shards, channels, goroutines), but
 // that cost is paid once per generation, not per epoch.
 type Kernel struct {
-	mu         sync.Mutex // guards apps, byName, backends, byBackend, placement, placeGen, running, cancel, memGen, memChanged
+	mu         sync.Mutex // guards apps, byName, backends, byBackend, placement, protocol, placeGen, running, cancel, memGen, memChanged, detachedTotals, pendingRetire
 	apps       []*Controller
 	byName     map[string]*Controller
 	backends   []*backendSlot // copy-on-write: AddBackend replaces the slice
 	byBackend  map[string]int
 	placement  Placement
-	placeGen   int64 // membership epoch the current assignments were computed for
+	protocol   EpochProtocol // epoch commit protocol; engine adopts it per generation
+	placeGen   int64         // membership epoch the current assignments were computed for
 	running    bool
 	cancel     context.CancelFunc
 	wg         sync.WaitGroup
@@ -102,9 +103,32 @@ type Kernel struct {
 	servedGen atomic.Int64 // generation the concurrent loops currently serve
 
 	syncMu  sync.Mutex // serializes whole synchronous RunEpoch calls
-	epochMu sync.Mutex // serializes backend epochs and totals
-	totals  map[string]float64
-	epochs  atomic.Int64
+	epochMu sync.Mutex // Barrier protocol's global serial section around backend epochs
+
+	// Cumulative per-app offered GFlop lives on each Controller as an
+	// atomic (single writer: the epoch engine commits an app's work on
+	// exactly one backend per generation). detachedTotals accumulates
+	// the totals of retired controllers; pendingRetire holds detached
+	// controllers whose final drained epoch may not have committed yet —
+	// they fold into detachedTotals at the next quiescent point. Both
+	// under k.mu; reads sum all three sources, so totals are never lost
+	// or double-counted across detach/re-attach churn.
+	detachedTotals map[string]float64
+	pendingRetire  []*Controller
+	epochs         atomic.Int64
+
+	// protoActive mirrors the protocol the engine currently runs —
+	// written at quiescent points, read by status paths to pick their
+	// snapshot discipline. Safe to be briefly stale: every protocol's
+	// commit path holds the backend commit mutex and republishes the
+	// seqlock cell, so either reader discipline is correct at any time;
+	// only the CommitLockReads attribution depends on it.
+	protoActive atomic.Int32
+	// epochProto is the engine's own snapshot of the protocol, written
+	// with epochBackends (same quiescent-point discipline).
+	epochProto EpochProtocol
+	// commitLockReads counts status reads that took a commit lock.
+	commitLockReads atomic.Int64
 
 	// loadMu guards the per-backend placement telemetry (backendSlot
 	// offered/deferredEWMA/apps). A leaf lock: never held while taking
@@ -145,6 +169,20 @@ type backendSlot struct {
 	name string
 	be   Backend
 
+	// commitMu serializes this backend's epoch commits against status
+	// readers (Barrier and PerBackendClock reads) and against each
+	// other across protocol switches. Every protocol's commit path
+	// holds it around RunEpoch plus the stats republish.
+	commitMu sync.Mutex
+	// seq is the backend's epoch sequence number: bumped on every
+	// commit, under any protocol. The control plane's SSE stream keys
+	// its per-backend coalescing on it, so a commit on one backend
+	// wakes subscribers even when the global epoch counter has not
+	// moved since they last looked.
+	seq atomic.Int64
+	// cell is the seqlock OptimisticMerge readers snapshot.
+	cell statsCell
+
 	// Epoch scratch — same ownership discipline as Kernel.mergedTasks.
 	tasks  []*simhpc.Task
 	report rtrm.EpochReport
@@ -170,15 +208,17 @@ const deferredEWMAAlpha = 0.25
 // ErrNoBackends until at least one backend is registered.
 func NewKernel(backends ...Backend) *Kernel {
 	k := &Kernel{
-		byName:    make(map[string]*Controller),
-		byBackend: make(map[string]int, len(backends)),
-		placement: Pinned{},
-		placeGen:  -1, // first refresh always runs
-		totals:    make(map[string]float64),
+		byName:         make(map[string]*Controller),
+		byBackend:      make(map[string]int, len(backends)),
+		placement:      Pinned{},
+		placeGen:       -1, // first refresh always runs
+		detachedTotals: make(map[string]float64),
 	}
 	for i, be := range backends {
 		name := fmt.Sprintf("b%d", i)
-		k.backends = append(k.backends, &backendSlot{name: name, be: be})
+		bs := &backendSlot{name: name, be: be}
+		bs.cell.publishStats(be.Stats()) // seed the seqlock for pre-commit reads
+		k.backends = append(k.backends, bs)
 		k.byBackend[name] = i
 	}
 	return k
@@ -204,7 +244,9 @@ func (k *Kernel) AddBackend(name string, be Backend) error {
 	// Copy-on-write: epoch snapshots of k.backends stay valid.
 	bks := make([]*backendSlot, len(k.backends), len(k.backends)+1)
 	copy(bks, k.backends)
-	k.backends = append(bks, &backendSlot{name: name, be: be})
+	bs := &backendSlot{name: name, be: be}
+	bs.cell.publishStats(be.Stats())
+	k.backends = append(bks, bs)
 	k.byBackend[name] = len(k.backends) - 1
 	k.membershipChangedLocked()
 	return nil
@@ -303,6 +345,11 @@ type BackendStats struct {
 	// Apps is the number of applications placed on the backend at the
 	// last placement refresh.
 	Apps int
+	// Seq is the backend's epoch sequence number: it advances on every
+	// commit this backend runs, under any protocol. Unlike the global
+	// kernel epoch counter it is per backend, so stream consumers can
+	// tell which backend moved (see the control plane's SSE coalescing).
+	Seq int64
 	ManagerStats
 }
 
@@ -318,43 +365,66 @@ func fromStats(s rtrm.Stats) ManagerStats {
 	}
 }
 
-// ManagerStats snapshots every backend's epoch telemetry under the
-// epoch lock and merges it, so it is safe to call from any goroutine
-// while the kernel runs. Numeric counters sum across backends; Epochs
-// is the number of kernel epochs (with one backend this equals the
-// backend's own epoch count; with several, backends only run epochs
-// when apps placed on them contribute).
+// ManagerStats snapshots every backend's epoch telemetry and merges
+// it, so it is safe to call from any goroutine while the kernel runs.
+// Numeric counters sum across backends; Epochs is the number of kernel
+// epochs (with one backend this equals the backend's own epoch count;
+// with several, backends only run epochs when apps placed on them
+// contribute). Under Barrier and PerBackendClock the snapshot locks
+// each backend's commit mutex in turn; under OptimisticMerge it is a
+// lock-free seqlock read (see EpochProtocol, CommitLockReads).
 func (k *Kernel) ManagerStats() ManagerStats {
 	k.mu.Lock()
 	bks := k.backends
 	k.mu.Unlock()
-	k.epochMu.Lock()
-	defer k.epochMu.Unlock()
 	var out ManagerStats
-	for _, bs := range bks {
-		s := bs.be.Stats()
-		out.WorkGFlop += s.WorkGFlop
-		out.DeferredGFlop += s.DeferredGFlop
-		out.EnergyJ += s.EnergyJ
-		out.ThermalEvents += s.ThermalEvents
-		out.CapDemotions += s.CapDemotions
+	if EpochProtocol(k.protoActive.Load()) == OptimisticMerge {
+		for _, bs := range bks {
+			s, _ := bs.cell.snapshot()
+			out.WorkGFlop += s.WorkGFlop
+			out.DeferredGFlop += s.DeferredGFlop
+			out.EnergyJ += s.EnergyJ
+			out.ThermalEvents += s.ThermalEvents
+			out.CapDemotions += s.CapDemotions
+		}
+	} else {
+		k.commitLockReads.Add(1)
+		for _, bs := range bks {
+			bs.commitMu.Lock()
+			s := bs.be.Stats()
+			bs.commitMu.Unlock()
+			out.WorkGFlop += s.WorkGFlop
+			out.DeferredGFlop += s.DeferredGFlop
+			out.EnergyJ += s.EnergyJ
+			out.ThermalEvents += s.ThermalEvents
+			out.CapDemotions += s.CapDemotions
+		}
 	}
 	out.Epochs = int(k.epochs.Load())
 	return out
 }
 
-// BackendStats snapshots each backend's telemetry under the epoch
-// lock, in registration order.
+// BackendStats snapshots each backend's telemetry in registration
+// order, with the same per-protocol read discipline as ManagerStats.
 func (k *Kernel) BackendStats() []BackendStats {
 	k.mu.Lock()
 	bks := k.backends
 	k.mu.Unlock()
 	out := make([]BackendStats, len(bks))
-	k.epochMu.Lock()
-	for i, bs := range bks {
-		out[i] = BackendStats{Name: bs.name, ManagerStats: fromStats(bs.be.Stats())}
+	if EpochProtocol(k.protoActive.Load()) == OptimisticMerge {
+		for i, bs := range bks {
+			s, apps := bs.cell.snapshot()
+			out[i] = BackendStats{Name: bs.name, Apps: apps, Seq: bs.seq.Load(), ManagerStats: fromStats(s)}
+		}
+		return out
 	}
-	k.epochMu.Unlock()
+	k.commitLockReads.Add(1)
+	for i, bs := range bks {
+		bs.commitMu.Lock()
+		s := bs.be.Stats()
+		bs.commitMu.Unlock()
+		out[i] = BackendStats{Name: bs.name, Seq: bs.seq.Load(), ManagerStats: fromStats(s)}
+	}
 	k.loadMu.Lock()
 	for i, bs := range bks {
 		out[i].Apps = bs.apps
@@ -407,8 +477,27 @@ func (k *Kernel) Detach(name string) error {
 	}
 	k.apps = apps
 	delete(k.byName, name)
+	// The controller's drained final epoch may still commit totals; park
+	// it until the engine quiesces, then fold into detachedTotals.
+	k.pendingRetire = append(k.pendingRetire, gone)
 	k.membershipChangedLocked()
 	return nil
+}
+
+// foldRetiredLocked folds the totals of detached controllers into the
+// detachedTotals map. Callers hold k.mu and know the epoch engine is
+// quiescent (supervisor between generations, sync driver between
+// epochs, Stop after the supervisor exits) — a parked controller can
+// commit nothing further, so its total is final.
+func (k *Kernel) foldRetiredLocked() {
+	if len(k.pendingRetire) == 0 {
+		return
+	}
+	for _, ctl := range k.pendingRetire {
+		k.detachedTotals[ctl.Name()] += ctl.totalGFlop()
+	}
+	clear(k.pendingRetire)
+	k.pendingRetire = k.pendingRetire[:0]
 }
 
 // membershipChangedLocked bumps the membership epoch and wakes the
@@ -451,6 +540,7 @@ func (k *Kernel) refreshPlacementLocked() {
 		k.loadMu.Lock()
 		k.backends[0].apps = len(k.apps)
 		k.loadMu.Unlock()
+		k.backends[0].cell.publishApps(len(k.apps))
 		return
 	}
 	apps := make([]AppPlacement, len(k.apps))
@@ -473,6 +563,9 @@ func (k *Kernel) refreshPlacementLocked() {
 		bs.apps = counts[i]
 	}
 	k.loadMu.Unlock()
+	for i, bs := range k.backends {
+		bs.cell.publishApps(counts[i])
+	}
 }
 
 // backendLoads snapshots the placement view of bks into the kernel's
@@ -496,10 +589,14 @@ func (k *Kernel) backendLoads(bks []*backendSlot) []BackendLoad {
 }
 
 // EpochSignal subscribes to epoch completions: the returned channel
-// receives a coalesced wakeup after every kernel epoch (buffered one
-// deep — a slow consumer sees one pending signal, not a backlog).
-// cancel releases the subscription. With no subscribers the epoch path
-// pays a single atomic load.
+// receives a coalesced wakeup after every kernel epoch — and, under a
+// barrier-free protocol, after every individual backend commit, so a
+// late backend waking after the global epoch counter already moved
+// still wakes subscribers (buffered one deep — a slow consumer sees
+// one pending signal, not a backlog). cancel releases the
+// subscription. With no subscribers the epoch path pays a single
+// atomic load. Consumers that must distinguish which backend moved
+// key on BackendStats.Seq rather than the global epoch counter.
 func (k *Kernel) EpochSignal() (ch <-chan struct{}, cancel func()) {
 	c := make(chan struct{}, 1)
 	k.notifyMu.Lock()
@@ -582,22 +679,39 @@ func (k *Kernel) NumApps() int {
 
 // TotalFor returns one application's cumulative offered GFlop — the
 // O(1) read for per-app status endpoints, where TotalsPerApp's full
-// map copy under the epoch lock would be per-request O(apps).
+// map copy would be per-request O(apps). The total lives on the
+// controller as an atomic, so the read never touches a commit lock.
 func (k *Kernel) TotalFor(name string) float64 {
-	k.epochMu.Lock()
-	defer k.epochMu.Unlock()
-	return k.totals[name]
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	g := k.detachedTotals[name]
+	for _, ctl := range k.pendingRetire {
+		if ctl.Name() == name {
+			g += ctl.totalGFlop()
+		}
+	}
+	if ctl := k.byName[name]; ctl != nil {
+		g += ctl.totalGFlop()
+	}
+	return g
 }
 
 // TotalsPerApp returns the cumulative GFlop each application has
 // offered to the manager (the manager's own telemetry tracks how much
-// was executed vs deferred). Detached apps keep their entries.
+// was executed vs deferred). Detached apps keep their entries; an app
+// detached and re-attached under the same name sums both lifetimes.
 func (k *Kernel) TotalsPerApp() map[string]float64 {
-	k.epochMu.Lock()
-	defer k.epochMu.Unlock()
-	out := make(map[string]float64, len(k.totals))
-	for n, g := range k.totals {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[string]float64, len(k.detachedTotals)+len(k.apps))
+	for n, g := range k.detachedTotals {
 		out[n] = g
+	}
+	for _, ctl := range k.pendingRetire {
+		out[ctl.Name()] += ctl.totalGFlop()
+	}
+	for _, ctl := range k.apps {
+		out[ctl.Name()] += ctl.totalGFlop()
 	}
 	return out
 }
@@ -652,18 +766,21 @@ type contribution struct {
 }
 
 // execute runs one kernel epoch over the merged contributions. It is
-// the single funnel both driving modes go through; its callers are
-// serialized (see the scratch-field comment), so only the backend
-// epochs and the totals update need epochMu — merging stays outside
-// the lock where concurrent TotalsPerApp readers cannot stall an epoch
-// on it. OnEpoch callbacks run here: on the caller's goroutine in sync
-// mode, on the kernel's epoch-executor goroutine in concurrent mode.
+// the single funnel for the synchronous driver, the degenerate
+// single-shard concurrent mode and the Barrier-protocol executor; the
+// barrier-free protocols' concurrent mode dispatches to per-backend
+// commit goroutines instead (see dispatchEpochs). Its callers are
+// serialized (see the scratch-field comment); merging stays outside
+// any lock, and the commit locks cover only the backend epochs
+// themselves. OnEpoch callbacks run here: on the caller's goroutine
+// in sync mode, on the kernel's epoch-executor goroutine in
+// concurrent mode.
 func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 	var res EpochResult
 	if bks := k.epochBackends; len(bks) == 1 {
 		res = k.executeSingle(dt, contribs, bks[0])
 	} else {
-		res = k.executeRouted(dt, contribs, bks)
+		res = k.executeRouted(dt, contribs, bks, k.epochProto == Barrier)
 	}
 	for _, c := range contribs {
 		if c.ctl.spec.OnEpoch != nil {
@@ -674,10 +791,25 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 	return res
 }
 
+// commitEpoch runs one backend epoch under the backend's commit mutex
+// and republishes its seqlock cell — the commit invariant every
+// protocol shares (see EpochProtocol). The report lands in bs.report
+// (epoch-engine scratch); the sequence bump is last, after the stats
+// are visible to both reader disciplines.
+func commitEpoch(bs *backendSlot, dt float64, tasks []*simhpc.Task) {
+	bs.commitMu.Lock()
+	bs.report = bs.be.RunEpoch(dt, tasks)
+	bs.cell.publishStats(bs.be.Stats())
+	bs.commitMu.Unlock()
+	bs.seq.Add(1)
+}
+
 // executeSingle is the single-backend fast path: the pre-multi-backend
 // epoch, with no placement routing, no per-backend fan-out and no load
 // telemetry — one merge, one backend epoch, allocation-free on kernel
-// scratch.
+// scratch. With one backend there is nothing for a barrier to order,
+// so every protocol takes this same path; the backend's commit mutex
+// is the whole serial section.
 func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendSlot) EpochResult {
 	all := k.mergedTasks[:0]
 	// PerApp escapes to OnEpoch observers and RunEpoch callers, who may
@@ -685,13 +817,12 @@ func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendS
 	// cannot come from scratch.
 	perApp := make(map[string]float64, len(contribs))
 	for _, c := range contribs {
-		name := c.ctl.Name()
-		if _, ok := perApp[name]; !ok {
-			perApp[name] = 0 // every contributor appears, even with zero work
-		}
+		sum := 0.0
 		for _, t := range c.tasks {
-			perApp[name] += t.GFlop
+			sum += t.GFlop
 		}
+		perApp[c.ctl.Name()] += sum // every contributor appears, even with zero work
+		c.ctl.addTotal(sum)
 		all = append(all, c.tasks...)
 	}
 	// Zero the reused buffer's tail so one burst epoch's task pointers
@@ -699,45 +830,45 @@ func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendS
 	clear(all[len(all):cap(all)])
 	k.mergedTasks = all
 
-	k.epochMu.Lock()
-	rep := bs.be.RunEpoch(dt, all)
-	for name, g := range perApp {
-		k.totals[name] += g
-	}
+	commitEpoch(bs, dt, all)
 	epoch := k.epochs.Add(1)
-	k.epochMu.Unlock()
 
-	return EpochResult{Epoch: epoch, Report: rep, PerApp: perApp}
+	return EpochResult{Epoch: epoch, Report: bs.report, PerApp: perApp}
 }
 
 // executeRouted is the multi-backend epoch: partition the merged
 // acceptance batch by each contributing app's placed backend, then run
-// every contributing backend's epoch concurrently behind the same
-// barrier — the serial section stays one batch-merged epoch, not N
-// per-backend locks; backends without contributors this epoch do not
-// run. Afterwards the per-backend load telemetry feeds the placement
-// policy, and an EpochObserver policy may request the generation roll
-// that migrates an app.
-func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backendSlot) EpochResult {
+// every contributing backend's epoch concurrently; backends without
+// contributors this epoch do not run. Under the Barrier protocol
+// (global=true) the fan-out runs inside the global epochMu serial
+// section — the pre-protocol design, one batch-merged epoch at a time.
+// Under the per-backend-clock protocols (global=false) each backend
+// commits under only its own mutex; the call still waits for every
+// backend before returning, because its callers (the sync driver and
+// the degenerate single-shard loop) need the merged result — the
+// fully pipelined form lives in dispatchEpochs. Afterwards the
+// per-backend load telemetry feeds the placement policy, and an
+// EpochObserver policy may request the generation roll that migrates
+// an app.
+func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backendSlot, global bool) EpochResult {
 	perApp := make(map[string]float64, len(contribs))
 	for _, bs := range bks {
 		bs.tasks = bs.tasks[:0]
 		bs.active = false
 	}
 	for _, c := range contribs {
-		name := c.ctl.Name()
-		if _, ok := perApp[name]; !ok {
-			perApp[name] = 0
+		sum := 0.0
+		for _, t := range c.tasks {
+			sum += t.GFlop
 		}
+		perApp[c.ctl.Name()] += sum
+		c.ctl.addTotal(sum)
 		idx := int(c.ctl.backend.Load())
 		if idx < 0 || idx >= len(bks) {
 			idx = 0 // unplaced app mid-roll: route to the first backend
 		}
 		bs := bks[idx]
 		bs.active = true
-		for _, t := range c.tasks {
-			perApp[name] += t.GFlop
-		}
 		bs.tasks = append(bs.tasks, c.tasks...)
 	}
 	nActive := 0
@@ -748,11 +879,13 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 		}
 	}
 
-	k.epochMu.Lock()
+	if global {
+		k.epochMu.Lock()
+	}
 	if nActive == 1 {
 		for _, bs := range bks {
 			if bs.active {
-				bs.report = bs.be.RunEpoch(dt, bs.tasks)
+				commitEpoch(bs, dt, bs.tasks)
 			}
 		}
 	} else if nActive > 1 {
@@ -764,16 +897,15 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 			wg.Add(1)
 			go func(bs *backendSlot) {
 				defer wg.Done()
-				bs.report = bs.be.RunEpoch(dt, bs.tasks)
+				commitEpoch(bs, dt, bs.tasks)
 			}(bs)
 		}
 		wg.Wait()
 	}
-	for name, g := range perApp {
-		k.totals[name] += g
-	}
 	epoch := k.epochs.Add(1)
-	k.epochMu.Unlock()
+	if global {
+		k.epochMu.Unlock()
+	}
 
 	res := EpochResult{Epoch: epoch, PerApp: perApp}
 	if nActive > 0 {
@@ -817,10 +949,20 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 // executor drains merged epochs off the scheduler, keeping the manager
 // busy while the scheduler collects and releases the next round of
 // batches. The handoff channel is unbuffered, so a send completing
-// proves the previous epoch finished and its contribution buffer is
-// free for reuse — the scheduler double-buffers on that guarantee.
+// proves the executor is done reading the previous epoch's
+// contribution buffer (Barrier: the epoch ran; barrier-free: the
+// tasks were copied into per-backend lanes) and it is free for reuse —
+// the scheduler double-buffers on that guarantee. Under a barrier-free
+// protocol with several backends the executor becomes a dispatcher
+// over per-backend commit goroutines; it winds those down (and waits
+// for them) when execCh closes, so the generation-roll drain guarantee
+// covers every lane.
 func (k *Kernel) executor(execCh <-chan []contribution, dt float64, wg *sync.WaitGroup) {
 	defer wg.Done()
+	if bks := k.epochBackends; k.epochProto != Barrier && len(bks) > 1 {
+		k.dispatchEpochs(execCh, dt, bks)
+		return
+	}
 	for contribs := range execCh {
 		k.execute(dt, contribs)
 	}
@@ -849,6 +991,7 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 		k.mu.Unlock()
 		return EpochResult{}, fmt.Errorf("runtime: RunEpoch: %w", ErrNoBackends)
 	}
+	k.foldRetiredLocked()
 	k.refreshPlacementLocked()
 	// Safe to share the slice headers: Attach/AddBackend only append,
 	// and Detach replaces the app slice (copy-on-write) instead of
@@ -859,6 +1002,8 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 	if len(k.backends) > 1 {
 		k.epochObserver, _ = k.placement.(EpochObserver)
 	}
+	k.epochProto = k.protocol
+	k.protoActive.Store(int32(k.protocol))
 	k.mu.Unlock()
 
 	n := len(apps)
@@ -1021,6 +1166,7 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 	defer k.wg.Done()
 	for {
 		k.mu.Lock()
+		k.foldRetiredLocked()
 		k.refreshPlacementLocked()
 		apps := k.apps
 		bks := k.backends
@@ -1028,6 +1174,7 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 		if len(bks) > 1 {
 			obs, _ = k.placement.(EpochObserver)
 		}
+		proto := k.protocol
 		gen := k.memGen
 		changed := make(chan struct{})
 		k.memChanged = changed
@@ -1036,6 +1183,8 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 		// fully quiesced before the supervisor loops back here.
 		k.epochBackends = bks
 		k.epochObserver = obs
+		k.epochProto = proto
+		k.protoActive.Store(int32(proto))
 		k.servedGen.Store(gen)
 		if ctx.Err() != nil {
 			return
@@ -1168,6 +1317,7 @@ func (k *Kernel) Stop() {
 	k.cancel = nil
 	k.running = false
 	k.memChanged = nil // the supervisor that armed it is gone
+	k.foldRetiredLocked()
 	k.mu.Unlock()
 }
 

@@ -1,0 +1,509 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+func TestParseEpochProtocol(t *testing.T) {
+	for in, want := range map[string]EpochProtocol{
+		"":                  Barrier,
+		"barrier":           Barrier,
+		"clock":             PerBackendClock,
+		"per-backend-clock": PerBackendClock,
+		"optimistic":        OptimisticMerge,
+		"optimistic-merge":  OptimisticMerge,
+	} {
+		got, err := ParseEpochProtocol(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEpochProtocol(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("%v has no name", got)
+		}
+	}
+	if _, err := ParseEpochProtocol("2PL"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestStatsCellTornSnapshot: a reader that arrives while the seqlock
+// version is odd (write in progress) must not return the half-written
+// fields — it spins until the writer finishes, then returns the
+// post-write values.
+func TestStatsCellTornSnapshot(t *testing.T) {
+	var c statsCell
+	c.publishStats(rtrm.Stats{Epochs: 1, WorkGFlop: 10})
+	c.publishApps(3)
+
+	// Open a write by hand: version goes odd, then the fields change
+	// one at a time — the torn state snapshot must never expose.
+	c.ver.Add(1)
+	c.epochs.Store(2)
+
+	got := make(chan rtrm.Stats, 1)
+	go func() {
+		s, _ := c.snapshot()
+		got <- s
+	}()
+	select {
+	case s := <-got:
+		t.Fatalf("snapshot returned mid-write: %+v", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Complete the write; the parked reader must come back with the
+	// finished values, not the torn ones.
+	c.work.Store(math.Float64bits(20))
+	c.ver.Add(1)
+	select {
+	case s := <-got:
+		if s.Epochs != 2 || s.WorkGFlop != 20 {
+			t.Errorf("post-write snapshot: %+v, want epochs=2 work=20", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot never returned after write completed")
+	}
+}
+
+// TestStatsCellConsistency is the seqlock stress: one writer publishes
+// correlated fields (work = 2×epochs, thermal = 3×epochs) as fast as it
+// can while readers snapshot concurrently — any snapshot mixing two
+// publishes breaks the correlation.
+func TestStatsCellConsistency(t *testing.T) {
+	var c statsCell
+	done := make(chan struct{})
+	var wrote atomic.Int64
+	go func() {
+		defer close(done)
+		for n := int64(1); n <= 20000; n++ {
+			c.publishStats(rtrm.Stats{
+				Epochs:        int(n),
+				WorkGFlop:     float64(2 * n),
+				ThermalEvents: int(3 * n),
+			})
+			wrote.Store(n)
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s, _ := c.snapshot()
+				n := int64(s.Epochs)
+				if s.WorkGFlop != float64(2*n) || s.ThermalEvents != int(3*n) {
+					t.Errorf("torn snapshot: %+v", s)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if s, _ := c.snapshot(); int64(s.Epochs) != wrote.Load() {
+		t.Errorf("final snapshot epochs %d, want %d", s.Epochs, wrote.Load())
+	}
+}
+
+// protocolKernel builds a 2-backend kernel with two pinned apps and
+// the given protocol selected.
+func protocolKernel(t *testing.T, proto EpochProtocol) *Kernel {
+	t.Helper()
+	k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 15))
+	k.SetProtocol(proto)
+	for i := 0; i < 2; i++ {
+		spec := pinnedSpec(fmt.Sprintf("app%d", i), fmt.Sprintf("b%d", i), simhpc.NewWorkloadGen(uint64(7+i)), 2)
+		if _, err := k.Attach(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+// TestOptimisticReadsTakeNoCommitLocks asserts the property K8 trades
+// on: under OptimisticMerge, status reads (ManagerStats, BackendStats —
+// the /v1/epochs path) acquire zero commit locks; under Barrier and
+// PerBackendClock every status read takes one.
+func TestOptimisticReadsTakeNoCommitLocks(t *testing.T) {
+	k := protocolKernel(t, OptimisticMerge)
+	for e := 0; e < 3; e++ {
+		if _, err := k.RunEpoch(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := k.CommitLockReads()
+	var work float64
+	for i := 0; i < 50; i++ {
+		work = k.ManagerStats().WorkGFlop
+		_ = k.BackendStats()
+	}
+	if work <= 0 {
+		t.Error("optimistic reads saw no committed work")
+	}
+	if got := k.CommitLockReads() - base; got != 0 {
+		t.Errorf("optimistic status reads took %d commit locks, want 0", got)
+	}
+	for _, proto := range []EpochProtocol{Barrier, PerBackendClock} {
+		k.SetProtocol(proto)
+		base = k.CommitLockReads()
+		_ = k.ManagerStats()
+		_ = k.BackendStats()
+		if got := k.CommitLockReads() - base; got != 2 {
+			t.Errorf("%s: status reads took %d commit locks, want 2", proto, got)
+		}
+	}
+}
+
+// TestBackendSeqAdvancesPerCommit: every backend commit bumps that
+// backend's sequence number, under every protocol — the counter the
+// control plane's SSE coalescing keys on.
+func TestBackendSeqAdvancesPerCommit(t *testing.T) {
+	for _, proto := range []EpochProtocol{Barrier, PerBackendClock, OptimisticMerge} {
+		t.Run(proto.String(), func(t *testing.T) {
+			k := protocolKernel(t, proto)
+			const epochs = 4
+			for e := 0; e < epochs; e++ {
+				if _, err := k.RunEpoch(60); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, st := range k.BackendStats() {
+				if st.Seq != epochs {
+					t.Errorf("%s: seq %d, want %d (one per commit)", st.Name, st.Seq, epochs)
+				}
+			}
+		})
+	}
+}
+
+// gatedBackend wraps a Backend so a test can hold one backend's commit
+// open: once armed, the next RunEpoch announces itself on entered and
+// blocks until gate closes.
+type gatedBackend struct {
+	Backend
+	armed   atomic.Bool
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (g *gatedBackend) RunEpoch(dt float64, offered []*simhpc.Task) rtrm.EpochReport {
+	if g.armed.CompareAndSwap(true, false) {
+		g.entered <- struct{}{}
+		<-g.gate
+	}
+	return g.Backend.RunEpoch(dt, offered)
+}
+
+// TestEpochSignalPerBackendCommit is the missed-wakeup regression test
+// for the barrier-free signal path. Under a per-backend-clock engine
+// the dispatcher advances the global epoch counter when it hands a
+// batch to a backend lane, possibly epochs before that backend commits.
+// If epoch signals fired from the dispatcher (keyed to the global
+// counter), a subscriber that drained its channel while a backend's
+// commit was stalled would never learn about that commit — the counter
+// already moved. The fix is that only backend workers signal, once per
+// commit. The test stalls b0's commit until the pipeline is quiet,
+// drains every signal, then releases the commit and requires a fresh
+// wakeup plus a b0 sequence advance. OptimisticMerge keeps the status
+// reads lock-free so the test can observe Seq while b0's commit mutex
+// is held.
+func TestEpochSignalPerBackendCommit(t *testing.T) {
+	gated := &gatedBackend{
+		Backend: testManagerAt(2, 15),
+		entered: make(chan struct{}, 1),
+		gate:    make(chan struct{}),
+	}
+	k := NewKernel()
+	if err := k.AddBackend("b0", gated); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddBackend("b1", testManagerAt(2, 15)); err != nil {
+		t.Fatal(err)
+	}
+	k.SetProtocol(OptimisticMerge)
+	for i := 0; i < 2; i++ {
+		spec := pinnedSpec(fmt.Sprintf("app%d", i), fmt.Sprintf("b%d", i), simhpc.NewWorkloadGen(uint64(7+i)), 2)
+		if _, err := k.Attach(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var release sync.Once
+	open := func() { release.Do(func() { close(gated.gate) }) }
+	defer open()
+
+	if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	waitFor(t, "warm-up epochs", func() bool { return k.Epochs() >= 3 })
+
+	ch, cancel := k.EpochSignal()
+	defer cancel()
+	gated.armed.Store(true)
+	select {
+	case <-gated.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("b0 never entered its gated commit")
+	}
+	// b0's worker is inside RunEpoch holding b0's commit mutex. The
+	// dispatcher runs ahead a bounded number of epochs, b1 drains what
+	// it was handed, then the pipeline is still. Drain every signal
+	// from that tail.
+	for quiet := false; !quiet; {
+		select {
+		case <-ch:
+		case <-time.After(300 * time.Millisecond):
+			quiet = true
+		}
+	}
+	seqStalled := int64(-1)
+	for _, st := range k.BackendStats() {
+		if st.Name == "b0" {
+			seqStalled = st.Seq
+		}
+	}
+	epochsStalled := k.Epochs()
+
+	open() // b0 commits now
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("missed wakeup: b0's commit after the stall produced no signal (epochs %d)", k.Epochs())
+	}
+	waitFor(t, "b0 seq advance", func() bool {
+		for _, st := range k.BackendStats() {
+			if st.Name == "b0" {
+				return st.Seq > seqStalled
+			}
+		}
+		return false
+	})
+	// Sanity: the global counter had indeed run ahead of b0's commit
+	// while it was stalled, so the wakeup cannot be attributed to an
+	// epoch-counter edge.
+	if epochsStalled <= seqStalled {
+		t.Errorf("global epochs %d did not run ahead of b0 seq %d: stall never decoupled them", epochsStalled, seqStalled)
+	}
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProtocolMembershipChurnRace is the membership × protocol -race
+// matrix: per protocol, four churners attach/detach pinned and
+// unhinted apps against a 2-backend kernel while telemetry flows and a
+// fifth goroutine flips the kernel between all three protocols — every
+// flip rolls a generation, which is exactly the forced-Barrier
+// quiesce/migration path.
+func TestProtocolMembershipChurnRace(t *testing.T) {
+	for _, proto := range []EpochProtocol{Barrier, PerBackendClock, OptimisticMerge} {
+		t.Run(proto.String(), func(t *testing.T) {
+			k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 15))
+			k.SetProtocol(proto)
+			baseInbox := &Inbox{}
+			baseSpec := simpleSpec("base", simhpc.NewWorkloadGen(51), 2)
+			baseSpec.Sensor = baseInbox
+			if _, err := k.Attach(baseSpec); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			// The helpers get their own context: canceling it stops the
+			// producer, reader and flipper without tearing the kernel down.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			go func() {
+				for ctx.Err() == nil {
+					baseInbox.Push(monitor.MetricLatency, 0.2)
+					time.Sleep(200 * time.Microsecond)
+				}
+			}()
+			readerDone := make(chan struct{})
+			go func() {
+				defer close(readerDone)
+				for ctx.Err() == nil {
+					_ = k.ManagerStats()
+					_ = k.BackendStats()
+					_ = k.TotalsPerApp()
+					time.Sleep(500 * time.Microsecond)
+				}
+			}()
+			flipDone := make(chan struct{})
+			go func() {
+				defer close(flipDone)
+				protos := []EpochProtocol{Barrier, PerBackendClock, OptimisticMerge}
+				for i := 0; ctx.Err() == nil; i++ {
+					k.SetProtocol(protos[i%len(protos)])
+					time.Sleep(3 * time.Millisecond)
+				}
+			}()
+
+			const churners = 4
+			const cycles = 10
+			var wg sync.WaitGroup
+			for c := 0; c < churners; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					name := fmt.Sprintf("churn%d", c)
+					hint := ""
+					if c%2 == 0 {
+						hint = fmt.Sprintf("b%d", c/2)
+					}
+					gen := simhpc.NewWorkloadGen(uint64(60 + c))
+					for i := 0; i < cycles; i++ {
+						if _, err := k.Attach(pinnedSpec(name, hint, gen, 1)); err != nil {
+							t.Errorf("churn attach %s: %v", name, err)
+							return
+						}
+						time.Sleep(time.Duration(c+1) * time.Millisecond)
+						if err := k.Detach(name); err != nil {
+							t.Errorf("churn detach %s: %v", name, err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			cancel()
+			<-flipDone
+			<-readerDone
+			k.SetProtocol(proto) // settle back to the subtest's protocol
+			waitServed(t, k)
+			epochs := k.Epochs()
+			waitFor(t, "epochs after churn", func() bool { return k.Epochs() > epochs })
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if apps := k.Apps(); len(apps) != 1 || apps[0].Name() != "base" {
+				t.Errorf("leftover membership after churn: %d apps", len(apps))
+			}
+			totals := k.TotalsPerApp()
+			for c := 0; c < churners; c++ {
+				if totals[fmt.Sprintf("churn%d", c)] <= 0 {
+					t.Errorf("churn%d's drained work was lost across detach", c)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelDetachDrainPerBackendProtocols re-runs the per-backend
+// detach-drain guarantee (an app detached with its workload mid-flight
+// on one backend drains into that backend's final epoch) under the
+// barrier-free protocols — the drain path is the generation wind-down,
+// which is the protocols' one global synchronization point.
+func TestKernelDetachDrainPerBackendProtocols(t *testing.T) {
+	for _, proto := range []EpochProtocol{PerBackendClock, OptimisticMerge} {
+		t.Run(proto.String(), func(t *testing.T) {
+			k := NewKernel(testManagerAt(2, 15), testManagerAt(2, 15))
+			k.SetProtocol(proto)
+			gen := simhpc.NewWorkloadGen(29)
+			var genMu sync.Mutex
+			started := make(chan struct{}, 64)
+			slow := AppSpec{
+				Name:    "slow",
+				Backend: "b1",
+				Workload: func() ([]*simhpc.Task, error) {
+					select {
+					case started <- struct{}{}:
+					default:
+					}
+					time.Sleep(50 * time.Millisecond)
+					genMu.Lock()
+					defer genMu.Unlock()
+					return gen.Mix(1, 1, 1, 1, 4), nil
+				},
+			}
+			if _, err := k.Attach(slow); err != nil {
+				t.Fatal(err)
+			}
+			fast := AppSpec{
+				Name:    "fast",
+				Backend: "b0",
+				Workload: func() ([]*simhpc.Task, error) {
+					genMu.Lock()
+					defer genMu.Unlock()
+					return gen.Mix(1, 1, 1, 1, 4), nil
+				},
+			}
+			if _, err := k.Attach(fast); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Start(context.Background(), Options{Flush: 5 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			<-started
+			if err := k.Detach("slow"); err != nil {
+				t.Fatal(err)
+			}
+			waitServed(t, k)
+			epochs := k.Epochs()
+			waitFor(t, "survivor epochs", func() bool { return k.Epochs() >= epochs+5 })
+			if k.TotalsPerApp()["slow"] <= 0 {
+				t.Error("detached app's drained work was dropped")
+			}
+			var b1 BackendStats
+			for _, st := range k.BackendStats() {
+				if st.Name == "b1" {
+					b1 = st
+				}
+			}
+			if b1.WorkGFlop <= 0 {
+				t.Errorf("b1 never ran the detaching app's drained batch: %+v", b1)
+			}
+			if k.TotalsPerApp()["fast"] <= 0 {
+				t.Error("survivor contributed no work")
+			}
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestProtocolsAgreeOnTotals: the same deterministic workload run
+// under each protocol lands the same cumulative work — protocol choice
+// affects synchronization, never accounting.
+func TestProtocolsAgreeOnTotals(t *testing.T) {
+	totals := map[EpochProtocol]float64{}
+	for _, proto := range []EpochProtocol{Barrier, PerBackendClock, OptimisticMerge} {
+		k := protocolKernel(t, proto)
+		for e := 0; e < 5; e++ {
+			if _, err := k.RunEpoch(60); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sum float64
+		for _, v := range k.TotalsPerApp() {
+			sum += v
+		}
+		totals[proto] = sum
+		if sum <= 0 {
+			t.Fatalf("%s: no work accounted", proto)
+		}
+	}
+	if totals[PerBackendClock] != totals[Barrier] || totals[OptimisticMerge] != totals[Barrier] {
+		t.Errorf("protocols disagree on totals: %v", totals)
+	}
+}
