@@ -1018,6 +1018,92 @@ func BenchmarkEpochProtocols(b *testing.B) {
 	}
 }
 
+// BenchmarkBackendEvacuation (K9) prices the failure domain: the K7
+// placement shape (64 apps, live producers) while a churner drains,
+// removes and re-adds one backend in a continuous cycle and every
+// commit runs under a backend deadline (the guarded commitBounded path
+// — goroutine, timer and batch copy — instead of K7's synchronous
+// fast path). Each drain migrates the victim's 64/nBackends pinned
+// apps to the survivors at a generation boundary; each re-add brings
+// them home. The CI gate holds steady-state epoch cost within 1.5× of
+// BenchmarkKernelPlacement/backends=2 from the same run: lifecycle
+// churn plus the deadline guard must stay a placement-grade tax, not a
+// stop-the-world event. Reported evacuations/s counts completed
+// remove+re-add cycles.
+func BenchmarkBackendEvacuation(b *testing.B) {
+	const nApps = 64
+	mkBackend := func(nBackends, bIdx int) kernelrt.Backend {
+		rng := simhpc.NewRNG(uint64(61 + bIdx))
+		cluster := simhpc.NewCluster(16/nBackends, 24, func(i int) *simhpc.Node {
+			return simhpc.HomogeneousNode(fmt.Sprintf("b%d-n%d", bIdx, i), 0.15, rng)
+		})
+		return rtrm.NewManager(cluster, cluster.FacilityPowerW(1)*0.9)
+	}
+	run := func(b *testing.B, proto kernelrt.EpochProtocol, nBackends int) {
+		k, inboxes := benchKernelBackends(nApps, nBackends)
+		k.SetProtocol(proto)
+		k.SetBackendTimeout(2 * time.Second)
+		interval := 200 * time.Microsecond
+		const producerBatch = 10
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for _, in := range inboxes {
+			go func(in *kernelrt.Inbox) {
+				for ctx.Err() == nil {
+					for i := 0; i < producerBatch; i++ {
+						in.Push(monitor.MetricLatency, 0.2)
+					}
+					time.Sleep(producerBatch * interval)
+				}
+			}(in)
+		}
+		var cycles atomic.Int64
+		churnDone := make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			for victim := 1; ctx.Err() == nil; victim = 1 + victim%(nBackends-1) {
+				name := fmt.Sprintf("b%d", victim)
+				if err := k.RemoveBackend(name); err != nil {
+					continue // racing shutdown
+				}
+				if err := k.AddBackend(name, mkBackend(nBackends, victim)); err != nil {
+					return
+				}
+				cycles.Add(1)
+				// ~50 lifecycle cycles/s: each remove+re-add is two full
+				// generation rolls (topology rebuild, lane teardown under
+				// clock/optimistic); unpaced, the churner alone saturates
+				// the roll path and the measurement stops being
+				// steady-state-epochs-under-churn.
+				time.Sleep(20 * time.Millisecond)
+			}
+		}()
+		b.ResetTimer()
+		if err := k.Start(ctx, kernelrt.Options{EpochDt: 60, Flush: 2 * time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		target := int64(b.N)
+		for k.Epochs() < target {
+			time.Sleep(100 * time.Microsecond)
+		}
+		k.Stop()
+		b.StopTimer()
+		cancel()
+		<-churnDone
+		if err := k.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cycles.Load())/b.Elapsed().Seconds(), "evacuations/s")
+	}
+	for _, proto := range []kernelrt.EpochProtocol{kernelrt.Barrier, kernelrt.PerBackendClock, kernelrt.OptimisticMerge} {
+		for _, nBackends := range []int{2, 4} {
+			b.Run(fmt.Sprintf("protocol=%s/backends=%d", proto, nBackends), func(b *testing.B) {
+				run(b, proto, nBackends)
+			})
+		}
+	}
+}
+
 // mkIngestKernel builds the small kernel the ingest benchmarks (K5,
 // K6) register their app against.
 func mkIngestKernel() *kernelrt.Kernel {

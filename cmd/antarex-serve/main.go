@@ -11,6 +11,7 @@
 //	curl -s localhost:8077/healthz
 //	curl -s localhost:8077/v1/backends
 //	curl -s -X POST localhost:8077/v1/backends -d '{"name":"edge","nodes":4,"ambient_c":30}'
+//	curl -s -X DELETE localhost:8077/v1/backends/edge    # drain + remove (apps evacuate)
 //	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","placement":"b1","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"levels":[1,0.5,0.25]}'
 //	curl -s -X POST localhost:8077/v1/apps/web/observations -d '{"samples":[{"metric":"latency","value":2.2}]}'
 //	curl -s localhost:8077/v1/epochs
@@ -87,6 +88,8 @@ func main() {
 		epochDt   = flag.Float64("epoch-dt", 60, "simulated seconds per manager epoch")
 		flush     = flag.Duration("flush", 20*time.Millisecond, "epoch scheduler straggler flush bound")
 		interval  = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
+		beTimeout = flag.Duration("backend-timeout", 2*time.Second, "per-backend commit deadline before the slot is marked degraded and evacuated (0 = disabled)")
+		shutdownT = flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful HTTP shutdown; connections still open after it (e.g. SSE streams) are closed forcibly")
 	)
 	flag.Parse()
 
@@ -106,9 +109,24 @@ func main() {
 		log.Fatalf("antarex-serve: %v", err)
 	}
 	kernel.SetProtocol(proto)
+	kernel.SetBackendTimeout(*beTimeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Log backend state transitions (panic → failed, stall → degraded,
+	// drain/remove lifecycle) as they happen; the channel dies with the
+	// process, no cleanup needed.
+	events, _ := kernel.BackendEvents()
+	go func() {
+		for ev := range events {
+			if ev.Reason != "" {
+				log.Printf("antarex-serve: backend %s: %s/%s (%s)", ev.Backend, ev.State, ev.Health, ev.Reason)
+			} else {
+				log.Printf("antarex-serve: backend %s: %s/%s", ev.Backend, ev.State, ev.Health)
+			}
+		}
+	}()
 	if err := kernel.Start(ctx, runtime.Options{
 		EpochDt:  *epochDt,
 		Flush:    *flush,
@@ -128,9 +146,16 @@ func main() {
 	}
 	go func() {
 		<-ctx.Done()
-		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain, bounded: Shutdown alone waits forever on a
+		// stream client that never closes (the SSE feed is endless by
+		// design), so after -shutdown-timeout the remaining connections
+		// are closed forcibly.
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownT)
 		defer cancel()
-		_ = srv.Shutdown(shctx)
+		if err := srv.Shutdown(shctx); err != nil {
+			log.Printf("antarex-serve: graceful shutdown expired after %v: %v; closing open connections", *shutdownT, err)
+			_ = srv.Close()
+		}
 	}()
 
 	auth := "open"

@@ -30,7 +30,7 @@ import (
 
 // experimentOrder is the "all" sequence; experiments maps names to
 // runnable experiments (the dispatch table exercised by main_test.go).
-var experimentOrder = []string{"efficiency", "variability", "governor", "pue", "powercap", "docking", "kernel"}
+var experimentOrder = []string{"efficiency", "variability", "governor", "pue", "powercap", "docking", "kernel", "chaos"}
 
 var experiments = map[string]func(){
 	"efficiency":  efficiency,
@@ -40,6 +40,7 @@ var experiments = map[string]func(){
 	"powercap":    powercap,
 	"docking":     docking,
 	"kernel":      kernelDemo,
+	"chaos":       chaos,
 }
 
 // runExperiment dispatches one experiment (or "all"), returning an

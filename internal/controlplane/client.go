@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
@@ -75,39 +76,100 @@ func apiError(resp *http.Response) error {
 	return &APIError{Status: resp.StatusCode, Msg: eb.Error}
 }
 
+// Retry policy for idempotent requests: a plane mid-restart or a
+// draining backend answers with connection-refused or 429/502/503 for
+// a moment, and a read-only caller should ride that out instead of
+// surfacing an instant error. Writes are never retried here — only the
+// stream's Flush re-dials, where the client owns delivery accounting.
+const (
+	retryAttempts = 4 // 1 initial + 3 retries
+	retryBase     = 50 * time.Millisecond
+	retryCap      = 500 * time.Millisecond
+)
+
+// retryable reports whether an attempt's failure is worth retrying:
+// any transport error (connection refused, reset — the request never
+// ran or its response was lost) or a 429/502/503 (explicit back-off
+// statuses). 4xx correctness errors and 5xx other than 502/503 stand.
+func retryable(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.Status == http.StatusTooManyRequests ||
+			api.Status == http.StatusBadGateway ||
+			api.Status == http.StatusServiceUnavailable
+	}
+	return err != nil
+}
+
+// retrySleep sleeps the n-th (0-based) backoff step: exponential from
+// retryBase, capped at retryCap, with ±25% jitter so synchronized
+// clients spread out.
+func retrySleep(n int) {
+	d := retryBase << n
+	if d > retryCap {
+		d = retryCap
+	}
+	jitter := time.Duration(rand.Int64N(int64(d) / 2))
+	time.Sleep(d*3/4 + jitter)
+}
+
 // do runs one request: in (when non-nil) is marshalled as the JSON
-// body, out (when non-nil) receives the decoded 2xx response.
+// body, out (when non-nil) receives the decoded 2xx response. GETs are
+// retried with capped exponential backoff + jitter on transport errors
+// and 429/502/503 (see retryable); mutating requests run exactly once.
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		data, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("controlplane: marshal %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
+	attempts := 1
+	if method == http.MethodGet {
+		attempts = retryAttempts
 	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	c.authorize(req)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return apiError(resp)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("controlplane: decode %s %s: %w", method, path, err)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			retrySleep(attempt - 1)
 		}
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequest(method, c.base+path, body)
+		if err != nil {
+			return fmt.Errorf("controlplane: %s %s: %w", method, path, err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		c.authorize(req)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("controlplane: %s %s: %w", method, path, err)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			lastErr = apiError(resp)
+			resp.Body.Close()
+			if !retryable(lastErr) {
+				return lastErr
+			}
+			continue
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				resp.Body.Close()
+				return fmt.Errorf("controlplane: decode %s %s: %w", method, path, err)
+			}
+		}
+		resp.Body.Close()
+		return nil
 	}
-	return nil
+	return lastErr
 }
 
 // Register attaches an application (POST /v1/apps).
@@ -172,36 +234,54 @@ const wireContentType = "application/x-antarex-wire"
 // connection on every Flush — until Close, which also collects the
 // server's terminal ack. The writer multiplexes any number of
 // registered apps over one stream.
+//
+// A Flush that fails on a transport error or a 429/502/503 re-dials
+// the stream (bounded retries, capped backoff) and re-sends the
+// still-buffered samples — a plane restart mid-stream costs a pause,
+// not the agent. Samples of earlier, already-written flushes are NOT
+// re-sent: the stream acks only at Close, so delivery of a flushed
+// frame on a stream that later died is at-most-once (the Close error
+// reports the loss); the failed flush's own samples are retried and
+// may, in the worst case of a connection dying mid-write, arrive
+// twice.
 func (c *Client) Stream() (*ObservationWriter, error) {
-	pr, pw := io.Pipe()
-	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/stream", pr)
-	if err != nil {
-		pw.Close()
-		return nil, fmt.Errorf("controlplane: POST /v1/stream: %w", err)
-	}
-	req.Header.Set("Content-Type", wireContentType)
-	c.authorize(req)
-	// The configured client's overall timeout would sever a long-lived
-	// stream mid-flight; strip it for this one request (dial and TLS
-	// setup still bound by the transport).
-	hc := *c.hc
-	hc.Timeout = 0
 	w := &ObservationWriter{
-		pw:   pw,
-		enc:  wire.NewEncoder(),
-		idx:  make(map[string]int),
-		resp: make(chan streamResponse, 1),
+		idx: make(map[string]int),
 	}
-	go func() {
-		resp, err := hc.Do(req)
+	w.dial = func() (*io.PipeWriter, chan streamResponse, error) {
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/stream", pr)
 		if err != nil {
-			// Unblock any in-flight Flush write before reporting.
-			pr.CloseWithError(err)
-			w.resp <- streamResponse{err: fmt.Errorf("controlplane: POST /v1/stream: %w", err)}
-			return
+			pw.Close()
+			return nil, nil, fmt.Errorf("controlplane: POST /v1/stream: %w", err)
 		}
-		w.resp <- streamResponse{resp: resp}
-	}()
+		req.Header.Set("Content-Type", wireContentType)
+		c.authorize(req)
+		// The configured client's overall timeout would sever a
+		// long-lived stream mid-flight; strip it for this one request
+		// (dial and TLS setup still bound by the transport).
+		hc := *c.hc
+		hc.Timeout = 0
+		resp := make(chan streamResponse, 1)
+		go func() {
+			r, err := hc.Do(req)
+			if err != nil {
+				// Unblock any in-flight Flush write before reporting.
+				pr.CloseWithError(err)
+				resp <- streamResponse{err: fmt.Errorf("controlplane: POST /v1/stream: %w", err)}
+				return
+			}
+			resp <- streamResponse{resp: r}
+		}()
+		return pw, resp, nil
+	}
+	pw, resp, err := w.dial()
+	if err != nil {
+		return nil, err
+	}
+	w.pw = pw
+	w.resp = resp
+	w.enc = wire.NewEncoder()
 	return w, nil
 }
 
@@ -225,6 +305,8 @@ type streamResponse struct {
 type ObservationWriter struct {
 	pw   *io.PipeWriter
 	resp chan streamResponse
+	// dial re-opens the stream after a redialable failure (see Stream).
+	dial func() (*io.PipeWriter, chan streamResponse, error)
 
 	mu      sync.Mutex
 	enc     *wire.Encoder
@@ -288,29 +370,72 @@ func (w *ObservationWriter) flushLocked() error {
 	if w.total == 0 {
 		return nil
 	}
-	frames := w.frames[:0]
-	for i := range w.pending {
-		b := &w.pending[i]
-		if len(b.samples) == 0 {
-			continue
+	for attempt := 0; ; attempt++ {
+		// Encode every buffered batch, keeping the samples: they are only
+		// dropped once the transport write succeeds, so a failed write
+		// can re-encode them for a fresh stream (whose decoder starts
+		// with empty per-stream name dictionaries — hence the fresh
+		// wire.Encoder on re-dial).
+		frames := w.frames[:0]
+		for i := range w.pending {
+			b := &w.pending[i]
+			if len(b.samples) == 0 {
+				continue
+			}
+			var err error
+			frames, err = w.enc.AppendFrame(frames, b.app, b.samples)
+			if err != nil {
+				// Encode errors (oversized name/frame) are client bugs; the
+				// stream is dead — nothing partially encoded was written, so
+				// the receiver's dictionaries stay consistent.
+				w.err = err
+				return w.err
+			}
 		}
-		var err error
-		frames, err = w.enc.AppendFrame(frames, b.app, b.samples)
-		if err != nil {
-			// Encode errors (oversized name/frame) are client bugs; the
-			// stream is dead — nothing partially encoded was written, so
-			// the receiver's dictionaries stay consistent.
+		w.frames = frames
+		_, err := w.pw.Write(frames)
+		if err == nil {
+			for i := range w.pending {
+				w.pending[i].samples = w.pending[i].samples[:0]
+			}
+			w.total = 0
+			return nil
+		}
+		err = w.terminalError(err)
+		if !retryable(err) || attempt >= retryAttempts-1 {
 			w.err = err
 			return w.err
 		}
-		b.samples = b.samples[:0]
+		retrySleep(attempt)
+		if rerr := w.redialLocked(); rerr != nil {
+			w.err = err // surface the stream failure, not the dial's
+			return w.err
+		}
 	}
-	w.frames = frames
-	w.total = 0
-	if _, err := w.pw.Write(frames); err != nil {
-		w.err = w.terminalError(err)
-		return w.err
+}
+
+// redialLocked replaces the dead stream with a fresh one: new pipe and
+// request, and a new encoder — frame name dictionaries are per stream,
+// so the old encoder's interned names would be garbage to the new
+// decoder. Callers hold w.mu and have consumed the old stream's
+// terminal response (terminalError marks done).
+func (w *ObservationWriter) redialLocked() error {
+	w.pw.Close()
+	if !w.done {
+		// The old request goroutine may still be waiting on its response;
+		// reap it so nothing leaks.
+		if sr := <-w.resp; sr.resp != nil {
+			sr.resp.Body.Close()
+		}
 	}
+	pw, resp, err := w.dial()
+	if err != nil {
+		return err
+	}
+	w.pw = pw
+	w.resp = resp
+	w.enc = wire.NewEncoder()
+	w.done = false
 	return nil
 }
 
@@ -405,6 +530,19 @@ func (c *Client) Backends() ([]BackendStatus, error) {
 func (c *Client) AddBackend(spec BackendSpec) (BackendStatus, error) {
 	var st BackendStatus
 	err := c.do(http.MethodPost, "/v1/backends", spec, &st)
+	return st, err
+}
+
+// RemoveBackend drains and deletes a backend
+// (DELETE /v1/backends/{id}). The returned status is "removed" when
+// the drain completed within the request, or "draining" (202) when the
+// evacuation is still in flight — watch Backends or the SSE stream for
+// completion. 404 for unknown names, 409 while another drain of the
+// same backend is in flight or when the backend is the last
+// schedulable one.
+func (c *Client) RemoveBackend(name string) (BackendStatus, error) {
+	var st BackendStatus
+	err := c.do(http.MethodDelete, "/v1/backends/"+url.PathEscape(name), nil, &st)
 	return st, err
 }
 

@@ -168,6 +168,7 @@ func NewServer(k *runtime.Kernel, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/epochs/stream", s.handleEpochStream)
 	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
 	s.mux.HandleFunc("POST /v1/backends", s.auth(s.handleAddBackend))
+	s.mux.HandleFunc("DELETE /v1/backends/{id}", s.auth(s.handleRemoveBackend))
 	s.mux.HandleFunc("POST /v1/apps", s.auth(s.handleRegister))
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/apps/{id}", s.handleApp)
@@ -214,6 +215,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, runtime.ErrEmptyAppName):
 		code = http.StatusBadRequest
+	case errors.Is(err, runtime.ErrUnknownBackend):
+		code = http.StatusNotFound
+	case errors.Is(err, runtime.ErrBackendDraining), errors.Is(err, runtime.ErrLastBackend):
+		code = http.StatusConflict
 	}
 	writeJSON(w, code, ErrorBody{Error: err.Error()})
 }
@@ -784,6 +789,7 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 		Samples:     ra.samples.Load(),
 		Level:       ra.level(),
 		Backend:     s.kernel.AppBackend(ra.spec.Name),
+		Error:       ra.ctl.LastError(),
 	}
 }
 
@@ -824,6 +830,9 @@ func (s *Server) backendStatuses() []BackendStatus {
 			Name:          st.Name,
 			Apps:          st.Apps,
 			Seq:           st.Seq,
+			Health:        st.Health.String(),
+			State:         st.State,
+			LastError:     st.LastErr,
 			Epochs:        st.Epochs,
 			WorkGFlop:     st.WorkGFlop,
 			DeferredGFlop: st.DeferredGFlop,
@@ -864,8 +873,12 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 // 250, 0 = every epoch signal) so a kernel running epochs at
 // microsecond pace cannot flood the connection. Clients watch the
 // stream instead of polling /v1/epochs; the subscription costs the
-// epoch hot path a single atomic load. The stream ends only when the
-// client disconnects.
+// epoch hot path a single atomic load. Backend state transitions
+// (failed, degraded, healed, draining, removed) arrive as separate
+// "backend" events, immediately — a failure bypasses the interval
+// throttle, because the throttle exists for epoch cadence, not for
+// rare state changes an operator is waiting on. The stream ends only
+// when the client disconnects.
 func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -883,6 +896,8 @@ func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 	}
 	sig, cancel := s.kernel.EpochSignal()
 	defer cancel()
+	bev, bcancel := s.kernel.BackendEvents()
+	defer bcancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -930,6 +945,25 @@ func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return nil
 	}
+	sendBackend := func(ev runtime.BackendEvent) error {
+		body := BackendEventBody{
+			Backend: ev.Backend,
+			Health:  ev.Health.String(),
+			State:   ev.State,
+			Reason:  ev.Reason,
+		}
+		if _, err := io.WriteString(w, "event: backend\ndata: "); err != nil {
+			return err
+		}
+		if err := enc.Encode(body); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		fl.Flush()
+		return nil
+	}
 	if err := send(); err != nil { // initial snapshot, before any epoch
 		return
 	}
@@ -938,16 +972,31 @@ func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-done:
 			return
+		case ev := <-bev:
+			if err := sendBackend(ev); err != nil {
+				return
+			}
+			continue
 		case <-sig:
 		}
 		if interval > 0 {
 			// Throttle: coalesce the epochs that land inside the window.
+			// Backend transitions still cut through mid-window.
 			t := time.NewTimer(interval)
-			select {
-			case <-done:
-				t.Stop()
-				return
-			case <-t.C:
+		throttle:
+			for {
+				select {
+				case <-done:
+					t.Stop()
+					return
+				case ev := <-bev:
+					if err := sendBackend(ev); err != nil {
+						t.Stop()
+						return
+					}
+				case <-t.C:
+					break throttle
+				}
 			}
 		}
 		if err := send(); err != nil {
@@ -962,8 +1011,8 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 
 // handleAddBackend declares a new backend (POST /v1/backends): a
 // simulated cluster under its own manager joins the kernel's routing
-// set at the next epoch boundary. Backends cannot be removed, and
-// names must be unique (409 on duplicate).
+// set at the next epoch boundary. Names must be unique among live
+// backends (409 on duplicate); a removed backend's name is reusable.
 func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
 	var spec BackendSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
@@ -989,13 +1038,54 @@ func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, BackendStatus{Name: spec.Name})
 }
 
+// handleRemoveBackend drains and deletes a backend
+// (DELETE /v1/backends/{id}). Admission is synchronous — unknown names
+// 404, a concurrent drain or the last schedulable backend 409 — while
+// the drain itself (evacuating the placed apps at a generation
+// boundary) runs in the background: the response is 202 with the
+// backend's draining status, and the SSE stream's "backend" events
+// report the drained/removed transitions. Deleting an already-removed
+// name is a 404, which makes the call safely retryable: a retry after
+// a lost response gets the 404 and knows the backend is gone.
+func (s *Server) handleRemoveBackend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	done, err := s.kernel.RemoveBackendAsync(name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Give a fast drain (idle kernel) a moment to finish, so callers of
+	// a quiesced plane observe the remove synchronously.
+	select {
+	case <-done:
+		writeJSON(w, http.StatusOK, BackendStatus{Name: name, State: "removed"})
+		return
+	case <-time.After(50 * time.Millisecond):
+	}
+	for _, st := range s.backendStatuses() {
+		if st.Name == name {
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, BackendStatus{Name: name, State: "removed"})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	k := s.kernel
+	healthy := k.HealthyBackends()
+	status := "ok"
+	if healthy == 0 {
+		// No schedulable backend: epochs are parked or being written
+		// off; the plane is up but degraded.
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, Health{
-		Status:           "ok",
+		Status:           status,
 		Running:          k.Running(),
 		Apps:             k.NumApps(),
 		Backends:         k.NumBackends(),
+		BackendsHealthy:  healthy,
 		Epochs:           k.Epochs(),
 		Generation:       k.Generation(),
 		ServedGeneration: k.ServedGeneration(),

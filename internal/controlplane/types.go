@@ -60,7 +60,7 @@ type AppSpec struct {
 // BackendSpec declares one resource-manager backend — a simulated
 // cluster under its own rtrm.Manager — to a running kernel
 // (POST /v1/backends). Backends join the routing set at the next epoch
-// boundary and cannot be removed.
+// boundary; DELETE /v1/backends/{id} drains and removes one.
 type BackendSpec struct {
 	// Name must be addressable like an app name: 1-128 characters of
 	// [A-Za-z0-9._-], not "." or "..".
@@ -98,6 +98,18 @@ type BackendStatus struct {
 	// backends advance independently, so stream consumers key change
 	// detection on the seq vector, not on the global epoch counter.
 	Seq int64 `json:"seq"`
+	// Health is the backend's failure-domain health: "healthy",
+	// "degraded" (a commit overran the kernel's backend timeout) or
+	// "failed" (the backend panicked mid-commit). Degraded and failed
+	// backends take no new work; their apps evacuate to healthy ones.
+	Health string `json:"health,omitempty"`
+	// State is the backend's lifecycle state: "active", "draining"
+	// (DELETE in progress, apps evacuating) or "drained". Removed
+	// backends disappear from listings entirely.
+	State string `json:"state,omitempty"`
+	// LastError carries the most recent failure reason (captured panic,
+	// deadline overrun). Empty while healthy.
+	LastError string `json:"last_error,omitempty"`
 	// Epochs is the number of control epochs this backend has run
 	// (backends only run when apps placed on them contribute).
 	Epochs        int     `json:"epochs"`
@@ -145,6 +157,21 @@ type AppStatus struct {
 	// Backend is the backend the app is currently placed on ("" until
 	// the first placement, i.e. before the app's first epoch boundary).
 	Backend string `json:"backend,omitempty"`
+	// Error is the app's most recent failure note: the captured panic of
+	// a quarantined app (a tenant panic is contained to its app, never
+	// the kernel), or a dropped-epoch note from a no-healthy-backends
+	// write-off. Empty while clean.
+	Error string `json:"error,omitempty"`
+}
+
+// BackendEventBody is the payload of one SSE "backend" event on
+// GET /v1/epochs/stream: a backend state transition (health change or
+// lifecycle move), delivered immediately, outside the epoch throttle.
+type BackendEventBody struct {
+	Backend string `json:"backend"`
+	Health  string `json:"health"`
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // EpochsStatus is the kernel-wide epoch telemetry (GET /v1/epochs).
@@ -172,12 +199,15 @@ type EpochsStatus struct {
 	Backends []BackendStatus `json:"backends"`
 }
 
-// Health is the liveness probe (GET /healthz).
+// Health is the liveness probe (GET /healthz). Status is "ok" while at
+// least one backend is schedulable and "degraded" otherwise — the
+// plane still answers, but epochs are parked or being written off.
 type Health struct {
 	Status           string `json:"status"`
 	Running          bool   `json:"running"`
 	Apps             int    `json:"apps"`
 	Backends         int    `json:"backends"`
+	BackendsHealthy  int    `json:"backends_healthy"`
 	Epochs           int64  `json:"epochs"`
 	Generation       int64  `json:"generation"`
 	ServedGeneration int64  `json:"served_generation"`

@@ -46,19 +46,60 @@ type Controller struct {
 	// read by the epoch engine.
 	backend atomic.Int32
 
-	// total is the app's cumulative offered GFlop as float bits. A
-	// single-writer atomic, not a lock: within a generation exactly one
-	// epoch-commit goroutine carries this app's batches (its placed
-	// backend's), and generation rolls quiesce all commits — so writes
-	// never race, while status readers load it lock-free.
+	// total is the app's cumulative offered GFlop as float bits. Within
+	// a generation one epoch-commit goroutine carries this app's batches
+	// (its placed backend's lane), but a backend failure can race that
+	// lane's accounting against the dispatcher writing an epoch off, so
+	// updates go through a CAS loop; status readers load it lock-free.
 	total atomic.Uint64
+
+	// quarantined marks an app whose user-supplied Sensor/Policy/Knob/
+	// Workload panicked: the kernel skips it every later epoch and the
+	// panic is surfaced on AppStatus. Sticky — only a re-attach clears
+	// it. failMu guards lastErr (the panic message, or the most recent
+	// dropped-epoch note).
+	quarantined atomic.Bool
+	failMu      sync.Mutex
+	lastErr     string
 }
 
-// addTotal accumulates offered work. See the total field for why the
-// non-atomic read-modify-write is safe.
+// addTotal accumulates offered work (see the total field for the
+// concurrency contract).
 func (c *Controller) addTotal(g float64) {
-	c.total.Store(math.Float64bits(math.Float64frombits(c.total.Load()) + g))
+	for {
+		old := c.total.Load()
+		next := math.Float64bits(math.Float64frombits(old) + g)
+		if c.total.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
+
+// quarantine marks the app failed with the given panic message.
+func (c *Controller) quarantine(msg string) {
+	c.setLastErr(msg)
+	c.quarantined.Store(true)
+}
+
+// setLastErr records the most recent app-level failure note.
+func (c *Controller) setLastErr(msg string) {
+	c.failMu.Lock()
+	c.lastErr = msg
+	c.failMu.Unlock()
+}
+
+// LastError returns the app's most recent failure note: the captured
+// panic of a quarantined app, or the drop note of an epoch written off
+// with no healthy backends. Empty while clean.
+func (c *Controller) LastError() string {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return c.lastErr
+}
+
+// Quarantined reports whether a panic in user-supplied code has
+// permanently sidelined this app (see Kernel.tickApp).
+func (c *Controller) Quarantined() bool { return c.quarantined.Load() }
 
 // totalGFlop reads the cumulative offered work.
 func (c *Controller) totalGFlop() float64 {

@@ -64,10 +64,32 @@ func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []
 	}
 	for contribs := range execCh {
 		epoch := k.epochs.Add(1)
+		// Resolve the reroute target for contributions whose placed
+		// backend is unschedulable (failed, degraded, draining,
+		// mid-roll). With no schedulable backend at all the no-healthy
+		// policy decides: park until one heals or the generation winds
+		// down, else write the epoch off — accounting the offered
+		// totals either way, exactly once per contribution.
+		fallback := firstSchedulable(bks)
+		if fallback < 0 {
+			fallback, _ = k.awaitSchedulable(k.parkCtx, bks)
+		}
+		if fallback < 0 {
+			for _, c := range contribs {
+				sum := 0.0
+				for _, t := range c.tasks {
+					sum += t.GFlop
+				}
+				c.ctl.addTotal(sum)
+			}
+			k.writeOff(contribs)
+			k.signalEpoch()
+			continue
+		}
 		for _, c := range contribs {
 			idx := int(c.ctl.backend.Load())
-			if idx < 0 || idx >= len(bks) {
-				idx = 0 // unplaced app mid-roll: route to the first backend
+			if idx < 0 || idx >= len(bks) || !bks[idx].schedulable() {
+				idx = fallback // unplaced mid-roll or unhealthy target: reroute
 			}
 			l := lanes[idx]
 			b := l.bufs[l.n%3]
@@ -121,14 +143,21 @@ func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []
 func (k *Kernel) backendWorker(bs *backendSlot, dt float64, ch <-chan *backendBatch, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for b := range ch {
-		bs.commitMu.Lock()
-		rep := bs.be.RunEpoch(dt, b.tasks)
-		bs.cell.publishStats(bs.be.Stats())
-		bs.commitMu.Unlock()
-		bs.seq.Add(1)
+		rep, ok, done := k.commitBounded(bs, dt, b.tasks)
 
+		// The contributions were merged into this batch, so their
+		// offered totals are accounted here exactly once — whether the
+		// commit landed, panicked (ok=false) or overran its deadline
+		// (done=false; the abandoned commit still runs in background).
 		for i, ctl := range b.ctls {
 			ctl.addTotal(b.gflop[i])
+		}
+		if !done || !ok {
+			// No report to fold into telemetry, and no per-backend
+			// OnEpoch: the slot went Degraded/Failed and its apps are
+			// being evacuated at the next generation roll.
+			k.signalEpoch()
+			continue
 		}
 
 		offered := rep.DoneGFlop + rep.DeferredGFlop

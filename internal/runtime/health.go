@@ -1,0 +1,644 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// This file is the backend failure domain: per-backend health driven by
+// panic recovery and commit deadlines, drain/remove lifecycle with
+// evacuation at generation boundaries, and the no-healthy-backends
+// policy the epoch paths apply when every slot is out. The design
+// follows the non-threaded CCP argument the rest of the kernel is built
+// on — failures are detected event-driven on the epoch path itself
+// (a recover around the commit, a deadline on its wait), never by
+// background health-checker threads.
+
+// Failure-domain errors, wrapped with context; match with errors.Is.
+// The HTTP control plane maps them onto statuses (ErrUnknownBackend →
+// 404, ErrBackendDraining and ErrLastBackend → 409).
+var (
+	// ErrUnknownBackend: a lifecycle call names no registered backend
+	// (removed backends forget their name — it is reusable).
+	ErrUnknownBackend = errors.New("unknown backend")
+	// ErrBackendDraining: a drain or remove raced an in-progress drain
+	// of the same backend.
+	ErrBackendDraining = errors.New("backend is draining")
+	// ErrLastBackend: draining the backend would leave the kernel with
+	// no schedulable slot to evacuate onto.
+	ErrLastBackend = errors.New("cannot drain the last schedulable backend")
+	// ErrNoHealthyBackends: an epoch batch was written off because no
+	// backend could take it (FailFast policy, or a generation wind-down
+	// during a total outage).
+	ErrNoHealthyBackends = errors.New("no healthy backends")
+)
+
+// BackendHealth is a backend slot's health state.
+type BackendHealth int32
+
+const (
+	// BackendHealthy: the backend commits epochs normally.
+	BackendHealthy BackendHealth = iota
+	// BackendDegraded: a commit overran the kernel's BackendTimeout.
+	// The slot's lane is rerouted and its apps evacuate; the stalled
+	// commit keeps running, and its eventual completion heals the slot.
+	BackendDegraded
+	// BackendFailed: the backend panicked inside a commit. The slot
+	// takes no further work until ReviveBackend.
+	BackendFailed
+)
+
+// String returns the wire-friendly health name.
+func (h BackendHealth) String() string {
+	switch h {
+	case BackendHealthy:
+		return "healthy"
+	case BackendDegraded:
+		return "degraded"
+	case BackendFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("BackendHealth(%d)", int32(h))
+}
+
+// Slot lifecycle states. Slots are tombstoned, never compacted:
+// controllers hold backend indices, so indices must stay stable across
+// removals. Writes happen under k.mu; the epoch paths read the atomic.
+const (
+	slotActive int32 = iota
+	slotDraining
+	slotDrained
+	slotRemoved
+)
+
+// slotStateName returns the wire-friendly lifecycle name.
+func slotStateName(s int32) string {
+	switch s {
+	case slotActive:
+		return "active"
+	case slotDraining:
+		return "draining"
+	case slotDrained:
+		return "drained"
+	case slotRemoved:
+		return "removed"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// schedulable reports whether the slot may take new epoch work: live in
+// the lifecycle and healthy. Epoch paths call it per contribution, so
+// it is two atomic loads.
+func (bs *backendSlot) schedulable() bool {
+	return bs.state.Load() == slotActive && bs.health.Load() == int32(BackendHealthy)
+}
+
+// firstSchedulable returns the index of the first schedulable slot in
+// bks, or -1.
+func firstSchedulable(bks []*backendSlot) int {
+	for i, bs := range bks {
+		if bs.schedulable() {
+			return i
+		}
+	}
+	return -1
+}
+
+// NoHealthyPolicy selects what an epoch batch does when no backend is
+// schedulable (see SetNoHealthyPolicy).
+type NoHealthyPolicy int32
+
+const (
+	// ParkAndRetry (the default) parks the batch and retries with
+	// capped exponential backoff until a backend heals or the serving
+	// generation winds down; a parked batch commits the moment a
+	// backend is revived, so a total outage delays work instead of
+	// dropping it.
+	ParkAndRetry NoHealthyPolicy = iota
+	// FailFast writes the batch off immediately: the contributing apps
+	// get ErrNoHealthyBackends on their status and the epoch moves on.
+	// The offered work still counts in the per-app totals (the totals
+	// ledger records what apps offered, the managers record what ran).
+	FailFast
+)
+
+// String returns the flag-friendly policy name.
+func (p NoHealthyPolicy) String() string {
+	if p == FailFast {
+		return "fail-fast"
+	}
+	return "park"
+}
+
+// SetNoHealthyPolicy configures the no-healthy-backends behavior.
+// Takes effect on the next epoch batch. Note that under ParkAndRetry a
+// synchronous RunEpoch with every backend down blocks until a
+// ReviveBackend heals one — the concurrent mode additionally unparks
+// on generation wind-down (Stop, membership change).
+func (k *Kernel) SetNoHealthyPolicy(p NoHealthyPolicy) { k.noHealthy.Store(int32(p)) }
+
+// SetBackendTimeout arms the per-commit deadline: a backend epoch
+// running longer than d marks the slot Degraded, reroutes its lane and
+// evacuates its apps, while the stalled commit finishes on its own
+// goroutine (healing the slot when it completes). Zero (the default)
+// disables the deadline — commits are then synchronous on the epoch
+// path with no timer or goroutine cost, which is what the
+// single-backend fast path always uses. Applies to multi-backend
+// epochs from the next commit on.
+func (k *Kernel) SetBackendTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k.backendTimeout.Store(int64(d))
+}
+
+// BackendTimeout returns the configured commit deadline (0 = disabled).
+func (k *Kernel) BackendTimeout() time.Duration {
+	return time.Duration(k.backendTimeout.Load())
+}
+
+// BackendEvent is one backend state transition (health change or
+// lifecycle move), delivered to BackendEvents subscribers.
+type BackendEvent struct {
+	// Backend is the backend's kernel-assigned name.
+	Backend string
+	// Health is the slot's health after the transition.
+	Health BackendHealth
+	// State is the slot's lifecycle state after the transition
+	// ("active", "draining", "drained", "removed").
+	State string
+	// Reason describes what moved the slot (panic message, deadline,
+	// "drain requested", "revived", ...).
+	Reason string
+}
+
+// BackendEvents subscribes to backend state transitions: health moves
+// (panic → failed, stall → degraded, completion/revive → healthy) and
+// lifecycle moves (draining, drained, removed). Delivery is
+// non-blocking on a buffered channel — a slow consumer loses old
+// events, not the kernel's time; consumers needing exact current state
+// re-read BackendStats on wake. cancel releases the subscription.
+func (k *Kernel) BackendEvents() (ch <-chan BackendEvent, cancel func()) {
+	c := make(chan BackendEvent, 16)
+	k.eventMu.Lock()
+	if k.events == nil {
+		k.events = make(map[chan BackendEvent]struct{})
+	}
+	k.events[c] = struct{}{}
+	k.eventCount.Store(int32(len(k.events)))
+	k.eventMu.Unlock()
+	return c, func() {
+		k.eventMu.Lock()
+		delete(k.events, c)
+		k.eventCount.Store(int32(len(k.events)))
+		k.eventMu.Unlock()
+	}
+}
+
+// emitBackendEvent publishes a transition to subscribers and nudges the
+// epoch-signal subscribers (the SSE stream re-reads health on wake).
+func (k *Kernel) emitBackendEvent(bs *backendSlot, reason string) {
+	if k.eventCount.Load() > 0 {
+		ev := BackendEvent{
+			Backend: bs.name,
+			Health:  BackendHealth(bs.health.Load()),
+			State:   slotStateName(bs.state.Load()),
+			Reason:  reason,
+		}
+		k.eventMu.Lock()
+		for c := range k.events {
+			select {
+			case c <- ev:
+			default:
+			}
+		}
+		k.eventMu.Unlock()
+	}
+	k.signalEpoch()
+}
+
+// setBackendHealth moves a slot's health under k.mu, records the
+// reason, and — when the slot is live — rolls a generation so the
+// placement refresh evacuates (or, on heal, re-admits) its apps at the
+// next epoch boundary.
+func (k *Kernel) setBackendHealth(bs *backendSlot, h BackendHealth, reason string) {
+	k.mu.Lock()
+	if BackendHealth(bs.health.Load()) == h {
+		k.mu.Unlock()
+		return
+	}
+	bs.health.Store(int32(h))
+	bs.lastErr = reason
+	if bs.state.Load() == slotActive {
+		k.membershipChangedLocked()
+	}
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, reason)
+}
+
+// healStalledBackend clears a Degraded slot when its abandoned commit
+// finally lands. A slot that failed (panicked) or left the active state
+// while stalled stays where the stronger transition put it.
+func (k *Kernel) healStalledBackend(bs *backendSlot) {
+	k.mu.Lock()
+	if BackendHealth(bs.health.Load()) != BackendDegraded {
+		k.mu.Unlock()
+		return
+	}
+	bs.health.Store(int32(BackendHealthy))
+	bs.lastErr = ""
+	if bs.state.Load() == slotActive {
+		k.membershipChangedLocked()
+	}
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, "stalled commit completed")
+}
+
+// ReviveBackend clears a Failed or Degraded backend back to Healthy —
+// the operator's (or chaos harness's) resurrection hook. It refuses
+// while a commit is still in flight on the slot (an abandoned stall has
+// not returned yet: reviving under it would let a new commit pile onto
+// the stuck one) and on non-active slots. Reviving a healthy backend is
+// a no-op.
+func (k *Kernel) ReviveBackend(name string) error {
+	k.mu.Lock()
+	idx, ok := k.byBackend[name]
+	if !ok {
+		k.mu.Unlock()
+		return fmt.Errorf("runtime: revive %q: %w", name, ErrUnknownBackend)
+	}
+	bs := k.backends[idx]
+	if st := bs.state.Load(); st != slotActive {
+		k.mu.Unlock()
+		return fmt.Errorf("runtime: revive %q: backend is %s", name, slotStateName(st))
+	}
+	if bs.inflight.Load() > 0 {
+		k.mu.Unlock()
+		return fmt.Errorf("runtime: revive %q: a commit is still in flight", name)
+	}
+	if bs.health.Load() == int32(BackendHealthy) {
+		k.mu.Unlock()
+		return nil
+	}
+	bs.health.Store(int32(BackendHealthy))
+	bs.lastErr = ""
+	k.membershipChangedLocked()
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, "revived")
+	return nil
+}
+
+// BackendState reports a backend's lifecycle state and health ("", 0,
+// false for unknown or removed names).
+func (k *Kernel) BackendState(name string) (state string, health BackendHealth, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	idx, found := k.byBackend[name]
+	if !found {
+		return "", 0, false
+	}
+	bs := k.backends[idx]
+	return slotStateName(bs.state.Load()), BackendHealth(bs.health.Load()), true
+}
+
+// HealthyBackends counts the currently schedulable backends — what
+// /healthz reports to distinguish a degraded plane from a dead one.
+func (k *Kernel) HealthyBackends() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := 0
+	for _, bs := range k.backends {
+		if bs.schedulable() {
+			n++
+		}
+	}
+	return n
+}
+
+// DrainBackend evacuates every app placed on the named backend onto the
+// remaining schedulable slots and retires the slot. The evacuation is
+// the same generation-boundary placement move live migration uses
+// (PR 5): the drain rolls a generation, the refresh re-places the apps
+// (their assignments stop resolving to the draining slot), and the roll
+// itself drains in-flight batches — zero observation loss, no work on
+// two backends at once. Blocks until the evacuation has landed and any
+// abandoned commit on the slot has returned. Idempotent once drained;
+// a concurrent drain of the same backend gets ErrBackendDraining, and
+// draining the last schedulable backend is refused (ErrLastBackend).
+func (k *Kernel) DrainBackend(name string) error {
+	bs, gen, done, err := k.admitDrain(name)
+	if err != nil || done {
+		return err
+	}
+	k.completeDrain(bs, gen)
+	return nil
+}
+
+// RemoveBackend is DrainBackend plus deletion: after the drain the
+// slot leaves listings and telemetry and its name becomes reusable by
+// AddBackend. The slot itself is tombstoned, not compacted, so backend
+// indices stay stable.
+func (k *Kernel) RemoveBackend(name string) error {
+	bs, gen, done, err := k.admitDrain(name)
+	if err != nil {
+		return err
+	}
+	if !done {
+		k.completeDrain(bs, gen)
+	}
+	k.finalizeRemove(name, bs)
+	return nil
+}
+
+// RemoveBackendAsync validates the removal synchronously (unknown name,
+// concurrent drain, last schedulable backend) and performs the drain in
+// the background; the returned channel closes when the backend is gone.
+// The control plane's DELETE /v1/backends/{id} is built on it: admission
+// errors map to statuses, the drain itself outlives the request.
+func (k *Kernel) RemoveBackendAsync(name string) (<-chan struct{}, error) {
+	bs, gen, done, err := k.admitDrain(name)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		if !done {
+			k.completeDrain(bs, gen)
+		}
+		k.finalizeRemove(name, bs)
+	}()
+	return ch, nil
+}
+
+// admitDrain is the drain admission check: resolve the name, refuse
+// concurrent drains and last-backend drains, mark the slot draining and
+// roll the generation. done=true means the slot was already drained
+// (idempotent path). The generation returned is the one whose serving
+// proves the evacuation landed.
+func (k *Kernel) admitDrain(name string) (bs *backendSlot, gen int64, done bool, err error) {
+	k.mu.Lock()
+	idx, ok := k.byBackend[name]
+	if !ok {
+		k.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("runtime: drain %q: %w", name, ErrUnknownBackend)
+	}
+	bs = k.backends[idx]
+	switch bs.state.Load() {
+	case slotDraining:
+		k.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("runtime: drain %q: %w", name, ErrBackendDraining)
+	case slotDrained, slotRemoved:
+		k.mu.Unlock()
+		return bs, 0, true, nil
+	}
+	// The evacuated apps need somewhere to go — and even an app-less
+	// kernel keeps one schedulable slot, so Attach always has a home.
+	other := false
+	for i, b := range k.backends {
+		if i != idx && b.schedulable() {
+			other = true
+			break
+		}
+	}
+	if !other {
+		k.mu.Unlock()
+		return nil, 0, false, fmt.Errorf("runtime: drain %q: %w", name, ErrLastBackend)
+	}
+	bs.state.Store(slotDraining)
+	k.membershipChangedLocked()
+	gen = k.memGen
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, "drain requested")
+	return bs, gen, false, nil
+}
+
+// completeDrain waits for the drain's generation to be served (running
+// kernel) or lands the placement refresh synchronously (stopped or
+// sync-driven kernel), then waits out in-flight commits and marks the
+// slot drained.
+func (k *Kernel) completeDrain(bs *backendSlot, gen int64) {
+	for {
+		k.mu.Lock()
+		running := k.running
+		k.mu.Unlock()
+		if !running {
+			// No serving loops: serialize against sync epochs and land
+			// the evacuation refresh here.
+			k.syncMu.Lock()
+			k.mu.Lock()
+			k.foldRetiredLocked()
+			k.refreshPlacementLocked()
+			k.mu.Unlock()
+			k.syncMu.Unlock()
+			break
+		}
+		if k.servedGen.Load() >= gen {
+			// The generation rolled: the old engine quiesced and the new
+			// placement (without this slot) is live.
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	// An abandoned (stalled) commit may still hold the slot's backend;
+	// retire only after it returns.
+	for bs.inflight.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	k.mu.Lock()
+	if bs.state.Load() == slotDraining {
+		bs.state.Store(slotDrained)
+	}
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, "drained")
+}
+
+// finalizeRemove tombstones a drained slot and frees its name.
+func (k *Kernel) finalizeRemove(name string, bs *backendSlot) {
+	k.mu.Lock()
+	if bs.state.Load() == slotRemoved {
+		k.mu.Unlock()
+		return
+	}
+	bs.state.Store(slotRemoved)
+	if idx, ok := k.byBackend[name]; ok && k.backends[idx] == bs {
+		delete(k.byBackend, name)
+	}
+	k.membershipChangedLocked()
+	k.mu.Unlock()
+	k.emitBackendEvent(bs, "removed")
+}
+
+// commitResult carries a guarded commit's outcome to its waiter.
+type commitResult struct {
+	rep rtrm.EpochReport
+	ok  bool
+}
+
+// runCommit executes one backend epoch under the backend's commit mutex
+// with panic containment: a panicking backend becomes a Failed slot
+// with the panic recorded on its stats (and its apps evacuated by the
+// health roll), never a dead kernel. Stats republish only on success,
+// so readers never see a panicked epoch's partial state. ok=false means
+// the commit panicked; the report is then zero.
+func (k *Kernel) runCommit(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rep rtrm.EpochReport, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.setBackendHealth(bs, BackendFailed, fmt.Sprintf("backend panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	bs.commitMu.Lock()
+	defer bs.commitMu.Unlock()
+	rep = bs.be.RunEpoch(dt, tasks)
+	bs.cell.publishStats(bs.be.Stats())
+	ok = true
+	return rep, ok
+}
+
+// commitOnce is runCommit plus the sequence bump every successful
+// commit performs — the commit invariant all protocols share.
+func (k *Kernel) commitOnce(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rtrm.EpochReport, bool) {
+	rep, ok := k.runCommit(bs, dt, tasks)
+	if ok {
+		bs.seq.Add(1)
+	}
+	return rep, ok
+}
+
+// commitBounded is the deadline-guarded commit the multi-backend epoch
+// paths use. Without a configured BackendTimeout it is commitOnce —
+// synchronous, no timer, no goroutine. With one, the commit runs on its
+// own goroutine and the waiter gives up at the deadline: the slot goes
+// Degraded (evacuating its apps), the epoch moves on without this
+// backend's report, and the abandoned commit finishes in the
+// background — publishing its stats under the commit mutex as usual and
+// healing the slot once no commits remain in flight. done=false means
+// abandoned: the caller must not read the slot's report scratch, and
+// per-app accounting for the batch is the caller's to settle (the work
+// was offered; whether the stalled manager eventually ran it shows up
+// in manager telemetry, not the offered-totals ledger).
+func (k *Kernel) commitBounded(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rep rtrm.EpochReport, ok, done bool) {
+	d := time.Duration(k.backendTimeout.Load())
+	if d <= 0 {
+		rep, ok = k.commitOnce(bs, dt, tasks)
+		return rep, ok, true
+	}
+	bs.inflight.Add(1)
+	var claimed atomic.Bool
+	res := make(chan commitResult, 1)
+	// The commit goroutine can outlive this call (abandonment), while
+	// every epoch path recycles its batch scratch across epochs — so the
+	// goroutine gets its own copy of the slice, never the caller's
+	// buffer. Task objects themselves are epoch-fresh, not recycled.
+	batch := make([]*simhpc.Task, len(tasks))
+	copy(batch, tasks)
+	go func() {
+		r, cok := k.commitOnce(bs, dt, batch)
+		if claimed.CompareAndSwap(false, true) {
+			bs.inflight.Add(-1)
+			res <- commitResult{r, cok}
+			return
+		}
+		// Abandoned: the waiter is gone. Settle the slot — heal a
+		// stall-degraded slot once the last in-flight commit returns
+		// (queued lane batches behind the stall each pass through here).
+		idle := bs.inflight.Add(-1) == 0
+		if cok && idle {
+			k.healStalledBackend(bs)
+		}
+		k.signalEpoch() // late stats published: wake stream consumers
+	}()
+	t := time.NewTimer(d)
+	select {
+	case r := <-res:
+		t.Stop()
+		return r.rep, r.ok, true
+	case <-t.C:
+		if claimed.CompareAndSwap(false, true) {
+			k.setBackendHealth(bs, BackendDegraded,
+				fmt.Sprintf("commit exceeded the %v backend timeout", d))
+			return rtrm.EpochReport{}, false, false
+		}
+		// The commit landed as the timer fired; take it.
+		r := <-res
+		return r.rep, r.ok, true
+	}
+}
+
+// awaitSchedulable resolves the epoch paths' fallback backend. With a
+// schedulable slot available it returns immediately; with none it
+// applies the no-healthy-backends policy: FailFast gives up at once,
+// ParkAndRetry polls with capped exponential backoff until a slot heals
+// or ctx (the serving generation's context; nil under the sync driver)
+// ends — with one final look after cancellation, so a revive racing the
+// wind-down still lands the batch.
+func (k *Kernel) awaitSchedulable(ctx context.Context, bks []*backendSlot) (int, bool) {
+	if i := firstSchedulable(bks); i >= 0 {
+		return i, true
+	}
+	if NoHealthyPolicy(k.noHealthy.Load()) == FailFast {
+		return -1, false
+	}
+	const maxBackoff = 50 * time.Millisecond
+	backoff := 500 * time.Microsecond
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			i := firstSchedulable(bks)
+			return i, i >= 0
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		if i := firstSchedulable(bks); i >= 0 {
+			return i, true
+		}
+	}
+}
+
+// writeOff records a dropped epoch batch: the contributing apps carry
+// the error on their status and the kernel notes it once. The dropped
+// contributions stay in the per-app offered totals — the ledger records
+// what apps offered, and zero-observation-loss accounting (the chaos
+// harness's exactness assertion) depends on every merged contribution
+// being counted exactly once, committed or not.
+func (k *Kernel) writeOff(contribs []contribution) {
+	for _, c := range contribs {
+		if c.ctl != nil {
+			c.ctl.setLastErr("epoch batch dropped: no healthy backends")
+		}
+	}
+	k.noteErr(fmt.Errorf("runtime: %w: epoch batch dropped", ErrNoHealthyBackends))
+}
+
+// tickApp runs one app's Tick + workload materialization with panic
+// containment: a panic in tenant-supplied Sensor/Policy/Knob/Workload
+// code quarantines that app — skipped by every later epoch, the panic
+// surfaced on its status — and never crashes the kernel or its
+// shard-mates. live=false means the app contributed nothing (already
+// quarantined, or quarantined by this very tick). A plain workload
+// error is not a panic: it propagates for the caller's existing
+// handling (sync RunEpoch aborts the epoch, concurrent loops note it).
+func (k *Kernel) tickApp(ctl *Controller) (tasks []*simhpc.Task, err error, live bool) {
+	if ctl.quarantined.Load() {
+		return nil, nil, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("app panic: %v", r)
+			ctl.quarantine(msg)
+			k.noteErr(fmt.Errorf("runtime: %s: %s", ctl.Name(), msg))
+			tasks, err, live = nil, nil, false
+		}
+	}()
+	ctl.Tick()
+	tasks, err = ctl.workload()
+	return tasks, err, true
+}

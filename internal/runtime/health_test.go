@@ -1,0 +1,616 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/monitor"
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// faultBackend wraps a backend with one-shot fault injection: arm
+// panicNext to blow up the next commit, or store a duration in stallNS
+// to delay it.
+type faultBackend struct {
+	inner     Backend
+	panicNext atomic.Bool
+	stallNS   atomic.Int64
+}
+
+func (f *faultBackend) RunEpoch(dt float64, offered []*simhpc.Task) rtrm.EpochReport {
+	if d := f.stallNS.Swap(0); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	if f.panicNext.CompareAndSwap(true, false) {
+		panic("injected fault")
+	}
+	return f.inner.RunEpoch(dt, offered)
+}
+
+func (f *faultBackend) Stats() rtrm.Stats { return f.inner.Stats() }
+
+// allProtocols is the failure-domain test matrix: the guarantees hold
+// under every epoch commit protocol.
+var allProtocols = []EpochProtocol{Barrier, PerBackendClock, OptimisticMerge}
+
+// waitHealth polls the non-blocking BackendState atomics (BackendStats
+// would block on the commit lock of a mid-stall healthy slot).
+func waitHealth(t *testing.T, k *Kernel, name string, h BackendHealth) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("backend %s %s", name, h), func() bool {
+		_, got, ok := k.BackendState(name)
+		return ok && got == h
+	})
+}
+
+// TestDrainRemoveLifecycleSync exercises the admission state machine on
+// a stopped kernel, where drains complete inline: idempotency, error
+// taxonomy and name reuse after removal.
+func TestDrainRemoveLifecycleSync(t *testing.T) {
+	k := NewKernel(testManager(2), testManager(2))
+	if err := k.DrainBackend("nope"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("unknown drain: %v, want ErrUnknownBackend", err)
+	}
+	if err := k.DrainBackend("b1"); err != nil {
+		t.Fatalf("drain b1: %v", err)
+	}
+	if st, _, ok := k.BackendState("b1"); !ok || st != "drained" {
+		t.Errorf("b1 state = %q, want drained", st)
+	}
+	// Draining an already-drained backend is a completed no-op.
+	if err := k.DrainBackend("b1"); err != nil {
+		t.Errorf("re-drain drained: %v, want nil", err)
+	}
+	// A drained backend no longer counts as schedulable, so b0 is last.
+	if err := k.DrainBackend("b0"); !errors.Is(err, ErrLastBackend) {
+		t.Errorf("drain last: %v, want ErrLastBackend", err)
+	}
+	if err := k.RemoveBackend("b1"); err != nil {
+		t.Fatalf("remove b1: %v", err)
+	}
+	if _, _, ok := k.BackendState("b1"); ok {
+		t.Error("b1 still visible after remove")
+	}
+	if got := k.Backends(); len(got) != 1 || got[0] != "b0" {
+		t.Errorf("Backends() = %v, want [b0]", got)
+	}
+	// Removed names return to the pool.
+	if err := k.AddBackend("b1", testManager(2)); err != nil {
+		t.Fatalf("re-add removed name: %v", err)
+	}
+	if err := k.RemoveBackend("nope"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("unknown remove: %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestDrainBackendEvacuatesLive: draining a backend on a running kernel
+// migrates its apps to the survivors at a generation boundary and work
+// continues; the drained backend is removable and its name reusable.
+func TestDrainBackendEvacuatesLive(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			k := protocolKernel(t, proto)
+			if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			waitFor(t, "both apps working", func() bool {
+				tot := k.TotalsPerApp()
+				return tot["app0"] > 0 && tot["app1"] > 0
+			})
+
+			if err := k.DrainBackend("b1"); err != nil {
+				t.Fatalf("drain b1: %v", err)
+			}
+			if st, _, ok := k.BackendState("b1"); !ok || st != "drained" {
+				t.Errorf("b1 state = %q, want drained", st)
+			}
+			// app1 was pinned to b1; the pin no longer resolves, so it
+			// lands on b0 and keeps contributing.
+			waitFor(t, "app1 evacuated to b0", func() bool {
+				return k.AppBackend("app1") == "b0"
+			})
+			before := k.TotalsPerApp()["app1"]
+			waitFor(t, "app1 progress after evacuation", func() bool {
+				return k.TotalsPerApp()["app1"] > before
+			})
+
+			if err := k.RemoveBackend("b1"); err != nil {
+				t.Fatalf("remove drained b1: %v", err)
+			}
+			if err := k.AddBackend("b1", testManagerAt(2, 15)); err != nil {
+				t.Fatalf("re-add b1: %v", err)
+			}
+			// The pin resolves again: app1 migrates home.
+			waitFor(t, "app1 back on b1", func() bool {
+				return k.AppBackend("app1") == "b1"
+			})
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDrainBackendWhileDraining: a second drain of an in-flight drain
+// reports ErrBackendDraining. The first drain is wedged deterministically
+// by an app whose workload blocks, which keeps the drain's generation
+// from being served.
+func TestDrainBackendWhileDraining(t *testing.T) {
+	k := NewKernel(testManager(2), testManager(2))
+	var block, blocked sync.Mutex
+	gen := simhpc.NewWorkloadGen(3)
+	hold := atomic.Bool{}
+	if _, err := k.Attach(AppSpec{
+		Name: "a",
+		Workload: func() ([]*simhpc.Task, error) {
+			if hold.Load() {
+				blocked.Unlock() // signal: the loop is wedged
+				block.Lock()     // parked until the test releases it
+				block.Unlock()
+			}
+			return gen.Mix(2, 1, 1, 1, 8), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	waitFor(t, "first epochs", func() bool { return k.Epochs() >= 2 })
+
+	block.Lock()
+	blocked.Lock()
+	hold.Store(true)
+	blocked.Lock() // acquired once the workload is parked inside block.Lock
+	hold.Store(false)
+
+	done, err := k.RemoveBackendAsync("b1")
+	if err != nil {
+		t.Fatalf("async remove: %v", err)
+	}
+	if err := k.DrainBackend("b1"); !errors.Is(err, ErrBackendDraining) {
+		t.Errorf("drain while draining: %v, want ErrBackendDraining", err)
+	}
+	block.Unlock()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed after unblocking")
+	}
+	if _, _, ok := k.BackendState("b1"); ok {
+		t.Error("b1 still visible after async remove")
+	}
+}
+
+// TestBackendPanicContained: a backend panic mid-commit fails the slot
+// and evacuates its apps; the kernel stays alive, the panic is captured
+// on the slot's stats, and ReviveBackend restores service. Holds under
+// every protocol.
+func TestBackendPanicContained(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			fb := &faultBackend{inner: testManagerAt(2, 15)}
+			k := NewKernel(testManagerAt(2, 15))
+			if err := k.AddBackend("b1", fb); err != nil {
+				t.Fatal(err)
+			}
+			k.SetProtocol(proto)
+			for i := 0; i < 2; i++ {
+				spec := pinnedSpec(fmt.Sprintf("app%d", i), fmt.Sprintf("b%d", i), simhpc.NewWorkloadGen(uint64(7+i)), 2)
+				if _, err := k.Attach(spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			waitFor(t, "b1 commits", func() bool { return k.TotalsPerApp()["app1"] > 0 })
+
+			fb.panicNext.Store(true)
+			waitHealth(t, k, "b1", BackendFailed)
+
+			// Kernel alive: epochs keep advancing and the failed slot's
+			// app keeps contributing from a healthy backend.
+			e0 := k.Epochs()
+			waitFor(t, "epochs advance past failure", func() bool { return k.Epochs() >= e0+5 })
+			waitFor(t, "app1 evacuated", func() bool { return k.AppBackend("app1") == "b0" })
+			before := k.TotalsPerApp()["app1"]
+			waitFor(t, "app1 progress after failure", func() bool {
+				return k.TotalsPerApp()["app1"] > before
+			})
+			var failed BackendStats
+			for _, st := range k.BackendStats() {
+				if st.Name == "b1" {
+					failed = st
+				}
+			}
+			if !strings.Contains(failed.LastErr, "injected fault") {
+				t.Errorf("captured panic missing from LastErr: %q", failed.LastErr)
+			}
+
+			if err := k.ReviveBackend("b1"); err != nil {
+				t.Fatalf("revive: %v", err)
+			}
+			waitHealth(t, k, "b1", BackendHealthy)
+			waitFor(t, "app1 back on b1", func() bool { return k.AppBackend("app1") == "b1" })
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBackendStallDegradesThenHeals: a commit overrunning the backend
+// timeout degrades the slot (evacuating it) without blocking the epoch;
+// when the stalled commit finally lands, the slot self-heals.
+func TestBackendStallDegradesThenHeals(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			fb := &faultBackend{inner: testManagerAt(2, 15)}
+			k := NewKernel(testManagerAt(2, 15))
+			if err := k.AddBackend("b1", fb); err != nil {
+				t.Fatal(err)
+			}
+			k.SetProtocol(proto)
+			k.SetBackendTimeout(10 * time.Millisecond)
+			for i := 0; i < 2; i++ {
+				spec := pinnedSpec(fmt.Sprintf("app%d", i), fmt.Sprintf("b%d", i), simhpc.NewWorkloadGen(uint64(7+i)), 2)
+				if _, err := k.Attach(spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			waitFor(t, "b1 commits", func() bool { return k.TotalsPerApp()["app1"] > 0 })
+
+			fb.stallNS.Store(int64(150 * time.Millisecond))
+			waitHealth(t, k, "b1", BackendDegraded)
+			// The stalled commit completes in the background and heals
+			// the slot; no revive needed.
+			waitHealth(t, k, "b1", BackendHealthy)
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReviveBackendSemantics: revive refuses unknown and non-idle slots
+// and is a no-op on healthy ones.
+func TestReviveBackendSemantics(t *testing.T) {
+	k := NewKernel(testManager(2), testManager(2))
+	if err := k.ReviveBackend("nope"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("unknown revive: %v, want ErrUnknownBackend", err)
+	}
+	if err := k.ReviveBackend("b0"); err != nil {
+		t.Errorf("revive healthy: %v, want nil no-op", err)
+	}
+	if err := k.DrainBackend("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ReviveBackend("b1"); err == nil {
+		t.Error("revive drained slot succeeded, want refusal")
+	}
+}
+
+// appPanicCase arms one stage of the control loop to panic.
+type appPanicCase struct {
+	name string
+	spec func(arm *atomic.Bool, gen *simhpc.WorkloadGen) AppSpec
+}
+
+var appPanicCases = []appPanicCase{
+	{"workload", func(arm *atomic.Bool, gen *simhpc.WorkloadGen) AppSpec {
+		return AppSpec{
+			Name: "victim",
+			Workload: func() ([]*simhpc.Task, error) {
+				if arm.Load() {
+					panic("workload exploded")
+				}
+				return gen.Mix(2, 1, 1, 1, 8), nil
+			},
+		}
+	}},
+	{"policy", func(arm *atomic.Bool, gen *simhpc.WorkloadGen) AppSpec {
+		return AppSpec{
+			Name: "victim",
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Debounce: 1,
+			Policy: PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				panic("policy exploded")
+			}),
+			Workload: func() ([]*simhpc.Task, error) {
+				if arm.Load() {
+					// Feed a violating sample so the SLA fires and the
+					// policy runs on an upcoming tick.
+					return gen.Mix(1, 1, 1, 1, 8), nil
+				}
+				return gen.Mix(2, 1, 1, 1, 8), nil
+			},
+		}
+	}},
+	{"knob", func(arm *atomic.Bool, gen *simhpc.WorkloadGen) AppSpec {
+		return AppSpec{
+			Name: "victim",
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Debounce: 1,
+			Policy: PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+				return autotune.Config{"level": 0}, true
+			}),
+			Knob: KnobFunc(func(autotune.Config) {
+				panic("knob exploded")
+			}),
+			Workload: func() ([]*simhpc.Task, error) {
+				return gen.Mix(2, 1, 1, 1, 8), nil
+			},
+		}
+	}},
+}
+
+// TestAppPanicQuarantined: a panic in any user-supplied stage (workload,
+// policy, knob) quarantines that app — captured on its status, excluded
+// from future epochs — and never takes down the kernel or its tenants.
+// Holds under every protocol, with -race.
+func TestAppPanicQuarantined(t *testing.T) {
+	for _, proto := range allProtocols {
+		for _, tc := range appPanicCases {
+			t.Run(fmt.Sprintf("%s/%s", proto, tc.name), func(t *testing.T) {
+				k := NewKernel(testManager(2), testManager(2))
+				k.SetProtocol(proto)
+				var arm atomic.Bool
+				victim, err := k.Attach(tc.spec(&arm, simhpc.NewWorkloadGen(5)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := k.Attach(simpleSpec("bystander", simhpc.NewWorkloadGen(9), 2)); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+					t.Fatal(err)
+				}
+				defer k.Stop()
+				waitFor(t, "victim working", func() bool { return victim.Ticks() > 2 })
+
+				arm.Store(true)
+				if tc.name != "workload" {
+					// Violating samples make the SLA fire, reaching the
+					// panicking policy/knob.
+					go func() {
+						for !victim.Quarantined() && k.Err() == nil {
+							victim.Push(monitor.MetricLatency, 9)
+							time.Sleep(200 * time.Microsecond)
+						}
+					}()
+				}
+				waitFor(t, "victim quarantined", func() bool { return victim.Quarantined() })
+				if !strings.Contains(victim.LastError(), "exploded") {
+					t.Errorf("LastError = %q, want captured panic", victim.LastError())
+				}
+
+				// Kernel and bystander unaffected.
+				e0 := k.Epochs()
+				waitFor(t, "epochs advance past quarantine", func() bool { return k.Epochs() >= e0+5 })
+				before := k.TotalsPerApp()["bystander"]
+				waitFor(t, "bystander progress", func() bool {
+					return k.TotalsPerApp()["bystander"] > before
+				})
+				// The quarantined app stops ticking.
+				ticks := victim.Ticks()
+				waitFor(t, "a few more epochs", func() bool { return k.Epochs() >= e0+10 })
+				if victim.Ticks() > ticks+1 {
+					t.Errorf("quarantined app kept ticking: %d -> %d", ticks, victim.Ticks())
+				}
+				// The kernel error ledger records the tenant fault (the
+				// same convention workload errors use) — and nothing worse.
+				if err := k.Err(); err == nil || !strings.Contains(err.Error(), "exploded") {
+					t.Errorf("kernel Err = %v, want the recorded app panic", err)
+				}
+			})
+		}
+	}
+}
+
+// TestNoHealthyBackendsParkAndRetry: with every backend failed under the
+// default policy, epochs park rather than drop; a revive releases them
+// with the parked batches intact — the totals ledger never skips a beat.
+func TestNoHealthyBackendsParkAndRetry(t *testing.T) {
+	fb := &faultBackend{inner: testManager(2)}
+	k := NewKernel()
+	if err := k.AddBackend("b0", fb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Attach(simpleSpec("a", simhpc.NewWorkloadGen(7), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	waitFor(t, "first work", func() bool { return k.TotalsPerApp()["a"] > 0 })
+
+	fb.panicNext.Store(true)
+	waitHealth(t, k, "b0", BackendFailed)
+	if got := k.HealthyBackends(); got != 0 {
+		t.Errorf("HealthyBackends = %d, want 0", got)
+	}
+
+	// Parked: totals freeze while no backend is schedulable.
+	frozen := k.TotalsPerApp()["a"]
+	time.Sleep(30 * time.Millisecond)
+	if got := k.TotalsPerApp()["a"]; got != frozen {
+		t.Errorf("totals advanced while parked: %v -> %v", frozen, got)
+	}
+
+	if err := k.ReviveBackend("b0"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "work resumes after revive", func() bool {
+		return k.TotalsPerApp()["a"] > frozen
+	})
+	if err := k.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoHealthyBackendsFailFast: under FailFast the kernel writes the
+// batch off instead of parking — epochs keep advancing, the loss is
+// still accounted in the totals ledger (offered work), and the app's
+// status carries the drop note.
+func TestNoHealthyBackendsFailFast(t *testing.T) {
+	fb := &faultBackend{inner: testManager(2)}
+	k := NewKernel()
+	if err := k.AddBackend("b0", fb); err != nil {
+		t.Fatal(err)
+	}
+	k.SetNoHealthyPolicy(FailFast)
+	ctl, err := k.Attach(simpleSpec("a", simhpc.NewWorkloadGen(7), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+	waitFor(t, "first work", func() bool { return k.TotalsPerApp()["a"] > 0 })
+
+	fb.panicNext.Store(true)
+	waitHealth(t, k, "b0", BackendFailed)
+
+	// Write-offs: epochs and the offered-work ledger keep advancing.
+	e0, t0 := k.Epochs(), k.TotalsPerApp()["a"]
+	waitFor(t, "epochs advance while failed", func() bool { return k.Epochs() >= e0+5 })
+	waitFor(t, "offered totals advance while failed", func() bool {
+		return k.TotalsPerApp()["a"] > t0
+	})
+	waitFor(t, "drop note on app status", func() bool {
+		return strings.Contains(ctl.LastError(), "no healthy backends")
+	})
+	// Write-offs are recorded on the kernel error ledger too.
+	if err := k.Err(); !errors.Is(err, ErrNoHealthyBackends) {
+		t.Errorf("kernel Err = %v, want ErrNoHealthyBackends", err)
+	}
+}
+
+// TestBackendEventsLifecycle: subscribers see failure and lifecycle
+// transitions in order, and cancel detaches the feed.
+func TestBackendEventsLifecycle(t *testing.T) {
+	k := NewKernel(testManager(2), testManager(2))
+	events, cancel := k.BackendEvents()
+	defer cancel()
+	if err := k.DrainBackend("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RemoveBackend("b1"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	deadline := time.After(5 * time.Second)
+	for len(got) < 3 {
+		select {
+		case ev := <-events:
+			got = append(got, ev.Backend+":"+ev.State)
+		case <-deadline:
+			t.Fatalf("events so far: %v, want 3", got)
+		}
+	}
+	want := []string{"b1:draining", "b1:drained", "b1:removed"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event[%d] = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestTotalsExactUnderBackendFailure is the in-tree version of the
+// chaos exactness assertion: kill and revive a backend mid-run and the
+// kernel's offered ledger still equals — bit for bit — what the
+// workload closures produced.
+func TestTotalsExactUnderBackendFailure(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			fb := &faultBackend{inner: testManagerAt(2, 15)}
+			k := NewKernel(testManagerAt(2, 15))
+			if err := k.AddBackend("b1", fb); err != nil {
+				t.Fatal(err)
+			}
+			k.SetProtocol(proto)
+			k.SetBackendTimeout(10 * time.Millisecond)
+
+			var mu sync.Mutex
+			expected := map[string]float64{}
+			gen := simhpc.NewWorkloadGen(11)
+			var genMu sync.Mutex
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("app%d", i)
+				hint := fmt.Sprintf("b%d", i%2)
+				if _, err := k.Attach(AppSpec{
+					Name:    name,
+					Backend: hint,
+					Workload: func() ([]*simhpc.Task, error) {
+						genMu.Lock()
+						tasks := gen.Mix(2, 1, 1, 1, 8)
+						genMu.Unlock()
+						sum := 0.0
+						for _, task := range tasks {
+							sum += task.GFlop
+						}
+						mu.Lock()
+						expected[name] += sum
+						mu.Unlock()
+						return tasks, nil
+					},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := k.Start(context.Background(), Options{Flush: 2 * time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+			defer k.Stop()
+			waitFor(t, "all apps working", func() bool {
+				tot := k.TotalsPerApp()
+				return tot["app0"] > 0 && tot["app1"] > 0 && tot["app2"] > 0 && tot["app3"] > 0
+			})
+
+			fb.panicNext.Store(true)
+			waitHealth(t, k, "b1", BackendFailed)
+			e0 := k.Epochs()
+			waitFor(t, "epochs after failure", func() bool { return k.Epochs() >= e0+10 })
+			if err := k.ReviveBackend("b1"); err != nil {
+				t.Fatal(err)
+			}
+			waitHealth(t, k, "b1", BackendHealthy)
+			waitFor(t, "epochs after revive", func() bool { return k.Epochs() >= e0+30 })
+			k.Stop()
+			if err := k.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			totals := k.TotalsPerApp()
+			mu.Lock()
+			defer mu.Unlock()
+			for name, want := range expected {
+				if got := totals[name]; got != want {
+					t.Errorf("%s: ledger %v, workload produced %v", name, got, want)
+				}
+			}
+		})
+	}
+}

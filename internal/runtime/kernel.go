@@ -158,6 +158,23 @@ type Kernel struct {
 	notify      map[chan struct{}]struct{}
 	notifyCount atomic.Int32
 
+	// Failure domain (see health.go). backendTimeout is the per-commit
+	// deadline in nanoseconds (0 = disabled); noHealthy the
+	// NoHealthyPolicy. parkCtx is the context a parked epoch batch waits
+	// under when no backend is schedulable — the serving generation's
+	// context in concurrent mode, nil under the sync driver (a sync park
+	// then waits for a revive alone). Written only at quiescent points,
+	// same discipline as epochBackends.
+	backendTimeout atomic.Int64
+	noHealthy      atomic.Int32
+	parkCtx        context.Context
+
+	// backend-event subscribers (BackendEvents); same shape as the
+	// epoch-signal bus.
+	eventMu    sync.Mutex
+	events     map[chan BackendEvent]struct{}
+	eventCount atomic.Int32
+
 	errMu sync.Mutex
 	err   error // first workload error observed by concurrent loops
 }
@@ -193,6 +210,19 @@ type backendSlot struct {
 	offered      float64
 	deferredEWMA float64
 	apps         int
+
+	// Failure domain (see health.go). state is the lifecycle tombstone
+	// (slotActive..slotRemoved), health the BackendHealth — both written
+	// under k.mu, read lock-free by the epoch paths (schedulable).
+	// inflight counts deadline-guarded commits outstanding on the slot;
+	// lastErr (under k.mu) is the most recent panic/stall reason.
+	// committed is epoch-engine scratch: whether this epoch's bounded
+	// commit finished in time (bs.report is only valid when it did).
+	state     atomic.Int32
+	health    atomic.Int32
+	inflight  atomic.Int32
+	lastErr   string
+	committed bool
 }
 
 // deferredEWMAAlpha smooths the per-backend deferred-work fraction the
@@ -228,7 +258,8 @@ func NewKernel(backends ...Backend) *Kernel {
 // kernel is running is allowed: the backend joins the routing set at
 // the next epoch boundary (a membership-generation roll, like Attach),
 // at which point the placement policy may start assigning apps to it.
-// Backends cannot be removed.
+// The inverse is RemoveBackend (drain + delete); a removed backend's
+// name is reusable here.
 func (k *Kernel) AddBackend(name string, be Backend) error {
 	if name == "" {
 		return errors.New("runtime: add backend: empty backend name")
@@ -265,22 +296,37 @@ func (k *Kernel) SetPlacement(p Placement) {
 	k.membershipChangedLocked()
 }
 
-// Backends returns the backend names in registration order.
+// Backends returns the backend names in registration order. Removed
+// backends are tombstoned internally (indices stay stable) but do not
+// appear here.
 func (k *Kernel) Backends() []string {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	names := make([]string, len(k.backends))
-	for i, bs := range k.backends {
-		names[i] = bs.name
+	names := make([]string, 0, len(k.backends))
+	for _, bs := range k.backends {
+		if bs.state.Load() != slotRemoved {
+			names = append(names, bs.name)
+		}
 	}
 	return names
 }
 
-// NumBackends returns the number of registered backends.
+// NumBackends returns the number of registered (non-removed) backends.
 func (k *Kernel) NumBackends() int {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return len(k.backends)
+	return k.liveBackendsLocked()
+}
+
+// liveBackendsLocked counts non-removed slots. Callers hold k.mu.
+func (k *Kernel) liveBackendsLocked() int {
+	n := 0
+	for _, bs := range k.backends {
+		if bs.state.Load() != slotRemoved {
+			n++
+		}
+	}
+	return n
 }
 
 // HasBackend reports whether a backend is registered under name.
@@ -301,7 +347,7 @@ func (k *Kernel) AppBackend(name string) string {
 		return ""
 	}
 	idx := int(ctl.backend.Load())
-	if idx < 0 || idx >= len(k.backends) {
+	if idx < 0 || idx >= len(k.backends) || k.backends[idx].state.Load() == slotRemoved {
 		return ""
 	}
 	return k.backends[idx].name
@@ -350,6 +396,15 @@ type BackendStats struct {
 	// kernel epoch counter it is per backend, so stream consumers can
 	// tell which backend moved (see the control plane's SSE coalescing).
 	Seq int64
+	// Health is the backend's failure-domain health (see BackendHealth).
+	Health BackendHealth
+	// State is the backend's lifecycle state ("active", "draining",
+	// "drained"; removed backends do not appear).
+	State string
+	// LastErr is the most recent failure reason — the captured panic of
+	// a Failed backend, the deadline message of a Degraded one. Empty
+	// while healthy.
+	LastErr string
 	ManagerStats
 }
 
@@ -373,63 +428,86 @@ func fromStats(s rtrm.Stats) ManagerStats {
 // contribute). Under Barrier and PerBackendClock the snapshot locks
 // each backend's commit mutex in turn; under OptimisticMerge it is a
 // lock-free seqlock read (see EpochProtocol, CommitLockReads).
+// Removed backends still contribute: the merged cumulative sums never
+// step backwards across a RemoveBackend. A backend that is not Healthy
+// is always read through its seqlock cell, whatever the protocol — a
+// stalled commit holds the commit mutex indefinitely, and status reads
+// must not block behind it.
 func (k *Kernel) ManagerStats() ManagerStats {
 	k.mu.Lock()
 	bks := k.backends
 	k.mu.Unlock()
 	var out ManagerStats
-	if EpochProtocol(k.protoActive.Load()) == OptimisticMerge {
-		for _, bs := range bks {
-			s, _ := bs.cell.snapshot()
-			out.WorkGFlop += s.WorkGFlop
-			out.DeferredGFlop += s.DeferredGFlop
-			out.EnergyJ += s.EnergyJ
-			out.ThermalEvents += s.ThermalEvents
-			out.CapDemotions += s.CapDemotions
-		}
-	} else {
-		k.commitLockReads.Add(1)
-		for _, bs := range bks {
+	lockReads := EpochProtocol(k.protoActive.Load()) != OptimisticMerge
+	counted := false
+	for _, bs := range bks {
+		var s rtrm.Stats
+		if lockReads && bs.health.Load() == int32(BackendHealthy) {
+			if !counted {
+				k.commitLockReads.Add(1)
+				counted = true
+			}
 			bs.commitMu.Lock()
-			s := bs.be.Stats()
+			s = bs.be.Stats()
 			bs.commitMu.Unlock()
-			out.WorkGFlop += s.WorkGFlop
-			out.DeferredGFlop += s.DeferredGFlop
-			out.EnergyJ += s.EnergyJ
-			out.ThermalEvents += s.ThermalEvents
-			out.CapDemotions += s.CapDemotions
+		} else {
+			s, _ = bs.cell.snapshot()
 		}
+		out.WorkGFlop += s.WorkGFlop
+		out.DeferredGFlop += s.DeferredGFlop
+		out.EnergyJ += s.EnergyJ
+		out.ThermalEvents += s.ThermalEvents
+		out.CapDemotions += s.CapDemotions
 	}
 	out.Epochs = int(k.epochs.Load())
 	return out
 }
 
 // BackendStats snapshots each backend's telemetry in registration
-// order, with the same per-protocol read discipline as ManagerStats.
+// order, with the same per-protocol read discipline as ManagerStats
+// (and the same always-seqlock rule for unhealthy backends). Removed
+// backends are omitted; live ones carry their health, lifecycle state
+// and last failure reason.
 func (k *Kernel) BackendStats() []BackendStats {
 	k.mu.Lock()
-	bks := k.backends
-	k.mu.Unlock()
-	out := make([]BackendStats, len(bks))
-	if EpochProtocol(k.protoActive.Load()) == OptimisticMerge {
-		for i, bs := range bks {
-			s, apps := bs.cell.snapshot()
-			out[i] = BackendStats{Name: bs.name, Apps: apps, Seq: bs.seq.Load(), ManagerStats: fromStats(s)}
+	bks := make([]*backendSlot, 0, len(k.backends))
+	out := make([]BackendStats, 0, len(k.backends))
+	for _, bs := range k.backends {
+		st := bs.state.Load()
+		if st == slotRemoved {
+			continue
 		}
-		return out
+		bks = append(bks, bs)
+		out = append(out, BackendStats{
+			Name:    bs.name,
+			Seq:     bs.seq.Load(),
+			Health:  BackendHealth(bs.health.Load()),
+			State:   slotStateName(st),
+			LastErr: bs.lastErr,
+		})
 	}
-	k.commitLockReads.Add(1)
+	k.mu.Unlock()
+	optimistic := EpochProtocol(k.protoActive.Load()) == OptimisticMerge
+	counted := false
 	for i, bs := range bks {
+		if optimistic || out[i].Health != BackendHealthy {
+			s, apps := bs.cell.snapshot()
+			out[i].Apps = apps
+			out[i].ManagerStats = fromStats(s)
+			continue
+		}
+		if !counted {
+			k.commitLockReads.Add(1)
+			counted = true
+		}
 		bs.commitMu.Lock()
 		s := bs.be.Stats()
 		bs.commitMu.Unlock()
-		out[i] = BackendStats{Name: bs.name, Seq: bs.seq.Load(), ManagerStats: fromStats(s)}
-	}
-	k.loadMu.Lock()
-	for i, bs := range bks {
+		out[i].ManagerStats = fromStats(s)
+		k.loadMu.Lock()
 		out[i].Apps = bs.apps
+		k.loadMu.Unlock()
 	}
-	k.loadMu.Unlock()
 	return out
 }
 
@@ -524,6 +602,15 @@ func (k *Kernel) requestPlacementRefresh() {
 // the epoch engine is quiescent (the supervisor refreshes between
 // generations, the sync driver before its epoch), so assignment writes
 // cannot tear an in-flight epoch.
+// The placement policy only ever sees the schedulable backends:
+// draining, drained, removed, Degraded and Failed slots are excluded
+// from the view, and an app currently on an unschedulable slot appears
+// with Current == -1 — forcing the policy (or the clamp) to evacuate
+// it. That is the whole evacuation mechanism: a health or lifecycle
+// transition rolls a generation, and this refresh re-places the
+// affected apps exactly like a live migration. With no schedulable
+// backend at all, assignments are left as they are; the epoch paths
+// apply the no-healthy-backends policy instead.
 func (k *Kernel) refreshPlacementLocked() {
 	if k.placeGen == k.memGen {
 		return
@@ -533,7 +620,7 @@ func (k *Kernel) refreshPlacementLocked() {
 	if n == 0 {
 		return // nothing to place on yet; apps stay unplaced
 	}
-	if n == 1 {
+	if n == 1 && k.backends[0].schedulable() {
 		for _, ctl := range k.apps {
 			ctl.backend.Store(0)
 		}
@@ -543,20 +630,49 @@ func (k *Kernel) refreshPlacementLocked() {
 		k.backends[0].cell.publishApps(len(k.apps))
 		return
 	}
-	apps := make([]AppPlacement, len(k.apps))
-	for i, ctl := range k.apps {
-		apps[i] = AppPlacement{Name: ctl.Name(), Hint: ctl.spec.Backend, Current: int(ctl.backend.Load())}
+	sched := make([]int, 0, n) // schedulable view index → real slot index
+	pos := make([]int, n)      // real slot index → view index, -1 if out
+	for i := range pos {
+		pos[i] = -1
 	}
-	placed := k.placement.Place(apps, k.backendLoads(k.backends))
-	counts := make([]int, n)
-	for i, ctl := range k.apps {
-		idx := -1
-		if i < len(placed) {
-			idx = placed[i]
+	schedSlots := make([]*backendSlot, 0, n)
+	for i, bs := range k.backends {
+		if bs.schedulable() {
+			pos[i] = len(sched)
+			sched = append(sched, i)
+			schedSlots = append(schedSlots, bs)
 		}
-		idx = clampBackend(idx, apps[i].Current, n)
-		ctl.backend.Store(int32(idx))
-		counts[idx]++
+	}
+	if len(sched) == 0 {
+		return // total outage: keep assignments, let the epoch paths park
+	}
+	counts := make([]int, n)
+	if len(sched) == 1 {
+		ri := sched[0]
+		for _, ctl := range k.apps {
+			ctl.backend.Store(int32(ri))
+		}
+		counts[ri] = len(k.apps)
+	} else {
+		apps := make([]AppPlacement, len(k.apps))
+		for i, ctl := range k.apps {
+			cur := int(ctl.backend.Load())
+			viewCur := -1
+			if cur >= 0 && cur < n {
+				viewCur = pos[cur] // -1 when the current slot left the view
+			}
+			apps[i] = AppPlacement{Name: ctl.Name(), Hint: ctl.spec.Backend, Current: viewCur}
+		}
+		placed := k.placement.Place(apps, k.backendLoads(schedSlots))
+		for i, ctl := range k.apps {
+			vi := -1
+			if i < len(placed) {
+				vi = placed[i]
+			}
+			ri := sched[clampBackend(vi, apps[i].Current, len(sched))]
+			ctl.backend.Store(int32(ri))
+			counts[ri]++
+		}
 	}
 	k.loadMu.Lock()
 	for i, bs := range k.backends {
@@ -791,25 +907,15 @@ func (k *Kernel) execute(dt float64, contribs []contribution) EpochResult {
 	return res
 }
 
-// commitEpoch runs one backend epoch under the backend's commit mutex
-// and republishes its seqlock cell — the commit invariant every
-// protocol shares (see EpochProtocol). The report lands in bs.report
-// (epoch-engine scratch); the sequence bump is last, after the stats
-// are visible to both reader disciplines.
-func commitEpoch(bs *backendSlot, dt float64, tasks []*simhpc.Task) {
-	bs.commitMu.Lock()
-	bs.report = bs.be.RunEpoch(dt, tasks)
-	bs.cell.publishStats(bs.be.Stats())
-	bs.commitMu.Unlock()
-	bs.seq.Add(1)
-}
-
 // executeSingle is the single-backend fast path: the pre-multi-backend
 // epoch, with no placement routing, no per-backend fan-out and no load
 // telemetry — one merge, one backend epoch, allocation-free on kernel
 // scratch. With one backend there is nothing for a barrier to order,
 // so every protocol takes this same path; the backend's commit mutex
-// is the whole serial section.
+// is the whole serial section. The commit deadline never applies here
+// either — with a single backend there is nowhere to reroute a stalled
+// lane, so the commit stays synchronous and timer-free (the panic
+// guard still applies).
 func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendSlot) EpochResult {
 	all := k.mergedTasks[:0]
 	// PerApp escapes to OnEpoch observers and RunEpoch callers, who may
@@ -830,10 +936,25 @@ func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendS
 	clear(all[len(all):cap(all)])
 	k.mergedTasks = all
 
-	commitEpoch(bs, dt, all)
+	if !bs.schedulable() {
+		// The sole backend failed (a panic last epoch). Park or write
+		// off per policy; a revive heals in place, so a parked batch
+		// commits on the same slot.
+		if _, ok := k.awaitSchedulable(k.parkCtx, []*backendSlot{bs}); !ok {
+			k.writeOff(contribs)
+			return EpochResult{Epoch: k.epochs.Add(1), PerApp: perApp}
+		}
+	}
+	rep, ok := k.commitOnce(bs, dt, all)
 	epoch := k.epochs.Add(1)
-
-	return EpochResult{Epoch: epoch, Report: bs.report, PerApp: perApp}
+	if !ok {
+		// The backend panicked mid-commit: the slot is Failed and the
+		// report void. The offered totals above stand — the ledger
+		// records what apps offered (chaos exactness depends on it);
+		// what actually ran is the manager's own telemetry.
+		return EpochResult{Epoch: epoch, PerApp: perApp}
+	}
+	return EpochResult{Epoch: epoch, Report: rep, PerApp: perApp}
 }
 
 // executeRouted is the multi-backend epoch: partition the merged
@@ -855,6 +976,17 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 	for _, bs := range bks {
 		bs.tasks = bs.tasks[:0]
 		bs.active = false
+		bs.committed = false
+	}
+	// Resolve the fallback target before merging: every contribution
+	// whose placed backend is unschedulable (failed, degraded, draining,
+	// mid-roll) reroutes here. With no schedulable backend at all the
+	// no-healthy policy decides between parking and writing the batch
+	// off — either way the merge below runs first, because the offered
+	// totals are accounted per contribution exactly once, always.
+	fallback := firstSchedulable(bks)
+	if fallback < 0 {
+		fallback, _ = k.awaitSchedulable(k.parkCtx, bks)
 	}
 	for _, c := range contribs {
 		sum := 0.0
@@ -863,13 +995,20 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 		}
 		perApp[c.ctl.Name()] += sum
 		c.ctl.addTotal(sum)
+		if fallback < 0 {
+			continue // write-off epoch: account, don't route
+		}
 		idx := int(c.ctl.backend.Load())
-		if idx < 0 || idx >= len(bks) {
-			idx = 0 // unplaced app mid-roll: route to the first backend
+		if idx < 0 || idx >= len(bks) || !bks[idx].schedulable() {
+			idx = fallback // unplaced mid-roll or unhealthy target: reroute
 		}
 		bs := bks[idx]
 		bs.active = true
 		bs.tasks = append(bs.tasks, c.tasks...)
+	}
+	if fallback < 0 {
+		k.writeOff(contribs)
+		return EpochResult{Epoch: k.epochs.Add(1), PerApp: perApp}
 	}
 	nActive := 0
 	for _, bs := range bks {
@@ -885,7 +1024,7 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 	if nActive == 1 {
 		for _, bs := range bks {
 			if bs.active {
-				commitEpoch(bs, dt, bs.tasks)
+				bs.report, bs.committed, _ = k.commitBounded(bs, dt, bs.tasks)
 			}
 		}
 	} else if nActive > 1 {
@@ -897,7 +1036,13 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 			wg.Add(1)
 			go func(bs *backendSlot) {
 				defer wg.Done()
-				commitEpoch(bs, dt, bs.tasks)
+				rep, ok, done := k.commitBounded(bs, dt, bs.tasks)
+				if done {
+					bs.report, bs.committed = rep, ok
+				}
+				// Abandoned (done=false): the stalled commit still runs
+				// and must not race this epoch's scratch — leave
+				// bs.report alone; committed stays false.
 			}(bs)
 		}
 		wg.Wait()
@@ -912,8 +1057,8 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 		res.Backends = make([]BackendEpoch, 0, nActive)
 	}
 	for _, bs := range bks {
-		if !bs.active {
-			continue
+		if !bs.active || !bs.committed {
+			continue // panicked or abandoned: no report to aggregate
 		}
 		res.Report.EnergyJ += bs.report.EnergyJ
 		res.Report.DoneGFlop += bs.report.DoneGFlop
@@ -925,7 +1070,7 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 	// Per-backend load telemetry for placement decisions.
 	k.loadMu.Lock()
 	for _, bs := range bks {
-		if !bs.active {
+		if !bs.active || !bs.committed {
 			continue
 		}
 		offered := bs.report.DoneGFlop + bs.report.DeferredGFlop
@@ -1004,6 +1149,9 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 	}
 	k.epochProto = k.protocol
 	k.protoActive.Store(int32(k.protocol))
+	// Sync parks (no healthy backends under ParkAndRetry) have no
+	// generation context to watch — they wait for a revive alone.
+	k.parkCtx = nil
 	k.mu.Unlock()
 
 	n := len(apps)
@@ -1020,10 +1168,13 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 	if workers <= 1 || n < 4 {
 		// Few apps: the fan-out costs less than spawning workers.
 		for i, ctl := range apps {
-			ctl.Tick()
-			tasks, err := ctl.workload()
+			tasks, err, live := k.tickApp(ctl)
 			if err != nil {
 				return EpochResult{}, fmt.Errorf("runtime: %s: %w", ctl.Name(), err)
+			}
+			if !live {
+				contribs[i] = contribution{} // quarantined: no contribution
+				continue
 			}
 			contribs[i] = contribution{ctl: ctl, tasks: tasks}
 		}
@@ -1041,8 +1192,7 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 						return
 					}
 					ctl := apps[i]
-					ctl.Tick()
-					tasks, err := ctl.workload()
+					tasks, err, live := k.tickApp(ctl)
 					if err != nil {
 						errMu.Lock()
 						if firstErr == nil {
@@ -1050,6 +1200,10 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 						}
 						errMu.Unlock()
 						tasks = nil
+					}
+					if !live {
+						contribs[i] = contribution{}
+						continue
 					}
 					contribs[i] = contribution{ctl: ctl, tasks: tasks}
 				}
@@ -1060,7 +1214,18 @@ func (k *Kernel) RunEpoch(dt float64) (EpochResult, error) {
 			return EpochResult{}, firstErr
 		}
 	}
-	return k.execute(dt, contribs), nil
+	// Compact out quarantined apps' empty slots; clear the displaced
+	// tail so stale contributions are not pinned in the reused scratch.
+	live := contribs[:0]
+	for _, c := range contribs {
+		if c.ctl != nil {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < n; i++ {
+		contribs[i] = contribution{}
+	}
+	return k.execute(dt, live), nil
 }
 
 // workload materializes the controller's epoch tasks (nil Workload → no
@@ -1216,6 +1381,10 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 func (k *Kernel) serveGeneration(ctx context.Context, changed <-chan struct{}, apps []*Controller, opts Options) {
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Parked epoch batches (no healthy backends) unpark when this
+	// generation winds down, so a roll or Stop never hangs on an
+	// outage. Safe plain write: the previous generation quiesced.
+	k.parkCtx = gctx
 
 	// Per-app loops while they are affordable (strongest straggler
 	// isolation); collapse to one shard per core once the app count
@@ -1276,11 +1445,13 @@ func (k *Kernel) singleLoop(ctx context.Context, sh *shard, opts Options, wg *sy
 		}
 		sh.contribs = sh.contribs[:0]
 		for _, ctl := range sh.apps {
-			ctl.Tick()
-			tasks, err := ctl.workload()
+			tasks, err, live := k.tickApp(ctl)
 			if err != nil {
 				k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
 				tasks = nil
+			}
+			if !live {
+				continue // quarantined by a panic: contributes nothing
 			}
 			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
 		}
@@ -1337,11 +1508,13 @@ func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, submit 
 		}
 		sh.contribs = sh.contribs[:0]
 		for _, ctl := range sh.apps {
-			ctl.Tick()
-			tasks, err := ctl.workload()
+			tasks, err, live := k.tickApp(ctl)
 			if err != nil {
 				k.noteErr(fmt.Errorf("runtime: %s: %w", ctl.Name(), err))
 				tasks = nil
+			}
+			if !live {
+				continue // quarantined by a panic: contributes nothing
 			}
 			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
 		}
