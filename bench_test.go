@@ -11,6 +11,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dsl/interp"
 	"repro/internal/ir"
 	"repro/internal/monitor"
+	"repro/internal/policyc"
 	"repro/internal/precision"
 	"repro/internal/rtrm"
 	kernelrt "repro/internal/runtime"
@@ -1323,4 +1325,84 @@ func BenchmarkExascaleExtrapolation(b *testing.B) {
 	b.ReportMetric(float64(exaNodes), "nodes_for_exaflop")
 	b.ReportMetric(exaProj.PowerMW, "power_MW")
 	b.ReportMetric(exaProj.Efficiency*100, "parallel_eff_%")
+}
+
+// BenchmarkCompiledPolicy (K10) prices the programmable-policy tax:
+// one controller tick (collect, analyse, decide, act) with the
+// decision made by the hand-rolled ladder closure versus the DSL
+// program compiled to the policy VM. The SLA is violated every tick
+// and debounce is 1, so each iteration runs a full decide — the gated
+// acceptance bound is VM-backed ≤ 2× the native closure (enforced by
+// CI via benchgate -require-le on the same run).
+func BenchmarkCompiledPolicy(b *testing.B) {
+	mkSpec := func(inbox *kernelrt.Inbox, pol kernelrt.Policy, kb kernelrt.Knob) kernelrt.AppSpec {
+		return kernelrt.AppSpec{
+			Name: "k10",
+			SLA: monitor.SLA{Goals: []monitor.Goal{
+				{Metric: monitor.MetricLatency, Relation: monitor.AtMost, Target: 1.0},
+			}},
+			Window:   8,
+			Debounce: 1,
+			Sensor:   inbox,
+			Policy:   pol,
+			Knob:     kb,
+		}
+	}
+	run := func(b *testing.B, ctl *kernelrt.Controller, inbox *kernelrt.Inbox) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inbox.Push(monitor.MetricLatency, 5)
+			ctl.Tick()
+		}
+		if ctl.Adaptations() == 0 {
+			b.Fatal("policy never adapted")
+		}
+	}
+	b.Run("policy=ladder", func(b *testing.B) {
+		inbox := &kernelrt.Inbox{}
+		levels := []float64{1, 0.5, 0.25}
+		var idx atomic.Int64
+		pol := kernelrt.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
+			// Cyclic rather than floor-stopping, so every iteration
+			// prices a full decide+act instead of the bottomed-out nil.
+			return autotune.Config{"level_idx": float64((idx.Load() + 1) % int64(len(levels)))}, true
+		})
+		kb := kernelrt.KnobFunc(func(cfg autotune.Config) {
+			if v, ok := cfg["level_idx"]; ok && int64(v) < int64(len(levels)) {
+				idx.Store(int64(v))
+			}
+		})
+		run(b, kernelrt.NewController(mkSpec(inbox, pol, kb)), inbox)
+	})
+	b.Run("policy=dsl", func(b *testing.B) {
+		inbox := &kernelrt.Inbox{}
+		prog, err := policyc.Compile(`
+aspectdef Steer
+	input gain end
+	apply
+		do Set('level', 1 - violation + gain);
+	end
+	condition violation > 0 end
+end
+`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var levelBits atomic.Uint64
+		levelBits.Store(math.Float64bits(1))
+		kp, err := policyc.New(prog, policyc.Options{
+			Params:    map[string]float64{"gain": 0.1},
+			KnobValue: func(string) float64 { return math.Float64frombits(levelBits.Load()) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer kp.Close()
+		kb := kernelrt.KnobFunc(func(cfg autotune.Config) {
+			if v, ok := cfg["level"]; ok {
+				levelBits.Store(math.Float64bits(v))
+			}
+		})
+		run(b, kernelrt.NewController(mkSpec(inbox, kp, kb)), inbox)
+	})
 }

@@ -12,8 +12,9 @@
 //	curl -s localhost:8077/v1/backends
 //	curl -s -X POST localhost:8077/v1/backends -d '{"name":"edge","nodes":4,"ambient_c":30}'
 //	curl -s -X DELETE localhost:8077/v1/backends/edge    # drain + remove (apps evacuate)
-//	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","placement":"b1","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"levels":[1,0.5,0.25]}'
+//	curl -s -X POST localhost:8077/v1/apps -d '{"name":"web","placement":"b1","goals":[{"metric":"latency","target":1}],"workload":{"tasks":2,"gflop":4},"policy":{"type":"ladder","levels":[1,0.5,0.25]}}'
 //	curl -s -X POST localhost:8077/v1/apps/web/observations -d '{"samples":[{"metric":"latency","value":2.2}]}'
+//	curl -s -X PUT localhost:8077/v1/apps/web/policy -d '{"type":"dsl","source":"aspectdef S apply do Set('"'"'level'"'"', 0.5); end condition violation > 0 end end"}'
 //	curl -s localhost:8077/v1/epochs
 //	curl -sN localhost:8077/v1/epochs/stream    # server-sent epoch events
 //	curl -s -X DELETE localhost:8077/v1/apps/web

@@ -11,15 +11,19 @@
 //	go run ./examples/remote                 # self-hosted: in-process server
 //	go run ./examples/remote -connect URL    # drive an external antarex-serve
 //	go run ./examples/remote -stream         # telemetry over the binary stream
+//	go run ./examples/remote -dsl            # bursty steered by a compiled DSL policy
 //
 // With -stream, observations ride the persistent binary ingest
 // connection (POST /v1/stream via Client.Stream) instead of one JSON
 // POST per batch — the protocol built to close K5's ~20× serving tax —
 // and the tenants get "-bin" name suffixes so both modes can run
-// against one server. With -connect the program doubles as an
-// end-to-end smoke check (CI runs it against a freshly started
-// cmd/antarex-serve, in both modes): any failed assertion exits
-// non-zero.
+// against one server. With -dsl, bursty's step-down ladder is replaced
+// by a DSL aspect compiled server-side to a VM-backed kernel policy
+// ({"policy": {"type": "dsl", ...}}), and once it adapts the program is
+// hot-swapped live via PUT /v1/apps/{id}/policy (tenants get "-dsl"
+// suffixes). With -connect the program doubles as an end-to-end smoke
+// check (CI runs it against a freshly started cmd/antarex-serve, in
+// all modes): any failed assertion exits non-zero.
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 func main() {
 	connect := flag.String("connect", "", "control-plane URL (empty: start an in-process server)")
 	useStream := flag.Bool("stream", false, "send telemetry over the persistent binary stream instead of JSON POSTs")
+	useDSL := flag.Bool("dsl", false, "steer bursty with a compiled DSL policy and hot-swap it live, instead of the level ladder")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -60,11 +65,14 @@ func main() {
 	}
 	gen0 := h.Generation
 
-	// Distinct tenant names per mode, so the JSON and stream runs can
-	// drive the same server back to back (CI does).
+	// Distinct tenant names per mode, so the JSON, stream and DSL runs
+	// can drive the same server back to back (CI does).
 	tenant := func(name string) string {
 		if *useStream {
-			return name + "-bin"
+			name += "-bin"
+		}
+		if *useDSL {
+			name += "-dsl"
 		}
 		return name
 	}
@@ -77,15 +85,42 @@ func main() {
 		Workload: controlplane.WorkloadSpec{Tasks: 2, GFlop: 4},
 	})
 	must(err)
-	_, err = c.Register(controlplane.AppSpec{
+	burstySpec := controlplane.AppSpec{
 		Name:     burstyName,
 		Window:   8,
 		Debounce: 2,
 		Goals:    []controlplane.GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
 		Workload: controlplane.WorkloadSpec{Tasks: 2, GFlop: 4},
-		Levels:   []float64{1, 0.5, 0.25},
-	})
+	}
+	if *useDSL {
+		// The same shedding behaviour as the ladder, but programmed: an
+		// aspect compiled server-side at admission; each firing decision
+		// multiplies the level knob by gain.
+		burstySpec.Policy = &controlplane.PolicySpec{
+			Type: controlplane.PolicyDSL,
+			Source: `
+aspectdef Steer
+	input gain end
+	apply
+		do Scale('level', gain);
+	end
+	condition violation > 0 end
+end
+`,
+			Params: map[string]float64{"gain": 0.5},
+		}
+	} else {
+		burstySpec.Levels = []float64{1, 0.5, 0.25}
+	}
+	burstyStatus, err := c.Register(burstySpec)
 	must(err)
+	if *useDSL {
+		p := burstyStatus.Policy
+		if p == nil || p.Type != controlplane.PolicyDSL {
+			log.Fatalf("registered dsl policy not reported: %+v", p)
+		}
+		log.Printf("compiled %s policy for %s: %s (%s)", p.Class, burstyName, p.SourceHash, p.ClassReason)
+	}
 	log.Printf("registered tenants %s + %s (membership epoch %d -> %d)", steadyName, burstyName, gen0, mustGen(c))
 
 	// Stream observations: steady within SLA, bursty far beyond it —
@@ -129,6 +164,46 @@ func main() {
 	}
 	log.Printf("bursty adapted: level %.2f after %d ticks, %d fires (shedding %d%% of its work)",
 		bursty.Level, bursty.Ticks, bursty.Fires, int(100*(1-bursty.Level)))
+
+	if *useDSL {
+		// Hot-swap the steering program live (PUT /v1/apps/{id}/policy):
+		// the replacement pins the level to a recovery floor, and the
+		// swap lands at a generation boundary without dropping the
+		// tenant's pending observations, windows or totals.
+		swapped, err := c.PutPolicy(burstyName, controlplane.PolicySpec{
+			Type: controlplane.PolicyDSL,
+			Source: `
+aspectdef Recover
+	apply
+		do Set('level', 0.75);
+	end
+	condition violation > 0 end
+end
+`,
+		})
+		must(err)
+		if swapped.Policy == nil || swapped.Policy.Swaps != 1 {
+			log.Fatalf("hot-swap not recorded: %+v", swapped.Policy)
+		}
+		if swapped.Samples < bursty.Samples || swapped.Ticks < bursty.Ticks {
+			log.Fatalf("hot-swap dropped history: samples %d->%d ticks %d->%d",
+				bursty.Samples, swapped.Samples, bursty.Ticks, swapped.Ticks)
+		}
+		for {
+			stream(burstyName, 4.0)
+			st, err := c.App(burstyName)
+			must(err)
+			if st.Level == 0.75 {
+				log.Printf("policy hot-swapped live: %s now holds level %.2f (swap #%d, no observations dropped)",
+					burstyName, st.Level, swapped.Policy.Swaps)
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("swapped policy never took over: %+v", st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
 
 	// Live detach: steady leaves while epochs keep flowing. In stream
 	// mode, close the stream first — Close returns only after the

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/controlplane/wire"
+	"repro/internal/policyc"
 	"repro/internal/runtime"
 )
 
@@ -50,15 +51,35 @@ func (c *Client) authorize(req *http.Request) {
 	}
 }
 
-// APIError is a non-2xx control-plane response.
+// APIError is a non-2xx control-plane response: the HTTP status plus
+// the decoded error envelope ({"error": {"code", "message", "detail"}}).
 type APIError struct {
-	Status int    // HTTP status code
-	Msg    string // server-side error string
+	Status int             // HTTP status code
+	Code   string          // machine-readable envelope code (Code* constants)
+	Msg    string          // server-side error message
+	Detail json.RawMessage // code-specific payload (compile diagnostics, ...)
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("controlplane: %d %s (%s): %s", e.Status, http.StatusText(e.Status), e.Code, e.Msg)
+	}
 	return fmt.Sprintf("controlplane: %d %s: %s", e.Status, http.StatusText(e.Status), e.Msg)
+}
+
+// CompileDiags returns the positioned policy-compile diagnostics a
+// compile_error response carried in its detail payload, or nil for any
+// other error.
+func (e *APIError) CompileDiags() []policyc.Diag {
+	if e.Code != CodeCompileError || len(e.Detail) == 0 {
+		return nil
+	}
+	var diags []policyc.Diag
+	if err := json.Unmarshal(e.Detail, &diags); err != nil {
+		return nil
+	}
+	return diags
 }
 
 // IsNotFound reports whether err is an APIError with status 404 — the
@@ -68,12 +89,27 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &api) && api.Status == http.StatusNotFound
 }
 
+// IsCompileError reports whether err is a policy-DSL admission failure
+// (code "compile_error"); CompileDiags on the APIError has the
+// positioned diagnostics.
+func IsCompileError(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.Code == CodeCompileError
+}
+
 // apiError reads a non-2xx response's JSON error envelope into an
-// APIError.
+// APIError. ErrorBody's decoder also accepts the legacy flat shape
+// ({"error": "msg"}), so a client pointed at an older plane still gets
+// the message (with an empty code).
 func apiError(resp *http.Response) error {
 	var eb ErrorBody
 	_ = json.NewDecoder(io.LimitReader(resp.Body, maxSpecBody)).Decode(&eb)
-	return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+	return &APIError{
+		Status: resp.StatusCode,
+		Code:   eb.Error.Code,
+		Msg:    eb.Error.Message,
+		Detail: eb.Error.Detail,
+	}
 }
 
 // Retry policy for idempotent requests: a plane mid-restart or a
@@ -176,6 +212,18 @@ func (c *Client) do(method, path string, in, out any) error {
 func (c *Client) Register(spec AppSpec) (AppStatus, error) {
 	var st AppStatus
 	err := c.do(http.MethodPost, "/v1/apps", spec, &st)
+	return st, err
+}
+
+// PutPolicy hot-swaps an application's policy
+// (PUT /v1/apps/{id}/policy): the replacement lands at a generation
+// boundary without dropping the app's pending observations, metric
+// windows or totals. A DSL policy that fails to compile returns an
+// APIError with code "compile_error" — see IsCompileError and
+// APIError.CompileDiags for the positioned diagnostics.
+func (c *Client) PutPolicy(name string, p PolicySpec) (AppStatus, error) {
+	var st AppStatus
+	err := c.do(http.MethodPut, "/v1/apps/"+url.PathEscape(name)+"/policy", p, &st)
 	return st, err
 }
 

@@ -46,9 +46,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/autotune"
 	"repro/internal/controlplane/wire"
 	"repro/internal/monitor"
+	"repro/internal/policyc"
 	"repro/internal/rtrm"
 	"repro/internal/runtime"
 	"repro/internal/simhpc"
@@ -62,13 +62,25 @@ const (
 
 // remoteApp is the server-side state of one HTTP-registered tenant:
 // the kernel controller, the inbox HTTP observations feed, and the
-// level-ladder position of the built-in step-down policy.
+// active policy (ladder position or compiled DSL program).
 type remoteApp struct {
-	spec     AppSpec
-	inbox    *runtime.Inbox
-	ctl      *runtime.Controller
-	samples  atomic.Int64
-	levelIdx atomic.Int64 // index into spec.Levels
+	spec    AppSpec
+	inbox   *runtime.Inbox
+	ctl     *runtime.Controller
+	samples atomic.Int64
+
+	// pol is the active policy arm. Swapped atomically by
+	// PUT /v1/apps/{id}/policy while the workload closure and status
+	// readers load it lock-free; nil means no policy (level 1).
+	pol atomic.Pointer[appPolicy]
+
+	// levelIdx is the ladder arm's position; dslLevel is the DSL arm's
+	// knob value as float bits (the compiled policy writes "level"
+	// through a KnobFunc into it). Each swap re-seeds the incoming
+	// arm's state. swaps counts completed hot-swaps for AppStatus.
+	levelIdx atomic.Int64
+	dslLevel atomic.Uint64
+	swaps    atomic.Int64
 
 	// metrics tracks the distinct metric names this tenant has streamed.
 	// Every new name permanently allocates a monitor.Window in the
@@ -119,12 +131,25 @@ func (a *remoteApp) admitMetrics(samples []runtime.Sample) error {
 	return nil
 }
 
-// level returns the active workload multiplier (1 without a ladder).
+// level returns the active workload multiplier (1 without a policy).
+// The ladder arm indexes its levels; the DSL arm reads the knob value
+// the compiled policy last wrote.
 func (a *remoteApp) level() float64 {
-	if len(a.spec.Levels) == 0 {
+	ap := a.pol.Load()
+	if ap == nil {
 		return 1
 	}
-	return a.spec.Levels[a.levelIdx.Load()]
+	switch ap.spec.Type {
+	case PolicyLadder:
+		idx := a.levelIdx.Load()
+		if idx < 0 || int(idx) >= len(ap.spec.Levels) {
+			return 1
+		}
+		return ap.spec.Levels[idx]
+	case PolicyDSL:
+		return math.Float64frombits(a.dslLevel.Load())
+	}
+	return 1
 }
 
 // Server exposes a runtime.Kernel over HTTP. It implements
@@ -173,6 +198,7 @@ func NewServer(k *runtime.Kernel, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/apps/{id}", s.handleApp)
 	s.mux.HandleFunc("DELETE /v1/apps/{id}", s.auth(s.handleDetach))
+	s.mux.HandleFunc("PUT /v1/apps/{id}/policy", s.auth(s.handlePutPolicy))
 	s.mux.HandleFunc("POST /v1/apps/{id}/observations", s.auth(s.handleObserve))
 	s.mux.HandleFunc("POST /v1/apps/{id}/observations:binary", s.auth(s.handleObserveBinary))
 	s.mux.HandleFunc("POST /v1/stream", s.auth(s.handleStream))
@@ -189,7 +215,7 @@ func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
 		got := []byte(r.Header.Get("Authorization"))
 		if subtle.ConstantTimeCompare(got, want) != 1 {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="antarex"`)
-			writeJSON(w, http.StatusUnauthorized, ErrorBody{Error: "missing or invalid bearer token"})
+			writeError(w, http.StatusUnauthorized, CodeUnauthorized, "missing or invalid bearer token")
 			return
 		}
 		h(w, r)
@@ -205,26 +231,69 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the unified error envelope:
+// {"error": {"code", "message", "detail"}}. Every error path in the
+// API funnels through here (or writeCompileErr, which adds a detail
+// payload), so clients can switch on one machine-readable code space.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: ErrorInfo{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeCompileErr renders a DSL admission failure: 400 with code
+// "compile_error" and the positioned diagnostics marshalled into
+// detail, so a client can map them back onto policy source lines.
+func writeCompileErr(w http.ResponseWriter, ce *policyc.CompileError) {
+	detail, err := json.Marshal(ce.Diags)
+	if err != nil {
+		detail = nil
+	}
+	writeJSON(w, http.StatusBadRequest, ErrorBody{Error: ErrorInfo{
+		Code:    CodeCompileError,
+		Message: ce.Error(),
+		Detail:  detail,
+	}})
+}
+
+// errCode maps an HTTP status onto its envelope code.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeBackpressure
+	}
+	return CodeInternal
+}
+
 // writeErr maps kernel errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, runtime.ErrDuplicateApp):
-		code = http.StatusConflict
+		status = http.StatusConflict
 	case errors.Is(err, runtime.ErrUnknownApp):
-		code = http.StatusNotFound
+		status = http.StatusNotFound
 	case errors.Is(err, runtime.ErrEmptyAppName):
-		code = http.StatusBadRequest
+		status = http.StatusBadRequest
 	case errors.Is(err, runtime.ErrUnknownBackend):
-		code = http.StatusNotFound
+		status = http.StatusNotFound
 	case errors.Is(err, runtime.ErrBackendDraining), errors.Is(err, runtime.ErrLastBackend):
-		code = http.StatusConflict
+		status = http.StatusConflict
 	}
-	writeJSON(w, code, ErrorBody{Error: err.Error()})
+	writeError(w, status, errCode(status), "%s", err.Error())
 }
 
 func badRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, ErrorBody{Error: fmt.Sprintf(format, args...)})
+	writeError(w, http.StatusBadRequest, CodeBadRequest, format, args...)
 }
 
 // Spec magnitude ceilings: the body-size caps bound the JSON, these
@@ -284,15 +353,8 @@ func validateSpec(spec AppSpec) error {
 		return fmt.Errorf("window %d out of range [0, %d]", spec.Window, maxWindow)
 	case spec.Debounce < 0 || spec.Debounce > maxDebounce:
 		return fmt.Errorf("debounce %d out of range [0, %d]", spec.Debounce, maxDebounce)
-	case len(spec.Levels) > maxLevels:
-		return fmt.Errorf("%d levels, at most %d", len(spec.Levels), maxLevels)
 	case !validMag(spec.Workload.GFlop) || !validMag(spec.Workload.MemGB):
 		return fmt.Errorf("workload gflop/mem_gb must be finite in [0, %g]", float64(maxMagnitude))
-	}
-	for _, l := range spec.Levels {
-		if !validMag(l) {
-			return fmt.Errorf("level %g must be finite in [0, %g]", l, float64(maxMagnitude))
-		}
 	}
 	for _, g := range spec.Goals {
 		if !validMag(g.Target) {
@@ -393,8 +455,8 @@ func parseGoals(specs []GoalSpec) ([]monitor.Goal, error) {
 }
 
 // kernelSpec lowers a wire AppSpec into a runtime.AppSpec wired to the
-// remoteApp's inbox, synthetic workload and level ladder.
-func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal) runtime.AppSpec {
+// remoteApp's inbox, synthetic workload and built policy arm.
+func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal, pol runtime.Policy, knob runtime.Knob) runtime.AppSpec {
 	w := ra.spec.Workload
 	if w.Tasks <= 0 {
 		w.Tasks = 1
@@ -405,13 +467,15 @@ func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal) runtime.AppSpec
 	if w.MemGB <= 0 {
 		w.MemGB = w.GFlop / 8
 	}
-	spec := runtime.AppSpec{
+	return runtime.AppSpec{
 		Name:     ra.spec.Name,
 		SLA:      monitor.SLA{Name: ra.spec.Name, Goals: goals},
 		Window:   ra.spec.Window,
 		Debounce: ra.spec.Debounce,
 		Backend:  ra.spec.Placement,
 		Sensor:   ra.inbox,
+		Policy:   pol,
+		Knob:     knob,
 		Workload: func() ([]*simhpc.Task, error) {
 			// Fresh tasks every call: the pipelined executor may still
 			// be reading the previous epoch's slice.
@@ -423,21 +487,6 @@ func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal) runtime.AppSpec
 			return tasks, nil
 		},
 	}
-	if len(ra.spec.Levels) > 0 {
-		spec.Policy = runtime.PolicyFunc(func(monitor.Decision, map[string]monitor.Summary) (autotune.Config, bool) {
-			next := ra.levelIdx.Load() + 1
-			if int(next) >= len(ra.spec.Levels) {
-				return nil, false // bottom of the ladder: nothing to shed
-			}
-			return autotune.Config{"level_idx": float64(next)}, true
-		})
-		spec.Knob = runtime.KnobFunc(func(cfg autotune.Config) {
-			if v, ok := cfg["level_idx"]; ok && int(v) < len(ra.spec.Levels) {
-				ra.levelIdx.Store(int64(v))
-			}
-		})
-	}
-	return spec
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -448,7 +497,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad app spec: %v", err)
 		return
 	}
+	if err := canonicalizePolicy(&spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
 	if err := validateSpec(spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := validatePolicy(spec.Policy); err != nil {
 		badRequest(w, "bad app spec: %v", err)
 		return
 	}
@@ -462,14 +519,28 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ra := &remoteApp{spec: spec, inbox: &runtime.Inbox{}, metrics: make(map[string]struct{})}
+	ap, pol, knob, err := buildPolicy(ra, spec.Policy)
+	if err != nil {
+		var ce *policyc.CompileError
+		if errors.As(err, &ce) {
+			writeCompileErr(w, ce)
+			return
+		}
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	installPolicy(ra, ap)
 	s.mu.Lock()
-	ctl, err := s.kernel.Attach(s.kernelSpec(ra, goals))
+	ctl, err := s.kernel.Attach(s.kernelSpec(ra, goals, pol, knob))
 	if err == nil {
 		ra.ctl = ctl
 		s.apps[spec.Name] = ra
 	}
 	s.mu.Unlock()
 	if err != nil {
+		if ap != nil {
+			ap.close()
+		}
 		writeErr(w, err)
 		return
 	}
@@ -479,7 +550,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("id")
 	s.mu.Lock()
-	_, known := s.apps[name]
+	ra, known := s.apps[name]
 	var err error
 	if !known {
 		err = fmt.Errorf("controlplane: %q: %w", name, runtime.ErrUnknownApp)
@@ -490,6 +561,13 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	// Release the policy's resources (an isolated DSL policy owns a
+	// worker goroutine) after membership is updated: the kernel drains
+	// the app at the next boundary, and Close serializes against any
+	// in-flight Decide.
+	if ap := ra.pol.Load(); ap != nil {
+		ap.close()
 	}
 	// The kernel drains the app at the next epoch boundary; membership
 	// is already updated, so 204 without waiting for the drain.
@@ -512,7 +590,7 @@ func (e *backpressureError) Error() string {
 func writeIngestErr(w http.ResponseWriter, err error) {
 	var bp *backpressureError
 	if errors.As(err, &bp) {
-		writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, CodeBackpressure, "%s", err.Error())
 		return
 	}
 	badRequest(w, "%v", err)
@@ -780,7 +858,7 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 	if !ok && totals == nil {
 		total = s.kernel.TotalFor(ra.spec.Name)
 	}
-	return AppStatus{
+	st := AppStatus{
 		Name:        ra.spec.Name,
 		Ticks:       ra.ctl.Ticks(),
 		Fires:       ra.ctl.Fires(),
@@ -791,6 +869,20 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 		Backend:     s.kernel.AppBackend(ra.spec.Name),
 		Error:       ra.ctl.LastError(),
 	}
+	if ap := ra.pol.Load(); ap != nil {
+		ps := &PolicyStatus{
+			Type:   ap.spec.Type,
+			Levels: ap.spec.Levels,
+			Swaps:  ra.swaps.Load(),
+		}
+		if ap.prog != nil {
+			ps.SourceHash = ap.prog.SourceHash
+			ps.Class = ap.prog.Class.String()
+			ps.ClassReason = ap.prog.ClassReason
+		}
+		st.Policy = ps
+	}
+	return st
 }
 
 func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
@@ -882,7 +974,7 @@ func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: "streaming unsupported by this connection"})
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	interval := 250 * time.Millisecond
@@ -1026,7 +1118,7 @@ func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.kernel.AddBackend(spec.Name, BuildBackend(spec)); err != nil {
-		writeJSON(w, http.StatusConflict, ErrorBody{Error: err.Error()})
+		writeError(w, http.StatusConflict, CodeConflict, "%s", err.Error())
 		return
 	}
 	for _, st := range s.backendStatuses() {

@@ -1,12 +1,15 @@
 package controlplane
 
+import "encoding/json"
+
 // Wire types of the v1 HTTP/JSON control-plane API. Remote applications
-// cannot ship Go callbacks, so the declarative subset an AppSpec can
-// express over the wire is: SLA goals over streamed observations, a
-// synthetic epoch workload (task count × roofline coordinates), and an
-// optional level ladder the server turns into a built-in step-down
-// policy (each SLA firing steps one level down; each level scales the
-// workload's compute volume).
+// cannot ship Go callbacks, so the adaptation policy an AppSpec carries
+// is declarative: a discriminated PolicySpec that is either a level
+// ladder (the built-in step-down policy) or DSL aspect source the
+// server compiles to a VM-backed kernel policy at admission
+// (internal/policyc). SLA goals over streamed observations and a
+// synthetic epoch workload (task count × roofline coordinates) round
+// out the spec.
 
 // GoalSpec is one SLA clause (monitor.Goal over the wire).
 type GoalSpec struct {
@@ -42,19 +45,78 @@ type AppSpec struct {
 	Debounce int          `json:"debounce,omitempty"`
 	Goals    []GoalSpec   `json:"goals,omitempty"`
 	Workload WorkloadSpec `json:"workload,omitempty"`
-	// Levels, when non-empty, arms the built-in step-down policy:
-	// the app starts at Levels[0]; every debounced SLA firing moves one
-	// level to the right; the active level scales each task's compute
-	// volume AND memory traffic together (the task's roofline intensity
-	// is preserved — less work, not different work). A descending
-	// ladder (e.g. [1, 0.5, 0.25]) sheds work under violation, like
-	// the navigation server's fidelity ladder.
+	// Policy is the app's adaptation policy, a discriminated object:
+	// {"type":"ladder","levels":[...]} or
+	// {"type":"dsl","source":"aspectdef ...","params":{...}}.
+	// Omitted means no policy (the app never adapts).
+	Policy *PolicySpec `json:"policy,omitempty"`
+	// Levels is the deprecated spelling of
+	// {"policy":{"type":"ladder","levels":[...]}}, accepted as an alias
+	// for one release. The server canonicalizes it into Policy at
+	// admission (setting both is a 400), and GET reports only the
+	// canonical shape.
 	Levels []float64 `json:"levels,omitempty"`
 	// Placement optionally names the backend this app prefers — the
 	// kernel's placement hint. Must name a registered backend (400
 	// otherwise); all shipped placement policies pin a hinted app to
 	// its backend and never steer it away.
 	Placement string `json:"placement,omitempty"`
+}
+
+// Policy type discriminators (PolicySpec.Type).
+const (
+	// PolicyLadder is the built-in step-down policy: the app starts at
+	// Levels[0]; every debounced SLA firing moves one level to the
+	// right; the active level scales each task's compute volume AND
+	// memory traffic together (the task's roofline intensity is
+	// preserved — less work, not different work). A descending ladder
+	// (e.g. [1, 0.5, 0.25]) sheds work under violation, like the
+	// navigation server's fidelity ladder.
+	PolicyLadder = "ladder"
+	// PolicyDSL compiles LARA-style aspect source into a VM-backed
+	// policy at admission. The compiled policy reads metric summaries
+	// (<metric>.<stat>) and the SLA violation magnitude, and writes the
+	// "level" knob (the workload multiplier the ladder also drives) via
+	// do Set/Scale. Compile errors are a 400 whose error detail carries
+	// line/col diagnostics.
+	PolicyDSL = "dsl"
+)
+
+// PolicySpec is the discriminated adaptation-policy object, one arm
+// per Type. It is both the AppSpec field and the body of
+// PUT /v1/apps/{id}/policy (hot swap at a generation boundary).
+type PolicySpec struct {
+	// Type is "ladder" or "dsl".
+	Type string `json:"type"`
+	// Levels is the ladder arm: the workload-multiplier ladder, most
+	// expensive first.
+	Levels []float64 `json:"levels,omitempty"`
+	// Source is the dsl arm: DSL aspect source (aspectdef ... end). The
+	// first aspect is the policy entry point; its inputs are bound from
+	// Params.
+	Source string `json:"source,omitempty"`
+	// Params bind the entry aspect's inputs (dsl arm only). Missing
+	// inputs bind to 0.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// PolicyStatus reports the active policy on AppStatus — the read-side
+// shape of the spec plus the compile verdict for dsl policies.
+type PolicyStatus struct {
+	Type   string    `json:"type"`
+	Levels []float64 `json:"levels,omitempty"`
+	// SourceHash is "sha256:<hex>" over the dsl source, so a tenant can
+	// confirm which revision is live without the server echoing the
+	// program back.
+	SourceHash string `json:"source_hash,omitempty"`
+	// Class is the static-analysis verdict for dsl policies: "inline"
+	// (pure and bounded, runs on the epoch tick path) or "isolated"
+	// (runs on its own goroutine with a decision deadline).
+	Class string `json:"class,omitempty"`
+	// ClassReason explains the classification.
+	ClassReason string `json:"class_reason,omitempty"`
+	// Swaps counts successful PUT /v1/apps/{id}/policy calls.
+	Swaps int64 `json:"swaps,omitempty"`
 }
 
 // BackendSpec declares one resource-manager backend — a simulated
@@ -157,6 +219,10 @@ type AppStatus struct {
 	// Backend is the backend the app is currently placed on ("" until
 	// the first placement, i.e. before the app's first epoch boundary).
 	Backend string `json:"backend,omitempty"`
+	// Policy is the active adaptation policy in canonical shape (also
+	// for apps registered through the deprecated levels alias). Omitted
+	// when the app has no policy.
+	Policy *PolicyStatus `json:"policy,omitempty"`
 	// Error is the app's most recent failure note: the captured panic of
 	// a quarantined app (a tenant panic is contained to its app, never
 	// the kernel), or a dropped-epoch note from a no-healthy-backends
@@ -213,7 +279,59 @@ type Health struct {
 	ServedGeneration int64  `json:"served_generation"`
 }
 
-// ErrorBody is the JSON error envelope every non-2xx response carries.
+// Error codes carried in the error envelope. They partition the HTTP
+// statuses the API uses, so clients branch on a stable string instead
+// of parsing messages.
+const (
+	// CodeBadRequest: malformed body, spec validation failure (400).
+	CodeBadRequest = "bad_request"
+	// CodeCompileError: DSL policy source failed to compile (400); the
+	// envelope detail is an array of {line, col, msg} diagnostics.
+	CodeCompileError = "compile_error"
+	// CodeUnauthorized: missing or invalid bearer token (401).
+	CodeUnauthorized = "unauthorized"
+	// CodeNotFound: unknown app or backend (404).
+	CodeNotFound = "not_found"
+	// CodeConflict: duplicate app, draining or last backend (409).
+	CodeConflict = "conflict"
+	// CodeBackpressure: inbox pending cap reached, retry later (429).
+	CodeBackpressure = "backpressure"
+	// CodeInternal: everything else (5xx).
+	CodeInternal = "internal"
+)
+
+// ErrorInfo is the typed error payload: a stable machine-readable
+// code, a human-readable message, and optional structured detail
+// (compile diagnostics ride here as [{line, col, msg}, ...]).
+type ErrorInfo struct {
+	Code    string          `json:"code"`
+	Message string          `json:"message"`
+	Detail  json.RawMessage `json:"detail,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response carries:
+// {"error": {"code", "message", "detail"}}.
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error ErrorInfo `json:"error"`
+}
+
+// UnmarshalJSON accepts both the envelope and the pre-redesign flat
+// shape {"error": "message"}, so a new client talking to an old plane
+// (one release of skew) still surfaces the message.
+func (b *ErrorBody) UnmarshalJSON(data []byte) error {
+	var env struct {
+		Error ErrorInfo `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err == nil {
+		b.Error = env.Error
+		return nil
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		return err
+	}
+	b.Error = ErrorInfo{Message: legacy.Error}
+	return nil
 }

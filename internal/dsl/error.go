@@ -1,0 +1,21 @@
+package dsl
+
+import "fmt"
+
+// Error is a structured DSL front-end error: a source position plus a
+// message. Lex and Parse return *Error so downstream compilers — the
+// policy pipeline that turns tenant-POSTed aspect source into 400
+// responses with line/col diagnostics — can surface the position
+// without parsing strings. The rendered form stays "dsl: line:col: msg".
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Errorf builds a positioned DSL error.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("dsl: %s: %s", e.Pos, e.Msg) }

@@ -1,7 +1,6 @@
 package dsl
 
 import (
-	"fmt"
 	"strconv"
 )
 
@@ -21,7 +20,7 @@ func Parse(src string) (*File, error) {
 		f.Aspects = append(f.Aspects, a)
 	}
 	if len(f.Aspects) == 0 {
-		return nil, fmt.Errorf("dsl: no aspect definitions found")
+		return nil, &Error{Pos: Pos{Line: 1, Col: 1}, Msg: "no aspect definitions found"}
 	}
 	return f, nil
 }
@@ -68,7 +67,7 @@ func (p *parser) expect(kind TokenKind) (Token, error) {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("dsl: %s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	return Errorf(p.cur().Pos, format, args...)
 }
 
 // aspect := 'aspectdef' IDENT body* 'end'

@@ -190,7 +190,7 @@ func (l *lexer) next() (Token, error) {
 			l.advance()
 		}
 		if l.off == start {
-			return Token{}, fmt.Errorf("dsl: %s: bare '$'", pos)
+			return Token{}, Errorf(pos, "bare '$'")
 		}
 		return Token{Kind: TVar, Text: l.src[start:l.off], Pos: pos}, nil
 	case isWordStart(c):
@@ -214,7 +214,7 @@ func (l *lexer) next() (Token, error) {
 		var buf []byte
 		for {
 			if l.off >= len(l.src) {
-				return Token{}, fmt.Errorf("dsl: %s: unterminated string", pos)
+				return Token{}, Errorf(pos, "unterminated string")
 			}
 			ch := l.advance()
 			if ch == '\'' {
@@ -233,7 +233,7 @@ func (l *lexer) next() (Token, error) {
 		start := l.off
 		for {
 			if l.off+1 >= len(l.src) {
-				return Token{}, fmt.Errorf("dsl: %s: unterminated %%{ template", pos)
+				return Token{}, Errorf(pos, "unterminated %%{ template")
 			}
 			if l.peek() == '}' && l.peek2() == '%' {
 				text := l.src[start:l.off]
@@ -304,7 +304,7 @@ func (l *lexer) next() (Token, error) {
 	case '-':
 		return one(TMinus)
 	}
-	return Token{}, fmt.Errorf("dsl: %s: unexpected character %q", pos, c)
+	return Token{}, Errorf(pos, "unexpected character %q", c)
 }
 
 func isWordStart(c byte) bool {

@@ -1,0 +1,56 @@
+package policyc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// FuzzCompile is the front door for hostile tenant source: whatever
+// bytes arrive over POST /v1/apps, Compile must return a program or a
+// *CompileError — never panic, never hang. When compilation succeeds,
+// the program must also instantiate and survive one decision without
+// panicking (inline policies) so fuzz coverage reaches the VM
+// marshalling layer too.
+func FuzzCompile(f *testing.F) {
+	f.Add(steerSrc)
+	f.Add("aspectdef A\nend")
+	f.Add("aspectdef A\n\tapply dynamic\n\t\tdo Set('level', 1);\n\tend\nend")
+	f.Add("aspectdef A\n\tcall A();\nend")
+	f.Add("aspectdef A\n\tapply\n\t\tdo Set('level', latency.p95 && x || !y - 2);\n\tend\nend")
+	f.Add("aspectdef A\n\tselect fCall end\nend")
+	f.Add("aspectdef A\n\tapply\n\t\tinsert before %{x();}%;\n\tend\nend")
+	f.Add("aspectdef")
+	f.Add("")
+	f.Add("\x00\xff'unterminated")
+	f.Add("aspectdef A\n\tinput " + strings.Repeat("x,", 100) + "y end\nend")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			if _, ok := err.(*CompileError); !ok {
+				t.Fatalf("Compile error is %T, want *CompileError", err)
+			}
+			return
+		}
+		if p.Class == Isolated {
+			// Skip instantiation: isolated workers are async and a
+			// fuzz iteration should not leave goroutines behind.
+			return
+		}
+		pol, err := New(p, Options{})
+		if err != nil {
+			t.Fatalf("New on compiled program: %v", err)
+		}
+		defer pol.Close()
+		defer func() {
+			// A quarantine panic (fuel, depth) is valid runtime
+			// behaviour, not a compile front-door bug.
+			recover()
+		}()
+		pol.Decide(monitor.Decision{Adapt: true, Violation: 1}, map[string]monitor.Summary{
+			"latency": {Count: 1, Mean: 1, P95: 1},
+		})
+	})
+}

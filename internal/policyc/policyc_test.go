@@ -1,0 +1,430 @@
+package policyc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+const steerSrc = `
+aspectdef Steer
+	input gain end
+	apply
+		do Set('level', 1 - violation + gain);
+	end
+	condition violation > 0 end
+end
+`
+
+func compileOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func TestCompileSteer(t *testing.T) {
+	p := compileOK(t, steerSrc)
+	if p.AspectName != "Steer" || p.Entry != "aspect:Steer" {
+		t.Fatalf("entry = %s/%s", p.AspectName, p.Entry)
+	}
+	if p.Class != Inline {
+		t.Fatalf("class = %v (%s), want inline", p.Class, p.ClassReason)
+	}
+	if !p.ReadsViolation {
+		t.Fatal("ReadsViolation = false")
+	}
+	if len(p.Knobs) != 1 || p.Knobs[0].Name != "level" || !p.Knobs[0].Write {
+		t.Fatalf("knobs = %+v", p.Knobs)
+	}
+	if !strings.HasPrefix(p.SourceHash, "sha256:") || len(p.SourceHash) != len("sha256:")+64 {
+		t.Fatalf("source hash = %q", p.SourceHash)
+	}
+	if p.WorstCost <= 0 || p.Fuel <= p.WorstCost {
+		t.Fatalf("cost/fuel = %d/%d", p.WorstCost, p.Fuel)
+	}
+}
+
+func TestDecideGuardedSet(t *testing.T) {
+	p := compileOK(t, steerSrc)
+	pol, err := New(p, Options{Params: map[string]float64{"gain": 0.25}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+
+	cfg, ok := pol.Decide(monitor.Decision{Adapt: true, Violation: 0.5}, nil)
+	if !ok || cfg["level"] != 0.75 {
+		t.Fatalf("violating decide = %v %v, want level=0.75", cfg, ok)
+	}
+	// Condition false: the guarded apply is skipped, no change.
+	if cfg, ok := pol.Decide(monitor.Decision{}, nil); ok {
+		t.Fatalf("non-violating decide fired: %v", cfg)
+	}
+}
+
+func TestDecideMetricRefsAndHold(t *testing.T) {
+	src := `
+aspectdef Watch
+	apply
+		do Set('level', latency.p95 - latency.mean);
+	end
+	apply
+		do Hold();
+	end
+	condition latency.count < 3 end
+end
+`
+	p := compileOK(t, src)
+	want := map[MetricRef]bool{
+		{Metric: "latency", Stat: "p95"}:   true,
+		{Metric: "latency", Stat: "mean"}:  true,
+		{Metric: "latency", Stat: "count"}: true,
+	}
+	if len(p.Refs) != len(want) {
+		t.Fatalf("refs = %+v", p.Refs)
+	}
+	for _, r := range p.Refs {
+		if !want[r] {
+			t.Fatalf("unexpected ref %+v", r)
+		}
+	}
+	pol, err := New(p, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+
+	sums := map[string]monitor.Summary{"latency": {Count: 10, Mean: 0.2, P95: 0.9}}
+	cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, sums)
+	if !ok || cfg["level"] != 0.9-0.2 {
+		t.Fatalf("decide = %v %v", cfg, ok)
+	}
+	// Low count trips the guarded Hold, which discards the staged Set.
+	sums["latency"] = monitor.Summary{Count: 2, Mean: 0.2, P95: 0.9}
+	if cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, sums); ok {
+		t.Fatalf("hold still fired: %v", cfg)
+	}
+}
+
+func TestDecideScaleReadsKnob(t *testing.T) {
+	src := `
+aspectdef Back
+	apply
+		do Scale('level', 0.5);
+	end
+end
+`
+	pol, err := New(compileOK(t, src), Options{
+		KnobValue: func(name string) float64 {
+			if name != "level" {
+				t.Errorf("knob read %q", name)
+			}
+			return 2
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+	cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, nil)
+	if !ok || cfg["level"] != 1 {
+		t.Fatalf("decide = %v %v, want level=1", cfg, ok)
+	}
+}
+
+func TestHelperCallAndReturn(t *testing.T) {
+	src := `
+aspectdef Main
+	input bias end
+	call r: Shift(bias);
+	apply
+		do Set('level', r);
+	end
+end
+aspectdef Shift
+	input x end
+	apply
+		do Return(x - 1);
+	end
+end
+`
+	p := compileOK(t, src)
+	if p.Class != Inline {
+		t.Fatalf("class = %v (%s)", p.Class, p.ClassReason)
+	}
+	pol, err := New(p, Options{Params: map[string]float64{"bias": 3}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+	cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, nil)
+	if !ok || cfg["level"] != 2 {
+		t.Fatalf("decide = %v %v, want level=2", cfg, ok)
+	}
+}
+
+func TestShortCircuitOps(t *testing.T) {
+	src := `
+aspectdef Logic
+	input a, b end
+	apply
+		do Set('and', a && b);
+		do Set('or', a || b);
+		do Set('not', !a);
+	end
+end
+`
+	p := compileOK(t, src)
+	cases := []struct{ a, b, and, or, not float64 }{
+		{0, 0, 0, 0, 1},
+		{0, 7, 0, 1, 1},
+		{5, 0, 0, 1, 0},
+		{5, 7, 1, 1, 0},
+	}
+	for _, c := range cases {
+		pol, err := New(p, Options{Params: map[string]float64{"a": c.a, "b": c.b}})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, nil)
+		pol.Close()
+		if !ok || cfg["and"] != c.and || cfg["or"] != c.or || cfg["not"] != c.not {
+			t.Fatalf("a=%g b=%g: cfg=%v ok=%v want and=%g or=%g not=%g",
+				c.a, c.b, cfg, ok, c.and, c.or, c.not)
+		}
+	}
+}
+
+func TestCompileDiagnostics(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+		line            int
+	}{
+		{"select", "aspectdef A\n\tselect fCall end\nend", "no program to select from", 2},
+		{"insert", "aspectdef A\n\tapply\n\t\tinsert before %{x();}%;\n\tend\nend", "insert templates weave source programs", 3},
+		{"weave action", "aspectdef A\n\tapply\n\t\tdo LoopUnroll('full');\n\tend\nend", "weaver action \"LoopUnroll\"", 3},
+		{"unknown action", "aspectdef A\n\tapply\n\t\tdo Bump(1);\n\tend\nend", "unknown action \"Bump\"", 3},
+		{"unknown aspect", "aspectdef A\n\tcall Nope();\nend", "unknown aspect \"Nope\"", 2},
+		{"arity", "aspectdef A\n\tcall B(1, 2);\nend\naspectdef B\n\tinput x end\nend", "expects 1 inputs, got 2", 2},
+		{"bad stat", "aspectdef A\n\tapply\n\t\tdo Set('level', latency.median);\n\tend\nend", "unknown summary stat", 3},
+		{"scalar attr", "aspectdef A\n\tinput x end\n\tapply\n\t\tdo Set('level', x.mean);\n\tend\nend", "scalar", 4},
+		{"stray condition", "aspectdef A\n\tcondition violation > 0 end\nend", "must directly follow an apply", 2},
+		{"string expr", "aspectdef A\n\tapply\n\t\tdo Set('level', 'high');\n\tend\nend", "string literals are only valid", 3},
+		{"dup aspect", "aspectdef A\nend\naspectdef A\nend", "duplicate aspect", 3},
+		{"parse error", "aspectdef A\n\tapply do", "expected identifier", 2},
+		{"empty", "   ", "no aspect definitions", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src)
+			ce, ok := err.(*CompileError)
+			if !ok {
+				t.Fatalf("err = %v, want *CompileError", err)
+			}
+			found := false
+			for _, d := range ce.Diags {
+				if strings.Contains(d.Msg, c.want) {
+					found = true
+					if d.Line != c.line {
+						t.Fatalf("diag %q at line %d, want %d", d.Msg, d.Line, c.line)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("diags %v lack %q", ce.Diags, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyDynamicIsolated(t *testing.T) {
+	src := `
+aspectdef Dyn
+	apply dynamic
+		do Set('level', 1);
+	end
+end
+`
+	p := compileOK(t, src)
+	if p.Class != Isolated || !strings.Contains(p.ClassReason, "dynamic") {
+		t.Fatalf("class = %v (%s)", p.Class, p.ClassReason)
+	}
+	if p.Fuel != isolatedFuel {
+		t.Fatalf("fuel = %d", p.Fuel)
+	}
+}
+
+func TestClassifyRecursionIsolated(t *testing.T) {
+	src := `
+aspectdef Ping
+	call Pong();
+end
+aspectdef Pong
+	call Ping();
+end
+`
+	p := compileOK(t, src)
+	if p.Class != Isolated || !strings.Contains(p.ClassReason, "cycle") {
+		t.Fatalf("class = %v (%s)", p.Class, p.ClassReason)
+	}
+	if p.WorstCost != 0 {
+		t.Fatalf("worst cost = %d, want 0 (unbounded)", p.WorstCost)
+	}
+}
+
+func TestClassifyCostIsolated(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("aspectdef Big\n\tapply\n")
+	for i := 0; i < 200; i++ {
+		b.WriteString("\t\tdo Set('level', 1 + 2 + 3 + 4);\n")
+	}
+	b.WriteString("\tend\nend\n")
+	p := compileOK(t, b.String())
+	if p.Class != Isolated || !strings.Contains(p.ClassReason, "inline budget") {
+		t.Fatalf("class = %v (%s), cost %d", p.Class, p.ClassReason, p.WorstCost)
+	}
+}
+
+// TestIsolatedDecisionFlow drives an isolated policy to a decision:
+// the first Decide only submits a snapshot, a later Decide picks up
+// the completed result while it is fresh.
+func TestIsolatedDecisionFlow(t *testing.T) {
+	src := `
+aspectdef Dyn
+	apply dynamic
+		do Set('level', 1 - violation);
+	end
+end
+`
+	pol, err := New(compileOK(t, src), Options{DecisionDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+	if _, ok := pol.Decide(monitor.Decision{Adapt: true, Violation: 0.5}, nil); ok {
+		t.Fatal("first decide returned a decision before the worker could run")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cfg, ok := pol.Decide(monitor.Decision{Adapt: true, Violation: 0.5}, nil)
+		if ok {
+			if cfg["level"] != 0.5 {
+				t.Fatalf("cfg = %v", cfg)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no decision arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIsolatedStaleDecisionDropped(t *testing.T) {
+	src := `
+aspectdef Dyn
+	apply dynamic
+		do Set('level', 1);
+	end
+end
+`
+	pol, err := New(compileOK(t, src), Options{DecisionDeadline: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+	for i := 0; i < 50; i++ {
+		if cfg, ok := pol.Decide(monitor.Decision{Adapt: true}, nil); ok {
+			t.Fatalf("stale decision honoured: %v", cfg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunawayPolicyPanics: a recursive policy burns its bound on the
+// isolated worker; the failure is sticky and the next Decide panics,
+// which is the tick path's quarantine signal.
+func TestRunawayPolicyPanics(t *testing.T) {
+	src := `
+aspectdef Ping
+	call Pong();
+end
+aspectdef Pong
+	call Ping();
+end
+`
+	pol, err := New(compileOK(t, src), Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer pol.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		panicked := func() (p bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					p = true
+					if !strings.Contains(r.(string), "Ping") {
+						t.Fatalf("panic = %v", r)
+					}
+				}
+			}()
+			pol.Decide(monitor.Decision{Adapt: true}, nil)
+			return false
+		}()
+		if panicked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runaway policy never surfaced a panic")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCheckKnobs(t *testing.T) {
+	src := `
+aspectdef Steer
+	apply
+		do Set('levle', threads + 1);
+	end
+end
+`
+	p := compileOK(t, src)
+	ce := p.CheckKnobs("level")
+	if ce == nil || len(ce.Diags) != 2 {
+		t.Fatalf("CheckKnobs = %v", ce)
+	}
+	for _, d := range ce.Diags {
+		if d.Line == 0 || d.Col == 0 {
+			t.Fatalf("diag missing position: %+v", d)
+		}
+	}
+	if p.CheckKnobs("level", "levle", "threads") != nil {
+		t.Fatal("allowed knobs still rejected")
+	}
+}
+
+func TestProgramReuseAcrossInstances(t *testing.T) {
+	p := compileOK(t, steerSrc)
+	a, err := New(p, Options{Params: map[string]float64{"gain": 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(p, Options{Params: map[string]float64{"gain": 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ca, _ := a.Decide(monitor.Decision{Adapt: true, Violation: 0.5}, nil)
+	cb, _ := b.Decide(monitor.Decision{Adapt: true, Violation: 0.5}, nil)
+	if ca["level"] != 0.5 || cb["level"] != 1 {
+		t.Fatalf("instances share state: %v %v", ca, cb)
+	}
+}

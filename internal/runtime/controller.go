@@ -55,9 +55,10 @@ type Controller struct {
 
 	// quarantined marks an app whose user-supplied Sensor/Policy/Knob/
 	// Workload panicked: the kernel skips it every later epoch and the
-	// panic is surfaced on AppStatus. Sticky — only a re-attach clears
-	// it. failMu guards lastErr (the panic message, or the most recent
-	// dropped-epoch note).
+	// panic is surfaced on AppStatus. Sticky — only a re-attach or a
+	// SwapPolicy (installing a replacement for the component that
+	// crashed) clears it. failMu guards lastErr (the panic message, or
+	// the most recent dropped-epoch note).
 	quarantined atomic.Bool
 	failMu      sync.Mutex
 	lastErr     string
@@ -204,6 +205,26 @@ func (c *Controller) Tick() monitor.Decision {
 	// previous operating point do not pollute the next one.
 	c.metrics.Reset()
 	return d
+}
+
+// SwapPolicy installs a replacement policy (and, when kb is non-nil, a
+// replacement knob) and returns the previous policy so the caller can
+// release its resources. The swap serializes against Tick via tickMu,
+// so a decision is computed entirely by the old policy or entirely by
+// the new one — never a mix. Swapping also clears quarantine: the
+// component that crashed is being replaced, so the app gets a fresh
+// chance without a detach/re-attach cycle (which would reset totals).
+func (c *Controller) SwapPolicy(p Policy, kb Knob) Policy {
+	c.tickMu.Lock()
+	old := c.spec.Policy
+	c.spec.Policy = p
+	if kb != nil {
+		c.spec.Knob = kb
+	}
+	c.tickMu.Unlock()
+	c.setLastErr("")
+	c.quarantined.Store(false)
+	return old
 }
 
 // Ticks returns the number of cycles run.

@@ -562,6 +562,27 @@ func (k *Kernel) Detach(name string) error {
 	return nil
 }
 
+// SwapPolicy hot-swaps a running app's policy (and optionally its
+// knob) without detaching it: observations keep flowing, totals and
+// adaptation counters are retained, and the detach-drain guarantee is
+// untouched because membership does not change. The swap itself is
+// serialized against the app's tick by the controller; bumping the
+// membership generation afterwards rolls the epoch engine so the new
+// policy's first decision lands at a generation boundary, the same
+// place attach/detach and placement changes land. Returns the previous
+// policy so the caller can release its resources.
+func (k *Kernel) SwapPolicy(name string, p Policy, kb Knob) (Policy, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ctl := k.byName[name]
+	if ctl == nil {
+		return nil, fmt.Errorf("runtime: swap policy %q: %w", name, ErrUnknownApp)
+	}
+	old := ctl.SwapPolicy(p, kb)
+	k.membershipChangedLocked()
+	return old, nil
+}
+
 // foldRetiredLocked folds the totals of detached controllers into the
 // detachedTotals map. Callers hold k.mu and know the epoch engine is
 // quiescent (supervisor between generations, sync driver between

@@ -289,3 +289,17 @@ func joinNames(jps []interp.JoinPoint) string {
 	}
 	return strings.Join(names, ",")
 }
+
+// IsWeaveAction reports whether name is a source-weaving action or
+// builtin handled by this package (do-actions like LoopUnroll, call
+// builtins like Specialize). Compilers targeting the runtime — which
+// has no source program to weave — use this to emit a pointed
+// diagnostic instead of a generic "unknown action".
+func IsWeaveAction(name string) bool {
+	switch name {
+	case "LoopUnroll", "LoopUnrollBy", "Rename",
+		"PrepareSpecialize", "Specialize", "AddVersion":
+		return true
+	}
+	return false
+}
