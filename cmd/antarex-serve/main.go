@@ -22,6 +22,19 @@
 // With -auth-token (or ANTAREX_AUTH_TOKEN), every mutating route
 // requires "Authorization: Bearer <token>"; reads stay open.
 //
+// With -data-dir, the control plane is durable: every mutating route
+// (register, detach, policy swap, backend add/remove, protocol choice)
+// is journaled into <dir>/wal.log — CRC-framed, fsynced with group
+// commit before the HTTP ack — and folded into <dir>/snapshot.db every
+// -snapshot-every records. On restart the recovered membership is
+// restored (tenants re-admitted, DSL policies recompiled, backends
+// rebuilt, placement hints and protocol reinstated) before the
+// listener opens; the -backends/-protocol bootstrap flags apply only
+// to a first boot and are ignored once a journal exists. A torn final
+// record (crash mid-write) is discarded silently; real corruption
+// refuses to serve. Without -data-dir nothing changes: the plane is
+// memory-only.
+//
 // High-rate telemetry should use the binary paths instead of JSON:
 // POST /v1/apps/{id}/observations:binary for one-shot frame batches
 // and the persistent POST /v1/stream (controlplane.Client.Stream from
@@ -42,24 +55,14 @@ import (
 	"time"
 
 	"repro/internal/controlplane"
+	"repro/internal/durable"
 	"repro/internal/runtime"
 )
 
-// buildKernel assembles the kernel over nBackends simulated sites
-// (named b0..bN-1, seeded distinctly) and the named placement policy.
-func buildKernel(nBackends int, spec controlplane.BackendSpec, policy string) (*runtime.Kernel, error) {
-	if nBackends < 1 {
-		return nil, fmt.Errorf("need at least 1 backend, got %d", nBackends)
-	}
+// buildKernel assembles an empty kernel under the named placement
+// policy; backends join later (bootstrap flags or journal recovery).
+func buildKernel(policy string) (*runtime.Kernel, error) {
 	kernel := runtime.NewKernel()
-	for i := 0; i < nBackends; i++ {
-		s := spec
-		s.Name = fmt.Sprintf("b%d", i)
-		s.Seed += uint64(i)
-		if err := kernel.AddBackend(s.Name, controlplane.BuildBackend(s)); err != nil {
-			return nil, err
-		}
-	}
 	switch policy {
 	case "pinned":
 		kernel.SetPlacement(runtime.Pinned{})
@@ -71,6 +74,22 @@ func buildKernel(nBackends int, spec controlplane.BackendSpec, policy string) (*
 		return nil, fmt.Errorf("unknown placement policy %q (pinned|least-loaded|sla)", policy)
 	}
 	return kernel, nil
+}
+
+// bootstrapSpecs expands the -backends/-nodes/... flags into the
+// b0..bN-1 backend declarations of a fresh plane.
+func bootstrapSpecs(nBackends int, spec controlplane.BackendSpec) ([]controlplane.BackendSpec, error) {
+	if nBackends < 1 {
+		return nil, fmt.Errorf("need at least 1 backend, got %d", nBackends)
+	}
+	specs := make([]controlplane.BackendSpec, nBackends)
+	for i := range specs {
+		s := spec
+		s.Name = fmt.Sprintf("b%d", i)
+		s.Seed += uint64(i)
+		specs[i] = s
+	}
+	return specs, nil
 }
 
 func main() {
@@ -91,26 +110,37 @@ func main() {
 		interval  = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
 		beTimeout = flag.Duration("backend-timeout", 2*time.Second, "per-backend commit deadline before the slot is marked degraded and evacuated (0 = disabled)")
 		shutdownT = flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful HTTP shutdown; connections still open after it (e.g. SSE streams) are closed forcibly")
+		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only control plane")
+		syncWin   = flag.Duration("sync-window", 0, "journal group-commit window: appends landing within it share one fsync (0 = fsync per commit group as fast as the disk allows)")
+		snapEvery = flag.Int("snapshot-every", 256, "journaled records between snapshots (bounds WAL growth and replay time)")
 	)
 	flag.Parse()
 
-	kernel, err := buildKernel(*nBackends, controlplane.BackendSpec{
-		Nodes:    *nodes,
-		Hetero:   *hetero,
-		AmbientC: *ambient,
-		CapFrac:  *capFrac,
-		Vary:     *vary,
-		Seed:     *seed,
-	}, *placement)
+	kernel, err := buildKernel(*placement)
 	if err != nil {
 		log.Fatalf("antarex-serve: %v", err)
 	}
-	proto, err := runtime.ParseEpochProtocol(*protocol)
-	if err != nil {
-		log.Fatalf("antarex-serve: %v", err)
+
+	// Durability: open (and recover) the journal before anything else —
+	// a corrupt journal must refuse to serve, and recovered state must
+	// be live before the listener opens.
+	var (
+		jlog  *durable.Log
+		state controlplane.PlaneState
+	)
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("antarex-serve: %v", err)
+		}
+		jlog, err = durable.Open(*dataDir, durable.Options{SyncWindow: *syncWin})
+		if err != nil {
+			log.Fatalf("antarex-serve: open journal: %v", err)
+		}
+		state, err = controlplane.RecoverPlane(jlog)
+		if err != nil {
+			log.Fatalf("antarex-serve: recover: %v", err)
+		}
 	}
-	kernel.SetProtocol(proto)
-	kernel.SetBackendTimeout(*beTimeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -128,6 +158,48 @@ func main() {
 			}
 		}
 	}()
+	var opts []controlplane.ServerOption
+	if *authToken != "" {
+		opts = append(opts, controlplane.WithAuthToken(*authToken))
+	}
+	if jlog != nil {
+		opts = append(opts, controlplane.WithJournal(jlog, *snapEvery))
+	}
+	cp := controlplane.NewServer(kernel, opts...)
+
+	// Membership before the listener: a recovered journal wins over the
+	// bootstrap flags (they described the first boot, the journal
+	// describes everything acked since); a fresh plane bootstraps its
+	// flags through the journaled paths so they survive the next boot.
+	if jlog != nil && !state.Empty() {
+		if err := cp.Restore(state); err != nil {
+			log.Fatalf("antarex-serve: restore: %v", err)
+		}
+		log.Printf("antarex-serve: recovered %d app(s), %d backend(s), protocol %s from %s (bootstrap flags ignored)",
+			len(state.Apps), len(state.Backends), kernel.Protocol(), *dataDir)
+	} else {
+		specs, err := bootstrapSpecs(*nBackends, controlplane.BackendSpec{
+			Nodes:    *nodes,
+			Hetero:   *hetero,
+			AmbientC: *ambient,
+			CapFrac:  *capFrac,
+			Vary:     *vary,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatalf("antarex-serve: %v", err)
+		}
+		for _, s := range specs {
+			if err := cp.AdmitBackend(s); err != nil {
+				log.Fatalf("antarex-serve: backend %s: %v", s.Name, err)
+			}
+		}
+		if err := cp.UseProtocol(*protocol); err != nil {
+			log.Fatalf("antarex-serve: %v", err)
+		}
+	}
+	kernel.SetBackendTimeout(*beTimeout)
+
 	if err := kernel.Start(ctx, runtime.Options{
 		EpochDt:  *epochDt,
 		Flush:    *flush,
@@ -136,13 +208,9 @@ func main() {
 		log.Fatalf("antarex-serve: start kernel: %v", err)
 	}
 
-	var opts []controlplane.ServerOption
-	if *authToken != "" {
-		opts = append(opts, controlplane.WithAuthToken(*authToken))
-	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           controlplane.NewServer(kernel, opts...),
+		Handler:           cp,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -163,15 +231,26 @@ func main() {
 	if *authToken != "" {
 		auth = "bearer-token"
 	}
-	log.Printf("antarex-serve: %d backend(s) × %d nodes, placement %s, protocol %s, ingress %s, control plane on %s",
-		*nBackends, *nodes, *placement, proto, auth, *addr)
+	durability := "memory-only"
+	if jlog != nil {
+		durability = "journaled to " + *dataDir
+	}
+	log.Printf("antarex-serve: %d backend(s), placement %s, protocol %s, ingress %s, %s, control plane on %s",
+		kernel.NumBackends(), *placement, kernel.Protocol(), auth, durability, *addr)
 	err = srv.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		kernel.Stop()
 		log.Fatalf("antarex-serve: %v", err)
 	}
-	// Graceful path: HTTP drained; now quiesce the kernel.
+	// Graceful path: HTTP drained; now quiesce the kernel, then the
+	// journal (every acked mutation is already fsync-durable — Close
+	// just releases the file).
 	kernel.Stop()
+	if jlog != nil {
+		if err := jlog.Close(); err != nil {
+			log.Printf("antarex-serve: close journal: %v", err)
+		}
+	}
 	stats := kernel.ManagerStats()
 	log.Printf("antarex-serve: stopped after %d epochs, %.1f GFLOP done, %.1f J, membership epoch %d",
 		kernel.Epochs(), stats.WorkGFlop, stats.EnergyJ, kernel.Generation())

@@ -30,7 +30,7 @@ import (
 
 // experimentOrder is the "all" sequence; experiments maps names to
 // runnable experiments (the dispatch table exercised by main_test.go).
-var experimentOrder = []string{"efficiency", "variability", "governor", "pue", "powercap", "docking", "kernel", "chaos"}
+var experimentOrder = []string{"efficiency", "variability", "governor", "pue", "powercap", "docking", "kernel", "chaos", "crashloop"}
 
 var experiments = map[string]func(){
 	"efficiency":  efficiency,
@@ -41,6 +41,7 @@ var experiments = map[string]func(){
 	"docking":     docking,
 	"kernel":      kernelDemo,
 	"chaos":       chaos,
+	"crashloop":   crashloop,
 }
 
 // runExperiment dispatches one experiment (or "all"), returning an

@@ -110,7 +110,10 @@ end
 			Params: map[string]float64{"gain": 0.5},
 		}
 	} else {
-		burstySpec.Levels = []float64{1, 0.5, 0.25}
+		burstySpec.Policy = &controlplane.PolicySpec{
+			Type:   controlplane.PolicyLadder,
+			Levels: []float64{1, 0.5, 0.25},
+		}
 	}
 	burstyStatus, err := c.Register(burstySpec)
 	must(err)

@@ -11,6 +11,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,6 +59,9 @@ type APIError struct {
 	Code   string          // machine-readable envelope code (Code* constants)
 	Msg    string          // server-side error message
 	Detail json.RawMessage // code-specific payload (compile diagnostics, ...)
+	// RetryAfter is the server's requested back-off (the Retry-After
+	// header a quota-exceeded 429 carries); zero when absent.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -104,11 +108,18 @@ func IsCompileError(err error) bool {
 func apiError(resp *http.Response) error {
 	var eb ErrorBody
 	_ = json.NewDecoder(io.LimitReader(resp.Body, maxSpecBody)).Decode(&eb)
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	return &APIError{
-		Status: resp.StatusCode,
-		Code:   eb.Error.Code,
-		Msg:    eb.Error.Message,
-		Detail: eb.Error.Detail,
+		Status:     resp.StatusCode,
+		Code:       eb.Error.Code,
+		Msg:        eb.Error.Message,
+		Detail:     eb.Error.Detail,
+		RetryAfter: retryAfter,
 	}
 }
 

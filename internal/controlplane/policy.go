@@ -39,21 +39,15 @@ func (ap *appPolicy) close() {
 	}
 }
 
-// canonicalizePolicy folds the deprecated top-level "levels" alias into
-// the discriminated policy object: {"levels": [...]} becomes
-// {"policy": {"type": "ladder", "levels": [...]}}. Setting both is an
-// error — the alias exists for one release of wire compatibility, not
-// as a second way to say the same thing.
-func canonicalizePolicy(spec *AppSpec) error {
+// rejectLegacyLevels refuses the removed top-level "levels" alias. It
+// was accepted (and canonicalized) for one release; now it is a 400
+// that tells the caller exactly where the field moved, which beats the
+// generic unknown-field error a dropped declaration would produce.
+func rejectLegacyLevels(spec *AppSpec) error {
 	if len(spec.Levels) == 0 {
 		return nil
 	}
-	if spec.Policy != nil {
-		return errors.New(`"levels" is a deprecated alias for {"policy": {"type": "ladder", ...}}; set one, not both`)
-	}
-	spec.Policy = &PolicySpec{Type: PolicyLadder, Levels: spec.Levels}
-	spec.Levels = nil
-	return nil
+	return errors.New(`top-level "levels" was removed; use {"policy": {"type": "ladder", "levels": [...]}} (policy.levels)`)
 }
 
 // validatePolicy bounds a canonical PolicySpec. nil (no policy) is
@@ -209,6 +203,12 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad policy spec: %v", err)
 		return
 	}
+	// Entity lock before s.mu: the swap and its journal record must be
+	// ordered against any concurrent register/detach of the same name
+	// (the journal fold is last-writer-wins per name, so same-name
+	// record order must match memory order).
+	unlock := s.lockEntity(name)
+	defer unlock()
 	s.mu.Lock()
 	ra := s.apps[name]
 	if ra == nil {
@@ -239,5 +239,12 @@ func (s *Server) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
 	ra.swaps.Add(1)
 	s.mu.Unlock()
 	old.close()
+	// Journal after the swap is live, before the ack: an acked swap
+	// must survive a crash. On journal failure the swap stays live but
+	// unacked — write-ahead promises nothing about unacknowledged ops.
+	if err := s.journalAppend(opPutPolicy, policyRecord{Name: name, Policy: p}); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.status(ra, nil))
 }

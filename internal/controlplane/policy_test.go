@@ -227,19 +227,19 @@ func TestPolicyCompileErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestPolicyLevelsAlias: the deprecated top-level levels field
-// canonicalizes into the discriminated object (GET reports the new
-// shape), and setting both representations at once is rejected.
+// TestPolicyLevelsAlias: the removed top-level levels field is a 400
+// whose message points at the canonical location (policy.levels) —
+// with or without a policy object alongside it.
 func TestPolicyLevelsAlias(t *testing.T) {
 	_, c := newTestPlane(t)
-	st, err := c.Register(AppSpec{Name: "legacy", Levels: []float64{1, 0.5}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Policy == nil || st.Policy.Type != PolicyLadder || len(st.Policy.Levels) != 2 {
-		t.Fatalf("alias did not canonicalize: %+v", st.Policy)
-	}
 	var api *APIError
+	_, err := c.Register(AppSpec{Name: "legacy", Levels: []float64{1, 0.5}})
+	if !asAPI(err, &api) || api.Status != http.StatusBadRequest || api.Code != CodeBadRequest {
+		t.Fatalf("legacy levels: %v, want 400 bad_request", err)
+	}
+	if !strings.Contains(api.Msg, "policy.levels") {
+		t.Fatalf("rejection %q does not point at policy.levels", api.Msg)
+	}
 	_, err = c.Register(AppSpec{
 		Name:   "both",
 		Levels: []float64{1},
@@ -247,6 +247,17 @@ func TestPolicyLevelsAlias(t *testing.T) {
 	})
 	if !asAPI(err, &api) || api.Status != http.StatusBadRequest || api.Code != CodeBadRequest {
 		t.Fatalf("levels+policy: %v, want 400 bad_request", err)
+	}
+	// The canonical spelling registers fine.
+	st, err := c.Register(AppSpec{
+		Name:   "canonical",
+		Policy: &PolicySpec{Type: PolicyLadder, Levels: []float64{1, 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy == nil || st.Policy.Type != PolicyLadder || len(st.Policy.Levels) != 2 {
+		t.Fatalf("canonical policy = %+v", st.Policy)
 	}
 }
 
@@ -348,5 +359,98 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 	if _, err := c.Observe("a", []Observation{{Metric: monitor.MetricLatency, Value: 1}}); !asAPI(err, &api) ||
 		api.Status != http.StatusTooManyRequests || api.Code != CodeBackpressure {
 		t.Errorf("full inbox: %v, want 429 backpressure", err)
+	}
+}
+
+// TestPolicyFuelMetrics: GET /v1/apps/{id} surfaces the compiled
+// policy's execution accounting — decisions, fuel budget and the
+// last/max per-decision fuel spends — once the kernel has ticked the
+// policy a few times. The fuel counters are the near-quarantine early
+// warning (FuelUsedMax creeping toward FuelBudget).
+func TestPolicyFuelMetrics(t *testing.T) {
+	k, c := newTestPlane(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := k.Start(ctx, runtime.Options{Flush: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Stop()
+
+	if _, err := c.Register(AppSpec{
+		Name:     "fueled",
+		Window:   8,
+		Debounce: 1,
+		Goals:    []GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
+		Policy: &PolicySpec{
+			Type:   PolicyDSL,
+			Source: steerPolicy,
+			Params: map[string]float64{"gain": 0.5},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The decide loop only runs on arriving samples: keep violating the
+	// SLA until a few decisions have been accounted.
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	go func() {
+		for streamCtx.Err() == nil {
+			_, _ = c.Observe("fueled", []Observation{
+				{Metric: monitor.MetricLatency, Value: 5},
+				{Metric: monitor.MetricLatency, Value: 5},
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var st AppStatus
+	waitFor(t, "policy decisions accumulating", func() bool {
+		var err error
+		st, err = c.App("fueled")
+		return err == nil && st.Policy != nil && st.Policy.Decisions > 2
+	})
+	stopStream()
+	p := st.Policy
+	if p.FuelBudget <= 0 {
+		t.Errorf("fuel_budget = %d, want > 0", p.FuelBudget)
+	}
+	if p.FuelUsedLast <= 0 || p.FuelUsedLast > p.FuelBudget {
+		t.Errorf("fuel_used_last = %d, want in (0, %d]", p.FuelUsedLast, p.FuelBudget)
+	}
+	if p.FuelUsedMax < p.FuelUsedLast {
+		t.Errorf("fuel_used_max %d < fuel_used_last %d", p.FuelUsedMax, p.FuelUsedLast)
+	}
+	// An inline policy reports no isolation accounting.
+	if p.Class == "inline" && (p.DeadlineDrops != 0 || p.DecisionDeadlineMS != 0) {
+		t.Errorf("inline policy reports isolation metrics: %+v", p)
+	}
+	// The ladder arm reports no fuel accounting at all.
+	lst, err := c.Register(AppSpec{
+		Name:   "laddered",
+		Policy: &PolicySpec{Type: PolicyLadder, Levels: []float64{1, 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp := lst.Policy; lp.FuelBudget != 0 || lp.Decisions != 0 {
+		t.Errorf("ladder policy reports fuel accounting: %+v", lp)
+	}
+}
+
+// TestPolicyDeadlineMetrics: an isolation-classified policy reports
+// its decision deadline through the status endpoint.
+func TestPolicyDeadlineMetrics(t *testing.T) {
+	_, c := newTestPlane(t)
+	st, err := c.Register(AppSpec{
+		Name:   "isolated",
+		Policy: &PolicySpec{Type: PolicyDSL, Source: recursivePolicy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy == nil || st.Policy.Class != "isolated" {
+		t.Fatalf("policy = %+v, want isolated class", st.Policy)
+	}
+	if st.Policy.DecisionDeadlineMS <= 0 {
+		t.Errorf("decision_deadline_ms = %d, want the default deadline surfaced", st.Policy.DecisionDeadlineMS)
 	}
 }

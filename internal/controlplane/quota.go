@@ -1,0 +1,107 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Per-tenant ingress quotas: a token bucket charged one token per
+// sample, shared by every observation path — JSON, binary one-shot and
+// the persistent stream. The stream is the important case: its normal
+// backpressure is flow control (stop reading, let TCP push back), which
+// a hostile producer on a fat pipe can ride for a long time before the
+// inbox cap finally trips. The quota turns that into an immediate,
+// uniform 429 with a Retry-After, identical to what the one-shot paths
+// return, so a well-behaved client needs exactly one throttling code
+// path.
+
+// validateQuota bounds a QuotaSpec. nil (no quota) is valid.
+func validateQuota(q *QuotaSpec) error {
+	if q == nil {
+		return nil
+	}
+	if math.IsNaN(q.Rate) || q.Rate <= 0 || q.Rate > maxMagnitude {
+		return fmt.Errorf("quota rate %g must be finite in (0, %g]", q.Rate, float64(maxMagnitude))
+	}
+	if math.IsNaN(q.Burst) || q.Burst < 0 || q.Burst > maxMagnitude {
+		return fmt.Errorf("quota burst %g must be finite in [0, %g] (0 = default)", q.Burst, float64(maxMagnitude))
+	}
+	return nil
+}
+
+// newTokenBucket builds the bucket for a validated spec; nil spec means
+// no quota and returns nil (a nil bucket admits everything).
+func newTokenBucket(q *QuotaSpec, now time.Time) *tokenBucket {
+	if q == nil {
+		return nil
+	}
+	burst := q.Burst
+	if burst <= 0 {
+		burst = math.Max(q.Rate, 1) // ~one second of headroom
+	}
+	return &tokenBucket{rate: q.Rate, burst: burst, tokens: burst, last: now}
+}
+
+// tokenBucket is a standard refill-on-demand token bucket with one
+// twist: a batch larger than the whole bucket is still admitted when
+// the bucket is full, going negative. Without that rule a burst-10
+// quota would reject a 64-sample batch forever — the bucket can never
+// hold 64 — and "forever" is a liveness bug, not a limit. Going
+// negative self-corrects: the debt refills at rate, so sustained
+// throughput still converges to the quota.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (samples) per second
+	burst  float64 // bucket depth
+	tokens float64 // may go negative after an oversized admit
+	last   time.Time
+}
+
+// take charges need tokens. On refusal it returns how long the caller
+// should wait before retrying the same batch.
+func (tb *tokenBucket) take(need int, now time.Time) (ok bool, retryAfter time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if dt := now.Sub(tb.last).Seconds(); dt > 0 {
+		tb.tokens = math.Min(tb.burst, tb.tokens+dt*tb.rate)
+		tb.last = now
+	}
+	n := float64(need)
+	if tb.tokens >= n || tb.tokens >= tb.burst {
+		tb.tokens -= n
+		return true, 0
+	}
+	// Refusal: wait until the bucket can cover the batch (or is full,
+	// whichever comes first — the oversized-batch rule above).
+	short := math.Min(n, tb.burst) - tb.tokens
+	return false, time.Duration(short / tb.rate * float64(time.Second))
+}
+
+// quotaError is an over-quota rejection. It maps onto the same 429 +
+// "backpressure" envelope as a full inbox — to a client both mean
+// "slow down, retry later" — but additionally carries the bucket's
+// computed wait, surfaced as a Retry-After header.
+type quotaError struct {
+	name       string
+	retryAfter time.Duration
+}
+
+func (e *quotaError) Error() string {
+	return fmt.Sprintf("controlplane: %s: ingress quota exceeded; retry in %v", e.name, e.retryAfter)
+}
+
+// retryAfterSeconds renders the wait for the Retry-After header:
+// integer seconds, rounded up, at least 1 (RFC 9110 allows 0 but a 0
+// invites an immediate retry of a batch that was just refused).
+func (e *quotaError) retryAfterSeconds() int {
+	s := int(math.Ceil(e.retryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

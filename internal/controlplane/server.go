@@ -69,6 +69,9 @@ type remoteApp struct {
 	ctl     *runtime.Controller
 	samples atomic.Int64
 
+	// quota is the spec's ingress token bucket; nil admits everything.
+	quota *tokenBucket
+
 	// pol is the active policy arm. Swapped atomically by
 	// PUT /v1/apps/{id}/policy while the workload closure and status
 	// readers load it lock-free; nil means no policy (level 1).
@@ -160,8 +163,18 @@ type Server struct {
 	mux       *http.ServeMux
 	authToken string
 
-	mu   sync.RWMutex // guards apps; held across Attach/Detach so map and membership agree
+	mu   sync.RWMutex // guards apps and backends; held across Attach/Detach so map and membership agree
 	apps map[string]*remoteApp
+	// backends retains the declared spec of every live backend — the
+	// kernel holds only the built manager, but snapshots and Restore
+	// need the declaration that built it.
+	backends []BackendSpec
+
+	// journal is the durability arm (nil = memory-only, no behaviour
+	// change); jmu are the lockEntity stripes ordering same-name
+	// mutations against their journal records.
+	journal *planeJournal
+	jmu     [journalStripes]sync.Mutex
 }
 
 // ServerOption configures NewServer.
@@ -489,45 +502,34 @@ func (s *Server) kernelSpec(ra *remoteApp, goals []monitor.Goal, pol runtime.Pol
 	}
 }
 
-func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var spec AppSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		badRequest(w, "bad app spec: %v", err)
-		return
-	}
-	if err := canonicalizePolicy(&spec); err != nil {
-		badRequest(w, "bad app spec: %v", err)
-		return
-	}
-	if err := validateSpec(spec); err != nil {
-		badRequest(w, "bad app spec: %v", err)
-		return
-	}
-	if err := validatePolicy(spec.Policy); err != nil {
-		badRequest(w, "bad app spec: %v", err)
-		return
-	}
-	if spec.Placement != "" && !s.kernel.HasBackend(spec.Placement) {
-		badRequest(w, "bad app spec: placement %q names no registered backend (see GET /v1/backends)", spec.Placement)
-		return
-	}
+// specError marks an admission failure caused by the spec's contents —
+// the handler maps it to 400 where an unwrapped kernel or journal error
+// maps by its own kind.
+type specError struct{ err error }
+
+func (e *specError) Error() string { return e.err.Error() }
+func (e *specError) Unwrap() error { return e.err }
+
+// admitApp builds and attaches one pre-validated tenant: goals parsed,
+// quota bucket built, policy compiled and installed, kernel Attach
+// under s.mu, and — when journal is true — the registration journaled
+// before the caller acks. Restore passes journal=false: the records
+// that produced the recovered state are already durable. The caller
+// holds the entity lock (or is single-threaded recovery).
+func (s *Server) admitApp(spec AppSpec, journal bool) (*remoteApp, error) {
 	goals, err := parseGoals(spec.Goals)
 	if err != nil {
-		badRequest(w, "bad app spec: %v", err)
-		return
+		return nil, &specError{err}
 	}
-	ra := &remoteApp{spec: spec, inbox: &runtime.Inbox{}, metrics: make(map[string]struct{})}
+	ra := &remoteApp{
+		spec:    spec,
+		inbox:   &runtime.Inbox{},
+		metrics: make(map[string]struct{}),
+		quota:   newTokenBucket(spec.Quota, time.Now()),
+	}
 	ap, pol, knob, err := buildPolicy(ra, spec.Policy)
 	if err != nil {
-		var ce *policyc.CompileError
-		if errors.As(err, &ce) {
-			writeCompileErr(w, ce)
-			return
-		}
-		badRequest(w, "bad app spec: %v", err)
-		return
+		return nil, &specError{err}
 	}
 	installPolicy(ra, ap)
 	s.mu.Lock()
@@ -541,7 +543,70 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if ap != nil {
 			ap.close()
 		}
-		writeErr(w, err)
+		return nil, err
+	}
+	if journal {
+		// Journal outside s.mu (concurrent tenants' fsyncs batch into
+		// one group commit) but inside the caller's entity lock. On
+		// failure the app stays live but unacked: write-ahead promises
+		// nothing about unacknowledged ops, and the log's sticky error
+		// has already degraded the plane to read-only.
+		if err := s.journalAppend(opRegister, spec); err != nil {
+			return nil, err
+		}
+	}
+	return ra, nil
+}
+
+// writeAdmitErr maps an admitApp failure: compile diagnostics, then
+// spec errors (400), then kernel/journal errors by their own kind.
+func writeAdmitErr(w http.ResponseWriter, err error) {
+	var ce *policyc.CompileError
+	if errors.As(err, &ce) {
+		writeCompileErr(w, ce)
+		return
+	}
+	var se *specError
+	if errors.As(err, &se) {
+		badRequest(w, "bad app spec: %v", se.err)
+		return
+	}
+	writeErr(w, err)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec AppSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := rejectLegacyLevels(&spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := validateSpec(spec); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := validatePolicy(spec.Policy); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if err := validateQuota(spec.Quota); err != nil {
+		badRequest(w, "bad app spec: %v", err)
+		return
+	}
+	if spec.Placement != "" && !s.kernel.HasBackend(spec.Placement) {
+		badRequest(w, "bad app spec: placement %q names no registered backend (see GET /v1/backends)", spec.Placement)
+		return
+	}
+	unlock := s.lockEntity(spec.Name)
+	defer unlock()
+	ra, err := s.admitApp(spec, true)
+	if err != nil {
+		writeAdmitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.status(ra, nil))
@@ -549,6 +614,8 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("id")
+	unlock := s.lockEntity(name)
+	defer unlock()
 	s.mu.Lock()
 	ra, known := s.apps[name]
 	var err error
@@ -569,6 +636,13 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 	if ap := ra.pol.Load(); ap != nil {
 		ap.close()
 	}
+	// Journal before the 204: an acked detach must survive a crash
+	// (replaying a restart that resurrects a detached tenant would be a
+	// durability lie in the other direction).
+	if err := s.journalAppend(opDetach, nameRecord{Name: name}); err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
+		return
+	}
 	// The kernel drains the app at the next epoch boundary; membership
 	// is already updated, so 204 without waiting for the drain.
 	w.WriteHeader(http.StatusNoContent)
@@ -586,8 +660,17 @@ func (e *backpressureError) Error() string {
 	return fmt.Sprintf("controlplane: %s: %d samples pending and not being collected; retry later", e.name, e.pending)
 }
 
-// writeIngestErr maps ingest-funnel errors onto HTTP statuses.
+// writeIngestErr maps ingest-funnel errors onto HTTP statuses. The two
+// 429 causes — full inbox and exhausted quota — share the same
+// envelope code ("backpressure"): to a client both mean "slow down,
+// retry later"; the quota case additionally says when, via Retry-After.
 func writeIngestErr(w http.ResponseWriter, err error) {
+	var qe *quotaError
+	if errors.As(err, &qe) {
+		w.Header().Set("Retry-After", strconv.Itoa(qe.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, CodeBackpressure, "%s", err.Error())
+		return
+	}
 	var bp *backpressureError
 	if errors.As(err, &bp) {
 		writeError(w, http.StatusTooManyRequests, CodeBackpressure, "%s", err.Error())
@@ -605,6 +688,12 @@ func writeIngestErr(w http.ResponseWriter, err error) {
 func (s *Server) ingest(ra *remoteApp, samples []runtime.Sample) error {
 	if ra.inbox.Len() >= maxPendingSamples {
 		return &backpressureError{name: ra.spec.Name, pending: ra.inbox.Len()}
+	}
+	// The quota charges after the inbox bound (a full inbox should not
+	// burn tokens) and before cardinality admission: a refused batch is
+	// rejected whole and charges nothing — take is all-or-nothing.
+	if ok, wait := ra.quota.take(len(samples), time.Now()); !ok {
+		return &quotaError{name: ra.spec.Name, retryAfter: wait}
 	}
 	if err := ra.admitMetrics(samples); err != nil {
 		return err
@@ -867,7 +956,12 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 		Samples:     ra.samples.Load(),
 		Level:       ra.level(),
 		Backend:     s.kernel.AppBackend(ra.spec.Name),
+		Placement:   ra.spec.Placement,
 		Error:       ra.ctl.LastError(),
+	}
+	if q := ra.spec.Quota; q != nil {
+		qc := *q
+		st.Quota = &qc
 	}
 	if ap := ra.pol.Load(); ap != nil {
 		ps := &PolicyStatus{
@@ -879,6 +973,15 @@ func (s *Server) status(ra *remoteApp, totals map[string]float64) AppStatus {
 			ps.SourceHash = ap.prog.SourceHash
 			ps.Class = ap.prog.Class.String()
 			ps.ClassReason = ap.prog.ClassReason
+		}
+		if ap.kp != nil {
+			m := ap.kp.Metrics()
+			ps.Decisions = m.Decisions
+			ps.FuelBudget = m.FuelBudget
+			ps.FuelUsedLast = m.FuelUsedLast
+			ps.FuelUsedMax = m.FuelUsedMax
+			ps.DeadlineDrops = m.DeadlineDrops
+			ps.DecisionDeadlineMS = m.DecisionDeadline.Milliseconds()
 		}
 		st.Policy = ps
 	}
@@ -1117,7 +1220,12 @@ func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad backend spec: %v", err)
 		return
 	}
-	if err := s.kernel.AddBackend(spec.Name, BuildBackend(spec)); err != nil {
+	if err := s.AdmitBackend(spec); err != nil {
+		var je *journalError
+		if errors.As(err, &je) {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
+			return
+		}
 		writeError(w, http.StatusConflict, CodeConflict, "%s", err.Error())
 		return
 	}
@@ -1141,9 +1249,23 @@ func (s *Server) handleAddBackend(w http.ResponseWriter, r *http.Request) {
 // a lost response gets the 404 and knows the backend is gone.
 func (s *Server) handleRemoveBackend(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("id")
+	unlock := s.lockEntity(name)
 	done, err := s.kernel.RemoveBackendAsync(name)
 	if err != nil {
+		unlock()
 		writeErr(w, err)
+		return
+	}
+	// The remove is admitted: journal it before any ack (202 included —
+	// the client treats 202 as "will complete", so a crash mid-drain
+	// must not resurrect the backend). The retained spec goes first so
+	// a concurrent snapshot cannot capture the doomed backend after its
+	// remove record was journaled.
+	s.dropBackendSpec(name)
+	jerr := s.journalAppend(opRemoveBackend, nameRecord{Name: name})
+	unlock()
+	if jerr != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", jerr.Error())
 		return
 	}
 	// Give a fast drain (idle kernel) a moment to finish, so callers of

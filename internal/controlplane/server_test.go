@@ -70,7 +70,7 @@ func TestServerLifecycle(t *testing.T) {
 		Debounce: 2,
 		Goals:    []GoalSpec{{Metric: monitor.MetricLatency, Target: 1.0}},
 		Workload: WorkloadSpec{Tasks: 2, GFlop: 4},
-		Levels:   []float64{1, 0.5, 0.25},
+		Policy:   &PolicySpec{Type: PolicyLadder, Levels: []float64{1, 0.5, 0.25}},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestServerValidation(t *testing.T) {
 	if _, err := c.Register(AppSpec{Name: "wide", Window: 1 << 30}); !asAPI(err, &api) || api.Status != http.StatusBadRequest {
 		t.Errorf("oversized window: %v, want 400", err)
 	}
-	if _, err := c.Register(AppSpec{Name: "neg", Levels: []float64{1, -0.5}}); !asAPI(err, &api) || api.Status != http.StatusBadRequest {
+	if _, err := c.Register(AppSpec{Name: "neg", Policy: &PolicySpec{Type: PolicyLadder, Levels: []float64{1, -0.5}}}); !asAPI(err, &api) || api.Status != http.StatusBadRequest {
 		t.Errorf("negative level: %v, want 400", err)
 	}
 	// Names must stay addressable as a URL path segment — "..", "." and

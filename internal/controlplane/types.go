@@ -50,17 +50,34 @@ type AppSpec struct {
 	// {"type":"dsl","source":"aspectdef ...","params":{...}}.
 	// Omitted means no policy (the app never adapts).
 	Policy *PolicySpec `json:"policy,omitempty"`
-	// Levels is the deprecated spelling of
-	// {"policy":{"type":"ladder","levels":[...]}}, accepted as an alias
-	// for one release. The server canonicalizes it into Policy at
-	// admission (setting both is a 400), and GET reports only the
-	// canonical shape.
+	// Levels was the pre-redesign spelling of
+	// {"policy":{"type":"ladder","levels":[...]}}. The alias shipped for
+	// one release and is now rejected: setting it is a 400 pointing at
+	// policy.levels. The field stays declared so the rejection is a
+	// deliberate message instead of DisallowUnknownFields noise.
 	Levels []float64 `json:"levels,omitempty"`
+	// Quota is the app's ingress rate limit. Omitted means unlimited.
+	Quota *QuotaSpec `json:"quota,omitempty"`
 	// Placement optionally names the backend this app prefers — the
 	// kernel's placement hint. Must name a registered backend (400
 	// otherwise); all shipped placement policies pin a hinted app to
 	// its backend and never steer it away.
 	Placement string `json:"placement,omitempty"`
+}
+
+// QuotaSpec is a per-tenant ingress token bucket: a sustained
+// samples-per-second rate plus a burst allowance. Every observation
+// path — JSON, binary one-shot and the stream — charges the same
+// bucket one token per sample; an over-quota batch is refused whole
+// with 429 ("backpressure") and a Retry-After header, never admitted
+// partially. The quota is part of the AppSpec, so it is journaled and
+// survives restarts with the rest of the registration.
+type QuotaSpec struct {
+	// Rate is the sustained refill rate in samples per second.
+	Rate float64 `json:"rate"`
+	// Burst is the bucket depth in samples (0 selects max(Rate, 1):
+	// roughly one second of headroom).
+	Burst float64 `json:"burst,omitempty"`
 }
 
 // Policy type discriminators (PolicySpec.Type).
@@ -117,6 +134,19 @@ type PolicyStatus struct {
 	ClassReason string `json:"class_reason,omitempty"`
 	// Swaps counts successful PUT /v1/apps/{id}/policy calls.
 	Swaps int64 `json:"swaps,omitempty"`
+	// Execution accounting for dsl policies (zero/omitted for ladder):
+	// Decisions counts completed VM runs; FuelUsedLast/FuelUsedMax are
+	// the most recent and worst per-decision fuel spends against
+	// FuelBudget — a FuelUsedMax near the budget is the early warning
+	// before a quarantine trip.
+	Decisions    int64 `json:"decisions,omitempty"`
+	FuelBudget   int64 `json:"fuel_budget,omitempty"`
+	FuelUsedLast int64 `json:"fuel_used_last,omitempty"`
+	FuelUsedMax  int64 `json:"fuel_used_max,omitempty"`
+	// DeadlineDrops counts decisions an isolated policy discarded as
+	// staler than DecisionDeadlineMS when the tick collected them.
+	DeadlineDrops      int64 `json:"deadline_drops,omitempty"`
+	DecisionDeadlineMS int64 `json:"decision_deadline_ms,omitempty"`
 }
 
 // BackendSpec declares one resource-manager backend — a simulated
@@ -219,6 +249,11 @@ type AppStatus struct {
 	// Backend is the backend the app is currently placed on ("" until
 	// the first placement, i.e. before the app's first epoch boundary).
 	Backend string `json:"backend,omitempty"`
+	// Placement echoes the spec's placement hint (the backend the app
+	// asked for; Backend is where it actually runs right now).
+	Placement string `json:"placement,omitempty"`
+	// Quota echoes the spec's ingress quota. Omitted means unlimited.
+	Quota *QuotaSpec `json:"quota,omitempty"`
 	// Policy is the active adaptation policy in canonical shape (also
 	// for apps registered through the deprecated levels alias). Omitted
 	// when the app has no policy.

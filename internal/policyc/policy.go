@@ -16,10 +16,34 @@ import (
 // structurally — the kernel accepts these without policyc importing
 // the runtime package. Close releases any isolation goroutine; it is
 // idempotent and must be called when the policy is swapped out or the
-// app detaches.
+// app detaches. Metrics is a lock-free snapshot of the instance's
+// execution counters, safe to call concurrently with Decide.
 type KernelPolicy interface {
 	Decide(d monitor.Decision, sums map[string]monitor.Summary) (autotune.Config, bool)
+	Metrics() Metrics
 	Close() error
+}
+
+// Metrics is a point-in-time view of one policy instance's execution
+// accounting — the observability needed to see a near-quarantine
+// program (fuel creeping toward the budget, decisions going stale)
+// before it trips.
+type Metrics struct {
+	// Decisions counts completed VM executions (a crashed execution
+	// quarantines the app instead of counting).
+	Decisions int64
+	// FuelBudget is the per-decision budget; FuelUsedLast/FuelUsedMax
+	// are the most recent and worst observed spends against it. A
+	// FuelUsedMax near FuelBudget is the early warning.
+	FuelBudget   int64
+	FuelUsedLast int64
+	FuelUsedMax  int64
+	// DeadlineDrops counts completed decisions an isolated policy
+	// discarded because they were older than DecisionDeadline when the
+	// tick came to collect them. Zero for inline policies, whose
+	// decisions run on the tick path itself.
+	DeadlineDrops    int64
+	DecisionDeadline time.Duration
 }
 
 // Options configures policy instantiation.
@@ -69,6 +93,14 @@ type VMPolicy struct {
 	knobValue func(string) float64
 	scratch   map[string]float64
 	hold      bool
+
+	// Execution counters. decide() runs serialized (under mu, or on
+	// the isolated worker goroutine), so plain load-then-store updates
+	// are safe; atomics let Metrics read without taking mu — a status
+	// endpoint must never queue behind a running decision.
+	decisions atomic.Int64
+	fuelLast  atomic.Int64
+	fuelMax   atomic.Int64
 }
 
 func newVMPolicy(p *Program, opts Options) *VMPolicy {
@@ -153,6 +185,12 @@ func (vp *VMPolicy) decide(d monitor.Decision, sums map[string]monitor.Summary) 
 	if _, err := vp.vm.Call(vp.prog.Entry, vp.args...); err != nil {
 		return nil, false, err
 	}
+	used := vp.prog.Fuel - vp.vm.Fuel
+	vp.decisions.Add(1)
+	vp.fuelLast.Store(used)
+	if used > vp.fuelMax.Load() {
+		vp.fuelMax.Store(used)
+	}
 	if vp.hold || len(vp.scratch) == 0 {
 		return nil, false, nil
 	}
@@ -197,6 +235,16 @@ func (vp *VMPolicy) marshalIn(d monitor.Decision, sums map[string]monitor.Summar
 	}
 }
 
+// Metrics implements KernelPolicy.
+func (vp *VMPolicy) Metrics() Metrics {
+	return Metrics{
+		Decisions:    vp.decisions.Load(),
+		FuelBudget:   vp.prog.Fuel,
+		FuelUsedLast: vp.fuelLast.Load(),
+		FuelUsedMax:  vp.fuelMax.Load(),
+	}
+}
+
 // Close implements KernelPolicy; inline policies hold no resources.
 func (vp *VMPolicy) Close() error { return nil }
 
@@ -216,6 +264,7 @@ type IsolatedPolicy struct {
 	closed atomic.Bool
 	once   sync.Once
 	done   chan struct{}
+	drops  atomic.Int64
 }
 
 type isoReq struct {
@@ -274,10 +323,23 @@ func (ip *IsolatedPolicy) Decide(d monitor.Decision, sums map[string]monitor.Sum
 	default: // worker busy: drop this snapshot
 	}
 	r := ip.res.Swap(nil)
-	if r == nil || time.Since(r.at) > ip.deadline {
+	if r == nil {
+		return nil, false // no completed decision to collect yet
+	}
+	if time.Since(r.at) > ip.deadline {
+		ip.drops.Add(1)
 		return nil, false // stale decision dropped
 	}
 	return r.cfg, r.ok
+}
+
+// Metrics implements KernelPolicy: the inner VM's counters plus the
+// isolation layer's deadline accounting.
+func (ip *IsolatedPolicy) Metrics() Metrics {
+	m := ip.inner.Metrics()
+	m.DeadlineDrops = ip.drops.Load()
+	m.DecisionDeadline = ip.deadline
+	return m
 }
 
 // Close stops the worker goroutine and waits for it to exit.
