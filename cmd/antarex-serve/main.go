@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -110,6 +111,7 @@ func main() {
 		interval  = flag.Duration("interval", 5*time.Millisecond, "pacing between an app's epochs (0 = unpaced)")
 		beTimeout = flag.Duration("backend-timeout", 2*time.Second, "per-backend commit deadline before the slot is marked degraded and evacuated (0 = disabled)")
 		shutdownT = flag.Duration("shutdown-timeout", 10*time.Second, "bound on graceful HTTP shutdown; connections still open after it (e.g. SSE streams) are closed forcibly")
+		pprofAddr = flag.String("pprof", "", "pprof listen address on a separate loopback listener, e.g. 127.0.0.1:6060 (empty = profiling off; never mounted on the public mux)")
 		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = memory-only control plane")
 		syncWin   = flag.Duration("sync-window", 0, "journal group-commit window: appends landing within it share one fsync (0 = fsync per commit group as fast as the disk allows)")
 		snapEvery = flag.Int("snapshot-every", 256, "journaled records between snapshots (bounds WAL growth and replay time)")
@@ -144,6 +146,32 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Profiling listener: its own mux on its own (loopback) address,
+	// deliberately not a route on the control-plane handler — the public
+	// mux must never expose pprof, with or without -auth-token. The
+	// handlers are registered explicitly instead of importing the
+	// net/http/pprof side effects into http.DefaultServeMux, so nothing
+	// leaks if some library serves DefaultServeMux later.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			log.Printf("antarex-serve: pprof on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("antarex-serve: pprof listener: %v", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			_ = psrv.Close()
+		}()
+	}
 
 	// Log backend state transitions (panic → failed, stall → degraded,
 	// drain/remove lifecycle) as they happen; the channel dies with the

@@ -11,12 +11,20 @@
 //	antarex-sim docking       # U1: load-balancing comparison
 //	antarex-sim kernel        # concurrent adaptation kernel: N apps, one RTRM
 //	antarex-sim all           # everything
+//
+// Offline profile capture wraps any experiment:
+//
+//	antarex-sim -cpuprofile cpu.out -memprofile mem.out kernel
+//	go tool pprof cpu.out
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -63,13 +71,45 @@ func runExperiment(name string) error {
 }
 
 func main() {
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the experiment run to this file")
+	flag.Parse()
 	cmd := "all"
-	if len(os.Args) > 1 {
-		cmd = os.Args[1]
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antarex-sim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "antarex-sim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	if err := runExperiment(cmd); err != nil {
+		pprof.StopCPUProfile() // no-op when not started; os.Exit skips defers
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "antarex-sim: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		goruntime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "antarex-sim: -memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 }
 

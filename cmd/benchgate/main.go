@@ -110,7 +110,7 @@ type metricClass int
 
 const (
 	deterministic     metricClass = iota
-	envLowerIsBetter              // ns/op, B/op, allocs/op
+	envLowerIsBetter              // ns/op, B/op, allocs/op, wakeups/epoch
 	envHigherIsBetter             // rates: samples/s, churn/s, ...
 	informational                 // gomaxprocs, num_cpu: recorded, never gated
 )
@@ -120,6 +120,13 @@ func classify(unit string) metricClass {
 	case unit == metricGomaxprocs || unit == metricNumCPU:
 		return informational
 	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
+		return envLowerIsBetter
+	case unit == "wakeups/epoch":
+		// Scheduler-pressure count from the K12 wake-path cells: how
+		// often shards actually park depends on host timing, so it is
+		// env-dependent (one-sided), not a deterministic simulation
+		// output — unlike GFLOP/epoch, which matches no case and stays
+		// in the deterministic class below.
 		return envLowerIsBetter
 	case strings.HasSuffix(unit, "/s"):
 		// Wall-clock rates (samples/s, churn/s) scale with the machine
@@ -196,7 +203,10 @@ func parseRequirement(s string) (requirement, error) {
 // ok=false carries the failure message. A relative invariant is only
 // meaningful when both sides ran with the same parallelism, so the
 // check refuses to compare a 1-proc number with a 4-proc one (as a
-// `go test -cpu 1,4` mixed run would produce).
+// `go test -cpu 1,4` mixed run would produce). Only the two run
+// entries' gomaxprocs must agree — the committed baseline's value is
+// never consulted, so a GOMAXPROCS=8 CI leg can gate same-run ratios
+// without touching baselines recorded on the 1-vCPU class.
 func checkRequirement(cur map[string]map[string]float64, req requirement) (string, bool) {
 	lhs, err1 := lookup(cur, req.lhsBench, req.lhsMetric)
 	if err1 != nil {

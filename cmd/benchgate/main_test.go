@@ -85,6 +85,52 @@ func TestRequireRefusesCrossCoreComparison(t *testing.T) {
 	}
 }
 
+// TestRequireSameRunGomaxprocsMatrix pins the rule the GOMAXPROCS
+// {4,8} CI matrix leans on: -require-le needs only the two RUN entries
+// to agree on gomaxprocs — whatever the committed baseline recorded is
+// irrelevant (checkRequirement never sees a baseline), so an 8-core leg
+// gates same-run ratios without touching 1-vCPU baselines. K12's cells
+// all carry the process-level suffix even though each overrides
+// GOMAXPROCS internally, so its cross-core scaling ratio (gmp=8 vs
+// gmp=1 cell) is same-run-legal by construction.
+func TestRequireSameRunGomaxprocsMatrix(t *testing.T) {
+	mk := func(lp, rp float64) map[string]map[string]float64 {
+		return map[string]map[string]float64{
+			"BenchmarkManyCore/protocol=barrier/gmp=8/apps=256": {"ns/op": 100, metricGomaxprocs: lp},
+			"BenchmarkManyCore/protocol=barrier/gmp=1/apps=256": {"ns/op": 200, metricGomaxprocs: rp},
+		}
+	}
+	req := requirement{
+		lhsBench: "BenchmarkManyCore/protocol=barrier/gmp=8/apps=256", lhsMetric: "ns/op",
+		rhsBench: "BenchmarkManyCore/protocol=barrier/gmp=1/apps=256", rhsMetric: "ns/op",
+		slack: 0.625,
+	}
+	for _, tc := range []struct {
+		name   string
+		lp, rp float64
+		ok     bool
+	}{
+		// Same run-entry gomaxprocs: allowed at every core count, even
+		// ones no baseline was ever recorded at.
+		{"both-1", 1, 1, true},
+		{"both-4", 4, 4, true},
+		{"both-8", 8, 8, true},
+		{"both-16", 16, 16, true},
+		// Mixed run entries: refused regardless of the values.
+		{"1-vs-8", 1, 8, false},
+		{"8-vs-4", 8, 4, false},
+	} {
+		cur := mk(tc.lp, tc.rp)
+		msg, ok := checkRequirement(cur, req)
+		if ok != tc.ok {
+			t.Errorf("%s: checkRequirement ok=%v (%q), want ok=%v", tc.name, ok, msg, tc.ok)
+		}
+		if !tc.ok && !strings.Contains(msg, "refused") {
+			t.Errorf("%s: mixed-core failure is not the refusal message: %q", tc.name, msg)
+		}
+	}
+}
+
 func TestDrift(t *testing.T) {
 	for _, tc := range []struct {
 		base, cur, want float64
@@ -113,6 +159,10 @@ func TestClassify(t *testing.T) {
 		"power_MW":    deterministic,
 		"gomaxprocs":  informational,
 		"num_cpu":     informational,
+		// K12's scheduler-pressure count: parking depends on host
+		// timing, so it must be one-sided env, not drift-gated like the
+		// deterministic .../epoch simulation outputs.
+		"wakeups/epoch": envLowerIsBetter,
 	} {
 		if got := classify(unit); got != want {
 			t.Errorf("classify(%q) = %v, want %v", unit, got, want)

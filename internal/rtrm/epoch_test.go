@@ -1,0 +1,80 @@
+package rtrm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simhpc"
+)
+
+func epochTestManager(nodes int) *Manager {
+	rng := simhpc.NewRNG(77)
+	cluster := simhpc.NewCluster(nodes, 22, func(i int) *simhpc.Node {
+		return simhpc.HomogeneousNode(fmt.Sprintf("n%d", i), 0.15, rng)
+	})
+	return NewManager(cluster, cluster.FacilityPowerW(1)*0.9)
+}
+
+// TestStagedEpochMatchesRunEpoch: the staged API with a parallel
+// dispatch fan-out must produce bit-identical reports and cumulative
+// stats to the classic serial RunEpoch — the determinism contract the
+// kernel's protocol-equivalence tests lean on. Per-node partials merged
+// in node order make the float accumulation order worker-count
+// independent.
+func TestStagedEpochMatchesRunEpoch(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			serial := epochTestManager(16)
+			staged := epochTestManager(16)
+			genA := simhpc.NewWorkloadGen(9)
+			genB := simhpc.NewWorkloadGen(9)
+			for epoch := 0; epoch < 25; epoch++ {
+				tasksA := genA.Mix(40, 2, 1, 1, 8)
+				tasksB := genB.Mix(40, 2, 1, 1, 8)
+
+				repA := serial.RunEpoch(60, tasksA)
+
+				staged.BeginEpoch(60, tasksB)
+				staged.SweepEpoch()
+				staged.DispatchEpoch(workers)
+				repB := staged.CommitEpoch()
+
+				// Bit-equality on every numeric field (the report also
+				// carries the cap plan, whose slice makes == illegal).
+				if repA.EnergyJ != repB.EnergyJ || repA.DoneGFlop != repB.DoneGFlop ||
+					repA.DeferredGFlop != repB.DeferredGFlop || repA.HotNodes != repB.HotNodes {
+					t.Fatalf("epoch %d: staged(workers=%d) report diverged:\nserial: %+v\nstaged: %+v",
+						epoch, workers, repA, repB)
+				}
+			}
+			if a, b := serial.Stats(), staged.Stats(); a != b {
+				t.Errorf("cumulative stats diverged:\nserial: %+v\nstaged: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestStagedEpochEmptyAndTiny: degenerate shapes — no offered work, and
+// fewer tasks than nodes — must not panic or skew counters under a
+// parallel dispatch.
+func TestStagedEpochEmptyAndTiny(t *testing.T) {
+	m := epochTestManager(8)
+	m.BeginEpoch(60, nil)
+	m.SweepEpoch()
+	m.DispatchEpoch(4)
+	rep := m.CommitEpoch()
+	if rep.DoneGFlop != 0 || rep.DeferredGFlop != 0 {
+		t.Errorf("empty epoch did work: %+v", rep)
+	}
+	gen := simhpc.NewWorkloadGen(3)
+	m.BeginEpoch(60, gen.Mix(3, 1, 1, 1, 8))
+	m.SweepEpoch()
+	m.DispatchEpoch(8)
+	rep = m.CommitEpoch()
+	if rep.DoneGFlop <= 0 {
+		t.Errorf("tiny epoch did no work: %+v", rep)
+	}
+	if m.EpochCount != 2 {
+		t.Errorf("EpochCount = %d, want 2", m.EpochCount)
+	}
+}

@@ -23,6 +23,10 @@ type Manager struct {
 	DeferredGFlop float64
 	ThermalEvents int
 	CapDemotions  int
+
+	// ep is the in-flight epoch scratch of the staged API (epoch.go),
+	// reused across epochs.
+	ep epochScratch
 }
 
 // NewManager wires the default control stack over a cluster with the
@@ -50,57 +54,14 @@ type EpochReport struct {
 // RunEpoch executes one control epoch of length dt seconds: MS3 decides
 // admission and cooling, the capper fits the envelope, each node runs
 // its share of offered under governor+thermal control, and thermal
-// state advances.
+// state advances. It is the staged API (epoch.go) composed with a
+// single dispatch worker; callers wanting to pipeline the sub-stages or
+// fan the dispatch out call the stages directly.
 func (m *Manager) RunEpoch(dt float64, offered []*simhpc.Task) EpochReport {
-	var rep EpochReport
-	plan := m.MS3.Decide(m.Cluster)
-	m.Cluster.Cooling.CoolingBoost = plan.CoolingBoost
-	rep.Plan = plan
-
-	admit := int(float64(len(offered)) * plan.AdmitFraction)
-	admitted, deferred := offered[:admit], offered[admit:]
-	for _, t := range deferred {
-		rep.DeferredGFlop += t.GFlop
-	}
-
-	cap := m.Capper.Apply(m.Cluster, 1)
-	rep.Cap = cap
-	m.CapDemotions += cap.Demotions
-
-	// Distribute admitted tasks round-robin over nodes; each node runs
-	// its tasks on its CPU at min(governor, thermal, cap) P-state.
-	for i, t := range admitted {
-		nodeIdx := i % len(m.Cluster.Nodes)
-		node := m.Cluster.Nodes[nodeIdx]
-		dev := node.CPUDevice()
-		if dev == nil {
-			dev = node.Devices[0]
-		}
-		ps := m.Gov.PickPState(dev, t)
-		if ceil := m.Thermal.Ceiling(node); ps > ceil {
-			ps = ceil
-		}
-		if capPS, ok := capPState(cap, nodeIdx); ok && ps > capPS {
-			ps = capPS
-		}
-		dev.SetPState(ps)
-		e := dev.ExecEnergy(t, ps)
-		rep.EnergyJ += e
-		rep.DoneGFlop += t.GFlop
-	}
-
-	hot := m.Cluster.StepThermals(dt, 1)
-	rep.HotNodes = hot
-	m.ThermalEvents += hot
-	for _, n := range m.Cluster.Nodes {
-		m.Thermal.Update(n)
-	}
-
-	m.EpochCount++
-	m.EnergyJ += rep.EnergyJ
-	m.WorkGFlop += rep.DoneGFlop
-	m.DeferredGFlop += rep.DeferredGFlop
-	return rep
+	m.BeginEpoch(dt, offered)
+	m.SweepEpoch()
+	m.DispatchEpoch(1)
+	return m.CommitEpoch()
 }
 
 // capPState returns the capped P-state for the node at nodeIdx. The

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simhpc"
 )
@@ -28,18 +29,41 @@ type backendBatch struct {
 	gflop []float64     // offered GFlop per contributing controller
 }
 
-// lane is the dispatch channel to one backend's commit goroutine. The
-// channel holds one batch and the dispatcher blocks sending a second,
-// so a backend runs at most two epochs behind the dispatch frontier —
-// enough to pipeline, bounded enough that stats and steering stay
-// fresh. Three rotating buffers make the reuse safe: when the send of
-// batch n completes, the worker has received batch n-1 and therefore
-// finished batch n-2, so the buffer of batch n-3 — the one the next
-// fill uses — is no longer referenced by anyone.
+// lane is the dispatch path to one backend's commit goroutine. The
+// run-ahead bound is two epochs in either mode — enough to pipeline,
+// bounded enough that stats and steering stay fresh. Three rotating
+// buffers make the reuse safe: batch n is only filled once the worker
+// has finished batch n-2, so the buffer of batch n-3 — the one the
+// fill reuses — is no longer referenced by anyone.
+//
+// In channel mode the handshake is the one-slot channel: the
+// dispatcher blocks sending a second batch. In notify mode (wake.go
+// treatment) the handshake is a published dispatch counter the worker
+// spins-then-parks on, and a completion counter the dispatcher parks
+// on for backpressure — per-epoch cost is one atomic publish per
+// active lane plus tokens only for sides that actually parked, instead
+// of a channel send (lock + wakeup) per lane per epoch.
 type lane struct {
-	ch   chan *backendBatch
+	ch   chan *backendBatch // channel mode only
 	bufs [3]*backendBatch
-	n    uint64 // batches dispatched on this lane
+	n    uint64 // batches filled/dispatched on this lane
+
+	// Notify mode: dispatched is published by the dispatcher (equals
+	// l.n), completed by the worker; closed + the parked/park pair
+	// mirror the shard wake path's futex-style contract.
+	dispatched atomic.Int64
+	completed  atomic.Int64
+	closed     atomic.Bool
+	parked     atomic.Bool
+	park       chan struct{}
+}
+
+// dispatchHub is the dispatcher's own park state in notify mode: any
+// lane worker completing a batch hands the dispatcher a token when it
+// is parked on backpressure.
+type dispatchHub struct {
+	parked atomic.Bool
+	park   chan struct{}
 }
 
 // dispatchEpochs is the barrier-free executor body: consume merged
@@ -51,16 +75,27 @@ type lane struct {
 // When execCh closes (generation wind-down) the lanes close and the
 // workers drain — no dispatched batch is ever dropped.
 func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []*backendSlot) {
+	notify := k.epochWake != WakeChannel
+	// Every lane commits concurrently, so each backend's manager gets
+	// an equal share of the core budget for its dispatch fan-out.
+	cw := k.commitWorkers(len(bks))
+	hub := &dispatchHub{park: make(chan struct{}, 1)}
 	lanes := make([]*lane, len(bks))
 	var workers sync.WaitGroup
 	for i, bs := range bks {
-		l := &lane{ch: make(chan *backendBatch, 1)}
+		l := &lane{}
 		for j := range l.bufs {
 			l.bufs[j] = &backendBatch{}
 		}
 		lanes[i] = l
 		workers.Add(1)
-		go k.backendWorker(bs, dt, l.ch, &workers)
+		if notify {
+			l.park = make(chan struct{}, 1)
+			go k.laneWorker(bs, dt, l, hub, cw, &workers)
+		} else {
+			l.ch = make(chan *backendBatch, 1)
+			go k.backendWorker(bs, dt, l.ch, cw, &workers)
+		}
 	}
 	for contribs := range execCh {
 		epoch := k.epochs.Add(1)
@@ -94,6 +129,13 @@ func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []
 			l := lanes[idx]
 			b := l.bufs[l.n%3]
 			if b.epoch != epoch { // first contribution this epoch: reset the buffer
+				if notify {
+					// Filling batch n reuses the buffer of batch n-3:
+					// safe once the worker finished batch n-2. Park on
+					// the hub until this lane's clock catches up — the
+					// same two-epoch run-ahead the channel send enforces.
+					awaitLane(l, hub)
+				}
 				b.epoch = epoch
 				b.tasks = b.tasks[:0]
 				b.ctls = b.ctls[:0]
@@ -113,10 +155,24 @@ func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []
 				continue // no contributors on this backend this epoch
 			}
 			clear(b.tasks[len(b.tasks):cap(b.tasks)]) // no pinned stale tasks
-			// Blocks only while this backend is two epochs behind — the
-			// run-ahead bound; every other backend keeps committing.
-			l.ch <- b
 			l.n++
+			if notify {
+				// One atomic publish; a token only if the worker parked.
+				l.dispatched.Store(int64(l.n))
+				if l.parked.Swap(false) {
+					k.wakeOps.Add(1)
+					select {
+					case l.park <- struct{}{}:
+					default:
+					}
+				}
+			} else {
+				// Blocks only while this backend is two epochs behind —
+				// the run-ahead bound; every other backend keeps
+				// committing.
+				k.wakeOps.Add(1)
+				l.ch <- b
+			}
 		}
 		// Steering sees whatever the workers have committed so far: at
 		// most two epochs stale, which the EWMA-based policies tolerate.
@@ -128,74 +184,149 @@ func (k *Kernel) dispatchEpochs(execCh <-chan []contribution, dt float64, bks []
 		}
 	}
 	for _, l := range lanes {
-		close(l.ch)
+		if notify {
+			l.closed.Store(true)
+			if l.parked.Swap(false) {
+				select {
+				case l.park <- struct{}{}:
+				default:
+				}
+			}
+		} else {
+			close(l.ch)
+		}
 	}
 	workers.Wait()
 }
 
-// backendWorker is one backend's epoch clock: it commits every batch
-// dispatched on its lane, in order, under the backend's own commit
-// mutex — no cross-backend barrier. After each commit it updates the
-// backend's placement telemetry, fires the contributing apps' OnEpoch
-// callbacks with the per-backend result, and signals epoch
-// subscribers, so a late backend's commit still wakes the SSE stream
-// even when the global epoch counter moved long before.
-func (k *Kernel) backendWorker(bs *backendSlot, dt float64, ch <-chan *backendBatch, wg *sync.WaitGroup) {
+// awaitLane blocks the dispatcher until the lane's worker is within
+// the two-epoch run-ahead window: arm the hub's parked flag, re-check,
+// park on the token channel. Completing workers hand the token over.
+func awaitLane(l *lane, hub *dispatchHub) {
+	// Filling batch n reuses buffer n%3, last used by batch n-3: safe
+	// once the worker has finished n-3, i.e. n-completed ≤ 2 — the same
+	// window the one-slot channel enforces in channel mode.
+	for int64(l.n)-l.completed.Load() > 2 {
+		hub.parked.Store(true)
+		if int64(l.n)-l.completed.Load() <= 2 {
+			if !hub.parked.Swap(false) {
+				select {
+				case <-hub.park:
+				default:
+				}
+			}
+			return
+		}
+		<-hub.park
+	}
+}
+
+// laneWorker is the notify-mode backend clock: commit every published
+// batch in order, publish completion, and wake the dispatcher when it
+// parked on this lane's backpressure.
+func (k *Kernel) laneWorker(bs *backendSlot, dt float64, l *lane, hub *dispatchHub, commitWorkers int, wg *sync.WaitGroup) {
 	defer wg.Done()
-	for b := range ch {
-		rep, ok, done := k.commitBounded(bs, dt, b.tasks)
-
-		// The contributions were merged into this batch, so their
-		// offered totals are accounted here exactly once — whether the
-		// commit landed, panicked (ok=false) or overran its deadline
-		// (done=false; the abandoned commit still runs in background).
-		for i, ctl := range b.ctls {
-			ctl.addTotal(b.gflop[i])
-		}
-		if !done || !ok {
-			// No report to fold into telemetry, and no per-backend
-			// OnEpoch: the slot went Degraded/Failed and its apps are
-			// being evacuated at the next generation roll.
-			k.signalEpoch()
-			continue
-		}
-
-		offered := rep.DoneGFlop + rep.DeferredGFlop
-		frac := 0.0
-		if offered > 0 {
-			frac = rep.DeferredGFlop / offered
-		}
-		k.loadMu.Lock()
-		bs.offered = offered
-		bs.deferredEWMA += deferredEWMAAlpha * (frac - bs.deferredEWMA)
-		k.loadMu.Unlock()
-
-		// Per-backend OnEpoch delivery: the result covers this backend's
-		// share of the kernel epoch, not the merged whole — under an
-		// independent clock there is no merged whole to report. Built
-		// lazily: most apps have no OnEpoch observer.
-		var res EpochResult
-		built := false
-		for _, ctl := range b.ctls {
-			if ctl.spec.OnEpoch == nil {
+	next := int64(0)
+	for {
+		for l.dispatched.Load() <= next {
+			if l.closed.Load() && l.dispatched.Load() <= next {
+				return
+			}
+			l.parked.Store(true)
+			if l.dispatched.Load() > next || l.closed.Load() {
+				if !l.parked.Swap(false) {
+					select {
+					case <-l.park:
+					default:
+					}
+				}
 				continue
 			}
-			if !built {
-				built = true
-				perApp := make(map[string]float64, len(b.ctls))
-				for j, c := range b.ctls {
-					perApp[c.Name()] += b.gflop[j]
-				}
-				res = EpochResult{
-					Epoch:    b.epoch,
-					Report:   rep,
-					Backends: []BackendEpoch{{Name: bs.name, Report: rep}},
-					PerApp:   perApp,
-				}
-			}
-			ctl.spec.OnEpoch(res)
+			<-l.park
 		}
-
-		k.signalEpoch()
+		b := l.bufs[next%3]
+		k.commitLaneBatch(bs, dt, b, commitWorkers)
+		next++
+		l.completed.Store(next)
+		if hub.parked.Swap(false) {
+			k.wakeOps.Add(1)
+			select {
+			case hub.park <- struct{}{}:
+			default:
+			}
+		}
 	}
+}
+
+// backendWorker is the channel-mode backend clock: it commits every
+// batch dispatched on its lane, in order, under the backend's own
+// commit mutex — no cross-backend barrier.
+func (k *Kernel) backendWorker(bs *backendSlot, dt float64, ch <-chan *backendBatch, commitWorkers int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range ch {
+		k.commitLaneBatch(bs, dt, b, commitWorkers)
+	}
+}
+
+// commitLaneBatch commits one lane batch under the backend's own
+// clock. After each commit it updates the backend's placement
+// telemetry, fires the contributing apps' OnEpoch callbacks with the
+// per-backend result, and signals epoch subscribers, so a late
+// backend's commit still wakes the SSE stream even when the global
+// epoch counter moved long before.
+func (k *Kernel) commitLaneBatch(bs *backendSlot, dt float64, b *backendBatch, commitWorkers int) {
+	rep, ok, done := k.commitBounded(bs, dt, b.tasks, commitWorkers)
+
+	// The contributions were merged into this batch, so their
+	// offered totals are accounted here exactly once — whether the
+	// commit landed, panicked (ok=false) or overran its deadline
+	// (done=false; the abandoned commit still runs in background).
+	for i, ctl := range b.ctls {
+		ctl.addTotal(b.gflop[i])
+	}
+	if !done || !ok {
+		// No report to fold into telemetry, and no per-backend
+		// OnEpoch: the slot went Degraded/Failed and its apps are
+		// being evacuated at the next generation roll.
+		k.signalEpoch()
+		return
+	}
+
+	offered := rep.DoneGFlop + rep.DeferredGFlop
+	frac := 0.0
+	if offered > 0 {
+		frac = rep.DeferredGFlop / offered
+	}
+	k.loadMu.Lock()
+	bs.offered = offered
+	bs.deferredEWMA += deferredEWMAAlpha * (frac - bs.deferredEWMA)
+	k.loadMu.Unlock()
+
+	// Per-backend OnEpoch delivery: the result covers this backend's
+	// share of the kernel epoch, not the merged whole — under an
+	// independent clock there is no merged whole to report. Built
+	// lazily: most apps have no OnEpoch observer.
+	var res EpochResult
+	built := false
+	for _, ctl := range b.ctls {
+		if ctl.spec.OnEpoch == nil {
+			continue
+		}
+		if !built {
+			built = true
+			perApp := make(map[string]float64, len(b.ctls))
+			for j, c := range b.ctls {
+				perApp[c.Name()] += b.gflop[j]
+			}
+			res = EpochResult{
+				Epoch:    b.epoch,
+				Report:   rep,
+				Backends: []BackendEpoch{{Name: bs.name, Report: rep}},
+				PerApp:   perApp,
+			}
+		}
+		ctl.spec.OnEpoch(res)
+	}
+
+	k.signalEpoch()
 }

@@ -488,7 +488,13 @@ type commitResult struct {
 // health roll), never a dead kernel. Stats republish only on success,
 // so readers never see a panicked epoch's partial state. ok=false means
 // the commit panicked; the report is then zero.
-func (k *Kernel) runCommit(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rep rtrm.EpochReport, ok bool) {
+//
+// workers is the commit's core budget: with a staged backend
+// (EpochStager) and workers > 1 the dispatch sub-stage fans out across
+// that many goroutines; otherwise the epoch runs as the classic opaque
+// call. The staged report is bit-identical to the serial one (per-node
+// partials merged in node order), so the two paths agree exactly.
+func (k *Kernel) runCommit(bs *backendSlot, dt float64, tasks []*simhpc.Task, workers int) (rep rtrm.EpochReport, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			k.setBackendHealth(bs, BackendFailed, fmt.Sprintf("backend panic: %v\n%s", r, debug.Stack()))
@@ -496,7 +502,14 @@ func (k *Kernel) runCommit(bs *backendSlot, dt float64, tasks []*simhpc.Task) (r
 	}()
 	bs.commitMu.Lock()
 	defer bs.commitMu.Unlock()
-	rep = bs.be.RunEpoch(dt, tasks)
+	if st := bs.staged; st != nil && workers > 1 {
+		st.BeginEpoch(dt, tasks)
+		st.SweepEpoch()
+		st.DispatchEpoch(workers)
+		rep = st.CommitEpoch()
+	} else {
+		rep = bs.be.RunEpoch(dt, tasks)
+	}
 	bs.cell.publishStats(bs.be.Stats())
 	ok = true
 	return rep, ok
@@ -504,8 +517,8 @@ func (k *Kernel) runCommit(bs *backendSlot, dt float64, tasks []*simhpc.Task) (r
 
 // commitOnce is runCommit plus the sequence bump every successful
 // commit performs — the commit invariant all protocols share.
-func (k *Kernel) commitOnce(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rtrm.EpochReport, bool) {
-	rep, ok := k.runCommit(bs, dt, tasks)
+func (k *Kernel) commitOnce(bs *backendSlot, dt float64, tasks []*simhpc.Task, workers int) (rtrm.EpochReport, bool) {
+	rep, ok := k.runCommit(bs, dt, tasks, workers)
 	if ok {
 		bs.seq.Add(1)
 	}
@@ -524,10 +537,10 @@ func (k *Kernel) commitOnce(bs *backendSlot, dt float64, tasks []*simhpc.Task) (
 // per-app accounting for the batch is the caller's to settle (the work
 // was offered; whether the stalled manager eventually ran it shows up
 // in manager telemetry, not the offered-totals ledger).
-func (k *Kernel) commitBounded(bs *backendSlot, dt float64, tasks []*simhpc.Task) (rep rtrm.EpochReport, ok, done bool) {
+func (k *Kernel) commitBounded(bs *backendSlot, dt float64, tasks []*simhpc.Task, workers int) (rep rtrm.EpochReport, ok, done bool) {
 	d := time.Duration(k.backendTimeout.Load())
 	if d <= 0 {
-		rep, ok = k.commitOnce(bs, dt, tasks)
+		rep, ok = k.commitOnce(bs, dt, tasks, workers)
 		return rep, ok, true
 	}
 	bs.inflight.Add(1)
@@ -540,7 +553,7 @@ func (k *Kernel) commitBounded(bs *backendSlot, dt float64, tasks []*simhpc.Task
 	batch := make([]*simhpc.Task, len(tasks))
 	copy(batch, tasks)
 	go func() {
-		r, cok := k.commitOnce(bs, dt, batch)
+		r, cok := k.commitOnce(bs, dt, batch, workers)
 		if claimed.CompareAndSwap(false, true) {
 			bs.inflight.Add(-1)
 			res <- commitResult{r, cok}

@@ -16,9 +16,15 @@ const inboxChunkSize = 256
 // the written sample to the collector (store-release / load-acquire).
 type inboxChunk struct {
 	// reserve counts claimed slots; values >= inboxChunkSize mean the
-	// chunk is exhausted and the claimant must move to next.
+	// chunk is exhausted and the claimant must move to next. Every
+	// producer hammers this word with an atomic add, so it gets a cache
+	// line to itself — sharing one with next (read on every push to test
+	// for overflow) or the first ready flags would false-share the
+	// hottest line in the ingress path. The pads cost ~2 % of the chunk.
 	reserve atomic.Int64
+	_       [56]byte
 	next    atomic.Pointer[inboxChunk]
+	_       [56]byte
 	ready   [inboxChunkSize]atomic.Uint32
 	slots   [inboxChunkSize]Sample
 }

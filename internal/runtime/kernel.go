@@ -175,6 +175,23 @@ type Kernel struct {
 	events     map[chan BackendEvent]struct{}
 	eventCount atomic.Int32
 
+	// Many-core wake path (wake.go). wakeOps counts every operation
+	// that can wake an epoch-machinery goroutine (channel sends,
+	// doorbell rings, park tokens, lane wakes) — K12's wakeups/epoch
+	// metric. epochWake is the generation's wake mode, written at the
+	// same quiescent points as epochProto.
+	wakeOps   atomic.Int64
+	epochWake WakeMode
+
+	// Topology snapshot of the serving generation: the GOMAXPROCS it
+	// was shaped for, the shard-loop count it chose, and whether a
+	// drift-triggered reshape roll has already been requested for it
+	// (one per generation). The sync driver also refreshes topoGMP per
+	// RunEpoch so commitWorkers sees a current core budget.
+	topoGMP    atomic.Int32
+	topoShards atomic.Int32
+	topoDrift  atomic.Bool
+
 	errMu sync.Mutex
 	err   error // first workload error observed by concurrent loops
 }
@@ -185,6 +202,10 @@ type Kernel struct {
 type backendSlot struct {
 	name string
 	be   Backend
+	// staged is non-nil when the backend also implements EpochStager
+	// (rtrm.Manager does): the epoch paths can then pipeline its
+	// sub-stages and fan its dispatch loop out across workers.
+	staged EpochStager
 
 	// commitMu serializes this backend's epoch commits against status
 	// readers (Barrier and PerBackendClock reads) and against each
@@ -204,6 +225,11 @@ type backendSlot struct {
 	tasks  []*simhpc.Task
 	report rtrm.EpochReport
 	active bool
+	// Stage-pool scratch (stage.go): the backend's progress through the
+	// sub-stage pipeline this epoch and whether commitMu is held across
+	// stages (for panic cleanup). Only touched by executeStaged.
+	stage       int
+	stageLocked bool
 
 	// Placement telemetry, under Kernel.loadMu. Only maintained on the
 	// multi-backend path; see BackendLoad.
@@ -247,6 +273,7 @@ func NewKernel(backends ...Backend) *Kernel {
 	for i, be := range backends {
 		name := fmt.Sprintf("b%d", i)
 		bs := &backendSlot{name: name, be: be}
+		bs.staged, _ = be.(EpochStager)
 		bs.cell.publishStats(be.Stats()) // seed the seqlock for pre-commit reads
 		k.backends = append(k.backends, bs)
 		k.byBackend[name] = i
@@ -276,6 +303,7 @@ func (k *Kernel) AddBackend(name string, be Backend) error {
 	bks := make([]*backendSlot, len(k.backends), len(k.backends)+1)
 	copy(bks, k.backends)
 	bs := &backendSlot{name: name, be: be}
+	bs.staged, _ = be.(EpochStager)
 	bs.cell.publishStats(be.Stats())
 	k.backends = append(bks, bs)
 	k.byBackend[name] = len(k.backends) - 1
@@ -966,7 +994,7 @@ func (k *Kernel) executeSingle(dt float64, contribs []contribution, bs *backendS
 			return EpochResult{Epoch: k.epochs.Add(1), PerApp: perApp}
 		}
 	}
-	rep, ok := k.commitOnce(bs, dt, all)
+	rep, ok := k.commitOnce(bs, dt, all, k.commitWorkers(1))
 	epoch := k.epochs.Add(1)
 	if !ok {
 		// The backend panicked mid-commit: the slot is Failed and the
@@ -1045,28 +1073,35 @@ func (k *Kernel) executeRouted(dt float64, contribs []contribution, bks []*backe
 	if nActive == 1 {
 		for _, bs := range bks {
 			if bs.active {
-				bs.report, bs.committed, _ = k.commitBounded(bs, dt, bs.tasks)
+				bs.report, bs.committed, _ = k.commitBounded(bs, dt, bs.tasks, k.commitWorkers(1))
 			}
 		}
 	} else if nActive > 1 {
-		var wg sync.WaitGroup
-		for _, bs := range bks {
-			if !bs.active {
-				continue
-			}
-			wg.Add(1)
-			go func(bs *backendSlot) {
-				defer wg.Done()
-				rep, ok, done := k.commitBounded(bs, dt, bs.tasks)
-				if done {
-					bs.report, bs.committed = rep, ok
+		cw := k.commitWorkers(nActive)
+		if k.backendTimeout.Load() == 0 && allStaged(bks) {
+			// Deadline-free and every backend staged: run the sub-stage
+			// pipeline — a slow cap on b0 no longer delays b2's dispatch.
+			k.executeStaged(dt, bks, nActive, cw)
+		} else {
+			var wg sync.WaitGroup
+			for _, bs := range bks {
+				if !bs.active {
+					continue
 				}
-				// Abandoned (done=false): the stalled commit still runs
-				// and must not race this epoch's scratch — leave
-				// bs.report alone; committed stays false.
-			}(bs)
+				wg.Add(1)
+				go func(bs *backendSlot) {
+					defer wg.Done()
+					rep, ok, done := k.commitBounded(bs, dt, bs.tasks, cw)
+					if done {
+						bs.report, bs.committed = rep, ok
+					}
+					// Abandoned (done=false): the stalled commit still runs
+					// and must not race this epoch's scratch — leave
+					// bs.report alone; committed stays false.
+				}(bs)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 	}
 	epoch := k.epochs.Add(1)
 	if global {
@@ -1269,6 +1304,10 @@ type Options struct {
 	// Flush bounds how long the scheduler waits for straggler apps
 	// before running an epoch with the batches at hand (default 100ms).
 	Flush time.Duration
+	// Wake selects the shard/lane wake handshake (default WakeNotify;
+	// WakeChannel keeps the legacy channel handshake as a measurable
+	// baseline). See WakeMode.
+	Wake WakeMode
 }
 
 func (o Options) withDefaults() Options {
@@ -1292,12 +1331,24 @@ func (o Options) withDefaults() Options {
 type shard struct {
 	apps     []*Controller
 	contribs []contribution // this epoch's batch, reused every round
-	// accepted is signalled when the shard's batch is merged into an
-	// epoch (buffered 1; a shard never has two batches in flight). The
-	// signal arrives before the manager epoch runs, so the shard's next
-	// round of ticks overlaps it — epoch results reach apps through
-	// OnEpoch instead.
-	accepted chan struct{}
+
+	// Notify-mode wake state (wake.go). submitted counts batches
+	// handed to the scheduler (loop-local); accepted is the
+	// scheduler-published merge counter the shard spins-then-parks on;
+	// parked + park are the futex-style park/unpark pair (park buffered
+	// 1, allocation-free in steady state); next is the intrusive submit
+	// stack link. Acceptance is published before the manager epoch
+	// runs, so the shard's next round of ticks overlaps it — epoch
+	// results reach apps through OnEpoch instead.
+	submitted int64
+	accepted  atomic.Int64
+	parked    atomic.Bool
+	park      chan struct{}
+	next      *shard
+
+	// acceptedCh is the channel-mode equivalent (buffered 1; a shard
+	// never has two batches in flight).
+	acceptedCh chan struct{}
 }
 
 // Start launches the concurrent kernel: a supervisor goroutine that
@@ -1370,6 +1421,7 @@ func (k *Kernel) supervise(ctx context.Context, opts Options) {
 		k.epochBackends = bks
 		k.epochObserver = obs
 		k.epochProto = proto
+		k.epochWake = opts.Wake
 		k.protoActive.Store(int32(proto))
 		k.servedGen.Store(gen)
 		if ctx.Err() != nil {
@@ -1409,14 +1461,24 @@ func (k *Kernel) serveGeneration(ctx context.Context, changed <-chan struct{}, a
 
 	// Per-app loops while they are affordable (strongest straggler
 	// isolation); collapse to one shard per core once the app count
-	// would make per-app wakeups the epoch's critical path.
+	// would make per-app wakeups the epoch's critical path. The
+	// GOMAXPROCS read is per generation, and the loops watch for drift
+	// (maybeReshape), so a live GOMAXPROCS change re-shapes the
+	// topology at the next roll instead of serving it stale.
+	gmp := goruntime.GOMAXPROCS(0)
 	nShards := len(apps)
-	if maxLoops := 2 * goruntime.GOMAXPROCS(0); nShards > maxLoops {
-		nShards = goruntime.GOMAXPROCS(0)
+	if maxLoops := 2 * gmp; nShards > maxLoops {
+		nShards = gmp
 	}
+	k.topoGMP.Store(int32(gmp))
+	k.topoShards.Store(int32(nShards))
+	k.topoDrift.Store(false)
 	shards := make([]*shard, nShards)
 	for i := range shards {
-		shards[i] = &shard{accepted: make(chan struct{}, 1)}
+		shards[i] = &shard{
+			park:       make(chan struct{}, 1),
+			acceptedCh: make(chan struct{}, 1),
+		}
 	}
 	for i, ctl := range apps {
 		sh := shards[i%nShards]
@@ -1437,12 +1499,12 @@ func (k *Kernel) serveGeneration(ctx context.Context, changed <-chan struct{}, a
 		loopsWG.Add(1)
 		go k.singleLoop(gctx, shards[0], opts, &loopsWG)
 	} else {
-		submit := make(chan *shard, nShards)
+		hub := newWakeHub(opts.Wake, nShards)
 		genWG.Add(1)
-		go k.scheduler(gctx, opts, len(apps), submit, &loopsWG, &genWG)
+		go k.scheduler(gctx, opts, len(apps), hub, &loopsWG, &genWG)
 		for _, sh := range shards {
 			loopsWG.Add(1)
-			go k.shardLoop(gctx, sh, opts, submit, &loopsWG)
+			go k.shardLoop(gctx, sh, opts, hub, &loopsWG)
 		}
 	}
 
@@ -1460,9 +1522,14 @@ func (k *Kernel) serveGeneration(ctx context.Context, changed <-chan struct{}, a
 // is nothing to batch against.
 func (k *Kernel) singleLoop(ctx context.Context, sh *shard, opts Options, wg *sync.WaitGroup) {
 	defer wg.Done()
-	for {
+	for rounds := 0; ; rounds++ {
 		if ctx.Err() != nil {
 			return
+		}
+		if rounds&63 == 63 {
+			// A live GOMAXPROCS raise deserves real shard loops; roll
+			// the generation when the topology has gone stale.
+			k.maybeReshape()
 		}
 		sh.contribs = sh.contribs[:0]
 		for _, ctl := range sh.apps {
@@ -1521,7 +1588,7 @@ func (k *Kernel) Stop() {
 // acceptance was tried and measured slower: with the epoch barrier the
 // slowest shard sets the pace, and eager next-round ticks steal cores
 // from the current round's stragglers.)
-func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, submit chan<- *shard, wg *sync.WaitGroup) {
+func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, hub *wakeHub, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		if ctx.Err() != nil {
@@ -1539,20 +1606,24 @@ func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, submit 
 			}
 			sh.contribs = append(sh.contribs, contribution{ctl: ctl, tasks: tasks})
 		}
-		// submit has one slot per shard and a shard never has two
-		// batches in flight, so the send always lands without blocking —
-		// even during generation wind-down, which is what guarantees a
-		// parked shard's last batch is still in the channel for the
-		// scheduler's drain pass.
-		submit <- sh
-		select {
-		case <-sh.accepted:
-		default:
+		// The submission never blocks — channel mode has one slot per
+		// shard, notify mode is a lock-free push — even during
+		// generation wind-down, which is what guarantees a parked
+		// shard's last batch is still queued for the scheduler's drain
+		// pass. A shard never has two batches in flight.
+		k.submitShard(hub, sh)
+		if hub.mode == WakeChannel {
 			select {
-			case <-sh.accepted:
-			case <-ctx.Done():
-				return
+			case <-sh.acceptedCh:
+			default:
+				select {
+				case <-sh.acceptedCh:
+				case <-ctx.Done():
+					return
+				}
 			}
+		} else if !k.waitAccepted(ctx, sh) {
+			return
 		}
 		if opts.Interval > 0 {
 			t := time.NewTimer(opts.Interval)
@@ -1585,10 +1656,10 @@ func (k *Kernel) shardLoop(ctx context.Context, sh *shard, opts Options, submit 
 // scheduler waits for the shard loops to park, drains any batches
 // still queued in submit, and executes one final epoch over them, so
 // work an app already handed over is never dropped.
-func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit chan *shard, loopsWG, wg *sync.WaitGroup) {
+func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, hub *wakeHub, loopsWG, wg *sync.WaitGroup) {
 	defer wg.Done()
 	// An epoch can never contain two batches from one shard: each shard
-	// loop waits for its accepted signal — sent only at flush — before
+	// loop waits for its acceptance — published only at flush — before
 	// submitting again.
 	var pending []*shard
 	pendingApps := 0
@@ -1600,6 +1671,7 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit 
 	// merges the next epoch into the other.
 	var buffers [2][]contribution
 	cur := 0
+	flushes := 0
 	timer := time.NewTimer(opts.Flush)
 	if !timer.Stop() {
 		<-timer.C
@@ -1616,6 +1688,20 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit 
 		}
 		armed = false
 	}
+	// take adds one shard's batch to the pending epoch.
+	take := func(sh *shard) {
+		pending = append(pending, sh)
+		pendingApps += len(sh.apps)
+	}
+	// drainStack empties the notify-mode submit list (one swap takes
+	// every queued shard — later pushers piggyback on one doorbell).
+	drainStack := func() {
+		for sh := hub.stack.popAll(); sh != nil; {
+			next := sh.next
+			take(sh)
+			sh = next
+		}
+	}
 	// flush merges the pending batches, releases their shards, and hands
 	// the epoch to the executor. The send is unconditional: the executor
 	// consumes until execCh closes and never blocks on anything but the
@@ -1629,25 +1715,32 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit 
 		clear(contribs[len(contribs):cap(contribs)]) // no stale task pointers in the tail
 		buffers[cur] = contribs
 		cur = 1 - cur
-		for _, sh := range pending {
-			sh.accepted <- struct{}{}
-		}
+		k.releaseShards(hub, pending)
 		clear(pending)
 		pending = pending[:0]
 		pendingApps = 0
 		disarm()
+		if flushes++; flushes&63 == 0 {
+			k.maybeReshape() // cheap periodic GOMAXPROCS drift check
+		}
 		execCh <- contribs
 	}
 	// drain is the wind-down path: once the shard loops have parked,
-	// whatever they already submitted (received or still in the channel
-	// buffer) joins one final epoch.
+	// whatever they already submitted (received or still queued) joins
+	// one final epoch.
 	drain := func() {
 		loopsWG.Wait()
+		if hub.mode != WakeChannel {
+			drainStack()
+			if len(pending) > 0 {
+				flush()
+			}
+			return
+		}
 		for {
 			select {
-			case sh := <-submit:
-				pending = append(pending, sh)
-				pendingApps += len(sh.apps)
+			case sh := <-hub.submit:
+				take(sh)
 			default:
 				if len(pending) > 0 {
 					flush()
@@ -1662,32 +1755,34 @@ func (k *Kernel) scheduler(ctx context.Context, opts Options, nApps int, submit 
 		select {
 		case <-ctx.Done():
 			return
-		case sh := <-submit:
-			pending = append(pending, sh)
-			pendingApps += len(sh.apps)
+		case sh := <-hub.submit: // nil (blocks forever) in notify mode
+			take(sh)
 			// Greedily drain whatever else has queued: non-blocking
 			// receives skip the full select machinery.
 		greedy:
 			for pendingApps < nApps {
 				select {
-				case sh := <-submit:
-					pending = append(pending, sh)
-					pendingApps += len(sh.apps)
+				case sh := <-hub.submit:
+					take(sh)
 				default:
 					break greedy
 				}
 			}
-			if pendingApps >= nApps {
-				flush()
-			} else if !armed {
-				timer.Reset(opts.Flush)
-				armed = true
-			}
+		case <-hub.sig: // nil (blocks forever) in channel mode
+			drainStack()
 		case <-timer.C:
 			armed = false
+			k.maybeReshape() // paced loops flush by timer; check here too
 			if len(pending) > 0 {
 				flush()
 			}
+			continue
+		}
+		if pendingApps >= nApps {
+			flush()
+		} else if len(pending) > 0 && !armed {
+			timer.Reset(opts.Flush)
+			armed = true
 		}
 	}
 }

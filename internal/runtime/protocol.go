@@ -116,7 +116,12 @@ func (k *Kernel) CommitLockReads() int64 { return k.commitLockReads.Load() }
 // ver is odd while a write is in progress. Fields are atomics so the
 // race detector sees the reader/writer overlap as synchronized — the
 // version protocol is what makes the multi-field snapshot consistent.
+// The cell's eight words fill exactly one 64-byte cache line; the pads
+// keep neighbouring backendSlot fields (seq, the commit mutex) off that
+// line, so OptimisticMerge readers polling ver do not ping-pong the
+// line the commit path is writing through unrelated fields.
 type statsCell struct {
+	_         [64]byte
 	ver       atomic.Uint64
 	epochs    atomic.Int64
 	work      atomic.Uint64 // math.Float64bits
@@ -125,6 +130,7 @@ type statsCell struct {
 	thermal   atomic.Int64
 	demotions atomic.Int64
 	apps      atomic.Int64
+	_         [64]byte
 }
 
 // publishStats republishes the backend's cumulative counters. Called

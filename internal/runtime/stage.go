@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	goruntime "runtime"
+
+	"repro/internal/rtrm"
+	"repro/internal/simhpc"
+)
+
+// Sub-stage pipelining: instead of running each backend's epoch as one
+// opaque RunEpoch call on its own goroutine, the multi-backend barrier
+// path decomposes the epoch into the manager's three sub-stages
+// (begin+sweep / dispatch / commit) and runs them on a small worker
+// pool. A worker finishing b0's sweep can pick up b2's dispatch while
+// another worker commits b1 — a slow power-cap fit on one backend no
+// longer delays another backend's dispatch, and the goroutine count is
+// min(GOMAXPROCS, active backends) instead of one per backend.
+
+// EpochStager is the staged form of a Backend's epoch: the kernel
+// drives the sub-stages itself when the backend supports it.
+// *rtrm.Manager implements it. The contract: stages run in order, all
+// between the kernel's acquisition and release of the backend's commit
+// mutex; only DispatchEpoch may use internal parallelism (bounded by
+// workers); the committed report must equal what RunEpoch returns for
+// the same inputs.
+type EpochStager interface {
+	BeginEpoch(dt float64, offered []*simhpc.Task)
+	SweepEpoch()
+	DispatchEpoch(workers int)
+	CommitEpoch() rtrm.EpochReport
+}
+
+// allStaged reports whether every active slot can run the sub-stage
+// pipeline.
+func allStaged(bks []*backendSlot) bool {
+	for _, bs := range bks {
+		if bs.active && bs.staged == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// executeStaged runs the active backends' epochs through the sub-stage
+// pool. Slots cycle through the jobs channel once per stage: a worker
+// pops a slot, advances it one stage, and re-enqueues it (the channel
+// handoff publishes the stage's writes to whichever worker runs the
+// next one). The per-slot commit mutex is locked in the first stage and
+// unlocked in the last — by design across goroutines, which sync.Mutex
+// permits. Panics anywhere in a stage fail the slot exactly like
+// runCommit's guard: health → Failed, mutex released, committed stays
+// false, and the pool moves on. On return every active slot has either
+// committed (report + seq bump + stats published) or failed.
+func (k *Kernel) executeStaged(dt float64, bks []*backendSlot, nActive, dispatchWorkers int) {
+	workers := int(k.topoGMP.Load())
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > nActive {
+		workers = nActive
+	}
+	// Each slot is in the channel or held by a worker, never both, so
+	// cap nActive means re-enqueues cannot block.
+	jobs := make(chan *backendSlot, nActive)
+	var pending sync.WaitGroup
+	pending.Add(nActive)
+	for _, bs := range bks {
+		if bs.active {
+			bs.stage = 0
+			bs.stageLocked = false
+			jobs <- bs
+		}
+	}
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for bs := range jobs {
+				if k.runStage(bs, dt, dispatchWorkers) {
+					pending.Done()
+				} else {
+					jobs <- bs
+				}
+			}
+		}()
+	}
+	pending.Wait()
+	close(jobs)
+	pool.Wait()
+}
+
+// runStage advances one slot one sub-stage; finished=true retires the
+// slot from the pool (committed or failed).
+func (k *Kernel) runStage(bs *backendSlot, dt float64, dispatchWorkers int) (finished bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if bs.stageLocked {
+				bs.stageLocked = false
+				bs.commitMu.Unlock()
+			}
+			finished = true
+			k.setBackendHealth(bs, BackendFailed, fmt.Sprintf("backend panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	switch bs.stage {
+	case 0:
+		bs.commitMu.Lock()
+		bs.stageLocked = true
+		bs.staged.BeginEpoch(dt, bs.tasks)
+		bs.staged.SweepEpoch()
+	case 1:
+		bs.staged.DispatchEpoch(dispatchWorkers)
+	default:
+		bs.report = bs.staged.CommitEpoch()
+		bs.cell.publishStats(bs.be.Stats())
+		bs.committed = true
+		bs.stageLocked = false
+		bs.commitMu.Unlock()
+		bs.seq.Add(1)
+		return true
+	}
+	bs.stage++
+	return false
+}

@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"context"
+	goruntime "runtime"
+	"sync/atomic"
+)
+
+// WakeMode selects the handshake between the shard loops (and the
+// clock protocol's dispatch lanes) and the epoch scheduler. The notify
+// path exists because the channel handshake's cost is O(shards) of
+// scheduler work per epoch — one channel send per shard on the submit
+// side and one more per shard on the release side, each a lock acquire
+// plus a potential goroutine wakeup. At 1–2 cores that tax hides
+// behind the manager epoch; at 8–16 cores it IS the serial section
+// (the non-threaded-CCP argument inverted: plentiful cores make the
+// wake path the tax, not the loops). The notify path replaces both
+// sides with atomics — a lock-free submit list the scheduler drains
+// with one swap, and a published per-shard acceptance counter that
+// shards spin-then-park on — so the scheduler's per-epoch wake work is
+// one pass of atomic stores plus tokens only for the shards that
+// actually parked.
+type WakeMode int32
+
+const (
+	// WakeNotify is the default: lock-free submit list + published
+	// acceptance counters, parking only as a last resort.
+	WakeNotify WakeMode = iota
+	// WakeChannel is the PR-2 channel handshake (submit channel +
+	// per-shard accepted channel), kept selectable as the K12 baseline
+	// the notify path is measured against — the LockedInbox convention.
+	WakeChannel
+)
+
+func (m WakeMode) String() string {
+	if m == WakeChannel {
+		return "channel"
+	}
+	return "notify"
+}
+
+// submitStack is the notify path's intrusive Treiber stack of shards
+// with batches ready to merge. A shard is in the stack at most once
+// (it never has two batches in flight), so the intrusive next link is
+// safe. push is lock-free and allocation-free; the scheduler takes the
+// whole list with one swap.
+type submitStack struct {
+	head atomic.Pointer[shard]
+}
+
+// push links sh into the stack and reports whether the stack was empty
+// — the pusher that turns it non-empty owns waking the scheduler.
+func (s *submitStack) push(sh *shard) (wasEmpty bool) {
+	for {
+		old := s.head.Load()
+		sh.next = old
+		if s.head.CompareAndSwap(old, sh) {
+			return old == nil
+		}
+	}
+}
+
+// popAll detaches the whole submit list. Order is reversed submission
+// order, which the scheduler does not care about — batches merge into
+// one epoch regardless.
+func (s *submitStack) popAll() *shard {
+	return s.head.Swap(nil)
+}
+
+// wakeHub is one generation's wake-path state, shared by the shard
+// loops and the scheduler. Exactly one of {submit} / {stack, sig} is
+// live, per mode.
+type wakeHub struct {
+	mode WakeMode
+	// Channel mode: one slot per shard, so a submit never blocks.
+	submit chan *shard
+	// Notify mode: the lock-free submit list plus a one-slot doorbell
+	// the first pusher rings; the scheduler drains the list on each
+	// ring, so later pushers piggyback without another wake.
+	stack submitStack
+	sig   chan struct{}
+}
+
+func newWakeHub(mode WakeMode, nShards int) *wakeHub {
+	w := &wakeHub{mode: mode}
+	if mode == WakeChannel {
+		w.submit = make(chan *shard, nShards)
+	} else {
+		w.sig = make(chan struct{}, 1)
+	}
+	return w
+}
+
+// submitShard hands a shard's batch to the scheduler: a channel send
+// in channel mode, a stack push plus (only when the stack was idle) a
+// doorbell ring in notify mode. Every operation that can wake the
+// scheduler counts against wakeOps.
+func (k *Kernel) submitShard(w *wakeHub, sh *shard) {
+	if w.mode == WakeChannel {
+		k.wakeOps.Add(1)
+		w.submit <- sh
+		return
+	}
+	sh.submitted++
+	if w.stack.push(sh) {
+		k.wakeOps.Add(1)
+		select {
+		case w.sig <- struct{}{}:
+		default: // doorbell already rung; the scheduler will drain us too
+		}
+	}
+}
+
+// waitAccepted blocks a notify-mode shard until the scheduler has
+// merged its batch: check the published counter, yield once (on a busy
+// host acceptance usually lands within the yield), then park on the
+// shard's one-slot token channel. The parked flag is the futex-style
+// contract with the scheduler: a shard arms it before parking and
+// re-checks the counter afterwards, the scheduler publishes the
+// counter before testing the flag — so a wake is never lost, and a
+// token is only ever sent to a shard that actually parked. Returns
+// false when the generation wound down instead. Allocation-free.
+func (k *Kernel) waitAccepted(ctx context.Context, sh *shard) bool {
+	target := sh.submitted
+	if sh.accepted.Load() >= target {
+		return true
+	}
+	goruntime.Gosched()
+	for sh.accepted.Load() < target {
+		sh.parked.Store(true)
+		if sh.accepted.Load() >= target {
+			if !sh.parked.Swap(false) {
+				// The scheduler claimed the flag: a wake token is in
+				// flight (or landed); clear it so the next park does not
+				// wake spuriously.
+				select {
+				case <-sh.park:
+				default:
+				}
+			}
+			return true
+		}
+		select {
+		case <-sh.park:
+			// Woken: re-check the counter. A stale token (from a race
+			// the self-unpark path lost) just re-arms and parks again.
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// releaseShards is the scheduler's single wake pass at flush: publish
+// each pending shard's acceptance, then hand a token only to the
+// shards that parked. In channel mode it is the legacy per-shard send.
+func (k *Kernel) releaseShards(w *wakeHub, pending []*shard) {
+	if w.mode == WakeChannel {
+		for _, sh := range pending {
+			k.wakeOps.Add(1)
+			sh.acceptedCh <- struct{}{}
+		}
+		return
+	}
+	for _, sh := range pending {
+		sh.accepted.Add(1)
+		if sh.parked.Swap(false) {
+			k.wakeOps.Add(1)
+			select {
+			case sh.park <- struct{}{}:
+			default: // stale token already buffered; the shard will eat it
+			}
+		}
+	}
+}
+
+// WakeOps reports the cumulative count of wake operations the epoch
+// machinery has performed — channel sends in channel mode; doorbell
+// rings, park tokens and lane wakes in notify mode. K12 reports the
+// per-epoch rate: the channel handshake costs ~2·shards/epoch, the
+// notify path O(1) plus one token per shard that actually parked.
+func (k *Kernel) WakeOps() int64 { return k.wakeOps.Load() }
+
+// LoopShards reports how many control-loop workers the currently
+// served generation runs (0 before the first generation is up). It
+// exists so tests and operators can observe a topology reshape after a
+// live GOMAXPROCS change.
+func (k *Kernel) LoopShards() int { return int(k.topoShards.Load()) }
+
+// maybeReshape rolls the serving generation once when GOMAXPROCS has
+// drifted from the value the topology was shaped for (live
+// runtime.GOMAXPROCS call or cgroup resize). Called from the epoch
+// loops at low frequency — GOMAXPROCS(0) takes the scheduler lock, so
+// it must not run per epoch. The CAS bounds it to one roll per
+// generation; the new generation re-reads GOMAXPROCS and re-shapes
+// shards, workers and commit fan-out.
+func (k *Kernel) maybeReshape() {
+	if int32(goruntime.GOMAXPROCS(0)) != k.topoGMP.Load() && k.topoDrift.CompareAndSwap(false, true) {
+		k.requestPlacementRefresh()
+	}
+}
+
+// commitWorkers splits the generation's GOMAXPROCS budget across
+// concurrent backend commits: with n backends committing at once each
+// gets its share of the cores for its manager's dispatch fan-out.
+func (k *Kernel) commitWorkers(concurrent int) int {
+	gmp := int(k.topoGMP.Load())
+	if gmp <= 0 {
+		gmp = goruntime.GOMAXPROCS(0)
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	w := gmp / concurrent
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
